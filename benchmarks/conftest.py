@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Sentinel
+
+
+@pytest.fixture
+def sentinel():
+    """A database-less Sentinel system, active for the benchmark."""
+    system = Sentinel(adopt_class_rules=False)
+    with system:
+        yield system
+
+
+def noop_action(ctx):
+    """A do-nothing rule action shared by the micro-benchmarks."""
+    return None
+
+
+def false_condition(ctx):
+    """A condition that never holds (measures check cost alone)."""
+    return False

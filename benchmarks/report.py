@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Regenerate the paper-comparison series as plain-text tables.
+
+This is the standalone harness behind EXPERIMENTS.md: it reruns the
+parameter sweeps of the headline experiments (E8 scaling, E9 overhead
+ladder, E10 rule addition, E11 subset monitoring, E14 feature matrix,
+E16 contexts) and prints one table per experiment.  Useful when you want
+the series without pytest-benchmark's statistics machinery:
+
+    python benchmarks/report.py            # all experiments
+    python benchmarks/report.py E8 E14     # a selection
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, __file__.rsplit("/", 2)[0])  # repo root, for `benchmarks`
+
+from repro.core import Notifiable, Reactive, Rule, Sentinel, event_method
+from repro.workloads import Stock, make_stocks, uniform_updates
+
+
+def timed(fn, *args, repeat=300):
+    best = float("inf")
+    for _trial in range(3):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn(*args)
+        best = min(best, (time.perf_counter() - start) / repeat)
+    return best * 1e6  # µs
+
+
+def table(title, headers, rows):
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+# ----------------------------------------------------------------------
+def report_e8():
+    from benchmarks.test_bench_subscription import build_adam, build_sentinel
+
+    rows = []
+    with Sentinel(adopt_class_rules=False):
+        for total in (10, 100, 1000):
+            adam_system, adam_watched = build_adam(total)
+            sentinel_watched, _ = build_sentinel(total)
+            adam_us = timed(adam_system.invoke, adam_watched, "set_price", 1.0)
+            sentinel_us = timed(sentinel_watched.set_price, 1.0)
+            rows.append(
+                (total, f"{adam_us:.1f}", f"{sentinel_us:.1f}",
+                 "adam" if adam_us < sentinel_us else "sentinel")
+            )
+    table(
+        "E8: per-update µs vs total rules (1 relevant)",
+        ("total rules", "adam centralized", "sentinel subscription", "winner"),
+        rows,
+    )
+
+
+def report_e9():
+    from benchmarks.test_bench_event_overhead import (
+        NullConsumer,
+        PassiveCounter,
+        ReactiveCounter,
+    )
+
+    with Sentinel(adopt_class_rules=False):
+        passive = PassiveCounter()
+        unsub = ReactiveCounter()
+        sub = ReactiveCounter()
+        sub.subscribe(NullConsumer())
+        both = ReactiveCounter()
+        both.subscribe(NullConsumer())
+        rows = [
+            ("passive object", f"{timed(passive.bump, repeat=3000):.2f}"),
+            ("reactive, undeclared method",
+             f"{timed(unsub.bump_undeclared, repeat=3000):.2f}"),
+            ("reactive, unsubscribed", f"{timed(unsub.bump, repeat=3000):.2f}"),
+            ("reactive, subscribed (eom)", f"{timed(sub.bump, repeat=1000):.2f}"),
+            ("reactive, subscribed (bom+eom)",
+             f"{timed(both.bump_both, repeat=1000):.2f}"),
+        ]
+    table("E9: method-call cost ladder (µs)", ("configuration", "µs/call"), rows)
+
+
+def report_e10():
+    from benchmarks.test_bench_rule_addition import build_ode
+    from repro.baselines.ode import Constraint
+
+    rows = []
+    with Sentinel(adopt_class_rules=False):
+        for population in (10, 100, 1000):
+            ode = build_ode(population)
+            start = time.perf_counter()
+            ode.redefine_class(
+                ode._bench_class,
+                add_constraints=[Constraint("c", lambda o: True)],
+            )
+            ode_us = (time.perf_counter() - start) * 1e6
+            _stocks = [Stock(f"S{i}", 1.0) for i in range(population)]
+
+            def add_sentinel_rule():
+                rule = Rule(
+                    "r", "end Stock::set_price(float price)",
+                    action=lambda ctx: None,
+                )
+                Stock._class_consumers.append(rule)
+                Stock._class_consumers.pop()
+
+            sentinel_us = timed(add_sentinel_rule, repeat=200)
+            rows.append((population, f"{ode_us:.1f}", f"{sentinel_us:.1f}"))
+    table(
+        "E10: add one class rule (µs) vs live instances",
+        ("instances", "ode redefinition", "sentinel rule object"),
+        rows,
+    )
+
+
+def report_e11():
+    from benchmarks.test_bench_instance_rules import (
+        POPULATION,
+        UPDATES,
+        adam_workload,
+        sentinel_workload,
+    )
+
+    rows = []
+    with Sentinel(adopt_class_rules=False):
+        for subset in (1, 50, 500):
+            sentinel_run = sentinel_workload(subset)
+            adam_run = adam_workload(subset)
+            sentinel_ms = timed(sentinel_run, repeat=3) / 1000
+            adam_ms = timed(adam_run, repeat=3) / 1000
+            rows.append(
+                (f"{subset}/{POPULATION}", f"{adam_ms:.2f}",
+                 f"{sentinel_ms:.2f}",
+                 "sentinel" if sentinel_ms < adam_ms else "adam")
+            )
+    table(
+        f"E11: {UPDATES} uniform updates, rule on k of {POPULATION} (ms)",
+        ("k/N", "adam", "sentinel", "winner"),
+        rows,
+    )
+
+
+def report_e14():
+    from benchmarks.test_bench_feature_matrix import build_matrix, render
+
+    print("\n== E14: feature matrix (executed probes) ==")
+    print(render(build_matrix()))
+
+
+def report_e16():
+    from benchmarks.test_bench_contexts import BURSTS, BURST_SIZE, build, bursty_stream
+
+    stream = bursty_stream()
+    rows = []
+    from repro.core import ParameterContext
+
+    for context in ParameterContext:
+        event, signals = build(context.value)
+        start = time.perf_counter()
+        for occurrence in stream:
+            event.notify(occurrence)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        max_size = max((len(s.constituents) for s in signals), default=0)
+        rows.append(
+            (context.value, f"{elapsed_ms:.2f}", len(signals), max_size)
+        )
+    table(
+        f"E16: sequence over {BURSTS} bursts × {BURST_SIZE} (per stream)",
+        ("context", "ms", "composites", "max size"),
+        rows,
+    )
+
+
+REPORTS = {
+    "E8": report_e8,
+    "E9": report_e9,
+    "E10": report_e10,
+    "E11": report_e11,
+    "E14": report_e14,
+    "E16": report_e16,
+}
+
+
+def main(argv: list[str]) -> None:
+    selected = [a.upper() for a in argv] or list(REPORTS)
+    unknown = [s for s in selected if s not in REPORTS]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; pick from {list(REPORTS)}")
+    for name in selected:
+        REPORTS[name]()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

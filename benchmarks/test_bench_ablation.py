@@ -1,0 +1,179 @@
+"""Ablation benchmarks for DESIGN.md's implementation decisions.
+
+A1 — metaclass-generated stubs vs. ``__getattribute__`` interception:
+     same semantics, different place to pay.  The stub design costs only
+     on declared methods; interception taxes every attribute access.
+
+A2 — per-producer subscription vs. an indexed central dispatch table:
+     with an index, a central table's *lookup* is as cheap as
+     subscription, but every reactive object now has a consumer (the
+     table), so every declared-method invocation generates and routes an
+     occurrence even when no rule in the system watches that object.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Notifiable, Reactive, event_method
+from repro.core.ablation import CentralDispatchTable, DynamicReactive
+
+
+class StubObj(Reactive):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    @event_method
+    def bump(self, n=1):
+        self.value += n
+
+    def plain(self):
+        return self.value
+
+
+class DynObj(DynamicReactive):
+    __dynamic_event_interface__ = {"bump": "end"}
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    def bump(self, n=1):
+        self.value += n
+
+    def plain(self):
+        return self.value
+
+
+class NullConsumer(Notifiable):
+    def notify(self, occurrence):
+        pass
+
+
+# ----------------------------------------------------------------------
+# A1: stub vs dynamic interception
+# ----------------------------------------------------------------------
+def test_a1_stub_declared_unsubscribed(benchmark):
+    benchmark.group = "A1 declared method, unsubscribed"
+    benchmark.name = "metaclass-stub"
+    benchmark(StubObj().bump)
+
+
+def test_a1_dynamic_declared_unsubscribed(benchmark):
+    benchmark.group = "A1 declared method, unsubscribed"
+    benchmark.name = "dynamic-interception"
+    benchmark(DynObj().bump)
+
+
+def test_a1_stub_undeclared_method(benchmark):
+    benchmark.group = "A1 undeclared method"
+    benchmark.name = "metaclass-stub"
+    benchmark(StubObj().plain)
+
+
+def test_a1_dynamic_undeclared_method(benchmark):
+    benchmark.group = "A1 undeclared method"
+    benchmark.name = "dynamic-interception"
+    benchmark(DynObj().plain)
+
+
+def test_a1_stub_subscribed(benchmark, sentinel):
+    benchmark.group = "A1 declared method, subscribed"
+    benchmark.name = "metaclass-stub"
+    obj = StubObj()
+    obj.subscribe(NullConsumer())
+    benchmark(obj.bump)
+
+
+def test_a1_dynamic_subscribed(benchmark, sentinel):
+    benchmark.group = "A1 declared method, subscribed"
+    benchmark.name = "dynamic-interception"
+    obj = DynObj()
+    obj.subscribe(NullConsumer())
+    benchmark(obj.bump)
+
+
+def test_a1_shape_interception_taxes_every_access(sentinel):
+    """Dynamic interception is slower even on *undeclared* methods —
+    the cost the metaclass design avoids paying."""
+
+    def timed(fn, repeat=5000):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            fn()
+        return time.perf_counter() - start
+
+    stub, dynamic = StubObj(), DynObj()
+    stub.plain()
+    dynamic.plain()
+    assert timed(dynamic.plain) > timed(stub.plain)
+
+
+# ----------------------------------------------------------------------
+# A2: subscription vs indexed central table
+# ----------------------------------------------------------------------
+def _subscription_population(watched_fraction: float, population: int = 200):
+    objects = [StubObj() for _ in range(population)]
+    consumer = NullConsumer()
+    watched = int(population * watched_fraction)
+    for obj in objects[:watched]:
+        obj.subscribe(consumer)
+    return objects
+
+
+def _central_population(watched_fraction: float, population: int = 200):
+    objects = [StubObj() for _ in range(population)]
+    table = CentralDispatchTable()
+    table.attach_everywhere(objects)
+    consumer = NullConsumer()
+    watched = int(population * watched_fraction)
+    if watched:
+        table.route(consumer, "bump", sources=list(objects[:watched]))
+    return objects, table
+
+
+def _drive(objects):
+    for obj in objects:
+        obj.bump()
+
+
+def test_a2_subscription_sparse(benchmark, sentinel):
+    benchmark.group = "A2 200 updates, 5% of objects watched"
+    benchmark.name = "per-producer subscription"
+    objects = _subscription_population(0.05)
+    benchmark.pedantic(_drive, args=(objects,), rounds=20)
+
+
+def test_a2_central_sparse(benchmark, sentinel):
+    benchmark.group = "A2 200 updates, 5% of objects watched"
+    benchmark.name = "central dispatch table"
+    objects, _table = _central_population(0.05)
+    benchmark.pedantic(_drive, args=(objects,), rounds=20)
+
+
+def test_a2_subscription_full(benchmark, sentinel):
+    benchmark.group = "A2 200 updates, all objects watched"
+    benchmark.name = "per-producer subscription"
+    objects = _subscription_population(1.0)
+    benchmark.pedantic(_drive, args=(objects,), rounds=20)
+
+
+def test_a2_central_full(benchmark, sentinel):
+    benchmark.group = "A2 200 updates, all objects watched"
+    benchmark.name = "central dispatch table"
+    objects, _table = _central_population(1.0)
+    benchmark.pedantic(_drive, args=(objects,), rounds=20)
+
+
+def test_a2_shape_central_routes_everything(sentinel):
+    """With 5% watched, the central table still routes 100% of events."""
+    objects, table = _central_population(0.05)
+    _drive(objects)
+    assert table.routed == len(objects)
+    assert table.delivered == int(len(objects) * 0.05)
+
+    # Subscription generates occurrences only for watched objects:
+    watched = _subscription_population(0.05)
+    generated = sum(1 for obj in watched if obj.has_consumers())
+    assert generated == int(len(watched) * 0.05)

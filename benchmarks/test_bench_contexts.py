@@ -1,0 +1,97 @@
+"""E16 — parameter contexts: semantics and cost on bursty streams.
+
+The four consumption policies differ in how many constituent occurrences
+they retain and how many composites they emit; on bursty streams
+(many initiators per terminator) this changes both output size and cost:
+
+* chronicle emits one composite per matched pair;
+* recent keeps O(1) state;
+* continuous can emit one composite per open window (multiplicative);
+* cumulative folds a whole burst into a single composite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EventModifier,
+    EventOccurrence,
+    ParameterContext,
+    Sequence,
+    Primitive,
+)
+
+BURSTS = 50
+BURST_SIZE = 20
+
+
+def bursty_stream():
+    """BURSTS groups of BURST_SIZE initiators followed by one terminator."""
+    occurrences = []
+    for _burst in range(BURSTS):
+        for _ in range(BURST_SIZE):
+            occurrences.append(
+                EventOccurrence(
+                    class_name="Src", method="tick",
+                    modifier=EventModifier.END,
+                )
+            )
+        occurrences.append(
+            EventOccurrence(
+                class_name="Src", method="flush", modifier=EventModifier.END
+            )
+        )
+    return occurrences
+
+
+def build(context):
+    event = Sequence(
+        Primitive("end Src::tick()"),
+        Primitive("end Src::flush()"),
+        context=context,
+    )
+    signals = []
+
+    class Listener:
+        def on_event(self, ev, occ):
+            signals.append(occ)
+
+    event.add_listener(Listener())
+    return event, signals
+
+
+@pytest.mark.parametrize("context", [c.value for c in ParameterContext])
+def test_context_cost_on_bursty_stream(benchmark, context):
+    benchmark.group = "E16 sequence detection on bursty stream"
+    benchmark.name = context
+    stream = bursty_stream()
+
+    def run():
+        event, _signals = build(context)
+        for occurrence in stream:
+            event.notify(occurrence)
+
+    benchmark.pedantic(run, rounds=5)
+
+
+def test_shape_signal_counts():
+    stream = bursty_stream()
+    counts = {}
+    sizes = {}
+    for context in ParameterContext:
+        event, signals = build(context)
+        for occurrence in stream:
+            event.notify(occurrence)
+        counts[context.value] = len(signals)
+        sizes[context.value] = (
+            max(len(s.constituents) for s in signals) if signals else 0
+        )
+    # One terminator per burst:
+    assert counts["chronicle"] == BURSTS          # one pair per terminator
+    assert counts["recent"] == BURSTS             # latest initiator each time
+    assert counts["continuous"] == BURSTS * BURST_SIZE  # all open windows
+    assert counts["cumulative"] == BURSTS         # one folded composite
+    # Cumulative composites carry the whole burst:
+    assert sizes["cumulative"] == BURST_SIZE + 1
+    assert sizes["chronicle"] == 2

@@ -1,0 +1,84 @@
+"""E13 — coupling modes (§4.4).
+
+Per-transaction cost of the same rule under immediate / deferred /
+decoupled coupling, against a real (on-disk, fsync-off) database.
+
+Expected shape: immediate and deferred cost about the same in total (the
+work moves, it does not shrink); decoupled pays for one extra transaction
+per triggering, but the triggering transaction itself returns sooner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Sentinel
+from repro.workloads import Account
+
+COUPLINGS = ["immediate", "deferred", "decoupled"]
+
+
+@pytest.fixture
+def bank(tmp_path):
+    system = Sentinel(path=str(tmp_path / "db"), adopt_class_rules=False)
+    system.db._wal._sync = False  # measure CPU cost, not fsync latency
+    with system:
+        yield system
+    system.close()
+
+
+def make_workload(system, coupling):
+    account = Account("BENCH", 1_000_000.0)
+    audit_trail = []
+    rule = system.create_rule(
+        f"audit-{coupling}",
+        "end Account::deposit(float amount)",
+        action=lambda ctx: audit_trail.append(ctx.param("amount")),
+        coupling=coupling,
+    )
+    account.subscribe(rule)
+
+    def one_transaction():
+        with system.db.transaction():
+            account.deposit(1.0)
+
+    return one_transaction
+
+
+@pytest.mark.parametrize("coupling", COUPLINGS)
+def test_coupling_mode_cost(benchmark, bank, coupling):
+    benchmark.group = "E13 per-transaction cost by coupling mode"
+    benchmark.name = coupling
+    benchmark.pedantic(make_workload(bank, coupling), rounds=50, iterations=2)
+
+
+def test_shape_execution_points(tmp_path):
+    """Where each mode runs, verified through the scheduler counters."""
+    system = Sentinel(path=str(tmp_path / "db"), adopt_class_rules=False)
+    with system:
+        account = Account("A", 100.0)
+        seen = {"immediate": [], "deferred": [], "decoupled": []}
+        for coupling in COUPLINGS:
+            rule = system.create_rule(
+                f"probe-{coupling}",
+                "end Account::deposit(float amount)",
+                action=lambda ctx, c=coupling: seen[c].append(
+                    system.db.current_transaction is not None
+                    and system.db.current_transaction.id
+                ),
+                coupling=coupling,
+            )
+            account.subscribe(rule)
+        with system.db.transaction() as txn:
+            account.deposit(5.0)
+            triggering_id = txn.id
+            # Immediate already ran, inside the triggering transaction.
+            assert seen["immediate"] == [triggering_id]
+            assert seen["deferred"] == []
+            assert seen["decoupled"] == []
+        # Deferred ran at commit, inside the same transaction.
+        assert seen["deferred"] == [triggering_id]
+        # Decoupled ran after commit, in a different transaction.
+        assert len(seen["decoupled"]) == 1
+        assert seen["decoupled"][0] != triggering_id
+    system.close()

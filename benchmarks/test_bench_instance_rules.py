@@ -1,0 +1,145 @@
+"""E11 — instance-level rules on small subsets (§3.5).
+
+The paper: with subscription, "a rule can now be applied to different
+types of objects in an efficient manner", and work scales with the
+monitored subset, not the class population.  Class-scoped checking (the
+Ode/ADAM shape) pays on *every* instance's updates.
+
+Workload: population N stocks, rule relevant to k of them, uniform
+updates over the whole population.  Sweep k/N.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.adam import AdamSystem
+from repro.core import Rule
+from repro.workloads import make_stocks, uniform_updates
+
+POPULATION = 500
+SUBSETS = [1, 50, 500]
+UPDATES = 1000
+
+
+class AdamStock:
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    def set_price(self, price):
+        self.price = price
+
+
+def sentinel_workload(subset_size: int):
+    stocks = make_stocks(POPULATION)
+    rule = Rule(
+        "subset-watch", "end Stock::set_price(float price)",
+        condition=lambda ctx: False,
+    )
+    for stock in stocks[:subset_size]:
+        stock.subscribe(rule)
+
+    def run():
+        uniform_updates(
+            stocks, UPDATES, lambda obj, rng: obj.set_price(rng.random())
+        )
+
+    return run
+
+
+def adam_workload(subset_size: int):
+    system = AdamSystem()
+    system.register_class(AdamStock)
+    stocks = [AdamStock(f"S{i}", 1.0) for i in range(POPULATION)]
+    rule = system.new_rule(
+        system.new_event("set_price"), "AdamStock",
+        condition=lambda obj, args: False,
+    )
+    # ADAM scopes to instances *negatively*: every non-member is listed.
+    for stock in stocks[subset_size:]:
+        rule.disable_for(stock)
+
+    def run():
+        uniform_updates(
+            stocks,
+            UPDATES,
+            lambda obj, rng: system.invoke(obj, "set_price", rng.random()),
+        )
+
+    return run
+
+
+@pytest.mark.parametrize("subset", SUBSETS)
+def test_sentinel_subset_rule(benchmark, sentinel, subset):
+    benchmark.group = f"E11 rule on {subset}/{POPULATION} instances"
+    benchmark.name = "sentinel-subscribe-subset"
+    benchmark.pedantic(sentinel_workload(subset), rounds=5)
+
+
+@pytest.mark.parametrize("subset", SUBSETS)
+def test_adam_subset_rule(benchmark, subset):
+    benchmark.group = f"E11 rule on {subset}/{POPULATION} instances"
+    benchmark.name = "adam-disabled-for-lists"
+    benchmark.pedantic(adam_workload(subset), rounds=5)
+
+
+def test_sentinel_class_level_full_population(benchmark, sentinel):
+    """When the rule really applies to *all* instances, Sentinel uses a
+    class-level rule (one consumer on the class) rather than N instance
+    subscriptions — this is the fair full-population comparison."""
+    from repro.workloads import Stock
+
+    benchmark.group = f"E11 rule on {POPULATION}/{POPULATION} instances"
+    benchmark.name = "sentinel-class-level-rule"
+    stocks = make_stocks(POPULATION)
+    rule = Rule(
+        "class-watch", "end Stock::set_price(float price)",
+        condition=lambda ctx: False,
+    )
+    Stock._class_consumers.append(rule)
+
+    def run():
+        uniform_updates(
+            stocks, UPDATES, lambda obj, rng: obj.set_price(rng.random())
+        )
+
+    try:
+        benchmark.pedantic(run, rounds=5)
+    finally:
+        Stock._class_consumers.remove(rule)
+
+
+def test_shape_sentinel_work_tracks_subset(sentinel):
+    """Rule checks = updates hitting the subset, not the population."""
+    stocks = make_stocks(POPULATION)
+    rule = Rule(
+        "w", "end Stock::set_price(float price)",
+        condition=lambda ctx: False,
+    )
+    for stock in stocks[:50]:
+        stock.subscribe(rule)
+    uniform_updates(
+        stocks, UPDATES, lambda obj, rng: obj.set_price(rng.random())
+    )
+    # Uniform updates: ~10% of them hit the 50/500 subset.
+    assert rule.times_triggered < UPDATES * 0.25
+    assert rule.times_triggered > 0
+
+
+def test_shape_adam_scans_on_every_update():
+    """The centralized model consults the rule for all 100% of updates."""
+    system = AdamSystem()
+    system.register_class(AdamStock)
+    stocks = [AdamStock(f"S{i}", 1.0) for i in range(POPULATION)]
+    rule = system.new_rule(
+        system.new_event("set_price"), "AdamStock",
+        condition=lambda obj, args: False,
+    )
+    for stock in stocks[50:]:
+        rule.disable_for(stock)
+    uniform_updates(
+        stocks, UPDATES,
+        lambda obj, rng: system.invoke(obj, "set_price", rng.random()),
+    )
+    assert system.stats["rules_scanned"] == 2 * UPDATES  # before+after

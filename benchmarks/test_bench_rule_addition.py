@@ -1,0 +1,111 @@
+"""E10 — adding a rule at runtime (§1 perf issue 1, §3.3/§3.4).
+
+The paper: declaring rules only inside class definitions "entails
+changing the class definition every time rules are added or deleted",
+touching pre-existing instances.  Sentinel creates a first-class rule
+object and subscribes it — independent of how many instances exist.
+
+We sweep the live-instance population and measure the cost of adding one
+rule applicable to the class:
+
+* Sentinel: flat (create Rule object; class-level attach is O(1));
+* Ode model: linear (class redefinition revisits every instance).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.ode import Constraint, OdeSystem
+from repro.core import Rule
+from repro.workloads import Stock
+
+POPULATIONS = [10, 100, 1000]
+_unique = itertools.count()
+
+
+def build_ode(population: int) -> OdeSystem:
+    system = OdeSystem()
+    name = f"stock_e10_{next(_unique)}"
+    system.define_class(
+        name,
+        attributes=("symbol", "price"),
+        methods={"set_price": lambda self, p: setattr(self, "price", p)},
+    )
+    for i in range(population):
+        system.new(name, symbol=f"S{i}", price=1.0)
+    system._bench_class = name  # type: ignore[attr-defined]
+    return system
+
+
+@pytest.mark.parametrize("population", POPULATIONS)
+def test_sentinel_add_rule(benchmark, sentinel, population):
+    stocks = [Stock(f"S{i}", 1.0) for i in range(population)]
+    benchmark.group = f"E10 add one class rule, {population} live instances"
+    benchmark.name = "sentinel-first-class-rule"
+
+    def add_rule():
+        rule = Rule(
+            f"r{next(_unique)}", "end Stock::set_price(float price)",
+            action=lambda ctx: None,
+        )
+        # Class-level attachment: applies to every instance, no per-
+        # instance work.
+        Stock._class_consumers.append(rule)
+        Stock._class_consumers.pop()
+
+    benchmark(add_rule)
+    del stocks
+
+
+@pytest.mark.parametrize("population", POPULATIONS)
+def test_ode_add_rule(benchmark, population):
+    benchmark.group = f"E10 add one class rule, {population} live instances"
+    benchmark.name = "ode-class-redefinition"
+
+    def setup():
+        return (build_ode(population),), {}
+
+    def add_rule(system):
+        system.redefine_class(
+            system._bench_class,
+            add_constraints=[
+                Constraint(f"c{next(_unique)}", lambda o: True)
+            ],
+        )
+
+    benchmark.pedantic(add_rule, setup=setup, rounds=20)
+
+
+def test_shape_ode_cost_tracks_population():
+    """Deterministic shape: redefinition touches every live instance."""
+    small = build_ode(10)
+    big = build_ode(1000)
+    small.redefine_class(
+        small._bench_class, add_constraints=[Constraint("c", lambda o: True)]
+    )
+    big.redefine_class(
+        big._bench_class, add_constraints=[Constraint("c", lambda o: True)]
+    )
+    assert small.stats["recompiled_instances"] == 10
+    assert big.stats["recompiled_instances"] == 1000
+
+
+def test_shape_sentinel_cost_population_independent(sentinel):
+    """Creating and attaching a Sentinel rule does zero per-instance work."""
+    population = [Stock(f"S{i}", 1.0) for i in range(1000)]
+    rule = Rule(
+        "late-arrival", "end Stock::set_price(float price)",
+        action=lambda ctx: None,
+    )
+    # Attaching at class level touches the class object only:
+    Stock._class_consumers.append(rule)
+    try:
+        # Every pre-existing instance is now covered...
+        assert population[0].has_consumers()
+        population[0].set_price(2.0)
+        assert rule.times_triggered == 1
+    finally:
+        Stock._class_consumers.remove(rule)

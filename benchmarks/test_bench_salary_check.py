@@ -1,0 +1,224 @@
+"""E7 — the §5.1 salary-check workload in all three systems.
+
+Identical workload: a payroll of employees + managers, a stream of salary
+updates, and the invariant "employee salary < manager salary" enforced
+by each system's native mechanism (Ode: two constraints; ADAM: two rule
+objects; Sentinel: one rule).  Measures end-to-end update throughput and
+asserts all three enforce the same invariant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.adam import AdamSystem
+from repro.baselines.ode import Constraint, OdeSystem, OdeViolation
+from repro.core import Primitive, Rule
+from repro.workloads import Employee, Manager, make_employees
+
+EMPLOYEES = 50
+UPDATES = 500
+
+
+def salary_stream(seed=21):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(EMPLOYEES), round(rng.uniform(30_000, 120_000), 2))
+        for _ in range(UPDATES)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Sentinel
+# ----------------------------------------------------------------------
+def sentinel_setup():
+    employees, managers = make_employees(EMPLOYEES, managers=5)
+    corrections = []
+
+    def check(ctx):
+        employee = ctx.source
+        manager = getattr(employee, "manager", None)
+        if isinstance(employee, Manager):
+            return any(r.salary >= employee.salary for r in employee.reports)
+        return manager is not None and employee.salary >= manager.salary
+
+    def correct(ctx):
+        employee = ctx.source
+        corrections.append(employee)
+        if isinstance(employee, Manager):
+            employee.salary = max(r.salary for r in employee.reports) + 1.0
+        else:
+            employee.salary = employee.manager.salary - 1.0
+
+    rule = Rule(
+        "SalaryCheck",
+        Primitive("end Employee::set_salary(float salary)")
+        | Primitive("end Manager::set_salary(float salary)"),
+        condition=check,
+        action=correct,
+    )
+    for person in employees + managers:
+        person.subscribe(rule)
+    return employees, managers, corrections
+
+
+def test_sentinel_salary_workload(benchmark, sentinel):
+    benchmark.group = "E7 salary-check workload"
+    benchmark.name = "sentinel (1 rule object)"
+    stream = salary_stream()
+
+    def run():
+        employees, _managers, _corrections = sentinel_setup()
+        for index, salary in stream:
+            employees[index].set_salary(salary)
+
+    benchmark.pedantic(run, rounds=5)
+
+
+# ----------------------------------------------------------------------
+# Ode
+# ----------------------------------------------------------------------
+def ode_setup():
+    system = OdeSystem()
+
+    def set_salary(self, amount):
+        self.salary = amount
+
+    system.define_class(
+        "emp_e7",
+        attributes=("name", "salary", "manager"),
+        methods={"set_salary": set_salary},
+        constraints=[
+            Constraint(
+                "below-mgr",
+                lambda o: o.manager is None or o.salary < o.manager.salary,
+                hard=False,
+                handler=lambda o: setattr(o, "salary", o.manager.salary - 1.0),
+            ),
+        ],
+    )
+    system.define_class(
+        "mgr_e7",
+        attributes=("name", "salary", "manager", "reports"),
+        base="emp_e7",
+        constraints=[
+            Constraint(
+                "above-reports",
+                lambda o: all(r.salary < o.salary for r in o.reports),
+                hard=False,
+                handler=lambda o: setattr(
+                    o, "salary", max(r.salary for r in o.reports) + 1.0
+                ),
+            ),
+        ],
+    )
+    managers = [
+        system.new("mgr_e7", name=f"m{j}", salary=130_000.0, manager=None,
+                   reports=[])
+        for j in range(5)
+    ]
+    employees = []
+    for i in range(EMPLOYEES):
+        manager = managers[i % 5]
+        employee = system.new(
+            "emp_e7", name=f"e{i}", salary=50_000.0, manager=manager
+        )
+        manager.reports.append(employee)
+        employees.append(employee)
+    return system, employees
+
+
+def test_ode_salary_workload(benchmark):
+    benchmark.group = "E7 salary-check workload"
+    benchmark.name = "ode (2 constraints)"
+    stream = salary_stream()
+
+    def run():
+        _system, employees = ode_setup()
+        for index, salary in stream:
+            employees[index].invoke("set_salary", salary)
+
+    benchmark.pedantic(run, rounds=5)
+
+
+# ----------------------------------------------------------------------
+# ADAM
+# ----------------------------------------------------------------------
+class AdamEmployee:
+    def __init__(self, name, salary, manager=None):
+        self.name = name
+        self.salary = salary
+        self.manager = manager
+
+    def set_salary(self, amount):
+        self.salary = amount
+
+
+class AdamManager(AdamEmployee):
+    def __init__(self, name, salary):
+        super().__init__(name, salary)
+        self.reports = []
+
+
+def adam_setup():
+    system = AdamSystem()
+    system.register_class(AdamEmployee)
+    system.register_class(AdamManager)
+    event = system.new_event("set_salary", when="after")
+
+    def employee_check(obj, args):
+        if obj.manager is not None and obj.salary >= obj.manager.salary:
+            obj.salary = obj.manager.salary - 1.0
+
+    def manager_check(obj, args):
+        if any(r.salary >= obj.salary for r in obj.reports):
+            obj.salary = max(r.salary for r in obj.reports) + 1.0
+
+    system.new_rule(event, "AdamEmployee", action=employee_check)
+    system.new_rule(event, "AdamManager", action=manager_check)
+
+    managers = [AdamManager(f"m{j}", 130_000.0) for j in range(5)]
+    employees = []
+    for i in range(EMPLOYEES):
+        manager = managers[i % 5]
+        employee = AdamEmployee(f"e{i}", 50_000.0, manager)
+        manager.reports.append(employee)
+        employees.append(employee)
+    return system, employees
+
+
+def test_adam_salary_workload(benchmark):
+    benchmark.group = "E7 salary-check workload"
+    benchmark.name = "adam (2 rule objects)"
+    stream = salary_stream()
+
+    def run():
+        system, employees = adam_setup()
+        for index, salary in stream:
+            system.invoke(employees[index], "set_salary", salary)
+
+    benchmark.pedantic(run, rounds=5)
+
+
+# ----------------------------------------------------------------------
+# The invariant holds in all three systems
+# ----------------------------------------------------------------------
+def test_shape_same_invariant_everywhere(sentinel):
+    stream = salary_stream()
+
+    employees, managers, _ = sentinel_setup()
+    for index, salary in stream:
+        employees[index].set_salary(salary)
+    assert all(e.salary < e.manager.salary for e in employees)
+
+    _system, ode_employees = ode_setup()
+    for index, salary in stream:
+        ode_employees[index].invoke("set_salary", salary)
+    assert all(e.salary < e.manager.salary for e in ode_employees)
+
+    adam_system, adam_employees = adam_setup()
+    for index, salary in stream:
+        adam_system.invoke(adam_employees[index], "set_salary", salary)
+    assert all(e.salary < e.manager.salary for e in adam_employees)

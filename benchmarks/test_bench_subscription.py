@@ -1,0 +1,120 @@
+"""E8 — subscription-based vs centralized rule checking (§1, §3.5).
+
+The paper's claim: "runtime rule checking overhead is reduced since only
+those rules which have subscribed to a reactive object are checked when
+the reactive object generates events", in contrast to "a centralized
+approach where all rules defined in the system are checked".
+
+We grow the *total* number of rules in the system while keeping the
+number of rules relevant to the updated object constant (one), and
+measure the per-update cost:
+
+* Sentinel: cost stays flat — the update touches only the subscribed rule;
+* ADAM model: cost grows linearly — every event scans the full rule list.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.adam import AdamSystem
+from repro.core import Rule
+from repro.workloads import Stock
+
+RULE_COUNTS = [10, 100, 1000]
+
+
+class AdamStock:
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    def set_price(self, price):
+        self.price = price
+
+
+def build_sentinel(total_rules: int):
+    """One relevant rule subscribed; the rest exist but watch other objects."""
+    watched = Stock("WATCHED", 10.0)
+    relevant = Rule(
+        "relevant", "end Stock::set_price(float price)",
+        action=lambda ctx: None,
+    )
+    watched.subscribe(relevant)
+    others = []
+    for i in range(total_rules - 1):
+        decoy_stock = Stock(f"D{i}", 1.0)
+        decoy_rule = Rule(
+            f"decoy-{i}", "end Stock::set_price(float price)",
+            action=lambda ctx: None,
+        )
+        decoy_stock.subscribe(decoy_rule)
+        others.append((decoy_stock, decoy_rule))
+    return watched, others
+
+
+def build_adam(total_rules: int):
+    system = AdamSystem()
+    system.register_class(AdamStock)
+    watched = AdamStock("WATCHED", 10.0)
+    system.new_rule(
+        system.new_event("set_price"), "AdamStock",
+        condition=lambda obj, args: obj.symbol == "WATCHED",
+        action=lambda obj, args: None,
+    )
+    for i in range(total_rules - 1):
+        # Rules about other methods: matched against on every scan anyway.
+        system.new_rule(system.new_event(f"method_{i}"), "AdamStock")
+    return system, watched
+
+
+@pytest.mark.parametrize("total_rules", RULE_COUNTS)
+def test_sentinel_update_cost(benchmark, sentinel, total_rules):
+    watched, _others = build_sentinel(total_rules)
+    benchmark.group = f"E8 per-update cost, {total_rules} total rules"
+    benchmark.name = "sentinel-subscription"
+    benchmark(watched.set_price, 42.0)
+
+
+@pytest.mark.parametrize("total_rules", RULE_COUNTS)
+def test_adam_update_cost(benchmark, total_rules):
+    system, watched = build_adam(total_rules)
+    benchmark.group = f"E8 per-update cost, {total_rules} total rules"
+    benchmark.name = "adam-centralized"
+    benchmark(system.invoke, watched, "set_price", 42.0)
+
+
+def test_shape_sentinel_flat_adam_linear(sentinel):
+    """The crossover claim, asserted: Sentinel's per-update work does not
+    grow with the system rule count; ADAM's scan count grows linearly."""
+
+    def timed(callable_, *args, repeat=200):
+        start = time.perf_counter()
+        for _ in range(repeat):
+            callable_(*args)
+        return time.perf_counter() - start
+
+    # ADAM's *scans* grow exactly linearly (deterministic counter).
+    small_sys, small_watched = build_adam(10)
+    big_sys, big_watched = build_adam(1000)
+    small_sys.invoke(small_watched, "set_price", 1.0)
+    big_sys.invoke(big_watched, "set_price", 1.0)
+    assert small_sys.stats["rules_scanned"] == 2 * 10
+    assert big_sys.stats["rules_scanned"] == 2 * 1000
+
+    # Sentinel's delivered-consumer count is constant.
+    watched_small, _ = build_sentinel(10)
+    watched_big, _ = build_sentinel(1000)
+    assert len(watched_small._all_consumers()) == 1
+    assert len(watched_big._all_consumers()) == 1
+
+    # And wall-clock: ADAM degrades by a large factor, Sentinel by a
+    # small one (allowing noise).
+    adam_small = timed(small_sys.invoke, small_watched, "set_price", 2.0)
+    adam_big = timed(big_sys.invoke, big_watched, "set_price", 2.0)
+    sentinel_small = timed(watched_small.set_price, 2.0)
+    sentinel_big = timed(watched_big.set_price, 2.0)
+    assert adam_big > adam_small * 5, (adam_small, adam_big)
+    assert sentinel_big < sentinel_small * 3, (sentinel_small, sentinel_big)

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Network management: the paper's third §2.1 domain, at a larger scale.
+
+A monitoring station watches a fleet of routers it did not define and
+cannot modify.  Rules are layered the way a NOC would:
+
+* a **class-level** style rule (via a detector) counting all link flaps,
+* **instance-level** escalation on the two core routers only,
+* a **sequence** event catching flap-then-overload patterns,
+* a **Not** event verifying an operator acknowledged each major alarm
+  before the incident auto-closed,
+* **deferred coupling** batching a health summary at transaction commit.
+
+Run:  python examples/network.py
+"""
+
+from repro import Reactive, Sentinel, event_method
+from repro.core import Any, Not, Primitive, Sequence
+
+
+class Router(Reactive):
+    """A network element. Defined with no knowledge of who monitors it."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self.links_up = 4
+        self.cpu = 10.0
+        self.alarms: list[str] = []
+
+    @event_method
+    def link_down(self, interface: str):
+        self.links_up -= 1
+
+    @event_method
+    def link_up(self, interface: str):
+        self.links_up += 1
+
+    @event_method
+    def cpu_load(self, percent: float):
+        self.cpu = percent
+
+    @event_method
+    def raise_alarm(self, severity: str, text: str):
+        self.alarms = self.alarms + [f"{severity}: {text}"]
+
+    @event_method
+    def ack_alarm(self, operator: str):
+        pass
+
+    @event_method
+    def close_incident(self):
+        self.alarms = []
+
+
+class Noc(Reactive):
+    """The network operations console (also reactive: it can be audited)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tickets: list[str] = []
+        self.pages: list[str] = []
+        self.audit_findings: list[str] = []
+
+    @event_method
+    def open_ticket(self, text: str):
+        self.tickets = self.tickets + [text]
+
+    @event_method
+    def page_oncall(self, text: str):
+        self.pages = self.pages + [text]
+
+
+def main() -> None:
+    with Sentinel() as sentinel:
+        fleet = [Router(f"r{i:02d}") for i in range(12)]
+        core_a, core_b = fleet[0], fleet[1]
+        noc = Noc()
+
+        # 1. Fleet-wide flap counting: one rule, subscribed everywhere.
+        flap_counts: dict[str, int] = {}
+        flap_watch = sentinel.monitor(
+            fleet,
+            on="end Router::link_down(str interface)",
+            action=lambda ctx: flap_counts.__setitem__(
+                ctx.source.name, flap_counts.get(ctx.source.name, 0) + 1
+            ),
+            name="FlapCounter",
+        )
+
+        # 2. Core-only escalation: instance-level, different threshold.
+        sentinel.monitor(
+            [core_a, core_b],
+            on="end Router::link_down(str interface)",
+            action=lambda ctx: noc.page_oncall(
+                f"core router {ctx.source.name} lost {ctx.param('interface')}"
+            ),
+            name="CoreEscalation",
+            priority=10,
+        )
+
+        # 3. Flap-then-overload: a sequence spanning two event kinds.
+        flap = Primitive("end Router::link_down(str interface)")
+        overload = Primitive("end Router::cpu_load(float percent)")
+        congestion = Sequence(flap, overload, name="congestion")
+        sentinel.monitor(
+            fleet,
+            on=congestion,
+            condition=lambda ctx: ctx.param("percent") > 90,
+            action=lambda ctx: noc.open_ticket(
+                f"congestion pattern on {ctx.source.name}"
+            ),
+            name="CongestionPattern",
+        )
+
+        # 4. Unacknowledged major alarms: Not(ack, alarm, close).
+        alarm = Primitive("end Router::raise_alarm(str severity, str text)")
+        ack = Primitive("end Router::ack_alarm(str operator)")
+        closed = Primitive("end Router::close_incident()")
+        unacked = Not(ack, alarm, closed, name="unacked-major")
+        sentinel.monitor(
+            fleet,
+            on=unacked,
+            action=lambda ctx: noc.open_ticket(
+                f"incident on {ctx.source.name} closed without ack"
+            ),
+            name="ComplianceCheck",
+        )
+
+        # --- a day in the NOC -----------------------------------------
+        fleet[5].link_down("ge-0/0/1")      # edge flap: counted only
+        core_a.link_down("xe-1/0/0")        # core flap: counted + paged
+        core_a.cpu_load(95.0)               # ...followed by overload
+        fleet[7].raise_alarm("major", "fan failure")
+        fleet[7].close_incident()           # closed without ack!
+        fleet[8].raise_alarm("major", "psu failure")
+        fleet[8].ack_alarm("alice")
+        fleet[8].close_incident()           # properly acknowledged
+
+        print("flap counts:       ", flap_counts)
+        print("on-call pages:     ", noc.pages)
+        print("tickets:           ", noc.tickets)
+        assert flap_counts == {"r05": 1, "r00": 1}
+        assert noc.pages == ["core router r00 lost xe-1/0/0"]
+        assert noc.tickets == [
+            "congestion pattern on r00",
+            "incident on r07 closed without ack",
+        ]
+
+        # 5. Rules on rules: audit every page the NOC sends.
+        meta = sentinel.create_rule(
+            "PageAudit",
+            "end Noc::page_oncall(str text)",
+            action=lambda ctx: noc.audit_findings.append(ctx.param("text")),
+        )
+        noc.subscribe(meta)
+        core_b.link_down("xe-0/0/3")
+        assert noc.audit_findings == ["core router r01 lost xe-0/0/3"]
+        print("audited pages:     ", noc.audit_findings)
+
+        print("\nscheduler stats:", sentinel.stats())
+        assert flap_watch.times_fired == 3
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Patient monitoring: the paper's §2.1 scenario, with extended operators.
+
+"When a patient class is defined (and instances are created), it is not
+known who may be interested in monitoring that patient; depending upon
+the diagnosis, additional groups or physicians may have to track the
+patient's progress."
+
+This example builds exactly that: patients exist first; physicians start
+(and stop) monitoring them dynamically.  It also exercises the extended
+event algebra — Any (m-of-n vitals anomalies), Not (medication missed
+between rounds), Aperiodic (every fever reading during an episode) — and
+the periodic operator under a manual clock.
+
+Run:  python examples/patients.py
+"""
+
+from repro import ManualClock, Primitive, Sentinel
+from repro.core import Any, Aperiodic, Not, Periodic, set_clock
+from repro.workloads import Patient, Physician
+
+
+def main() -> None:
+    clock = ManualClock(start=0.0)
+    previous = set_clock(clock)
+    try:
+        with Sentinel() as sentinel:
+            vitals_demo(sentinel)
+            rounds_demo(sentinel, clock)
+    finally:
+        set_clock(previous)
+
+
+def vitals_demo(sentinel: Sentinel) -> None:
+    print("— dynamic monitoring with m-of-n and windowed events —")
+    ward = [Patient(f"patient-{i}") for i in range(4)]
+    house = Physician("Dr. House")
+
+    # Any(2, fever, tachycardia): two distinct anomalies => escalate.
+    fever = Primitive("end Patient::record_temperature(float celsius)")
+    fever.name = "temp-reading"
+    tachy = Primitive("end Patient::record_heart_rate(int bpm)")
+
+    def anomalous(ctx) -> bool:
+        params = ctx.params
+        return params.get("celsius", 0) > 38.5 or params.get("bpm", 0) > 120
+
+    escalate = sentinel.create_rule(
+        "Escalate",
+        event=Any(2, fever, tachy, name="two-anomalies"),
+        condition=anomalous,
+        action=lambda ctx: house.alert(
+            f"escalate {ctx.source.name}: {dict(ctx.params)}"
+        ),
+    )
+
+    # Dr. House picks up only patients 0 and 2 — instance-level monitoring,
+    # nothing about the Patient class changes.
+    escalate.subscribe_to(ward[0], ward[2])
+
+    ward[0].record_temperature(39.2)
+    ward[0].record_heart_rate(130)          # two anomalies -> alert
+    ward[1].record_temperature(40.0)        # unmonitored -> silence
+    ward[1].record_heart_rate(150)
+    print(f"  alerts after round one: {len(house.alerts)} (expected 1)")
+    assert len(house.alerts) == 1
+
+    # Aperiodic: every fever reading during an open episode.
+    episode_open = Primitive("end Patient::diagnose(str condition)")
+    episode_close = Primitive("end Patient::prescribe(str medication)")
+    during = Aperiodic(fever, episode_open, episode_close, name="fever-during-episode")
+    readings = []
+    tracker = sentinel.create_rule(
+        "EpisodeTracker",
+        event=during,
+        action=lambda ctx: readings.append(ctx.param("celsius")),
+    )
+    tracker.subscribe_to(ward[2])
+    ward[2].record_temperature(38.0)        # before any episode: ignored
+    ward[2].diagnose("pneumonia")           # window opens
+    ward[2].record_temperature(38.9)
+    ward[2].record_temperature(39.4)
+    ward[2].prescribe("antibiotics")        # window closes
+    ward[2].record_temperature(39.9)        # after close: ignored
+    print(f"  fever readings inside the episode: {readings} (expected 2)")
+    assert readings == [38.9, 39.4]
+
+
+def rounds_demo(sentinel: Sentinel, clock: ManualClock) -> None:
+    print("— Not + Periodic under a controllable clock —")
+    patient = Patient("patient-9")
+    nurse = Physician("Nurse Chapel")
+
+    diagnose = Primitive("end Patient::diagnose(str condition)")
+    medicate = Primitive("end Patient::prescribe(str medication)")
+    temperature = Primitive("end Patient::record_temperature(float celsius)")
+
+    # Not(medicate, diagnose, temperature): a diagnosis followed by a
+    # temperature round with NO medication in between -> missed dose.
+    missed = sentinel.create_rule(
+        "MissedDose",
+        event=Not(medicate, diagnose, temperature, name="missed-dose"),
+        action=lambda ctx: nurse.alert(f"missed dose for {patient.name}"),
+    )
+    missed.subscribe_to(patient)
+
+    patient.diagnose("infection")
+    patient.prescribe("penicillin")      # dose given
+    patient.record_temperature(37.5)     # round: dose was given, no alert
+    patient.diagnose("infection-relapse")
+    patient.record_temperature(38.1)     # round: NO dose since diagnosis
+    print(f"  nurse alerts: {len(nurse.alerts)} (expected 1)")
+    assert len(nurse.alerts) == 1
+
+    # Periodic: check vitals every 4 hours while an episode is open.
+    admit = Primitive("end Patient::diagnose(str condition)")
+    discharge = Primitive("end Patient::prescribe(str medication)")
+    every_4h = Periodic(admit, 4 * 3600.0, discharge, name="vitals-timer")
+    ticks = []
+    timer = sentinel.create_rule(
+        "VitalsTimer",
+        event=every_4h,
+        action=lambda ctx: ticks.append(ctx.param("tick")),
+    )
+    timer.subscribe_to(patient)
+    detector = sentinel.detector
+    detector.register(every_4h)
+
+    patient.diagnose("observation")      # open the window at t=now
+    clock.advance(9 * 3600.0)            # 9 hours pass -> two 4h ticks due
+    detector.tick()
+    print(f"  periodic ticks after 9h: {ticks} (expected [1, 2])")
+    assert ticks == [1, 2]
+    patient.prescribe("all-clear")       # closes the window
+    clock.advance(24 * 3600.0)
+    detector.tick()
+    assert ticks == [1, 2]
+    print("  window closed: no further ticks")
+
+
+if __name__ == "__main__":
+    main()

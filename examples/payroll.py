@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Payroll: class-level rules, rule inheritance, and the abort action.
+
+Two scenarios from the paper:
+
+1. **Fig 9** — the Marriage rule, declared *inside* the class definition
+   (``__rules__``), applicable to every Person instance, aborting the
+   triggering transaction when the condition holds.
+2. **§5.1** — the Salary-check rule: an employee's salary must stay below
+   the manager's.  In Ode this takes two complementary constraints; in
+   ADAM two rule objects; in Sentinel a single rule monitoring events
+   from both classes.
+
+Run:  python examples/payroll.py
+"""
+
+from repro import (
+    Reactive,
+    Sentinel,
+    TransactionAborted,
+    class_rule,
+    event_method,
+)
+from repro.workloads import Employee, Manager
+
+
+class Person(Reactive):
+    """Fig 9, translated: the rule lives in the class definition."""
+
+    def __init__(self, name: str, sex: str) -> None:
+        super().__init__()
+        self.name = name
+        self.sex = sex
+        self.spouse = None
+
+    @event_method(before=True)
+    def marry(self, spouse: "Person") -> None:
+        self.spouse = spouse
+        spouse.spouse = self
+
+    __rules__ = [
+        class_rule(
+            "Marriage",
+            on="begin marry(spouse)",          # enclosing class implied
+            condition="self.sex == spouse.sex",
+            action="abort",                    # the paper's A : abort
+            coupling="immediate",
+        ),
+    ]
+
+
+def marriage_demo(sentinel: Sentinel) -> None:
+    print("— Fig 9: the Marriage class-level rule —")
+    db = sentinel.db
+    assert db is not None
+
+    with db.transaction():
+        alice = Person("Alice", "F")
+        bob = Person("Bob", "M")
+        carol = Person("Carol", "F")
+        for person in (alice, bob, carol):
+            db.add(person)
+        db.set_root("alice", alice)
+
+    with db.transaction():
+        alice.marry(bob)
+    print(f"  Alice married {alice.spouse.name} — committed")
+
+    try:
+        with db.transaction():
+            carol.marry(alice)  # would also clobber Alice's spouse...
+    except TransactionAborted as exc:
+        print(f"  Carol + Alice: transaction aborted ({exc})")
+    # The abort rolled everything back, including Alice's spouse pointer.
+    assert alice.spouse is bob and carol.spouse is None
+
+
+def salary_check_demo(sentinel: Sentinel) -> None:
+    print("— §5.1: one Salary-check rule spanning two classes —")
+    mike = Manager("Mike", salary=90_000.0)
+    fred = Employee("Fred", salary=50_000.0)
+    mike.add_report(fred)
+
+    violations = []
+
+    def check(ctx) -> bool:
+        return fred.salary >= mike.salary
+
+    def report(ctx) -> None:
+        violations.append((fred.salary, mike.salary))
+        fred.salary = mike.salary - 1.0  # corrective action
+
+    salary_check = sentinel.monitor(
+        [fred, mike],
+        on=(
+            "end Employee::set_salary(float salary) or "
+            "end Manager::set_salary(float salary)"
+        ),
+        condition=check,
+        action=report,
+        name="SalaryCheck",
+    )
+
+    fred.set_salary(70_000.0)      # fine
+    assert not violations
+    fred.set_salary(95_000.0)      # exceeds Mike -> corrected
+    assert violations and fred.salary == 89_999.0
+    mike.set_salary(85_000.0)      # drops below Fred -> corrected again
+    assert fred.salary == 84_999.0
+    print(f"  corrected {len(violations)} violations; "
+          f"fred={fred.salary:,.0f} mike={mike.salary:,.0f}")
+    print(f"  one rule object, fired {salary_check.times_fired} times "
+          "(Ode would need two constraints, ADAM two rule objects)")
+
+
+def main() -> None:
+    import shutil
+    import tempfile
+
+    db_dir = tempfile.mkdtemp(prefix="sentinel-payroll-")
+    try:
+        with Sentinel(path=db_dir) as sentinel:
+            marriage_demo(sentinel)
+            salary_check_demo(sentinel)
+            print("\nscheduler stats:", sentinel.stats())
+            sentinel.close()
+    finally:
+        shutil.rmtree(db_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Portfolio management: the paper's §2 motivating example.
+
+    RULE Purchase:
+      WHEN IBM!SetPrice And DowJones!SetValue
+      IF   IBM!GetPrice < $80 and DowJones!Change < 3.4%
+      THEN Parker!PurchaseIBMStock
+
+Three classes — Stock, FinancialInfo, Portfolio — are defined with no
+knowledge of each other.  The Purchase rule is defined independently of
+all three, is triggered by a *conjunction of events spanning two objects
+of different classes*, and makes a third object act.  None of the class
+definitions change when the rule is added.
+
+Run:  python examples/portfolio.py
+"""
+
+from repro import Sentinel
+from repro.workloads import FinancialInfo, Portfolio, Stock
+
+
+def main() -> None:
+    with Sentinel() as sentinel:
+        ibm = Stock("IBM", price=95.0)
+        dow_jones = FinancialInfo("DowJones", value=10_000.0)
+        parker = Portfolio("Parker", cash=50_000.0)
+
+        purchase = sentinel.monitor(
+            [ibm, dow_jones],
+            on=(
+                "end Stock::set_price(float price) and "
+                "end FinancialInfo::set_value(float value)"
+            ),
+            condition=lambda ctx: ibm.price < 80.0 and dow_jones.change < 3.4,
+            action=lambda ctx: parker.purchase("IBM", 100, ibm.price),
+            name="Purchase",
+        )
+
+        print("day 1: IBM stays high — no purchase")
+        ibm.set_price(92.0)
+        dow_jones.set_value(10_050.0)
+        assert parker.holdings.get("IBM", 0) == 0
+
+        print("day 2: IBM drops below $80 and the Dow is calm — buy!")
+        ibm.set_price(78.5)
+        dow_jones.set_value(10_080.0)
+        assert parker.holdings["IBM"] == 100
+        print(
+            f"  Parker now holds {parker.holdings['IBM']} IBM shares, "
+            f"cash ${parker.cash:,.2f}"
+        )
+
+        print("day 3: IBM cheap but the market spikes >3.4% — hold")
+        ibm.set_price(75.0)
+        dow_jones.set_value(10_500.0)  # +4.2% change
+        assert parker.holdings["IBM"] == 100
+
+        # A second portfolio starts watching the same objects at runtime;
+        # IBM's class is untouched (the external monitoring viewpoint).
+        conservative = Portfolio("Quinn", cash=20_000.0)
+        sentinel.monitor(
+            [ibm],
+            on="end Stock::set_price(float price)",
+            condition=lambda ctx: ctx.param("price") < 70.0,
+            action=lambda ctx: conservative.purchase("IBM", 10, ibm.price),
+            name="QuinnBargainHunt",
+        )
+        print("day 4: deep discount brings in the second watcher")
+        ibm.set_price(65.0)
+        dow_jones.set_value(10_520.0)
+        assert conservative.holdings["IBM"] == 10
+        assert parker.holdings["IBM"] == 200  # Purchase rule fired again
+
+        print("\nPurchase rule fired", purchase.times_fired, "times")
+        print("scheduler stats:", sentinel.stats())
+
+
+if __name__ == "__main__":
+    main()

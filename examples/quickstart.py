@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's IncomeLevel rule (Fig 10), end to end.
+
+A specific employee, Fred, and his manager, Mike, must always have the
+same yearly income.  The rule is *instance-level* — it applies to exactly
+these two objects, which belong to *different classes* — and is created
+at runtime, long after the classes were defined.  This is the external
+monitoring viewpoint in one screen.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Conjunction, Disjunction, Primitive, Rule, Sentinel
+from repro.workloads import Employee, Manager
+
+
+def main() -> None:
+    with Sentinel() as sentinel:
+        # Two pre-existing objects of different classes.
+        fred = Employee("Fred", salary=50_000.0)
+        mike = Manager("Mike", salary=60_000.0)
+
+        # Fig 10, line for line:
+        #   Event* emp  = new Primitive("end Employee::Change-Income(float amount)");
+        #   Event* mang = new Primitive("end Manager::Change-Income(float amount)");
+        #   Event* equal = new Disjunction(emp, mang);
+        emp = Primitive("end Employee::Change-Income(float amount)")
+        mang = Primitive("end Manager::Change-Income(float amount)")
+        equal = Disjunction(emp, mang, name="equal")
+
+        #   Rule IncomeLevel (equal, CheckEqual(), MakeEqual());
+        def check_equal(ctx) -> bool:
+            return fred.salary != mike.salary
+
+        def make_equal(ctx) -> None:
+            amount = ctx.param("amount")
+            print(f"  [rule] equalizing incomes at {amount:,.0f}")
+            # Plain attribute writes: no events, no re-trigger loop.
+            fred.salary = amount
+            mike.salary = amount
+
+        income_level = sentinel.create_rule(
+            "IncomeLevel", event=equal, condition=check_equal, action=make_equal
+        )
+
+        #   Fred.Subscribe(IncomeLevel);  Mike.Subscribe(IncomeLevel);
+        fred.subscribe(income_level)
+        mike.subscribe(income_level)
+
+        print(f"before: fred={fred.salary:,.0f} mike={mike.salary:,.0f}")
+        fred.change_income(70_000.0)
+        print(f"after fred's raise: fred={fred.salary:,.0f} mike={mike.salary:,.0f}")
+        assert fred.salary == mike.salary == 70_000.0
+
+        mike.change_income(90_000.0)
+        print(f"after mike's raise: fred={fred.salary:,.0f} mike={mike.salary:,.0f}")
+        assert fred.salary == mike.salary == 90_000.0
+
+        # Rules are first-class: disable and the monitoring stops.
+        income_level.disable()
+        fred.change_income(10_000.0)
+        print(f"rule disabled:      fred={fred.salary:,.0f} mike={mike.salary:,.0f}")
+        assert fred.salary == 10_000.0 and mike.salary == 90_000.0
+
+        print("\nscheduler stats:", sentinel.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""A trading-day simulation: the full system under sustained load.
+
+Drives ~3,500 market events through a Sentinel system in virtual time:
+
+* 40 stocks ticking through a seeded random walk,
+* a market index recomputed every simulated minute (Periodic),
+* a volatility rule on a cumulative-context sequence (burst folding),
+* circuit breakers as instance-level rules on the 5 "blue chip" stocks,
+* a risk-paging rule combining breaker state with an index drop,
+* scheduler tracing bounded to the last 50 executions.
+
+Everything runs under a ManualClock, so the "day" takes milliseconds and
+is perfectly reproducible.
+
+Run:  python examples/simulation.py
+"""
+
+import random
+
+from repro import ManualClock, Primitive, Sentinel, Sequence
+from repro.core import ParameterContext, Periodic, set_clock
+from repro.workloads import FinancialInfo, Stock
+
+TRADING_MINUTES = 390          # one NYSE day
+TICKS_PER_MINUTE = 8
+SEED = 1993
+
+
+def main() -> None:
+    clock = ManualClock(start=9.5 * 3600)   # 09:30
+    previous = set_clock(clock)
+    try:
+        run_day(clock)
+    finally:
+        set_clock(previous)
+
+
+def run_day(clock: ManualClock) -> None:
+    rng = random.Random(SEED)
+    with Sentinel(adopt_class_rules=False) as sentinel:
+        sentinel.scheduler.enable_tracing(limit=50)
+
+        stocks = [Stock(f"T{i:03d}", rng.uniform(20, 400)) for i in range(40)]
+        blue_chips = stocks[:5]
+        index = FinancialInfo("INDEX", 10_000.0)
+
+        halted: set[str] = set()
+        pages: list[str] = []
+        vol_alerts: list[int] = []
+
+        # 1. Circuit breakers: instance-level rules on blue chips only.
+        open_prices = {s.symbol: s.price for s in stocks}
+        sentinel.monitor(
+            blue_chips,
+            on="end Stock::set_price(float price)",
+            condition=lambda ctx: (
+                ctx.source.symbol not in halted
+                and abs(ctx.param("price") - open_prices[ctx.source.symbol])
+                / open_prices[ctx.source.symbol]
+                > 0.07
+            ),
+            action=lambda ctx: halted.add(ctx.source.symbol),
+            name="CircuitBreaker",
+            priority=10,
+        )
+
+        # 2. Volatility: each minute's ticks folded into one cumulative
+        #    composite by the CUMULATIVE parameter context.
+        tick = Primitive("end Stock::set_price(float price)")
+        minute_close = Primitive("end FinancialInfo::set_value(float v)")
+        burst = Sequence(
+            tick, minute_close,
+            name="minute-burst", context=ParameterContext.CUMULATIVE,
+        )
+
+        def burst_volatility(ctx) -> bool:
+            prices = [
+                c.params["price"]
+                for c in ctx.occurrence.constituents
+                if "price" in c.params
+            ]
+            if len(prices) < 6:
+                return False
+            mean = sum(prices) / len(prices)
+            spread = max(prices) - min(prices)
+            return spread / mean > 1.5   # high cross-market dispersion
+
+        vol_rule = sentinel.create_rule(
+            "VolatilityWatch", event=burst,
+            condition=burst_volatility,
+            action=lambda ctx: vol_alerts.append(
+                len(ctx.occurrence.constituents)
+            ),
+        )
+        for stock in stocks:
+            stock.subscribe(vol_rule)
+        index.subscribe(vol_rule)
+
+        # 3. Risk paging: any blue-chip halt AND a 2% index drop.
+        index_open = index.value
+        sentinel.monitor(
+            [index],
+            on="end FinancialInfo::set_value(float v)",
+            condition=lambda ctx: (
+                halted and (index_open - index.value) / index_open > 0.02
+            ),
+            action=lambda ctx: pages.append(
+                f"halts={sorted(halted)} index={index.value:,.0f}"
+            ),
+            name="RiskPager",
+        )
+
+        # 4. Periodic heartbeat: one tick per simulated minute.
+        opening_bell = Primitive("explicit FinancialInfo::opening_bell")
+        closing_bell = Primitive("explicit FinancialInfo::closing_bell")
+        heartbeat = Periodic(opening_bell, 60.0, closing_bell)
+        sentinel.detector.register(heartbeat)
+        index.subscribe(sentinel.detector)  # feed the detector's graphs
+        heartbeats = []
+        sentinel.create_rule(
+            "Heartbeat", event=heartbeat,
+            action=lambda ctx: heartbeats.append(ctx.param("tick")),
+        )
+        index.raise_event("opening_bell")   # one window for the whole day
+
+        # --- the trading day ------------------------------------------
+        events = 0
+        for minute in range(TRADING_MINUTES):
+            for _ in range(TICKS_PER_MINUTE):
+                stock = rng.choice(stocks)
+                drift = rng.gauss(0, 0.02)
+                if minute == 200 and stock in blue_chips:
+                    drift -= 0.10        # midday shock on a blue chip
+                stock.set_price(max(1.0, stock.price * (1 + drift)))
+                events += 1
+            # Recompute the index from a sample (crude but deterministic).
+            level = sum(s.price for s in stocks) / len(stocks) * 50
+            if minute == 205:
+                level *= 0.97            # index follows the shock down
+            index.set_value(level)
+            events += 1
+            clock.advance(60.0)
+            sentinel.detector.tick()
+
+        print(f"processed {events:,} market events over {TRADING_MINUTES} minutes")
+        print(f"circuit breakers tripped: {sorted(halted)}")
+        print(f"risk pages: {len(pages)} (first: {pages[0] if pages else '-'})")
+        print(f"volatility alerts: {len(vol_alerts)}")
+        print(f"heartbeat ticks: {len(heartbeats)}")
+        stats = sentinel.stats()
+        print(f"rules triggered {stats['triggered']:,}, fired {stats['fired']:,}")
+        print("last traced executions:")
+        for entry in sentinel.scheduler.trace()[-3:]:
+            print(f"  {entry}")
+
+        assert events == TRADING_MINUTES * (TICKS_PER_MINUTE + 1)
+        assert halted, "the midday shock must trip at least one breaker"
+        assert pages, "the risk desk must have been paged"
+        assert len(heartbeats) == TRADING_MINUTES
+        assert vol_alerts, "dispersion alerts expected on this seed"
+        assert stats["triggered"] > 2 * TRADING_MINUTES  # bursts + heartbeats + pagers
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this legacy
+path; metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Sentinel: ECA rule support for object-oriented databases "
+        "(reproduction of Anwar, Maugis & Chakravarthy, 1993)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

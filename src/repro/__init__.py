@@ -1,0 +1,90 @@
+"""Sentinel: rule support for object-oriented databases.
+
+A full reproduction of E. Anwar, L. Maugis & S. Chakravarthy,
+*"A New Perspective on Rule Support for Object-Oriented Databases"*
+(University of Florida, 1993): an active OODB with an event interface,
+first-class events and ECA rules, runtime subscription, and the external
+monitoring viewpoint — plus the object-database substrate it runs on and
+models of the two systems it is compared against (Ode, ADAM).
+
+Quick start::
+
+    from repro import Sentinel, Reactive, event_method
+
+    class Stock(Reactive):
+        def __init__(self, symbol, price):
+            super().__init__()
+            self.symbol = symbol
+            self.price = price
+
+        @event_method            # end-of-method event generator
+        def set_price(self, price):
+            self.price = price
+
+    with Sentinel() as sentinel:
+        ibm = Stock("IBM", 120.0)
+        sentinel.monitor(
+            [ibm],
+            on="end Stock::set_price(float price)",
+            condition=lambda ctx: ctx.param("price") < 80,
+            action=lambda ctx: print("time to buy", ctx.source.symbol),
+        )
+        ibm.set_price(75.0)      # -> time to buy IBM
+"""
+
+from .core import (
+    Conjunction,
+    Coupling,
+    Disjunction,
+    Event,
+    EventDetector,
+    EventOccurrence,
+    ManualClock,
+    Notifiable,
+    ParameterContext,
+    Primitive,
+    Reactive,
+    Rule,
+    RuleContext,
+    RuleScheduler,
+    Sentinel,
+    Sequence,
+    class_rule,
+    event_method,
+    monitor,
+    parse_event,
+    parse_rule,
+)
+from .oodb import Database, ObjectNotFound, Oid, Persistent, TransactionAborted
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Sentinel",
+    "Reactive",
+    "Notifiable",
+    "event_method",
+    "class_rule",
+    "monitor",
+    "Rule",
+    "RuleContext",
+    "RuleScheduler",
+    "Coupling",
+    "Event",
+    "Primitive",
+    "Conjunction",
+    "Disjunction",
+    "Sequence",
+    "EventDetector",
+    "EventOccurrence",
+    "ParameterContext",
+    "ManualClock",
+    "parse_event",
+    "parse_rule",
+    "Database",
+    "Persistent",
+    "Oid",
+    "TransactionAborted",
+    "ObjectNotFound",
+]

@@ -1,0 +1,24 @@
+"""Models of the systems the paper compares against (§5–§7).
+
+* :mod:`repro.baselines.ode` — Ode [GJ91, GJS92]: constraints and
+  triggers declared only at class-definition time, scoped to one class.
+* :mod:`repro.baselines.adam` — ADAM [DPG91]: events and rules as
+  objects, but checked through a centralized rule manager.
+
+These are semantic models, not reimplementations: they reproduce the
+*rule models* of the two systems over our substrate so the paper's
+qualitative comparison (and its cost arguments) can be measured.
+"""
+
+from .adam import AdamSystem, DbEvent, IntegrityRule
+from .ode import OdeClassDefinition, OdeObject, OdeSystem, OdeViolation
+
+__all__ = [
+    "OdeSystem",
+    "OdeClassDefinition",
+    "OdeObject",
+    "OdeViolation",
+    "AdamSystem",
+    "DbEvent",
+    "IntegrityRule",
+]

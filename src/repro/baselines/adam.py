@@ -1,0 +1,203 @@
+"""A model of ADAM's rule support [DPG91] (paper §5.1, §6, Figs 12–13).
+
+ADAM (a PROLOG OODB from Aberdeen) treats events and rules as objects —
+the property the paper adopts — but checks them through a **centralized
+rule manager**: when a method executes, the system scans the rules in the
+class's rule set and evaluates each whose event matches.  Key modelled
+properties:
+
+* ``db-event`` objects: ``active-method`` + ``when`` (before/after),
+  shared across classes by name (Fig 12);
+* ``integrity-rule`` objects with ``event``, ``active-class``,
+  ``is-it-enabled``, ``disabled-for`` (per-instance exception list),
+  ``condition``, ``action`` (Fig 13);
+* **rule inheritance**: rules attached to a class apply to subclasses;
+* **centralized checking**: the per-event cost grows with the number of
+  rules attached to the class family — and since "making a rule apply to
+  a small number of instances is cumbersome", instance scoping is done
+  negatively via ``disabled-for`` lists that every check consults
+  (benchmarks E8/E11);
+* **no cross-class composite events**: a rule has exactly one
+  active-class, so the paper's IncomeLevel rule needs two rule objects.
+
+The model runs over plain Python classes registered as *active classes*;
+method execution is routed through :meth:`AdamSystem.invoke`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["AdamSystem", "DbEvent", "IntegrityRule", "AdamError"]
+
+
+class AdamError(Exception):
+    """Misuse of the ADAM model (unknown class, bad event...)."""
+
+
+@dataclass(frozen=True, slots=True)
+class DbEvent:
+    """An ADAM ``db-event``: a method name plus when it is detected."""
+
+    active_method: str
+    when: str = "after"  # "before" | "after"
+
+    def __post_init__(self) -> None:
+        if self.when not in ("before", "after"):
+            raise AdamError(f"when must be 'before' or 'after', not {self.when!r}")
+
+
+@dataclass(slots=True)
+class IntegrityRule:
+    """An ADAM ``integrity-rule`` object (Fig 13)."""
+
+    event: DbEvent
+    active_class: str
+    condition: Callable[[Any, dict[str, Any]], bool] | None = None
+    action: Callable[[Any, dict[str, Any]], None] | None = None
+    enabled: bool = True
+    disabled_for: list[int] = field(default_factory=list)
+    name: str = ""
+    _ids = itertools.count(1)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"integrity-rule-{next(IntegrityRule._ids)}"
+
+    def is_enabled_for(self, obj: Any) -> bool:
+        return self.enabled and id(obj) not in self.disabled_for
+
+    def disable_for(self, obj: Any) -> None:
+        """Negative instance scoping: exclude one instance."""
+        if id(obj) not in self.disabled_for:
+            self.disabled_for.append(id(obj))
+
+    def enable_for(self, obj: Any) -> None:
+        if id(obj) in self.disabled_for:
+            self.disabled_for.remove(id(obj))
+
+
+class AdamSystem:
+    """The centralized ADAM rule manager."""
+
+    def __init__(self) -> None:
+        self._active_classes: dict[str, type] = {}
+        self._superclasses: dict[str, set[str]] = {}
+        self._rules: list[IntegrityRule] = []
+        self.stats: dict[str, int] = {
+            "method_calls": 0,
+            "rules_scanned": 0,
+            "rules_matched": 0,
+            "conditions_evaluated": 0,
+            "actions_executed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def register_class(self, cls: type, name: str | None = None) -> None:
+        """Declare ``cls`` active; its method executions raise events."""
+        class_name = name or cls.__name__
+        self._active_classes[class_name] = cls
+        supers = {
+            base.__name__
+            for base in cls.__mro__[1:]
+            if base.__name__ in self._active_classes
+        }
+        self._superclasses[class_name] = supers
+        # Already-registered subclasses may gain this as a superclass.
+        for other_name, other_cls in self._active_classes.items():
+            if other_cls is not cls and issubclass(other_cls, cls):
+                self._superclasses[other_name].add(class_name)
+
+    def class_family(self, class_name: str) -> set[str]:
+        """The class plus its registered superclasses (rule inheritance)."""
+        return {class_name} | self._superclasses.get(class_name, set())
+
+    # ------------------------------------------------------------------
+    # Rules (created at runtime — ADAM's strength)
+    # ------------------------------------------------------------------
+    def new_event(self, active_method: str, when: str = "after") -> DbEvent:
+        return DbEvent(active_method=active_method, when=when)
+
+    def new_rule(
+        self,
+        event: DbEvent,
+        active_class: str,
+        condition: Callable | None = None,
+        action: Callable | None = None,
+        name: str = "",
+        enabled: bool = True,
+    ) -> IntegrityRule:
+        if active_class not in self._active_classes:
+            raise AdamError(f"{active_class!r} is not a registered active class")
+        rule = IntegrityRule(
+            event=event,
+            active_class=active_class,
+            condition=condition,
+            action=action,
+            enabled=enabled,
+            name=name,
+        )
+        self._rules.append(rule)
+        return rule
+
+    def delete_rule(self, rule: IntegrityRule) -> None:
+        self._rules.remove(rule)
+
+    def rules(self) -> list[IntegrityRule]:
+        return list(self._rules)
+
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # The centralized dispatch path
+    # ------------------------------------------------------------------
+    def invoke(self, obj: Any, method_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Execute ``obj.method_name(...)`` with before/after rule checks.
+
+        This is the cost model the paper contrasts with subscription:
+        every invocation scans the full rule list (matching by event and
+        active-class family), so per-call work is Θ(total rules) — see
+        benchmark E8.
+        """
+        class_name = type(obj).__name__
+        if class_name not in self._active_classes:
+            raise AdamError(f"{class_name!r} is not a registered active class")
+        self.stats["method_calls"] += 1
+        current_args = {"args": args, "kwargs": kwargs, "result": None}
+        self._check(obj, class_name, method_name, "before", current_args)
+        result = getattr(obj, method_name)(*args, **kwargs)
+        current_args["result"] = result
+        self._check(obj, class_name, method_name, "after", current_args)
+        return result
+
+    def _check(
+        self,
+        obj: Any,
+        class_name: str,
+        method_name: str,
+        when: str,
+        current_args: dict[str, Any],
+    ) -> None:
+        family = self.class_family(class_name)
+        for rule in self._rules:
+            self.stats["rules_scanned"] += 1
+            event = rule.event
+            if event.active_method != method_name or event.when != when:
+                continue
+            if rule.active_class not in family:
+                continue
+            if not rule.is_enabled_for(obj):
+                continue
+            self.stats["rules_matched"] += 1
+            if rule.condition is not None:
+                self.stats["conditions_evaluated"] += 1
+                if not rule.condition(obj, current_args):
+                    continue
+            if rule.action is not None:
+                self.stats["actions_executed"] += 1
+                rule.action(obj, current_args)

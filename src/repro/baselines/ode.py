@@ -1,0 +1,293 @@
+"""A model of Ode's rule support [GJ91, GJS92] (paper §5.1, §6, Fig 11).
+
+Ode attaches *constraints* and *triggers* to a class **at class-definition
+time only**:
+
+* **hard constraints** — checked after every public method; a violation
+  undoes the operation (models Ode's abort),
+* **soft constraints** — a violation runs a corrective handler instead,
+* **triggers** — ``once`` or ``perpetual``; activated per instance, they
+  run an action when their condition holds after a method.
+
+The properties the paper criticizes are reproduced deliberately:
+
+1. rules can only be declared with the class — adding one later means
+   *redefining the class*, which revisits every live instance
+   (:meth:`OdeSystem.redefine_class`; benchmark E10 measures this);
+2. a rule sees only its own class — cross-class rules must be written
+   twice (Fig 11's complementary constraint pair);
+3. constraints/triggers are not objects: no identity, no persistence, no
+   runtime composition;
+4. every method call on every instance checks every constraint of the
+   class, whether or not anyone cares about that instance (benchmark E11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "OdeViolation",
+    "Constraint",
+    "Trigger",
+    "OdeClassDefinition",
+    "OdeObject",
+    "OdeSystem",
+]
+
+
+class OdeViolation(Exception):
+    """A hard constraint was violated; the offending update was undone."""
+
+
+Predicate = Callable[[Any], bool]
+Handler = Callable[[Any], None]
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """An Ode constraint: a predicate every instance must satisfy."""
+
+    name: str
+    predicate: Predicate
+    hard: bool = True
+    handler: Handler | None = None
+
+    def __post_init__(self) -> None:
+        if not self.hard and self.handler is None:
+            raise ValueError(
+                f"soft constraint {self.name!r} needs a corrective handler"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Trigger:
+    """An Ode trigger: condition → action, once or perpetual."""
+
+    name: str
+    condition: Predicate
+    action: Handler
+    perpetual: bool = True
+
+
+@dataclass(slots=True)
+class OdeClassDefinition:
+    """The compile-time definition of an Ode class."""
+
+    name: str
+    attributes: tuple[str, ...]
+    methods: dict[str, Callable] = field(default_factory=dict)
+    constraints: list[Constraint] = field(default_factory=list)
+    triggers: list[Trigger] = field(default_factory=list)
+    base: "OdeClassDefinition | None" = None
+
+    def all_constraints(self) -> list[Constraint]:
+        inherited = self.base.all_constraints() if self.base else []
+        return inherited + list(self.constraints)
+
+    def all_triggers(self) -> list[Trigger]:
+        inherited = self.base.all_triggers() if self.base else []
+        return inherited + list(self.triggers)
+
+    def all_methods(self) -> dict[str, Callable]:
+        methods = dict(self.base.all_methods()) if self.base else {}
+        methods.update(self.methods)
+        return methods
+
+    def is_subclass_of(self, other: "OdeClassDefinition") -> bool:
+        definition: OdeClassDefinition | None = self
+        while definition is not None:
+            if definition is other:
+                return True
+            definition = definition.base
+        return False
+
+
+class OdeObject:
+    """An instance of an Ode class.
+
+    Method calls go through :meth:`invoke`, which runs the method, then
+    checks every constraint of the class and evaluates the activated
+    triggers — Ode's post-method rule checking.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, definition: OdeClassDefinition, system: "OdeSystem", **attrs: Any):
+        self.definition = definition
+        self.system = system
+        self.id = next(OdeObject._ids)
+        for attribute in definition.attributes:
+            setattr(self, attribute, attrs.get(attribute))
+        self._active_triggers: dict[str, bool] = {}
+        self._fired_once: set[str] = set()
+        system._register(self)
+
+    # ------------------------------------------------------------------
+    # Trigger activation (Ode activates triggers per instance, at runtime)
+    # ------------------------------------------------------------------
+    def activate_trigger(self, name: str) -> None:
+        if not any(t.name == name for t in self.definition.all_triggers()):
+            raise KeyError(
+                f"class {self.definition.name} has no trigger {name!r}"
+            )
+        self._active_triggers[name] = True
+
+    def deactivate_trigger(self, name: str) -> None:
+        self._active_triggers[name] = False
+
+    # ------------------------------------------------------------------
+    # Method invocation with post-checking
+    # ------------------------------------------------------------------
+    def invoke(self, method_name: str, *args: Any, **kwargs: Any) -> Any:
+        methods = self.definition.all_methods()
+        try:
+            method = methods[method_name]
+        except KeyError:
+            raise AttributeError(
+                f"class {self.definition.name} has no method {method_name!r}"
+            ) from None
+        snapshot = self._snapshot()
+        result = method(self, *args, **kwargs)
+        self.system.stats["method_calls"] += 1
+        self._check_constraints(snapshot)
+        self._run_triggers()
+        return result
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {a: getattr(self, a) for a in self.definition.attributes}
+
+    def _restore(self, snapshot: dict[str, Any]) -> None:
+        for attribute, value in snapshot.items():
+            setattr(self, attribute, value)
+
+    def _check_constraints(self, snapshot: dict[str, Any]) -> None:
+        for constraint in self.definition.all_constraints():
+            self.system.stats["constraint_checks"] += 1
+            if constraint.predicate(self):
+                continue
+            if constraint.hard:
+                self._restore(snapshot)
+                self.system.stats["hard_violations"] += 1
+                raise OdeViolation(
+                    f"hard constraint {constraint.name!r} violated on "
+                    f"{self.definition.name}#{self.id}"
+                )
+            self.system.stats["soft_corrections"] += 1
+            assert constraint.handler is not None
+            constraint.handler(self)
+
+    def _run_triggers(self) -> None:
+        for trigger in self.definition.all_triggers():
+            if not self._active_triggers.get(trigger.name):
+                continue
+            self.system.stats["trigger_checks"] += 1
+            if not trigger.condition(self):
+                continue
+            if not trigger.perpetual:
+                if trigger.name in self._fired_once:
+                    continue
+                self._fired_once.add(trigger.name)
+                self._active_triggers[trigger.name] = False
+            self.system.stats["trigger_firings"] += 1
+            trigger.action(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OdeObject {self.definition.name}#{self.id}>"
+
+
+class OdeSystem:
+    """The Ode database: class definitions plus their live instances."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, OdeClassDefinition] = {}
+        self._instances: dict[str, list[OdeObject]] = {}
+        self.stats: dict[str, int] = {
+            "method_calls": 0,
+            "constraint_checks": 0,
+            "hard_violations": 0,
+            "soft_corrections": 0,
+            "trigger_checks": 0,
+            "trigger_firings": 0,
+            "recompiled_instances": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Schema definition (rules included — that is the point)
+    # ------------------------------------------------------------------
+    def define_class(
+        self,
+        name: str,
+        attributes: tuple[str, ...],
+        methods: dict[str, Callable] | None = None,
+        constraints: list[Constraint] | None = None,
+        triggers: list[Trigger] | None = None,
+        base: str | None = None,
+    ) -> OdeClassDefinition:
+        if name in self._classes:
+            raise ValueError(f"class {name!r} already defined; use redefine_class")
+        definition = OdeClassDefinition(
+            name=name,
+            attributes=attributes,
+            methods=methods or {},
+            constraints=constraints or [],
+            triggers=triggers or [],
+            base=self._classes[base] if base else None,
+        )
+        self._classes[name] = definition
+        self._instances.setdefault(name, [])
+        return definition
+
+    def new(self, class_name: str, **attrs: Any) -> OdeObject:
+        return OdeObject(self._classes[class_name], self, **attrs)
+
+    def _register(self, obj: OdeObject) -> None:
+        self._instances.setdefault(obj.definition.name, []).append(obj)
+
+    def class_of(self, name: str) -> OdeClassDefinition:
+        return self._classes[name]
+
+    def instances_of(self, class_name: str) -> list[OdeObject]:
+        return list(self._instances.get(class_name, ()))
+
+    # ------------------------------------------------------------------
+    # The expensive operation the paper criticizes: adding a rule later
+    # ------------------------------------------------------------------
+    def redefine_class(
+        self,
+        name: str,
+        add_constraints: list[Constraint] | None = None,
+        add_triggers: list[Trigger] | None = None,
+    ) -> OdeClassDefinition:
+        """Add rules to an existing class — the "recompile" path.
+
+        Every live instance must be revisited (re-validated against the
+        new constraints and rebound to the new definition), which is what
+        makes rule addition O(population) in this model — the cost
+        Sentinel's first-class runtime rules avoid (benchmark E10).
+        """
+        old = self._classes[name]
+        definition = OdeClassDefinition(
+            name=old.name,
+            attributes=old.attributes,
+            methods=dict(old.methods),
+            constraints=old.all_constraints() + list(add_constraints or []),
+            triggers=old.all_triggers() + list(add_triggers or []),
+            base=old.base,
+        )
+        self._classes[name] = definition
+        for instance in self._instances.get(name, ()):
+            instance.definition = definition
+            self.stats["recompiled_instances"] += 1
+            for constraint in add_constraints or []:
+                if not constraint.predicate(instance):
+                    if constraint.hard:
+                        raise OdeViolation(
+                            f"existing instance {instance!r} violates new "
+                            f"constraint {constraint.name!r}"
+                        )
+                    assert constraint.handler is not None
+                    constraint.handler(instance)
+        return definition

@@ -1,0 +1,131 @@
+"""``repro.core`` — Sentinel: reactive capability for an OODB.
+
+The paper's contribution: reactive objects with an event interface,
+notifiable consumers, first-class events (primitive + composite) and
+rules, runtime subscription, class-level and instance-level rules, and
+the external monitoring viewpoint.
+"""
+
+from .class_rules import ClassRuleDeclaration, class_rule, class_rules_of
+from .clock import Clock, ManualClock, SystemClock, get_clock, set_clock
+from .coupling import Coupling
+from .dsl import (
+    CompiledAction,
+    CompiledCondition,
+    DslError,
+    compile_action,
+    compile_condition,
+    parse_event,
+    parse_rule,
+)
+from .events import (
+    Any,
+    Aperiodic,
+    AperiodicStar,
+    At,
+    Conjunction,
+    Disjunction,
+    Event,
+    EventDetector,
+    EventError,
+    EventSignature,
+    Not,
+    ParameterContext,
+    Periodic,
+    Plus,
+    Primitive,
+    Sequence,
+    SignatureError,
+)
+from .interface import EventSpec, ReactiveMeta, event_generators, event_method
+from .monitor import monitor, unmonitor
+from .notifiable import Notifiable
+from .occurrence import (
+    CompositeOccurrence,
+    EventModifier,
+    EventOccurrence,
+    Occurrence,
+)
+from .reactive import Reactive, subscribe_all
+from .registry import EventRegistry, RuleRegistry, default_events, default_registry
+from .rules import Rule, RuleContext, RuleError
+from .scheduler import (
+    CascadeError,
+    RuleScheduler,
+    SchedulerStats,
+    TraceEntry,
+    by_priority,
+    fifo,
+)
+from .txn_events import TransactionMonitor
+from .system import Sentinel
+
+__all__ = [
+    "Sentinel",
+    # objects
+    "Reactive",
+    "Notifiable",
+    "ReactiveMeta",
+    "event_method",
+    "event_generators",
+    "EventSpec",
+    "subscribe_all",
+    # occurrences
+    "Occurrence",
+    "EventOccurrence",
+    "CompositeOccurrence",
+    "EventModifier",
+    # events
+    "Event",
+    "EventError",
+    "EventSignature",
+    "SignatureError",
+    "Primitive",
+    "Conjunction",
+    "Disjunction",
+    "Sequence",
+    "Any",
+    "Not",
+    "Aperiodic",
+    "AperiodicStar",
+    "Periodic",
+    "Plus",
+    "At",
+    "ParameterContext",
+    "EventDetector",
+    # rules
+    "Rule",
+    "RuleContext",
+    "RuleError",
+    "Coupling",
+    "RuleScheduler",
+    "SchedulerStats",
+    "CascadeError",
+    "TraceEntry",
+    "TransactionMonitor",
+    "by_priority",
+    "fifo",
+    "class_rule",
+    "class_rules_of",
+    "ClassRuleDeclaration",
+    "monitor",
+    "unmonitor",
+    "RuleRegistry",
+    "EventRegistry",
+    "default_registry",
+    "default_events",
+    # DSL
+    "parse_event",
+    "parse_rule",
+    "compile_condition",
+    "compile_action",
+    "CompiledCondition",
+    "CompiledAction",
+    "DslError",
+    # time
+    "Clock",
+    "SystemClock",
+    "ManualClock",
+    "get_clock",
+    "set_clock",
+]

@@ -1,0 +1,174 @@
+"""Ablation implementations of rejected design alternatives.
+
+DESIGN.md calls out two implementation choices behind Sentinel's event
+interface; this module implements the road *not* taken so the benchmarks
+can quantify the decision:
+
+1. **Metaclass-generated stubs vs. dynamic interception**
+   (:class:`DynamicReactive`) — instead of wrapping event-generator
+   methods once at class-creation time, intercept every attribute access
+   with ``__getattribute__`` and wrap on the fly.  Functionally
+   equivalent; pays the interception tax on *every* attribute access of
+   the object, monitored or not.
+
+2. **Per-producer consumer lists vs. a global dispatch table**
+   (:class:`CentralDispatchTable`) — instead of each reactive object
+   holding its subscribers, a system-wide table maps
+   ``(modifier, method)`` to interested consumers, and every reactive
+   object forwards every event to the table.  With an index the lookup
+   is O(matching consumers), but *every* event of *every* object must be
+   generated and routed (no per-object fast path), and instance-level
+   scoping needs explicit source filters.
+
+Both are complete enough to run the paper's examples; neither is used by
+the main library.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from .interface import EventSpec
+from .notifiable import Notifiable
+from .occurrence import EventModifier, EventOccurrence
+from .reactive import Reactive
+
+__all__ = ["DynamicReactive", "CentralDispatchTable"]
+
+
+class DynamicReactive(Reactive):
+    """Event generation by per-access interception (ablation #1).
+
+    Subclasses declare ``__dynamic_event_interface__`` — a mapping from
+    method name to an :class:`EventSpec` or spec string — and every call
+    of a declared method raises bom/eom events, exactly like the stub
+    implementation.  The difference is *where* the check happens: here,
+    on every attribute access.
+    """
+
+    __dynamic_event_interface__: dict[str, Any] = {}
+
+    def __getattribute__(self, name: str) -> Any:
+        value = object.__getattribute__(self, name)
+        if name.startswith("_"):
+            return value
+        interface = type(self).__dynamic_event_interface__
+        spec = interface.get(name)
+        if spec is None or not callable(value):
+            return value
+        if isinstance(spec, str):
+            spec = EventSpec.parse(spec)
+        return _intercepted(self, name, value, spec)
+
+
+def _intercepted(
+    instance: DynamicReactive,
+    method_name: str,
+    bound: Callable[..., Any],
+    spec: EventSpec,
+) -> Callable[..., Any]:
+    def call(*args: Any, **kwargs: Any) -> Any:
+        if not instance.has_consumers():
+            return bound(*args, **kwargs)
+        params = _bind(bound, args, kwargs)
+        if spec.before:
+            instance.notify_consumers(
+                instance._make_occurrence(
+                    method_name, EventModifier.BEGIN, args, kwargs, params, None
+                )
+            )
+        result = bound(*args, **kwargs)
+        if spec.after:
+            instance.notify_consumers(
+                instance._make_occurrence(
+                    method_name, EventModifier.END, args, kwargs, params, result
+                )
+            )
+        return result
+
+    return call
+
+
+def _bind(bound: Callable[..., Any], args: tuple, kwargs: dict) -> dict[str, Any]:
+    import inspect
+
+    try:
+        signature = inspect.signature(bound)
+        arguments = dict(signature.bind(*args, **kwargs).arguments)
+    except (TypeError, ValueError):
+        return {}
+    arguments.pop("self", None)
+    return arguments
+
+
+class CentralDispatchTable(Notifiable):
+    """A system-wide event router (ablation #2).
+
+    Consumers *route* on primitive-event shapes; producers all subscribe
+    the single table.  Lookup is indexed by ``(modifier, lowercase
+    method)``, so per-event cost is O(consumers interested in that
+    method), not O(all consumers) — the best case for a centralized
+    design.  What it cannot recover is the per-object fast path: every
+    reactive object has a consumer (the table), so every declared method
+    invocation generates and routes an occurrence even when no rule in
+    the system cares about that object.
+    """
+
+    _p_transient = Notifiable._p_transient + ("_routes",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        object.__setattr__(self, "_routes", defaultdict(list))
+        self.routed = 0
+        self.delivered = 0
+
+    def _route_map(self) -> dict:
+        routes = getattr(self, "_routes", None)
+        if routes is None:
+            routes = defaultdict(list)
+            object.__setattr__(self, "_routes", routes)
+        return routes
+
+    # ------------------------------------------------------------------
+    # Routing registration
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        consumer: Notifiable,
+        method: str,
+        modifier: EventModifier = EventModifier.END,
+        sources: list[Any] | None = None,
+    ) -> None:
+        """Deliver matching occurrences to ``consumer``.
+
+        ``sources`` optionally restricts delivery to specific instances —
+        the centralized design's replacement for per-object subscription.
+        """
+        key = (modifier, method.lower())
+        self._route_map()[key].append((consumer, sources))
+
+    def unroute(self, consumer: Notifiable, method: str,
+                modifier: EventModifier = EventModifier.END) -> None:
+        key = (modifier, method.lower())
+        bucket = self._route_map().get(key, [])
+        bucket[:] = [(c, s) for c, s in bucket if c is not consumer]
+
+    def attach_everywhere(self, objects: list[Reactive]) -> None:
+        """Subscribe this table to every producer (the global pattern)."""
+        for obj in objects:
+            obj.subscribe(self)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+    def notify(self, occurrence: EventOccurrence) -> None:  # type: ignore[override]
+        self.routed += 1
+        key = (occurrence.modifier, occurrence.method.lower())
+        for consumer, sources in self._route_map().get(key, ()):
+            if sources is not None and not any(
+                occurrence.source is obj for obj in sources
+            ):
+                continue
+            self.delivered += 1
+            consumer.notify(occurrence)

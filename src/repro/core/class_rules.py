@@ -1,0 +1,153 @@
+"""Class-level rules (§3.5, §4.7, Fig 9).
+
+Class-level rules "model the behavior of a particular class [and] are
+declared within the class definition itself".  A reactive class lists
+declarations in its ``__rules__``; the metaclass turns each into a live
+:class:`~repro.core.rules.Rule` object registered as a *class consumer*,
+so it hears every instance of the class — and of its subclasses (rule
+inheritance) — without any per-instance subscription::
+
+    class Person(Reactive):
+        @event_method(before=True)
+        def marry(self, spouse): ...
+
+        __rules__ = [
+            class_rule(
+                "Marriage",
+                on="begin marry(spouse)",          # class implied
+                condition="self.sex == spouse.sex",
+                action="abort",
+                coupling="immediate",
+            ),
+        ]
+
+Even though they are declared inside the class, the materialized rules
+are ordinary first-class rule objects (footnote 2 of the paper): they can
+be enabled/disabled, reprioritized, fetched from the registry, persisted,
+and monitored by other rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .coupling import Coupling
+from .events.base import Event
+
+__all__ = ["ClassRuleDeclaration", "class_rule", "materialize_class_rules", "class_rules_of"]
+
+
+@dataclass(slots=True)
+class ClassRuleDeclaration:
+    """One entry of a class's ``__rules__`` list (pre-materialization)."""
+
+    name: str | None
+    on: "str | Event | Callable[[type], Event]"
+    condition: Any = None
+    action: Any = None
+    coupling: "Coupling | str" = Coupling.IMMEDIATE
+    priority: int = 0
+    enabled: bool = True
+    description: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def class_rule(
+    name: str | None = None,
+    *,
+    on: "str | Event | Callable[[type], Event]",
+    condition: Any = None,
+    action: Any = None,
+    coupling: "Coupling | str" = Coupling.IMMEDIATE,
+    priority: int = 0,
+    enabled: bool = True,
+    description: str = "",
+) -> ClassRuleDeclaration:
+    """Declare a class-level rule inside a class body.
+
+    ``on`` is an event expression (bare signatures are qualified with the
+    enclosing class), an :class:`Event`, or a callable receiving the class
+    and returning an Event.  ``condition``/``action`` are callables taking
+    a rule context, or DSL source strings.
+    """
+    return ClassRuleDeclaration(
+        name=name,
+        on=on,
+        condition=condition,
+        action=action,
+        coupling=coupling,
+        priority=priority,
+        enabled=enabled,
+        description=description,
+    )
+
+
+def materialize_class_rules(cls: type, declarations: list) -> None:
+    """Turn declarations into Rule objects wired as class consumers.
+
+    Called by :class:`~repro.core.interface.ReactiveMeta` during class
+    creation.  Imports are local because this module sits below the rule
+    machinery in the import graph.
+    """
+    from .dsl import compile_action, compile_condition, parse_event
+    from .registry import default_registry
+    from .rules import Rule
+
+    class_name = cls._p_class_name  # type: ignore[attr-defined]
+    materialized: dict[str, Rule] = {}
+    for declaration in declarations:
+        if not isinstance(declaration, ClassRuleDeclaration):
+            raise TypeError(
+                f"__rules__ of {class_name} must contain class_rule(...) "
+                f"declarations, got {type(declaration).__name__}"
+            )
+        spec = declaration.on
+        if isinstance(spec, Event):
+            event = spec
+        elif isinstance(spec, str):
+            event = parse_event(spec, default_class=class_name)
+        elif callable(spec):
+            event = spec(cls)
+            if not isinstance(event, Event):
+                raise TypeError(
+                    f"event factory of rule {declaration.name!r} returned "
+                    f"{type(event).__name__}, not an Event"
+                )
+        else:
+            raise TypeError(
+                f"bad event specification {spec!r} in rule "
+                f"{declaration.name!r}"
+            )
+
+        condition = declaration.condition
+        if isinstance(condition, str):
+            condition = compile_condition(condition)
+        action = declaration.action
+        if isinstance(action, str):
+            action = compile_action(action)
+
+        rule = Rule(
+            name=declaration.name or f"{class_name}_rule_{len(materialized)}",
+            event=event,
+            condition=condition,
+            action=action,
+            coupling=declaration.coupling,
+            priority=declaration.priority,
+            enabled=declaration.enabled,
+            description=declaration.description
+            or f"class-level rule of {class_name}",
+        )
+        cls._class_consumers.append(rule)  # type: ignore[attr-defined]
+        materialized[rule.name] = rule
+        default_registry().add(rule, scope=class_name)
+    cls._class_rules = materialized  # type: ignore[attr-defined]
+
+
+def class_rules_of(cls: type, include_inherited: bool = True) -> dict[str, Any]:
+    """The class-level rules applicable to instances of ``cls``."""
+    result: dict[str, Any] = {}
+    classes = reversed(cls.__mro__) if include_inherited else (cls,)
+    for klass in classes:
+        result.update(getattr(klass, "__dict__", {}).get("_class_rules", {}))
+    return result

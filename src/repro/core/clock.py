@@ -1,0 +1,72 @@
+"""Time sources for event timestamps and temporal events.
+
+Every event occurrence carries a timestamp (the paper's event message is
+``Oid + Class + Method + Actual parameters + Time stamp``).  Tests and the
+temporal operators (Periodic, Plus) need a controllable clock, so the time
+source is pluggable: :class:`SystemClock` for real time,
+:class:`ManualClock` for deterministic tests and simulations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "SystemClock", "ManualClock", "get_clock", "set_clock"]
+
+
+class Clock:
+    """Abstract time source."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        """Current time in seconds (monotonic within a run)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to — for tests and simulations."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward and return the new value."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            if value < self._now:
+                raise ValueError("time cannot move backwards")
+            self._now = value
+
+
+_current: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-wide clock used for occurrence timestamps."""
+    return _current
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install ``clock`` as the current time source; returns the old one."""
+    global _current
+    previous = _current
+    _current = clock
+    return previous

@@ -1,0 +1,46 @@
+"""Coupling modes (§4.4).
+
+The coupling mode of a rule decides *when*, relative to the triggering
+transaction, the rule's condition/action pair executes:
+
+``IMMEDIATE``
+    Inline, at the point the event is signalled, inside the triggering
+    transaction (the paper's Fig 9 ``M: Immediate``).  An ``abort`` action
+    cancels the triggering transaction on the spot.
+
+``DEFERRED``
+    Queued, and executed at the *end* of the triggering transaction, just
+    before commit — still inside the transaction, so aborts and updates
+    take effect within it.
+
+``DECOUPLED``
+    Executed after the triggering transaction commits, in a separate
+    transaction of its own.  Failures or aborts of the decoupled rule do
+    not disturb the (already committed) triggering transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Coupling"]
+
+
+class Coupling(enum.Enum):
+    """When a rule runs relative to its triggering transaction (§4.4)."""
+
+    IMMEDIATE = "immediate"
+    DEFERRED = "deferred"
+    DECOUPLED = "decoupled"
+
+    @classmethod
+    def parse(cls, value: "str | Coupling") -> "Coupling":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown coupling mode {value!r}; expected one of "
+                f"{[c.value for c in cls]}"
+            ) from None

@@ -1,0 +1,372 @@
+"""Textual rule and event specifications.
+
+The paper writes events and rules as text (Figs 9–10)::
+
+    E: Event* equal = new Disjunction (emp, mang);
+    R : Marriage;  E : begin Person::Marry (Person* spouse);
+    C : if sex == spouse.sex   A : abort   M: Immediate
+
+This module provides the equivalent surface:
+
+**Event expressions** — signatures composed with operators::
+
+    parse_event("end Employee::change_income(float amount) "
+                "or end Manager::change_income(float amount)")
+
+    operators:  and/&  (conjunction)   or/|  (disjunction)
+                then/; (sequence)      parentheses group
+    precedence: and  binds tighter than  or  binds tighter than  then
+
+**Rule specifications** — the paper's R/E/C/A/M block::
+
+    RULE Marriage
+    ON   begin Person::marry(spouse)
+    IF   self.sex == spouse.sex
+    DO   abort()
+    MODE immediate
+
+    (R:/E:/C:/A:/M:/P: line prefixes are accepted as synonyms.)
+
+Conditions and actions are Python expressions/suites compiled once and
+evaluated against the rule context: ``self`` (the triggering object),
+``ctx``, ``occurrence``, ``result``, ``abort``, and every event parameter
+by name.  Because the *source text* is stored on the rule, DSL rules
+persist and reload — unlike rules whose conditions are lambdas.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..oodb.schema import Persistent
+from .coupling import Coupling
+from .events.base import Event
+from .events.operators import Conjunction, Disjunction, Sequence
+from .events.primitive import Primitive
+from .events.signature import SignatureError
+from .rules import Rule, RuleContext
+
+__all__ = [
+    "DslError",
+    "parse_event",
+    "CompiledCondition",
+    "CompiledAction",
+    "compile_condition",
+    "compile_action",
+    "parse_rule",
+]
+
+
+class DslError(ValueError):
+    """The specification text does not parse."""
+
+
+# ----------------------------------------------------------------------
+# Event expressions
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<signature>(?:begin|end|before|after|explicit)\s+[A-Za-z_][\w\-]*
+        (?:\s*::\s*[A-Za-z_][\w\-]*)?
+        (?:\s*\([^)]*\))?)
+  | (?P<and>\band\b|&&?)
+  | (?P<or>\bor\b|\|\|?)
+  | (?P<seq>\bthen\b|;|>>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DslError(
+                f"cannot tokenize event expression at: {text[position:]!r}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _EventParser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[tuple[str, str]], default_class: str | None):
+        self._tokens = tokens
+        self._pos = 0
+        self._default_class = default_class
+
+    def parse(self) -> Event:
+        event = self._sequence()
+        if self._pos != len(self._tokens):
+            kind, text = self._tokens[self._pos]
+            raise DslError(f"unexpected {text!r} after event expression")
+        return event
+
+    def _sequence(self) -> Event:
+        left = self._disjunction()
+        while self._accept("seq"):
+            right = self._disjunction()
+            left = Sequence(left, right)
+        return left
+
+    def _disjunction(self) -> Event:
+        parts = [self._conjunction()]
+        while self._accept("or"):
+            parts.append(self._conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return Disjunction(*parts)
+
+    def _conjunction(self) -> Event:
+        parts = [self._atom()]
+        while self._accept("and"):
+            parts.append(self._atom())
+        if len(parts) == 1:
+            return parts[0]
+        return Conjunction(*parts)
+
+    def _atom(self) -> Event:
+        if self._accept("lparen"):
+            inner = self._sequence()
+            if not self._accept("rparen"):
+                raise DslError("missing ')' in event expression")
+            return inner
+        kind, text = self._peek()
+        if kind == "signature":
+            self._pos += 1
+            return self._primitive(text)
+        raise DslError(
+            f"expected an event signature or '(', got {text!r}"
+            if kind
+            else "unexpected end of event expression"
+        )
+
+    def _primitive(self, text: str) -> Primitive:
+        if "::" not in text:
+            if self._default_class is None:
+                raise DslError(
+                    f"signature {text!r} names no class and no default "
+                    "class is in scope"
+                )
+            modifier, _, rest = text.strip().partition(" ")
+            text = f"{modifier} {self._default_class}::{rest.strip()}"
+        try:
+            return Primitive(text)
+        except SignatureError as exc:
+            raise DslError(str(exc)) from exc
+
+    def _peek(self) -> tuple[str | None, str]:
+        if self._pos >= len(self._tokens):
+            return None, ""
+        return self._tokens[self._pos]
+
+    def _accept(self, kind: str) -> bool:
+        if self._pos < len(self._tokens) and self._tokens[self._pos][0] == kind:
+            self._pos += 1
+            return True
+        return False
+
+
+def parse_event(text: str, default_class: str | None = None) -> Event:
+    """Parse an event expression into an Event tree.
+
+    ``default_class`` qualifies bare signatures (``begin marry(spouse)``)
+    — used by class-level rules, where the enclosing class is implied.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise DslError("empty event expression")
+    return _EventParser(tokens, default_class).parse()
+
+
+# ----------------------------------------------------------------------
+# Conditions and actions
+# ----------------------------------------------------------------------
+
+def _build_env(ctx: RuleContext) -> dict[str, Any]:
+    env: dict[str, Any] = dict(ctx.params)
+    env["ctx"] = ctx
+    env["self"] = ctx.source
+    env["occurrence"] = ctx.occurrence
+    env["result"] = ctx.result
+    env["sources"] = ctx.sources
+    env["abort"] = ctx.abort
+    env["rule"] = ctx.rule
+    return env
+
+
+class CompiledCondition(Persistent):
+    """A rule condition compiled from expression source.
+
+    Persistent: the *source text* is stored, the code object is transient
+    and recompiled lazily after a reload — this is how DSL rules survive
+    a database round-trip while lambda-based rules cannot.
+    """
+
+    _p_transient = ("_code",)
+
+    def __init__(self, source: str) -> None:
+        super().__init__()
+        self.source = source.strip()
+        self._check()
+
+    def _check(self) -> None:
+        try:
+            compile(self.source, "<rule condition>", "eval")
+        except SyntaxError as exc:
+            raise DslError(f"bad condition {self.source!r}: {exc}") from exc
+
+    def _compiled(self):
+        code = getattr(self, "_code", None)
+        if code is None:
+            code = compile(self.source, "<rule condition>", "eval")
+            object.__setattr__(self, "_code", code)
+        return code
+
+    def __call__(self, ctx: RuleContext) -> bool:
+        return bool(eval(self._compiled(), _build_env(ctx)))  # noqa: S307
+
+    def __repr__(self) -> str:
+        return f"<condition {self.source!r}>"
+
+
+class CompiledAction(Persistent):
+    """A rule action compiled from statement source (see CompiledCondition)."""
+
+    _p_transient = ("_code",)
+
+    def __init__(self, source: str) -> None:
+        super().__init__()
+        body = source.strip()
+        if body.lower() == "abort":  # the paper's Fig 9 writes "A : abort"
+            body = "abort()"
+        self.source = body
+        self._check()
+
+    def _check(self) -> None:
+        try:
+            compile(self.source, "<rule action>", "exec")
+        except SyntaxError as exc:
+            raise DslError(f"bad action {self.source!r}: {exc}") from exc
+
+    def _compiled(self):
+        code = getattr(self, "_code", None)
+        if code is None:
+            code = compile(self.source, "<rule action>", "exec")
+            object.__setattr__(self, "_code", code)
+        return code
+
+    def __call__(self, ctx: RuleContext) -> None:
+        exec(self._compiled(), _build_env(ctx))  # noqa: S102 - rule DSL
+
+    def __repr__(self) -> str:
+        return f"<action {self.source!r}>"
+
+
+def compile_condition(source: str) -> CompiledCondition:
+    """Compile a Python expression into a (persistable) rule condition.
+
+    The expression sees ``self``, ``ctx``, ``occurrence``, ``result``,
+    ``sources``, ``abort`` and the triggering parameters by name.
+    """
+    return CompiledCondition(source)
+
+
+def compile_action(source: str) -> CompiledAction:
+    """Compile a Python statement suite into a (persistable) rule action."""
+    return CompiledAction(source)
+
+
+# ----------------------------------------------------------------------
+# Full rule specifications
+# ----------------------------------------------------------------------
+
+_LINE_KEYS = {
+    "rule": "name",
+    "r": "name",
+    "on": "event",
+    "e": "event",
+    "event": "event",
+    "if": "condition",
+    "c": "condition",
+    "condition": "condition",
+    "do": "action",
+    "a": "action",
+    "then": "action",
+    "action": "action",
+    "mode": "coupling",
+    "m": "coupling",
+    "coupling": "coupling",
+    "priority": "priority",
+    "p": "priority",
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<key>[A-Za-z]+)\s*[:\s]\s*(?P<value>.*)$"
+)
+
+
+def parse_rule(
+    text: str,
+    default_class: str | None = None,
+    **overrides: Any,
+) -> Rule:
+    """Parse an R/E/C/A/M block into a live :class:`Rule`.
+
+    Continuation lines (indented, or missing a known key prefix) extend
+    the previous field, so multi-line actions work.  ``overrides`` pass
+    straight to the Rule constructor (e.g. ``scheduler=...``).
+    """
+    fields: dict[str, str] = {}
+    current: str | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line.strip():
+            continue
+        match = _LINE_RE.match(line)
+        key = match.group("key").lower() if match else None
+        if key in _LINE_KEYS:
+            current = _LINE_KEYS[key]
+            assert match is not None
+            value = match.group("value").strip().rstrip(";")
+            fields[current] = (
+                f"{fields[current]}\n{value}" if current in fields else value
+            )
+        elif current is not None:
+            fields[current] = f"{fields[current]}\n{line.strip()}"
+        else:
+            raise DslError(f"rule spec line {line!r} has no field prefix")
+
+    if "event" not in fields:
+        raise DslError("rule spec is missing its event (ON/E:) line")
+
+    event = parse_event(fields["event"], default_class=default_class)
+    condition = (
+        compile_condition(fields["condition"])
+        if "condition" in fields
+        else None
+    )
+    action = compile_action(fields["action"]) if "action" in fields else None
+    coupling = Coupling.parse(fields.get("coupling", "immediate"))
+    priority = int(fields.get("priority", "0"))
+    return Rule(
+        name=fields.get("name"),
+        event=event,
+        condition=condition,
+        action=action,
+        coupling=coupling,
+        priority=priority,
+        **overrides,
+    )

@@ -1,0 +1,38 @@
+"""Event specification and detection: the Sentinel event hierarchy.
+
+``Event`` → ``Primitive`` | ``Conjunction`` | ``Disjunction`` |
+``Sequence`` (the paper's Fig 5), plus the Snoop-style extensions
+(``Any``, ``Not``, ``Aperiodic``, ``AperiodicStar``, ``Periodic``,
+``Plus``), parameter contexts, and the event detector.
+"""
+
+from .base import Event, EventError, EventListener
+from .contexts import ParameterContext
+from .detector import DetectorStats, EventDetector
+from .extended import Any, Aperiodic, AperiodicStar, At, Not, Periodic, Plus
+from .operators import Conjunction, Disjunction, Operator, Sequence
+from .primitive import Primitive
+from .signature import EventSignature, SignatureError
+
+__all__ = [
+    "Event",
+    "EventError",
+    "EventListener",
+    "EventSignature",
+    "SignatureError",
+    "Primitive",
+    "Operator",
+    "Conjunction",
+    "Disjunction",
+    "Sequence",
+    "Any",
+    "Not",
+    "Aperiodic",
+    "AperiodicStar",
+    "Periodic",
+    "Plus",
+    "At",
+    "ParameterContext",
+    "EventDetector",
+    "DetectorStats",
+]

@@ -1,0 +1,56 @@
+"""Parameter contexts for composite-event detection.
+
+When a composite event can be assembled from *several* stored constituent
+occurrences, a policy must pick which ones to use and which to consume.
+The 1993 paper leaves this open ("the event detector stores events along
+with their parameters"); the Sentinel project's follow-on work (Snoop,
+Chakravarthy et al.) named four policies, which we implement because they
+change both semantics and detection cost (benchmark E16):
+
+``RECENT``
+    Only the most recent occurrence of each constituent participates;
+    nothing is consumed, so a fresh terminator re-pairs with the latest
+    initiators.  Suits sensor-style streams where only the newest reading
+    matters.
+
+``CHRONICLE``
+    Occurrences pair in arrival (FIFO) order and are consumed by
+    detection — every constituent occurrence is used at most once.  The
+    default, matching transaction-log style processing.
+
+``CONTINUOUS``
+    Every initiator starts its own detection window; one terminator can
+    complete (and consume) all open windows at once, yielding several
+    simultaneous composite occurrences.
+
+``CUMULATIVE``
+    All pending occurrences of every constituent are folded into a single
+    composite occurrence when the event completes; everything is consumed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ParameterContext"]
+
+
+class ParameterContext(enum.Enum):
+    """Consumption policy for composite-event detection (see module doc)."""
+
+    RECENT = "recent"
+    CHRONICLE = "chronicle"
+    CONTINUOUS = "continuous"
+    CUMULATIVE = "cumulative"
+
+    @classmethod
+    def parse(cls, value: "str | ParameterContext") -> "ParameterContext":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown parameter context {value!r}; expected one of "
+                f"{[c.value for c in cls]}"
+            ) from None

@@ -1,0 +1,179 @@
+"""The event detector (§3.2, Fig 2).
+
+"Event detectors receive events from reactive objects, store them along
+with their parameters, and use them to detect primitive and complex
+events."  The detector owns a set of registered event graphs, routes each
+incoming primitive occurrence to the matching leaf primitives (indexed by
+``(modifier, method)`` so a feed touches only candidate leaves), and polls
+the clock-driven operators.
+
+Detectors are optional plumbing: events subscribed directly to reactive
+objects, or fed through rules, detect on their own.  The detector earns
+its keep when many event graphs share a stream — one ``feed`` per
+occurrence instead of one delivery per graph — and in the benchmarks,
+where its counters measure detection work.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..notifiable import Notifiable
+from ..occurrence import EventOccurrence, Occurrence
+from .base import Event
+from .extended import _Pollable
+from .primitive import Primitive
+
+__all__ = ["EventDetector", "DetectorStats"]
+
+
+@dataclass(slots=True)
+class DetectorStats:
+    """Counters exposed for the detection benchmarks (E12)."""
+
+    fed: int = 0
+    leaf_deliveries: int = 0
+    signals: int = 0
+    by_event: dict[str, int] = field(default_factory=dict)
+
+
+class EventDetector(Notifiable):
+    """Routes occurrences into registered event graphs and records signals.
+
+    The detector is itself notifiable, so reactive objects can subscribe
+    it directly: ``stock.subscribe(detector)`` sends every event the stock
+    generates through all registered graphs.
+    """
+
+    _p_transient = Notifiable._p_transient + (
+        "_roots",
+        "_leaf_index",
+        "_pollables",
+        "_sink",
+        "stats",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        object.__setattr__(self, "_roots", [])
+        object.__setattr__(self, "_leaf_index", defaultdict(list))
+        object.__setattr__(self, "_pollables", [])
+        object.__setattr__(self, "stats", DetectorStats())
+        object.__setattr__(self, "_sink", _SignalSink(self))
+
+    def _p_after_load(self) -> None:
+        """Fresh transient wiring after materialization from storage."""
+        object.__setattr__(self, "_roots", [])
+        object.__setattr__(self, "_leaf_index", defaultdict(list))
+        object.__setattr__(self, "_pollables", [])
+        object.__setattr__(self, "stats", DetectorStats())
+        object.__setattr__(self, "_sink", _SignalSink(self))
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, event: Event) -> Event:
+        """Add an event graph; returns the event for chaining."""
+        if any(existing is event for existing in self._roots):
+            return event
+        self._roots.append(event)
+        event.add_listener(self._sink)
+        for leaf in event.leaves():
+            if isinstance(leaf, _Pollable):
+                self._pollables.append(leaf)
+        self._index_leaves(event)
+        return event
+
+    def unregister(self, event: Event) -> None:
+        for i, existing in enumerate(self._roots):
+            if existing is event:
+                del self._roots[i]
+                event.remove_listener(self._sink)
+                break
+        self._rebuild_index()
+
+    def roots(self) -> list[Event]:
+        return list(self._roots)
+
+    def _index_leaves(self, event: Event) -> None:
+        stack: list[Event] = [event]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            kids = node.children()
+            if kids:
+                stack.extend(kids)
+                if isinstance(node, _Pollable) and not any(
+                    p is node for p in self._pollables
+                ):
+                    self._pollables.append(node)
+            elif isinstance(node, Primitive):
+                key = (node.signature.modifier, node.signature.method.lower())
+                bucket = self._leaf_index[key]
+                if not any(existing is node for existing in bucket):
+                    bucket.append(node)
+
+    def _rebuild_index(self) -> None:
+        self._leaf_index.clear()
+        self._pollables.clear()
+        for root in self._roots:
+            self._index_leaves(root)
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def notify(self, occurrence: Occurrence) -> None:
+        """Consumer entry point (reactive objects subscribe the detector)."""
+        self.feed(occurrence)
+
+    def feed(self, occurrence: Occurrence) -> None:
+        """Route one primitive occurrence to the candidate leaves."""
+        if not isinstance(occurrence, EventOccurrence):
+            return
+        self.stats.fed += 1
+        key = (occurrence.modifier, occurrence.method.lower())
+        for leaf in self._leaf_index.get(key, ()):
+            self.stats.leaf_deliveries += 1
+            leaf.notify(occurrence)
+        self.poll(occurrence.timestamp)
+
+    def poll(self, now: float | None = None) -> int:
+        """Drive the clock-based operators; returns signals emitted."""
+        emitted = 0
+        for pollable in self._pollables:
+            emitted += pollable.poll(now)
+        return emitted
+
+    def tick(self, now: float | None = None) -> int:
+        """Alias for :meth:`poll`, for simulation-style drivers."""
+        return self.poll(now)
+
+    # ------------------------------------------------------------------
+    # Signal accounting
+    # ------------------------------------------------------------------
+    def _on_signal(self, event: Event, occurrence: Occurrence) -> None:
+        self.stats.signals += 1
+        self.stats.by_event[event.name] = (
+            self.stats.by_event.get(event.name, 0) + 1
+        )
+        self.record(occurrence)
+
+    def signals_of(self, event: Event | str) -> int:
+        name = event if isinstance(event, str) else event.name
+        return self.stats.by_event.get(name, 0)
+
+
+class _SignalSink:
+    """Listener adapter feeding root signals back into detector stats."""
+
+    __slots__ = ("_detector",)
+
+    def __init__(self, detector: EventDetector) -> None:
+        self._detector = detector
+
+    def on_event(self, event: Event, occurrence: Occurrence) -> None:
+        self._detector._on_signal(event, occurrence)

@@ -1,0 +1,365 @@
+"""Extended event operators.
+
+Section 7 of the paper points at richer event languages as future work;
+the Sentinel project delivered them in the Snoop algebra.  We implement
+the standard set on top of the same operator machinery, so applications
+(and the benchmarks) can compare detection cost across operator classes:
+
+* :class:`Any` — *m out of n* distinct events occur,
+* :class:`Not` — an event does **not** occur inside an interval,
+* :class:`Aperiodic` — every occurrence of an event inside an interval,
+* :class:`AperiodicStar` — the accumulated occurrences, at interval end,
+* :class:`Periodic` — a clock tick every ``period`` seconds inside an
+  interval,
+* :class:`Plus` — a point ``delta`` seconds after each occurrence.
+
+The temporal operators (:class:`Periodic`, :class:`Plus`) are *polled*:
+they emit pending signals when :meth:`poll` is called — which the
+:class:`~repro.core.events.detector.EventDetector` does on every fed
+occurrence and on explicit ``tick()`` calls — using the pluggable clock,
+so tests drive them deterministically with a manual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..clock import get_clock
+from ..occurrence import (
+    CompositeOccurrence,
+    EventModifier,
+    EventOccurrence,
+    Occurrence,
+)
+from .base import Event, EventError
+from .contexts import ParameterContext
+from .operators import Operator
+
+__all__ = ["Any", "Not", "Aperiodic", "AperiodicStar", "Periodic", "Plus", "At"]
+
+# The Any operator below shadows the builtin; keep a handle to it.
+_builtin_any = any
+
+
+class Any(Operator):
+    """Signals when ``m`` *distinct* constituent events have occurred.
+
+    ``Any(2, e1, e2, e3)`` raises as soon as two different constituents
+    have pending occurrences.  CHRONICLE (default) consumes the used
+    occurrences; RECENT keeps the latest per constituent and re-signals on
+    every arrival that completes a fresh m-subset.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        *children: Event,
+        name: str | None = None,
+        context: ParameterContext | str = ParameterContext.CHRONICLE,
+    ) -> None:
+        if m < 1 or m > len(children):
+            raise EventError(
+                f"Any needs 1 <= m <= {len(children)} children, got m={m}"
+            )
+        super().__init__(*children, name=name, context=context)
+        self.m = m
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        buffers = self._buffers()
+        if self.context is ParameterContext.RECENT:
+            slot = buffers[index]
+            slot.clear()
+            slot.append(occurrence)
+        else:
+            buffers[index].append(occurrence)
+        filled = [i for i, b in enumerate(buffers) if b]
+        if len(filled) < self.m:
+            return []
+        # Choose the m constituents whose pending heads are oldest, so the
+        # composite is the one that completed first.
+        chosen = sorted(filled, key=lambda i: buffers[i][0].seq)[: self.m]
+        parts = [buffers[i][0] for i in chosen]
+        if self.context is not ParameterContext.RECENT:
+            for i in chosen:
+                buffers[i].popleft()
+        return [CompositeOccurrence.of(self.name, tuple(parts))]
+
+
+class Not(Operator):
+    """Non-occurrence: ``middle`` does not happen between ``left`` and
+    ``right``.
+
+    ``Not(middle, left, right)`` signals on a ``right`` occurrence if some
+    earlier ``left`` occurrence opened a window in which no ``middle``
+    occurrence fell.  Window initiators are consumed whether the window
+    succeeds or is spoiled.
+    """
+
+    def __init__(
+        self,
+        middle: Event,
+        left: Event,
+        right: Event,
+        name: str | None = None,
+        context: ParameterContext | str = ParameterContext.CHRONICLE,
+    ) -> None:
+        super().__init__(left, middle, right, name=name, context=context)
+
+    _LEFT, _MIDDLE, _RIGHT = 0, 1, 2
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        buffers = self._buffers()
+        if index in (self._LEFT, self._MIDDLE):
+            if index == self._LEFT and self.context is ParameterContext.RECENT:
+                buffers[self._LEFT].clear()
+            buffers[index].append(occurrence)
+            return []
+
+        initiators = buffers[self._LEFT]
+        spoilers = buffers[self._MIDDLE]
+        composites: list[Occurrence] = []
+        survivors = []
+        for initiator in list(initiators):
+            if initiator.seq >= occurrence.seq:
+                survivors.append(initiator)
+                continue
+            spoiled = _builtin_any(
+                initiator.seq < s.seq < occurrence.seq for s in spoilers
+            )
+            if not spoiled:
+                composites.append(
+                    CompositeOccurrence.of(
+                        self.name, (initiator, occurrence)
+                    )
+                )
+                if self.context is ParameterContext.CHRONICLE and composites:
+                    # Chronicle: only the oldest clean window signals.
+                    break
+        # All windows at or before this terminator are closed now.
+        initiators.clear()
+        initiators.extend(survivors)
+        spoilers.clear()
+        if self.context is ParameterContext.CHRONICLE:
+            return composites[:1]
+        return composites
+
+
+class Aperiodic(Operator):
+    """Each ``middle`` occurrence inside an open ``[left, right)`` window.
+
+    ``Aperiodic(middle, left, right)`` signals for every ``middle``
+    occurrence while at least one window opened by ``left`` has not yet
+    been closed by ``right``.
+    """
+
+    def __init__(
+        self,
+        middle: Event,
+        left: Event,
+        right: Event,
+        name: str | None = None,
+        context: ParameterContext | str = ParameterContext.CHRONICLE,
+    ) -> None:
+        super().__init__(left, middle, right, name=name, context=context)
+
+    _LEFT, _MIDDLE, _RIGHT = 0, 1, 2
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        buffers = self._buffers()
+        windows = buffers[self._LEFT]
+        if index == self._LEFT:
+            if self.context is ParameterContext.RECENT:
+                windows.clear()
+            windows.append(occurrence)
+            return []
+        if index == self._RIGHT:
+            windows.clear()
+            return []
+        if not windows:
+            return []
+        opener = windows[-1] if self.context is ParameterContext.RECENT else windows[0]
+        return [CompositeOccurrence.of(self.name, (opener, occurrence))]
+
+
+class AperiodicStar(Operator):
+    """Cumulative variant (Snoop's ``A*``): signal once, at window close,
+    with every ``middle`` occurrence that fell inside the window."""
+
+    def __init__(
+        self,
+        middle: Event,
+        left: Event,
+        right: Event,
+        name: str | None = None,
+        context: ParameterContext | str = ParameterContext.CUMULATIVE,
+    ) -> None:
+        super().__init__(left, middle, right, name=name, context=context)
+
+    _LEFT, _MIDDLE, _RIGHT = 0, 1, 2
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        buffers = self._buffers()
+        windows = buffers[self._LEFT]
+        collected = buffers[self._MIDDLE]
+        if index == self._LEFT:
+            if not windows:
+                windows.append(occurrence)
+            return []
+        if index == self._MIDDLE:
+            if windows:
+                collected.append(occurrence)
+            return []
+        if not windows:
+            return []
+        opener = windows.popleft()
+        windows.clear()
+        parts = (opener, *collected, occurrence)
+        collected.clear()
+        return [CompositeOccurrence.of(self.name, parts)]
+
+
+class _Pollable(Operator):
+    """Shared machinery for clock-driven operators."""
+
+    def poll(self, now: float | None = None) -> int:
+        """Emit every signal whose due time has passed; returns the count."""
+        if not self.enabled:
+            return 0
+        now = get_clock().now() if now is None else now
+        emitted = 0
+        for occurrence in self._due_signals(now):
+            self.signal(occurrence)
+            emitted += 1
+        return emitted
+
+    def _due_signals(self, now: float) -> Iterable[Occurrence]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _synthetic(self, when: float, **params: object) -> EventOccurrence:
+        return EventOccurrence(
+            class_name="<clock>",
+            method=self.name,
+            modifier=EventModifier.EXPLICIT,
+            params=dict(params),
+            timestamp=when,
+        )
+
+
+class Periodic(_Pollable):
+    """A tick every ``period`` seconds between ``left`` and ``right``.
+
+    ``Periodic(left, period, right)``: each ``left`` occurrence opens a
+    window; while it is open, :meth:`poll` emits one signal per elapsed
+    period.  A ``right`` occurrence closes all open windows.
+    """
+
+    def __init__(
+        self,
+        left: Event,
+        period: float,
+        right: Event,
+        name: str | None = None,
+    ) -> None:
+        if period <= 0:
+            raise EventError("period must be positive")
+        super().__init__(left, right, name=name)
+        self.period = float(period)
+        # windows: list of [opener_occurrence, next_due_time, tick_index]
+        self._windows: list[list] = []
+
+    _p_transient = Operator._p_transient + ("_windows",)
+
+    def _window_list(self) -> list[list]:
+        windows = getattr(self, "_windows", None)
+        if windows is None:
+            windows = []
+            object.__setattr__(self, "_windows", windows)
+        return windows
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        windows = self._window_list()
+        if index == 0:
+            windows.append([occurrence, occurrence.timestamp + self.period, 1])
+        else:
+            windows.clear()
+        return []
+
+    def _due_signals(self, now: float) -> Iterable[Occurrence]:
+        for window in self._window_list():
+            opener, due, tick = window
+            while due <= now:
+                yield CompositeOccurrence.of(
+                    self.name,
+                    (opener, self._synthetic(due, tick=tick)),
+                )
+                tick += 1
+                due += self.period
+            window[1], window[2] = due, tick
+
+
+class At(_Pollable):
+    """An absolute point in time: signals once when the clock passes it.
+
+    ``At`` has no constituent events — it is a pure temporal event, the
+    absolute counterpart of :class:`Plus`.  Construct with the target
+    timestamp (same time base as the active clock) and poll like the
+    other temporal operators::
+
+        deadline = At(clock.now() + 3600, name="one-hour-deadline")
+        detector.register(deadline)
+    """
+
+    def __init__(self, when: float, name: str | None = None) -> None:
+        # _Pollable requires children; a dummy-free construction needs a
+        # direct Event.__init__ call, bypassing Operator's child check.
+        Event.__init__(self, name)
+        self.when = float(when)
+        self.fired_at: float | None = None
+
+    def children(self) -> tuple[Event, ...]:
+        return ()
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        return []  # pragma: no cover - no children ever signal
+
+    def _due_signals(self, now: float) -> Iterable[Occurrence]:
+        if self.fired_at is None and now >= self.when:
+            self.fired_at = now
+            yield CompositeOccurrence.of(self.name, (self._synthetic(self.when),))
+
+    def reset(self) -> None:
+        Event.reset(self)
+        self.fired_at = None
+
+
+class Plus(_Pollable):
+    """A point ``delta`` seconds after each occurrence of ``base``."""
+
+    def __init__(self, base: Event, delta: float, name: str | None = None) -> None:
+        if delta < 0:
+            raise EventError("delta must be non-negative")
+        super().__init__(base, name=name)
+        self.delta = float(delta)
+        self._due: list[tuple[float, Occurrence]] = []
+
+    _p_transient = Operator._p_transient + ("_due",)
+
+    def _due_list(self) -> list[tuple[float, Occurrence]]:
+        due = getattr(self, "_due", None)
+        if due is None:
+            due = []
+            object.__setattr__(self, "_due", due)
+        return due
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        self._due_list().append((occurrence.timestamp + self.delta, occurrence))
+        return []
+
+    def _due_signals(self, now: float) -> Iterable[Occurrence]:
+        due_list = self._due_list()
+        ready = [(when, occ) for when, occ in due_list if when <= now]
+        due_list[:] = [(when, occ) for when, occ in due_list if when > now]
+        for when, occ in sorted(ready):
+            yield CompositeOccurrence.of(
+                self.name, (occ, self._synthetic(when))
+            )

@@ -1,0 +1,247 @@
+"""Composite-event operators (§4.3, Fig 5/6).
+
+The paper supports three operators — **conjunction**, **disjunction** and
+**sequence** — built as subclasses of ``Event`` so that composite events
+are first-class objects like everything else.  Our implementations are
+n-ary generalizations of the paper's binary definitions (the binary case
+behaves exactly as described) and are parameterized by a
+:class:`~repro.core.events.contexts.ParameterContext` governing which
+stored constituent occurrences pair up and which are consumed.
+
+Semantics, paper wording first:
+
+* ``Conjunction(E1, E2)`` — "signaled when both E1 and E2 occur,
+  regardless of the order of their occurrence."
+* ``Disjunction(E1, E2)`` — "signal an event when either E1 or E2 occurs."
+* ``Sequence(E1, E2)`` — "signaled when the event E2 occurs, provided E1
+  has occurred earlier"; for composite children, "when the last component
+  of E2 occurs provided all the components of E1 have occurred" — which is
+  exactly a comparison of the composites' terminating sequence numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable
+
+from ..occurrence import CompositeOccurrence, Occurrence
+from .base import Event, EventError, validate_children
+from .contexts import ParameterContext
+
+__all__ = ["Operator", "Conjunction", "Disjunction", "Sequence"]
+
+
+class Operator(Event):
+    """Base class of composite events: children plus detection buffers."""
+
+    _p_transient = Event._p_transient + ("_pending",)
+
+    def __init__(
+        self,
+        *children: Event,
+        name: str | None = None,
+        context: ParameterContext | str = ParameterContext.CHRONICLE,
+    ) -> None:
+        validate_children(type(self).__name__, children)
+        super().__init__(name)
+        for child in children:
+            if child.contains(self):  # pragma: no cover - defensive
+                raise EventError("event graphs must be acyclic")
+        self.child_events = list(children)
+        self.context = ParameterContext.parse(context)
+        object.__setattr__(self, "_pending", self._fresh_buffers())
+        for child in children:
+            child.add_listener(self)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def children(self) -> tuple[Event, ...]:
+        return tuple(self.child_events)
+
+    def _p_after_load(self) -> None:
+        """Re-attach listener edges after materialization from storage."""
+        for child in self.child_events:
+            child.add_listener(self)
+
+    def _buffers(self) -> list[Deque[Occurrence]]:
+        pending = getattr(self, "_pending", None)
+        if pending is None:
+            pending = self._fresh_buffers()
+            object.__setattr__(self, "_pending", pending)
+        return pending
+
+    def _fresh_buffers(self) -> list[Deque[Occurrence]]:
+        return [deque() for _ in getattr(self, "child_events", ())]
+
+    def _child_index(self, child: Event) -> int:
+        for i, candidate in enumerate(self.child_events):
+            if candidate is child:
+                return i
+        raise EventError(f"{child!r} is not a child of {self!r}")
+
+    # ------------------------------------------------------------------
+    # Listener protocol (a child signalled)
+    # ------------------------------------------------------------------
+    def on_event(self, child: Event, occurrence: Occurrence) -> None:
+        if not self.enabled:
+            return
+        index = self._child_index(child)
+        for signalled in self.combine(index, occurrence):
+            self.signal(signalled)
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        """Update buffers with a child signal; yield completed composites."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def reset(self) -> None:
+        super().reset()
+        object.__setattr__(self, "_pending", self._fresh_buffers())
+        for child in self.child_events:
+            child.reset()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(c.name for c in self.child_events)
+        return f"<{type(self).__name__} {self.name!r} ({inner}) {self.context.value}>"
+
+    _expression_keyword: str | None = None
+
+    def to_expression(self) -> str:
+        if self._expression_keyword is None:
+            return super().to_expression()
+        inner = f" {self._expression_keyword} ".join(
+            child.to_expression() for child in self.child_events
+        )
+        return f"({inner})"
+
+
+class Conjunction(Operator):
+    """All children must occur, in any order (the paper's ``And``)."""
+
+    _expression_keyword = "and"
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        buffers = self._buffers()
+        context = self.context
+
+        if context is ParameterContext.RECENT:
+            slot = buffers[index]
+            slot.clear()
+            slot.append(occurrence)
+            if all(buffers):
+                return [self._compose([b[-1] for b in buffers])]
+            return []
+
+        buffers[index].append(occurrence)
+        if not all(buffers):
+            return []
+
+        if context is ParameterContext.CHRONICLE:
+            parts = [b.popleft() for b in buffers]
+            return [self._compose(parts)]
+
+        if context is ParameterContext.CONTINUOUS:
+            # The arriving occurrence terminates every open combination of
+            # the other children's pending occurrences.
+            others = [
+                (i, list(b)) for i, b in enumerate(buffers) if i != index
+            ]
+            composites = [
+                self._compose(list(combo) + [occurrence])
+                for combo in _cartesian([occs for _i, occs in others])
+            ]
+            for i, _occs in others:
+                buffers[i].clear()
+            buffers[index].clear()
+            return composites
+
+        # CUMULATIVE: one composite folding everything pending.
+        parts: list[Occurrence] = []
+        for buffer in buffers:
+            parts.extend(buffer)
+            buffer.clear()
+        return [self._compose(parts)]
+
+    def _compose(self, parts: list[Occurrence]) -> CompositeOccurrence:
+        return CompositeOccurrence.of(self.name, tuple(parts))
+
+
+class Disjunction(Operator):
+    """Signals whenever any child signals (the paper's ``Or``).
+
+    Stateless: contexts do not change its behaviour.
+    """
+
+    _expression_keyword = "or"
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        return [CompositeOccurrence.of(self.name, (occurrence,))]
+
+
+class Sequence(Operator):
+    """Left child, then right child, in detection order (``;``).
+
+    Binary, per the paper; chains fold left: ``a >> b >> c`` is
+    ``Sequence(Sequence(a, b), c)``.
+    """
+
+    _expression_keyword = "then"
+
+    def __init__(
+        self,
+        first: Event,
+        second: Event,
+        name: str | None = None,
+        context: ParameterContext | str = ParameterContext.CHRONICLE,
+    ) -> None:
+        super().__init__(first, second, name=name, context=context)
+
+    def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:
+        buffers = self._buffers()
+        initiators = buffers[0]
+        context = self.context
+
+        if index == 0:
+            if context is ParameterContext.RECENT:
+                initiators.clear()
+            initiators.append(occurrence)
+            return []
+
+        # The right child signalled: pair with initiators that happened
+        # strictly earlier (composite children compare by terminator seq).
+        eligible = [i for i in initiators if i.seq < occurrence.seq]
+        if not eligible:
+            return []
+
+        if context is ParameterContext.RECENT:
+            return [self._compose([eligible[-1], occurrence])]
+
+        if context is ParameterContext.CHRONICLE:
+            first = eligible[0]
+            initiators.remove(first)
+            return [self._compose([first, occurrence])]
+
+        if context is ParameterContext.CONTINUOUS:
+            composites = [self._compose([i, occurrence]) for i in eligible]
+            for i in eligible:
+                initiators.remove(i)
+            return composites
+
+        # CUMULATIVE: all earlier initiators fold into one composite.
+        composites = [self._compose(list(eligible) + [occurrence])]
+        for i in eligible:
+            initiators.remove(i)
+        return composites
+
+    def _compose(self, parts: list[Occurrence]) -> CompositeOccurrence:
+        return CompositeOccurrence.of(self.name, tuple(parts))
+
+
+def _cartesian(buffers: list[list[Occurrence]]) -> Iterable[tuple[Occurrence, ...]]:
+    if not buffers:
+        yield ()
+        return
+    head, *rest = buffers
+    for occ in head:
+        for combo in _cartesian(rest):
+            yield (occ, *combo)

@@ -1,0 +1,118 @@
+"""Primitive events (§4.3, §4.6).
+
+A primitive event is "a message sent to an object" — the invocation
+(begin-of-method) or return (end-of-method) of a method declared in a
+reactive class's event interface.  Primitive event objects are created
+from the paper's textual signatures::
+
+    empsal = Primitive("end Employee::Set-Salary(float x)")
+
+and signal whenever a matching occurrence reaches them.  An optional
+instance restriction narrows the event to particular source objects —
+this is how an event object (rather than the subscription mechanism) can
+express "Fred's salary changed" as opposed to "some employee's salary
+changed".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..occurrence import EventOccurrence, Occurrence
+from .base import Event
+from .signature import EventSignature
+
+__all__ = ["Primitive"]
+
+
+class Primitive(Event):
+    """A begin/end-of-method event identified by its signature."""
+
+    def __init__(
+        self,
+        signature: str | EventSignature,
+        name: str | None = None,
+        sources: Iterable[Any] | None = None,
+    ) -> None:
+        if isinstance(signature, str):
+            signature = EventSignature.parse(signature)
+        super().__init__(name or str(signature))
+        # The parsed signature is transient; the text round-trips through
+        # storage and is re-parsed on first use after a fetch.
+        self.signature_text = str(signature)
+        object.__setattr__(self, "_signature", signature)
+        if sources is not None:
+            object.__setattr__(self, "_source_filter", list(sources))
+        # Deduplication: the same occurrence can reach a shared primitive
+        # through several paths (two rules feeding one tree); the global
+        # sequence is monotonic, so one high-water mark suffices.
+        self._last_seq = 0
+
+    _p_transient = Event._p_transient + ("_signature", "_source_filter", "_guard")
+
+    #: Class-level defaults so instances materialized from storage (which
+    #: skip ``__init__``) behave: no restriction, signature re-parsed lazily.
+    _source_filter: list[Any] | None = None
+
+    @property
+    def signature(self) -> EventSignature:
+        parsed = getattr(self, "_signature", None)
+        if parsed is None:
+            parsed = EventSignature.parse(self.signature_text)
+            object.__setattr__(self, "_signature", parsed)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def matches(self, occurrence: EventOccurrence) -> bool:
+        """Signature match plus instance restriction plus guard."""
+        if not self.signature.matches(occurrence):
+            return False
+        if self._source_filter is not None and not any(
+            occurrence.source is obj for obj in self._source_filter
+        ):
+            return False
+        guard = self._guard
+        return guard is None or bool(guard(occurrence))
+
+    def restrict_to(self, *sources: Any) -> "Primitive":
+        """Limit this event to occurrences produced by ``sources``."""
+        self._source_filter = list(sources)
+        return self
+
+    #: Optional detection-level predicate over the occurrence (see where()).
+    _guard = None
+
+    def where(self, predicate) -> "Primitive":
+        """Add a detection-level guard on the occurrence.
+
+        ``predicate(occurrence)`` must hold for the event to raise — a
+        *masked* primitive event (e.g. "salary set above 100k"), filtering
+        before any rule is triggered rather than in rule conditions.
+        Guards are transient (predicates are arbitrary callables); a
+        reloaded event is unguarded.
+        """
+        object.__setattr__(self, "_guard", predicate)
+        return self
+
+    def process(self, occurrence: Occurrence) -> Iterable[Occurrence]:
+        if not isinstance(occurrence, EventOccurrence):
+            return ()
+        if occurrence.seq <= self._last_seq:
+            return ()
+        if not self.matches(occurrence):
+            return ()
+        self._last_seq = occurrence.seq
+        return (occurrence,)
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_seq = 0
+
+    def to_expression(self) -> str:
+        return self.signature_text
+
+    def __repr__(self) -> str:
+        restricted = " restricted" if self._source_filter is not None else ""
+        return f"<Primitive {self.signature!s}{restricted}>"

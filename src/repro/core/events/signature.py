@@ -1,0 +1,130 @@
+"""Event signatures.
+
+The paper names primitive events with textual signatures (§4.6)::
+
+    Event* empsal = new Primitive ("end Employee::Set-Salary(float x)")
+
+An :class:`EventSignature` is the parsed form: *when* the event is raised
+(begin/end), *which class*, *which method*, and the formal parameters.
+Method names are normalized (hyphens become underscores, case preserved)
+so the paper's C++ spellings match Python method names.
+
+The grammar accepted::
+
+    signature := modifier class '::' method params?
+    modifier  := 'begin' | 'end' | 'before' | 'after' | 'explicit'
+    params    := '(' [param (',' param)*] ')'
+    param     := [type_name] name
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..occurrence import EventModifier, EventOccurrence
+
+__all__ = ["EventSignature", "SignatureError", "normalize_method_name"]
+
+
+class SignatureError(ValueError):
+    """The signature text does not match the grammar."""
+
+
+_SIGNATURE_RE = re.compile(
+    r"""^\s*
+    (?P<modifier>begin|end|before|after|explicit)\s+
+    (?P<cls>[A-Za-z_][A-Za-z0-9_\-]*)\s*::\s*
+    (?P<method>[A-Za-z_][A-Za-z0-9_\-]*)\s*
+    (?:\((?P<params>[^)]*)\))?
+    \s*$""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_PARAM_RE = re.compile(
+    r"""^\s*
+    (?:(?P<type>[A-Za-z_][A-Za-z0-9_:<>\*\s]*?)\s+)?
+    (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    \s*\*?\s*$""",
+    re.VERBOSE,
+)
+
+
+def normalize_method_name(name: str) -> str:
+    """Map the paper's C++ method spellings onto Python identifiers.
+
+    ``Set-Salary`` → ``Set_Salary``; matching against occurrences is
+    case-insensitive, so ``set_salary`` in Python code still matches.
+    """
+    return name.replace("-", "_")
+
+
+@dataclass(frozen=True, slots=True)
+class EventSignature:
+    """A parsed primitive-event signature."""
+
+    modifier: EventModifier
+    class_name: str
+    method: str
+    param_names: tuple[str, ...] = ()
+    param_types: tuple[str | None, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "EventSignature":
+        """Parse ``"end Employee::Set-Salary(float x)"`` style text."""
+        match = _SIGNATURE_RE.match(text)
+        if match is None:
+            raise SignatureError(
+                f"bad event signature {text!r}; expected "
+                "'<begin|end> Class::method(params)'"
+            )
+        names: list[str] = []
+        types: list[str | None] = []
+        raw_params = match.group("params")
+        if raw_params and raw_params.strip():
+            for part in raw_params.split(","):
+                param = _PARAM_RE.match(part)
+                if param is None:
+                    raise SignatureError(
+                        f"bad parameter {part.strip()!r} in signature {text!r}"
+                    )
+                names.append(param.group("name"))
+                declared = param.group("type")
+                types.append(declared.strip() if declared else None)
+        return cls(
+            modifier=EventModifier.parse(match.group("modifier")),
+            class_name=normalize_method_name(match.group("cls")),
+            method=normalize_method_name(match.group("method")),
+            param_names=tuple(names),
+            param_types=tuple(types),
+        )
+
+    def matches(self, occurrence: EventOccurrence) -> bool:
+        """True when ``occurrence`` is an instance of this primitive event.
+
+        Matching is by modifier, method name (case-insensitive after
+        normalization), and class: the occurrence's own class or any of
+        its persistent superclasses may carry the signature's class name,
+        so events declared on a base class cover subclass instances.
+        """
+        if occurrence.modifier is not self.modifier:
+            return False
+        if occurrence.method.lower() != self.method.lower():
+            return False
+        if occurrence.class_name.lower() == self.class_name.lower():
+            return True
+        return any(
+            name.lower() == self.class_name.lower()
+            for name in occurrence.class_names
+        )
+
+    def __str__(self) -> str:
+        if self.param_names:
+            rendered = ", ".join(
+                f"{t} {n}" if t else n
+                for t, n in zip(self.param_types, self.param_names)
+            )
+            params = f"({rendered})"
+        else:
+            params = "()"
+        return f"{self.modifier.value} {self.class_name}::{self.method}{params}"

@@ -1,0 +1,92 @@
+"""The external monitoring viewpoint (§2.1, §3.1).
+
+"There is a need to monitor pre-defined objects, preferably without
+having to change their class definitions for that purpose."  This module
+is that need packaged as one call: :func:`monitor` builds a rule from an
+event specification, condition and action, and subscribes it to the given
+objects — which may be instances of *different* classes, defined long
+before the rule, with no idea who would ever watch them.
+
+Example (the paper's §2 portfolio rule)::
+
+    purchase = monitor(
+        [ibm, dow_jones],
+        on="end Stock::set_price(float price) and "
+           "end FinancialInfo::set_value(float value)",
+        condition=lambda ctx: ibm.price < 80 and dow_jones.change < 3.4,
+        action=lambda ctx: parker.purchase("IBM", 100),
+        name="Purchase",
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .coupling import Coupling
+from .events.base import Event
+from .reactive import Reactive
+from .rules import Rule
+
+__all__ = ["monitor", "unmonitor"]
+
+
+def monitor(
+    objects: "Reactive | Iterable[Reactive]",
+    on: "str | Event",
+    condition: "Callable | str | None" = None,
+    action: "Callable | str | None" = None,
+    name: str | None = None,
+    coupling: "Coupling | str" = Coupling.IMMEDIATE,
+    priority: int = 0,
+    scheduler: Any = None,
+    register: bool = True,
+) -> Rule:
+    """Create a rule and subscribe it to ``objects``.
+
+    ``on`` accepts an event expression (see :mod:`repro.core.dsl`) or a
+    pre-built event; string conditions/actions go through the DSL
+    compiler.  The returned rule is live immediately; ``rule.disable()``
+    or :func:`unmonitor` stops it.
+    """
+    from .dsl import compile_action, compile_condition, parse_event
+    from .registry import default_registry
+
+    if isinstance(on, str):
+        event = parse_event(on)
+    elif isinstance(on, Event):
+        event = on
+    else:
+        raise TypeError(f"on must be an event expression or Event, got {on!r}")
+    if isinstance(condition, str):
+        condition = compile_condition(condition)
+    if isinstance(action, str):
+        action = compile_action(action)
+
+    rule = Rule(
+        name=name,
+        event=event,
+        condition=condition,
+        action=action,
+        coupling=coupling,
+        priority=priority,
+        scheduler=scheduler,
+    )
+    targets = [objects] if isinstance(objects, Reactive) else list(objects)
+    for target in targets:
+        if not isinstance(target, Reactive):
+            raise TypeError(
+                f"monitored objects must be Reactive, got "
+                f"{type(target).__name__}; passive objects generate no events"
+            )
+        target.subscribe(rule)
+    if register:
+        default_registry().add(rule)
+    return rule
+
+
+def unmonitor(rule: Rule, objects: "Reactive | Iterable[Reactive]") -> None:
+    """Unsubscribe ``rule`` from ``objects`` (the reverse of monitor)."""
+    targets = [objects] if isinstance(objects, Reactive) else list(objects)
+    for target in targets:
+        target.unsubscribe(rule)

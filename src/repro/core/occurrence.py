@@ -1,0 +1,191 @@
+"""Event occurrences.
+
+When a reactive object invokes a method declared in its event interface, a
+*primitive event occurrence* is generated (§3.1):
+
+    Generated primitive event = Oid + Class + Method + Actual parameters
+                                + Time stamp
+
+:class:`EventOccurrence` is that message.  Composite events signal
+:class:`CompositeOccurrence` values that aggregate their constituents'
+parameters.  Both share the :class:`Occurrence` interface: a global
+sequence number (total order of detection), a timestamp, constituent
+access, and a merged parameter view.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..oodb.oid import Oid
+from .clock import get_clock
+
+__all__ = [
+    "EventModifier",
+    "Occurrence",
+    "EventOccurrence",
+    "CompositeOccurrence",
+    "next_sequence",
+]
+
+_sequence = itertools.count(1)
+_sequence_lock = threading.Lock()
+
+
+def next_sequence() -> int:
+    """Next value of the global occurrence sequence (total detection order)."""
+    with _sequence_lock:
+        return next(_sequence)
+
+
+class EventModifier(enum.Enum):
+    """When, relative to the method execution, the event is raised (§4.3).
+
+    ``begin`` (bom) fires before the method body runs, ``end`` (eom) fires
+    right after it returns.  ``explicit`` marks events raised by hand from
+    inside a method body (footnote 3 of the paper).
+    """
+
+    BEGIN = "begin"
+    END = "end"
+    EXPLICIT = "explicit"
+
+    @classmethod
+    def parse(cls, text: str) -> "EventModifier":
+        normalized = text.strip().lower()
+        aliases = {
+            "begin": cls.BEGIN,
+            "before": cls.BEGIN,
+            "bom": cls.BEGIN,
+            "end": cls.END,
+            "after": cls.END,
+            "eom": cls.END,
+            "explicit": cls.EXPLICIT,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(
+                f"unknown event modifier {text!r}; expected one of "
+                f"{sorted(aliases)}"
+            ) from None
+
+
+class Occurrence:
+    """Common interface of primitive and composite occurrences."""
+
+    seq: int
+    timestamp: float
+
+    @property
+    def constituents(self) -> tuple["EventOccurrence", ...]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def parameters(self) -> dict[str, Any]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def sources(self) -> list[Any]:
+        """The distinct reactive objects that produced the constituents."""
+        seen: list[Any] = []
+        for part in self.constituents:
+            if part.source is not None and not any(
+                part.source is s for s in seen
+            ):
+                seen.append(part.source)
+        return seen
+
+
+@dataclass(frozen=True, slots=True)
+class EventOccurrence(Occurrence):
+    """One primitive event: a designated method was invoked.
+
+    ``class_names`` holds the full persistent-class MRO of the source, so
+    that an event declared on a superclass matches occurrences produced by
+    subclass instances (rule inheritance, §5.1).
+    """
+
+    class_name: str
+    method: str
+    modifier: EventModifier
+    source: Any = None
+    source_oid: Oid | None = None
+    args: tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    result: Any = None
+    class_names: tuple[str, ...] = ()
+    timestamp: float = field(default_factory=lambda: get_clock().now())
+    seq: int = field(default_factory=next_sequence)
+
+    @property
+    def constituents(self) -> tuple["EventOccurrence", ...]:
+        return (self,)
+
+    def parameters(self) -> dict[str, Any]:
+        """The actual parameters recorded when the event was raised."""
+        return dict(self.params)
+
+    @property
+    def signature_text(self) -> str:
+        return f"{self.modifier.value} {self.class_name}::{self.method}"
+
+    def matches_class(self, class_name: str) -> bool:
+        """True if the source is an instance of ``class_name`` (or a subclass)."""
+        return class_name == self.class_name or class_name in self.class_names
+
+    def __str__(self) -> str:
+        oid = f" {self.source_oid}" if self.source_oid else ""
+        return f"[{self.seq}] {self.signature_text}{oid}"
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeOccurrence(Occurrence):
+    """A composite event signalled by an operator (§4.3).
+
+    Carries the operator's event name and every constituent primitive
+    occurrence; the timestamp and sequence are those of the *terminating*
+    constituent, so composites order consistently with the primitives that
+    completed them.
+    """
+
+    event_name: str
+    parts: tuple[Occurrence, ...]
+    timestamp: float
+    seq: int
+
+    @classmethod
+    def of(cls, event_name: str, parts: tuple[Occurrence, ...]) -> "CompositeOccurrence":
+        if not parts:
+            raise ValueError("a composite occurrence needs at least one part")
+        last = max(parts, key=lambda p: p.seq)
+        return cls(
+            event_name=event_name,
+            parts=parts,
+            timestamp=last.timestamp,
+            seq=last.seq,
+        )
+
+    @property
+    def constituents(self) -> tuple[EventOccurrence, ...]:
+        flattened: list[EventOccurrence] = []
+        for part in self.parts:
+            flattened.extend(part.constituents)
+        return tuple(flattened)
+
+    def parameters(self) -> dict[str, Any]:
+        """Merged parameters of all constituents (later ones win on clash)."""
+        merged: dict[str, Any] = {}
+        for part in sorted(self.constituents, key=lambda p: p.seq):
+            merged.update(part.parameters())
+        return merged
+
+    def __iter__(self) -> Iterator[Occurrence]:
+        return iter(self.parts)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p.seq) for p in self.parts)
+        return f"[{self.seq}] {self.event_name}({inner})"

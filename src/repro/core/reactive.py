@@ -1,0 +1,184 @@
+"""Reactive objects — producers of events (§3.1, §4.1).
+
+A reactive object augments the conventional (synchronous) object interface
+with an *event interface*: selected methods raise begin-of-method /
+end-of-method events, which are propagated asynchronously to the
+notifiable objects that subscribed (Fig 1).
+
+The paper's Reactive class (Fig 4) has ``consumers``, ``Subscribe``,
+``Unsubscribe`` and ``Notify``.  Here:
+
+* :meth:`Reactive.subscribe` / :meth:`Reactive.unsubscribe` manage the
+  per-instance consumer list (the runtime subscription mechanism, §3.5);
+* :meth:`Reactive.notify_consumers` is the paper's ``Notify`` — it
+  delivers an occurrence to every subscribed consumer.  (Renamed because
+  Python cannot overload it against ``Notifiable.notify``, the consumer
+  side; C++ could.)
+
+Class-level consumers hold the rules declared in class definitions (§4.7):
+they receive events from *every* instance of the class (and its
+subclasses) without per-instance subscription — the paper's "efficient
+mechanism for associating rules to all instances of a class".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..oodb.schema import Persistent
+from .interface import ReactiveMeta
+from .occurrence import EventModifier, EventOccurrence
+from .runtime import current_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .notifiable import Notifiable
+
+__all__ = ["Reactive", "subscribe_all"]
+
+
+class Reactive(Persistent, metaclass=ReactiveMeta):
+    """Base class of event-generating objects.
+
+    The event interface itself (which methods generate events) is declared
+    with :func:`repro.core.interface.event_method` or an
+    ``__event_interface__`` mapping; the metaclass wires the stubs.  This
+    class provides the subscription and propagation machinery.
+    """
+
+    _p_transient = ("_consumers",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        object.__setattr__(self, "_consumers", [])
+
+    # ------------------------------------------------------------------
+    # Subscription (the paper's Subscribe/Unsubscribe)
+    # ------------------------------------------------------------------
+    def subscribe(self, consumer: "Notifiable") -> None:
+        """Add ``consumer`` to this object's consumer set (idempotent)."""
+        consumers = self._instance_consumers()
+        if not any(existing is consumer for existing in consumers):
+            consumers.append(consumer)
+
+    def unsubscribe(self, consumer: "Notifiable") -> None:
+        """Remove ``consumer``; unknown consumers are ignored."""
+        consumers = self._instance_consumers()
+        for i, existing in enumerate(consumers):
+            if existing is consumer:
+                del consumers[i]
+                return
+
+    def subscribers(self) -> list["Notifiable"]:
+        """Instance-level consumers (excludes class-level rules)."""
+        return list(self._instance_consumers())
+
+    def has_consumers(self) -> bool:
+        """Cheap check used by event stubs to skip all event work."""
+        if self._instance_consumers():
+            return True
+        for klass in type(self).__mro__:
+            if klass.__dict__.get("_class_consumers"):
+                return True
+        return False
+
+    def _instance_consumers(self) -> list["Notifiable"]:
+        consumers = getattr(self, "_consumers", None)
+        if consumers is None:
+            consumers = []
+            object.__setattr__(self, "_consumers", consumers)
+        return consumers
+
+    def _all_consumers(self) -> list["Notifiable"]:
+        """Instance consumers plus class-level consumers along the MRO."""
+        result: list["Notifiable"] = list(self._instance_consumers())
+        for klass in type(self).__mro__:
+            for consumer in klass.__dict__.get("_class_consumers", ()):
+                if not any(existing is consumer for existing in result):
+                    result.append(consumer)
+        return result
+
+    # ------------------------------------------------------------------
+    # Event generation and propagation (the paper's Notify)
+    # ------------------------------------------------------------------
+    def notify_consumers(self, occurrence: EventOccurrence) -> int:
+        """Propagate ``occurrence`` to every consumer; returns deliveries.
+
+        Delivery happens inside a scheduler *delivery round*, so that
+        immediate rules triggered by the same occurrence are ordered by
+        the conflict-resolution policy rather than by subscription order.
+        """
+        consumers = self._all_consumers()
+        if not consumers:
+            return 0
+        with current_scheduler().delivery_round():
+            for consumer in consumers:
+                consumer.notify(occurrence)
+        return len(consumers)
+
+    def raise_event(
+        self,
+        name: str,
+        modifier: EventModifier = EventModifier.EXPLICIT,
+        result: Any = None,
+        **params: Any,
+    ) -> EventOccurrence:
+        """Explicitly generate a primitive event from inside a method body.
+
+        The paper (footnote 3) allows the class designer to raise events
+        beyond the automatic bom/eom pairs; this is that hook.
+        """
+        occurrence = self._make_occurrence(
+            method=name,
+            modifier=modifier,
+            args=(),
+            kwargs={},
+            params=params,
+            result=result,
+        )
+        self.notify_consumers(occurrence)
+        return occurrence
+
+    def _make_occurrence(
+        self,
+        method: str,
+        modifier: EventModifier,
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        params: dict[str, Any],
+        result: Any,
+    ) -> EventOccurrence:
+        cls = type(self)
+        return EventOccurrence(
+            class_name=cls._p_class_name,  # type: ignore[attr-defined]
+            method=method,
+            modifier=modifier,
+            source=self,
+            source_oid=self._p_oid,
+            args=args,
+            kwargs=dict(kwargs),
+            params=params,
+            result=result,
+            class_names=_persistent_mro_names(cls),
+        )
+
+
+def _persistent_mro_names(cls: type) -> tuple[str, ...]:
+    # Cached per class: the persistent-class MRO never changes after
+    # class creation, and this runs on every monitored invocation.
+    cached = cls.__dict__.get("_p_mro_names")
+    if cached is not None:
+        return cached
+    names: list[str] = []
+    for klass in cls.__mro__:
+        name = klass.__dict__.get("_p_class_name")
+        if name is not None:
+            names.append(name)
+    result = tuple(names)
+    cls._p_mro_names = result  # type: ignore[attr-defined]
+    return result
+
+
+def subscribe_all(objects: Iterable[Reactive], consumer: "Notifiable") -> None:
+    """Subscribe ``consumer`` to every object in ``objects``."""
+    for obj in objects:
+        obj.subscribe(consumer)

@@ -1,0 +1,137 @@
+"""Registries of first-class rules and events (§3.4).
+
+Because rules and events are objects, they can be managed uniformly:
+looked up by name, enumerated, enabled/disabled in groups, deleted.  The
+registries provide that management surface.  Class-level rules register
+under their class's scope at class-creation time; runtime rules register
+under the scope they are created with (``"instance"`` by default).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events.base import Event
+    from .rules import Rule
+
+__all__ = ["RuleRegistry", "EventRegistry", "default_registry", "default_events"]
+
+
+class RuleRegistry:
+    """Name → rule mapping with scope grouping."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, "Rule"] = {}
+        self._scopes: dict[str, list[str]] = {}
+
+    def add(self, rule: "Rule", scope: str = "instance") -> "Rule":
+        """Register ``rule``; duplicate names get a numeric suffix."""
+        name = rule.name
+        if name in self._rules and self._rules[name] is not rule:
+            base, counter = name, 2
+            while f"{base}#{counter}" in self._rules:
+                counter += 1
+            name = f"{base}#{counter}"
+            rule.name = name
+        self._rules[name] = rule
+        self._scopes.setdefault(scope, []).append(name)
+        return rule
+
+    def remove(self, name: str) -> "Rule | None":
+        rule = self._rules.pop(name, None)
+        for names in self._scopes.values():
+            if name in names:
+                names.remove(name)
+        return rule
+
+    def get(self, name: str) -> "Rule":
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise KeyError(f"no rule named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules
+
+    def __iter__(self) -> Iterator["Rule"]:
+        return iter(list(self._rules.values()))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def names(self) -> list[str]:
+        return sorted(self._rules)
+
+    def in_scope(self, scope: str) -> list["Rule"]:
+        return [self._rules[n] for n in self._scopes.get(scope, []) if n in self._rules]
+
+    def enable_all(self, scope: str | None = None) -> int:
+        rules = self.in_scope(scope) if scope else list(self)
+        for rule in rules:
+            rule.enable()
+        return len(rules)
+
+    def disable_all(self, scope: str | None = None) -> int:
+        rules = self.in_scope(scope) if scope else list(self)
+        for rule in rules:
+            rule.disable()
+        return len(rules)
+
+    def clear(self) -> None:
+        self._rules.clear()
+        self._scopes.clear()
+
+
+class EventRegistry:
+    """Name → event mapping for shared, reusable event objects."""
+
+    def __init__(self) -> None:
+        self._events: dict[str, "Event"] = {}
+
+    def add(self, event: "Event") -> "Event":
+        self._events[event.name] = event
+        return event
+
+    def remove(self, name: str) -> "Event | None":
+        return self._events.pop(name, None)
+
+    def get(self, name: str) -> "Event":
+        try:
+            return self._events[name]
+        except KeyError:
+            raise KeyError(f"no event named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._events
+
+    def __iter__(self) -> Iterator["Event"]:
+        return iter(list(self._events.values()))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def names(self) -> list[str]:
+        return sorted(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+_default_rules: RuleRegistry | None = None
+_default_events: EventRegistry | None = None
+
+
+def default_registry() -> RuleRegistry:
+    """Process-wide rule registry (class rules land here at import time)."""
+    global _default_rules
+    if _default_rules is None:
+        _default_rules = RuleRegistry()
+    return _default_rules
+
+
+def default_events() -> EventRegistry:
+    global _default_events
+    if _default_events is None:
+        _default_events = EventRegistry()
+    return _default_events

@@ -1,0 +1,56 @@
+"""Runtime context: the current scheduler and Sentinel system.
+
+Rules fire through a scheduler (which implements the coupling modes and
+conflict resolution).  Most applications create one
+:class:`~repro.core.system.Sentinel` system and work inside it; class-level
+rules, however, are materialized at *import time*, before any system
+exists.  This module provides the indirection: a process-wide default
+scheduler, plus a stack so that ``with sentinel:`` temporarily installs a
+system's scheduler as current.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import RuleScheduler
+
+__all__ = [
+    "current_scheduler",
+    "push_scheduler",
+    "pop_scheduler",
+    "default_scheduler",
+]
+
+_stack: list[Any] = []
+_default: "RuleScheduler | None" = None
+
+
+def default_scheduler() -> "RuleScheduler":
+    """The process-wide fallback scheduler (created on first use)."""
+    global _default
+    if _default is None:
+        from .scheduler import RuleScheduler
+
+        _default = RuleScheduler()
+    return _default
+
+
+def current_scheduler() -> "RuleScheduler":
+    """The innermost active scheduler, or the process default."""
+    if _stack:
+        return _stack[-1]
+    return default_scheduler()
+
+
+def push_scheduler(scheduler: "RuleScheduler") -> None:
+    _stack.append(scheduler)
+
+
+def pop_scheduler(scheduler: "RuleScheduler") -> None:
+    """Remove the most recent push of ``scheduler`` (LIFO discipline)."""
+    for i in range(len(_stack) - 1, -1, -1):
+        if _stack[i] is scheduler:
+            del _stack[i]
+            return

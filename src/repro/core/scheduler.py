@@ -1,0 +1,285 @@
+"""Rule scheduling: coupling modes, conflict resolution, cascade control.
+
+The scheduler is the runtime half of §4.4: when a rule's event signals,
+the rule is handed here, and the coupling mode decides what happens:
+
+* **immediate** — executed inside the current *delivery round*.  A round
+  groups all the rules triggered by one propagated occurrence, orders
+  them with the conflict-resolution policy (priority by default, FIFO
+  otherwise), then runs them.  Rules whose actions generate further
+  events create nested rounds, giving the nested ("subtransaction-like")
+  execution the paper describes for immediate coupling.  A depth guard
+  stops runaway cascades.
+* **deferred** — queued on the current database transaction and executed
+  at commit (before the WAL write), still inside the transaction.  With
+  no database, the scheduler keeps its own queue; ``flush_deferred()``
+  runs it (the Sentinel system calls this on ``commit()``).
+* **decoupled** — queued to run after commit in a fresh transaction of
+  its own; aborts of that transaction do not disturb the (committed)
+  triggering transaction.
+
+The scheduler also keeps the counters the benchmarks read (rules
+triggered, executed, per-mode totals).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from ..oodb.errors import TransactionAborted
+from .coupling import Coupling
+from .occurrence import Occurrence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oodb.database import Database
+    from .rules import Rule
+
+__all__ = [
+    "RuleScheduler",
+    "SchedulerStats",
+    "TraceEntry",
+    "CascadeError",
+    "by_priority",
+    "fifo",
+]
+
+#: A conflict resolver orders the (rule, occurrence) pairs of one round.
+Resolver = Callable[[list[tuple["Rule", Occurrence]]], list[tuple["Rule", Occurrence]]]
+
+
+def by_priority(
+    batch: list[tuple["Rule", Occurrence]]
+) -> list[tuple["Rule", Occurrence]]:
+    """Higher priority first; stable, so FIFO breaks ties."""
+    return sorted(batch, key=lambda pair: -pair[0].priority)
+
+
+def fifo(batch: list[tuple["Rule", Occurrence]]) -> list[tuple["Rule", Occurrence]]:
+    """Triggering order."""
+    return list(batch)
+
+
+_RESOLVERS: dict[str, Resolver] = {"priority": by_priority, "fifo": fifo}
+
+
+class CascadeError(RuntimeError):
+    """Rule cascade exceeded the configured depth limit."""
+
+
+@dataclass(slots=True)
+class SchedulerStats:
+    triggered: int = 0
+    executed: int = 0
+    fired: int = 0
+    immediate: int = 0
+    deferred: int = 0
+    decoupled: int = 0
+    decoupled_aborts: int = 0
+    max_depth_seen: int = 0
+    errors: list[Exception] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One rule execution, as recorded by scheduler tracing."""
+
+    rule_name: str
+    event_name: str
+    occurrence_seq: int
+    depth: int
+    fired: bool
+    error: str | None = None
+
+    def __str__(self) -> str:
+        outcome = "fired" if self.fired else "skipped"
+        if self.error:
+            outcome = f"error: {self.error}"
+        return (
+            f"[seq {self.occurrence_seq}] {self.rule_name} "
+            f"on {self.event_name} (depth {self.depth}) -> {outcome}"
+        )
+
+
+class RuleScheduler:
+    """Executes triggered rules according to their coupling modes.
+
+    ``error_policy`` is ``"propagate"`` (default: rule exceptions unwind
+    into the triggering operation, which is what lets ``abort`` work) or
+    ``"isolate"`` (exceptions other than transaction aborts are collected
+    in ``stats.errors`` and execution continues).
+    """
+
+    def __init__(
+        self,
+        db: "Database | None" = None,
+        resolver: Resolver | str = "priority",
+        max_depth: int = 32,
+        error_policy: str = "propagate",
+    ) -> None:
+        if isinstance(resolver, str):
+            try:
+                resolver = _RESOLVERS[resolver]
+            except KeyError:
+                raise ValueError(
+                    f"unknown resolver {resolver!r}; expected one of "
+                    f"{sorted(_RESOLVERS)} or a callable"
+                ) from None
+        if error_policy not in ("propagate", "isolate"):
+            raise ValueError("error_policy must be 'propagate' or 'isolate'")
+        self.db = db
+        self.resolver = resolver
+        self.max_depth = max_depth
+        self.error_policy = error_policy
+        self.stats = SchedulerStats()
+        self._frames: list[list[tuple["Rule", Occurrence]]] = []
+        self._depth = 0
+        self._orphan_deferred: list[tuple["Rule", Occurrence]] = []
+        self._trace: "deque[TraceEntry] | None" = None
+
+    # ------------------------------------------------------------------
+    # Tracing (debugging / auditing aid)
+    # ------------------------------------------------------------------
+    def enable_tracing(self, limit: int = 1000) -> None:
+        """Record every rule execution in a bounded trace buffer."""
+        self._trace = deque(maxlen=limit)
+
+    def disable_tracing(self) -> None:
+        self._trace = None
+
+    def trace(self) -> list[TraceEntry]:
+        """The recorded executions, oldest first (empty if not tracing)."""
+        return list(self._trace) if self._trace is not None else []
+
+    def _record_trace(
+        self,
+        rule: "Rule",
+        occurrence: Occurrence,
+        fired: bool,
+        error: str | None,
+    ) -> None:
+        if self._trace is not None:
+            self._trace.append(
+                TraceEntry(
+                    rule_name=rule.name,
+                    event_name=rule.event.name,
+                    occurrence_seq=occurrence.seq,
+                    depth=self._depth,
+                    fired=fired,
+                    error=error,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Delivery rounds (conflict resolution scope)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def delivery_round(self) -> Iterator[None]:
+        """Group the immediate rules triggered by one occurrence.
+
+        Reactive objects wrap consumer notification in a round; at round
+        exit the buffered rules run in conflict-resolution order.
+        """
+        frame: list[tuple["Rule", Occurrence]] = []
+        self._frames.append(frame)
+        try:
+            yield
+        finally:
+            popped = self._frames.pop()
+            assert popped is frame
+        for rule, occurrence in self.resolver(frame):
+            self._execute(rule, occurrence)
+
+    # ------------------------------------------------------------------
+    # Scheduling (rules call this when their event signals)
+    # ------------------------------------------------------------------
+    def schedule(self, rule: "Rule", occurrence: Occurrence) -> None:
+        self.stats.triggered += 1
+        mode = rule.coupling
+        if mode is Coupling.IMMEDIATE:
+            self.stats.immediate += 1
+            if self._frames:
+                self._frames[-1].append((rule, occurrence))
+            else:
+                self._execute(rule, occurrence)
+            return
+        if mode is Coupling.DEFERRED:
+            self.stats.deferred += 1
+            txn = self.db.txn_manager.current if self.db is not None else None
+            if txn is not None and txn.is_active:
+                txn.add_pre_commit_hook(
+                    lambda r=rule, o=occurrence: self._execute(r, o)
+                )
+            else:
+                self._orphan_deferred.append((rule, occurrence))
+            return
+        # DECOUPLED
+        self.stats.decoupled += 1
+        txn = self.db.txn_manager.current if self.db is not None else None
+        if txn is not None and txn.is_active:
+            txn.add_post_commit_hook(
+                lambda r=rule, o=occurrence: self._run_decoupled(r, o)
+            )
+        else:
+            self._run_decoupled(rule, occurrence)
+
+    def flush_deferred(self) -> int:
+        """Run deferred rules queued outside any transaction."""
+        count = 0
+        while self._orphan_deferred:
+            rule, occurrence = self._orphan_deferred.pop(0)
+            self._execute(rule, occurrence)
+            count += 1
+        return count
+
+    def pending_deferred(self) -> int:
+        return len(self._orphan_deferred)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, rule: "Rule", occurrence: Occurrence) -> None:
+        if self._depth >= self.max_depth:
+            raise CascadeError(
+                f"rule cascade deeper than {self.max_depth} "
+                f"(at rule {rule.name!r}); check for mutually-triggering rules"
+            )
+        self._depth += 1
+        self.stats.max_depth_seen = max(self.stats.max_depth_seen, self._depth)
+        try:
+            self.stats.executed += 1
+            fired = rule.fire(occurrence)
+            if fired:
+                self.stats.fired += 1
+            self._record_trace(rule, occurrence, fired, None)
+        except TransactionAborted as exc:
+            self._record_trace(rule, occurrence, True, str(exc))
+            raise
+        except Exception as exc:
+            self._record_trace(rule, occurrence, False, str(exc))
+            if self.error_policy == "propagate":
+                raise
+            self.stats.errors.append(exc)
+        finally:
+            self._depth -= 1
+
+    def _run_decoupled(self, rule: "Rule", occurrence: Occurrence) -> None:
+        """Run a decoupled rule in its own transaction."""
+        if self.db is None:
+            try:
+                self._execute(rule, occurrence)
+            except TransactionAborted:
+                self.stats.decoupled_aborts += 1
+            return
+        try:
+            with self.db.transaction():
+                self._execute(rule, occurrence)
+        except TransactionAborted:
+            # The decoupled transaction rolled back; the triggering one is
+            # already committed and unaffected.
+            self.stats.decoupled_aborts += 1
+
+    def reset_stats(self) -> None:
+        self.stats = SchedulerStats()

@@ -1,0 +1,264 @@
+"""The Sentinel system façade (§4).
+
+:class:`Sentinel` wires the pieces into the system the paper describes:
+the Zeitgeist-like object store (``repro.oodb``), a rule scheduler with
+its coupling modes and conflict resolution, the rule/event registries,
+and an event detector.  Used as a context manager it installs its
+scheduler as the current one, so rules created inside fire through this
+system's transactions::
+
+    with Sentinel(path="/tmp/appdb") as sentinel:
+        with sentinel.transaction():
+            fred = Employee("Fred", 50_000)
+            sentinel.db.add(fred)
+        rule = sentinel.monitor([fred], on="end Employee::set_salary(float x)",
+                                action=lambda ctx: print("salary changed"))
+
+A Sentinel without a database (``Sentinel()``) runs the full active-object
+machinery in memory — events, rules, coupling fall back to sensible
+non-transactional behaviour — which is what most of the micro-benchmarks
+use.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator
+
+from ..oodb.database import Database
+from .coupling import Coupling
+from .events.base import Event
+from .events.detector import EventDetector
+from .monitor import monitor as _monitor
+from .reactive import Reactive
+from .registry import EventRegistry, RuleRegistry, default_registry
+from .rules import Rule
+from .runtime import pop_scheduler, push_scheduler
+from .scheduler import RuleScheduler
+
+__all__ = ["Sentinel"]
+
+
+class Sentinel:
+    """An active object-oriented database system."""
+
+    def __init__(
+        self,
+        path: str | None = None,
+        db: Database | None = None,
+        resolver: str | Callable = "priority",
+        max_cascade_depth: int = 32,
+        error_policy: str = "propagate",
+        adopt_class_rules: bool = True,
+    ) -> None:
+        if db is not None and path is not None:
+            raise ValueError("pass either a path or a Database, not both")
+        self.db = db if db is not None else (Database(path) if path else None)
+        self.scheduler = RuleScheduler(
+            db=self.db,
+            resolver=resolver,
+            max_depth=max_cascade_depth,
+            error_policy=error_policy,
+        )
+        self.rules = RuleRegistry()
+        self.events = EventRegistry()
+        self.detector = EventDetector()
+        self._txn_monitor = None
+        self._entered = 0
+        if adopt_class_rules:
+            self._adopt_class_rules()
+
+    def transaction_monitor(self):
+        """The reactive object that raises transaction-boundary events.
+
+        Created (and attached to the transaction manager) on first use;
+        requires a database.  Subscribe rules to it to react to commits
+        and aborts — see :mod:`repro.core.txn_events`.
+        """
+        if self.db is None:
+            raise RuntimeError("transaction events need a database")
+        if self._txn_monitor is None:
+            from .txn_events import TransactionMonitor
+
+            self._txn_monitor = TransactionMonitor().attach(self.db.txn_manager)
+        return self._txn_monitor
+
+    def _adopt_class_rules(self) -> None:
+        """Bind already-materialized class rules to this system's scheduler.
+
+        Class rules are created at import time against the process default
+        scheduler; a system that wants them transactional adopts them.
+        """
+        for rule in default_registry():
+            rule.bind_scheduler(self.scheduler)
+            self.rules.add(rule)
+
+    # ------------------------------------------------------------------
+    # Context management: install this system's scheduler as current
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Sentinel":
+        push_scheduler(self.scheduler)
+        self._entered += 1
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._entered -= 1
+        pop_scheduler(self.scheduler)
+
+    def close(self) -> None:
+        if self.db is not None:
+            self.db.close()
+
+    # ------------------------------------------------------------------
+    # Transactions (pass-through plus deferred-rule flushing)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def transaction(self) -> Iterator[Any]:
+        if self.db is None:
+            # No store: a "transaction" is just a deferred-rule scope.
+            try:
+                yield None
+            finally:
+                self.scheduler.flush_deferred()
+            return
+        with self.db.transaction() as txn:
+            yield txn
+
+    def commit(self) -> None:
+        if self.db is not None:
+            self.db.commit()
+        self.scheduler.flush_deferred()
+
+    def abort(self) -> None:
+        if self.db is not None:
+            self.db.abort()
+
+    # ------------------------------------------------------------------
+    # Rule and event creation
+    # ------------------------------------------------------------------
+    def create_rule(
+        self,
+        name: str | None = None,
+        event: "Event | str | None" = None,
+        condition: Any = None,
+        action: Any = None,
+        coupling: "Coupling | str" = Coupling.IMMEDIATE,
+        priority: int = 0,
+        enabled: bool = True,
+        persist: bool = False,
+    ) -> Rule:
+        """Create (and register) a rule bound to this system's scheduler."""
+        from .dsl import compile_action, compile_condition, parse_event
+
+        if isinstance(event, str):
+            event = parse_event(event)
+        if isinstance(condition, str):
+            condition = compile_condition(condition)
+        if isinstance(action, str):
+            action = compile_action(action)
+        rule = Rule(
+            name=name,
+            event=event,
+            condition=condition,
+            action=action,
+            coupling=coupling,
+            priority=priority,
+            enabled=enabled,
+            scheduler=self.scheduler,
+        )
+        self.rules.add(rule)
+        if persist:
+            self.persist(rule)
+        return rule
+
+    def rule_from_spec(self, text: str, persist: bool = False) -> Rule:
+        """Create a rule from an R/E/C/A/M specification block."""
+        from .dsl import parse_rule
+
+        rule = parse_rule(text, scheduler=self.scheduler)
+        self.rules.add(rule)
+        if persist:
+            self.persist(rule)
+        return rule
+
+    def create_event(self, spec: "str | Event", name: str | None = None) -> Event:
+        """Create (and register) an event from an expression or tree."""
+        from .dsl import parse_event
+
+        event = parse_event(spec) if isinstance(spec, str) else spec
+        if name is not None:
+            event.name = name
+        self.events.add(event)
+        self.detector.register(event)
+        return event
+
+    def monitor(
+        self,
+        objects: "Reactive | Iterable[Reactive]",
+        on: "str | Event",
+        condition: Any = None,
+        action: Any = None,
+        name: str | None = None,
+        coupling: "Coupling | str" = Coupling.IMMEDIATE,
+        priority: int = 0,
+    ) -> Rule:
+        """External monitoring viewpoint: rule + subscriptions in one call."""
+        rule = _monitor(
+            objects,
+            on,
+            condition=condition,
+            action=action,
+            name=name,
+            coupling=coupling,
+            priority=priority,
+            scheduler=self.scheduler,
+            register=False,
+        )
+        self.rules.add(rule)
+        return rule
+
+    # ------------------------------------------------------------------
+    # Persistence of rules/events (first-class objects, §3.4)
+    # ------------------------------------------------------------------
+    def persist(self, obj: Any) -> None:
+        """Store a rule/event (or any persistent object) in the database."""
+        if self.db is None:
+            raise RuntimeError("this Sentinel system has no database")
+        implicit = self.db.txn_manager.current is None
+        self.db.add(obj)
+        if implicit:
+            self.db.commit()
+
+    def load_rules(self) -> list[Rule]:
+        """Fetch every stored rule, re-register, and bind to this system."""
+        if self.db is None:
+            return []
+        stored: list[Rule] = []
+        for rule in self.db.query(Rule):
+            rule.bind_scheduler(self.scheduler)
+            if rule.name not in self.rules:
+                self.rules.add(rule)
+            stored.append(rule)
+        return stored
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        s = self.scheduler.stats
+        return {
+            "rules": len(self.rules),
+            "events": len(self.events),
+            "triggered": s.triggered,
+            "executed": s.executed,
+            "fired": s.fired,
+            "immediate": s.immediate,
+            "deferred": s.deferred,
+            "decoupled": s.decoupled,
+            "transactions_committed": (
+                self.db.txn_manager.committed if self.db else 0
+            ),
+            "transactions_aborted": (
+                self.db.txn_manager.aborted if self.db else 0
+            ),
+        }

@@ -1,0 +1,100 @@
+"""Transaction events: rules triggered by transaction boundaries.
+
+Because events and rules are first-class, nothing stops the *transaction
+manager itself* from being an event producer — the paper's "specification
+of rules on any set of objects" taken to its natural conclusion, and a
+standard capability of later active database systems.
+
+:class:`TransactionMonitor` is a reactive object whose methods are driven
+by the :class:`~repro.oodb.transactions.TransactionManager` observer hook:
+
+* ``txn_begin(txn_id)``
+* ``txn_commit(txn_id, objects_touched)``
+* ``txn_abort(txn_id, objects_touched)``
+
+Rules subscribe to it like to any reactive object::
+
+    monitor = sentinel.transaction_monitor()
+    sentinel.monitor(
+        [monitor],
+        on="end TransactionMonitor::txn_commit(int txn_id, int objects_touched)",
+        condition=lambda ctx: ctx.param("objects_touched") > 100,
+        action=lambda ctx: log.warn("large transaction committed"),
+    )
+
+Reentrancy: rules fired by a commit event may themselves run transactions
+(decoupled coupling always does).  Events for those *nested* transactions
+are suppressed, so a decoupled rule on ``txn_commit`` cannot re-trigger
+itself forever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .interface import event_method
+from .reactive import Reactive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..oodb.transactions import Transaction, TransactionManager
+
+__all__ = ["TransactionMonitor"]
+
+
+class TransactionMonitor(Reactive):
+    """The transaction manager's event-generating face."""
+
+    _p_transient = Reactive._p_transient + ("_manager", "_emitting")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.begins = 0
+        self.commits = 0
+        self.aborts = 0
+        object.__setattr__(self, "_manager", None)
+        object.__setattr__(self, "_emitting", False)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, manager: "TransactionManager") -> "TransactionMonitor":
+        """Start receiving life-cycle notifications from ``manager``."""
+        object.__setattr__(self, "_manager", manager)
+        manager.add_observer(self._observe)
+        return self
+
+    def detach(self) -> None:
+        manager = getattr(self, "_manager", None)
+        if manager is not None:
+            manager.remove_observer(self._observe)
+            object.__setattr__(self, "_manager", None)
+
+    def _observe(self, kind: str, txn: "Transaction") -> None:
+        if getattr(self, "_emitting", False):
+            return  # nested transaction from a rule we triggered
+        object.__setattr__(self, "_emitting", True)
+        try:
+            touched = len(txn.touched_oids()) + len(txn.deleted_oids())
+            if kind == "begin":
+                self.txn_begin(txn.id)
+            elif kind == "commit":
+                self.txn_commit(txn.id, touched)
+            elif kind == "abort":
+                self.txn_abort(txn.id, touched)
+        finally:
+            object.__setattr__(self, "_emitting", False)
+
+    # ------------------------------------------------------------------
+    # Event generators (the observable surface)
+    # ------------------------------------------------------------------
+    @event_method
+    def txn_begin(self, txn_id: int) -> None:
+        self.begins += 1
+
+    @event_method
+    def txn_commit(self, txn_id: int, objects_touched: int) -> None:
+        self.commits += 1
+
+    @event_method
+    def txn_abort(self, txn_id: int, objects_touched: int) -> None:
+        self.aborts += 1

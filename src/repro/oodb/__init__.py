@@ -1,0 +1,88 @@
+"""``repro.oodb`` — a from-scratch object-oriented database substrate.
+
+This package stands in for Zeitgeist, the OODBMS the paper built Sentinel
+on.  It provides object identity (OIDs), persistence roots, ACID
+transactions with write-ahead logging and crash recovery, class extents,
+B-tree attribute indexes, and a query layer.
+
+Quick use::
+
+    from repro.oodb import Database, Persistent
+
+    class Employee(Persistent):
+        def __init__(self, name, salary):
+            super().__init__()
+            self.name = name
+            self.salary = salary
+
+    with Database("/tmp/db") as db:
+        with db.transaction():
+            fred = Employee("Fred", 50_000.0)
+            db.set_root("fred", fred)
+"""
+
+from .buffer import BufferPool, BufferStats
+from .database import Database, RootMap
+from .errors import (
+    DatabaseClosed,
+    DeadlockDetected,
+    DuplicateKey,
+    LockTimeout,
+    NoActiveTransaction,
+    ObjectNotFound,
+    OODBError,
+    QueryError,
+    SchemaError,
+    SerializationError,
+    StorageError,
+    TransactionAborted,
+    TransactionError,
+    UnregisteredClass,
+    WALError,
+)
+from .index import BTree, IndexDefinition, IndexManager
+from .locks import LockManager, LockMode
+from .oid import NULL_OID, Oid, OidAllocator
+from .query import Query
+from .schema import ClassRegistry, Persistent, PersistentMeta, global_registry
+from .serializer import Serializer
+from .transactions import Transaction, TransactionManager, TransactionStatus
+
+__all__ = [
+    "Database",
+    "RootMap",
+    "Persistent",
+    "PersistentMeta",
+    "ClassRegistry",
+    "global_registry",
+    "Oid",
+    "OidAllocator",
+    "NULL_OID",
+    "Transaction",
+    "TransactionManager",
+    "TransactionStatus",
+    "Query",
+    "BTree",
+    "IndexDefinition",
+    "IndexManager",
+    "LockManager",
+    "LockMode",
+    "BufferPool",
+    "BufferStats",
+    "Serializer",
+    "OODBError",
+    "StorageError",
+    "WALError",
+    "SerializationError",
+    "ObjectNotFound",
+    "SchemaError",
+    "UnregisteredClass",
+    "TransactionError",
+    "TransactionAborted",
+    "NoActiveTransaction",
+    "LockTimeout",
+    "DeadlockDetected",
+    "DuplicateKey",
+    "QueryError",
+    "DatabaseClosed",
+]

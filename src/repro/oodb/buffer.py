@@ -1,0 +1,173 @@
+"""Buffer pool: an LRU cache of pages shared by all heap files.
+
+The pool is the only component that reads or writes page files.  It keeps a
+bounded number of pages in memory; dirty pages are written back on eviction
+and on :meth:`BufferPool.flush_file`.  Statistics (hits, misses, evictions,
+writebacks) are exposed for the substrate benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .errors import StorageError
+from .storage.pages import PAGE_SIZE, Page
+
+__all__ = ["BufferPool", "BufferStats"]
+
+
+@dataclass(slots=True)
+class BufferStats:
+    """Counters for buffer-pool behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(slots=True)
+class _FileState:
+    handle: object
+    pins: int = 0
+    pages_on_disk: set[int] = field(default_factory=set)
+
+
+class BufferPool:
+    """LRU page cache keyed by ``(file path, page id)``."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self._capacity = capacity
+        self._pages: OrderedDict[tuple[str, int], Page] = OrderedDict()
+        self._files: dict[str, _FileState] = {}
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    # File management
+    # ------------------------------------------------------------------
+    def attach(self, path: str) -> None:
+        """Register a page file with the pool (idempotent, ref-counted)."""
+        state = self._files.get(path)
+        if state is None:
+            handle = open(path, "r+b")
+            size = os.path.getsize(path)
+            state = _FileState(handle=handle)
+            state.pages_on_disk = set(range(size // PAGE_SIZE))
+            self._files[path] = state
+        state.pins += 1
+
+    def detach(self, path: str) -> None:
+        """Release one attachment; closes and drops pages at zero."""
+        state = self._files.get(path)
+        if state is None:
+            return
+        state.pins -= 1
+        if state.pins <= 0:
+            self.flush_file(path)
+            state.handle.close()  # type: ignore[attr-defined]
+            del self._files[path]
+            for key in [k for k in self._pages if k[0] == path]:
+                del self._pages[key]
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+    def get(self, path: str, page_id: int) -> Page:
+        """Return the page, reading it from disk on a miss."""
+        key = (path, page_id)
+        page = self._pages.get(key)
+        if page is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(key)
+            return page
+        self.stats.misses += 1
+        page = self._read_page(path, page_id)
+        self._admit(key, page)
+        return page
+
+    def put_new(self, path: str, page: Page) -> None:
+        """Admit a freshly-allocated page that does not yet exist on disk."""
+        state = self._require_file(path)
+        key = (path, page.page_id)
+        if key in self._pages or page.page_id in state.pages_on_disk:
+            raise StorageError(
+                f"page {page.page_id} of {path} already exists; "
+                "put_new is for fresh pages only"
+            )
+        page.dirty = True
+        self._admit(key, page)
+
+    def _admit(self, key: tuple[str, int], page: Page) -> None:
+        self._pages[key] = page
+        self._pages.move_to_end(key)
+        while len(self._pages) > self._capacity:
+            old_key, old_page = self._pages.popitem(last=False)
+            self.stats.evictions += 1
+            if old_page.dirty:
+                self._write_page(old_key[0], old_page)
+
+    # ------------------------------------------------------------------
+    # Disk I/O
+    # ------------------------------------------------------------------
+    def _require_file(self, path: str) -> _FileState:
+        state = self._files.get(path)
+        if state is None:
+            raise StorageError(f"file {path} is not attached to the buffer pool")
+        return state
+
+    def _read_page(self, path: str, page_id: int) -> Page:
+        state = self._require_file(path)
+        if page_id not in state.pages_on_disk:
+            raise StorageError(f"page {page_id} of {path} does not exist")
+        handle = state.handle
+        handle.seek(page_id * PAGE_SIZE)  # type: ignore[attr-defined]
+        data = handle.read(PAGE_SIZE)  # type: ignore[attr-defined]
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"short read of page {page_id} from {path}: {len(data)} bytes"
+            )
+        return Page.from_bytes(data)
+
+    def _write_page(self, path: str, page: Page) -> None:
+        state = self._require_file(path)
+        handle = state.handle
+        handle.seek(page.page_id * PAGE_SIZE)  # type: ignore[attr-defined]
+        handle.write(page.to_bytes())  # type: ignore[attr-defined]
+        state.pages_on_disk.add(page.page_id)
+        page.dirty = False
+        self.stats.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def flush_file(self, path: str) -> None:
+        """Write back every dirty cached page of ``path`` and fsync."""
+        state = self._files.get(path)
+        if state is None:
+            return
+        for (file_path, _page_id), page in list(self._pages.items()):
+            if file_path == path and page.dirty:
+                self._write_page(path, page)
+        state.handle.flush()  # type: ignore[attr-defined]
+        os.fsync(state.handle.fileno())  # type: ignore[attr-defined]
+
+    def flush_all(self) -> None:
+        """Flush every attached file."""
+        for path in list(self._files):
+            self.flush_file(path)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def cached_page_count(self) -> int:
+        return len(self._pages)

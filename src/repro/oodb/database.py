@@ -1,0 +1,745 @@
+"""The database façade.
+
+:class:`Database` is the substrate the paper builds Sentinel on — our
+stand-in for Zeitgeist.  It wires together the buffer pool, heap file,
+write-ahead log, serializer, class registry, extents, indexes, locks, and
+transaction manager, and exposes the object-store surface that the Sentinel
+layer (and applications) use:
+
+* ``add`` / ``fetch`` / ``delete`` persistent objects,
+* ``transaction()`` / ``begin`` / ``commit`` / ``abort``,
+* named roots (persistence by reachability from roots, Zeitgeist-style),
+* ``query(Class)`` over class extents,
+* ``create_index`` for attribute indexes,
+* crash recovery on open, ``checkpoint`` to truncate the log.
+
+Databases can also run fully in memory (``path=None``): the same code paths
+minus the disk, which is what the event/rule benchmarks use so that storage
+I/O does not drown out the costs the paper reasons about.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .buffer import BufferPool
+from .errors import (
+    DatabaseClosed,
+    ObjectNotFound,
+    SerializationError,
+    TransactionAborted,
+    TransactionError,
+)
+from .index import IndexDefinition, IndexManager
+from .locks import LockManager, LockMode
+from .oid import NULL_OID, Oid, OidAllocator
+from .query import Query
+from .recovery import RecoveryReport, replay
+from .schema import ClassRegistry, Extents, Persistent, global_registry
+from .serializer import Serializer
+from .storage.heap import HeapFile, RecordId
+from .storage.wal import WriteAheadLog
+from .transactions import Transaction, TransactionManager
+
+__all__ = ["Database", "RootMap"]
+
+_MISSING = object()
+
+
+class RootMap(Persistent):
+    """The named-roots object: a persistent dictionary of name → object."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entries: dict[str, Any] = {}
+
+
+class Database:
+    """An object database with ACID transactions and crash recovery.
+
+    Parameters
+    ----------
+    path:
+        Directory for the data files, or ``None`` for a purely in-memory
+        database (no WAL, no heap; transactions still roll back correctly).
+    registry:
+        Class registry to decode records with; defaults to the process-wide
+        registry.
+    sync:
+        Whether commits fsync the WAL (durability vs. speed).
+    locking:
+        Whether to acquire per-object locks (needed only for multithreaded
+        use; single-threaded benchmarks leave it off).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        *,
+        registry: ClassRegistry | None = None,
+        sync: bool = True,
+        locking: bool = False,
+        buffer_capacity: int = 256,
+    ) -> None:
+        self.registry = registry or global_registry
+        # The catalog's own classes must decode regardless of which
+        # registry the application supplies.
+        self.registry.register(RootMap)
+        self.locking = locking
+        self.locks = LockManager()
+        self.extents = Extents(self.registry)
+        self.indexes = IndexManager(self.registry.family)
+        self.serializer = Serializer(self)
+        self.txn_manager = TransactionManager(self)
+        self.allocator = OidAllocator()
+        self._cache: dict[Oid, Persistent] = {}
+        self._locations: dict[Oid, RecordId] = {}
+        self._closed = False
+        self._root_map: RootMap | None = None
+
+        self._in_memory = path is None
+        if self._in_memory:
+            self._dir = None
+            self._pool = None
+            self._heap = None
+            self._wal = None
+            self._memory_records: dict[Oid, bytes] = {}
+            self.last_recovery: RecoveryReport | None = None
+        else:
+            self._dir = os.fspath(path)
+            os.makedirs(self._dir, exist_ok=True)
+            self._pool = BufferPool(capacity=buffer_capacity)
+            self._heap = HeapFile(os.path.join(self._dir, "data.heap"), self._pool)
+            self._wal = WriteAheadLog(os.path.join(self._dir, "wal.log"), sync=sync)
+            self._memory_records = {}
+            self.last_recovery = self._recover_and_load()
+
+    # ------------------------------------------------------------------
+    # Open-time recovery and loading
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> str:
+        assert self._dir is not None
+        return os.path.join(self._dir, "meta.json")
+
+    def _recover_and_load(self) -> RecoveryReport:
+        assert self._heap is not None and self._wal is not None
+        # 1. Rebuild the OID -> record-id map from the heap.
+        max_oid = 0
+        for rid, payload in self._heap.scan():
+            record = Serializer.record_from_bytes(payload)
+            oid = Oid(record["oid"])
+            self._locations[oid] = rid
+            max_oid = max(max_oid, oid.value)
+
+        # 2. Replay the WAL over the heap (idempotent upserts).
+        report = replay(self._wal, self._apply_recovered_update)
+        max_oid = max(max_oid, report.max_oid_seen)
+
+        # 3. Load the catalog (allocator high-water mark, roots, indexes).
+        meta: dict[str, Any] = {}
+        if os.path.exists(self._meta_path()):
+            with open(self._meta_path()) as handle:
+                meta = json.load(handle)
+        self.allocator = OidAllocator(max(meta.get("allocator", 1), max_oid + 1))
+
+        # 4. Rebuild extents from the heap.
+        for oid, rid in self._locations.items():
+            record = Serializer.record_from_bytes(self._heap.read(rid))
+            if record["class"] in self.registry:
+                self.extents.add(record["class"], oid)
+
+        # 5. Recreate and rebuild indexes.
+        for entry in meta.get("indexes", []):
+            self.indexes.create(IndexDefinition(**entry))
+        self._rebuild_indexes()
+
+        # 6. Reattach the root map.  The catalog pointer is preferred, but
+        # after a crash that preceded any checkpoint the meta file may not
+        # exist yet — fall back to the RootMap class extent.
+        root_oid = meta.get("root_oid")
+        if not root_oid:
+            extent = self.extents.of("RootMap", include_subclasses=False)
+            root_oid = min(extent).value if extent else None
+        if root_oid:
+            try:
+                self._root_map = self.fetch(Oid(root_oid))  # type: ignore[assignment]
+            except ObjectNotFound:
+                self._root_map = None
+
+        # 7. Make the redone state durable and truncate the log.
+        if not report.clean:
+            self.checkpoint()
+        return report
+
+    def _apply_recovered_update(
+        self, oid_value: int, redo: dict[str, Any] | None
+    ) -> None:
+        assert self._heap is not None
+        oid = Oid(oid_value)
+        rid = self._locations.get(oid)
+        if redo is None:
+            if rid is not None:
+                self._heap.delete(rid)
+                del self._locations[oid]
+            return
+        payload = Serializer.record_to_bytes({"oid": oid.value, **redo})
+        if rid is None:
+            self._locations[oid] = self._heap.insert(payload)
+        else:
+            self._locations[oid] = self._heap.update(rid, payload)
+
+    def _rebuild_indexes(self) -> None:
+        self.indexes.clear()
+        for definition in self.indexes.definitions():
+            for oid in self.extents.of(definition.class_name):
+                obj = self.fetch(oid)
+                self.indexes.on_add(
+                    type(obj)._p_class_name,  # type: ignore[attr-defined]
+                    oid,
+                    _plain_attrs(obj),
+                )
+
+    # ------------------------------------------------------------------
+    # Serializer resolver protocol
+    # ------------------------------------------------------------------
+    def resolve_reference(self, oid: Oid) -> Persistent:
+        return self.fetch(oid)
+
+    def reference_for(self, obj: Any) -> Oid | None:
+        if not isinstance(obj, Persistent):
+            return None
+        if obj._p_db is None:
+            # Persistence by reachability: storing a reference to a
+            # transient persistent-capable object pulls it into the store.
+            self.add(obj)
+        elif obj._p_db is not self:
+            raise SerializationError(
+                f"{obj!r} belongs to a different database"
+            )
+        assert obj._p_oid is not None
+        return obj._p_oid
+
+    def class_for_name(self, name: str) -> type:
+        return self.registry.get(name)
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+    def add(self, obj: Persistent) -> Oid:
+        """Make ``obj`` persistent: allocate an OID and track its creation."""
+        self._require_open()
+        if not isinstance(obj, Persistent):
+            raise TypeError(
+                f"only Persistent instances can be stored, got "
+                f"{type(obj).__name__}"
+            )
+        if obj._p_db is self:
+            assert obj._p_oid is not None
+            return obj._p_oid
+        if obj._p_db is not None:
+            raise SerializationError(f"{obj!r} belongs to a different database")
+        txn = self.txn_manager.ensure_current()
+        oid = self.allocator.allocate()
+        object.__setattr__(obj, "_p_oid", oid)
+        object.__setattr__(obj, "_p_db", self)
+        if self.locking:
+            self.locks.acquire(txn.id, oid, LockMode.EXCLUSIVE)
+        self._cache[oid] = obj
+        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
+        self.extents.add(class_name, oid)
+        self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+        txn.note_created(obj)
+        return oid
+
+    def fetch(self, oid: Oid) -> Persistent:
+        """Return the object identified by ``oid`` (identity-map semantics)."""
+        self._require_open()
+        if oid == NULL_OID:
+            raise ObjectNotFound(oid)
+        cached = self._cache.get(oid)
+        if cached is not None:
+            return cached
+        record = self._stored_record(oid)
+        if record is None:
+            raise ObjectNotFound(oid)
+        cls = self.registry.get(record["class"])
+        obj: Persistent = cls.__new__(cls)
+        object.__setattr__(obj, "_p_oid", oid)
+        object.__setattr__(obj, "_p_db", self)
+        # Register before decoding attributes so reference cycles resolve.
+        self._cache[oid] = obj
+        self.serializer.decode_object(record, obj)
+        # Give the object a chance to restore transient wiring (e.g.
+        # composite events re-attach themselves as listeners on children).
+        after_load = getattr(obj, "_p_after_load", None)
+        if after_load is not None:
+            after_load()
+        return obj
+
+    def delete(self, obj: Persistent) -> None:
+        """Remove ``obj`` from the store (undone if the txn aborts)."""
+        self._require_open()
+        if obj._p_db is not self or obj._p_oid is None:
+            raise ObjectNotFound(getattr(obj, "_p_oid", None))
+        txn = self.txn_manager.ensure_current()
+        oid = obj._p_oid
+        if self.locking:
+            self.locks.acquire(txn.id, oid, LockMode.EXCLUSIVE)
+        txn.note_deleted(obj)
+        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
+        self.extents.remove(class_name, oid)
+        self.indexes.on_remove(class_name, oid)
+        self._cache.pop(oid, None)
+
+    def contains(self, oid: Oid) -> bool:
+        return oid in self._cache or self._stored_record(oid) is not None
+
+    def _stored_record(self, oid: Oid) -> dict[str, Any] | None:
+        if self._in_memory:
+            payload = self._memory_records.get(oid)
+            return None if payload is None else Serializer.record_from_bytes(payload)
+        rid = self._locations.get(oid)
+        if rid is None:
+            return None
+        assert self._heap is not None
+        return Serializer.record_from_bytes(self._heap.read(rid))
+
+    # ------------------------------------------------------------------
+    # Change-tracking hooks (called from Persistent.__setattr__)
+    # ------------------------------------------------------------------
+    def _before_modify(self, obj: Persistent) -> None:
+        if self._closed:
+            raise DatabaseClosed("database is closed")
+        txn = self.txn_manager.ensure_current()
+        if txn._restoring:
+            return
+        assert obj._p_oid is not None
+        if self.locking:
+            self.locks.acquire(txn.id, obj._p_oid, LockMode.EXCLUSIVE)
+        txn.note_modified(obj)
+
+    def _after_modify(
+        self, obj: Persistent, name: str, old: Any, new: Any
+    ) -> None:
+        assert obj._p_oid is not None
+        self.indexes.on_update(
+            type(obj)._p_class_name,  # type: ignore[attr-defined]
+            obj._p_oid,
+            name,
+            new,
+        )
+
+    def _current_record(self, oid: Oid) -> dict[str, Any] | None:
+        """Before image for undo: last committed state, from storage."""
+        record = self._stored_record(oid)
+        if record is None:
+            return None
+        record.pop("oid", None)
+        return record
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        self._require_open()
+        return self.txn_manager.begin()
+
+    def commit(self) -> None:
+        """Commit the current (explicit or implicit) transaction."""
+        txn = self.txn_manager.current
+        if txn is None:
+            return
+        self.txn_manager.commit(txn)
+
+    def abort(self) -> None:
+        """Roll back the current transaction (no-op when none is active)."""
+        txn = self.txn_manager.current
+        if txn is not None:
+            self.txn_manager.rollback(txn)
+
+    @property
+    def current_transaction(self) -> Transaction | None:
+        return self.txn_manager.current
+
+    def lock_for_update(self, obj: Persistent) -> None:
+        """Take the exclusive lock on ``obj`` *before* reading it.
+
+        Read-modify-write sequences (``obj.n += 1``) read without a lock;
+        under concurrency two transactions can both read the old value
+        and lose an update.  Calling this first (the ``SELECT ... FOR
+        UPDATE`` idiom) serializes the whole sequence.  No-op when
+        locking is disabled.
+        """
+        if not self.locking:
+            return
+        if obj._p_db is not self or obj._p_oid is None:
+            raise ObjectNotFound(getattr(obj, "_p_oid", None))
+        txn = self.txn_manager.ensure_current()
+        self.locks.acquire(txn.id, obj._p_oid, LockMode.EXCLUSIVE)
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """``with db.transaction():`` — commit on success, abort on error.
+
+        :class:`TransactionAborted` raised inside (e.g. by a rule's abort
+        action) propagates to the caller after rollback.
+        """
+        txn = self.begin()
+        try:
+            yield txn
+        except TransactionAborted:
+            self.txn_manager.rollback(txn)
+            raise
+        except BaseException:
+            self.txn_manager.rollback(txn)
+            raise
+        else:
+            self.txn_manager.commit(txn)
+
+    # ------------------------------------------------------------------
+    # Commit/rollback application (called by the TransactionManager)
+    # ------------------------------------------------------------------
+    def _apply_commit(self, txn: Transaction) -> None:
+        # Serializing touched objects can pull in newly-reachable objects
+        # (persistence by reachability), so iterate to a fixed point.
+        redo: dict[Oid, dict[str, Any]] = {}
+        done: set[Oid] = set()
+        while True:
+            pending = [
+                (oid, obj)
+                for oid, obj in txn._touched.items()
+                if oid not in done
+            ]
+            if not pending:
+                break
+            for oid, obj in pending:
+                redo[oid] = self.serializer.encode_object(obj)
+                done.add(oid)
+
+        if not redo and not txn._deleted:
+            return
+
+        if self._wal is not None:
+            self._wal.log_begin(txn.id)
+            for oid, record in redo.items():
+                self._wal.log_update(txn.id, oid.value, txn._undo.get(oid), record)
+            for oid in txn._deleted:
+                self._wal.log_update(txn.id, oid.value, txn._undo.get(oid), None)
+            self._wal.log_commit(txn.id)
+
+        for oid, obj in txn._deleted.items():
+            # The object reverts to transient once the delete is durable.
+            object.__setattr__(obj, "_p_db", None)
+            object.__setattr__(obj, "_p_oid", None)
+            if self._in_memory:
+                self._memory_records.pop(oid, None)
+                continue
+            rid = self._locations.pop(oid, None)
+            if rid is not None:
+                assert self._heap is not None
+                self._heap.delete(rid)
+        for oid, record in redo.items():
+            payload = Serializer.record_to_bytes({"oid": oid.value, **record})
+            if self._in_memory:
+                self._memory_records[oid] = payload
+                continue
+            assert self._heap is not None
+            rid = self._locations.get(oid)
+            if rid is None:
+                self._locations[oid] = self._heap.insert(payload)
+            else:
+                self._locations[oid] = self._heap.update(rid, payload)
+
+    def _apply_rollback(self, txn: Transaction) -> None:
+        for oid, obj in list(txn._touched.items()):
+            if oid in txn._created:
+                self._detach_created(obj)
+                continue
+            before = txn._undo.get(oid)
+            if before is not None:
+                self._restore_object(obj, before)
+        for _oid, obj in txn._deleted.items():
+            self._undelete(obj)
+        if self._wal is not None:
+            self._wal.log_abort(txn.id)
+
+    def _restore_object(self, obj: Persistent, record: dict[str, Any]) -> None:
+        """Reset ``obj``'s attributes to ``record`` and fix its indexes."""
+        transient = set(type(obj)._p_transient)
+        for name in list(vars(obj)):
+            if not name.startswith("_p_") and name not in transient:
+                object.__delattr__(obj, name)
+        self.serializer.decode_object(record, obj)
+        assert obj._p_oid is not None
+        self.indexes.reindex(
+            type(obj)._p_class_name,  # type: ignore[attr-defined]
+            obj._p_oid,
+            _plain_attrs(obj),
+        )
+
+    def _detach_created(self, obj: Persistent) -> None:
+        oid = obj._p_oid
+        assert oid is not None
+        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
+        self.extents.remove(class_name, oid)
+        self.indexes.on_remove(class_name, oid)
+        self._cache.pop(oid, None)
+        object.__setattr__(obj, "_p_db", None)
+        object.__setattr__(obj, "_p_oid", None)
+
+    def _undelete(self, obj: Persistent) -> None:
+        oid = obj._p_oid
+        assert oid is not None
+        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
+        self._cache[oid] = obj
+        self.extents.add(class_name, oid)
+        self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+
+    # ------------------------------------------------------------------
+    # Roots
+    # ------------------------------------------------------------------
+    def _ensure_root_map(self) -> RootMap:
+        if self._root_map is None:
+            self._root_map = RootMap()
+            self.add(self._root_map)
+        return self._root_map
+
+    def set_root(self, name: str, obj: Persistent) -> None:
+        """Bind ``obj`` under the persistent root ``name``."""
+        roots = self._ensure_root_map()
+        self.add(obj)
+        entries = dict(roots.entries)
+        entries[name] = obj
+        roots.entries = entries
+
+    def get_root(self, name: str, default: Any = None) -> Any:
+        if self._root_map is None:
+            return default
+        return self._root_map.entries.get(name, default)
+
+    def root_names(self) -> list[str]:
+        if self._root_map is None:
+            return []
+        return sorted(self._root_map.entries)
+
+    # ------------------------------------------------------------------
+    # Queries and indexes
+    # ------------------------------------------------------------------
+    def query(self, cls: type | str, include_subclasses: bool = True) -> Query:
+        self._require_open()
+        return Query(self, cls, include_subclasses)
+
+    def create_index(
+        self, cls: type | str, attribute: str, unique: bool = False
+    ) -> None:
+        """Create a B-tree index and build it from the current extent."""
+        class_name = cls if isinstance(cls, str) else cls._p_class_name  # type: ignore[attr-defined]
+        definition = IndexDefinition(class_name, attribute, unique)
+        self.indexes.create(definition)
+        for oid in self.extents.of(class_name):
+            obj = self.fetch(oid)
+            self.indexes.on_add(
+                type(obj)._p_class_name,  # type: ignore[attr-defined]
+                oid,
+                _plain_attrs(obj),
+            )
+
+    # ------------------------------------------------------------------
+    # Schema evolution
+    # ------------------------------------------------------------------
+    def migrate(
+        self,
+        cls: type | str,
+        upgrade: "Any",
+        include_subclasses: bool = True,
+    ) -> int:
+        """Apply ``upgrade(obj)`` to every stored instance of ``cls``.
+
+        Runs in a single transaction (all-or-nothing), so a failing
+        upgrade leaves every instance untouched.  This is the schema-
+        evolution counterpart of the paper's extensibility argument:
+        because rules and events are ordinary objects, *their* classes
+        can be migrated with the same call as application classes.
+
+        Returns the number of objects upgraded.
+        """
+        self._require_open()
+        class_name = cls if isinstance(cls, str) else cls._p_class_name  # type: ignore[attr-defined]
+        oids = sorted(self.extents.of(class_name, include_subclasses))
+        if not oids:
+            return 0
+        own_txn = self.txn_manager.current is None
+        if own_txn:
+            with self.transaction():
+                for oid in oids:
+                    upgrade(self.fetch(oid))
+        else:
+            for oid in oids:
+                upgrade(self.fetch(oid))
+        return len(oids)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (persistence by reachability, both directions)
+    # ------------------------------------------------------------------
+    def collect_garbage(
+        self, extra_roots: "list[Persistent] | None" = None
+    ) -> tuple[int, int]:
+        """Delete objects unreachable from the named roots.
+
+        Storing a reference pulls objects *into* the store (persistence by
+        reachability); this is the reverse direction — a mark-and-sweep
+        over the committed object graph.  Marking walks the serialized
+        records (``$ref`` edges), so it does not need to materialize the
+        whole database.  The sweep runs in one ordinary transaction, so it
+        is logged, recoverable, and rolls back as a unit on failure.
+
+        ``extra_roots`` marks additional entry points (e.g. objects an
+        application holds by OID outside the root map).  Returns
+        ``(marked, swept)`` counts.  Requires no active transaction.
+        """
+        self._require_open()
+        if self.txn_manager.current is not None:
+            raise TransactionError(
+                "collect_garbage must run outside any transaction"
+            )
+        stored = (
+            set(self._memory_records)
+            if self._in_memory
+            else set(self._locations)
+        )
+        worklist: list[Oid] = []
+        if self._root_map is not None and self._root_map._p_oid in stored:
+            worklist.append(self._root_map._p_oid)
+        for obj in extra_roots or ():
+            if isinstance(obj, Persistent) and obj._p_oid in stored:
+                worklist.append(obj._p_oid)
+
+        marked: set[Oid] = set()
+        while worklist:
+            oid = worklist.pop()
+            if oid in marked:
+                continue
+            marked.add(oid)
+            record = self._stored_record(oid)
+            if record is None:
+                continue
+            for target in _collect_refs(record["attrs"]):
+                if target in stored and target not in marked:
+                    worklist.append(target)
+
+        victims = stored - marked
+        if victims:
+            with self.transaction():
+                for oid in sorted(victims):
+                    self.delete(self.fetch(oid))
+        return len(marked), len(victims)
+
+    # ------------------------------------------------------------------
+    # Durability / lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Flush the heap, persist the catalog, truncate the WAL."""
+        self._require_open()
+        if self._in_memory:
+            return
+        assert self._heap is not None and self._wal is not None
+        self._heap.flush()
+        meta = {
+            "allocator": self.allocator.snapshot(),
+            "root_oid": self._root_map._p_oid.value
+            if self._root_map is not None and self._root_map._p_oid
+            else None,
+            "indexes": [
+                {
+                    "class_name": d.class_name,
+                    "attribute": d.attribute,
+                    "unique": d.unique,
+                }
+                for d in self.indexes.definitions()
+            ],
+        }
+        tmp = self._meta_path() + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(meta, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._meta_path())
+        self._wal.truncate()
+
+    def close(self) -> None:
+        """Abort any active transaction, checkpoint, and release files."""
+        if self._closed:
+            return
+        txn = self.txn_manager.current
+        if txn is not None:
+            self.txn_manager.rollback(txn)
+        if not self._in_memory:
+            self.checkpoint()
+            assert self._heap is not None and self._wal is not None
+            self._heap.close()
+            self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosed("database is closed")
+
+    # ------------------------------------------------------------------
+    # Introspection / testing aids
+    # ------------------------------------------------------------------
+    def object_count(self) -> int:
+        if self._in_memory:
+            stored = set(self._memory_records)
+        else:
+            stored = set(self._locations)
+        txn = self.txn_manager.current
+        if txn is not None:
+            stored |= txn.created_oids()
+            stored -= txn.deleted_oids()
+        return len(stored)
+
+    def evict_cache(self) -> None:
+        """Drop the identity map (testing: force re-reads from storage)."""
+        for obj in self._cache.values():
+            object.__setattr__(obj, "_p_db", None)
+        self._cache.clear()
+
+    @classmethod
+    def temporary(cls, **kwargs: Any) -> "Database":
+        """A database in a fresh temp directory (caller cleans up)."""
+        return cls(tempfile.mkdtemp(prefix="repro-oodb-"), **kwargs)
+
+
+def _plain_attrs(obj: Persistent) -> dict[str, Any]:
+    transient = set(type(obj)._p_transient)
+    return {
+        name: value
+        for name, value in vars(obj).items()
+        if not name.startswith("_p_") and name not in transient
+    }
+
+
+def _collect_refs(encoded) -> "list[Oid]":
+    """Extract every $ref OID from an encoded attribute tree."""
+    refs: list[Oid] = []
+    stack = [encoded]
+    while stack:
+        value = stack.pop()
+        if isinstance(value, dict):
+            if "$ref" in value and len(value) == 1:
+                refs.append(Oid(value["$ref"]))
+            else:
+                stack.extend(value.values())
+        elif isinstance(value, list):
+            stack.extend(value)
+    return refs

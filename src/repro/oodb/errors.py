@@ -1,0 +1,135 @@
+"""Exception hierarchy for the object store.
+
+Every error raised by :mod:`repro.oodb` derives from :class:`OODBError`, so
+callers can catch a single base class at component boundaries.  The hierarchy
+mirrors the major subsystems: storage, transactions, locking, schema, and
+recovery.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "OODBError",
+    "StorageError",
+    "PageError",
+    "ChecksumError",
+    "WALError",
+    "SerializationError",
+    "ObjectNotFound",
+    "DuplicateOid",
+    "SchemaError",
+    "UnregisteredClass",
+    "TransactionError",
+    "NoActiveTransaction",
+    "TransactionAborted",
+    "TransactionNotActive",
+    "LockError",
+    "LockTimeout",
+    "DeadlockDetected",
+    "IndexError_",
+    "DuplicateKey",
+    "QueryError",
+    "RecoveryError",
+    "DatabaseClosed",
+]
+
+
+class OODBError(Exception):
+    """Base class for all object-store errors."""
+
+
+class StorageError(OODBError):
+    """A failure in the on-disk storage layer."""
+
+
+class PageError(StorageError):
+    """A page-level structural violation (bad slot, overflow, ...)."""
+
+
+class ChecksumError(PageError):
+    """A page failed checksum verification when read back from disk."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is unreadable or structurally invalid."""
+
+
+class SerializationError(OODBError):
+    """An object could not be encoded to, or decoded from, record form."""
+
+
+class ObjectNotFound(OODBError):
+    """No object with the requested OID exists in the store."""
+
+    def __init__(self, oid: object) -> None:
+        super().__init__(f"no object with oid {oid!r}")
+        self.oid = oid
+
+
+class DuplicateOid(OODBError):
+    """An OID was allocated or registered twice."""
+
+
+class SchemaError(OODBError):
+    """A class definition violates the schema rules of the store."""
+
+
+class UnregisteredClass(SchemaError):
+    """A record refers to a persistent class that was never registered."""
+
+    def __init__(self, class_name: str) -> None:
+        super().__init__(f"persistent class {class_name!r} is not registered")
+        self.class_name = class_name
+
+
+class TransactionError(OODBError):
+    """Base class for transaction-protocol violations."""
+
+
+class NoActiveTransaction(TransactionError):
+    """A transactional operation was attempted with no transaction open."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised out of ``commit`` (or an operation) when a transaction aborts.
+
+    Rule actions use :meth:`repro.oodb.transactions.Transaction.abort` to
+    cancel the triggering transaction (the paper's ``abort`` rule action);
+    that surfaces to the caller as this exception.
+    """
+
+
+class TransactionNotActive(TransactionError):
+    """An operation was attempted on a finished (committed/aborted) txn."""
+
+
+class LockError(OODBError):
+    """Base class for lock-manager failures."""
+
+
+class LockTimeout(LockError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class DeadlockDetected(LockError):
+    """The wait-for graph contains a cycle involving the requesting txn."""
+
+
+class IndexError_(OODBError):
+    """A structural failure in a secondary index (named to avoid the builtin)."""
+
+
+class DuplicateKey(IndexError_):
+    """A unique index rejected a duplicate key."""
+
+
+class QueryError(OODBError):
+    """An ill-formed query (unknown attribute, bad operator, ...)."""
+
+
+class RecoveryError(OODBError):
+    """Restart recovery could not bring the store to a consistent state."""
+
+
+class DatabaseClosed(OODBError):
+    """An operation was attempted on a closed database."""

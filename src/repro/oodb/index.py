@@ -1,0 +1,450 @@
+"""Secondary indexes: an in-memory B-tree plus the index manager.
+
+The B-tree is a textbook implementation (order ``t``: internal nodes hold
+between ``t-1`` and ``2t-1`` keys except the root) mapping keys to lists of
+values.  The :class:`IndexManager` maintains one B-tree per
+``(class, attribute)`` pair, keeps it current as attributes change (hooked
+from :meth:`repro.oodb.schema.Persistent.__setattr__` via the database) and
+rebuilds after transaction aborts.
+
+Indexes are rebuilt from the heap at database open; their definitions are
+persisted in the database catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .errors import DuplicateKey, QueryError
+from .oid import Oid
+
+__all__ = ["BTree", "IndexManager", "IndexDefinition"]
+
+_MISSING = object()
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[list[Any]] = []
+        self.children: list["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A B-tree mapping comparable keys to lists of values.
+
+    Duplicate keys accumulate values under one key slot; ``unique=True``
+    rejects a second value for an existing key with
+    :class:`~repro.oodb.errors.DuplicateKey`.
+    """
+
+    def __init__(self, order: int = 16, unique: bool = False) -> None:
+        if order < 2:
+            raise ValueError("B-tree order must be >= 2")
+        self._t = order
+        self._unique = unique
+        self._root = _Node()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, key: Any) -> list[Any]:
+        """Return the values stored under ``key`` (empty list if absent)."""
+        node = self._root
+        while True:
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return list(node.values[idx])
+            if node.is_leaf:
+                return []
+            node = node.children[idx]
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.search(key))
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key <= high`` in order.
+
+        ``None`` bounds are open; ``inclusive`` controls each endpoint.
+        """
+        for key, values in self._walk(self._root):
+            if low is not None:
+                if key < low or (not inclusive[0] and key == low):
+                    continue
+            if high is not None:
+                if key > high or (not inclusive[1] and key == high):
+                    break
+            for value in values:
+                yield key, value
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All ``(key, value)`` pairs in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        for key, _values in self._walk(self._root):
+            yield key
+
+    def _walk(self, node: _Node) -> Iterator[tuple[Any, list[Any]]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for idx, key in enumerate(node.keys):
+            yield from self._walk(node.children[idx])
+            yield key, node.values[idx]
+        yield from self._walk(node.children[-1])
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Add ``value`` under ``key``."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if self._unique:
+                    raise DuplicateKey(f"duplicate key {key!r} in unique index")
+                node.values[idx].append(value)
+                self._size += 1
+                return
+            if node.is_leaf:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, [value])
+                self._size += 1
+                return
+            child = node.children[idx]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, idx)
+                if key == node.keys[idx]:
+                    if self._unique:
+                        raise DuplicateKey(
+                            f"duplicate key {key!r} in unique index"
+                        )
+                    node.values[idx].append(value)
+                    self._size += 1
+                    return
+                if key > node.keys[idx]:
+                    idx += 1
+                child = node.children[idx]
+            node = child
+
+    def _split_child(self, parent: _Node, idx: int) -> None:
+        t = self._t
+        child = parent.children[idx]
+        sibling = _Node()
+        parent.keys.insert(idx, child.keys[t - 1])
+        parent.values.insert(idx, child.values[t - 1])
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(idx + 1, sibling)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: Any, value: Any = _MISSING) -> bool:
+        """Remove ``value`` from ``key`` (or the whole key when omitted).
+
+        Returns True if something was removed.  Deletion uses the classic
+        rebalancing algorithm so the tree invariants hold afterwards.
+        """
+        removed = self._delete(self._root, key, value)
+        if not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+        return removed
+
+    def _delete(self, node: _Node, key: Any, value: Any) -> bool:
+        t = self._t
+        idx = _bisect(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            values = node.values[idx]
+            if value is not _MISSING and (len(values) > 1 or value not in values):
+                if value not in values:
+                    return False
+                values.remove(value)
+                self._size -= 1
+                return True
+            # Remove the whole key slot.
+            count = len(values) if value is _MISSING else 1
+            if node.is_leaf:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                self._size -= count
+                return True
+            return self._delete_internal(node, idx, count)
+        if node.is_leaf:
+            return False
+        child = node.children[idx]
+        if len(child.keys) < t:
+            self._fill(node, idx)
+            return self._delete(node, key, value)
+        return self._delete(child, key, value)
+
+    def _delete_internal(self, node: _Node, idx: int, count: int) -> bool:
+        t = self._t
+        left, right = node.children[idx], node.children[idx + 1]
+        if len(left.keys) >= t:
+            pred_key, pred_values = self._max_entry(left)
+            node.keys[idx], node.values[idx] = pred_key, pred_values
+            self._size -= count
+            removed = self._delete(left, pred_key, _MISSING)
+            assert removed
+            self._size += len(pred_values)
+            return True
+        if len(right.keys) >= t:
+            succ_key, succ_values = self._min_entry(right)
+            node.keys[idx], node.values[idx] = succ_key, succ_values
+            self._size -= count
+            removed = self._delete(right, succ_key, _MISSING)
+            assert removed
+            self._size += len(succ_values)
+            return True
+        key = node.keys[idx]
+        self._merge(node, idx)
+        return self._delete(node.children[idx], key, _MISSING)
+
+    def _max_entry(self, node: _Node) -> tuple[Any, list[Any]]:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], list(node.values[-1])
+
+    def _min_entry(self, node: _Node) -> tuple[Any, list[Any]]:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], list(node.values[0])
+
+    def _fill(self, node: _Node, idx: int) -> None:
+        t = self._t
+        if idx > 0 and len(node.children[idx - 1].keys) >= t:
+            self._borrow_prev(node, idx)
+        elif idx < len(node.children) - 1 and len(node.children[idx + 1].keys) >= t:
+            self._borrow_next(node, idx)
+        elif idx < len(node.children) - 1:
+            self._merge(node, idx)
+        else:
+            self._merge(node, idx - 1)
+
+    def _borrow_prev(self, node: _Node, idx: int) -> None:
+        child, sibling = node.children[idx], node.children[idx - 1]
+        child.keys.insert(0, node.keys[idx - 1])
+        child.values.insert(0, node.values[idx - 1])
+        node.keys[idx - 1] = sibling.keys.pop()
+        node.values[idx - 1] = sibling.values.pop()
+        if not sibling.is_leaf:
+            child.children.insert(0, sibling.children.pop())
+
+    def _borrow_next(self, node: _Node, idx: int) -> None:
+        child, sibling = node.children[idx], node.children[idx + 1]
+        child.keys.append(node.keys[idx])
+        child.values.append(node.values[idx])
+        node.keys[idx] = sibling.keys.pop(0)
+        node.values[idx] = sibling.values.pop(0)
+        if not sibling.is_leaf:
+            child.children.append(sibling.children.pop(0))
+
+    def _merge(self, node: _Node, idx: int) -> None:
+        child, sibling = node.children[idx], node.children[idx + 1]
+        child.keys.append(node.keys.pop(idx))
+        child.values.append(node.values.pop(idx))
+        child.keys.extend(sibling.keys)
+        child.values.extend(sibling.values)
+        child.children.extend(sibling.children)
+        node.children.pop(idx + 1)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any B-tree invariant is violated."""
+        self._check(self._root, None, None, is_root=True)
+        keys = list(self.keys())
+        assert keys == sorted(keys), "keys out of order"
+
+    def _check(
+        self, node: _Node, low: Any, high: Any, *, is_root: bool = False
+    ) -> int:
+        t = self._t
+        if not is_root:
+            assert len(node.keys) >= t - 1, "underfull node"
+        assert len(node.keys) <= 2 * t - 1, "overfull node"
+        for key in node.keys:
+            if low is not None:
+                assert key > low, "key below subtree bound"
+            if high is not None:
+                assert key < high, "key above subtree bound"
+        if node.is_leaf:
+            return 1
+        assert len(node.children) == len(node.keys) + 1, "bad fanout"
+        depths = set()
+        bounds = [low, *node.keys, high]
+        for i, child in enumerate(node.children):
+            depths.add(self._check(child, bounds[i], bounds[i + 1]))
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1
+
+
+def _bisect(keys: list[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass(frozen=True, slots=True)
+class IndexDefinition:
+    """Catalog entry describing one secondary index."""
+
+    class_name: str
+    attribute: str
+    unique: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.class_name}.{self.attribute}"
+
+
+@dataclass(slots=True)
+class _IndexState:
+    definition: IndexDefinition
+    tree: BTree
+    keyed: dict[Oid, Any] = field(default_factory=dict)
+
+
+class IndexManager:
+    """Maintains B-tree indexes over persistent object attributes."""
+
+    def __init__(self, family_of: Callable[[str], set[str]]) -> None:
+        # family_of(name) -> the class name plus its subclasses; indexes on
+        # a class cover instances of its subclasses too.
+        self._family_of = family_of
+        self._indexes: dict[tuple[str, str], _IndexState] = {}
+        self._by_class: dict[str, list[_IndexState]] = {}
+
+    # ------------------------------------------------------------------
+    # Definition
+    # ------------------------------------------------------------------
+    def create(self, definition: IndexDefinition) -> None:
+        key = (definition.class_name, definition.attribute)
+        if key in self._indexes:
+            raise QueryError(f"index {definition.name} already exists")
+        state = _IndexState(definition, BTree(unique=definition.unique))
+        self._indexes[key] = state
+        self._by_class.clear()
+
+    def drop(self, class_name: str, attribute: str) -> None:
+        self._indexes.pop((class_name, attribute), None)
+        self._by_class.clear()
+
+    def definitions(self) -> list[IndexDefinition]:
+        return [s.definition for s in self._indexes.values()]
+
+    def _states_for(self, class_name: str) -> list[_IndexState]:
+        # Lazily cached: a class is covered by an index when it belongs to
+        # the index class's family (itself or a transitive subclass).
+        states = self._by_class.get(class_name)
+        if states is None:
+            states = [
+                state
+                for state in self._indexes.values()
+                if class_name in self._family_of(state.definition.class_name)
+            ]
+            self._by_class[class_name] = states
+        return states
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks
+    # ------------------------------------------------------------------
+    def on_update(
+        self, class_name: str, oid: Oid, attribute: str, new_value: Any
+    ) -> None:
+        for state in self._states_for(class_name):
+            if state.definition.attribute != attribute:
+                continue
+            self._move(state, oid, new_value)
+
+    def on_add(self, class_name: str, oid: Oid, attrs: dict[str, Any]) -> None:
+        for state in self._states_for(class_name):
+            attribute = state.definition.attribute
+            if attribute in attrs:
+                self._move(state, oid, attrs[attribute])
+
+    def on_remove(self, class_name: str, oid: Oid) -> None:
+        for state in self._states_for(class_name):
+            old = state.keyed.pop(oid, _MISSING)
+            if old is not _MISSING:
+                state.tree.delete(old, oid)
+
+    def reindex(self, class_name: str, oid: Oid, attrs: dict[str, Any]) -> None:
+        """Drop and re-add all entries for ``oid`` (after txn rollback)."""
+        self.on_remove(class_name, oid)
+        self.on_add(class_name, oid, attrs)
+
+    def _move(self, state: _IndexState, oid: Oid, new_value: Any) -> None:
+        old = state.keyed.get(oid, _MISSING)
+        if old is not _MISSING:
+            if old == new_value:
+                return
+            state.tree.delete(old, oid)
+        state.tree.insert(new_value, oid)
+        state.keyed[oid] = new_value
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, class_name: str, attribute: str) -> BTree | None:
+        state = self._indexes.get((class_name, attribute))
+        return state.tree if state else None
+
+    def find_eq(self, class_name: str, attribute: str, value: Any) -> list[Oid]:
+        tree = self._require(class_name, attribute)
+        return list(tree.search(value))
+
+    def find_range(
+        self, class_name: str, attribute: str, low: Any = None, high: Any = None
+    ) -> list[Oid]:
+        tree = self._require(class_name, attribute)
+        return [oid for _key, oid in tree.range(low, high)]
+
+    def _require(self, class_name: str, attribute: str) -> BTree:
+        state = self._indexes.get((class_name, attribute))
+        if state is None:
+            raise QueryError(f"no index on {class_name}.{attribute}")
+        return state.tree
+
+    def clear(self) -> None:
+        for state in self._indexes.values():
+            state.tree = BTree(unique=state.definition.unique)
+            state.keyed.clear()

@@ -1,0 +1,208 @@
+"""Queries over class extents.
+
+A :class:`Query` selects instances of a persistent class (by default
+including subclasses), filters them with attribute comparisons or arbitrary
+predicates, and sorts/limits the result.  Equality and range filters on
+indexed attributes use the B-tree instead of scanning the extent; everything
+else falls back to a filtered extent scan.
+
+Example::
+
+    rich = (
+        db.query(Employee)
+        .where_op("salary", ">=", 100_000)
+        .order_by("name")
+        .all()
+    )
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from .errors import QueryError
+from .oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import Database
+    from .schema import Persistent
+
+__all__ = ["Query"]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda a, b: a in b,
+    "contains": lambda a, b: b in a,
+}
+
+_MISSING = object()
+
+
+class Query:
+    """A lazily-evaluated selection over one class extent."""
+
+    def __init__(
+        self,
+        db: "Database",
+        cls: type | str,
+        include_subclasses: bool = True,
+    ) -> None:
+        self._db = db
+        self._class_name = cls if isinstance(cls, str) else getattr(
+            cls, "_p_class_name", None
+        )
+        if self._class_name is None:
+            raise QueryError(f"{cls!r} is not a persistent class")
+        if self._class_name not in db.registry:
+            raise QueryError(f"unknown persistent class {self._class_name!r}")
+        self._include_subclasses = include_subclasses
+        self._attr_filters: list[tuple[str, str, Any]] = []
+        self._predicates: list[Callable[[Any], bool]] = []
+        self._order: tuple[str, bool] | None = None
+        self._limit: int | None = None
+
+    # ------------------------------------------------------------------
+    # Builders (each returns self for chaining)
+    # ------------------------------------------------------------------
+    def where(self, predicate: Callable[[Any], bool]) -> "Query":
+        """Keep objects for which ``predicate(obj)`` is true."""
+        self._predicates.append(predicate)
+        return self
+
+    def where_eq(self, attribute: str, value: Any) -> "Query":
+        """Attribute equality (uses an index when one exists)."""
+        return self.where_op(attribute, "==", value)
+
+    def where_op(self, attribute: str, op: str, value: Any) -> "Query":
+        """Attribute comparison with one of ``== != < <= > >= in contains``."""
+        if op not in _OPS:
+            raise QueryError(
+                f"unknown operator {op!r}; expected one of {sorted(_OPS)}"
+            )
+        self._attr_filters.append((attribute, op, value))
+        return self
+
+    def order_by(self, attribute: str, descending: bool = False) -> "Query":
+        self._order = (attribute, descending)
+        return self
+
+    def limit(self, count: int) -> "Query":
+        if count < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = count
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator["Persistent"]:
+        # Bind the filter tuples now: generator pipelines evaluate lazily,
+        # so closing over the loop variables directly would apply only the
+        # last filter to every stage.
+        attr_filters = [
+            (attribute, _OPS[op], value)
+            for attribute, op, value in self._attr_filters
+        ]
+        predicates = list(self._predicates)
+
+        def passes(obj: Any) -> bool:
+            for attribute, compare, value in attr_filters:
+                attr_value = getattr(obj, attribute, _MISSING)
+                if attr_value is _MISSING or not compare(attr_value, value):
+                    return False
+            return all(predicate(obj) for predicate in predicates)
+
+        objects = (obj for obj in self._candidates() if passes(obj))
+        if self._order is not None:
+            attribute, descending = self._order
+            objects = iter(
+                sorted(
+                    objects,
+                    key=lambda obj: getattr(obj, attribute),
+                    reverse=descending,
+                )
+            )
+        if self._limit is not None:
+            objects = _take(objects, self._limit)
+        return objects
+
+    def all(self) -> list["Persistent"]:
+        return list(self)
+
+    def first(self) -> "Persistent | None":
+        for obj in self:
+            return obj
+        return None
+
+    def one(self) -> "Persistent":
+        results = self.limit(2).all() if self._limit is None else self.all()
+        if len(results) != 1:
+            raise QueryError(
+                f"expected exactly one result, got {len(results)}"
+            )
+        return results[0]
+
+    def count(self) -> int:
+        return sum(1 for _ in self)
+
+    # ------------------------------------------------------------------
+    # Candidate generation (index-aware)
+    # ------------------------------------------------------------------
+    def _candidates(self) -> Iterator["Persistent"]:
+        oids = self._try_index()
+        if oids is None:
+            for oid in sorted(
+                self._db.extents.of(self._class_name, self._include_subclasses)
+            ):
+                yield self._db.fetch(oid)
+            return
+        # Index lookups cover the whole class family; re-check membership
+        # against the extent the caller actually asked for.
+        wanted = self._db.extents.of(self._class_name, self._include_subclasses)
+        for oid in oids:
+            if oid in wanted:
+                yield self._db.fetch(oid)
+
+    def _try_index(self) -> list[Oid] | None:
+        """Use a B-tree for the first indexable equality/range filter."""
+        for i, (attribute, op, value) in enumerate(self._attr_filters):
+            tree = self._db.indexes.lookup(self._class_name, attribute)
+            if tree is None:
+                continue
+            if op == "==":
+                oids = self._db.indexes.find_eq(
+                    self._class_name, attribute, value
+                )
+            elif op in ("<", "<="):
+                oids = [
+                    oid
+                    for key, oid in tree.range(
+                        None, value, inclusive=(True, op == "<=")
+                    )
+                ]
+            elif op in (">", ">="):
+                oids = [
+                    oid
+                    for key, oid in tree.range(
+                        value, None, inclusive=(op == ">=", True)
+                    )
+                ]
+            else:
+                continue
+            # The index satisfied this filter; drop it, keep the rest.
+            del self._attr_filters[i]
+            return oids
+        return None
+
+
+def _take(items: Iterator[Any], count: int) -> Iterator[Any]:
+    for i, item in enumerate(items):
+        if i >= count:
+            return
+        yield item

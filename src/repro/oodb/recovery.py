@@ -1,0 +1,80 @@
+"""Restart recovery: replay the write-ahead log into the heap.
+
+The store uses a *redo-only* protocol: a transaction's changes reach the
+heap only after its COMMIT record is durable in the WAL.  A crash can
+therefore leave the heap missing some committed work (logged but not yet
+applied) but never containing uncommitted work.  Recovery scans the log,
+collects the update records of committed transactions, and re-applies them
+idempotently; records of unfinished or aborted transactions are ignored.
+
+A torn tail (crash mid-append) is detected by the WAL reader and treated
+as end-of-log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .storage.wal import LogRecordType, WriteAheadLog
+
+__all__ = ["RecoveryReport", "replay"]
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """What recovery found and did."""
+
+    committed_txns: set[int] = field(default_factory=set)
+    unfinished_txns: set[int] = field(default_factory=set)
+    aborted_txns: set[int] = field(default_factory=set)
+    redone_updates: int = 0
+    max_oid_seen: int = 0
+    checkpoint_extra: dict[str, Any] | None = None
+
+    @property
+    def clean(self) -> bool:
+        """True when the log held no work needing redo."""
+        return self.redone_updates == 0
+
+
+def replay(
+    wal: WriteAheadLog,
+    apply_update: Callable[[int, dict[str, Any] | None], None],
+) -> RecoveryReport:
+    """Replay ``wal``, calling ``apply_update(oid, redo_record)`` for every
+    update of every committed transaction, in log order.
+
+    ``redo_record`` is ``None`` for deletions.  ``apply_update`` must be
+    idempotent (upsert/ delete-if-present semantics), because some of the
+    updates may already have reached the heap before the crash.
+    """
+    report = RecoveryReport()
+    # updates per transaction, in order: list of (oid, redo)
+    pending: dict[int, list[tuple[int, dict[str, Any] | None]]] = {}
+    committed_batches: list[list[tuple[int, dict[str, Any] | None]]] = []
+
+    for record in wal.records():
+        if record.type is LogRecordType.BEGIN:
+            pending.setdefault(record.txn_id, [])
+        elif record.type is LogRecordType.UPDATE:
+            assert record.oid is not None
+            pending.setdefault(record.txn_id, []).append(
+                (record.oid, record.redo)
+            )
+            report.max_oid_seen = max(report.max_oid_seen, record.oid)
+        elif record.type is LogRecordType.COMMIT:
+            report.committed_txns.add(record.txn_id)
+            committed_batches.append(pending.pop(record.txn_id, []))
+        elif record.type is LogRecordType.ABORT:
+            report.aborted_txns.add(record.txn_id)
+            pending.pop(record.txn_id, None)
+        elif record.type is LogRecordType.CHECKPOINT:
+            report.checkpoint_extra = dict(record.extra)
+
+    report.unfinished_txns = set(pending)
+    for batch in committed_batches:
+        for oid, redo in batch:
+            apply_update(oid, redo)
+            report.redone_updates += 1
+    return report

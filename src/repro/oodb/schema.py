@@ -1,0 +1,220 @@
+"""Persistent classes and the class registry.
+
+:class:`Persistent` is the analogue of Zeitgeist's ``zg-pos`` root class in
+the paper (§4): any class derived from it can have its instances made
+persistent.  Sentinel derives ``Reactive``, ``Notifiable``, ``Event`` and
+``Rule`` from it, which is what makes events and rules *first-class*
+objects — creatable, updatable, deletable and persistable like any other
+object.
+
+:class:`PersistentMeta` registers every persistent class in a
+:class:`ClassRegistry` (needed to decode records back into instances) and
+records the subclass graph (needed for class extents that include
+subclasses, and for rule inheritance in Sentinel).
+
+Change tracking: assigning any non-``_p_`` attribute on an instance that is
+bound to a database notifies the active transaction *before* the mutation,
+so the transaction can capture an undo image, and notifies the index
+manager *after*, so secondary indexes stay current.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .errors import SchemaError, UnregisteredClass
+from .oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import Database
+
+__all__ = ["ClassRegistry", "PersistentMeta", "Persistent", "global_registry"]
+
+_MISSING = object()
+
+
+class ClassRegistry:
+    """Name → class mapping plus the subclass graph of persistent classes."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type] = {}
+        self._subclasses: dict[str, set[str]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, cls: type) -> None:
+        """Register ``cls`` under its ``_p_class_name``.
+
+        Re-registration with the *same* class object is a no-op (modules
+        re-imported by test runners); a different class under the same name
+        replaces the old one and inherits its subclass links — this is what
+        "redefining a class" means for the Ode baseline.
+        """
+        name = cls._p_class_name  # type: ignore[attr-defined]
+        with self._lock:
+            self._classes[name] = cls
+            self._subclasses.setdefault(name, set())
+            for base in cls.__mro__[1:]:
+                base_name = getattr(base, "_p_class_name", None)
+                if base_name is not None:
+                    self._subclasses.setdefault(base_name, set()).add(name)
+
+    def get(self, name: str) -> type:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnregisteredClass(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def subclass_names(self, name: str) -> set[str]:
+        """Transitive subclass names of ``name`` (excluding itself)."""
+        result: set[str] = set()
+        frontier = list(self._subclasses.get(name, ()))
+        while frontier:
+            sub = frontier.pop()
+            if sub in result:
+                continue
+            result.add(sub)
+            frontier.extend(self._subclasses.get(sub, ()))
+        return result
+
+    def family(self, name: str) -> set[str]:
+        """``name`` plus all its transitive subclasses."""
+        return {name} | self.subclass_names(name)
+
+
+#: Process-wide registry used by default.  A Database may use its own.
+global_registry = ClassRegistry()
+
+
+class PersistentMeta(type):
+    """Metaclass of all persistent classes.
+
+    Assigns ``_p_class_name`` (the class's ``__name__`` unless the body
+    sets it explicitly) and registers the class.  Sentinel's
+    ``ReactiveMeta`` derives from this so that reactive classes are also
+    persistent-capable.
+    """
+
+    def __new__(
+        mcls,
+        name: str,
+        bases: tuple[type, ...],
+        namespace: dict[str, Any],
+        *,
+        registry: ClassRegistry | None = None,
+        register: bool = True,
+        **kwargs: Any,
+    ) -> "PersistentMeta":
+        namespace.setdefault("_p_class_name", name)
+        cls = super().__new__(mcls, name, bases, namespace, **kwargs)
+        if register:
+            (registry or global_registry).register(cls)
+        return cls
+
+
+class Persistent(metaclass=PersistentMeta):
+    """Base class for objects that can be stored in the database.
+
+    Instances start *transient*.  ``db.add(obj)`` binds them to a database
+    and allocates an OID; from then on attribute writes are tracked by the
+    active transaction.  State attributes:
+
+    ``_p_oid``
+        the object's :class:`Oid`, or ``None`` while transient,
+    ``_p_db``
+        the owning database, or ``None``,
+    ``_p_transient`` (class attribute)
+        names of attributes that are never serialized.
+    """
+
+    _p_transient: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_p_oid", None)
+        object.__setattr__(self, "_p_db", None)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def oid(self) -> Oid | None:
+        """The object's identifier, or ``None`` while transient."""
+        return self._p_oid
+
+    @property
+    def is_persistent(self) -> bool:
+        return self._p_oid is not None
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_p_"):
+            object.__setattr__(self, name, value)
+            return
+        db: "Database | None" = getattr(self, "_p_db", None)
+        if db is None:
+            object.__setattr__(self, name, value)
+            return
+        old = getattr(self, name, _MISSING)
+        db._before_modify(self)
+        object.__setattr__(self, name, value)
+        if name not in type(self)._p_transient:
+            db._after_modify(
+                self, name, None if old is _MISSING else old, value
+            )
+
+    def __repr__(self) -> str:
+        oid = self._p_oid
+        tag = str(oid) if oid is not None else "transient"
+        return f"<{type(self).__name__} {tag}>"
+
+
+class Extents:
+    """Class extents: the set of OIDs of live instances, per class name.
+
+    Extent queries can include subclasses (the default), using the
+    registry's subclass graph — this is what lets a class-level rule in
+    Sentinel apply to every instance of a class *and its subclasses*.
+    """
+
+    def __init__(self, registry: ClassRegistry) -> None:
+        self._registry = registry
+        self._members: dict[str, set[Oid]] = {}
+
+    def add(self, class_name: str, oid: Oid) -> None:
+        self._members.setdefault(class_name, set()).add(oid)
+
+    def remove(self, class_name: str, oid: Oid) -> None:
+        members = self._members.get(class_name)
+        if members is not None:
+            members.discard(oid)
+
+    def of(self, class_name: str, include_subclasses: bool = True) -> set[Oid]:
+        """Return the OIDs in the extent of ``class_name``."""
+        if class_name not in self._registry:
+            raise SchemaError(f"unknown persistent class {class_name!r}")
+        names = (
+            self._registry.family(class_name)
+            if include_subclasses
+            else {class_name}
+        )
+        result: set[Oid] = set()
+        for name in names:
+            result |= self._members.get(name, set())
+        return result
+
+    def count(self, class_name: str, include_subclasses: bool = True) -> int:
+        return len(self.of(class_name, include_subclasses))
+
+    def class_names(self) -> Iterator[str]:
+        return iter(sorted(self._members))
+
+    def clear(self) -> None:
+        self._members.clear()

@@ -1,0 +1,252 @@
+"""Object ⇄ record codec.
+
+Persistent objects are stored as *records*: JSON-compatible dictionaries of
+the form ``{"class": <registered name>, "attrs": {...}}``.  The codec
+handles:
+
+* scalars (``int``, ``float``, ``str``, ``bool``, ``None``),
+* containers (``list``, ``tuple``, ``set``, ``frozenset``, ``dict``),
+* ``bytes`` (base64), ``datetime``/``date``/``time`` (ISO strings),
+* :class:`~repro.oodb.oid.Oid` values,
+* **references** to other persistent objects — encoded by OID, resolved
+  through the object store on decode (cycle-safe: objects register in the
+  cache before their attributes are decoded),
+* ``Enum`` members and *module-level functions* — encoded as importable
+  ``module:qualname`` references.  Lambdas and closures are rejected with a
+  clear error; the rule DSL stores source text instead, which round-trips.
+
+Attributes whose names start with ``_p_`` (persistence machinery) or appear
+in the class's ``_p_transient`` tuple are not serialized.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as _dt
+import enum
+import importlib
+import json
+import types
+from typing import Any, Callable, Protocol
+
+from .errors import SerializationError
+from .oid import Oid
+
+__all__ = ["Serializer", "ObjectResolver"]
+
+_SCALARS = (int, float, str, bool, type(None))
+
+
+class ObjectResolver(Protocol):
+    """What the serializer needs from the object store to resolve refs."""
+
+    def resolve_reference(self, oid: Oid) -> Any:  # pragma: no cover - protocol
+        """Return the live object identified by ``oid``."""
+        ...
+
+    def reference_for(self, obj: Any) -> Oid | None:  # pragma: no cover - protocol
+        """Return the OID of ``obj`` if it is a persistent object, else None."""
+        ...
+
+    def class_for_name(self, name: str) -> type:  # pragma: no cover - protocol
+        """Look up a registered persistent class by name."""
+        ...
+
+
+class Serializer:
+    """Encode persistent objects to records and back.
+
+    The serializer is stateless apart from its resolver, so a single
+    instance serves the whole database.
+    """
+
+    def __init__(self, resolver: ObjectResolver) -> None:
+        self._resolver = resolver
+
+    # ------------------------------------------------------------------
+    # Object level
+    # ------------------------------------------------------------------
+    def encode_object(self, obj: Any) -> dict[str, Any]:
+        """Serialize ``obj`` (a persistent instance) to a record dict."""
+        cls = type(obj)
+        class_name = getattr(cls, "_p_class_name", None)
+        if class_name is None:
+            raise SerializationError(
+                f"{cls.__name__} is not a registered persistent class"
+            )
+        transient = set(getattr(cls, "_p_transient", ()))
+        attrs: dict[str, Any] = {}
+        for name, value in vars(obj).items():
+            if name.startswith("_p_") or name in transient:
+                continue
+            try:
+                attrs[name] = self.encode_value(value)
+            except SerializationError as exc:
+                raise SerializationError(
+                    f"cannot serialize attribute {name!r} of "
+                    f"{class_name}{obj._p_oid or ''}: {exc}"
+                ) from exc
+        return {"class": class_name, "attrs": attrs}
+
+    def decode_object(self, record: dict[str, Any], obj: Any | None = None) -> Any:
+        """Materialize a record into an instance.
+
+        If ``obj`` is given, the record's attributes are decoded *into* it
+        (used when refreshing a cached instance or rolling back); otherwise
+        a fresh instance is created without running ``__init__``.
+        """
+        cls = self._resolver.class_for_name(record["class"])
+        if obj is None:
+            obj = cls.__new__(cls)
+        for name, encoded in record["attrs"].items():
+            object.__setattr__(obj, name, self.decode_value(encoded))
+        return obj
+
+    # ------------------------------------------------------------------
+    # Value level
+    # ------------------------------------------------------------------
+    def encode_value(self, value: Any) -> Any:
+        """Encode one attribute value to its JSON-compatible form."""
+        if isinstance(value, bool) or value is None:
+            return value
+        if isinstance(value, enum.Enum):
+            return {"$enum": _importable_name(type(value)), "value": value.value}
+        if isinstance(value, _SCALARS):
+            return value
+        if isinstance(value, Oid):
+            return {"$oid": value.value}
+        ref = self._resolver.reference_for(value)
+        if ref is not None:
+            return {"$ref": ref.value}
+        if isinstance(value, bytes):
+            return {"$bytes": base64.b64encode(value).decode("ascii")}
+        if isinstance(value, _dt.datetime):
+            return {"$datetime": value.isoformat()}
+        if isinstance(value, _dt.date):
+            return {"$date": value.isoformat()}
+        if isinstance(value, _dt.time):
+            return {"$time": value.isoformat()}
+        if isinstance(value, tuple):
+            return {"$tuple": [self.encode_value(v) for v in value]}
+        if isinstance(value, (set, frozenset)):
+            tag = "$frozenset" if isinstance(value, frozenset) else "$set"
+            return {tag: [self.encode_value(v) for v in value]}
+        if isinstance(value, list):
+            return [self.encode_value(v) for v in value]
+        if isinstance(value, dict):
+            return self._encode_dict(value)
+        if isinstance(value, types.FunctionType):
+            return {"$func": _function_reference(value)}
+        raise SerializationError(
+            f"values of type {type(value).__name__} are not serializable; "
+            "make the class persistent or mark the attribute transient"
+        )
+
+    def decode_value(self, encoded: Any) -> Any:
+        """Inverse of :meth:`encode_value`."""
+        if isinstance(encoded, _SCALARS):
+            return encoded
+        if isinstance(encoded, list):
+            return [self.decode_value(v) for v in encoded]
+        if isinstance(encoded, dict):
+            if len(encoded) <= 2 and any(k.startswith("$") for k in encoded):
+                return self._decode_tagged(encoded)
+            return {k: self.decode_value(v) for k, v in encoded.items()}
+        raise SerializationError(f"unrecognized encoded value: {encoded!r}")
+
+    # ------------------------------------------------------------------
+    # Byte level
+    # ------------------------------------------------------------------
+    @staticmethod
+    def record_to_bytes(record: dict[str, Any]) -> bytes:
+        return json.dumps(record, separators=(",", ":"), sort_keys=True).encode()
+
+    @staticmethod
+    def record_from_bytes(payload: bytes) -> dict[str, Any]:
+        try:
+            return json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"corrupt record payload: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _encode_dict(self, value: dict[Any, Any]) -> Any:
+        if all(isinstance(k, str) and not k.startswith("$") for k in value):
+            return {k: self.encode_value(v) for k, v in value.items()}
+        # Non-string (or $-prefixed) keys: store as a pair list.
+        return {
+            "$dict": [
+                [self.encode_value(k), self.encode_value(v)]
+                for k, v in value.items()
+            ]
+        }
+
+    def _decode_tagged(self, encoded: dict[str, Any]) -> Any:
+        if "$ref" in encoded:
+            return self._resolver.resolve_reference(Oid(encoded["$ref"]))
+        if "$oid" in encoded:
+            return Oid(encoded["$oid"])
+        if "$bytes" in encoded:
+            return base64.b64decode(encoded["$bytes"])
+        if "$datetime" in encoded:
+            return _dt.datetime.fromisoformat(encoded["$datetime"])
+        if "$date" in encoded:
+            return _dt.date.fromisoformat(encoded["$date"])
+        if "$time" in encoded:
+            return _dt.time.fromisoformat(encoded["$time"])
+        if "$tuple" in encoded:
+            return tuple(self.decode_value(v) for v in encoded["$tuple"])
+        if "$set" in encoded:
+            return {self.decode_value(v) for v in encoded["$set"]}
+        if "$frozenset" in encoded:
+            return frozenset(self.decode_value(v) for v in encoded["$frozenset"])
+        if "$enum" in encoded:
+            enum_cls = _import_object(encoded["$enum"])
+            return enum_cls(encoded["value"])
+        if "$func" in encoded:
+            return _import_object(encoded["$func"])
+        if "$dict" in encoded:
+            return {
+                self.decode_value(k): self.decode_value(v)
+                for k, v in encoded["$dict"]
+            }
+        raise SerializationError(f"unknown tag in encoded value: {encoded!r}")
+
+
+def _importable_name(obj: type | Callable[..., Any]) -> str:
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname or "<lambda>" in qualname:
+        raise SerializationError(
+            f"{obj!r} is not importable (lambda/closure/local); "
+            "use a module-level function or the rule DSL, whose source "
+            "text persists instead"
+        )
+    return f"{module}:{qualname}"
+
+
+def _function_reference(func: types.FunctionType) -> str:
+    name = _importable_name(func)
+    if func.__closure__:
+        raise SerializationError(
+            f"function {name} closes over variables and cannot be persisted"
+        )
+    return name
+
+
+def _import_object(reference: str) -> Any:
+    module_name, _, qualname = reference.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SerializationError(f"cannot import {reference!r}: {exc}") from exc
+    target: Any = module
+    for part in qualname.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError as exc:
+            raise SerializationError(
+                f"cannot resolve {reference!r}: no attribute {part!r}"
+            ) from exc
+    return target

@@ -1,0 +1,15 @@
+"""On-disk storage primitives: slotted pages, heap files, write-ahead log."""
+
+from .heap import HeapFile, RecordId
+from .pages import PAGE_SIZE, Page
+from .wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "PAGE_SIZE",
+    "Page",
+    "HeapFile",
+    "RecordId",
+    "WriteAheadLog",
+    "LogRecord",
+    "LogRecordType",
+]

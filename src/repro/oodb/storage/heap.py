@@ -1,0 +1,292 @@
+"""Heap files: unordered collections of records over slotted pages.
+
+A :class:`HeapFile` stores variable-length byte records in a single on-disk
+file of :data:`~repro.oodb.storage.pages.PAGE_SIZE`-byte pages, going through
+a buffer pool for caching.  Records are addressed by :class:`RecordId`
+(page number, slot number), which stays valid until the record is deleted.
+
+Records larger than a page spill transparently into an **overflow chain**:
+the payload is chunked into *part* records and a *head* record stores the
+part addresses.  Callers see only the head's :class:`RecordId`; ``read``,
+``update``, ``delete`` and ``scan`` reassemble and maintain the chain.
+On disk every record starts with a one-byte tag::
+
+    0x00  plain record      — tag + payload
+    0x01  overflow head     — tag + part count (u32) + part ids (u32+u16 each)
+    0x02  overflow part     — tag + chunk bytes
+
+The object store above this layer maps OIDs to record ids; the heap knows
+nothing about objects, only bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import PageError, StorageError
+from .pages import MAX_RECORD_SIZE, PAGE_SIZE, Page
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..buffer import BufferPool
+
+__all__ = ["RecordId", "HeapFile", "MAX_OBJECT_SIZE"]
+
+_TAG_PLAIN = 0x00
+_TAG_HEAD = 0x01
+_TAG_PART = 0x02
+
+#: Largest payload a plain (single-slot) record can hold.
+_MAX_PLAIN = MAX_RECORD_SIZE - 1
+#: Payload bytes per overflow part.
+_PART_CAPACITY = MAX_RECORD_SIZE - 1
+_PART_ID = struct.Struct("<IH")
+_HEAD_COUNT = struct.Struct("<I")
+#: How many part ids fit in one head record.
+_MAX_PARTS = (MAX_RECORD_SIZE - 1 - _HEAD_COUNT.size) // _PART_ID.size
+#: Largest logical record the heap will store (~2.7 MB by default).
+MAX_OBJECT_SIZE = _MAX_PARTS * _PART_CAPACITY
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class RecordId:
+    """Stable address of a record: page number plus slot within the page."""
+
+    page: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"{self.page}.{self.slot}"
+
+    @classmethod
+    def parse(cls, text: str) -> "RecordId":
+        page, _, slot = text.partition(".")
+        return cls(int(page), int(slot))
+
+
+class HeapFile:
+    """A file of slotted pages with a simple in-memory free-space map.
+
+    The free-space map records, for every page, how many bytes remain.  It
+    is rebuilt by scanning the file at open time (the file is the single
+    source of truth; the map is an optimization only).
+    """
+
+    def __init__(self, path: str | os.PathLike[str], pool: "BufferPool") -> None:
+        self._path = os.fspath(path)
+        self._pool = pool
+        self._page_count = 0
+        self._free_map: dict[int, int] = {}
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        exists = os.path.exists(self._path)
+        if not exists:
+            with open(self._path, "wb"):
+                pass
+        size = os.path.getsize(self._path)
+        if size % PAGE_SIZE:
+            raise StorageError(
+                f"heap file {self._path} has size {size}, "
+                f"not a multiple of {PAGE_SIZE}"
+            )
+        self._page_count = size // PAGE_SIZE
+        self._pool.attach(self._path)
+        for page_id in range(self._page_count):
+            page = self._pool.get(self._path, page_id)
+            self._free_map[page_id] = page.free_space
+
+    def close(self) -> None:
+        """Flush all cached pages and detach from the buffer pool."""
+        self._pool.flush_file(self._path)
+        self._pool.detach(self._path)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+    def insert(self, payload: bytes) -> RecordId:
+        """Store ``payload`` and return its :class:`RecordId`.
+
+        Oversized payloads spill into an overflow chain transparently.
+        """
+        if len(payload) <= _MAX_PLAIN:
+            return self._insert_raw(bytes([_TAG_PLAIN]) + payload)
+        return self._insert_overflow(payload)
+
+    def read(self, rid: RecordId) -> bytes:
+        """Return the payload stored at ``rid`` (reassembling overflow)."""
+        raw = self._page_for(rid).read(rid.slot)
+        tag = raw[0]
+        if tag == _TAG_PLAIN:
+            return raw[1:]
+        if tag == _TAG_HEAD:
+            return b"".join(
+                self._page_for(part).read(part.slot)[1:]
+                for part in self._parse_head(raw)
+            )
+        raise StorageError(
+            f"record id {rid} addresses an overflow part, not a record"
+        )
+
+    def update(self, rid: RecordId, payload: bytes) -> RecordId:
+        """Replace the record at ``rid``.
+
+        If the new payload no longer fits in its page, the record moves:
+        the old slot is deleted and a fresh :class:`RecordId` is returned.
+        Callers must store the returned id.
+        """
+        old_raw = self._page_for(rid).read(rid.slot)
+        if old_raw[0] == _TAG_HEAD:
+            self._free_parts(self._parse_head(old_raw))
+        elif old_raw[0] == _TAG_PART:
+            raise StorageError(f"record id {rid} addresses an overflow part")
+
+        if len(payload) <= _MAX_PLAIN:
+            new_raw = bytes([_TAG_PLAIN]) + payload
+        else:
+            parts = self._store_parts(payload)
+            new_raw = self._encode_head(parts)
+        return self._replace_raw(rid, new_raw)
+
+    def delete(self, rid: RecordId) -> bytes:
+        """Delete the record at ``rid``, returning its former payload."""
+        payload = self.read(rid)
+        raw = self._page_for(rid).read(rid.slot)
+        if raw[0] == _TAG_HEAD:
+            self._free_parts(self._parse_head(raw))
+        page = self._page_for(rid)
+        page.delete(rid.slot)
+        self._free_map[rid.page] = page.free_space
+        return payload
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """Yield every live record, overflow chains reassembled.
+
+        Overflow *parts* are skipped; only heads (with their full payload)
+        and plain records are reported.
+        """
+        for page_id in range(self._page_count):
+            page = self._pool.get(self._path, page_id)
+            for slot, raw in page.records():
+                tag = raw[0]
+                if tag == _TAG_PLAIN:
+                    yield RecordId(page_id, slot), raw[1:]
+                elif tag == _TAG_HEAD:
+                    rid = RecordId(page_id, slot)
+                    yield rid, self.read(rid)
+
+    def record_count(self) -> int:
+        """Number of live logical records (full scan; tests and stats)."""
+        return sum(1 for _ in self.scan())
+
+    def flush(self) -> None:
+        """Force all dirty pages of this file to disk."""
+        self._pool.flush_file(self._path)
+
+    # ------------------------------------------------------------------
+    # Overflow machinery
+    # ------------------------------------------------------------------
+    def _insert_overflow(self, payload: bytes) -> RecordId:
+        if len(payload) > MAX_OBJECT_SIZE:
+            raise StorageError(
+                f"record of {len(payload)} bytes exceeds the maximum "
+                f"object size of {MAX_OBJECT_SIZE} bytes"
+            )
+        parts = self._store_parts(payload)
+        return self._insert_raw(self._encode_head(parts))
+
+    def _store_parts(self, payload: bytes) -> list[RecordId]:
+        parts: list[RecordId] = []
+        try:
+            for offset in range(0, len(payload), _PART_CAPACITY):
+                chunk = payload[offset : offset + _PART_CAPACITY]
+                parts.append(self._insert_raw(bytes([_TAG_PART]) + chunk))
+        except Exception:
+            self._free_parts(parts)
+            raise
+        return parts
+
+    @staticmethod
+    def _encode_head(parts: list[RecordId]) -> bytes:
+        body = bytearray([_TAG_HEAD])
+        body += _HEAD_COUNT.pack(len(parts))
+        for part in parts:
+            body += _PART_ID.pack(part.page, part.slot)
+        return bytes(body)
+
+    @staticmethod
+    def _parse_head(raw: bytes) -> list[RecordId]:
+        (count,) = _HEAD_COUNT.unpack_from(raw, 1)
+        parts = []
+        offset = 1 + _HEAD_COUNT.size
+        for _ in range(count):
+            page, slot = _PART_ID.unpack_from(raw, offset)
+            offset += _PART_ID.size
+            parts.append(RecordId(page, slot))
+        return parts
+
+    def _free_parts(self, parts: list[RecordId]) -> None:
+        for part in parts:
+            page = self._page_for(part)
+            page.delete(part.slot)
+            self._free_map[part.page] = page.free_space
+
+    # ------------------------------------------------------------------
+    # Raw (tagged) record plumbing
+    # ------------------------------------------------------------------
+    def _insert_raw(self, raw: bytes) -> RecordId:
+        page_id = self._find_page_with_space(len(raw))
+        page = self._pool.get(self._path, page_id)
+        slot = page.insert(raw)
+        self._free_map[page_id] = page.free_space
+        return RecordId(page_id, slot)
+
+    def _replace_raw(self, rid: RecordId, raw: bytes) -> RecordId:
+        page = self._page_for(rid)
+        try:
+            page.update(rid.slot, raw)
+        except PageError:
+            page.delete(rid.slot)
+            self._free_map[rid.page] = page.free_space
+            return self._insert_raw(raw)
+        self._free_map[rid.page] = page.free_space
+        return rid
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _page_for(self, rid: RecordId) -> Page:
+        if not 0 <= rid.page < self._page_count:
+            raise StorageError(
+                f"record id {rid} addresses page {rid.page}, but {self._path} "
+                f"has {self._page_count} pages"
+            )
+        return self._pool.get(self._path, rid.page)
+
+    def _find_page_with_space(self, needed: int) -> int:
+        for page_id, free in self._free_map.items():
+            if free >= needed:
+                return page_id
+        return self._grow()
+
+    def _grow(self) -> int:
+        page_id = self._page_count
+        page = Page(page_id)
+        page.dirty = True
+        self._pool.put_new(self._path, page)
+        self._page_count += 1
+        self._free_map[page_id] = page.free_space
+        return page_id

@@ -1,0 +1,229 @@
+"""Slotted pages.
+
+A :class:`Page` is a fixed-size byte region holding variable-length records.
+The layout is the classic slotted-page design:
+
+::
+
+    +-------------------------------------------------------------+
+    | header | slot directory (grows ->)   ...free...  <- records |
+    +-------------------------------------------------------------+
+
+* The header stores the page id, the number of slots, the offset of the
+  start of the record area, and a CRC32 checksum over the payload.
+* The slot directory grows upward from the header; each slot is an
+  ``(offset, length)`` pair.  A deleted record leaves a *tombstone* slot
+  (offset 0) so that record ids remain stable.
+* Records grow downward from the end of the page.
+
+Pages serialize to exactly :data:`PAGE_SIZE` bytes, so the heap file can
+address page *n* at byte offset ``n * PAGE_SIZE``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from ..errors import ChecksumError, PageError
+
+__all__ = ["PAGE_SIZE", "Page"]
+
+#: Size of every page, in bytes.
+PAGE_SIZE = 4096
+
+# Header: page_id (I), slot_count (H), free_ptr (H), checksum (I)
+_HEADER = struct.Struct("<IHHI")
+# Slot: offset (H), length (H).  offset == 0 marks a tombstone.
+_SLOT = struct.Struct("<HH")
+
+_HEADER_SIZE = _HEADER.size
+_SLOT_SIZE = _SLOT.size
+
+#: Largest record a single page can hold.
+MAX_RECORD_SIZE = PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE
+
+
+class Page:
+    """A slotted page holding variable-length byte records.
+
+    Records are addressed by *slot number*, which is stable for the life of
+    the record (deletions leave tombstones rather than renumbering).
+    """
+
+    __slots__ = ("page_id", "_slots", "_records", "dirty")
+
+    def __init__(self, page_id: int) -> None:
+        if page_id < 0:
+            raise PageError(f"page id must be non-negative, got {page_id}")
+        self.page_id = page_id
+        # Parallel lists: _slots[i] is live/tombstone flag via _records[i] is None
+        self._slots: list[int] = []  # lengths, kept for size accounting
+        self._records: list[bytes | None] = []
+        self.dirty = False
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Number of slots, including tombstones."""
+        return len(self._records)
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-deleted) records."""
+        return sum(1 for r in self._records if r is not None)
+
+    def _used_bytes(self) -> int:
+        record_bytes = sum(len(r) for r in self._records if r is not None)
+        return _HEADER_SIZE + _SLOT_SIZE * len(self._records) + record_bytes
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record.
+
+        Slot-directory overhead is charged only when no tombstone slot is
+        available for reuse — otherwise a page holding one full-size
+        record could never take the same record back after a delete.
+        """
+        slot_overhead = 0 if any(r is None for r in self._records) else _SLOT_SIZE
+        return max(0, PAGE_SIZE - self._used_bytes() - slot_overhead)
+
+    def fits(self, payload: bytes) -> bool:
+        """True if ``payload`` can be inserted into this page."""
+        return len(payload) <= self.free_space
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+    def insert(self, payload: bytes) -> int:
+        """Insert ``payload`` and return its slot number.
+
+        Tombstone slots are reused before new slots are appended.
+        """
+        if len(payload) > MAX_RECORD_SIZE:
+            raise PageError(
+                f"record of {len(payload)} bytes exceeds page capacity "
+                f"({MAX_RECORD_SIZE} bytes)"
+            )
+        if not self.fits(payload):
+            raise PageError(
+                f"page {self.page_id} has {self.free_space} free bytes; "
+                f"record needs {len(payload)}"
+            )
+        self.dirty = True
+        for slot, record in enumerate(self._records):
+            if record is None:
+                self._records[slot] = bytes(payload)
+                self._slots[slot] = len(payload)
+                return slot
+        self._records.append(bytes(payload))
+        self._slots.append(len(payload))
+        return len(self._records) - 1
+
+    def read(self, slot: int) -> bytes:
+        """Return the record stored in ``slot``."""
+        record = self._record_at(slot)
+        if record is None:
+            raise PageError(f"slot {slot} of page {self.page_id} is deleted")
+        return record
+
+    def update(self, slot: int, payload: bytes) -> None:
+        """Replace the record in ``slot`` with ``payload`` in place."""
+        if self._record_at(slot) is None:
+            raise PageError(f"slot {slot} of page {self.page_id} is deleted")
+        old = self._records[slot]
+        assert old is not None
+        growth = len(payload) - len(old)
+        if growth > 0 and growth > self.free_space + _SLOT_SIZE:
+            raise PageError(
+                f"updated record grows by {growth} bytes; page {self.page_id} "
+                f"has only {self.free_space} free"
+            )
+        self._records[slot] = bytes(payload)
+        self._slots[slot] = len(payload)
+        self.dirty = True
+
+    def delete(self, slot: int) -> bytes:
+        """Delete the record in ``slot`` and return its former payload."""
+        record = self._record_at(slot)
+        if record is None:
+            raise PageError(f"slot {slot} of page {self.page_id} already deleted")
+        self._records[slot] = None
+        self._slots[slot] = 0
+        self.dirty = True
+        return record
+
+    def _record_at(self, slot: int) -> bytes | None:
+        if not 0 <= slot < len(self._records):
+            raise PageError(
+                f"slot {slot} out of range for page {self.page_id} "
+                f"({len(self._records)} slots)"
+            )
+        return self._records[slot]
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot, payload)`` for every live record."""
+        for slot, record in enumerate(self._records):
+            if record is not None:
+                yield slot, record
+
+    def is_empty(self) -> bool:
+        """True if the page holds no live records."""
+        return self.live_count == 0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly :data:`PAGE_SIZE` bytes with checksum."""
+        buf = bytearray(PAGE_SIZE)
+        free_ptr = PAGE_SIZE
+        slot_area = bytearray()
+        for record in self._records:
+            if record is None:
+                slot_area += _SLOT.pack(0, 0)
+                continue
+            free_ptr -= len(record)
+            buf[free_ptr : free_ptr + len(record)] = record
+            slot_area += _SLOT.pack(free_ptr, len(record))
+        slot_start = _HEADER_SIZE
+        buf[slot_start : slot_start + len(slot_area)] = slot_area
+        checksum = zlib.crc32(bytes(buf[_HEADER_SIZE:]))
+        buf[:_HEADER_SIZE] = _HEADER.pack(
+            self.page_id, len(self._records), free_ptr, checksum
+        )
+        return bytes(buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Page":
+        """Deserialize a page, verifying its checksum."""
+        if len(data) != PAGE_SIZE:
+            raise PageError(f"expected {PAGE_SIZE} bytes, got {len(data)}")
+        page_id, slot_count, _free_ptr, checksum = _HEADER.unpack_from(data, 0)
+        actual = zlib.crc32(data[_HEADER_SIZE:])
+        if actual != checksum:
+            raise ChecksumError(
+                f"page {page_id} checksum mismatch "
+                f"(stored {checksum:#010x}, computed {actual:#010x})"
+            )
+        page = cls(page_id)
+        offset = _HEADER_SIZE
+        for _ in range(slot_count):
+            rec_off, rec_len = _SLOT.unpack_from(data, offset)
+            offset += _SLOT_SIZE
+            if rec_off == 0:
+                page._records.append(None)
+                page._slots.append(0)
+            else:
+                page._records.append(bytes(data[rec_off : rec_off + rec_len]))
+                page._slots.append(rec_len)
+        return page
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Page {self.page_id}: {self.live_count}/{self.slot_count} slots, "
+            f"{self.free_space}B free{' dirty' if self.dirty else ''}>"
+        )

@@ -1,0 +1,367 @@
+"""Transactions: atomicity, rollback, savepoints, and rule hooks.
+
+A :class:`Transaction` tracks the objects it created, modified, or deleted,
+keeping a *before image* (serialized record) of each object at first touch.
+Commit writes undo/redo pairs to the WAL, forces the log, then applies the
+after images to the heap; abort restores the before images into the live
+objects, so in-memory state rolls back together with the store.
+
+Sentinel's coupling modes (§4.4 of the paper) attach here:
+
+* **immediate** rules run inline, inside the triggering transaction;
+* **deferred** rules are queued via :meth:`Transaction.add_pre_commit_hook`
+  and run at the start of commit, still inside the transaction;
+* **decoupled** rules are queued via :meth:`Transaction.add_post_commit_hook`
+  and run *after* commit, each in its own new transaction.
+
+The paper's ``abort`` rule action maps to :meth:`Transaction.abort`, which
+raises :class:`~repro.oodb.errors.TransactionAborted` out of the triggering
+operation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from .errors import (
+    NoActiveTransaction,
+    TransactionAborted,
+    TransactionError,
+    TransactionNotActive,
+)
+from .oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import Database
+    from .schema import Persistent
+
+__all__ = ["TransactionStatus", "Transaction", "TransactionManager"]
+
+Hook = Callable[[], None]
+
+#: Upper bound on pre-commit hook cascades (deferred rules triggering more
+#: deferred rules); beyond this the commit aborts rather than loop forever.
+MAX_PRE_COMMIT_ROUNDS = 64
+
+
+class TransactionStatus(enum.Enum):
+    """Life-cycle state of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work against a :class:`~repro.oodb.database.Database`."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, db: "Database", implicit: bool = False) -> None:
+        self.id = next(Transaction._ids)
+        self.db = db
+        self.implicit = implicit
+        self.status = TransactionStatus.ACTIVE
+        # Before images: oid -> serialized record, or None if the object
+        # was created inside this transaction.
+        self._undo: dict[Oid, dict[str, Any] | None] = {}
+        self._touched: dict[Oid, "Persistent"] = {}
+        self._created: set[Oid] = set()
+        self._deleted: dict[Oid, "Persistent"] = {}
+        self._pre_commit: list[Hook] = []
+        self._post_commit: list[Hook] = []
+        self._on_abort: list[Hook] = []
+        self._savepoints: dict[str, dict[str, Any]] = {}
+        self._restoring = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        return self.status in (
+            TransactionStatus.ACTIVE,
+            TransactionStatus.COMMITTING,
+        )
+
+    def touched_oids(self) -> set[Oid]:
+        return set(self._touched)
+
+    def created_oids(self) -> set[Oid]:
+        return set(self._created)
+
+    def deleted_oids(self) -> set[Oid]:
+        return set(self._deleted)
+
+    def _require_active(self) -> None:
+        if not self.is_active:
+            raise TransactionNotActive(
+                f"transaction {self.id} is {self.status.value}"
+            )
+
+    # ------------------------------------------------------------------
+    # Change recording (called by the database)
+    # ------------------------------------------------------------------
+    def note_modified(self, obj: "Persistent") -> None:
+        """Capture a before image on first touch of ``obj``."""
+        self._require_active()
+        if self._restoring:
+            return
+        oid = obj._p_oid
+        assert oid is not None
+        if oid in self._undo:
+            self._touched[oid] = obj
+            return
+        self._undo[oid] = self.db._current_record(oid)
+        self._touched[oid] = obj
+
+    def note_created(self, obj: "Persistent") -> None:
+        self._require_active()
+        oid = obj._p_oid
+        assert oid is not None
+        self._undo[oid] = None
+        self._created.add(oid)
+        self._touched[oid] = obj
+
+    def note_deleted(self, obj: "Persistent") -> None:
+        self._require_active()
+        oid = obj._p_oid
+        assert oid is not None
+        if oid not in self._undo:
+            self._undo[oid] = self.db._current_record(oid)
+        self._created.discard(oid)
+        self._touched.pop(oid, None)
+        self._deleted[oid] = obj
+
+    # ------------------------------------------------------------------
+    # Hooks (Sentinel coupling modes)
+    # ------------------------------------------------------------------
+    def add_pre_commit_hook(self, hook: Hook) -> None:
+        """Run ``hook`` at commit, inside this transaction (deferred rules)."""
+        self._require_active()
+        self._pre_commit.append(hook)
+
+    def add_post_commit_hook(self, hook: Hook) -> None:
+        """Run ``hook`` after a successful commit (decoupled rules)."""
+        self._require_active()
+        self._post_commit.append(hook)
+
+    def add_abort_hook(self, hook: Hook) -> None:
+        self._require_active()
+        self._on_abort.append(hook)
+
+    def drain_pre_commit_hooks(self) -> list[Hook]:
+        hooks, self._pre_commit = self._pre_commit, []
+        return hooks
+
+    def drain_post_commit_hooks(self) -> list[Hook]:
+        hooks, self._post_commit = self._post_commit, []
+        return hooks
+
+    def drain_abort_hooks(self) -> list[Hook]:
+        hooks, self._on_abort = self._on_abort, []
+        return hooks
+
+    def has_pre_commit_hooks(self) -> bool:
+        return bool(self._pre_commit)
+
+    # ------------------------------------------------------------------
+    # Savepoints
+    # ------------------------------------------------------------------
+    def savepoint(self, name: str) -> None:
+        """Capture the current state of every touched object under ``name``."""
+        self._require_active()
+        images: dict[Oid, dict[str, Any]] = {}
+        for oid, obj in self._touched.items():
+            images[oid] = self.db.serializer.encode_object(obj)
+        self._savepoints[name] = {
+            "images": images,
+            "created": set(self._created),
+            "deleted": dict(self._deleted),
+        }
+
+    def rollback_to(self, name: str) -> None:
+        """Restore every object to its state at savepoint ``name``.
+
+        Objects created after the savepoint are detached again; objects
+        touched after it are restored from the savepoint images (or their
+        original before images if first touched after the savepoint).
+        """
+        self._require_active()
+        try:
+            frame = self._savepoints[name]
+        except KeyError:
+            raise TransactionError(f"no savepoint named {name!r}") from None
+        images: dict[Oid, dict[str, Any]] = frame["images"]
+        created_then: set[Oid] = frame["created"]
+        self._restoring = True
+        try:
+            for oid, obj in list(self._touched.items()):
+                if oid in images:
+                    self.db._restore_object(obj, images[oid])
+                elif oid in self._created and oid not in created_then:
+                    self.db._detach_created(obj)
+                    del self._undo[oid]
+                    del self._touched[oid]
+                    self._created.discard(oid)
+                else:
+                    before = self._undo.get(oid)
+                    if before is not None:
+                        self.db._restore_object(obj, before)
+                        del self._touched[oid]
+                        del self._undo[oid]
+            for oid, obj in list(self._deleted.items()):
+                if oid not in frame["deleted"]:
+                    self.db._undelete(obj)
+                    del self._deleted[oid]
+                    self._touched[oid] = obj
+        finally:
+            self._restoring = False
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        self.db.txn_manager.commit(self)
+
+    def abort(self, reason: str = "") -> None:
+        """Abort this transaction and raise :class:`TransactionAborted`.
+
+        This is the paper's ``abort`` rule action: callable from anywhere
+        inside the transaction (including a rule condition or action); the
+        exception unwinds the triggering operation.
+        """
+        self.db.txn_manager.rollback(self)
+        raise TransactionAborted(reason or f"transaction {self.id} aborted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Transaction {self.id} {self.status.value}>"
+
+
+class TransactionManager:
+    """Per-database transaction coordinator with thread-local currency."""
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self._local = threading.local()
+        #: statistics for benchmarks
+        self.committed = 0
+        self.aborted = 0
+        #: observers called as fn(kind, txn) with kind in
+        #: {"begin", "commit", "abort"}; used by Sentinel's transaction
+        #: events (rules on transactions).
+        self._observers: list[Callable[[str, Transaction], None]] = []
+
+    def add_observer(self, observer: Callable[[str, "Transaction"], None]) -> None:
+        """Register a transaction life-cycle observer (idempotent).
+
+        Equality (not identity) comparison, because bound methods are
+        recreated on every attribute access.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[str, "Transaction"], None]) -> None:
+        self._observers = [o for o in self._observers if o != observer]
+
+    def _notify_observers(self, kind: str, txn: "Transaction") -> None:
+        for observer in list(self._observers):
+            observer(kind, txn)
+
+    # ------------------------------------------------------------------
+    # Currency
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Transaction | None:
+        return getattr(self._local, "txn", None)
+
+    def require_current(self) -> Transaction:
+        txn = self.current
+        if txn is None:
+            raise NoActiveTransaction("no transaction is active on this thread")
+        return txn
+
+    def ensure_current(self) -> Transaction:
+        """Return the active transaction, starting an implicit one if none."""
+        txn = self.current
+        if txn is None:
+            txn = self.begin(implicit=True)
+        return txn
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, implicit: bool = False) -> Transaction:
+        if self.current is not None:
+            raise TransactionError(
+                "a transaction is already active on this thread; "
+                "use savepoints for nested scopes"
+            )
+        txn = Transaction(self._db, implicit=implicit)
+        self._local.txn = txn
+        self._notify_observers("begin", txn)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Run deferred hooks, write WAL, apply changes, run decoupled hooks."""
+        if txn.status is not TransactionStatus.ACTIVE:
+            raise TransactionNotActive(
+                f"cannot commit transaction {txn.id} ({txn.status.value})"
+            )
+        try:
+            self._run_pre_commit(txn)
+        except TransactionAborted:
+            raise
+        except Exception:
+            self.rollback(txn)
+            raise
+        txn.status = TransactionStatus.COMMITTING
+        try:
+            self._db._apply_commit(txn)
+        except Exception:
+            txn.status = TransactionStatus.ACTIVE
+            self.rollback(txn)
+            raise
+        txn.status = TransactionStatus.COMMITTED
+        self._finish(txn)
+        self.committed += 1
+        self._notify_observers("commit", txn)
+        for hook in txn.drain_post_commit_hooks():
+            hook()
+
+    def _run_pre_commit(self, txn: Transaction) -> None:
+        rounds = 0
+        while txn.has_pre_commit_hooks():
+            rounds += 1
+            if rounds > MAX_PRE_COMMIT_ROUNDS:
+                raise TransactionError(
+                    "deferred rule cascade exceeded "
+                    f"{MAX_PRE_COMMIT_ROUNDS} rounds; aborting commit"
+                )
+            for hook in txn.drain_pre_commit_hooks():
+                hook()
+
+    def rollback(self, txn: Transaction) -> None:
+        """Undo the transaction's effects without raising."""
+        if txn.status in (TransactionStatus.COMMITTED, TransactionStatus.ABORTED):
+            return
+        txn._restoring = True
+        try:
+            self._db._apply_rollback(txn)
+        finally:
+            txn._restoring = False
+        txn.status = TransactionStatus.ABORTED
+        self._finish(txn)
+        self.aborted += 1
+        self._notify_observers("abort", txn)
+        for hook in txn.drain_abort_hooks():
+            hook()
+
+    def _finish(self, txn: Transaction) -> None:
+        if self.current is txn:
+            self._local.txn = None
+        self._db.locks.release_all(txn.id)

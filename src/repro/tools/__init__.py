@@ -1,0 +1,5 @@
+"""Operational tooling: database inspection and statistics."""
+
+from .inspect import DatabaseSummary, summarize
+
+__all__ = ["summarize", "DatabaseSummary"]

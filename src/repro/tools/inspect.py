@@ -1,0 +1,160 @@
+"""Inspect a Sentinel database from the command line.
+
+Usage::
+
+    python -m repro.tools.inspect /path/to/dbdir           # summary
+    python -m repro.tools.inspect /path/to/dbdir --rules   # + stored rules
+    python -m repro.tools.inspect /path/to/dbdir --oid 17  # dump one object
+
+The tool opens the database read-mostly (recovery runs if the WAL holds
+committed work, exactly as a normal open would), prints a structural
+summary — object counts per class, named roots, stored rules and events,
+index definitions — and exits.  It never modifies user objects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.events.base import Event
+from ..core.rules import Rule
+from ..oodb.database import Database
+from ..oodb.oid import Oid
+
+__all__ = ["DatabaseSummary", "summarize", "main"]
+
+
+@dataclass(slots=True)
+class DatabaseSummary:
+    """Structural snapshot of a database."""
+
+    path: str
+    object_count: int = 0
+    classes: dict[str, int] = field(default_factory=dict)
+    roots: dict[str, str] = field(default_factory=dict)
+    rules: list[dict[str, Any]] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    indexes: list[str] = field(default_factory=list)
+    recovered: bool = False
+
+    def render(self, show_rules: bool = False) -> str:
+        lines = [f"database: {self.path}"]
+        if self.recovered:
+            lines.append("  (restart recovery replayed committed work)")
+        lines.append(f"objects: {self.object_count}")
+        for name in sorted(self.classes):
+            lines.append(f"  {name:<28} {self.classes[name]}")
+        lines.append(f"roots: {len(self.roots)}")
+        for name in sorted(self.roots):
+            lines.append(f"  {name:<28} {self.roots[name]}")
+        lines.append(f"indexes: {len(self.indexes)}")
+        for index in self.indexes:
+            lines.append(f"  {index}")
+        lines.append(f"stored rules: {len(self.rules)}")
+        if show_rules:
+            for rule in self.rules:
+                lines.append(
+                    f"  {rule['name']:<24} on {rule['event']:<32} "
+                    f"{rule['coupling']} "
+                    f"{'enabled' if rule['enabled'] else 'disabled'} "
+                    f"(triggered {rule['triggered']}, fired {rule['fired']})"
+                )
+        lines.append(f"stored events: {len(self.events)}")
+        if show_rules:
+            for event in self.events:
+                lines.append(
+                    f"  {event['name']:<24} {event['type']:<14} "
+                    f"signalled {event['signals']}×"
+                )
+        return "\n".join(lines)
+
+
+def summarize(path: str) -> DatabaseSummary:
+    """Open the database at ``path`` and collect a structural summary."""
+    db = Database(path)
+    try:
+        summary = DatabaseSummary(
+            path=path,
+            object_count=db.object_count(),
+            recovered=bool(db.last_recovery and not db.last_recovery.clean),
+        )
+        for class_name in db.extents.class_names():
+            count = db.extents.count(class_name, include_subclasses=False)
+            if count:
+                summary.classes[class_name] = count
+        for root_name in db.root_names():
+            target = db.get_root(root_name)
+            summary.roots[root_name] = (
+                f"{type(target).__name__} {target.oid}"
+                if target is not None and getattr(target, "oid", None)
+                else repr(target)
+            )
+        summary.indexes = [d.name for d in db.indexes.definitions()]
+        if "Rule" in db.registry:
+            for rule in db.query(Rule):
+                summary.rules.append(
+                    {
+                        "name": rule.name,
+                        "event": getattr(rule.event, "name", "?"),
+                        "coupling": rule.coupling.value,
+                        "enabled": rule.enabled,
+                        "triggered": rule.times_triggered,
+                        "fired": rule.times_fired,
+                    }
+                )
+        if "Event" in db.registry:
+            for event in db.query(Event):
+                summary.events.append(
+                    {
+                        "name": event.name,
+                        "type": type(event).__name__,
+                        "signals": event.signal_count,
+                    }
+                )
+        return summary
+    finally:
+        db.close()
+
+
+def dump_object(path: str, oid_value: int) -> str:
+    """Render one stored object's record, reference edges included."""
+    db = Database(path)
+    try:
+        record = db._stored_record(Oid(oid_value))
+        if record is None:
+            return f"no object with oid @{oid_value}"
+        lines = [f"@{oid_value}  class={record['class']}"]
+        for attr, value in sorted(record["attrs"].items()):
+            lines.append(f"  {attr} = {value!r}")
+        return "\n".join(lines)
+    finally:
+        db.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.inspect",
+        description="Inspect a Sentinel object database.",
+    )
+    parser.add_argument("path", help="database directory")
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list stored rules and events in detail",
+    )
+    parser.add_argument(
+        "--oid", type=int, default=None,
+        help="dump the record of one object by OID value",
+    )
+    args = parser.parse_args(argv)
+    if args.oid is not None:
+        print(dump_object(args.path, args.oid))
+        return 0
+    print(summarize(args.path).render(show_rules=args.rules))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

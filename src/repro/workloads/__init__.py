@@ -1,0 +1,35 @@
+"""Workloads: the paper's motivating domains plus synthetic generators."""
+
+from .domains import (
+    Account,
+    Employee,
+    FinancialInfo,
+    Manager,
+    Patient,
+    Person,
+    Physician,
+    Portfolio,
+    Stock,
+)
+from .generators import (
+    EventStreamGenerator,
+    make_employees,
+    make_stocks,
+    uniform_updates,
+)
+
+__all__ = [
+    "Stock",
+    "Portfolio",
+    "FinancialInfo",
+    "Employee",
+    "Manager",
+    "Person",
+    "Account",
+    "Patient",
+    "Physician",
+    "EventStreamGenerator",
+    "make_stocks",
+    "make_employees",
+    "uniform_updates",
+]

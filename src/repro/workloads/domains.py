@@ -1,0 +1,237 @@
+"""The paper's example domains as reactive classes.
+
+Every application the paper uses to motivate the external monitoring
+viewpoint is here: the stock/portfolio/financial-info trio (§2), the
+employee/manager payroll pair (§4.7, §5.1), the person class with the
+Marriage rule (Fig 9), bank accounts with deposit/withdraw (§4.6), and
+the patient/physician monitoring scenario (§2.1).
+
+These classes are used by the examples, the tests, and the benchmark
+workloads.
+"""
+
+from __future__ import annotations
+
+from ..core.interface import event_method
+from ..core.reactive import Reactive
+
+__all__ = [
+    "Stock",
+    "FinancialInfo",
+    "Portfolio",
+    "Employee",
+    "Manager",
+    "Person",
+    "Account",
+    "InsufficientFunds",
+    "Patient",
+    "Physician",
+]
+
+
+class Stock(Reactive):
+    """A stock whose price changes are worth watching (§2)."""
+
+    def __init__(self, symbol: str, price: float) -> None:
+        super().__init__()
+        self.symbol = symbol
+        self.price = price
+
+    @event_method
+    def set_price(self, price: float) -> None:
+        self.price = float(price)
+
+    @event_method(after=True)
+    def get_price(self) -> float:
+        return self.price
+
+
+class FinancialInfo(Reactive):
+    """A market indicator (the paper's DowJones object)."""
+
+    def __init__(self, name: str, value: float) -> None:
+        super().__init__()
+        self.name = name
+        self.value = value
+        self.change = 0.0
+
+    @event_method
+    def set_value(self, value: float) -> None:
+        previous = self.value
+        self.value = float(value)
+        self.change = (
+            100.0 * (self.value - previous) / previous if previous else 0.0
+        )
+
+
+class Portfolio(Reactive):
+    """A portfolio that reacts to stocks and indicators (§2)."""
+
+    def __init__(self, owner: str, cash: float = 0.0) -> None:
+        super().__init__()
+        self.owner = owner
+        self.cash = cash
+        self.holdings: dict[str, int] = {}
+        self.trades: list[tuple[str, str, int, float]] = []
+
+    @event_method
+    def purchase(self, symbol: str, quantity: int, price: float) -> None:
+        cost = quantity * price
+        self.cash -= cost
+        holdings = dict(self.holdings)
+        holdings[symbol] = holdings.get(symbol, 0) + quantity
+        self.holdings = holdings
+        self.trades = self.trades + [("buy", symbol, quantity, price)]
+
+    @event_method
+    def sell(self, symbol: str, quantity: int, price: float) -> None:
+        holdings = dict(self.holdings)
+        held = holdings.get(symbol, 0)
+        if held < quantity:
+            raise ValueError(f"cannot sell {quantity} {symbol}; hold {held}")
+        holdings[symbol] = held - quantity
+        self.holdings = holdings
+        self.cash += quantity * price
+        self.trades = self.trades + [("sell", symbol, quantity, price)]
+
+
+class Employee(Reactive):
+    """The paper's employee (Fig 8 / §5.1)."""
+
+    def __init__(self, name: str, salary: float, age: int = 30) -> None:
+        super().__init__()
+        self.name = name
+        self.salary = salary
+        self.age = age
+        self.manager: "Manager | None" = None
+
+    @event_method(before=True)
+    def change_salary(self, amount: float) -> None:
+        self.salary += amount
+
+    @event_method
+    def set_salary(self, salary: float) -> None:
+        self.salary = float(salary)
+
+    @event_method
+    def change_income(self, amount: float) -> None:
+        self.salary = float(amount)
+
+    @event_method(after=True)
+    def get_salary(self) -> float:
+        return self.salary
+
+    @event_method(before=True, after=True)
+    def get_age(self) -> int:
+        return self.age
+
+    def get_name(self) -> str:  # deliberately NOT an event generator (Fig 8)
+        return self.name
+
+
+class Manager(Employee):
+    """A manager is an employee with reports (§5.1)."""
+
+    def __init__(self, name: str, salary: float, age: int = 40) -> None:
+        super().__init__(name, salary, age)
+        self.reports: list[Employee] = []
+
+    def add_report(self, employee: Employee) -> None:
+        employee.manager = self
+        self.reports = self.reports + [employee]
+
+    def salary_greater_than_all_reports(self) -> bool:
+        return all(r.salary < self.salary for r in self.reports)
+
+
+class Person(Reactive):
+    """The person class carrying the Marriage class-level rule (Fig 9).
+
+    The rule itself is attached in tests/examples (attaching it here
+    would abort every same-sex marriage in every test importing this
+    module); :func:`make_person_class` in the tests shows the in-class
+    declaration form.
+    """
+
+    def __init__(self, name: str, sex: str) -> None:
+        super().__init__()
+        self.name = name
+        self.sex = sex
+        self.spouse: "Person | None" = None
+
+    @event_method(before=True)
+    def marry(self, spouse: "Person") -> None:
+        self.spouse = spouse
+        spouse.spouse = self
+
+
+class InsufficientFunds(Exception):
+    """Withdrawal beyond the account balance."""
+
+
+class Account(Reactive):
+    """A bank account with the deposit/withdraw sequence events (§4.6)."""
+
+    def __init__(self, number: str, balance: float = 0.0) -> None:
+        super().__init__()
+        self.number = number
+        self.balance = balance
+
+    @event_method
+    def deposit(self, amount: float) -> float:
+        if amount <= 0:
+            raise ValueError("deposit must be positive")
+        self.balance += amount
+        return self.balance
+
+    @event_method(before=True)
+    def withdraw(self, amount: float) -> float:
+        if amount <= 0:
+            raise ValueError("withdrawal must be positive")
+        if amount > self.balance:
+            raise InsufficientFunds(
+                f"cannot withdraw {amount}; balance is {self.balance}"
+            )
+        self.balance -= amount
+        return self.balance
+
+
+class Patient(Reactive):
+    """A monitored patient (§2.1): vitals change, interested parties vary."""
+
+    def __init__(self, name: str, condition: str = "stable") -> None:
+        super().__init__()
+        self.name = name
+        self.condition = condition
+        self.temperature = 37.0
+        self.heart_rate = 70
+        self.medications: list[str] = []
+
+    @event_method
+    def record_temperature(self, celsius: float) -> None:
+        self.temperature = float(celsius)
+
+    @event_method
+    def record_heart_rate(self, bpm: int) -> None:
+        self.heart_rate = int(bpm)
+
+    @event_method
+    def diagnose(self, condition: str) -> None:
+        self.condition = condition
+
+    @event_method
+    def prescribe(self, medication: str) -> None:
+        self.medications = self.medications + [medication]
+
+
+class Physician(Reactive):
+    """A physician who can be alerted about patients they follow."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self.alerts: list[str] = []
+
+    @event_method
+    def alert(self, message: str) -> None:
+        self.alerts = self.alerts + [message]

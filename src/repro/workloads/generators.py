@@ -1,0 +1,126 @@
+"""Synthetic workload generators for the benchmarks.
+
+Deterministic (seeded) generators for object populations, update streams,
+and rule sets, so benchmark runs are reproducible and the Sentinel / Ode /
+ADAM comparisons see identical work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .domains import Employee, Manager, Stock
+
+__all__ = [
+    "make_stocks",
+    "make_employees",
+    "uniform_updates",
+    "EventStreamGenerator",
+    "StreamItem",
+]
+
+
+def make_stocks(count: int, seed: int = 7) -> list[Stock]:
+    """``count`` stocks with deterministic symbols and prices."""
+    rng = random.Random(seed)
+    return [
+        Stock(f"SYM{i:04d}", round(rng.uniform(10.0, 500.0), 2))
+        for i in range(count)
+    ]
+
+
+def make_employees(
+    count: int, managers: int = 0, seed: int = 11
+) -> tuple[list[Employee], list[Manager]]:
+    """A payroll population; employees are attached to managers round-robin."""
+    rng = random.Random(seed)
+    manager_objs = [
+        Manager(f"mgr{m}", salary=round(rng.uniform(80_000, 150_000), 2))
+        for m in range(managers)
+    ]
+    employees = []
+    for i in range(count):
+        employee = Employee(
+            f"emp{i}", salary=round(rng.uniform(30_000, 79_000), 2)
+        )
+        if manager_objs:
+            manager_objs[i % len(manager_objs)].add_report(employee)
+        employees.append(employee)
+    return employees, manager_objs
+
+
+def uniform_updates(
+    objects: list,
+    count: int,
+    apply: Callable,
+    seed: int = 13,
+) -> int:
+    """Apply ``count`` updates to uniformly-chosen objects.
+
+    ``apply(obj, rng)`` performs one update; returns the number applied.
+    """
+    rng = random.Random(seed)
+    for _ in range(count):
+        apply(rng.choice(objects), rng)
+    return count
+
+
+@dataclass(frozen=True, slots=True)
+class StreamItem:
+    """One generated action: which object, which method, what arguments."""
+
+    index: int
+    method: str
+    args: tuple
+
+
+class EventStreamGenerator:
+    """A reproducible stream of method invocations over a population.
+
+    ``methods`` maps method names to argument factories
+    ``(rng) -> tuple``; each stream item picks an object uniformly and a
+    method according to the given weights.
+    """
+
+    def __init__(
+        self,
+        population: int,
+        methods: dict[str, Callable[[random.Random], tuple]],
+        weights: dict[str, float] | None = None,
+        seed: int = 17,
+    ) -> None:
+        if population < 1:
+            raise ValueError("population must be positive")
+        if not methods:
+            raise ValueError("at least one method is required")
+        self._population = population
+        self._names = list(methods)
+        self._factories = methods
+        raw = [
+            (weights or {}).get(name, 1.0) for name in self._names
+        ]
+        total = sum(raw)
+        self._weights = [w / total for w in raw]
+        self._seed = seed
+
+    def items(self, count: int) -> Iterator[StreamItem]:
+        """Yield ``count`` reproducible stream items."""
+        rng = random.Random(self._seed)
+        for _ in range(count):
+            name = rng.choices(self._names, weights=self._weights, k=1)[0]
+            yield StreamItem(
+                index=rng.randrange(self._population),
+                method=name,
+                args=self._factories[name](rng),
+            )
+
+    def replay(self, objects: list, count: int) -> int:
+        """Invoke each generated item against the object list."""
+        applied = 0
+        for item in self.items(count):
+            method = getattr(objects[item.index], item.method)
+            method(*item.args)
+            applied += 1
+        return applied

@@ -1,0 +1,203 @@
+"""Tests for the ADAM baseline model."""
+
+import pytest
+
+from repro.baselines.adam import AdamError, AdamSystem, DbEvent
+
+
+class Employee:
+    def __init__(self, name, salary):
+        self.name = name
+        self.salary = salary
+
+    def set_salary(self, amount):
+        self.salary = amount
+        return amount
+
+
+class Manager(Employee):
+    pass
+
+
+@pytest.fixture
+def system():
+    adam = AdamSystem()
+    adam.register_class(Employee)
+    adam.register_class(Manager)
+    return adam
+
+
+class TestEventsAndRules:
+    def test_after_rule_fires(self, system):
+        log = []
+        event = system.new_event("set_salary", when="after")
+        system.new_rule(
+            event, "Employee",
+            action=lambda obj, args: log.append(args["result"]),
+        )
+        fred = Employee("fred", 10.0)
+        system.invoke(fred, "set_salary", 20.0)
+        assert log == [20.0]
+
+    def test_before_rule_fires_before_body(self, system):
+        order = []
+        event = system.new_event("set_salary", when="before")
+        system.new_rule(
+            event, "Employee",
+            action=lambda obj, args: order.append(("rule", obj.salary)),
+        )
+        fred = Employee("fred", 10.0)
+        system.invoke(fred, "set_salary", 20.0)
+        order.append(("after", fred.salary))
+        assert order == [("rule", 10.0), ("after", 20.0)]
+
+    def test_condition_gates_action(self, system):
+        log = []
+        event = system.new_event("set_salary")
+        system.new_rule(
+            event, "Employee",
+            condition=lambda obj, args: args["args"][0] > 100,
+            action=lambda obj, args: log.append(1),
+        )
+        fred = Employee("fred", 10.0)
+        system.invoke(fred, "set_salary", 50.0)
+        system.invoke(fred, "set_salary", 500.0)
+        assert log == [1]
+
+    def test_bad_when_rejected(self):
+        with pytest.raises(AdamError):
+            DbEvent("m", when="during")
+
+    def test_unregistered_class_rejected(self, system):
+        class Alien:
+            def go(self):
+                pass
+
+        with pytest.raises(AdamError):
+            system.invoke(Alien(), "go")
+        with pytest.raises(AdamError):
+            system.new_rule(system.new_event("go"), "Alien")
+
+    def test_delete_rule(self, system):
+        log = []
+        rule = system.new_rule(
+            system.new_event("set_salary"), "Employee",
+            action=lambda obj, args: log.append(1),
+        )
+        fred = Employee("f", 1.0)
+        system.invoke(fred, "set_salary", 2.0)
+        system.delete_rule(rule)
+        system.invoke(fred, "set_salary", 3.0)
+        assert log == [1]
+
+
+class TestRuleInheritance:
+    def test_superclass_rule_applies_to_subclass(self, system):
+        log = []
+        system.new_rule(
+            system.new_event("set_salary"), "Employee",
+            action=lambda obj, args: log.append(type(obj).__name__),
+        )
+        system.invoke(Manager("mike", 100.0), "set_salary", 150.0)
+        assert log == ["Manager"]
+
+    def test_subclass_rule_does_not_apply_upward(self, system):
+        log = []
+        system.new_rule(
+            system.new_event("set_salary"), "Manager",
+            action=lambda obj, args: log.append(1),
+        )
+        system.invoke(Employee("fred", 1.0), "set_salary", 2.0)
+        assert log == []
+
+
+class TestDisabledFor:
+    """ADAM scopes rules to instances *negatively* via disabled-for."""
+
+    def test_disable_for_instance(self, system):
+        log = []
+        rule = system.new_rule(
+            system.new_event("set_salary"), "Employee",
+            action=lambda obj, args: log.append(obj.name),
+        )
+        fred, anne = Employee("fred", 1.0), Employee("anne", 1.0)
+        rule.disable_for(fred)
+        system.invoke(fred, "set_salary", 2.0)
+        system.invoke(anne, "set_salary", 2.0)
+        assert log == ["anne"]
+
+    def test_re_enable_for_instance(self, system):
+        log = []
+        rule = system.new_rule(
+            system.new_event("set_salary"), "Employee",
+            action=lambda obj, args: log.append(obj.name),
+        )
+        fred = Employee("fred", 1.0)
+        rule.disable_for(fred)
+        rule.enable_for(fred)
+        system.invoke(fred, "set_salary", 2.0)
+        assert log == ["fred"]
+
+    def test_global_disable(self, system):
+        log = []
+        rule = system.new_rule(
+            system.new_event("set_salary"), "Employee",
+            action=lambda obj, args: log.append(1),
+        )
+        rule.enabled = False
+        system.invoke(Employee("f", 1.0), "set_salary", 2.0)
+        assert log == []
+
+
+class TestCentralizedCost:
+    """The scan-all-rules behaviour the paper contrasts with subscription."""
+
+    def test_every_invocation_scans_all_rules(self, system):
+        for _ in range(50):
+            system.new_rule(system.new_event("other_method"), "Employee")
+        fred = Employee("f", 1.0)
+        system.invoke(fred, "set_salary", 2.0)
+        # before + after checks each scanned all 50 rules.
+        assert system.stats["rules_scanned"] == 100
+        assert system.stats["rules_matched"] == 0
+
+    def test_scan_cost_grows_with_rule_count(self, system):
+        fred = Employee("f", 1.0)
+        system.invoke(fred, "set_salary", 2.0)
+        baseline = system.stats["rules_scanned"]
+        for _ in range(10):
+            system.new_rule(system.new_event("set_salary"), "Employee")
+        system.invoke(fred, "set_salary", 3.0)
+        assert system.stats["rules_scanned"] == baseline + 2 * 10
+
+
+class TestPaperFigure13:
+    """ADAM's salary check needs *two* rule objects (one per class)."""
+
+    def test_two_rules_required(self, system):
+        complaints = []
+        event = system.new_event("set_salary", when="after")
+
+        def employee_check(obj, args):
+            if obj.manager_salary is not None and obj.salary >= obj.manager_salary:
+                complaints.append("Invalid Salary")
+
+        def manager_check(obj, args):
+            if any(s >= obj.salary for s in obj.report_salaries):
+                complaints.append("Invalid Salary")
+
+        class Emp13(Employee):
+            manager_salary = 100.0
+
+        class Mgr13(Employee):
+            report_salaries = [50.0]
+
+        system.register_class(Emp13)
+        system.register_class(Mgr13)
+        system.new_rule(event, "Emp13", action=employee_check)
+        system.new_rule(event, "Mgr13", action=manager_check)
+
+        system.invoke(Emp13("fred", 50.0), "set_salary", 150.0)
+        system.invoke(Mgr13("mike", 100.0), "set_salary", 40.0)
+        assert complaints == ["Invalid Salary", "Invalid Salary"]
+        assert system.rule_count() == 2

@@ -1,0 +1,167 @@
+"""E7/E14: the §5.1 salary-check rule in all three systems, side by side.
+
+The functional outcome is identical; the *shape* of the solution differs
+exactly as the paper argues:
+
+* Ode      — two complementary constraints, declared at class-definition
+             time, one per class;
+* ADAM     — two integrity-rule objects, one per active-class;
+* Sentinel — one rule object, subscribed to instances of both classes.
+"""
+
+import pytest
+
+from repro.baselines.adam import AdamSystem
+from repro.baselines.ode import Constraint, OdeSystem, OdeViolation
+from repro.core import Primitive, Rule
+from repro.workloads import Employee, Manager
+
+
+class TestSalaryCheckEverywhere:
+    def test_ode_needs_two_constraints(self):
+        system = OdeSystem()
+
+        def set_salary(self, amount):
+            self.sal = amount
+
+        system.define_class(
+            "emp_cmp",
+            attributes=("sal", "mgr"),
+            methods={"set_salary": set_salary},
+            constraints=[
+                Constraint("lt-mgr", lambda o: o.mgr is None or o.sal < o.mgr.sal),
+            ],
+        )
+        system.define_class(
+            "mgr_cmp",
+            attributes=("sal", "mgr", "emps"),
+            base="emp_cmp",
+            constraints=[
+                Constraint(
+                    "gt-emps", lambda o: all(e.sal < o.sal for e in o.emps)
+                ),
+            ],
+        )
+        mike = system.new("mgr_cmp", sal=100.0, mgr=None, emps=[])
+        fred = system.new("emp_cmp", sal=50.0, mgr=mike)
+        mike.emps = [fred]
+
+        with pytest.raises(OdeViolation):
+            fred.invoke("set_salary", 500.0)
+        with pytest.raises(OdeViolation):
+            mike.invoke("set_salary", 1.0)
+        # Two separate constraint declarations were required.
+        assert len(system.class_of("emp_cmp").constraints) == 1
+        assert len(system.class_of("mgr_cmp").constraints) == 1
+
+    def test_adam_needs_two_rules(self):
+        system = AdamSystem()
+
+        class EmpA:
+            def __init__(self, sal, mgr=None):
+                self.sal = sal
+                self.mgr = mgr
+                self.violations = 0
+
+            def set_salary(self, amount):
+                self.sal = amount
+
+        class MgrA(EmpA):
+            def __init__(self, sal):
+                super().__init__(sal)
+                self.emps = []
+
+        system.register_class(EmpA)
+        system.register_class(MgrA)
+        event = system.new_event("set_salary", when="after")
+
+        def emp_check(obj, args):
+            if obj.mgr is not None and obj.sal >= obj.mgr.sal:
+                obj.violations += 1
+
+        def mgr_check(obj, args):
+            if any(e.sal >= obj.sal for e in obj.emps):
+                obj.violations += 1
+
+        system.new_rule(event, "EmpA", action=emp_check)
+        system.new_rule(event, "MgrA", action=mgr_check)
+
+        mike = MgrA(100.0)
+        fred = EmpA(50.0, mgr=mike)
+        mike.emps = [fred]
+        system.invoke(fred, "set_salary", 500.0)
+        assert fred.violations == 1
+        system.invoke(mike, "set_salary", 10.0)
+        # Both rules match the manager (inheritance!), emp_check passes
+        # because mike has no mgr; mgr_check flags it.
+        assert mike.violations == 1
+        assert system.rule_count() == 2
+
+    def test_sentinel_needs_one_rule(self, sentinel):
+        mike = Manager("Mike", 100.0)
+        fred = Employee("Fred", 50.0)
+        mike.add_report(fred)
+        violations = []
+        rule = Rule(
+            "SalaryCheck",
+            Primitive("end Employee::set_salary(float salary)")
+            | Primitive("end Manager::set_salary(float salary)"),
+            condition=lambda ctx: fred.salary >= mike.salary,
+            action=lambda ctx: violations.append(ctx.source),
+        )
+        fred.subscribe(rule)
+        mike.subscribe(rule)
+        fred.set_salary(500.0)
+        assert violations == [fred]
+        fred.set_salary(50.0)
+        mike.set_salary(10.0)
+        assert violations[-1] is mike
+        # One rule object covers both classes.
+
+
+class TestFeatureMatrix:
+    """E14: the §6/§7 qualitative comparison, executed as probes."""
+
+    def test_runtime_rule_creation(self):
+        # Sentinel and ADAM: yes. Ode: requires class redefinition.
+        adam = AdamSystem()
+
+        class Target:
+            def poke(self):
+                pass
+
+        adam.register_class(Target)
+        adam.new_rule(adam.new_event("poke"), "Target")  # no class change
+
+        ode = OdeSystem()
+        ode.define_class("target", attributes=(), methods={"poke": lambda s: None})
+        ode.new("target")
+        before = ode.stats["recompiled_instances"]
+        ode.redefine_class(
+            "target", add_constraints=[Constraint("c", lambda o: True)]
+        )
+        assert ode.stats["recompiled_instances"] == before + 1  # touched instances
+
+    def test_cross_class_composite_events(self, sentinel):
+        """Only Sentinel expresses And(e_classA, e_classB) in one event."""
+        event = (
+            Primitive("end Employee::set_salary(float s)")
+            & Primitive("end Manager::set_salary(float s)")
+        )
+        fred, mike = Employee("f", 1.0), Manager("m", 2.0)
+        rule = Rule("x", event)
+        fred.subscribe(rule)
+        mike.subscribe(rule)
+        fred.set_salary(3.0)
+        mike.set_salary(4.0)
+        assert rule.times_triggered == 1  # the conjunction spans classes
+
+    def test_rules_as_objects_probe(self):
+        # Sentinel rules have identity, can be disabled, persisted.
+        rule = Rule("probe", "end Employee::set_salary(float s)")
+        assert rule.name == "probe"
+        rule.disable()
+        assert not rule.enabled
+        # Ode constraints are anonymous dataclass rows inside a class:
+        constraint = Constraint("c", lambda o: True)
+        assert not hasattr(constraint, "enable")

@@ -1,0 +1,221 @@
+"""Tests for the Ode baseline model."""
+
+import pytest
+
+from repro.baselines.ode import (
+    Constraint,
+    OdeSystem,
+    OdeViolation,
+    Trigger,
+)
+
+
+def employee_methods():
+    def set_salary(self, amount):
+        self.salary = amount
+
+    return {"set_salary": set_salary}
+
+
+@pytest.fixture
+def system():
+    return OdeSystem()
+
+
+@pytest.fixture
+def employee_class(system):
+    return system.define_class(
+        "employee",
+        attributes=("name", "salary"),
+        methods=employee_methods(),
+        constraints=[
+            Constraint("positive-salary", lambda obj: obj.salary >= 0),
+        ],
+    )
+
+
+class TestConstraints:
+    def test_satisfied_constraint_allows_update(self, system, employee_class):
+        fred = system.new("employee", name="fred", salary=10.0)
+        fred.invoke("set_salary", 20.0)
+        assert fred.salary == 20.0
+
+    def test_hard_violation_undoes_update(self, system, employee_class):
+        fred = system.new("employee", name="fred", salary=10.0)
+        with pytest.raises(OdeViolation):
+            fred.invoke("set_salary", -5.0)
+        assert fred.salary == 10.0  # Ode's abort: the operation was undone
+
+    def test_soft_constraint_corrects(self, system):
+        system.define_class(
+            "capped",
+            attributes=("value",),
+            methods={"set": lambda self, v: setattr(self, "value", v)},
+            constraints=[
+                Constraint(
+                    "cap",
+                    lambda obj: obj.value <= 100,
+                    hard=False,
+                    handler=lambda obj: setattr(obj, "value", 100),
+                ),
+            ],
+        )
+        obj = system.new("capped", value=0)
+        obj.invoke("set", 500)
+        assert obj.value == 100
+        assert system.stats["soft_corrections"] == 1
+
+    def test_soft_without_handler_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("bad", lambda o: True, hard=False)
+
+    def test_every_call_checks_every_constraint(self, system, employee_class):
+        fred = system.new("employee", name="fred", salary=1.0)
+        for _ in range(5):
+            fred.invoke("set_salary", 2.0)
+        assert system.stats["constraint_checks"] == 5
+
+    def test_inherited_constraints(self, system, employee_class):
+        system.define_class(
+            "manager",
+            attributes=("name", "salary"),
+            base="employee",
+        )
+        mike = system.new("manager", name="mike", salary=5.0)
+        with pytest.raises(OdeViolation):
+            mike.invoke("set_salary", -1.0)
+
+
+class TestTriggers:
+    def test_trigger_needs_activation(self, system):
+        log = []
+        system.define_class(
+            "sensor",
+            attributes=("reading",),
+            methods={"set": lambda self, v: setattr(self, "reading", v)},
+            triggers=[
+                Trigger("hot", lambda o: o.reading > 50, lambda o: log.append(o.reading)),
+            ],
+        )
+        sensor = system.new("sensor", reading=0)
+        sensor.invoke("set", 80)
+        assert log == []               # not activated
+        sensor.activate_trigger("hot")
+        sensor.invoke("set", 90)
+        assert log == [90]
+
+    def test_once_trigger_fires_once(self, system):
+        log = []
+        system.define_class(
+            "s2",
+            attributes=("reading",),
+            methods={"set": lambda self, v: setattr(self, "reading", v)},
+            triggers=[
+                Trigger(
+                    "once-hot",
+                    lambda o: o.reading > 50,
+                    lambda o: log.append(1),
+                    perpetual=False,
+                ),
+            ],
+        )
+        sensor = system.new("s2", reading=0)
+        sensor.activate_trigger("once-hot")
+        sensor.invoke("set", 60)
+        sensor.invoke("set", 70)
+        assert log == [1]
+
+    def test_perpetual_trigger_keeps_firing(self, system):
+        log = []
+        system.define_class(
+            "s3",
+            attributes=("reading",),
+            methods={"set": lambda self, v: setattr(self, "reading", v)},
+            triggers=[
+                Trigger("always", lambda o: o.reading > 0, lambda o: log.append(1)),
+            ],
+        )
+        sensor = system.new("s3", reading=0)
+        sensor.activate_trigger("always")
+        sensor.invoke("set", 1)
+        sensor.invoke("set", 2)
+        assert log == [1, 1]
+
+    def test_unknown_trigger_rejected(self, system, employee_class):
+        fred = system.new("employee", name="f", salary=1.0)
+        with pytest.raises(KeyError):
+            fred.activate_trigger("ghost")
+
+
+class TestClassRedefinition:
+    """The expensive path the paper criticizes (benchmark E10)."""
+
+    def test_redefine_adds_constraint_to_live_instances(self, system, employee_class):
+        people = [
+            system.new("employee", name=f"e{i}", salary=float(i)) for i in range(10)
+        ]
+        system.redefine_class(
+            "employee",
+            add_constraints=[Constraint("max", lambda o: o.salary < 1000)],
+        )
+        assert system.stats["recompiled_instances"] == 10
+        with pytest.raises(OdeViolation):
+            people[0].invoke("set_salary", 5000.0)
+
+    def test_redefine_validates_existing_instances(self, system, employee_class):
+        system.new("employee", name="rich", salary=1_000_000.0)
+        with pytest.raises(OdeViolation):
+            system.redefine_class(
+                "employee",
+                add_constraints=[Constraint("max", lambda o: o.salary < 100)],
+            )
+
+    def test_duplicate_class_rejected(self, system, employee_class):
+        with pytest.raises(ValueError):
+            system.define_class("employee", attributes=())
+
+    def test_unknown_method(self, system, employee_class):
+        fred = system.new("employee", name="f", salary=1.0)
+        with pytest.raises(AttributeError):
+            fred.invoke("fly")
+
+
+class TestPaperFigure11:
+    """Ode's salary check: two complementary constraints."""
+
+    def test_two_constraints_needed(self, system):
+        def emp_set_salary(self, amount):
+            self.sal = amount
+
+        system.define_class(
+            "employee11",
+            attributes=("sal", "mgr"),
+            methods={"set_salary": emp_set_salary},
+            constraints=[
+                Constraint(
+                    "below-manager",
+                    lambda o: o.mgr is None or o.sal < o.mgr.sal,
+                ),
+            ],
+        )
+        system.define_class(
+            "manager11",
+            attributes=("sal", "mgr", "emps"),
+            base="employee11",
+            constraints=[
+                Constraint(
+                    "above-employees",
+                    lambda o: all(e.sal < o.sal for e in (o.emps or [])),
+                ),
+            ],
+        )
+        mike = system.new("manager11", sal=100.0, mgr=None, emps=[])
+        fred = system.new("employee11", sal=50.0, mgr=mike)
+        mike.emps = [fred]
+
+        with pytest.raises(OdeViolation):
+            fred.invoke("set_salary", 200.0)   # employee-side constraint
+        assert fred.sal == 50.0
+        with pytest.raises(OdeViolation):
+            mike.invoke("set_salary", 10.0)    # manager-side constraint
+        assert mike.sal == 100.0

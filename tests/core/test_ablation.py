@@ -1,0 +1,148 @@
+"""Tests for the ablation implementations (rejected design alternatives)."""
+
+import pytest
+
+from repro.core import EventModifier, Notifiable, Rule
+from repro.core.ablation import CentralDispatchTable, DynamicReactive
+from repro.workloads import Stock
+
+
+class DynStock(DynamicReactive):
+    __dynamic_event_interface__ = {
+        "set_price": "end",
+        "audit": "begin|end",
+    }
+
+    def __init__(self, symbol, price):
+        super().__init__()
+        self.symbol = symbol
+        self.price = price
+
+    def set_price(self, price):
+        self.price = price
+
+    def audit(self):
+        return self.price
+
+    def rename(self, symbol):
+        self.symbol = symbol
+
+
+class Recorder(Notifiable):
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def notify(self, occurrence):
+        self.seen.append(occurrence)
+
+
+class TestDynamicReactive:
+    def test_declared_method_raises_events(self, sentinel):
+        stock = DynStock("A", 1.0)
+        recorder = Recorder()
+        stock.subscribe(recorder)
+        stock.set_price(2.0)
+        assert [o.method for o in recorder.seen] == ["set_price"]
+        assert recorder.seen[0].params == {"price": 2.0}
+        assert stock.price == 2.0
+
+    def test_both_modifiers(self, sentinel):
+        stock = DynStock("A", 1.0)
+        recorder = Recorder()
+        stock.subscribe(recorder)
+        stock.audit()
+        assert [o.modifier for o in recorder.seen] == [
+            EventModifier.BEGIN,
+            EventModifier.END,
+        ]
+
+    def test_undeclared_method_silent(self, sentinel):
+        stock = DynStock("A", 1.0)
+        recorder = Recorder()
+        stock.subscribe(recorder)
+        stock.rename("B")
+        assert recorder.seen == []
+
+    def test_unsubscribed_fast_path(self, sentinel):
+        stock = DynStock("A", 1.0)
+        stock.set_price(5.0)  # no consumers, no events, no error
+        assert stock.price == 5.0
+
+    def test_same_semantics_as_stub_implementation(self, sentinel):
+        """Both implementations drive the same rule identically."""
+        hits = []
+        rule = Rule(
+            "r", "end DynStock::set_price(float price)",
+            action=lambda ctx: hits.append(ctx.param("price")),
+        )
+        dynamic = DynStock("D", 1.0)
+        dynamic.subscribe(rule)
+        dynamic.set_price(9.0)
+
+        stub_rule = Rule(
+            "r2", "end Stock::set_price(float price)",
+            action=lambda ctx: hits.append(ctx.param("price")),
+        )
+        stub = Stock("S", 1.0)
+        stub.subscribe(stub_rule)
+        stub.set_price(9.0)
+        assert hits == [9.0, 9.0]
+
+
+class TestCentralDispatchTable:
+    def test_routes_by_method(self, sentinel):
+        table = CentralDispatchTable()
+        stocks = [Stock(f"S{i}", 1.0) for i in range(3)]
+        table.attach_everywhere(stocks)
+        recorder = Recorder()
+        table.route(recorder, "set_price")
+        stocks[0].set_price(2.0)
+        stocks[1].get_price()
+        assert len(recorder.seen) == 1
+        assert recorder.seen[0].method == "set_price"
+
+    def test_source_filter_replaces_subscription(self, sentinel):
+        table = CentralDispatchTable()
+        stocks = [Stock(f"S{i}", 1.0) for i in range(3)]
+        table.attach_everywhere(stocks)
+        recorder = Recorder()
+        table.route(recorder, "set_price", sources=[stocks[1]])
+        for stock in stocks:
+            stock.set_price(2.0)
+        assert len(recorder.seen) == 1
+        assert recorder.seen[0].source is stocks[1]
+
+    def test_every_event_routed_even_when_nobody_cares(self, sentinel):
+        """The cost the per-producer design avoids."""
+        table = CentralDispatchTable()
+        stocks = [Stock(f"S{i}", 1.0) for i in range(5)]
+        table.attach_everywhere(stocks)
+        for stock in stocks:
+            stock.set_price(2.0)
+        assert table.routed == 5      # all events reached the table
+        assert table.delivered == 0   # nobody was interested
+
+    def test_unroute(self, sentinel):
+        table = CentralDispatchTable()
+        stock = Stock("S", 1.0)
+        stock.subscribe(table)
+        recorder = Recorder()
+        table.route(recorder, "set_price")
+        stock.set_price(2.0)
+        table.unroute(recorder, "set_price")
+        stock.set_price(3.0)
+        assert len(recorder.seen) == 1
+
+    def test_rules_work_through_the_table(self, sentinel):
+        table = CentralDispatchTable()
+        stock = Stock("S", 1.0)
+        stock.subscribe(table)
+        hits = []
+        rule = Rule(
+            "via-table", "end Stock::set_price(float price)",
+            action=lambda ctx: hits.append(1),
+        )
+        table.route(rule, "set_price")
+        stock.set_price(2.0)
+        assert hits == [1]

@@ -1,0 +1,63 @@
+"""Tests for the absolute-time At event."""
+
+from repro.core import EventDetector, Rule
+from repro.core.events import At
+
+
+class Signals:
+    def __init__(self):
+        self.occurrences = []
+
+    def on_event(self, event, occurrence):
+        self.occurrences.append(occurrence)
+
+
+class TestAt:
+    def test_fires_once_when_time_passes(self, manual_clock):
+        deadline = At(manual_clock.now() + 100.0)
+        signals = Signals()
+        deadline.add_listener(signals)
+        assert deadline.poll() == 0
+        manual_clock.advance(99.0)
+        assert deadline.poll() == 0
+        manual_clock.advance(2.0)
+        assert deadline.poll() == 1
+        manual_clock.advance(1000.0)
+        assert deadline.poll() == 0  # one-shot
+        assert len(signals.occurrences) == 1
+
+    def test_reset_rearms(self, manual_clock):
+        deadline = At(manual_clock.now() + 10.0)
+        manual_clock.advance(20.0)
+        assert deadline.poll() == 1
+        deadline.reset()
+        assert deadline.poll() == 1  # time is already past: fires again
+
+    def test_detector_drives_it(self, manual_clock):
+        detector = EventDetector()
+        deadline = detector.register(At(manual_clock.now() + 5.0, name="dl"))
+        manual_clock.advance(10.0)
+        assert detector.tick() == 1
+        assert deadline.signal_count == 1
+
+    def test_rule_on_deadline(self, manual_clock, sentinel):
+        fired = []
+        deadline = At(manual_clock.now() + 60.0, name="deadline")
+        rule = Rule("dl", deadline, action=lambda ctx: fired.append(1))
+        manual_clock.advance(61.0)
+        deadline.poll()
+        assert fired == [1]
+        assert rule.times_fired == 1
+
+    def test_signal_carries_target_time(self, manual_clock):
+        target = manual_clock.now() + 30.0
+        deadline = At(target)
+        signals = Signals()
+        deadline.add_listener(signals)
+        manual_clock.advance(100.0)
+        deadline.poll()
+        assert signals.occurrences[0].constituents[0].timestamp == target
+
+    def test_immediate_past_time_fires_on_first_poll(self, manual_clock):
+        past = At(manual_clock.now() - 5.0)
+        assert past.poll() == 1

@@ -1,0 +1,183 @@
+"""Tests for class-level rules (§4.7, Fig 9) and rule inheritance."""
+
+import pytest
+
+from repro.core import Reactive, Sentinel, class_rule, class_rules_of, event_method
+from repro.oodb import TransactionAborted
+
+_log: list = []
+
+
+def fresh_gadget_class(suffix, extra_rules=(), **kwargs):
+    """Build a reactive class with a class-level rule, unique per test."""
+
+    namespace = {
+        "__init__": lambda self: (Reactive.__init__(self), setattr(self, "uses", 0))[0],
+        "use": event_method(lambda self, n=1: setattr(self, "uses", self.uses + n)),
+        "__rules__": [
+            class_rule(
+                f"UseLogger{suffix}",
+                on="end use(int n)",
+                action=lambda ctx: _log.append((ctx.source, ctx.param("n"))),
+                **kwargs,
+            ),
+            *extra_rules,
+        ],
+    }
+    namespace["use"].__name__ = "use"
+    from repro.core.interface import ReactiveMeta
+
+    return ReactiveMeta(f"Gadget{suffix}", (Reactive,), namespace)
+
+
+class TestClassLevelRules:
+    def setup_method(self):
+        _log.clear()
+
+    def test_applies_to_every_instance_without_subscription(self, sentinel):
+        Gadget = fresh_gadget_class("A")
+        first, second = Gadget(), Gadget()
+        first.use(1)
+        second.use(2)
+        assert [(obj is first, n) for obj, n in _log] == [(True, 1), (False, 2)]
+
+    def test_applies_to_subclass_instances(self, sentinel):
+        Gadget = fresh_gadget_class("B")
+
+        class SubGadget(Gadget):
+            pass
+
+        SubGadget().use(5)
+        assert [n for _obj, n in _log] == [5]
+
+    def test_class_rules_of_introspection(self, sentinel):
+        Gadget = fresh_gadget_class("C")
+
+        class SubGadget(Gadget):
+            pass
+
+        rules = class_rules_of(SubGadget)
+        assert "UseLoggerC" in rules
+
+    def test_class_rule_is_first_class(self, sentinel):
+        """Footnote 2: declared in the class, but still a rule object."""
+        Gadget = fresh_gadget_class("D")
+        rule = class_rules_of(Gadget)["UseLoggerD"]
+        rule.disable()
+        Gadget().use()
+        assert _log == []
+        rule.enable()
+        Gadget().use()
+        assert len(_log) == 1
+
+    def test_string_condition_and_action(self, sentinel):
+        class Meter(Reactive):
+            def __init__(self):
+                super().__init__()
+                self.level = 0
+                self.alarms = 0
+
+            @event_method
+            def fill(self, amount):
+                self.level += amount
+
+            __rules__ = [
+                class_rule(
+                    "Overflow",
+                    on="end fill(int amount)",
+                    condition="self.level > 10",
+                    action="self.alarms = self.alarms + 1",
+                ),
+            ]
+
+        meter = Meter()
+        meter.fill(5)
+        assert meter.alarms == 0
+        meter.fill(20)
+        assert meter.alarms == 1
+
+    def test_event_factory_form(self, sentinel):
+        from repro.core import Primitive
+
+        built = {}
+
+        def factory(cls):
+            event = Primitive(f"end {cls.__name__}::tick()")
+            built["event"] = event
+            return event
+
+        class Clocked(Reactive):
+            @event_method
+            def tick(self):
+                pass
+
+            __rules__ = [class_rule("T", on=factory)]
+
+        assert built["event"].signature.class_name == "Clocked"
+
+    def test_bad_declaration_type_rejected(self):
+        with pytest.raises(TypeError):
+            class Broken(Reactive):
+                __rules__ = ["not-a-declaration"]
+
+
+class TestMarriageRule:
+    """Figure 9, for real: condition on parameters, abort action."""
+
+    def build_person(self):
+        class PersonF9(Reactive):
+            def __init__(self, name, sex):
+                super().__init__()
+                self.name = name
+                self.sex = sex
+                self.spouse = None
+
+            @event_method(before=True)
+            def marry(self, spouse):
+                self.spouse = spouse
+                spouse.spouse = self
+
+            __rules__ = [
+                class_rule(
+                    "MarriageF9",
+                    on="begin marry(spouse)",
+                    condition="self.sex == spouse.sex",
+                    action="abort",
+                    coupling="immediate",
+                ),
+            ]
+
+        return PersonF9
+
+    def test_valid_marriage_commits(self, sentinel_db):
+        Person = self.build_person()
+        sentinel_db._adopt_class_rules()
+        db = sentinel_db.db
+        with db.transaction():
+            alice, bob = Person("Alice", "F"), Person("Bob", "M")
+            db.add(alice)
+            db.add(bob)
+        with db.transaction():
+            alice.marry(bob)
+        assert alice.spouse is bob
+
+    def test_invalid_marriage_aborts_transaction(self, sentinel_db):
+        Person = self.build_person()
+        sentinel_db._adopt_class_rules()
+        db = sentinel_db.db
+        with db.transaction():
+            alice, carol = Person("Alice", "F"), Person("Carol", "F")
+            db.add(alice)
+            db.add(carol)
+        with pytest.raises(TransactionAborted):
+            with db.transaction():
+                alice.marry(carol)
+        assert alice.spouse is None
+        assert carol.spouse is None
+
+    def test_rule_applies_without_any_subscription_code(self, sentinel):
+        Person = self.build_person()
+        # No db: the abort surfaces as the exception alone.
+        dana, erin = Person("Dana", "F"), Person("Erin", "F")
+        with pytest.raises(TransactionAborted):
+            dana.marry(erin)

@@ -1,0 +1,189 @@
+"""Tests for clocks, occurrences, and the runtime scheduler stack."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    CompositeOccurrence,
+    EventModifier,
+    EventOccurrence,
+    ManualClock,
+    RuleScheduler,
+    SystemClock,
+    get_clock,
+    set_clock,
+)
+from repro.core.occurrence import next_sequence
+from repro.core.runtime import (
+    current_scheduler,
+    default_scheduler,
+    pop_scheduler,
+    push_scheduler,
+)
+
+
+class TestClocks:
+    def test_system_clock_moves(self):
+        clock = SystemClock()
+        assert clock.now() > 0
+
+    def test_manual_clock_is_still(self):
+        clock = ManualClock(start=5.0)
+        assert clock.now() == clock.now() == 5.0
+
+    def test_manual_advance(self):
+        clock = ManualClock()
+        assert clock.advance(3.5) == 3.5
+        assert clock.now() == 3.5
+
+    def test_manual_set(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_time_cannot_go_backwards(self):
+        clock = ManualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_set_clock_swaps_and_restores(self):
+        original = get_clock()
+        manual = ManualClock(start=77.0)
+        previous = set_clock(manual)
+        try:
+            assert get_clock() is manual
+            occurrence = EventOccurrence(
+                class_name="X", method="m", modifier=EventModifier.END
+            )
+            assert occurrence.timestamp == 77.0
+        finally:
+            set_clock(previous)
+        assert get_clock() is original
+
+
+class TestSequenceNumbers:
+    def test_monotonic(self):
+        values = [next_sequence() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+    def test_thread_safe(self):
+        results = []
+        lock = threading.Lock()
+
+        def work():
+            local = [next_sequence() for _ in range(300)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 1200
+
+
+class TestOccurrences:
+    def make(self, method="m", **kwargs):
+        return EventOccurrence(
+            class_name="C", method=method, modifier=EventModifier.END, **kwargs
+        )
+
+    def test_constituents_of_primitive_is_self(self):
+        occurrence = self.make()
+        assert occurrence.constituents == (occurrence,)
+
+    def test_parameters_copy(self):
+        occurrence = self.make(params={"a": 1})
+        params = occurrence.parameters()
+        params["a"] = 99
+        assert occurrence.params["a"] == 1
+
+    def test_signature_text(self):
+        assert self.make().signature_text == "end C::m"
+
+    def test_matches_class_through_mro(self):
+        occurrence = self.make(class_names=("C", "Base"))
+        assert occurrence.matches_class("Base")
+        assert not occurrence.matches_class("Other")
+
+    def test_composite_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeOccurrence.of("e", ())
+
+    def test_composite_takes_terminator_seq_and_time(self):
+        first = self.make()
+        second = self.make()
+        composite = CompositeOccurrence.of("both", (first, second))
+        assert composite.seq == second.seq
+        assert composite.timestamp == second.timestamp
+
+    def test_composite_flattens_nested(self):
+        a, b, c = self.make(), self.make(), self.make()
+        inner = CompositeOccurrence.of("inner", (a, b))
+        outer = CompositeOccurrence.of("outer", (inner, c))
+        assert outer.constituents == (a, b, c)
+
+    def test_composite_parameters_later_wins(self):
+        a = self.make(params={"x": 1, "y": 1})
+        b = self.make(params={"x": 2})
+        composite = CompositeOccurrence.of("e", (a, b))
+        assert composite.parameters() == {"x": 2, "y": 1}
+
+    def test_sources_deduplicated(self):
+        source = object()
+        a = self.make(source=source)
+        b = self.make(source=source)
+        composite = CompositeOccurrence.of("e", (a, b))
+        assert composite.sources() == [source]
+
+    def test_modifier_parse(self):
+        assert EventModifier.parse("begin") is EventModifier.BEGIN
+        assert EventModifier.parse("BOM") is EventModifier.BEGIN
+        assert EventModifier.parse("eom") is EventModifier.END
+        with pytest.raises(ValueError):
+            EventModifier.parse("middle")
+
+    def test_str_forms(self):
+        occurrence = self.make()
+        assert "end C::m" in str(occurrence)
+        composite = CompositeOccurrence.of("combo", (occurrence,))
+        assert "combo" in str(composite)
+
+
+class TestRuntimeStack:
+    def test_default_scheduler_singleton(self):
+        assert default_scheduler() is default_scheduler()
+
+    def test_push_pop(self):
+        scheduler = RuleScheduler()
+        push_scheduler(scheduler)
+        try:
+            assert current_scheduler() is scheduler
+        finally:
+            pop_scheduler(scheduler)
+        assert current_scheduler() is not scheduler
+
+    def test_nested_push(self):
+        outer, inner = RuleScheduler(), RuleScheduler()
+        push_scheduler(outer)
+        push_scheduler(inner)
+        assert current_scheduler() is inner
+        pop_scheduler(inner)
+        assert current_scheduler() is outer
+        pop_scheduler(outer)
+
+    def test_pop_unknown_is_noop(self):
+        pop_scheduler(RuleScheduler())
+
+    def test_pop_removes_most_recent_instance(self):
+        scheduler = RuleScheduler()
+        push_scheduler(scheduler)
+        push_scheduler(scheduler)
+        pop_scheduler(scheduler)
+        assert current_scheduler() is scheduler
+        pop_scheduler(scheduler)

@@ -1,0 +1,146 @@
+"""Tests for parameter contexts: recent, chronicle, continuous, cumulative."""
+
+import pytest
+
+from repro.core import (
+    Conjunction,
+    ParameterContext,
+    Primitive,
+    Reactive,
+    Sequence,
+    event_method,
+)
+
+
+class Feed(Reactive):
+    @event_method
+    def left(self, tag=""):
+        return tag
+
+    @event_method
+    def right(self, tag=""):
+        return tag
+
+
+class Signals:
+    def __init__(self):
+        self.occurrences = []
+
+    def on_event(self, event, occurrence):
+        self.occurrences.append(occurrence)
+
+
+def build(operator_cls, context):
+    left = Primitive("end Feed::left(str tag)")
+    right = Primitive("end Feed::right(str tag)")
+    event = operator_cls(left, right, context=context)
+    feed = Feed()
+    feed.subscribe(event)
+    signals = Signals()
+    event.add_listener(signals)
+    return feed, signals
+
+
+def tags(occurrence):
+    return [c.params["tag"] for c in occurrence.constituents]
+
+
+class TestContextParsing:
+    def test_parse(self):
+        assert ParameterContext.parse("recent") is ParameterContext.RECENT
+        assert ParameterContext.parse(ParameterContext.CHRONICLE) is (
+            ParameterContext.CHRONICLE
+        )
+
+    def test_bad_context(self):
+        with pytest.raises(ValueError):
+            ParameterContext.parse("futuristic")
+
+
+class TestConjunctionContexts:
+    def test_chronicle_fifo_consumption(self):
+        feed, signals = build(Conjunction, "chronicle")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")
+        feed.right("r2")
+        assert len(signals.occurrences) == 2
+        assert sorted(tags(signals.occurrences[0])) == ["l1", "r1"]
+        assert sorted(tags(signals.occurrences[1])) == ["l2", "r2"]
+
+    def test_recent_reuses_latest(self):
+        feed, signals = build(Conjunction, "recent")
+        feed.left("l1")
+        feed.left("l2")          # replaces l1
+        feed.right("r1")
+        assert len(signals.occurrences) == 1
+        assert sorted(tags(signals.occurrences[0])) == ["l2", "r1"]
+        feed.right("r2")         # l2 still usable in recent context
+        assert len(signals.occurrences) == 2
+        assert sorted(tags(signals.occurrences[1])) == ["l2", "r2"]
+
+    def test_continuous_terminates_all_open(self):
+        feed, signals = build(Conjunction, "continuous")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")         # terminates both windows at once
+        assert len(signals.occurrences) == 2
+        initiators = {tags(o)[0] for o in signals.occurrences}
+        assert initiators == {"l1", "l2"}
+        feed.right("r2")         # everything consumed: nothing left
+        assert len(signals.occurrences) == 2
+
+    def test_cumulative_folds_everything(self):
+        feed, signals = build(Conjunction, "cumulative")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")
+        assert len(signals.occurrences) == 1
+        assert sorted(tags(signals.occurrences[0])) == ["l1", "l2", "r1"]
+        feed.right("r2")
+        assert len(signals.occurrences) == 1  # buffers were drained
+
+
+class TestSequenceContexts:
+    def test_chronicle_oldest_initiator(self):
+        feed, signals = build(Sequence, "chronicle")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")
+        assert tags(signals.occurrences[0]) == ["l1", "r1"]
+        feed.right("r2")
+        assert tags(signals.occurrences[1]) == ["l2", "r2"]
+
+    def test_recent_latest_initiator_not_consumed(self):
+        feed, signals = build(Sequence, "recent")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")
+        assert tags(signals.occurrences[0]) == ["l2", "r1"]
+        feed.right("r2")
+        assert tags(signals.occurrences[1]) == ["l2", "r2"]
+
+    def test_continuous_all_initiators(self):
+        feed, signals = build(Sequence, "continuous")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")
+        assert len(signals.occurrences) == 2
+        assert {tags(o)[0] for o in signals.occurrences} == {"l1", "l2"}
+        feed.right("r2")
+        assert len(signals.occurrences) == 2
+
+    def test_cumulative_folds_initiators(self):
+        feed, signals = build(Sequence, "cumulative")
+        feed.left("l1")
+        feed.left("l2")
+        feed.right("r1")
+        assert len(signals.occurrences) == 1
+        assert tags(signals.occurrences[0]) == ["l1", "l2", "r1"]
+
+    def test_right_before_left_never_pairs_in_any_context(self):
+        for context in ParameterContext:
+            feed, signals = build(Sequence, context)
+            feed.right("r")
+            feed.left("l")
+            assert signals.occurrences == [], context

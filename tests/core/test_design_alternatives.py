@@ -1,0 +1,204 @@
+"""§3.3/§3.4 — the design alternatives the paper weighs, demonstrated.
+
+The paper argues events and rules should be *objects* by comparing the
+alternatives (events as expressions, events as rule attributes; rules as
+declarations, rules as data members).  These tests demonstrate the
+concrete capability differences the paper claims, using our
+implementation for the "as objects" side and minimal emulations for the
+alternatives.
+"""
+
+import pytest
+
+from repro.core import (
+    Conjunction,
+    Disjunction,
+    Notifiable,
+    Primitive,
+    Reactive,
+    Rule,
+    event_method,
+)
+from repro.workloads import Employee, Manager, Stock
+
+
+class TestEventsAsObjects:
+    """§3.3, third alternative — what being an object buys."""
+
+    def test_events_have_state(self, sentinel):
+        """'The state information ... includes the occurrence of the event
+        and the parameters computed when an event is raised.'"""
+        event = Primitive("end Stock::set_price(float price)")
+        stock = Stock("S", 1.0)
+        stock.subscribe(event)
+        stock.set_price(9.0)
+        assert event.raised
+        assert event.last_occurrence().params == {"price": 9.0}
+
+    def test_events_shared_between_rules(self, sentinel):
+        """One event object can trigger several rules — no duplication."""
+        shared = Primitive("end Stock::set_price(float price)")
+        hits = []
+        rule_a = Rule("a", shared, action=lambda ctx: hits.append("a"))
+        rule_b = Rule("b", shared, action=lambda ctx: hits.append("b"))
+        stock = Stock("S", 1.0)
+        stock.subscribe(rule_a)
+        stock.subscribe(rule_b)
+        stock.set_price(2.0)
+        assert sorted(hits) == ["a", "b"]
+
+    def test_events_modified_dynamically(self, sentinel):
+        """Events can be disabled/enabled at runtime like any object."""
+        event = Primitive("end Stock::set_price(float price)")
+        stock = Stock("S", 1.0)
+        stock.subscribe(event)
+        event.disable()
+        stock.set_price(2.0)
+        assert not event.raised
+        event.enable()
+        stock.set_price(3.0)
+        assert event.raised
+
+    def test_events_span_distinct_classes(self, sentinel):
+        """'Events spanning distinct classes can be expressed.'"""
+        cross = Conjunction(
+            Primitive("end Stock::set_price(float price)"),
+            Primitive("end Employee::set_salary(float salary)"),
+        )
+        stock, employee = Stock("S", 1.0), Employee("E", 1.0)
+        stock.subscribe(cross)
+        employee.subscribe(cross)
+        stock.set_price(2.0)
+        employee.set_salary(3.0)
+        assert cross.raised
+
+    def test_events_as_expressions_cannot_span_classes(self, sentinel):
+        """The 'events as expressions' emulation: an expression evaluated
+        inside one class's method wrapper sees only that class's state —
+        there is no object to carry a second class's half of the pattern."""
+
+        class ExpressionEventObj(Reactive):
+            # The 'event expression' is just a per-call predicate: it has
+            # no storage, so a cross-object conjunction is inexpressible.
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            @event_method
+            def poke(self, n):
+                pass
+
+        consumer_state = []
+
+        class ExprConsumer(Notifiable):
+            def notify(self, occurrence):
+                # stateless expression: evaluate and forget
+                if occurrence.params.get("n", 0) > 5:
+                    consumer_state.append(occurrence.seq)
+
+        obj = ExpressionEventObj()
+        obj.subscribe(ExprConsumer())
+        obj.poke(10)
+        obj.poke(1)
+        assert len(consumer_state) == 1
+        # The point: nothing persisted between notifications — the
+        # object-based Conjunction above needed exactly that storage.
+
+
+class TestRulesAsObjects:
+    """§3.4, the alternatives for rule specification."""
+
+    def test_rule_reuse_across_classes(self, sentinel):
+        """'A rule that ensures an employer's salary is always less than
+        his/her manager's salary need[s] to be declared twice' in the
+        declarative approach — here once."""
+        rule = Rule(
+            "shared-salary-check",
+            Primitive("end Employee::set_salary(float salary)")
+            | Primitive("end Manager::set_salary(float salary)"),
+        )
+        fred, mike = Employee("f", 1.0), Manager("m", 2.0)
+        fred.subscribe(rule)
+        mike.subscribe(rule)
+        fred.set_salary(3.0)
+        mike.set_salary(4.0)
+        # mike is both Employee and Manager, so his update raises both
+        # primitives of the disjunction: 1 (fred) + 2 (mike) triggers.
+        assert rule.times_triggered == 3
+
+    def test_rule_identity_allows_association(self, sentinel):
+        """Rules have object identity, so other objects can reference
+        them — e.g. a registry, or another rule monitoring them."""
+        rule = Rule("identified", "end Stock::set_price(float price)")
+        holder = {"the_rule": rule}
+        assert holder["the_rule"] is rule
+
+    def test_rule_subclassing(self, sentinel):
+        """'It is possible to create subclasses of the rule class' —
+        e.g. Ode's hard/soft constraints as Rule subclasses."""
+
+        class HardConstraint(Rule):
+            def fire(self, occurrence):
+                context_fired = super().fire(occurrence)
+                self.kind = "hard"
+                return context_fired
+
+        class SoftConstraint(Rule):
+            def fire(self, occurrence):
+                self.kind = "soft"
+                return super().fire(occurrence)
+
+        hard = HardConstraint("h", "end Stock::set_price(float price)")
+        soft = SoftConstraint("s", "end Stock::set_price(float price)")
+        stock = Stock("S", 1.0)
+        stock.subscribe(hard)
+        stock.subscribe(soft)
+        stock.set_price(2.0)
+        assert hard.kind == "hard"
+        assert soft.kind == "soft"
+        assert isinstance(hard, Rule)
+
+    def test_rule_as_data_member_has_no_inheritance(self, sentinel):
+        """The 'rules as data members' alternative: values of data members
+        are not inherited, so a subclass instance starts without them."""
+
+        class WithRuleMember(Reactive):
+            def __init__(self):
+                super().__init__()
+                self.my_rule = Rule(
+                    "member-rule", "end Stock::set_price(float price)"
+                )
+
+        class Sub(WithRuleMember):
+            def __init__(self):
+                # A subclass that builds itself differently loses the rule
+                # — nothing in the *class* carries it (unlike class rules).
+                Reactive.__init__(self)
+
+        assert hasattr(WithRuleMember(), "my_rule")
+        assert not hasattr(Sub(), "my_rule")
+
+    def test_class_rules_are_inherited_unlike_data_members(self, sentinel):
+        """Sentinel's class-level rules live on the class and reach
+        subclass instances (contrast with the previous test)."""
+        from repro.core import class_rule
+
+        log = []
+
+        class Declared(Reactive):
+            @event_method
+            def act(self):
+                pass
+
+            __rules__ = [
+                class_rule(
+                    "DeclaredRule", on="end act()",
+                    action=lambda ctx: log.append(type(ctx.source).__name__),
+                ),
+            ]
+
+        class DeclaredSub(Declared):
+            pass
+
+        DeclaredSub().act()
+        assert log == ["DeclaredSub"]

@@ -1,0 +1,139 @@
+"""Tests for the event detector."""
+
+from repro.core import (
+    Conjunction,
+    EventDetector,
+    Periodic,
+    Primitive,
+    Reactive,
+    Sequence,
+    event_method,
+)
+
+
+class Sensor(Reactive):
+    @event_method
+    def high(self):
+        pass
+
+    @event_method
+    def low(self):
+        pass
+
+
+class Signals:
+    def __init__(self):
+        self.occurrences = []
+
+    def on_event(self, event, occurrence):
+        self.occurrences.append(occurrence)
+
+
+class TestRegistration:
+    def test_register_returns_event(self):
+        detector = EventDetector()
+        event = Primitive("end Sensor::high()")
+        assert detector.register(event) is event
+        assert detector.roots() == [event]
+
+    def test_register_idempotent(self):
+        detector = EventDetector()
+        event = Primitive("end Sensor::high()")
+        detector.register(event)
+        detector.register(event)
+        assert len(detector.roots()) == 1
+
+    def test_unregister(self):
+        detector = EventDetector()
+        event = Primitive("end Sensor::high()")
+        detector.register(event)
+        detector.unregister(event)
+        assert detector.roots() == []
+
+
+class TestDetection:
+    def test_feed_routes_to_matching_leaves(self):
+        detector = EventDetector()
+        high = detector.register(Primitive("end Sensor::high()"))
+        low = detector.register(Primitive("end Sensor::low()"))
+        sensor = Sensor()
+        sensor.subscribe(detector)
+        sensor.high()
+        assert high.signal_count == 1
+        assert low.signal_count == 0
+        # Only one leaf was touched by the feed (the index worked).
+        assert detector.stats.leaf_deliveries == 1
+
+    def test_composite_detection_through_detector(self):
+        detector = EventDetector()
+        both = detector.register(
+            Conjunction(
+                Primitive("end Sensor::high()"),
+                Primitive("end Sensor::low()"),
+            )
+        )
+        signals = Signals()
+        both.add_listener(signals)
+        sensor = Sensor()
+        sensor.subscribe(detector)
+        sensor.high()
+        sensor.low()
+        assert len(signals.occurrences) == 1
+
+    def test_shared_stream_multiple_graphs(self):
+        detector = EventDetector()
+        sequence = detector.register(
+            Sequence(
+                Primitive("end Sensor::high()"),
+                Primitive("end Sensor::low()"),
+            )
+        )
+        conjunction = detector.register(
+            Conjunction(
+                Primitive("end Sensor::low()"),
+                Primitive("end Sensor::high()"),
+            )
+        )
+        sensor = Sensor()
+        sensor.subscribe(detector)
+        sensor.high()
+        sensor.low()
+        assert sequence.signal_count == 1
+        assert conjunction.signal_count == 1
+
+    def test_signal_accounting(self):
+        detector = EventDetector()
+        event = detector.register(Primitive("end Sensor::high()"))
+        event.name = "spike"
+        sensor = Sensor()
+        sensor.subscribe(detector)
+        sensor.high()
+        sensor.high()
+        assert detector.signals_of("spike") == 2
+        assert detector.signals_of(event) == 2
+        assert detector.stats.fed == 2
+
+    def test_pollables_driven_by_tick(self, manual_clock):
+        detector = EventDetector()
+        start = Primitive("end Sensor::high()")
+        stop = Primitive("end Sensor::low()")
+        periodic = detector.register(Periodic(start, 10.0, stop))
+        sensor = Sensor()
+        sensor.subscribe(detector)
+        sensor.high()
+        manual_clock.advance(35.0)
+        emitted = detector.tick()
+        assert emitted == 3
+        assert periodic.signal_count == 3
+
+    def test_feed_polls_pollables(self, manual_clock):
+        detector = EventDetector()
+        start = Primitive("end Sensor::high()")
+        stop = Primitive("end Sensor::low()")
+        periodic = detector.register(Periodic(start, 10.0, stop))
+        sensor = Sensor()
+        sensor.subscribe(detector)
+        sensor.high()
+        manual_clock.advance(25.0)
+        sensor.high()  # the feed itself polls: back-ticks are emitted
+        assert periodic.signal_count == 2

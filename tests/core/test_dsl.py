@@ -1,0 +1,253 @@
+"""Tests for the event-expression and rule-spec DSL."""
+
+import pytest
+
+from repro.core import (
+    Conjunction,
+    Disjunction,
+    Primitive,
+    Reactive,
+    Sequence,
+    event_method,
+)
+from repro.core.dsl import (
+    CompiledAction,
+    CompiledCondition,
+    DslError,
+    compile_action,
+    compile_condition,
+    parse_event,
+    parse_rule,
+)
+
+
+class Valve(Reactive):
+    def __init__(self):
+        super().__init__()
+        self.pressure = 0
+
+    @event_method
+    def open(self, psi=0):
+        self.pressure = psi
+
+    @event_method(before=True)
+    def close(self):
+        self.pressure = 0
+
+
+class TestEventExpressions:
+    def test_single_signature(self):
+        event = parse_event("end Valve::open(int psi)")
+        assert isinstance(event, Primitive)
+        assert event.signature.method == "open"
+
+    def test_conjunction_keyword_and_symbol(self):
+        for text in (
+            "end A::x() and end B::y()",
+            "end A::x() & end B::y()",
+            "end A::x() && end B::y()",
+        ):
+            event = parse_event(text)
+            assert isinstance(event, Conjunction), text
+
+    def test_disjunction(self):
+        for text in ("end A::x() or end B::y()", "end A::x() | end B::y()"):
+            assert isinstance(parse_event(text), Disjunction), text
+
+    def test_sequence_forms(self):
+        for text in (
+            "end A::x() then end B::y()",
+            "end A::x() ; end B::y()",
+            "end A::x() >> end B::y()",
+        ):
+            assert isinstance(parse_event(text), Sequence), text
+
+    def test_precedence_and_over_or(self):
+        event = parse_event("end A::x() or end B::y() and end C::z()")
+        assert isinstance(event, Disjunction)
+        assert isinstance(event.children()[1], Conjunction)
+
+    def test_precedence_or_over_seq(self):
+        event = parse_event("end A::x() then end B::y() or end C::z()")
+        assert isinstance(event, Sequence)
+        assert isinstance(event.children()[1], Disjunction)
+
+    def test_parentheses_override(self):
+        event = parse_event("(end A::x() or end B::y()) and end C::z()")
+        assert isinstance(event, Conjunction)
+        assert isinstance(event.children()[0], Disjunction)
+
+    def test_nary_flattening(self):
+        event = parse_event("end A::x() and end B::y() and end C::z()")
+        assert isinstance(event, Conjunction)
+        assert len(event.children()) == 3
+
+    def test_default_class_qualifies_bare_signature(self):
+        event = parse_event("end open(int psi)", default_class="Valve")
+        assert event.signature.class_name == "Valve"
+
+    def test_bare_signature_without_default_rejected(self):
+        with pytest.raises(DslError):
+            parse_event("end open(int psi)")
+
+    def test_garbage_rejected(self):
+        for bad in ("", "fnord", "end A::x() or", "(end A::x()", "end A::x() blah"):
+            with pytest.raises(DslError):
+                parse_event(bad)
+
+    def test_detection_through_parsed_tree(self):
+        event = parse_event(
+            "end Valve::open(int psi) then begin Valve::close()"
+        )
+        signals = []
+
+        class Listener:
+            def on_event(self, ev, occ):
+                signals.append(occ)
+
+        event.add_listener(Listener())
+        valve = Valve()
+        valve.subscribe(event)
+        valve.open(30)
+        valve.close()
+        assert len(signals) == 1
+
+
+class TestConditionsAndActions:
+    def make_ctx(self, source=None, params=None):
+        from repro.core import EventModifier, EventOccurrence, Rule, RuleContext
+
+        occurrence = EventOccurrence(
+            class_name="Valve",
+            method="open",
+            modifier=EventModifier.END,
+            source=source,
+            params=params or {},
+        )
+        rule = Rule("ctx-rule", "end Valve::open(int psi)")
+        return RuleContext(rule=rule, occurrence=occurrence,
+                           params=occurrence.parameters())
+
+    def test_condition_sees_params(self):
+        condition = compile_condition("psi > 50")
+        assert condition(self.make_ctx(params={"psi": 70}))
+        assert not condition(self.make_ctx(params={"psi": 10}))
+
+    def test_condition_sees_self(self):
+        valve = Valve()
+        valve.pressure = 99
+        condition = compile_condition("self.pressure > 50")
+        assert condition(self.make_ctx(source=valve))
+
+    def test_action_mutates_source(self):
+        valve = Valve()
+        action = compile_action("self.pressure = 7")
+        action(self.make_ctx(source=valve))
+        assert valve.pressure == 7
+
+    def test_multiline_action(self):
+        valve = Valve()
+        action = compile_action("x = 3\nself.pressure = x * 2")
+        action(self.make_ctx(source=valve))
+        assert valve.pressure == 6
+
+    def test_abort_shorthand(self):
+        from repro.oodb import TransactionAborted
+
+        action = compile_action("abort")
+        with pytest.raises(TransactionAborted):
+            action(self.make_ctx())
+
+    def test_syntax_errors_rejected_eagerly(self):
+        with pytest.raises(DslError):
+            compile_condition("not ) valid (")
+        with pytest.raises(DslError):
+            compile_action("def :")
+
+    def test_compiled_objects_report_source(self):
+        assert compile_condition("psi > 1").source == "psi > 1"
+        assert "pressure" in repr(compile_action("self.pressure = 1"))
+
+    def test_compiled_condition_persists(self, mem_db):
+        condition = CompiledCondition("psi > 5")
+        mem_db.add(condition)
+        mem_db.commit()
+        mem_db.evict_cache()
+        restored = mem_db.fetch(condition.oid)
+        assert restored.source == "psi > 5"
+        assert restored(self.make_ctx(params={"psi": 6}))
+
+    def test_compiled_action_persists(self, mem_db):
+        action = CompiledAction("self.pressure = 1")
+        mem_db.add(action)
+        mem_db.commit()
+        mem_db.evict_cache()
+        restored = mem_db.fetch(action.oid)
+        valve = Valve()
+        restored(self.make_ctx(source=valve))
+        assert valve.pressure == 1
+
+
+class TestRuleSpecs:
+    def test_full_block(self, sentinel):
+        rule = parse_rule(
+            """
+            RULE HighPressure
+            ON   end Valve::open(int psi)
+            IF   psi > 100
+            DO   self.pressure = 100
+            MODE immediate
+            PRIORITY 3
+            """
+        )
+        assert rule.name == "HighPressure"
+        assert rule.priority == 3
+        valve = Valve()
+        valve.subscribe(rule)
+        valve.open(250)
+        assert valve.pressure == 100
+        valve.open(50)
+        assert valve.pressure == 50
+
+    def test_paper_letter_prefixes(self, sentinel):
+        rule = parse_rule(
+            """
+            R: Marriage
+            E: begin marry(spouse)
+            C: self.sex == spouse.sex
+            A: abort
+            M: Immediate
+            """,
+            default_class="Person",
+        )
+        assert rule.name == "Marriage"
+        assert rule.coupling.value == "immediate"
+        assert rule.condition.source == "self.sex == spouse.sex"
+
+    def test_continuation_lines(self, sentinel):
+        rule = parse_rule(
+            """
+            RULE Multi
+            ON end Valve::open(int psi)
+            DO x = 1
+               self.pressure = x + 1
+            """
+        )
+        valve = Valve()
+        valve.subscribe(rule)
+        valve.open(9)
+        assert valve.pressure == 2
+
+    def test_missing_event_rejected(self):
+        with pytest.raises(DslError):
+            parse_rule("RULE NoEvent\nDO x = 1")
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(DslError):
+            parse_rule("WHENEVER something happens")
+
+    def test_defaults(self, sentinel):
+        rule = parse_rule("ON end Valve::open(int psi)")
+        assert rule.coupling.value == "immediate"
+        assert rule.priority == 0
+        assert rule.condition is None

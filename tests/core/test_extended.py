@@ -1,0 +1,246 @@
+"""Tests for the extended operators: Any, Not, Aperiodic, A*, Periodic, Plus."""
+
+import pytest
+
+from repro.core import (
+    Aperiodic,
+    AperiodicStar,
+    Not,
+    Periodic,
+    Plus,
+    Primitive,
+    Reactive,
+    event_method,
+)
+from repro.core.events import Any as AnyEvent
+from repro.core.events.base import EventError
+
+
+class Machine(Reactive):
+    @event_method
+    def start(self, tag=""):
+        pass
+
+    @event_method
+    def work(self, tag=""):
+        pass
+
+    @event_method
+    def stop(self, tag=""):
+        pass
+
+
+class Signals:
+    def __init__(self):
+        self.occurrences = []
+
+    def on_event(self, event, occurrence):
+        self.occurrences.append(occurrence)
+
+
+def primitives():
+    return (
+        Primitive("end Machine::start(str tag)"),
+        Primitive("end Machine::work(str tag)"),
+        Primitive("end Machine::stop(str tag)"),
+    )
+
+
+def wire(event):
+    machine = Machine()
+    machine.subscribe(event)
+    signals = Signals()
+    event.add_listener(signals)
+    return machine, signals
+
+
+class TestAny:
+    def test_two_of_three(self):
+        start, work, stop = primitives()
+        machine, signals = wire(AnyEvent(2, start, work, stop))
+        machine.start()
+        assert signals.occurrences == []
+        machine.stop()
+        assert len(signals.occurrences) == 1
+        methods = {c.method for c in signals.occurrences[0].constituents}
+        assert methods == {"start", "stop"}
+
+    def test_same_event_twice_does_not_count_as_two(self):
+        start, work, stop = primitives()
+        machine, signals = wire(AnyEvent(2, start, work, stop))
+        machine.start()
+        machine.start()
+        assert signals.occurrences == []
+
+    def test_chronicle_consumes(self):
+        start, work, stop = primitives()
+        machine, signals = wire(AnyEvent(2, start, work, stop))
+        machine.start()
+        machine.work()
+        assert len(signals.occurrences) == 1
+        machine.stop()  # only one distinct pending now
+        assert len(signals.occurrences) == 1
+
+    def test_m_equals_one_behaves_like_disjunction(self):
+        start, work, stop = primitives()
+        machine, signals = wire(AnyEvent(1, start, work, stop))
+        machine.work()
+        machine.stop()
+        assert len(signals.occurrences) == 2
+
+    def test_invalid_m(self):
+        start, work, stop = primitives()
+        with pytest.raises(EventError):
+            AnyEvent(4, start, work, stop)
+        with pytest.raises(EventError):
+            AnyEvent(0, start, work)
+
+
+class TestNot:
+    def test_signals_when_middle_absent(self):
+        start, work, stop = primitives()
+        machine, signals = wire(Not(work, start, stop))
+        machine.start()
+        machine.stop()
+        assert len(signals.occurrences) == 1
+
+    def test_silent_when_middle_occurs(self):
+        start, work, stop = primitives()
+        machine, signals = wire(Not(work, start, stop))
+        machine.start()
+        machine.work()
+        machine.stop()
+        assert signals.occurrences == []
+
+    def test_windows_reset_after_terminator(self):
+        start, work, stop = primitives()
+        machine, signals = wire(Not(work, start, stop))
+        machine.start()
+        machine.work()
+        machine.stop()     # spoiled window closed
+        machine.stop()     # no open window: nothing
+        assert signals.occurrences == []
+        machine.start()
+        machine.stop()     # clean window
+        assert len(signals.occurrences) == 1
+
+    def test_middle_before_window_is_harmless(self):
+        start, work, stop = primitives()
+        machine, signals = wire(Not(work, start, stop))
+        machine.work()     # before any window opens
+        machine.start()
+        machine.stop()
+        assert len(signals.occurrences) == 1
+
+
+class TestAperiodic:
+    def test_each_middle_in_window(self):
+        start, work, stop = primitives()
+        machine, signals = wire(Aperiodic(work, start, stop))
+        machine.work("outside")       # no window yet
+        machine.start()
+        machine.work("in-1")
+        machine.work("in-2")
+        machine.stop()
+        machine.work("after")
+        assert len(signals.occurrences) == 2
+        inner_tags = [
+            o.constituents[-1].params["tag"] for o in signals.occurrences
+        ]
+        assert inner_tags == ["in-1", "in-2"]
+
+
+class TestAperiodicStar:
+    def test_accumulates_until_close(self):
+        start, work, stop = primitives()
+        machine, signals = wire(AperiodicStar(work, start, stop))
+        machine.start()
+        machine.work("a")
+        machine.work("b")
+        assert signals.occurrences == []
+        machine.stop()
+        assert len(signals.occurrences) == 1
+        methods = [c.method for c in signals.occurrences[0].constituents]
+        assert methods == ["start", "work", "work", "stop"]
+
+    def test_empty_window_still_signals_boundaries(self):
+        start, work, stop = primitives()
+        machine, signals = wire(AperiodicStar(work, start, stop))
+        machine.start()
+        machine.stop()
+        assert len(signals.occurrences) == 1
+        assert len(signals.occurrences[0].constituents) == 2
+
+
+class TestPeriodic:
+    def test_ticks_inside_window(self, manual_clock):
+        start, _work, stop = primitives()
+        periodic = Periodic(start, 10.0, stop)
+        machine, signals = wire(periodic)
+        machine.start()
+        assert periodic.poll() == 0       # no time has passed
+        manual_clock.advance(25.0)
+        assert periodic.poll() == 2       # ticks at +10 and +20
+        ticks = [o.constituents[-1].params["tick"] for o in signals.occurrences]
+        assert ticks == [1, 2]
+
+    def test_terminator_closes_window(self, manual_clock):
+        start, _work, stop = primitives()
+        periodic = Periodic(start, 10.0, stop)
+        machine, signals = wire(periodic)
+        machine.start()
+        manual_clock.advance(15.0)
+        periodic.poll()
+        machine.stop()
+        manual_clock.advance(100.0)
+        assert periodic.poll() == 0
+        assert len(signals.occurrences) == 1
+
+    def test_no_window_no_ticks(self, manual_clock):
+        start, _work, stop = primitives()
+        periodic = Periodic(start, 5.0, stop)
+        wire(periodic)
+        manual_clock.advance(100.0)
+        assert periodic.poll() == 0
+
+    def test_bad_period(self):
+        start, _work, stop = primitives()
+        with pytest.raises(EventError):
+            Periodic(start, 0.0, stop)
+
+    def test_disabled_pollable(self, manual_clock):
+        start, _work, stop = primitives()
+        periodic = Periodic(start, 5.0, stop)
+        machine, _ = wire(periodic)
+        machine.start()
+        periodic.disable()
+        manual_clock.advance(50.0)
+        assert periodic.poll() == 0
+
+
+class TestPlus:
+    def test_fires_delta_after_base(self, manual_clock):
+        start, _work, _stop = primitives()
+        plus = Plus(start, 30.0)
+        machine, signals = wire(plus)
+        machine.start()
+        manual_clock.advance(29.0)
+        assert plus.poll() == 0
+        manual_clock.advance(2.0)
+        assert plus.poll() == 1
+        assert len(signals.occurrences) == 1
+
+    def test_each_base_occurrence_schedules_one(self, manual_clock):
+        start, _work, _stop = primitives()
+        plus = Plus(start, 10.0)
+        machine, signals = wire(plus)
+        machine.start()
+        manual_clock.advance(1.0)
+        machine.start()
+        manual_clock.advance(100.0)
+        assert plus.poll() == 2
+
+    def test_negative_delta_rejected(self):
+        start, _work, _stop = primitives()
+        with pytest.raises(EventError):
+            Plus(start, -1.0)

@@ -1,0 +1,188 @@
+"""Conformance tests: every figure of the paper, reproduced (E1/E2).
+
+Each test class corresponds to one figure (or section) and checks that
+our API provides the structure and behaviour the figure shows.
+"""
+
+import pytest
+
+from repro.core import (
+    Conjunction,
+    Disjunction,
+    Event,
+    EventDetector,
+    Notifiable,
+    Primitive,
+    Reactive,
+    Rule,
+    Sequence,
+    event_generators,
+)
+from repro.oodb import Persistent
+from repro.workloads import Employee, FinancialInfo, Portfolio, Stock
+
+
+class TestFigure1And2ProducerConsumer:
+    """Reactive objects produce events; rules/detectors consume them."""
+
+    def test_ibm_dowjones_rule_r1(self, sentinel):
+        """Fig 2: object1/object2 -> e1, e2 -> And(e1,e2) -> rule R1."""
+        ibm = Stock("IBM", 100.0)            # object1 (reactive)
+        dow = FinancialInfo("DJ", 10_000.0)  # object2 (reactive)
+        e1 = Primitive("end Stock::set_price(float price)")
+        e2 = Primitive("end FinancialInfo::set_value(float value)")
+        executed = []
+        r1 = Rule(
+            "R1", Conjunction(e1, e2),
+            condition=lambda ctx: True,      # C { code }
+            action=lambda ctx: executed.append(ctx),  # A { code }
+        )
+        ibm.subscribe(r1)
+        dow.subscribe(r1)
+        ibm.set_price(99.0)
+        assert executed == []                # And needs both
+        dow.set_value(10_100.0)
+        assert len(executed) == 1
+
+    def test_asynchronous_interface_does_not_change_return(self, sentinel):
+        """Fig 1: the conventional (synchronous) interface is unchanged."""
+        stock = Stock("IBM", 42.0)
+        rule = Rule("watcher", "end Stock::get_price()")
+        stock.subscribe(rule)
+        assert stock.get_price() == 42.0     # same result, events on the side
+        assert rule.times_triggered == 1
+
+
+class TestFigure3ClassHierarchy:
+    """zg-pos -> Notifiable -> {Event, Rule}; Reactive beside them."""
+
+    def test_rule_and_event_are_notifiable(self):
+        assert issubclass(Rule, Notifiable)
+        assert issubclass(Event, Notifiable)
+
+    def test_notifiable_and_reactive_are_persistent_capable(self):
+        # zg-pos == Persistent: derivation grants persistence.
+        assert issubclass(Notifiable, Persistent)
+        assert issubclass(Reactive, Persistent)
+
+    def test_operator_hierarchy(self):
+        for operator in (Primitive, Conjunction, Disjunction, Sequence):
+            assert issubclass(operator, Event)
+
+
+class TestFigure4ReactiveClass:
+    """consumers list + Subscribe/Unsubscribe/Notify."""
+
+    def test_api_surface(self, sentinel):
+        stock = Stock("S", 1.0)
+        consumer = Notifiable()
+        stock.subscribe(consumer)
+        assert consumer in stock.subscribers()
+        stock.unsubscribe(consumer)
+        assert stock.subscribers() == []
+
+    def test_notify_parameters(self, sentinel):
+        """Notify carries oid, event name, timestamp, actual parameters."""
+        consumer = Notifiable()
+        stock = Stock("S", 1.0)
+        stock.subscribe(consumer)
+        stock.set_price(3.0)
+        occurrence = consumer.last_occurrence()
+        assert occurrence.method == "set_price"
+        assert occurrence.params == {"price": 3.0}
+        assert occurrence.timestamp > 0
+
+
+class TestFigure5And6EventHierarchy:
+    def test_conjunction_structure(self):
+        """Fig 6: EventOne, EventTwo, Raised, constructor, Notify."""
+        first = Primitive("end Stock::set_price(float price)")
+        second = Primitive("end Stock::get_price()")
+        conjunction = Conjunction(first, second)
+        assert conjunction.children() == (first, second)
+        assert conjunction.raised is False
+
+    def test_raised_flag_set_on_detection(self, sentinel):
+        first = Primitive("end Stock::set_price(float price)")
+        second = Primitive("end Stock::get_price()")
+        conjunction = Conjunction(first, second)
+        stock = Stock("S", 1.0)
+        stock.subscribe(conjunction)
+        stock.set_price(2.0)
+        stock.get_price()
+        assert conjunction.raised is True
+
+
+class TestFigure7RuleClass:
+    def test_rule_attributes(self):
+        event = Primitive("end Stock::set_price(float price)")
+        rule = Rule(
+            "named", event,
+            condition=lambda ctx: True,
+            action=lambda ctx: None,
+            coupling="deferred",
+            enabled=False,
+        )
+        assert rule.name == "named"
+        assert rule.event is event
+        assert rule.coupling.value == "deferred"
+        assert rule.enabled is False
+
+    def test_rule_operations(self):
+        rule = Rule("ops", "end Stock::set_price(float price)")
+        rule.disable()
+        assert not rule.enabled
+        rule.enable()
+        assert rule.enabled
+        rule.update(priority=9, coupling="decoupled")
+        assert rule.priority == 9
+        assert rule.coupling.value == "decoupled"
+
+
+class TestSection46EventCreation:
+    def test_primitive_from_signature(self):
+        event = Primitive("end Employee::Set-Salary(float x)")
+        assert event.signature.method == "Set_Salary"
+
+    def test_deposit_withdraw_sequence(self, sentinel):
+        from repro.workloads import Account
+
+        deposit = Primitive("end Account::Deposit(float x)")
+        withdraw = Primitive("before Account::Withdraw(float x)")
+        dep_wit = Sequence(deposit, withdraw)
+        account = Account("A1", 100.0)
+        account.subscribe(dep_wit)
+        account.deposit(10.0)
+        account.withdraw(5.0)
+        assert dep_wit.signal_count == 1
+
+
+class TestSection2PurchaseRule:
+    def test_full_scenario(self, sentinel):
+        ibm = Stock("IBM", 100.0)
+        dow = FinancialInfo("DowJones", 10_000.0)
+        parker = Portfolio("Parker", cash=100_000.0)
+        rule = Rule(
+            "Purchase",
+            Conjunction(
+                Primitive("end Stock::set_price(float price)"),
+                Primitive("end FinancialInfo::set_value(float value)"),
+            ),
+            condition=lambda ctx: ibm.price < 80 and dow.change < 3.4,
+            action=lambda ctx: parker.purchase("IBM", 10, ibm.price),
+        )
+        ibm.subscribe(rule)
+        dow.subscribe(rule)
+        ibm.set_price(79.0)
+        dow.set_value(10_050.0)
+        assert parker.holdings.get("IBM") == 10
+
+
+class TestEventInterfaceContract:
+    def test_employee_interface_matches_fig8(self):
+        generators = event_generators(Employee)
+        assert generators["change_salary"].before is True
+        assert generators["change_salary"].after is False
+        assert generators["get_salary"].after is True
+        assert generators["get_age"].before and generators["get_age"].after
+        assert "get_name" not in generators

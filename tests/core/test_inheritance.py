@@ -1,0 +1,212 @@
+"""Inheritance of event interfaces and rules — single and multiple (§1).
+
+The paper lists "the principle of inheritance (both single and multiple)
+and its effect on rule incorporation" among the OO-model differences the
+design must handle.  These tests pin the semantics down:
+
+* event interfaces merge along the MRO; subclasses may extend or
+  re-declare entries;
+* signatures written against a base class match subclass occurrences;
+* class-level rules apply to subclass instances, including through
+  multiple inheritance;
+* overriding a generator method in a subclass keeps it a generator.
+"""
+
+import pytest
+
+from repro.core import (
+    EventModifier,
+    Notifiable,
+    Primitive,
+    Reactive,
+    Rule,
+    class_rule,
+    event_generators,
+    event_method,
+)
+
+
+class Recorder(Notifiable):
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def notify(self, occurrence):
+        self.seen.append(occurrence)
+
+
+class Vehicle(Reactive):
+    def __init__(self):
+        super().__init__()
+        self.km = 0
+
+    @event_method
+    def drive(self, km):
+        self.km += km
+
+
+class Radio(Reactive):
+    @event_method
+    def tune(self, freq):
+        self.freq = freq
+
+
+class Car(Vehicle):
+    @event_method(before=True)
+    def park(self):
+        pass
+
+
+class RadioCar(Car, Radio):
+    """Multiple inheritance: generators from both branches."""
+
+
+class TestSingleInheritance:
+    def test_interface_merges_down(self):
+        generators = event_generators(Car)
+        assert set(generators) >= {"drive", "park"}
+
+    def test_subclass_occurrence_carries_mro(self, sentinel):
+        recorder = Recorder()
+        car = Car()
+        car.subscribe(recorder)
+        car.drive(10)
+        occurrence = recorder.seen[0]
+        assert occurrence.class_name == "Car"
+        assert "Vehicle" in occurrence.class_names
+
+    def test_base_signature_matches_subclass(self, sentinel):
+        event = Primitive("end Vehicle::drive(int km)")
+        car = Car()
+        car.subscribe(event)
+        car.drive(5)
+        assert event.raised
+
+    def test_subclass_signature_does_not_match_base(self, sentinel):
+        event = Primitive("begin Car::park()")
+        vehicle = Vehicle()
+        vehicle.subscribe(event)
+        vehicle.drive(5)
+        assert not event.raised
+
+    def test_override_keeps_generator(self, sentinel):
+        class SportsCar(Car):
+            @event_method
+            def drive(self, km):  # re-declared with a different body
+                self.km += km * 2
+
+        recorder = Recorder()
+        sports = SportsCar()
+        sports.subscribe(recorder)
+        sports.drive(10)
+        assert sports.km == 20
+        assert [o.method for o in recorder.seen] == ["drive"]
+
+    def test_override_can_change_modifiers(self, sentinel):
+        class Audited(Vehicle):
+            @event_method(before=True, after=True)
+            def drive(self, km):
+                self.km += km
+
+        recorder = Recorder()
+        audited = Audited()
+        audited.subscribe(recorder)
+        audited.drive(1)
+        assert [o.modifier for o in recorder.seen] == [
+            EventModifier.BEGIN,
+            EventModifier.END,
+        ]
+
+
+class TestMultipleInheritance:
+    def test_generators_from_both_branches(self, sentinel):
+        generators = event_generators(RadioCar)
+        assert set(generators) >= {"drive", "park", "tune"}
+
+    def test_events_from_both_branches(self, sentinel):
+        recorder = Recorder()
+        hybrid = RadioCar()
+        hybrid.subscribe(recorder)
+        hybrid.drive(3)
+        hybrid.tune(99.5)
+        methods = [o.method for o in recorder.seen]
+        assert methods == ["drive", "tune"]
+
+    def test_signatures_of_either_base_match(self, sentinel):
+        vehicle_event = Primitive("end Vehicle::drive(int km)")
+        radio_event = Primitive("end Radio::tune(float freq)")
+        hybrid = RadioCar()
+        hybrid.subscribe(vehicle_event)
+        hybrid.subscribe(radio_event)
+        hybrid.drive(1)
+        hybrid.tune(101.1)
+        assert vehicle_event.raised and radio_event.raised
+
+
+class TestRuleInheritance:
+    def test_class_rule_covers_diamond(self, sentinel):
+        log = []
+
+        class Base(Reactive):
+            @event_method
+            def touch(self):
+                pass
+
+            __rules__ = [
+                class_rule(
+                    "TouchLog", on="end touch()",
+                    action=lambda ctx: log.append(type(ctx.source).__name__),
+                ),
+            ]
+
+        class Left(Base):
+            pass
+
+        class Right(Base):
+            pass
+
+        class Diamond(Left, Right):
+            pass
+
+        Diamond().touch()
+        # One class-consumer on Base: fires once, not once per path.
+        assert log == ["Diamond"]
+
+    def test_subclass_adds_rules_without_losing_inherited(self, sentinel):
+        log = []
+
+        class BaseR(Reactive):
+            @event_method
+            def touch(self):
+                pass
+
+            __rules__ = [
+                class_rule("BaseRule", on="end touch()",
+                           action=lambda ctx: log.append("base")),
+            ]
+
+        class SubR(BaseR):
+            __rules__ = [
+                class_rule("SubRule", on="end touch()",
+                           action=lambda ctx: log.append("sub")),
+            ]
+
+        SubR().touch()
+        assert sorted(log) == ["base", "sub"]
+        log.clear()
+        BaseR().touch()
+        assert log == ["base"]  # the subclass rule stays with the subclass
+
+    def test_instance_rule_on_base_signature_spans_hierarchy(self, sentinel):
+        hits = []
+        rule = Rule(
+            "fleet", "end Vehicle::drive(int km)",
+            action=lambda ctx: hits.append(type(ctx.source).__name__),
+        )
+        vehicle, car, hybrid = Vehicle(), Car(), RadioCar()
+        for obj in (vehicle, car, hybrid):
+            obj.subscribe(rule)
+        vehicle.drive(1)
+        car.drive(1)
+        hybrid.drive(1)
+        assert hits == ["Vehicle", "Car", "RadioCar"]

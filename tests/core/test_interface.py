@@ -1,0 +1,317 @@
+"""Tests for the event interface: declarations, stubs, and Figure 8."""
+
+import pytest
+
+from repro.core import (
+    EventModifier,
+    EventSpec,
+    Notifiable,
+    Reactive,
+    event_generators,
+    event_method,
+)
+from repro.oodb.errors import SchemaError
+
+
+class Recorder(Notifiable):
+    """A consumer that keeps every occurrence for assertions."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def notify(self, occurrence):
+        self.seen.append(occurrence)
+        self.record(occurrence)
+
+
+class TestEventSpec:
+    def test_parse_forms(self):
+        assert EventSpec.parse("begin") == EventSpec(before=True, after=False)
+        assert EventSpec.parse("end") == EventSpec(before=False, after=True)
+        assert EventSpec.parse("begin|end") == EventSpec(before=True, after=True)
+        assert EventSpec.parse("begin && end") == EventSpec(before=True, after=True)
+        assert EventSpec.parse("both") == EventSpec(before=True, after=True)
+        assert EventSpec.parse("before") == EventSpec(before=True, after=False)
+        assert EventSpec.parse("after") == EventSpec(before=False, after=True)
+
+    def test_bad_spec(self):
+        with pytest.raises(SchemaError):
+            EventSpec.parse("sometimes")
+
+    def test_must_raise_something(self):
+        with pytest.raises(SchemaError):
+            EventSpec(before=False, after=False)
+
+
+class TestDecoratorForm:
+    def test_bare_decorator_is_end_of_method(self):
+        class Obj(Reactive):
+            @event_method
+            def act(self):
+                return "done"
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        assert obj.act() == "done"
+        assert len(recorder.seen) == 1
+        assert recorder.seen[0].modifier is EventModifier.END
+        assert recorder.seen[0].method == "act"
+        assert recorder.seen[0].result == "done"
+
+    def test_before_flag(self):
+        class Obj(Reactive):
+            @event_method(before=True)
+            def act(self):
+                pass
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.act()
+        assert [o.modifier for o in recorder.seen] == [EventModifier.BEGIN]
+
+    def test_both_flags(self):
+        class Obj(Reactive):
+            @event_method(before=True, after=True)
+            def act(self):
+                pass
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.act()
+        assert [o.modifier for o in recorder.seen] == [
+            EventModifier.BEGIN,
+            EventModifier.END,
+        ]
+
+    def test_begin_precedes_method_body(self):
+        order = []
+
+        class Obj(Reactive):
+            @event_method(before=True)
+            def act(self):
+                order.append("body")
+
+        class Watcher(Notifiable):
+            def notify(self, occurrence):
+                order.append("event")
+
+        obj = Obj()
+        obj.subscribe(Watcher())
+        obj.act()
+        assert order == ["event", "body"]
+
+    def test_end_follows_method_body(self):
+        order = []
+
+        class Obj(Reactive):
+            @event_method
+            def act(self):
+                order.append("body")
+
+        class Watcher(Notifiable):
+            def notify(self, occurrence):
+                order.append("event")
+
+        obj = Obj()
+        obj.subscribe(Watcher())
+        obj.act()
+        assert order == ["body", "event"]
+
+    def test_params_bound_by_name(self):
+        class Obj(Reactive):
+            @event_method
+            def pay(self, amount, bonus=0):
+                return amount + bonus
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.pay(100, bonus=5)
+        assert recorder.seen[0].params == {"amount": 100, "bonus": 5}
+
+    def test_undeclared_method_generates_nothing(self):
+        class Obj(Reactive):
+            @event_method
+            def tracked(self):
+                pass
+
+            def untracked(self):
+                pass
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.untracked()
+        assert recorder.seen == []
+
+
+class TestMappingForm:
+    def test_event_interface_mapping(self):
+        class Obj(Reactive):
+            __event_interface__ = {"go": "begin|end"}
+
+            def go(self):
+                return 1
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.go()
+        assert len(recorder.seen) == 2
+
+    def test_mapping_can_name_inherited_method(self):
+        class Base(Reactive):
+            def shared(self):
+                return "base"
+
+        class Derived(Base):
+            __event_interface__ = {"shared": "end"}
+
+        recorder = Recorder()
+        derived = Derived()
+        derived.subscribe(recorder)
+        derived.shared()
+        assert len(recorder.seen) == 1
+        # The base class itself is untouched.
+        base_recorder = Recorder()
+        base = Base()
+        base.subscribe(base_recorder)
+        base.shared()
+        assert base_recorder.seen == []
+
+    def test_mapping_unknown_method_rejected(self):
+        with pytest.raises(SchemaError):
+            class Bad(Reactive):
+                __event_interface__ = {"ghost": "end"}
+
+    def test_interface_inherited_by_subclass(self):
+        class Base(Reactive):
+            @event_method
+            def act(self):
+                pass
+
+        class Derived(Base):
+            pass
+
+        recorder = Recorder()
+        derived = Derived()
+        derived.subscribe(recorder)
+        derived.act()
+        assert len(recorder.seen) == 1
+        assert recorder.seen[0].class_name == "Derived"
+        assert "Base" in recorder.seen[0].class_names
+
+    def test_event_generators_introspection(self):
+        class Obj(Reactive):
+            @event_method(before=True)
+            def a(self):
+                pass
+
+            @event_method
+            def b(self):
+                pass
+
+        generators = event_generators(Obj)
+        assert generators["a"].before and not generators["a"].after
+        assert generators["b"].after and not generators["b"].before
+
+
+class TestFigure8:
+    """The paper's employee class, declaration for declaration."""
+
+    def build(self):
+        class Employee(Reactive):
+            def __init__(self, age, salary, name):
+                super().__init__()
+                self.age = age
+                self.salary = salary
+                self.name = name
+
+            @event_method(before=True)            # event begin Change-Salary
+            def change_salary(self, x):
+                self.salary += x
+
+            @event_method(after=True)             # event end Get-Salary
+            def get_salary(self):
+                return self.salary
+
+            @event_method(before=True, after=True)  # event begin && end Get-Age
+            def get_age(self):
+                return self.age
+
+            def get_name(self):                   # no events
+                return self.name
+
+        return Employee
+
+    def test_event_profile(self):
+        Employee = self.build()
+        recorder = Recorder()
+        employee = Employee(30, 1000.0, "Ann")
+        employee.subscribe(recorder)
+
+        employee.change_salary(10.0)
+        employee.get_salary()
+        employee.get_age()
+        employee.get_name()
+
+        profile = [(o.method, o.modifier) for o in recorder.seen]
+        assert profile == [
+            ("change_salary", EventModifier.BEGIN),
+            ("get_salary", EventModifier.END),
+            ("get_age", EventModifier.BEGIN),
+            ("get_age", EventModifier.END),
+        ]
+
+
+class TestOccurrenceContents:
+    def test_message_fields_match_paper(self):
+        """Generated event = Oid + Class + Method + parameters + timestamp."""
+
+        class Obj(Reactive):
+            @event_method
+            def act(self, value):
+                pass
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.act(7)
+        occurrence = recorder.seen[0]
+        assert occurrence.source is obj
+        assert occurrence.source_oid is None  # transient object
+        assert occurrence.class_name == "Obj"
+        assert occurrence.method == "act"
+        assert occurrence.params == {"value": 7}
+        assert occurrence.timestamp > 0
+        assert occurrence.seq > 0
+
+    def test_oid_present_for_persistent_source(self, mem_db):
+        class Obj(Reactive):
+            @event_method
+            def act(self):
+                pass
+
+        recorder = Recorder()
+        obj = Obj()
+        mem_db.add(obj)
+        obj.subscribe(recorder)
+        obj.act()
+        assert recorder.seen[0].source_oid == obj.oid
+
+    def test_explicit_raise_event(self):
+        class Obj(Reactive):
+            def act(self):
+                self.raise_event("milestone", progress=0.5)
+
+        recorder = Recorder()
+        obj = Obj()
+        obj.subscribe(recorder)
+        obj.act()
+        assert recorder.seen[0].method == "milestone"
+        assert recorder.seen[0].modifier is EventModifier.EXPLICIT
+        assert recorder.seen[0].params == {"progress": 0.5}

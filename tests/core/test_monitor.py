@@ -1,0 +1,159 @@
+"""Tests for the external monitoring viewpoint helper and registries."""
+
+import pytest
+
+from repro.core import Notifiable, Reactive, Rule, event_method, monitor, unmonitor
+from repro.core.registry import EventRegistry, RuleRegistry
+from repro.workloads import FinancialInfo, Portfolio, Stock
+
+
+class TestMonitor:
+    def test_single_object(self, sentinel):
+        stock = Stock("IBM", 100.0)
+        hits = []
+        monitor(
+            stock,
+            on="end Stock::set_price(float price)",
+            action=lambda ctx: hits.append(ctx.param("price")),
+            register=False,
+        )
+        stock.set_price(50.0)
+        assert hits == [50.0]
+
+    def test_cross_class_conjunction(self, sentinel):
+        """The paper's §2 Purchase rule shape."""
+        ibm = Stock("IBM", 95.0)
+        dow = FinancialInfo("DowJones", 10_000.0)
+        parker = Portfolio("Parker", cash=100_000.0)
+        monitor(
+            [ibm, dow],
+            on=(
+                "end Stock::set_price(float price) and "
+                "end FinancialInfo::set_value(float value)"
+            ),
+            condition=lambda ctx: ibm.price < 80 and dow.change < 3.4,
+            action=lambda ctx: parker.purchase("IBM", 100, ibm.price),
+            name="Purchase",
+            register=False,
+        )
+        ibm.set_price(78.0)
+        dow.set_value(10_100.0)
+        assert parker.holdings == {"IBM": 100}
+
+    def test_no_class_definition_changes_needed(self, sentinel):
+        """Monitoring attaches at runtime; the class has no rule hooks."""
+        stock = Stock("X", 1.0)
+        assert not stock.has_consumers()
+        rule = monitor(
+            stock, on="end Stock::set_price(float price)", register=False
+        )
+        assert stock.has_consumers()
+        unmonitor(rule, stock)
+        assert not stock.has_consumers()
+
+    def test_string_condition_action(self, sentinel):
+        stock = Stock("Y", 10.0)
+        rule = monitor(
+            stock,
+            on="end Stock::set_price(float price)",
+            condition="price < 5",
+            action="rule.cheap = True",
+            register=False,
+        )
+        stock.set_price(9.0)
+        assert not hasattr(rule, "cheap")
+        stock.set_price(2.0)
+        assert rule.cheap is True
+
+    def test_passive_object_rejected(self, sentinel):
+        with pytest.raises(TypeError):
+            monitor(object(), on="end Stock::set_price(float price)")  # type: ignore[arg-type]
+
+    def test_bad_on_type_rejected(self, sentinel):
+        with pytest.raises(TypeError):
+            monitor([], on=42)  # type: ignore[arg-type]
+
+    def test_registered_by_default(self, sentinel):
+        from repro.core.registry import default_registry
+
+        stock = Stock("Z", 1.0)
+        rule = monitor(stock, on="end Stock::set_price(float price)")
+        assert rule.name in default_registry()._rules
+        default_registry().remove(rule.name)
+
+
+class TestRuleRegistry:
+    def test_add_get(self):
+        registry = RuleRegistry()
+        rule = Rule("r1", "end Stock::set_price(float price)")
+        registry.add(rule)
+        assert registry.get("r1") is rule
+        assert "r1" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_names_suffixed(self):
+        registry = RuleRegistry()
+        first = Rule("dup", "end Stock::set_price(float price)")
+        second = Rule("dup", "end Stock::set_price(float price)")
+        registry.add(first)
+        registry.add(second)
+        assert second.name == "dup#2"
+        assert registry.get("dup") is first
+        assert registry.get("dup#2") is second
+
+    def test_re_add_same_rule_is_stable(self):
+        registry = RuleRegistry()
+        rule = Rule("same", "end Stock::set_price(float price)")
+        registry.add(rule)
+        registry.add(rule)
+        assert rule.name == "same"
+
+    def test_remove(self):
+        registry = RuleRegistry()
+        rule = Rule("gone", "end Stock::set_price(float price)")
+        registry.add(rule)
+        assert registry.remove("gone") is rule
+        assert "gone" not in registry
+        assert registry.remove("gone") is None
+
+    def test_unknown_get(self):
+        with pytest.raises(KeyError):
+            RuleRegistry().get("missing")
+
+    def test_scopes_and_bulk_toggle(self):
+        registry = RuleRegistry()
+        a = Rule("a", "end Stock::set_price(float price)")
+        b = Rule("b", "end Stock::set_price(float price)")
+        registry.add(a, scope="ClassX")
+        registry.add(b, scope="instance")
+        assert registry.in_scope("ClassX") == [a]
+        registry.disable_all("ClassX")
+        assert not a.enabled and b.enabled
+        registry.enable_all()
+        assert a.enabled and b.enabled
+
+    def test_iteration_and_names(self):
+        registry = RuleRegistry()
+        registry.add(Rule("z", "end Stock::set_price(float price)"))
+        registry.add(Rule("a", "end Stock::set_price(float price)"))
+        assert registry.names() == ["a", "z"]
+        assert len(list(registry)) == 2
+
+
+class TestEventRegistry:
+    def test_add_get_remove(self):
+        from repro.core import Primitive
+
+        registry = EventRegistry()
+        event = Primitive("end Stock::set_price(float price)")
+        event.name = "price-change"
+        registry.add(event)
+        assert registry.get("price-change") is event
+        assert "price-change" in registry
+        assert registry.names() == ["price-change"]
+        registry.remove("price-change")
+        assert len(registry) == 0
+
+    def test_unknown_get(self):
+        with pytest.raises(KeyError):
+            EventRegistry().get("ghost")

@@ -1,0 +1,260 @@
+"""Tests for the paper's three operators: conjunction, disjunction, sequence."""
+
+import pytest
+
+from repro.core import (
+    Conjunction,
+    Disjunction,
+    Notifiable,
+    Primitive,
+    Reactive,
+    Sequence,
+    event_method,
+)
+from repro.core.events.base import EventError
+
+
+class Device(Reactive):
+    @event_method
+    def alpha(self, x=0):
+        return x
+
+    @event_method
+    def beta(self, y=0):
+        return y
+
+    @event_method
+    def gamma(self):
+        pass
+
+
+class Signals:
+    """Listener collecting root-event signals."""
+
+    def __init__(self):
+        self.occurrences = []
+
+    def on_event(self, event, occurrence):
+        self.occurrences.append(occurrence)
+
+
+def wire(event):
+    """Attach a device and a signal collector to an event tree."""
+    device = Device()
+    device.subscribe(event)
+    signals = Signals()
+    event.add_listener(signals)
+    return device, signals
+
+
+def a_event():
+    return Primitive("end Device::alpha(int x)")
+
+
+def b_event():
+    return Primitive("end Device::beta(int y)")
+
+
+def c_event():
+    return Primitive("end Device::gamma()")
+
+
+class TestConjunction:
+    def test_signals_when_both_occur_in_order(self):
+        device, signals = wire(Conjunction(a_event(), b_event()))
+        device.alpha()
+        assert signals.occurrences == []
+        device.beta()
+        assert len(signals.occurrences) == 1
+
+    def test_order_does_not_matter(self):
+        device, signals = wire(Conjunction(a_event(), b_event()))
+        device.beta()
+        device.alpha()
+        assert len(signals.occurrences) == 1
+
+    def test_constituents_carried(self):
+        device, signals = wire(Conjunction(a_event(), b_event()))
+        device.alpha(1)
+        device.beta(2)
+        composite = signals.occurrences[0]
+        methods = {c.method for c in composite.constituents}
+        assert methods == {"alpha", "beta"}
+        assert composite.parameters() == {"x": 1, "y": 2}
+
+    def test_chronicle_consumes(self):
+        device, signals = wire(Conjunction(a_event(), b_event()))
+        device.alpha()
+        device.beta()    # first pair
+        device.beta()    # no fresh alpha -> nothing
+        assert len(signals.occurrences) == 1
+        device.alpha()   # pairs with... nothing (beta consumed? no: beta pending)
+        assert len(signals.occurrences) == 2  # the extra beta was pending
+
+    def test_nary_conjunction(self):
+        device, signals = wire(Conjunction(a_event(), b_event(), c_event()))
+        device.alpha()
+        device.beta()
+        assert signals.occurrences == []
+        device.gamma()
+        assert len(signals.occurrences) == 1
+        assert len(signals.occurrences[0].constituents) == 3
+
+    def test_operator_sugar(self):
+        event = a_event() & b_event()
+        assert isinstance(event, Conjunction)
+
+    def test_composite_children(self):
+        inner = Conjunction(a_event(), b_event())
+        device, signals = wire(Conjunction(inner, c_event()))
+        device.alpha()
+        device.beta()
+        device.gamma()
+        assert len(signals.occurrences) == 1
+        assert len(signals.occurrences[0].constituents) == 3
+
+
+class TestDisjunction:
+    def test_either_side_signals(self):
+        device, signals = wire(Disjunction(a_event(), b_event()))
+        device.alpha()
+        device.beta()
+        assert len(signals.occurrences) == 2
+
+    def test_nary(self):
+        device, signals = wire(Disjunction(a_event(), b_event(), c_event()))
+        device.gamma()
+        assert len(signals.occurrences) == 1
+
+    def test_parameters_of_signalling_side(self):
+        device, signals = wire(Disjunction(a_event(), b_event()))
+        device.beta(42)
+        assert signals.occurrences[0].parameters() == {"y": 42}
+
+    def test_operator_sugar(self):
+        assert isinstance(a_event() | b_event(), Disjunction)
+
+
+class TestSequence:
+    def test_in_order_signals(self):
+        device, signals = wire(Sequence(a_event(), b_event()))
+        device.alpha()
+        device.beta()
+        assert len(signals.occurrences) == 1
+
+    def test_out_of_order_does_not(self):
+        device, signals = wire(Sequence(a_event(), b_event()))
+        device.beta()
+        device.alpha()
+        assert signals.occurrences == []
+
+    def test_paper_deposit_withdraw(self):
+        """§4.6: deposit then withdraw."""
+        from repro.workloads import Account
+
+        deposit = Primitive("end Account::Deposit(float x)")
+        withdraw = Primitive("before Account::Withdraw(float x)")
+        dep_wit = Sequence(deposit, withdraw)
+        signals = Signals()
+        dep_wit.add_listener(signals)
+        account = Account("A", 100.0)
+        account.subscribe(dep_wit)
+        account.withdraw(10.0)   # withdraw before any deposit: nothing
+        account.deposit(50.0)
+        account.withdraw(20.0)   # deposit ; withdraw -> signal
+        assert len(signals.occurrences) == 1
+
+    def test_chronicle_pairs_fifo(self):
+        device, signals = wire(Sequence(a_event(), b_event()))
+        device.alpha(1)
+        device.alpha(2)
+        device.beta()
+        device.beta()
+        assert len(signals.occurrences) == 2
+        first_initiator = signals.occurrences[0].constituents[0]
+        assert first_initiator.params["x"] == 1
+
+    def test_composite_left_child_uses_terminator_seq(self):
+        """'All components of E1 occurred before the last component of E2'."""
+        inner = Conjunction(a_event(), b_event())
+        device, signals = wire(Sequence(inner, c_event()))
+        device.alpha()
+        device.gamma()   # gamma before the conjunction completes: no pair
+        device.beta()    # conjunction completes now (after that gamma)
+        assert signals.occurrences == []
+        device.gamma()   # now gamma follows the completed conjunction
+        assert len(signals.occurrences) == 1
+
+    def test_operator_sugar(self):
+        assert isinstance(a_event() >> b_event(), Sequence)
+
+    def test_chain_folds_left(self):
+        chained = a_event() >> b_event() >> c_event()
+        assert isinstance(chained, Sequence)
+        assert isinstance(chained.children()[0], Sequence)
+
+
+class TestEventObjectBehaviour:
+    def test_disabled_event_does_not_signal(self):
+        device, signals = wire(Conjunction(a_event(), b_event()))
+        event = device.subscribers()[0]
+        event.disable()
+        device.alpha()
+        device.beta()
+        assert signals.occurrences == []
+        event.enable()
+        device.alpha()
+        device.beta()
+        assert len(signals.occurrences) == 1
+
+    def test_raised_flag_and_count(self):
+        disjunction = Disjunction(a_event(), b_event())
+        device, _ = wire(disjunction)
+        assert not disjunction.raised
+        device.alpha()
+        assert disjunction.raised
+        device.beta()
+        assert disjunction.signal_count == 2
+
+    def test_reset_clears_state(self):
+        conjunction = Conjunction(a_event(), b_event())
+        device, signals = wire(conjunction)
+        device.alpha()
+        conjunction.reset()
+        device.beta()   # alpha buffer was cleared
+        assert signals.occurrences == []
+
+    def test_leaves(self):
+        tree = (a_event() & b_event()) >> c_event()
+        names = {leaf.signature.method for leaf in tree.leaves()}
+        assert names == {"alpha", "beta", "gamma"}
+
+    def test_contains(self):
+        a = a_event()
+        tree = a & b_event()
+        assert tree.contains(a)
+        assert not tree.contains(c_event())
+
+    def test_children_validated(self):
+        with pytest.raises(EventError):
+            Conjunction(a_event(), "not-an-event")  # type: ignore[arg-type]
+
+    def test_shared_subtree_dedupes_double_feed(self):
+        """Two rules feeding one shared tree must not double-signal."""
+        shared = a_event()
+        disjunction = Disjunction(shared, b_event())
+        signals = Signals()
+        disjunction.add_listener(signals)
+        device = Device()
+        device.subscribe(disjunction)
+        device.subscribe(disjunction)  # idempotent subscribe: 1 delivery
+        # Feed the same occurrence twice by hand:
+        device.alpha()
+        occurrence = None
+        device.unsubscribe(disjunction)
+        from repro.core import EventModifier
+
+        occurrence = device._make_occurrence("alpha", EventModifier.END, (), {}, {}, None)
+        disjunction.notify(occurrence)
+        disjunction.notify(occurrence)  # duplicate path
+        assert len(signals.occurrences) == 2  # one per *distinct* occurrence

@@ -1,0 +1,110 @@
+"""Tests for primitive-event filters: source restriction and guards."""
+
+from repro.core import Primitive, Rule
+from repro.workloads import Stock
+
+
+class Signals:
+    def __init__(self):
+        self.occurrences = []
+
+    def on_event(self, event, occurrence):
+        self.occurrences.append(occurrence)
+
+
+class TestSourceRestriction:
+    def test_restricted_event_ignores_other_instances(self, sentinel):
+        a, b = Stock("A", 1.0), Stock("B", 1.0)
+        event = Primitive("end Stock::set_price(float price)", sources=[a])
+        signals = Signals()
+        event.add_listener(signals)
+        a.subscribe(event)
+        b.subscribe(event)
+        a.set_price(2.0)
+        b.set_price(3.0)
+        assert len(signals.occurrences) == 1
+        assert signals.occurrences[0].source is a
+
+    def test_restrict_to_after_construction(self, sentinel):
+        a, b = Stock("A", 1.0), Stock("B", 1.0)
+        event = Primitive("end Stock::set_price(float price)")
+        event.restrict_to(b)
+        signals = Signals()
+        event.add_listener(signals)
+        a.subscribe(event)
+        b.subscribe(event)
+        a.set_price(2.0)
+        b.set_price(3.0)
+        assert [o.source for o in signals.occurrences] == [b]
+
+
+class TestGuards:
+    def test_guard_filters_at_detection(self, sentinel):
+        stock = Stock("A", 1.0)
+        event = Primitive("end Stock::set_price(float price)").where(
+            lambda occ: occ.params["price"] > 100
+        )
+        signals = Signals()
+        event.add_listener(signals)
+        stock.subscribe(event)
+        stock.set_price(50.0)
+        stock.set_price(150.0)
+        assert len(signals.occurrences) == 1
+        assert signals.occurrences[0].params["price"] == 150.0
+
+    def test_guarded_event_inside_composite(self, sentinel):
+        """A masked primitive feeds a composite with only matching occs."""
+        stock = Stock("A", 1.0)
+        spike = Primitive("end Stock::set_price(float price)").where(
+            lambda occ: occ.params["price"] > 100
+        )
+        read = Primitive("end Stock::get_price()")
+        spike_then_read = spike >> read
+        signals = Signals()
+        spike_then_read.add_listener(signals)
+        stock.subscribe(spike_then_read)
+        stock.set_price(10.0)    # not a spike
+        stock.get_price()
+        assert signals.occurrences == []
+        stock.set_price(500.0)   # spike
+        stock.get_price()
+        assert len(signals.occurrences) == 1
+
+    def test_guard_keeps_rule_condition_simple(self, sentinel):
+        stock = Stock("A", 1.0)
+        fired = []
+        rule = Rule(
+            "spike",
+            Primitive("end Stock::set_price(float price)").where(
+                lambda occ: occ.params["price"] > 100
+            ),
+            action=lambda ctx: fired.append(ctx.param("price")),
+        )
+        stock.subscribe(rule)
+        stock.set_price(99.0)
+        stock.set_price(101.0)
+        assert fired == [101.0]
+        assert rule.times_triggered == 1  # filtered before triggering
+
+    def test_guard_exception_propagates(self, sentinel):
+        import pytest
+
+        stock = Stock("A", 1.0)
+        event = Primitive("end Stock::set_price(float price)").where(
+            lambda occ: 1 / 0
+        )
+        stock.subscribe(event)
+        with pytest.raises(ZeroDivisionError):
+            stock.set_price(1.0)
+
+    def test_guarded_event_not_persisted_with_guard(self, sentinel_db):
+        """Guards are transient: the reloaded event matches unguarded."""
+        event = Primitive("end Stock::set_price(float price)").where(
+            lambda occ: False
+        )
+        sentinel_db.persist(event)
+        sentinel_db.db.commit()
+        oid = event.oid
+        sentinel_db.db.evict_cache()
+        reloaded = sentinel_db.db.fetch(oid)
+        assert reloaded._guard is None

@@ -1,0 +1,136 @@
+"""Tests for subscription: Reactive producers and Notifiable consumers."""
+
+from repro.core import Notifiable, Reactive, event_method, subscribe_all
+
+
+class Producer(Reactive):
+    @event_method
+    def ping(self, n=0):
+        return n
+
+
+class Consumer(Notifiable):
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def notify(self, occurrence):
+        self.count += 1
+        self.record(occurrence)
+
+
+class TestSubscription:
+    def test_subscribe_delivers(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        producer.ping()
+        assert consumer.count == 1
+
+    def test_unsubscribed_by_default(self):
+        producer = Producer()
+        producer.ping()  # no consumers: nothing happens, no error
+        assert not producer.has_consumers()
+
+    def test_unsubscribe_stops_delivery(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        producer.ping()
+        producer.unsubscribe(consumer)
+        producer.ping()
+        assert consumer.count == 1
+
+    def test_subscribe_idempotent(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        producer.subscribe(consumer)
+        producer.ping()
+        assert consumer.count == 1
+
+    def test_unsubscribe_unknown_is_noop(self):
+        Producer().unsubscribe(Consumer())
+
+    def test_m_to_n_relationship(self):
+        """A reactive object can feed several notifiables and vice versa."""
+        producers = [Producer() for _ in range(3)]
+        consumers = [Consumer() for _ in range(2)]
+        for producer in producers:
+            for consumer in consumers:
+                producer.subscribe(consumer)
+        for producer in producers:
+            producer.ping()
+        assert all(c.count == 3 for c in consumers)
+
+    def test_subscribe_all_helper(self):
+        producers = [Producer() for _ in range(4)]
+        consumer = Consumer()
+        subscribe_all(producers, consumer)
+        for producer in producers:
+            producer.ping()
+        assert consumer.count == 4
+
+    def test_subscribers_listing(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        assert producer.subscribers() == [consumer]
+
+    def test_delivery_count_returned(self):
+        producer = Producer()
+        a, b = Consumer(), Consumer()
+        producer.subscribe(a)
+        producer.subscribe(b)
+        occurrence = producer._make_occurrence(
+            "manual", __import__("repro.core", fromlist=["EventModifier"]).EventModifier.EXPLICIT,
+            (), {}, {}, None,
+        )
+        assert producer.notify_consumers(occurrence) == 2
+
+
+class TestNotifiableRecording:
+    def test_record_keeps_history(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        for i in range(5):
+            producer.ping(i)
+        history = consumer.history()
+        assert len(history) == 5
+        assert [h.params["n"] for h in history] == [0, 1, 2, 3, 4]
+
+    def test_last_occurrence(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        assert consumer.last_occurrence() is None
+        producer.ping(9)
+        assert consumer.last_occurrence().params["n"] == 9
+
+    def test_history_bounded(self):
+        consumer = Consumer()
+        producer = Producer()
+        producer.subscribe(consumer)
+        limit = consumer._recorded().maxlen
+        for i in range(limit + 10):
+            producer.ping(i)
+        assert len(consumer.history()) == limit
+
+    def test_clear_history(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        producer.ping()
+        consumer.clear_history()
+        assert consumer.history() == []
+
+    def test_base_notifiable_notify_records(self):
+        plain = Notifiable()
+        producer = Producer()
+        producer.subscribe(plain)
+        producer.ping()
+        assert len(plain.history()) == 1
+
+
+class TestConsumerListLaziness:
+    def test_consumers_lazy_after_new(self):
+        """Objects materialized without __init__ still work."""
+        producer = Producer.__new__(Producer)
+        assert producer.subscribers() == []
+        consumer = Consumer()
+        producer.subscribe(consumer)
+        assert producer.subscribers() == [consumer]

@@ -1,0 +1,241 @@
+"""Tests for ECA rules: triggering, conditions, actions, first-class-ness."""
+
+import pytest
+
+from repro.core import (
+    Disjunction,
+    Primitive,
+    Reactive,
+    Rule,
+    RuleError,
+    Sentinel,
+    event_method,
+)
+from repro.workloads import Employee, Manager
+
+
+class Button(Reactive):
+    @event_method
+    def press(self, force=1):
+        return force
+
+
+class TestRuleBasics:
+    def test_event_from_signature_string(self, sentinel):
+        fired = []
+        rule = Rule(
+            "r", "end Button::press(int force)",
+            action=lambda ctx: fired.append(ctx.param("force")),
+        )
+        button = Button()
+        button.subscribe(rule)
+        button.press(5)
+        assert fired == [5]
+
+    def test_condition_gates_action(self, sentinel):
+        fired = []
+        rule = Rule(
+            "r", "end Button::press(int force)",
+            condition=lambda ctx: ctx.param("force") > 3,
+            action=lambda ctx: fired.append(ctx.param("force")),
+        )
+        button = Button()
+        button.subscribe(rule)
+        button.press(1)
+        button.press(9)
+        assert fired == [9]
+
+    def test_counters(self, sentinel):
+        rule = Rule(
+            "r", "end Button::press(int force)",
+            condition=lambda ctx: ctx.param("force") > 3,
+            action=lambda ctx: None,
+        )
+        button = Button()
+        button.subscribe(rule)
+        button.press(1)
+        button.press(9)
+        assert rule.times_triggered == 2
+        assert rule.times_fired == 1
+
+    def test_rule_without_event_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("nameless")
+
+    def test_bad_event_type_rejected(self):
+        with pytest.raises(RuleError):
+            Rule("r", event=42)  # type: ignore[arg-type]
+
+    def test_anonymous_rule_gets_name(self, sentinel):
+        rule = Rule(event="end Button::press(int force)")
+        assert rule.name.startswith("rule_")
+
+    def test_no_condition_means_always(self, sentinel):
+        fired = []
+        rule = Rule("r", "end Button::press(int force)",
+                    action=lambda ctx: fired.append(1))
+        button = Button()
+        button.subscribe(rule)
+        button.press()
+        assert fired == [1]
+
+
+class TestEnableDisable:
+    def test_disable_stops_everything(self, sentinel):
+        fired = []
+        rule = Rule("r", "end Button::press(int force)",
+                    action=lambda ctx: fired.append(1))
+        button = Button()
+        button.subscribe(rule)
+        rule.disable()
+        button.press()
+        assert fired == []
+        rule.enable()
+        button.press()
+        assert fired == [1]
+
+    def test_update_in_place(self, sentinel):
+        fired = []
+        rule = Rule("r", "end Button::press(int force)",
+                    action=lambda ctx: fired.append("old"))
+        button = Button()
+        button.subscribe(rule)
+        rule.update(action=lambda ctx: fired.append("new"), priority=5)
+        button.press()
+        assert fired == ["new"]
+        assert rule.priority == 5
+
+    def test_update_event_rewires_listener(self, sentinel):
+        fired = []
+        rule = Rule("r", "end Button::press(int force)",
+                    action=lambda ctx: fired.append(1))
+        button = Button()
+        button.subscribe(rule)
+        rule.update(event=Primitive("begin Button::press(int force)"))
+        button.press()
+        assert fired == []  # only begin events trigger now; press is end-only
+
+
+class TestContext:
+    def test_source_and_params(self, sentinel):
+        captured = {}
+
+        def action(ctx):
+            captured["source"] = ctx.source
+            captured["params"] = dict(ctx.params)
+            captured["result"] = ctx.result
+
+        rule = Rule("r", "end Button::press(int force)", action=action)
+        button = Button()
+        button.subscribe(rule)
+        button.press(7)
+        assert captured["source"] is button
+        assert captured["params"] == {"force": 7}
+        assert captured["result"] == 7
+
+    def test_sources_for_composite(self, sentinel):
+        fred = Employee("fred", 1.0)
+        mike = Manager("mike", 2.0)
+        emp = Primitive("end Employee::change_income(float amount)")
+        mang = Primitive("end Manager::change_income(float amount)")
+        captured = []
+        rule = Rule(
+            "r",
+            emp & mang,
+            action=lambda ctx: captured.extend(ctx.sources),
+        )
+        fred.subscribe(rule)
+        mike.subscribe(rule)
+        fred.change_income(10.0)
+        mike.change_income(20.0)
+        assert fred in captured and mike in captured
+
+
+class TestInstanceLevelMonitoring:
+    def test_only_subscribed_instances_trigger(self, sentinel):
+        fired = []
+        rule = Rule("r", "end Button::press(int force)",
+                    action=lambda ctx: fired.append(ctx.source))
+        watched, unwatched = Button(), Button()
+        watched.subscribe(rule)
+        watched.press()
+        unwatched.press()
+        assert fired == [watched]
+
+    def test_subscribe_to_sugar(self, sentinel):
+        fired = []
+        rule = Rule("r", "end Button::press(int force)",
+                    action=lambda ctx: fired.append(1))
+        buttons = [Button() for _ in range(3)]
+        rule.subscribe_to(*buttons)
+        for button in buttons:
+            button.press()
+        assert len(fired) == 3
+        rule.unsubscribe_from(buttons[0])
+        buttons[0].press()
+        assert len(fired) == 3
+
+    def test_cross_class_rule_fig10(self, sentinel):
+        """Figure 10: one rule monitoring instances of two classes."""
+        fred = Employee("Fred", 50_000.0)
+        mike = Manager("Mike", 60_000.0)
+        emp = Primitive("end Employee::Change-Income(float amount)")
+        mang = Primitive("end Manager::Change-Income(float amount)")
+        equal = Disjunction(emp, mang)
+
+        def make_equal(ctx):
+            amount = ctx.param("amount")
+            fred.salary = amount
+            mike.salary = amount
+
+        income_level = Rule(
+            "IncomeLevel", equal,
+            condition=lambda ctx: fred.salary != mike.salary,
+            action=make_equal,
+        )
+        fred.subscribe(income_level)
+        mike.subscribe(income_level)
+        fred.change_income(70_000.0)
+        assert fred.salary == mike.salary == 70_000.0
+        mike.change_income(80_000.0)
+        assert fred.salary == mike.salary == 80_000.0
+
+
+class TestRulesOnRules:
+    def test_meta_rule_observes_rule_firing(self, sentinel):
+        """Rules are reactive: their fire/enable/disable raise events."""
+        fired = []
+        base_rule = Rule("base", "end Button::press(int force)",
+                         action=lambda ctx: None)
+        button = Button()
+        button.subscribe(base_rule)
+
+        meta_fired = []
+        meta_rule = Rule(
+            "meta", "end Rule::fire",
+            action=lambda ctx: meta_fired.append(ctx.source.name),
+        )
+        base_rule.subscribe(meta_rule)  # the rule object is itself reactive
+
+        button.press()
+        assert meta_fired == ["base"]
+
+    def test_meta_rule_on_disable(self, sentinel):
+        events = []
+        base_rule = Rule("base", "end Button::press(int force)")
+        meta_rule = Rule(
+            "meta", "end Rule::disable",
+            action=lambda ctx: events.append("disabled"),
+        )
+        base_rule.subscribe(meta_rule)
+        base_rule.disable()
+        assert events == ["disabled"]
+
+
+class TestMonitoredLeaves:
+    def test_leaves_introspection(self, sentinel):
+        emp = Primitive("end Employee::set_salary(float s)")
+        mang = Primitive("end Manager::set_salary(float s)")
+        rule = Rule("r", emp | mang)
+        leaves = list(rule.monitored_leaves())
+        assert emp in leaves and mang in leaves

@@ -1,0 +1,313 @@
+"""Tests for coupling modes, conflict resolution, and cascade control."""
+
+import pytest
+
+from repro.core import (
+    CascadeError,
+    Coupling,
+    Reactive,
+    Rule,
+    RuleScheduler,
+    Sentinel,
+    event_method,
+)
+from repro.oodb import Persistent, TransactionAborted
+
+
+class Knob(Reactive):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    @event_method
+    def turn(self, amount=1):
+        self.value += amount
+        return self.value
+
+
+class Ledger(Persistent):
+    def __init__(self):
+        super().__init__()
+        self.entries = []
+
+
+class TestCouplingParse:
+    def test_parse(self):
+        assert Coupling.parse("immediate") is Coupling.IMMEDIATE
+        assert Coupling.parse("Deferred") is Coupling.DEFERRED
+        assert Coupling.parse(Coupling.DECOUPLED) is Coupling.DECOUPLED
+
+    def test_bad(self):
+        with pytest.raises(ValueError):
+            Coupling.parse("eventually")
+
+
+class TestImmediate:
+    def test_runs_inline(self, sentinel):
+        order = []
+        rule = Rule("r", "end Knob::turn(int amount)",
+                    action=lambda ctx: order.append("rule"))
+        knob = Knob()
+        knob.subscribe(rule)
+        order.append("before")
+        knob.turn()
+        order.append("after")
+        assert order == ["before", "rule", "after"]
+
+    def test_priority_order_within_round(self, sentinel):
+        order = []
+        knob = Knob()
+        for name, priority in (("low", 1), ("high", 10), ("mid", 5)):
+            rule = Rule(
+                name, "end Knob::turn(int amount)",
+                action=lambda ctx, n=name: order.append(n),
+                priority=priority,
+            )
+            knob.subscribe(rule)
+        knob.turn()
+        assert order == ["high", "mid", "low"]
+
+    def test_fifo_resolver(self):
+        order = []
+        scheduler = RuleScheduler(resolver="fifo")
+        system = Sentinel(adopt_class_rules=False)
+        system.scheduler = scheduler
+        with system:
+            knob = Knob()
+            for name, priority in (("a", 1), ("b", 99)):
+                rule = Rule(
+                    name, "end Knob::turn(int amount)",
+                    action=lambda ctx, n=name: order.append(n),
+                    priority=priority,
+                    scheduler=scheduler,
+                )
+                knob.subscribe(rule)
+            knob.turn()
+        assert order == ["a", "b"]  # subscription order, priority ignored
+
+    def test_cascade_depth_limit(self):
+        scheduler = RuleScheduler(max_depth=5)
+        system = Sentinel(adopt_class_rules=False)
+        system.scheduler = scheduler
+        with system:
+            knob = Knob()
+            rule = Rule(
+                "recurse", "end Knob::turn(int amount)",
+                action=lambda ctx: knob.turn(),   # triggers itself
+                scheduler=scheduler,
+            )
+            knob.subscribe(rule)
+            with pytest.raises(CascadeError):
+                knob.turn()
+
+    def test_nested_cascades_allowed_below_limit(self, sentinel):
+        counts = []
+        knob_a, knob_b = Knob(), Knob()
+        rule_a = Rule("a", "end Knob::turn(int amount)",
+                      condition=lambda ctx: ctx.source is knob_a,
+                      action=lambda ctx: knob_b.turn())
+        rule_b = Rule("b", "end Knob::turn(int amount)",
+                      condition=lambda ctx: ctx.source is knob_b,
+                      action=lambda ctx: counts.append(1))
+        knob_a.subscribe(rule_a)
+        knob_b.subscribe(rule_b)
+        knob_a.turn()
+        assert counts == [1]
+
+
+class TestDeferred:
+    def test_runs_at_commit(self, sentinel_db):
+        db = sentinel_db.db
+        order = []
+        rule = sentinel_db.create_rule(
+            "d", "end Knob::turn(int amount)",
+            action=lambda ctx: order.append("rule"),
+            coupling="deferred",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with db.transaction():
+            knob.turn()
+            order.append("in-txn")
+        order.append("after-commit")
+        assert order == ["in-txn", "rule", "after-commit"]
+
+    def test_deferred_updates_commit_with_txn(self, sentinel_db):
+        db = sentinel_db.db
+        ledger = Ledger()
+        db.add(ledger)
+        db.commit()
+        rule = sentinel_db.create_rule(
+            "d", "end Knob::turn(int amount)",
+            action=lambda ctx: setattr(
+                ledger, "entries", ledger.entries + ["turned"]
+            ),
+            coupling="deferred",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with db.transaction():
+            knob.turn()
+        db.evict_cache()
+        assert db.fetch(ledger.oid).entries == ["turned"]
+
+    def test_deferred_abort_cancels_txn(self, sentinel_db):
+        db = sentinel_db.db
+        ledger = Ledger()
+        db.add(ledger)
+        db.commit()
+        rule = sentinel_db.create_rule(
+            "d", "end Knob::turn(int amount)",
+            action=lambda ctx: ctx.abort("deferred veto"),
+            coupling="deferred",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with pytest.raises(TransactionAborted):
+            with db.transaction():
+                ledger.entries = ["should roll back"]
+                knob.turn()
+        assert ledger.entries == []
+
+    def test_deferred_without_db_flushes_manually(self, sentinel):
+        fired = []
+        rule = sentinel.create_rule(
+            "d", "end Knob::turn(int amount)",
+            action=lambda ctx: fired.append(1),
+            coupling="deferred",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        knob.turn()
+        assert fired == []
+        assert sentinel.scheduler.pending_deferred() == 1
+        sentinel.commit()
+        assert fired == [1]
+
+    def test_transaction_scope_flushes_without_db(self, sentinel):
+        fired = []
+        rule = sentinel.create_rule(
+            "d", "end Knob::turn(int amount)",
+            action=lambda ctx: fired.append(1),
+            coupling="deferred",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with sentinel.transaction():
+            knob.turn()
+            assert fired == []
+        assert fired == [1]
+
+
+class TestDecoupled:
+    def test_runs_after_commit_in_new_txn(self, sentinel_db):
+        db = sentinel_db.db
+        observed = []
+        rule = sentinel_db.create_rule(
+            "dc", "end Knob::turn(int amount)",
+            action=lambda ctx: observed.append(db.current_transaction.id),
+            coupling="decoupled",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with db.transaction() as txn:
+            triggering_id = txn.id
+            knob.turn()
+            assert observed == []
+        assert len(observed) == 1
+        assert observed[0] != triggering_id
+
+    def test_decoupled_abort_does_not_undo_trigger(self, sentinel_db):
+        db = sentinel_db.db
+        ledger = Ledger()
+        db.add(ledger)
+        db.commit()
+
+        def veto(ctx):
+            ctx.abort("decoupled veto")
+
+        rule = sentinel_db.create_rule(
+            "dc", "end Knob::turn(int amount)",
+            action=veto, coupling="decoupled",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with db.transaction():
+            ledger.entries = ["committed work"]
+            knob.turn()
+        # The triggering transaction committed despite the decoupled abort.
+        assert ledger.entries == ["committed work"]
+        assert sentinel_db.scheduler.stats.decoupled_aborts == 1
+
+    def test_decoupled_without_txn_runs_immediately(self, sentinel):
+        fired = []
+        rule = sentinel.create_rule(
+            "dc", "end Knob::turn(int amount)",
+            action=lambda ctx: fired.append(1),
+            coupling="decoupled",
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        knob.turn()
+        assert fired == [1]
+
+
+class TestErrorPolicy:
+    def test_propagate_default(self, sentinel):
+        rule = sentinel.create_rule(
+            "boom", "end Knob::turn(int amount)",
+            action=lambda ctx: 1 / 0,
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        with pytest.raises(ZeroDivisionError):
+            knob.turn()
+
+    def test_isolate_collects(self):
+        scheduler = RuleScheduler(error_policy="isolate")
+        system = Sentinel(adopt_class_rules=False)
+        system.scheduler = scheduler
+        with system:
+            knob = Knob()
+            bad = Rule("boom", "end Knob::turn(int amount)",
+                       action=lambda ctx: 1 / 0, scheduler=scheduler)
+            good = []
+            ok = Rule("fine", "end Knob::turn(int amount)",
+                      action=lambda ctx: good.append(1), scheduler=scheduler,
+                      priority=-1)
+            knob.subscribe(bad)
+            knob.subscribe(ok)
+            knob.turn()
+            assert good == [1]
+            assert len(scheduler.stats.errors) == 1
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RuleScheduler(error_policy="shrug")
+
+    def test_bad_resolver_rejected(self):
+        with pytest.raises(ValueError):
+            RuleScheduler(resolver="coinflip")
+
+
+class TestStats:
+    def test_counters(self, sentinel):
+        rule = sentinel.create_rule(
+            "r", "end Knob::turn(int amount)",
+            condition=lambda ctx: ctx.param("amount") > 0,
+            action=lambda ctx: None,
+        )
+        knob = Knob()
+        knob.subscribe(rule)
+        knob.turn(1)
+        knob.turn(-1)
+        stats = sentinel.scheduler.stats
+        assert stats.triggered == 2
+        assert stats.executed == 2
+        assert stats.fired == 1
+        assert stats.immediate == 2
+
+    def test_reset(self, sentinel):
+        sentinel.scheduler.stats.triggered = 5
+        sentinel.scheduler.reset_stats()
+        assert sentinel.scheduler.stats.triggered == 0

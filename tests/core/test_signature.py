@@ -1,0 +1,133 @@
+"""Tests for event signatures and their parser."""
+
+import pytest
+
+from repro.core.events.signature import EventSignature, SignatureError
+from repro.core.occurrence import EventModifier, EventOccurrence
+
+
+def occ(cls="Employee", method="set_salary", modifier=EventModifier.END, mro=()):
+    return EventOccurrence(
+        class_name=cls, method=method, modifier=modifier, class_names=mro
+    )
+
+
+class TestParsing:
+    def test_paper_signature(self):
+        sig = EventSignature.parse("end Employee::Set-Salary(float x)")
+        assert sig.modifier is EventModifier.END
+        assert sig.class_name == "Employee"
+        assert sig.method == "Set_Salary"
+        assert sig.param_names == ("x",)
+        assert sig.param_types == ("float",)
+
+    def test_begin_and_before_synonyms(self):
+        assert EventSignature.parse("begin A::m()").modifier is EventModifier.BEGIN
+        assert EventSignature.parse("before A::m()").modifier is EventModifier.BEGIN
+        assert EventSignature.parse("after A::m()").modifier is EventModifier.END
+
+    def test_no_params(self):
+        sig = EventSignature.parse("end Account::Deposit")
+        assert sig.param_names == ()
+
+    def test_empty_parens(self):
+        assert EventSignature.parse("end A::m()").param_names == ()
+
+    def test_multiple_params(self):
+        sig = EventSignature.parse("begin P::move(int dx, int dy)")
+        assert sig.param_names == ("dx", "dy")
+        assert sig.param_types == ("int", "int")
+
+    def test_untyped_params(self):
+        sig = EventSignature.parse("begin Person::Marry(spouse)")
+        assert sig.param_names == ("spouse",)
+        assert sig.param_types == (None,)
+
+    def test_pointer_types(self):
+        sig = EventSignature.parse("begin Person::Marry(Person* spouse)")
+        assert sig.param_names == ("spouse",)
+
+    def test_case_insensitive_modifier(self):
+        assert EventSignature.parse("END A::m()").modifier is EventModifier.END
+
+    def test_bad_signatures_rejected(self):
+        for bad in ("A::m()", "end ::m()", "end A::", "whenever A::m()", ""):
+            with pytest.raises(SignatureError):
+                EventSignature.parse(bad)
+
+    def test_str_roundtrip(self):
+        text = "end Employee::Set-Salary(float x)"
+        sig = EventSignature.parse(text)
+        assert EventSignature.parse(str(sig)) == sig
+
+
+class TestMatching:
+    def test_exact_match(self):
+        sig = EventSignature.parse("end Employee::set_salary(float x)")
+        assert sig.matches(occ())
+
+    def test_modifier_mismatch(self):
+        sig = EventSignature.parse("begin Employee::set_salary(float x)")
+        assert not sig.matches(occ())
+
+    def test_method_mismatch(self):
+        sig = EventSignature.parse("end Employee::get_salary()")
+        assert not sig.matches(occ())
+
+    def test_class_mismatch(self):
+        sig = EventSignature.parse("end Manager::set_salary(float x)")
+        assert not sig.matches(occ())
+
+    def test_subclass_occurrence_matches_base_signature(self):
+        sig = EventSignature.parse("end Employee::set_salary(float x)")
+        manager_occ = occ(cls="Manager", mro=("Manager", "Employee", "Reactive"))
+        assert sig.matches(manager_occ)
+
+    def test_hyphen_name_matches_underscore_method(self):
+        sig = EventSignature.parse("end Employee::Set-Salary(float x)")
+        assert sig.matches(occ(method="set_salary"))
+
+    def test_case_insensitive_method_match(self):
+        sig = EventSignature.parse("end Employee::SET_SALARY(float x)")
+        assert sig.matches(occ())
+
+
+class TestExplicitModifier:
+    """Explicitly-raised events (footnote 3) are matchable by signature."""
+
+    def test_parse_explicit(self):
+        sig = EventSignature.parse("explicit Stock::opening_bell")
+        assert sig.modifier is EventModifier.EXPLICIT
+
+    def test_matches_raised_event(self):
+        sig = EventSignature.parse("explicit Stock::opening_bell")
+        assert sig.matches(
+            occ(cls="Stock", method="opening_bell",
+                modifier=EventModifier.EXPLICIT)
+        )
+
+    def test_rule_on_explicit_event(self):
+        from repro.core import Reactive, Rule, Sentinel
+
+        class Bell(Reactive):
+            def ring(self):
+                self.raise_event("rung", loudness=11)
+
+        with Sentinel(adopt_class_rules=False):
+            heard = []
+            rule = Rule(
+                "listener", "explicit Bell::rung",
+                action=lambda ctx: heard.append(ctx.param("loudness")),
+            )
+            bell = Bell()
+            bell.subscribe(rule)
+            bell.ring()
+            assert heard == [11]
+
+    def test_dsl_accepts_explicit(self):
+        from repro.core import parse_event
+        from repro.core.events import Primitive
+
+        event = parse_event("explicit Bell::rung or end Bell::ring()")
+        assert len(event.children()) == 2
+        assert isinstance(event.children()[0], Primitive)

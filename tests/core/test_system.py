@@ -1,0 +1,171 @@
+"""Tests for the Sentinel system façade, incl. persistence of rules/events."""
+
+import pytest
+
+from repro.core import Primitive, Rule, Sentinel, Sequence
+from repro.workloads import Account, Stock
+
+
+class TestFacade:
+    def test_create_rule_binds_scheduler(self, sentinel):
+        rule = sentinel.create_rule("r", "end Stock::set_price(float price)")
+        assert rule.resolved_scheduler() is sentinel.scheduler
+        assert "r" in sentinel.rules
+
+    def test_create_event_registers(self, sentinel):
+        event = sentinel.create_event(
+            "end Stock::set_price(float price)", name="tick"
+        )
+        assert sentinel.events.get("tick") is event
+        assert event in sentinel.detector.roots()
+
+    def test_rule_from_spec(self, sentinel):
+        rule = sentinel.rule_from_spec(
+            "RULE S\nON end Stock::set_price(float price)\nIF price > 0"
+        )
+        assert rule.name == "S"
+        assert "S" in sentinel.rules
+
+    def test_monitor_registers_locally(self, sentinel):
+        stock = Stock("A", 1.0)
+        rule = sentinel.monitor(stock, on="end Stock::set_price(float price)")
+        assert rule.name in sentinel.rules
+
+    def test_stats_shape(self, sentinel):
+        stats = sentinel.stats()
+        for key in ("rules", "events", "triggered", "executed", "fired"):
+            assert key in stats
+
+    def test_db_and_path_mutually_exclusive(self, mem_db):
+        with pytest.raises(ValueError):
+            Sentinel(path="/tmp/x", db=mem_db)
+
+    def test_context_manager_installs_scheduler(self):
+        from repro.core.runtime import current_scheduler
+
+        system = Sentinel(adopt_class_rules=False)
+        outside = current_scheduler()
+        with system:
+            assert current_scheduler() is system.scheduler
+        assert current_scheduler() is outside
+
+    def test_persist_requires_db(self, sentinel):
+        rule = sentinel.create_rule("r", "end Stock::set_price(float price)")
+        with pytest.raises(RuntimeError):
+            sentinel.persist(rule)
+
+
+class TestRulePersistence:
+    """Rules and events are first-class persistent objects (§3.4)."""
+
+    def test_rule_roundtrip_through_storage(self, tmp_path):
+        path = str(tmp_path / "db")
+        system = Sentinel(path=path, adopt_class_rules=False)
+        with system:
+            rule = system.rule_from_spec(
+                """
+                RULE Persisted
+                ON end Account::deposit(float amount)
+                IF amount > 100
+                DO rule.big_deposits = getattr(rule, "big_deposits", 0) + 1
+                """,
+                persist=True,
+            )
+            system.db.set_root("the-rule", rule)
+            system.db.commit()
+            account = Account("X", 0.0)
+            account.subscribe(rule)
+            account.deposit(500.0)
+            assert rule.big_deposits == 1
+            system.db.commit()
+            system.close()
+
+        reloaded = Sentinel(path=path, adopt_class_rules=False)
+        with reloaded:
+            rule2 = reloaded.db.get_root("the-rule")
+            assert rule2.name == "Persisted"
+            assert rule2.big_deposits == 1
+            rule2.bind_scheduler(reloaded.scheduler)
+            account = Account("Y", 0.0)
+            account.subscribe(rule2)
+            account.deposit(50.0)      # below threshold
+            account.deposit(200.0)
+            assert rule2.big_deposits == 2
+            reloaded.close()
+
+    def test_composite_event_roundtrip(self, tmp_path):
+        path = str(tmp_path / "db")
+        system = Sentinel(path=path, adopt_class_rules=False)
+        with system:
+            deposit = Primitive("end Account::deposit(float x)")
+            withdraw = Primitive("before Account::withdraw(float x)")
+            sequence = Sequence(deposit, withdraw, name="DepWit")
+            system.persist(sequence)
+            system.db.set_root("seq", sequence)
+            system.db.commit()
+            system.close()
+
+        reloaded = Sentinel(path=path, adopt_class_rules=False)
+        with reloaded:
+            sequence2 = reloaded.db.get_root("seq")
+            assert sequence2.name == "DepWit"
+            signals = []
+
+            class Listener:
+                def on_event(self, event, occurrence):
+                    signals.append(occurrence)
+
+            sequence2.add_listener(Listener())
+            account = Account("Z", 100.0)
+            account.subscribe(sequence2)
+            account.deposit(10.0)
+            account.withdraw(5.0)
+            assert len(signals) == 1
+            reloaded.close()
+
+    def test_load_rules_helper(self, tmp_path):
+        path = str(tmp_path / "db")
+        system = Sentinel(path=path, adopt_class_rules=False)
+        with system:
+            for i in range(3):
+                system.rule_from_spec(
+                    f"RULE stored-{i}\nON end Account::deposit(float amount)",
+                    persist=True,
+                )
+            system.db.commit()
+            system.close()
+
+        reloaded = Sentinel(path=path, adopt_class_rules=False)
+        with reloaded:
+            rules = reloaded.load_rules()
+            assert {r.name for r in rules} == {"stored-0", "stored-1", "stored-2"}
+            assert all(
+                r.resolved_scheduler() is reloaded.scheduler for r in rules
+            )
+            reloaded.close()
+
+    def test_rule_deletion_like_any_object(self, sentinel_db):
+        db = sentinel_db.db
+        rule = sentinel_db.create_rule(
+            "doomed", "end Account::deposit(float amount)", persist=True
+        )
+        oid = rule.oid
+        with db.transaction():
+            db.delete(rule)
+        from repro.oodb import ObjectNotFound
+
+        with pytest.raises(ObjectNotFound):
+            db.fetch(oid)
+
+    def test_rule_updates_are_transactional(self, sentinel_db):
+        db = sentinel_db.db
+        rule = sentinel_db.create_rule(
+            "txnal", "end Account::deposit(float amount)", persist=True
+        )
+        try:
+            with db.transaction():
+                rule.priority = 42
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert rule.priority == 0

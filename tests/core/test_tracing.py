@@ -1,0 +1,122 @@
+"""Tests for scheduler tracing and a property check on conflict order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Reactive, Rule, RuleScheduler, Sentinel, event_method
+
+
+class Pad(Reactive):
+    @event_method
+    def tap(self, n=0):
+        return n
+
+
+class TestTracing:
+    def test_disabled_by_default(self, sentinel):
+        rule = Rule("r", "end Pad::tap(int n)", action=lambda ctx: None)
+        pad = Pad()
+        pad.subscribe(rule)
+        pad.tap()
+        assert sentinel.scheduler.trace() == []
+
+    def test_records_fired_and_skipped(self, sentinel):
+        sentinel.scheduler.enable_tracing()
+        rule = Rule(
+            "gate", "end Pad::tap(int n)",
+            condition=lambda ctx: ctx.param("n") > 0,
+            action=lambda ctx: None,
+        )
+        pad = Pad()
+        pad.subscribe(rule)
+        pad.tap(1)
+        pad.tap(0)
+        entries = sentinel.scheduler.trace()
+        assert [e.fired for e in entries] == [True, False]
+        assert all(e.rule_name == "gate" for e in entries)
+        assert "fired" in str(entries[0])
+        assert "skipped" in str(entries[1])
+
+    def test_records_errors(self):
+        scheduler = RuleScheduler(error_policy="isolate")
+        scheduler.enable_tracing()
+        system = Sentinel(adopt_class_rules=False)
+        system.scheduler = scheduler
+        with system:
+            rule = Rule("boom", "end Pad::tap(int n)",
+                        action=lambda ctx: 1 / 0, scheduler=scheduler)
+            pad = Pad()
+            pad.subscribe(rule)
+            pad.tap()
+        entries = scheduler.trace()
+        assert len(entries) == 1
+        assert entries[0].error is not None
+        assert "error" in str(entries[0])
+
+    def test_depth_recorded_for_cascades(self, sentinel):
+        sentinel.scheduler.enable_tracing()
+        inner_pad = Pad()
+        outer_rule = Rule(
+            "outer", "end Pad::tap(int n)",
+            condition=lambda ctx: ctx.param("n") == 1,
+            action=lambda ctx: inner_pad.tap(2),
+        )
+        inner_rule = Rule(
+            "inner", "end Pad::tap(int n)",
+            condition=lambda ctx: ctx.param("n") == 2,
+            action=lambda ctx: None,
+        )
+        outer_pad = Pad()
+        outer_pad.subscribe(outer_rule)
+        inner_pad.subscribe(inner_rule)
+        outer_pad.tap(1)
+        by_name = {e.rule_name: e for e in sentinel.scheduler.trace() if e.fired}
+        assert by_name["inner"].depth > by_name["outer"].depth
+
+    def test_bounded_buffer(self, sentinel):
+        sentinel.scheduler.enable_tracing(limit=5)
+        rule = Rule("r", "end Pad::tap(int n)", action=lambda ctx: None)
+        pad = Pad()
+        pad.subscribe(rule)
+        for i in range(20):
+            pad.tap(i)
+        assert len(sentinel.scheduler.trace()) == 5
+
+    def test_disable(self, sentinel):
+        sentinel.scheduler.enable_tracing()
+        sentinel.scheduler.disable_tracing()
+        rule = Rule("r", "end Pad::tap(int n)", action=lambda ctx: None)
+        pad = Pad()
+        pad.subscribe(rule)
+        pad.tap()
+        assert sentinel.scheduler.trace() == []
+
+
+class TestConflictResolutionProperty:
+    @given(st.lists(st.integers(min_value=-10, max_value=10),
+                    min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_priority_order_always_sorted(self, priorities):
+        """For any set of rule priorities, one occurrence executes the
+        rules in non-increasing priority order, FIFO within ties."""
+        scheduler = RuleScheduler()
+        system = Sentinel(adopt_class_rules=False)
+        system.scheduler = scheduler
+        order: list[tuple[int, int]] = []
+        with system:
+            pad = Pad()
+            for index, priority in enumerate(priorities):
+                rule = Rule(
+                    f"p{index}", "end Pad::tap(int n)",
+                    action=lambda ctx, i=index, p=priority: order.append((p, i)),
+                    priority=priority,
+                    scheduler=scheduler,
+                )
+                pad.subscribe(rule)
+            pad.tap()
+        executed_priorities = [p for p, _i in order]
+        assert executed_priorities == sorted(executed_priorities, reverse=True)
+        # FIFO within equal priorities:
+        for priority in set(priorities):
+            indices = [i for p, i in order if p == priority]
+            assert indices == sorted(indices)

@@ -1,0 +1,126 @@
+"""Tests for transaction events (rules on transaction boundaries)."""
+
+import pytest
+
+from repro.core.txn_events import TransactionMonitor
+from repro.oodb import Persistent, TransactionAborted
+
+
+class Item(Persistent):
+    def __init__(self, n=0):
+        super().__init__()
+        self.n = n
+
+
+class TestTransactionMonitor:
+    def test_counts_lifecycle(self, sentinel_db):
+        monitor = sentinel_db.transaction_monitor()
+        db = sentinel_db.db
+        with db.transaction():
+            db.add(Item())
+        try:
+            with db.transaction():
+                db.add(Item())
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert monitor.begins == 2
+        assert monitor.commits == 1
+        assert monitor.aborts == 1
+
+    def test_rule_on_commit(self, sentinel_db):
+        monitor = sentinel_db.transaction_monitor()
+        db = sentinel_db.db
+        commits = []
+        sentinel_db.monitor(
+            [monitor],
+            on="end TransactionMonitor::txn_commit(int txn_id, int objects_touched)",
+            action=lambda ctx: commits.append(
+                (ctx.param("txn_id"), ctx.param("objects_touched"))
+            ),
+        )
+        with db.transaction() as txn:
+            db.add(Item())
+            db.add(Item())
+            txn_id = txn.id
+        assert commits == [(txn_id, 2)]
+
+    def test_rule_on_abort(self, sentinel_db):
+        monitor = sentinel_db.transaction_monitor()
+        db = sentinel_db.db
+        aborts = []
+        sentinel_db.monitor(
+            [monitor],
+            on="end TransactionMonitor::txn_abort(int txn_id, int objects_touched)",
+            action=lambda ctx: aborts.append(ctx.param("txn_id")),
+        )
+        try:
+            with db.transaction():
+                db.add(Item())
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert len(aborts) == 1
+
+    def test_large_transaction_condition(self, sentinel_db):
+        monitor = sentinel_db.transaction_monitor()
+        db = sentinel_db.db
+        warnings = []
+        sentinel_db.monitor(
+            [monitor],
+            on="end TransactionMonitor::txn_commit(int txn_id, int objects_touched)",
+            condition=lambda ctx: ctx.param("objects_touched") > 5,
+            action=lambda ctx: warnings.append(ctx.param("objects_touched")),
+        )
+        with db.transaction():
+            db.add(Item())
+        assert warnings == []
+        with db.transaction():
+            for _ in range(10):
+                db.add(Item())
+        assert warnings == [10]
+
+    def test_no_reentrant_explosion_with_decoupled_rule(self, sentinel_db):
+        """A decoupled rule on commit runs in its own transaction; that
+        nested commit must not re-trigger the rule forever."""
+        monitor = sentinel_db.transaction_monitor()
+        db = sentinel_db.db
+        fired = []
+
+        def decoupled_action(ctx):
+            fired.append(ctx.param("txn_id"))
+            db.add(Item())  # opens an implicit txn inside the decoupled one
+
+        rule = sentinel_db.monitor(
+            [monitor],
+            on="end TransactionMonitor::txn_commit(int txn_id, int objects_touched)",
+            action=decoupled_action,
+            coupling="decoupled",
+        )
+        with db.transaction():
+            db.add(Item())
+        assert len(fired) == 1
+        rule.disable()
+
+    def test_monitor_requires_db(self, sentinel):
+        with pytest.raises(RuntimeError):
+            sentinel.transaction_monitor()
+
+    def test_detach_stops_events(self, sentinel_db):
+        monitor = sentinel_db.transaction_monitor()
+        db = sentinel_db.db
+        with db.transaction():
+            db.add(Item())
+        assert monitor.commits == 1
+        monitor.detach()
+        with db.transaction():
+            db.add(Item())
+        assert monitor.commits == 1
+
+    def test_attach_is_idempotent(self, sentinel_db):
+        monitor = sentinel_db.transaction_monitor()
+        monitor.attach(sentinel_db.db.txn_manager)  # second attach
+        db = sentinel_db.db
+        with db.transaction():
+            db.add(Item())
+        assert monitor.commits == 1

@@ -1,0 +1,202 @@
+"""Tests for the Database façade: roots, lifecycle, persistence round-trips."""
+
+import pytest
+
+from repro.oodb import (
+    Database,
+    DatabaseClosed,
+    ObjectNotFound,
+    Persistent,
+)
+from repro.oodb.oid import NULL_OID, Oid
+
+
+class Node(Persistent):
+    def __init__(self, label="", next_node=None):
+        super().__init__()
+        self.label = label
+        self.next_node = next_node
+
+
+class TestFetch:
+    def test_identity_map(self, db):
+        node = Node("a")
+        db.add(node)
+        db.commit()
+        assert db.fetch(node.oid) is node
+
+    def test_fetch_after_evict_rebuilds(self, db):
+        node = Node("a")
+        db.add(node)
+        db.commit()
+        oid = node.oid
+        db.evict_cache()
+        fetched = db.fetch(oid)
+        assert fetched is not node
+        assert fetched.label == "a"
+
+    def test_fetch_unknown(self, db):
+        with pytest.raises(ObjectNotFound):
+            db.fetch(Oid(9999))
+
+    def test_fetch_null(self, db):
+        with pytest.raises(ObjectNotFound):
+            db.fetch(NULL_OID)
+
+    def test_contains(self, db):
+        node = Node()
+        db.add(node)
+        db.commit()
+        assert db.contains(node.oid)
+        assert not db.contains(Oid(12345))
+
+    def test_reference_chain_restores(self, db):
+        c = Node("c")
+        b = Node("b", c)
+        a = Node("a", b)
+        db.add(a)
+        db.commit()
+        oid = a.oid
+        db.evict_cache()
+        restored = db.fetch(oid)
+        assert restored.next_node.next_node.label == "c"
+
+
+class TestRoots:
+    def test_set_get_root(self, db):
+        node = Node("rooted")
+        db.set_root("main", node)
+        db.commit()
+        assert db.get_root("main") is node
+
+    def test_root_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "rdb")
+        db = Database(path)
+        db.set_root("entry", Node("persisted"))
+        db.commit()
+        db.close()
+        db2 = Database(path)
+        assert db2.get_root("entry").label == "persisted"
+        db2.close()
+
+    def test_missing_root_default(self, db):
+        assert db.get_root("nope") is None
+        assert db.get_root("nope", default=5) == 5
+
+    def test_root_names(self, db):
+        db.set_root("b", Node())
+        db.set_root("a", Node())
+        db.commit()
+        assert db.root_names() == ["a", "b"]
+
+    def test_root_update_is_transactional(self, db):
+        first = Node("first")
+        db.set_root("slot", first)
+        db.commit()
+        try:
+            with db.transaction():
+                db.set_root("slot", Node("second"))
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert db.get_root("slot") is first
+
+
+class TestLifecycle:
+    def test_closed_database_rejects_work(self, tmp_path):
+        db = Database(str(tmp_path / "db"))
+        db.close()
+        with pytest.raises(DatabaseClosed):
+            db.add(Node())
+        with pytest.raises(DatabaseClosed):
+            db.fetch(Oid(1))
+
+    def test_close_is_idempotent(self, tmp_path):
+        db = Database(str(tmp_path / "db"))
+        db.close()
+        db.close()
+
+    def test_close_aborts_active_transaction(self, tmp_path):
+        db = Database(str(tmp_path / "db"))
+        node = Node("uncommitted")
+        db.add(node)  # implicit txn, never committed
+        db.close()
+        db2 = Database(str(tmp_path / "db"))
+        assert db2.object_count() == 0
+        db2.close()
+
+    def test_context_manager(self, tmp_path):
+        with Database(str(tmp_path / "db")) as db:
+            db.set_root("x", Node("ctx"))
+            db.commit()
+        with Database(str(tmp_path / "db")) as db2:
+            assert db2.get_root("x").label == "ctx"
+
+    def test_object_count(self, mem_db):
+        assert mem_db.object_count() == 0
+        mem_db.add(Node())
+        mem_db.add(Node())
+        assert mem_db.object_count() == 2
+        mem_db.commit()
+        assert mem_db.object_count() == 2
+
+    def test_temporary_constructor(self):
+        import shutil
+
+        db = Database.temporary()
+        try:
+            db.add(Node())
+            db.commit()
+        finally:
+            path = db._dir
+            db.close()
+            shutil.rmtree(path, ignore_errors=True)
+
+
+class TestFullRoundTrips:
+    def test_many_objects_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "many")
+        db = Database(path)
+        with db.transaction():
+            for i in range(200):
+                db.add(Node(f"node-{i}"))
+        db.close()
+        db2 = Database(path)
+        assert db2.object_count() == 200
+        labels = {n.label for n in db2.query(Node)}
+        assert labels == {f"node-{i}" for i in range(200)}
+        db2.close()
+
+    def test_update_heavy_workload(self, tmp_path):
+        path = str(tmp_path / "upd")
+        db = Database(path, sync=False)
+        nodes = [Node(str(i)) for i in range(20)]
+        with db.transaction():
+            for node in nodes:
+                db.add(node)
+        for round_number in range(10):
+            with db.transaction():
+                for node in nodes:
+                    node.label = f"round-{round_number}"
+        db.close()
+        db2 = Database(path)
+        assert all(n.label == "round-9" for n in db2.query(Node))
+        db2.close()
+
+    def test_mixed_create_update_delete(self, tmp_path):
+        path = str(tmp_path / "mix")
+        db = Database(path, sync=False)
+        keep = Node("keep")
+        drop = Node("drop")
+        with db.transaction():
+            db.add(keep)
+            db.add(drop)
+        with db.transaction():
+            keep.label = "kept"
+            db.delete(drop)
+            db.add(Node("fresh"))
+        db.close()
+        db2 = Database(path)
+        labels = sorted(n.label for n in db2.query(Node))
+        assert labels == ["fresh", "kept"]
+        db2.close()

@@ -1,0 +1,144 @@
+"""Tests for garbage collection and large-object storage via the database."""
+
+import pytest
+
+from repro.oodb import Database, ObjectNotFound, Persistent, TransactionError
+
+
+class Node(Persistent):
+    def __init__(self, label="", link=None):
+        super().__init__()
+        self.label = label
+        self.link = link
+
+
+class TestCollectGarbage:
+    def test_unreferenced_objects_swept(self, db):
+        kept = Node("kept")
+        db.set_root("kept", kept)
+        orphan = Node("orphan")
+        db.add(orphan)
+        db.commit()
+        orphan_oid = orphan.oid
+        marked, swept = db.collect_garbage()
+        assert swept == 1
+        with pytest.raises(ObjectNotFound):
+            db.fetch(orphan_oid)
+        assert db.get_root("kept") is kept
+
+    def test_reachable_chain_survives(self, db):
+        tail = Node("tail")
+        middle = Node("middle", tail)
+        head = Node("head", middle)
+        db.set_root("head", head)
+        db.commit()
+        marked, swept = db.collect_garbage()
+        assert swept == 0
+        assert marked >= 4  # root map + three nodes
+
+    def test_cycles_do_not_hang_and_sweep_together(self, db):
+        a = Node("a")
+        b = Node("b", a)
+        a.link = b
+        db.add(a)
+        db.commit()
+        # The cycle is reachable from nothing: both go.
+        _marked, swept = db.collect_garbage()
+        assert swept == 2
+
+    def test_extra_roots_protect(self, db):
+        pinned = Node("pinned")
+        db.add(pinned)
+        db.commit()
+        _marked, swept = db.collect_garbage(extra_roots=[pinned])
+        assert swept == 0
+        assert db.fetch(pinned.oid) is pinned
+
+    def test_refs_inside_containers_traced(self, db):
+        leaf = Node("leaf")
+        holder = Node("holder")
+        holder.bag = {"items": [leaf], "pair": (leaf, 1)}
+        db.set_root("holder", holder)
+        db.commit()
+        _marked, swept = db.collect_garbage()
+        assert swept == 0
+        assert db.fetch(leaf.oid) is leaf
+
+    def test_rejects_active_transaction(self, db):
+        with db.transaction():
+            db.add(Node())
+            with pytest.raises(TransactionError):
+                db.collect_garbage()
+
+    def test_sweep_is_transactional_and_durable(self, tmp_path):
+        path = str(tmp_path / "gcdb")
+        db = Database(path)
+        db.set_root("root", Node("root"))
+        db.add(Node("junk1"))
+        db.add(Node("junk2"))
+        db.commit()
+        _marked, swept = db.collect_garbage()
+        assert swept == 2
+        db.close()
+        reopened = Database(path)
+        assert reopened.object_count() == 2  # root map + root node
+        reopened.close()
+
+    def test_empty_database(self, mem_db):
+        marked, swept = mem_db.collect_garbage()
+        assert (marked, swept) == (0, 0)
+
+
+class TestLargeObjects:
+    """Overflow chains end-to-end through the object layer."""
+
+    def test_large_attribute_roundtrip(self, db):
+        blob = "x" * 100_000
+        node = Node(label=blob)
+        db.add(node)
+        db.commit()
+        oid = node.oid
+        db.evict_cache()
+        assert db.fetch(oid).label == blob
+
+    def test_large_bytes_attribute(self, db):
+        node = Node()
+        node.payload = bytes(range(256)) * 300  # ~77 KB binary
+        db.add(node)
+        db.commit()
+        db.evict_cache()
+        assert db.fetch(node.oid).payload == node.payload
+
+    def test_large_object_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "blobdb")
+        db = Database(path)
+        blob = "big " * 30_000  # ~120 KB
+        db.set_root("blob", Node(label=blob))
+        db.commit()
+        db.close()
+        reopened = Database(path)
+        assert reopened.get_root("blob").label == blob
+        reopened.close()
+
+    def test_large_object_update_and_shrink(self, db):
+        node = Node(label="L" * 50_000)
+        db.add(node)
+        db.commit()
+        with db.transaction():
+            node.label = "small"
+        db.evict_cache()
+        assert db.fetch(node.oid).label == "small"
+
+    def test_large_object_rollback(self, db):
+        node = Node(label="original")
+        db.add(node)
+        db.commit()
+        try:
+            with db.transaction():
+                node.label = "H" * 60_000
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert node.label == "original"
+        db.evict_cache()
+        assert db.fetch(node.oid).label == "original"

@@ -1,0 +1,155 @@
+"""Tests for the lock manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.oodb.errors import DeadlockDetected, LockTimeout
+from repro.oodb.locks import LockManager, LockMode
+from repro.oodb.oid import Oid
+
+
+class TestSingleThread:
+    def test_acquire_and_hold(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(5), LockMode.EXCLUSIVE)
+        assert locks.holds(1, Oid(5)) is LockMode.EXCLUSIVE
+
+    def test_reacquire_is_noop(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(5), LockMode.SHARED)
+        locks.acquire(1, Oid(5), LockMode.SHARED)
+        assert locks.holds(1, Oid(5)) is LockMode.SHARED
+
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(5), LockMode.SHARED)
+        locks.acquire(2, Oid(5), LockMode.SHARED)
+        assert locks.holds(1, Oid(5)) is LockMode.SHARED
+        assert locks.holds(2, Oid(5)) is LockMode.SHARED
+
+    def test_upgrade_shared_to_exclusive(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(5), LockMode.SHARED)
+        locks.acquire(1, Oid(5), LockMode.EXCLUSIVE)
+        assert locks.holds(1, Oid(5)) is LockMode.EXCLUSIVE
+
+    def test_exclusive_holder_keeps_lock_on_shared_request(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(5), LockMode.EXCLUSIVE)
+        locks.acquire(1, Oid(5), LockMode.SHARED)  # downgrade request: no-op
+        assert locks.holds(1, Oid(5)) is LockMode.EXCLUSIVE
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(1), LockMode.EXCLUSIVE)
+        locks.acquire(1, Oid(2), LockMode.SHARED)
+        locks.release_all(1)
+        assert locks.holds(1, Oid(1)) is None
+        assert locks.held_by(1) == set()
+
+    def test_conflicting_exclusive_times_out(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire(1, Oid(5), LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeout):
+            locks.acquire(2, Oid(5), LockMode.EXCLUSIVE)
+
+    def test_shared_blocked_by_exclusive(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire(1, Oid(5), LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeout):
+            locks.acquire(2, Oid(5), LockMode.SHARED)
+
+
+class TestConcurrency:
+    def test_lock_handoff_between_threads(self):
+        locks = LockManager(timeout=2.0)
+        order = []
+
+        locks.acquire(1, Oid(9), LockMode.EXCLUSIVE)
+
+        def second():
+            locks.acquire(2, Oid(9), LockMode.EXCLUSIVE)
+            order.append("second-acquired")
+            locks.release_all(2)
+
+        thread = threading.Thread(target=second)
+        thread.start()
+        time.sleep(0.05)
+        order.append("first-releasing")
+        locks.release_all(1)
+        thread.join(timeout=2)
+        assert order == ["first-releasing", "second-acquired"]
+
+    def test_deadlock_detected(self):
+        locks = LockManager(timeout=5.0)
+        locks.acquire(1, Oid(1), LockMode.EXCLUSIVE)
+        locks.acquire(2, Oid(2), LockMode.EXCLUSIVE)
+        errors = []
+
+        def t1_wants_2():
+            try:
+                locks.acquire(1, Oid(2), LockMode.EXCLUSIVE)
+            except DeadlockDetected as exc:
+                errors.append(exc)
+                locks.release_all(1)
+
+        thread = threading.Thread(target=t1_wants_2)
+        thread.start()
+        time.sleep(0.05)
+        # txn 2 now wants oid 1, completing the cycle: one side must die.
+        try:
+            locks.acquire(2, Oid(1), LockMode.EXCLUSIVE)
+        except DeadlockDetected as exc:
+            errors.append(exc)
+            locks.release_all(2)
+        thread.join(timeout=2)
+        locks.release_all(1)
+        locks.release_all(2)
+        assert len(errors) >= 1
+
+    def test_many_readers_one_writer(self):
+        locks = LockManager(timeout=2.0)
+        acquired = []
+        barrier = threading.Barrier(4)
+
+        def reader(txn_id):
+            barrier.wait()
+            locks.acquire(txn_id, Oid(3), LockMode.SHARED)
+            acquired.append(txn_id)
+            time.sleep(0.02)
+            locks.release_all(txn_id)
+
+        readers = [threading.Thread(target=reader, args=(i,)) for i in (1, 2, 3)]
+        for t in readers:
+            t.start()
+        barrier.wait()
+        time.sleep(0.01)
+        locks.acquire(99, Oid(3), LockMode.EXCLUSIVE)  # waits for readers
+        assert len(acquired) == 3
+        locks.release_all(99)
+        for t in readers:
+            t.join(timeout=2)
+
+
+class TestDatabaseLockingIntegration:
+    def test_locking_database_tracks_and_releases(self, tmp_path):
+        from repro.oodb import Database, Persistent
+
+        class Item(Persistent):
+            def __init__(self):
+                super().__init__()
+                self.x = 0
+
+        db = Database(str(tmp_path / "db"), locking=True)
+        try:
+            with db.transaction() as txn:
+                item = Item()
+                db.add(item)
+                item.x = 1
+                assert db.locks.holds(txn.id, item.oid) is LockMode.EXCLUSIVE
+            # Released at commit.
+            assert db.locks.held_by(txn.id) == set()
+        finally:
+            db.close()

@@ -1,0 +1,171 @@
+"""Tests for schema evolution: tolerant decoding and Database.migrate."""
+
+import threading
+
+import pytest
+
+from repro.oodb import Database, Persistent
+from repro.oodb.schema import ClassRegistry
+
+
+class TestTolerantDecoding:
+    def test_missing_attribute_uses_class_default(self, tmp_path):
+        """Old records decode into new class shapes; class-level defaults
+        fill attributes the record predates."""
+        registry = ClassRegistry()
+
+        class Doc(Persistent, registry=registry):
+            def __init__(self, body):
+                super().__init__()
+                self.body = body
+
+        path = str(tmp_path / "db")
+        db = Database(path, registry=registry)
+        db.add(Doc("v1 content"))
+        db.commit()
+        db.close()
+
+        # "Redefine" the class: a new version with an extra attribute.
+        class Doc(Persistent, registry=registry):  # noqa: F811
+            _p_class_name = "Doc"
+            revision: int = 0  # class-level default for old records
+
+            def __init__(self, body, revision=1):
+                super().__init__()
+                self.body = body
+                self.revision = revision
+
+        db2 = Database(path, registry=registry)
+        try:
+            old = db2.query("Doc").one()
+            assert old.body == "v1 content"
+            assert old.revision == 0  # class default, not stored
+            assert "revision" not in vars(old)
+        finally:
+            db2.close()
+
+    def test_extra_stored_attribute_survives(self, tmp_path):
+        """Records holding attributes the new class lacks keep them."""
+        registry = ClassRegistry()
+
+        class Gadget(Persistent, registry=registry):
+            def __init__(self):
+                super().__init__()
+                self.legacy_field = "old"
+
+        path = str(tmp_path / "db")
+        db = Database(path, registry=registry)
+        db.add(Gadget())
+        db.commit()
+        db.close()
+
+        class Gadget(Persistent, registry=registry):  # noqa: F811
+            _p_class_name = "Gadget"
+
+            def __init__(self):
+                super().__init__()
+
+        db2 = Database(path, registry=registry)
+        try:
+            assert db2.query("Gadget").one().legacy_field == "old"
+        finally:
+            db2.close()
+
+
+class Versioned(Persistent):
+    def __init__(self, value=0):
+        super().__init__()
+        self.value = value
+
+
+class TestMigrate:
+    def test_migrate_all_instances(self, db):
+        for i in range(5):
+            db.add(Versioned(i))
+        db.commit()
+
+        def upgrade(obj):
+            obj.value = obj.value * 10
+            obj.version = 2
+
+        assert db.migrate(Versioned, upgrade) == 5
+        db.evict_cache()
+        values = sorted(v.value for v in db.query(Versioned))
+        assert values == [0, 10, 20, 30, 40]
+        assert all(v.version == 2 for v in db.query(Versioned))
+
+    def test_migrate_is_atomic(self, db):
+        for i in range(5):
+            db.add(Versioned(i))
+        db.commit()
+
+        calls = []
+
+        def failing_upgrade(obj):
+            calls.append(obj)
+            obj.value += 100
+            if len(calls) == 3:
+                raise RuntimeError("migration bug")
+
+        with pytest.raises(RuntimeError):
+            db.migrate(Versioned, failing_upgrade)
+        # Nothing changed: the transaction rolled back.
+        assert sorted(v.value for v in db.query(Versioned)) == [0, 1, 2, 3, 4]
+
+    def test_migrate_empty_extent(self, db):
+        assert db.migrate(Versioned, lambda obj: None) == 0
+
+    def test_migrate_inside_existing_transaction(self, db):
+        db.add(Versioned(1))
+        db.commit()
+        with db.transaction():
+            count = db.migrate(Versioned, lambda o: setattr(o, "value", 9))
+            assert count == 1
+        assert db.query(Versioned).one().value == 9
+
+    def test_migrate_rule_objects(self, sentinel_db):
+        """Rules are objects: they migrate with the same call (§3.4)."""
+        from repro.core import Rule
+
+        for i in range(3):
+            sentinel_db.create_rule(
+                f"m{i}", "end Versioned::poke()", persist=True
+            )
+        sentinel_db.db.commit()
+        count = sentinel_db.db.migrate(
+            Rule, lambda rule: setattr(rule, "priority", 7)
+        )
+        assert count == 3
+        assert all(r.priority == 7 for r in sentinel_db.db.query(Rule))
+
+
+class TestConcurrentTransactions:
+    def test_two_threads_serialize_on_locks(self, tmp_path):
+        """With locking on, concurrent increments do not lose updates."""
+        db = Database(str(tmp_path / "db"), locking=True, sync=False)
+        try:
+            counter = Versioned(0)
+            db.add(counter)
+            db.commit()
+            errors = []
+
+            def work():
+                try:
+                    for _ in range(25):
+                        with db.transaction():
+                            # SELECT FOR UPDATE idiom: serialize the whole
+                            # read-modify-write, not just the write.
+                            db.lock_for_update(counter)
+                            counter.value += 1
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert counter.value == 100
+        finally:
+            db.close()

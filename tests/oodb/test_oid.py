@@ -1,0 +1,107 @@
+"""Tests for OIDs and the allocator."""
+
+import threading
+
+import pytest
+
+from repro.oodb.oid import NULL_OID, Oid, OidAllocator
+
+
+class TestOid:
+    def test_value_roundtrip(self):
+        assert Oid(42).value == 42
+
+    def test_equality_and_hash(self):
+        assert Oid(7) == Oid(7)
+        assert Oid(7) != Oid(8)
+        assert hash(Oid(7)) == hash(Oid(7))
+        assert {Oid(1): "a"}[Oid(1)] == "a"
+
+    def test_ordering(self):
+        assert Oid(1) < Oid(2) < Oid(10)
+        assert sorted([Oid(3), Oid(1), Oid(2)]) == [Oid(1), Oid(2), Oid(3)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Oid(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            Oid("5")  # type: ignore[arg-type]
+
+    def test_null_oid(self):
+        assert NULL_OID.is_null
+        assert not Oid(1).is_null
+
+    def test_str_parse_roundtrip(self):
+        assert Oid.parse(str(Oid(123))) == Oid(123)
+        assert Oid.parse("456") == Oid(456)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Oid(1).value = 2  # type: ignore[misc]
+
+
+class TestOidAllocator:
+    def test_starts_at_one(self):
+        assert OidAllocator().allocate() == Oid(1)
+
+    def test_monotonic(self):
+        allocator = OidAllocator()
+        oids = [allocator.allocate() for _ in range(100)]
+        assert oids == sorted(oids)
+        assert len(set(oids)) == 100
+
+    def test_allocate_many(self):
+        allocator = OidAllocator()
+        batch = allocator.allocate_many(10)
+        assert len(batch) == 10
+        assert allocator.allocate() == Oid(11)
+
+    def test_allocate_many_negative(self):
+        with pytest.raises(ValueError):
+            OidAllocator().allocate_many(-1)
+
+    def test_reserve_raises_high_water_mark(self):
+        allocator = OidAllocator()
+        allocator.reserve(Oid(50))
+        assert allocator.allocate() == Oid(51)
+
+    def test_reserve_below_mark_is_noop(self):
+        allocator = OidAllocator(next_value=100)
+        allocator.reserve(Oid(10))
+        assert allocator.allocate() == Oid(100)
+
+    def test_snapshot_restore(self):
+        allocator = OidAllocator()
+        for _ in range(5):
+            allocator.allocate()
+        restored = OidAllocator.restore(allocator.snapshot())
+        assert restored.allocate() == Oid(6)
+
+    def test_bad_start(self):
+        with pytest.raises(ValueError):
+            OidAllocator(next_value=0)
+
+    def test_iter_protocol(self):
+        allocator = OidAllocator()
+        stream = iter(allocator)
+        assert [next(stream) for _ in range(3)] == [Oid(1), Oid(2), Oid(3)]
+
+    def test_thread_safety_no_duplicates(self):
+        allocator = OidAllocator()
+        results: list[Oid] = []
+        lock = threading.Lock()
+
+        def work():
+            local = [allocator.allocate() for _ in range(500)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4000
+        assert len(set(results)) == 4000

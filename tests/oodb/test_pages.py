@@ -1,0 +1,174 @@
+"""Tests for slotted pages."""
+
+import pytest
+
+from repro.oodb.errors import ChecksumError, PageError
+from repro.oodb.storage.pages import MAX_RECORD_SIZE, PAGE_SIZE, Page
+
+
+class TestPageBasics:
+    def test_insert_read(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_records_get_distinct_slots(self):
+        page = Page(0)
+        slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+        assert len(set(slots)) == 10
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"rec{i}".encode()
+
+    def test_insert_marks_dirty(self):
+        page = Page(0)
+        assert not page.dirty
+        page.insert(b"x")
+        assert page.dirty
+
+    def test_update_in_place(self):
+        page = Page(0)
+        slot = page.insert(b"old")
+        page.update(slot, b"newer-and-longer")
+        assert page.read(slot) == b"newer-and-longer"
+
+    def test_delete_leaves_tombstone(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        assert page.delete(a) == b"a"
+        # Slot numbering of survivors is unchanged.
+        assert page.read(b) == b"b"
+        with pytest.raises(PageError):
+            page.read(a)
+
+    def test_tombstone_slot_reused(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(a)
+        assert page.insert(b"c") == a
+
+    def test_counts(self):
+        page = Page(0)
+        slots = [page.insert(b"x") for _ in range(5)]
+        page.delete(slots[0])
+        assert page.slot_count == 5
+        assert page.live_count == 4
+
+    def test_records_iterates_live_only(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(a)
+        assert [payload for _slot, payload in page.records()] == [b"b"]
+
+    def test_is_empty(self):
+        page = Page(0)
+        assert page.is_empty()
+        slot = page.insert(b"x")
+        assert not page.is_empty()
+        page.delete(slot)
+        assert page.is_empty()
+
+    def test_negative_page_id_rejected(self):
+        with pytest.raises(PageError):
+            Page(-1)
+
+
+class TestPageBounds:
+    def test_oversized_record_rejected(self):
+        page = Page(0)
+        with pytest.raises(PageError):
+            page.insert(b"x" * (MAX_RECORD_SIZE + 1))
+
+    def test_max_size_record_fits(self):
+        page = Page(0)
+        slot = page.insert(b"x" * MAX_RECORD_SIZE)
+        assert len(page.read(slot)) == MAX_RECORD_SIZE
+
+    def test_full_page_rejects_insert(self):
+        page = Page(0)
+        while page.fits(b"y" * 100):
+            page.insert(b"y" * 100)
+        with pytest.raises(PageError):
+            page.insert(b"y" * 100)
+
+    def test_update_growth_beyond_space_rejected(self):
+        page = Page(0)
+        slot = page.insert(b"small")
+        while page.fits(b"z" * 200):
+            page.insert(b"z" * 200)
+        with pytest.raises(PageError):
+            page.update(slot, b"q" * 3000)
+
+    def test_bad_slot_access(self):
+        page = Page(0)
+        with pytest.raises(PageError):
+            page.read(0)
+        with pytest.raises(PageError):
+            page.read(-1)
+
+    def test_double_delete_rejected(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_update_deleted_rejected(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.update(slot, b"y")
+
+
+class TestPageSerialization:
+    def test_roundtrip(self):
+        page = Page(3)
+        payloads = [f"record-{i}".encode() * (i + 1) for i in range(8)]
+        for payload in payloads:
+            page.insert(payload)
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.page_id == 3
+        assert [p for _s, p in restored.records()] == payloads
+
+    def test_roundtrip_with_tombstones(self):
+        page = Page(0)
+        slots = [page.insert(f"r{i}".encode()) for i in range(5)]
+        page.delete(slots[1])
+        page.delete(slots[3])
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.slot_count == 5
+        assert restored.live_count == 3
+        assert restored.read(slots[0]) == b"r0"
+        with pytest.raises(PageError):
+            restored.read(slots[1])
+
+    def test_serialized_size_is_exact(self):
+        page = Page(0)
+        page.insert(b"data")
+        assert len(page.to_bytes()) == PAGE_SIZE
+
+    def test_empty_page_roundtrip(self):
+        restored = Page.from_bytes(Page(9).to_bytes())
+        assert restored.page_id == 9
+        assert restored.is_empty()
+
+    def test_checksum_detects_corruption(self):
+        page = Page(0)
+        page.insert(b"important")
+        data = bytearray(page.to_bytes())
+        data[-1] ^= 0xFF  # flip a bit in the record area
+        with pytest.raises(ChecksumError):
+            Page.from_bytes(bytes(data))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PageError):
+            Page.from_bytes(b"short")
+
+    def test_free_space_survives_roundtrip(self):
+        page = Page(0)
+        page.insert(b"x" * 100)
+        restored = Page.from_bytes(page.to_bytes())
+        assert restored.free_space == page.free_space

@@ -1,0 +1,160 @@
+"""Tests for the query layer."""
+
+import pytest
+
+from repro.oodb import Persistent
+from repro.oodb.errors import QueryError
+
+
+class Animal(Persistent):
+    def __init__(self, name, legs, weight):
+        super().__init__()
+        self.name = name
+        self.legs = legs
+        self.weight = weight
+
+
+class Dog(Animal):
+    def __init__(self, name, weight):
+        super().__init__(name, 4, weight)
+
+
+@pytest.fixture
+def zoo(mem_db):
+    animals = [
+        Animal("snake", 0, 2.0),
+        Animal("bird", 2, 0.5),
+        Animal("cat", 4, 4.0),
+        Dog("beagle", 10.0),
+        Dog("husky", 25.0),
+    ]
+    for animal in animals:
+        mem_db.add(animal)
+    mem_db.commit()
+    return mem_db
+
+
+class TestBasicQueries:
+    def test_all_includes_subclasses(self, zoo):
+        assert zoo.query(Animal).count() == 5
+
+    def test_exclude_subclasses(self, zoo):
+        names = {a.name for a in zoo.query(Animal, include_subclasses=False)}
+        assert names == {"snake", "bird", "cat"}
+
+    def test_subclass_extent(self, zoo):
+        assert {d.name for d in zoo.query(Dog)} == {"beagle", "husky"}
+
+    def test_where_eq(self, zoo):
+        assert {a.name for a in zoo.query(Animal).where_eq("legs", 4)} == {
+            "cat", "beagle", "husky",
+        }
+
+    def test_where_op_comparisons(self, zoo):
+        heavy = zoo.query(Animal).where_op("weight", ">", 4.0).all()
+        assert {a.name for a in heavy} == {"beagle", "husky"}
+        light = zoo.query(Animal).where_op("weight", "<=", 2.0).all()
+        assert {a.name for a in light} == {"snake", "bird"}
+
+    def test_where_in(self, zoo):
+        hits = zoo.query(Animal).where_op("name", "in", ["cat", "husky"]).all()
+        assert {a.name for a in hits} == {"cat", "husky"}
+
+    def test_where_predicate(self, zoo):
+        hits = zoo.query(Animal).where(lambda a: a.name.startswith("b")).all()
+        assert {a.name for a in hits} == {"bird", "beagle"}
+
+    def test_chained_filters(self, zoo):
+        hits = (
+            zoo.query(Animal)
+            .where_eq("legs", 4)
+            .where_op("weight", "<", 20.0)
+            .all()
+        )
+        assert {a.name for a in hits} == {"cat", "beagle"}
+
+    def test_order_by(self, zoo):
+        names = [a.name for a in zoo.query(Animal).order_by("weight")]
+        assert names == ["bird", "snake", "cat", "beagle", "husky"]
+
+    def test_order_by_descending(self, zoo):
+        weights = [
+            a.weight for a in zoo.query(Animal).order_by("weight", descending=True)
+        ]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_limit(self, zoo):
+        assert len(zoo.query(Animal).limit(2).all()) == 2
+
+    def test_first(self, zoo):
+        first = zoo.query(Animal).order_by("weight").first()
+        assert first.name == "bird"
+
+    def test_first_empty(self, zoo):
+        assert zoo.query(Animal).where_eq("legs", 100).first() is None
+
+    def test_one(self, zoo):
+        assert zoo.query(Animal).where_eq("name", "cat").one().legs == 4
+
+    def test_one_rejects_many(self, zoo):
+        with pytest.raises(QueryError):
+            zoo.query(Animal).where_eq("legs", 4).one()
+
+    def test_missing_attribute_filters_out(self, zoo):
+        assert zoo.query(Animal).where_eq("wings", 2).count() == 0
+
+
+class TestQueryValidation:
+    def test_unknown_class(self, mem_db):
+        class Plain:
+            pass
+
+        with pytest.raises(QueryError):
+            mem_db.query(Plain)
+
+    def test_unknown_operator(self, zoo):
+        with pytest.raises(QueryError):
+            zoo.query(Animal).where_op("legs", "~=", 4)
+
+    def test_negative_limit(self, zoo):
+        with pytest.raises(QueryError):
+            zoo.query(Animal).limit(-1)
+
+
+class TestIndexedQueries:
+    def test_eq_uses_index(self, zoo):
+        zoo.create_index(Animal, "legs")
+        hits = zoo.query(Animal).where_eq("legs", 0).all()
+        assert [a.name for a in hits] == ["snake"]
+
+    def test_range_uses_index(self, zoo):
+        zoo.create_index(Animal, "weight")
+        hits = zoo.query(Animal).where_op("weight", ">=", 10.0).all()
+        assert {a.name for a in hits} == {"beagle", "husky"}
+
+    def test_index_respects_subclass_exclusion(self, zoo):
+        zoo.create_index(Animal, "legs")
+        hits = zoo.query(Animal, include_subclasses=False).where_eq("legs", 4).all()
+        assert {a.name for a in hits} == {"cat"}
+
+    def test_index_plus_predicate(self, zoo):
+        zoo.create_index(Animal, "legs")
+        hits = (
+            zoo.query(Animal)
+            .where_eq("legs", 4)
+            .where(lambda a: a.weight > 5)
+            .all()
+        )
+        assert {a.name for a in hits} == {"beagle", "husky"}
+
+    def test_uncommitted_objects_visible(self, zoo):
+        with zoo.transaction():
+            zoo.add(Animal("ant", 6, 0.001))
+            assert zoo.query(Animal).where_eq("legs", 6).count() == 1
+        assert zoo.query(Animal).where_eq("legs", 6).count() == 1
+
+    def test_deleted_objects_invisible_in_txn(self, zoo):
+        cat = zoo.query(Animal).where_eq("name", "cat").one()
+        with zoo.transaction():
+            zoo.delete(cat)
+            assert zoo.query(Animal).where_eq("name", "cat").count() == 0

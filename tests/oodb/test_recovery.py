@@ -1,0 +1,205 @@
+"""Tests for crash recovery: WAL replay and restart behaviour."""
+
+import os
+
+import pytest
+
+from repro.oodb import Database, Persistent
+from repro.oodb.recovery import replay
+from repro.oodb.storage.wal import WriteAheadLog
+
+
+class Doc(Persistent):
+    def __init__(self, body=""):
+        super().__init__()
+        self.body = body
+
+
+class TestReplayUnit:
+    def test_committed_updates_applied_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(1)
+        wal.log_update(1, 5, None, {"v": 1})
+        wal.log_update(1, 5, {"v": 1}, {"v": 2})
+        wal.log_commit(1)
+        applied = []
+        report = replay(wal, lambda oid, redo: applied.append((oid, redo)))
+        assert applied == [(5, {"v": 1}), (5, {"v": 2})]
+        assert report.committed_txns == {1}
+        assert report.redone_updates == 2
+        wal.close()
+
+    def test_uncommitted_ignored(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(1)
+        wal.log_update(1, 5, None, {"v": 1})
+        applied = []
+        report = replay(wal, lambda oid, redo: applied.append(oid))
+        assert applied == []
+        assert report.unfinished_txns == {1}
+        assert report.clean
+        wal.close()
+
+    def test_aborted_ignored(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(1)
+        wal.log_update(1, 5, None, {"v": 1})
+        wal.log_abort(1)
+        applied = []
+        report = replay(wal, lambda oid, redo: applied.append(oid))
+        assert applied == []
+        assert report.aborted_txns == {1}
+        wal.close()
+
+    def test_interleaved_transactions(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(1)
+        wal.log_begin(2)
+        wal.log_update(1, 10, None, {"a": 1})
+        wal.log_update(2, 20, None, {"b": 1})
+        wal.log_commit(2)
+        wal.log_update(1, 11, None, {"a": 2})
+        # txn 1 never commits
+        applied = []
+        replay(wal, lambda oid, redo: applied.append(oid))
+        assert applied == [20]
+        wal.close()
+
+    def test_deletion_redo_is_none(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(1)
+        wal.log_update(1, 7, {"v": 1}, None)
+        wal.log_commit(1)
+        applied = []
+        replay(wal, lambda oid, redo: applied.append((oid, redo)))
+        assert applied == [(7, None)]
+        wal.close()
+
+    def test_max_oid_tracked(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(1)
+        wal.log_update(1, 41, None, {})
+        wal.log_commit(1)
+        report = replay(wal, lambda oid, redo: None)
+        assert report.max_oid_seen == 41
+        wal.close()
+
+
+def _simulate_crash(db: Database) -> None:
+    """Close file handles without checkpoint — as a crash would."""
+    assert db._heap is not None and db._wal is not None
+    db._pool.flush_all()
+    db._wal.flush(force_sync=True)
+    db._heap._pool = None  # ensure no further use
+    db._closed = True
+    db._wal._file.close()
+
+
+class TestRestartRecovery:
+    def test_committed_work_survives_crash_before_checkpoint(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            doc = Doc("hello")
+            db.add(doc)
+            db.set_root("doc", doc)
+        oid = doc.oid
+        _simulate_crash(db)
+
+        db2 = Database(path, sync=False)
+        assert db2.last_recovery is not None
+        restored = db2.fetch(oid)
+        assert restored.body == "hello"
+        assert db2.get_root("doc") is restored
+        db2.close()
+
+    def test_oid_allocation_not_reused_after_crash(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            doc = Doc("one")
+            db.add(doc)
+        first_oid = doc.oid
+        _simulate_crash(db)
+
+        db2 = Database(path, sync=False)
+        with db2.transaction():
+            doc2 = Doc("two")
+            db2.add(doc2)
+        assert doc2.oid.value > first_oid.value
+        db2.close()
+
+    def test_update_then_crash(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            doc = Doc("v1")
+            db.add(doc)
+        db.checkpoint()
+        with db.transaction():
+            doc.body = "v2"
+        oid = doc.oid
+        _simulate_crash(db)
+
+        db2 = Database(path, sync=False)
+        assert db2.fetch(oid).body == "v2"
+        db2.close()
+
+    def test_delete_then_crash(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            doc = Doc("bye")
+            db.add(doc)
+        db.checkpoint()
+        oid = doc.oid
+        with db.transaction():
+            db.delete(doc)
+        _simulate_crash(db)
+
+        from repro.oodb import ObjectNotFound
+
+        db2 = Database(path, sync=False)
+        with pytest.raises(ObjectNotFound):
+            db2.fetch(oid)
+        db2.close()
+
+    def test_clean_reopen_after_checkpoint(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            db.set_root("d", Doc("x"))
+        db.close()  # checkpoint happens here
+
+        db2 = Database(path, sync=False)
+        assert db2.last_recovery is not None
+        assert db2.last_recovery.clean
+        assert db2.get_root("d").body == "x"
+        db2.close()
+
+    def test_wal_truncated_after_recovery_checkpoint(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            db.set_root("d", Doc("x"))
+        _simulate_crash(db)
+
+        db2 = Database(path, sync=False)
+        assert not db2.last_recovery.clean
+        db2.close()
+        wal_size = os.path.getsize(os.path.join(path, "wal.log"))
+        assert wal_size == 0
+
+    def test_indexes_rebuilt_on_reopen(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            for i in range(4):
+                db.add(Doc(f"doc-{i}"))
+        db.create_index(Doc, "body")
+        db.close()
+
+        db2 = Database(path, sync=False)
+        hits = db2.query(Doc).where_eq("body", "doc-2").all()
+        assert len(hits) == 1
+        db2.close()

@@ -1,0 +1,147 @@
+"""Tests for persistent classes, the registry, and extents."""
+
+import pytest
+
+from repro.oodb import Persistent
+from repro.oodb.errors import SchemaError, UnregisteredClass
+from repro.oodb.oid import Oid
+from repro.oodb.schema import ClassRegistry, Extents, PersistentMeta
+
+
+class Vehicle(Persistent):
+    def __init__(self, wheels=4):
+        super().__init__()
+        self.wheels = wheels
+
+
+class Car(Vehicle):
+    pass
+
+
+class SportsCar(Car):
+    pass
+
+
+class TestClassRegistry:
+    def test_registration_via_metaclass(self):
+        registry = ClassRegistry()
+
+        class Local(Persistent, registry=registry):
+            pass
+
+        assert registry.get("Local") is Local
+        assert "Local" in registry
+
+    def test_unknown_class(self):
+        with pytest.raises(UnregisteredClass):
+            ClassRegistry().get("Nothing")
+
+    def test_subclass_graph(self):
+        registry = ClassRegistry()
+
+        class A(Persistent, registry=registry):
+            pass
+
+        class B(A, registry=registry):
+            pass
+
+        class C(B, registry=registry):
+            pass
+
+        assert registry.subclass_names("A") == {"B", "C"}
+        assert registry.family("B") == {"B", "C"}
+        assert registry.family("C") == {"C"}
+
+    def test_register_opt_out(self):
+        registry = ClassRegistry()
+
+        class Hidden(Persistent, registry=registry, register=False):
+            pass
+
+        assert "Hidden" not in registry
+
+    def test_explicit_class_name(self):
+        registry = ClassRegistry()
+
+        class Renamed(Persistent, registry=registry):
+            _p_class_name = "PaperName"
+
+        assert registry.get("PaperName") is Renamed
+
+
+class TestPersistentBase:
+    def test_starts_transient(self):
+        vehicle = Vehicle()
+        assert vehicle.oid is None
+        assert not vehicle.is_persistent
+
+    def test_add_assigns_oid(self, mem_db):
+        vehicle = Vehicle()
+        oid = mem_db.add(vehicle)
+        assert vehicle.oid == oid
+        assert vehicle.is_persistent
+
+    def test_double_add_is_idempotent(self, mem_db):
+        vehicle = Vehicle()
+        first = mem_db.add(vehicle)
+        second = mem_db.add(vehicle)
+        assert first == second
+
+    def test_repr(self, mem_db):
+        vehicle = Vehicle()
+        assert "transient" in repr(vehicle)
+        mem_db.add(vehicle)
+        assert str(vehicle.oid) in repr(vehicle)
+
+    def test_attribute_writes_untracked_when_transient(self):
+        vehicle = Vehicle()
+        vehicle.wheels = 6  # must not raise, no txn machinery involved
+        assert vehicle.wheels == 6
+
+    def test_non_persistent_add_rejected(self, mem_db):
+        with pytest.raises(TypeError):
+            mem_db.add(object())  # type: ignore[arg-type]
+
+    def test_metaclass_is_persistent_meta(self):
+        assert isinstance(Vehicle, PersistentMeta)
+
+
+class TestExtents:
+    def test_extent_tracks_added_objects(self, mem_db):
+        car = Car()
+        mem_db.add(car)
+        assert car.oid in mem_db.extents.of("Car")
+
+    def test_extent_includes_subclasses_by_default(self, mem_db):
+        mem_db.add(Car())
+        mem_db.add(SportsCar())
+        assert mem_db.extents.count("Vehicle") >= 2
+        assert mem_db.extents.count("Car") >= 2
+        assert mem_db.extents.count("Car", include_subclasses=False) >= 1
+
+    def test_extent_shrinks_on_delete(self, mem_db):
+        car = Car()
+        mem_db.add(car)
+        mem_db.commit()
+        oid = car.oid
+        mem_db.delete(car)
+        mem_db.commit()
+        assert oid not in mem_db.extents.of("Car")
+
+    def test_unknown_class_extent(self, mem_db):
+        with pytest.raises(SchemaError):
+            mem_db.extents.of("NoSuchClass")
+
+    def test_standalone_extents(self):
+        registry = ClassRegistry()
+
+        class X(Persistent, registry=registry):
+            pass
+
+        extents = Extents(registry)
+        extents.add("X", Oid(1))
+        extents.add("X", Oid(2))
+        extents.remove("X", Oid(1))
+        assert extents.of("X") == {Oid(2)}
+        extents.clear()
+        assert extents.of("X") == set()

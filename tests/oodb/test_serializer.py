@@ -1,0 +1,200 @@
+"""Tests for the object ⇄ record codec."""
+
+import datetime as dt
+import enum
+
+import pytest
+
+from repro.oodb import Database, Persistent
+from repro.oodb.errors import SerializationError
+from repro.oodb.oid import Oid
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+def module_level_condition(ctx):
+    return True
+
+
+class Thing(Persistent):
+    def __init__(self, **attrs):
+        super().__init__()
+        for key, value in attrs.items():
+            setattr(self, key, value)
+
+
+class TransientHolder(Persistent):
+    _p_transient = ("cache",)
+
+    def __init__(self):
+        super().__init__()
+        self.kept = 1
+        self.cache = object()
+
+
+@pytest.fixture
+def serializer(mem_db):
+    return mem_db.serializer
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -5, 3.25, "text", True, False, None]
+    )
+    def test_roundtrip(self, serializer, value):
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_bool_not_confused_with_int(self, serializer):
+        assert serializer.decode_value(serializer.encode_value(True)) is True
+
+
+class TestContainers:
+    def test_list(self, serializer):
+        assert serializer.decode_value(serializer.encode_value([1, "a", None])) == [1, "a", None]
+
+    def test_nested_list(self, serializer):
+        value = [[1, [2, [3]]], []]
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_tuple_stays_tuple(self, serializer):
+        value = (1, (2, 3))
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_set_and_frozenset(self, serializer):
+        assert serializer.decode_value(serializer.encode_value({1, 2})) == {1, 2}
+        result = serializer.decode_value(serializer.encode_value(frozenset({3})))
+        assert result == frozenset({3})
+        assert isinstance(result, frozenset)
+
+    def test_string_key_dict(self, serializer):
+        value = {"a": 1, "b": {"c": [2]}}
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_non_string_key_dict(self, serializer):
+        value = {1: "one", (2, 3): "pair"}
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_dollar_prefixed_keys_survive(self, serializer):
+        value = {"$ref": "not-a-real-ref", "$oid": 12}
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+
+class TestSpecialTypes:
+    def test_bytes(self, serializer):
+        assert serializer.decode_value(serializer.encode_value(b"\x00\xffbin")) == b"\x00\xffbin"
+
+    def test_datetime(self, serializer):
+        value = dt.datetime(2026, 7, 5, 12, 30, 15)
+        assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_date_and_time(self, serializer):
+        for value in (dt.date(1993, 5, 26), dt.time(9, 45)):
+            assert serializer.decode_value(serializer.encode_value(value)) == value
+
+    def test_oid_value(self, serializer):
+        assert serializer.decode_value(serializer.encode_value(Oid(17))) == Oid(17)
+
+    def test_enum(self, serializer):
+        assert serializer.decode_value(serializer.encode_value(Color.BLUE)) is Color.BLUE
+
+    def test_module_level_function(self, serializer):
+        restored = serializer.decode_value(
+            serializer.encode_value(module_level_condition)
+        )
+        assert restored is module_level_condition
+
+    def test_lambda_rejected(self, serializer):
+        with pytest.raises(SerializationError):
+            serializer.encode_value(lambda x: x)
+
+    def test_closure_rejected(self, serializer):
+        y = 3
+
+        def closed(ctx):
+            return y
+
+        with pytest.raises(SerializationError):
+            serializer.encode_value(closed)
+
+    def test_arbitrary_object_rejected(self, serializer):
+        with pytest.raises(SerializationError):
+            serializer.encode_value(object())
+
+
+class TestObjectRecords:
+    def test_encode_skips_p_attrs_and_transients(self, mem_db):
+        holder = TransientHolder()
+        mem_db.add(holder)
+        record = mem_db.serializer.encode_object(holder)
+        assert record["class"] == "TransientHolder"
+        assert record["attrs"] == {"kept": 1}
+
+    def test_reference_roundtrip(self, mem_db):
+        a = Thing(name="a")
+        b = Thing(name="b", friend=a)
+        mem_db.add(b)
+        mem_db.commit()
+        record = mem_db.serializer.encode_object(b)
+        assert record["attrs"]["friend"] == {"$ref": a.oid.value}
+        restored = mem_db.serializer.decode_object(record)
+        assert restored.friend is a  # identity map
+
+    def test_cycle_roundtrip(self, mem_db):
+        a = Thing(name="a")
+        b = Thing(name="b")
+        a.partner = b
+        b.partner = a
+        mem_db.add(a)
+        mem_db.commit()
+        mem_db.evict_cache()
+        a2 = mem_db.fetch(a.oid)
+        assert a2.partner.partner is a2
+
+    def test_unregistered_object_rejected(self, mem_db):
+        class NotPersistent:
+            pass
+
+        thing = Thing(oops=NotPersistent())
+        mem_db.add(thing)
+        with pytest.raises(SerializationError) as excinfo:
+            mem_db.serializer.encode_object(thing)
+        assert "oops" in str(excinfo.value)
+
+    def test_record_bytes_roundtrip(self, mem_db):
+        thing = Thing(x=1, y=[True, None])
+        mem_db.add(thing)
+        record = mem_db.serializer.encode_object(thing)
+        from repro.oodb.serializer import Serializer
+
+        assert Serializer.record_from_bytes(
+            Serializer.record_to_bytes(record)
+        ) == record
+
+    def test_corrupt_record_bytes(self):
+        from repro.oodb.serializer import Serializer
+
+        with pytest.raises(SerializationError):
+            Serializer.record_from_bytes(b"\xff\x00 not json")
+
+    def test_cross_database_reference_rejected(self, mem_db, tmp_path):
+        other = Database()
+        try:
+            alien = Thing(name="alien")
+            other.add(alien)
+            local = Thing(buddy=alien)
+            mem_db.add(local)
+            with pytest.raises(SerializationError):
+                mem_db.serializer.encode_object(local)
+        finally:
+            other.close()
+
+    def test_reachability_auto_adds(self, mem_db):
+        inner = Thing(name="inner")
+        outer = Thing(name="outer", inner=inner)
+        mem_db.add(outer)
+        mem_db.commit()
+        assert inner.is_persistent
+        assert inner._p_db is mem_db

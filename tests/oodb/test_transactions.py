@@ -1,0 +1,307 @@
+"""Tests for transactions: atomicity, rollback, savepoints, hooks."""
+
+import pytest
+
+from repro.oodb import (
+    Persistent,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.oodb.errors import NoActiveTransaction, TransactionNotActive
+from repro.oodb.transactions import TransactionStatus
+
+
+class Counter(Persistent):
+    def __init__(self, value=0):
+        super().__init__()
+        self.value = value
+
+
+class TestCommit:
+    def test_commit_persists(self, db):
+        with db.transaction():
+            counter = Counter(5)
+            db.add(counter)
+        db.evict_cache()
+        assert db.fetch(counter.oid).value == 5
+
+    def test_update_persists(self, db):
+        with db.transaction():
+            counter = Counter(1)
+            db.add(counter)
+        with db.transaction():
+            counter.value = 99
+        db.evict_cache()
+        assert db.fetch(counter.oid).value == 99
+
+    def test_empty_transaction_commits(self, db):
+        with db.transaction():
+            pass
+        assert db.txn_manager.committed == 1
+
+    def test_implicit_transaction(self, db):
+        counter = Counter(3)
+        db.add(counter)
+        assert db.current_transaction is not None
+        assert db.current_transaction.implicit
+        db.commit()
+        assert db.current_transaction is None
+        db.evict_cache()
+        assert db.fetch(counter.oid).value == 3
+
+    def test_delete_persists(self, db):
+        counter = Counter()
+        db.add(counter)
+        db.commit()
+        oid = counter.oid
+        with db.transaction():
+            db.delete(counter)
+        from repro.oodb import ObjectNotFound
+
+        with pytest.raises(ObjectNotFound):
+            db.fetch(oid)
+
+
+class TestRollback:
+    def test_abort_restores_attribute(self, db):
+        counter = Counter(10)
+        db.add(counter)
+        db.commit()
+        try:
+            with db.transaction():
+                counter.value = 777
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert counter.value == 10
+
+    def test_abort_detaches_created(self, db):
+        counter = Counter()
+        try:
+            with db.transaction():
+                db.add(counter)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not counter.is_persistent
+        assert counter._p_db is None
+
+    def test_abort_restores_deleted(self, db):
+        counter = Counter(4)
+        db.add(counter)
+        db.commit()
+        oid = counter.oid
+        try:
+            with db.transaction():
+                db.delete(counter)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert db.fetch(oid) is counter
+        assert counter.value == 4
+
+    def test_abort_removes_new_attributes(self, db):
+        counter = Counter()
+        db.add(counter)
+        db.commit()
+        try:
+            with db.transaction():
+                counter.extra = "should vanish"
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not hasattr(counter, "extra")
+
+    def test_explicit_abort_call(self, db):
+        counter = Counter(1)
+        db.add(counter)
+        db.commit()
+        counter.value = 2
+        db.abort()
+        assert counter.value == 1
+        assert db.current_transaction is None
+
+    def test_transaction_abort_raises(self, db):
+        counter = Counter(1)
+        db.add(counter)
+        db.commit()
+        with pytest.raises(TransactionAborted):
+            with db.transaction() as txn:
+                counter.value = 50
+                txn.abort("testing")
+        assert counter.value == 1
+
+    def test_aborted_stats(self, db):
+        try:
+            with db.transaction():
+                db.add(Counter())
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert db.txn_manager.aborted == 1
+
+
+class TestProtocol:
+    def test_no_nested_transactions(self, db):
+        with db.transaction():
+            with pytest.raises(TransactionError):
+                db.begin()
+
+    def test_commit_twice_rejected(self, db):
+        txn = db.begin()
+        db.txn_manager.commit(txn)
+        with pytest.raises(TransactionNotActive):
+            db.txn_manager.commit(txn)
+
+    def test_require_current_without_txn(self, db):
+        with pytest.raises(NoActiveTransaction):
+            db.txn_manager.require_current()
+
+    def test_status_transitions(self, db):
+        txn = db.begin()
+        assert txn.status is TransactionStatus.ACTIVE
+        db.txn_manager.commit(txn)
+        assert txn.status is TransactionStatus.COMMITTED
+
+    def test_rollback_after_commit_is_noop(self, db):
+        counter = Counter(1)
+        txn = db.begin()
+        db.add(counter)
+        db.txn_manager.commit(txn)
+        db.txn_manager.rollback(txn)
+        assert counter.is_persistent
+
+
+class TestSavepoints:
+    def test_rollback_to_savepoint(self, db):
+        counter = Counter(1)
+        db.add(counter)
+        db.commit()
+        with db.transaction() as txn:
+            counter.value = 2
+            txn.savepoint("mid")
+            counter.value = 3
+            txn.rollback_to("mid")
+            assert counter.value == 2
+        assert counter.value == 2
+
+    def test_savepoint_detaches_later_creations(self, db):
+        late = Counter(9)
+        with db.transaction() as txn:
+            txn.savepoint("start")
+            db.add(late)
+            txn.rollback_to("start")
+            assert not late.is_persistent
+
+    def test_unknown_savepoint(self, db):
+        with db.transaction() as txn:
+            with pytest.raises(TransactionError):
+                txn.rollback_to("nope")
+
+    def test_savepoint_then_commit_keeps_pre_savepoint_work(self, db):
+        counter = Counter(0)
+        db.add(counter)
+        db.commit()
+        with db.transaction() as txn:
+            counter.value = 5
+            txn.savepoint("s")
+            counter.value = 6
+            txn.rollback_to("s")
+        db.evict_cache()
+        assert db.fetch(counter.oid).value == 5
+
+
+class TestHooks:
+    def test_pre_commit_hook_runs_inside_txn(self, db):
+        counter = Counter(0)
+        db.add(counter)
+        db.commit()
+        with db.transaction() as txn:
+            txn.add_pre_commit_hook(lambda: setattr(counter, "value", 42))
+        db.evict_cache()
+        assert db.fetch(counter.oid).value == 42
+
+    def test_pre_commit_hooks_cascade(self, db):
+        order = []
+        with db.transaction() as txn:
+            def second():
+                order.append("second")
+
+            def first():
+                order.append("first")
+                txn.add_pre_commit_hook(second)
+
+            txn.add_pre_commit_hook(first)
+        assert order == ["first", "second"]
+
+    def test_pre_commit_cascade_limit(self, db):
+        with pytest.raises(TransactionError):
+            with db.transaction() as txn:
+                def again():
+                    txn.add_pre_commit_hook(again)
+
+                txn.add_pre_commit_hook(again)
+
+    def test_post_commit_hook_runs_after_commit(self, db):
+        seen = []
+        with db.transaction() as txn:
+            counter = Counter(7)
+            db.add(counter)
+            txn.add_post_commit_hook(
+                lambda: seen.append(db.current_transaction)
+            )
+            assert seen == []
+        assert seen == [None]  # ran with no transaction active
+
+    def test_abort_hook_runs_on_rollback(self, db):
+        seen = []
+        try:
+            with db.transaction() as txn:
+                txn.add_abort_hook(lambda: seen.append("aborted"))
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert seen == ["aborted"]
+
+    def test_post_commit_hook_skipped_on_abort(self, db):
+        seen = []
+        try:
+            with db.transaction() as txn:
+                txn.add_post_commit_hook(lambda: seen.append("nope"))
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert seen == []
+
+    def test_failing_pre_commit_hook_aborts(self, db):
+        counter = Counter(0)
+        db.add(counter)
+        db.commit()
+        with pytest.raises(ZeroDivisionError):
+            with db.transaction() as txn:
+                counter.value = 9
+                txn.add_pre_commit_hook(lambda: 1 / 0)
+        # The failed commit rolled the whole transaction back.
+        assert counter.value == 0
+
+
+class TestIsolationOfInMemoryDb:
+    def test_memory_db_rollback(self, mem_db):
+        counter = Counter(1)
+        mem_db.add(counter)
+        mem_db.commit()
+        try:
+            with mem_db.transaction():
+                counter.value = 5
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert counter.value == 1
+
+    def test_memory_db_delete_and_fetch(self, mem_db):
+        counter = Counter(2)
+        mem_db.add(counter)
+        mem_db.commit()
+        oid = counter.oid
+        mem_db.evict_cache()
+        assert mem_db.fetch(oid).value == 2

@@ -1,0 +1,36 @@
+"""Integration tests: every example script runs clean as a subprocess.
+
+The examples contain their own assertions, so a zero exit status means
+the documented behaviour actually happened.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_expected_examples_present():
+    assert {"quickstart.py", "portfolio.py", "banking.py",
+            "payroll.py", "patients.py"} <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,68 @@
+"""Property-based tests: event trees round-trip through the DSL."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Conjunction, Disjunction, Primitive, Sequence, parse_event
+from repro.core.events.base import Event
+
+_classes = st.sampled_from(["Employee", "Manager", "Stock", "Account"])
+_methods = st.sampled_from(["poke", "update_value", "refresh", "tick"])
+_modifiers = st.sampled_from(["begin", "end"])
+
+
+@st.composite
+def primitives(draw):
+    modifier = draw(_modifiers)
+    cls = draw(_classes)
+    method = draw(_methods)
+    return Primitive(f"{modifier} {cls}::{method}()")
+
+
+def _binary(children):
+    return st.one_of(
+        st.builds(lambda a, b: Conjunction(a, b), children, children),
+        st.builds(lambda a, b: Disjunction(a, b), children, children),
+        st.builds(lambda a, b: Sequence(a, b), children, children),
+    )
+
+
+event_trees = st.recursive(primitives(), _binary, max_leaves=8)
+
+
+def structurally_equal(left: Event, right: Event) -> bool:
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, Primitive):
+        return left.signature == right.signature  # type: ignore[attr-defined]
+    left_children = left.children()
+    right_children = right.children()
+    if len(left_children) != len(right_children):
+        return False
+    return all(
+        structurally_equal(a, b)
+        for a, b in zip(left_children, right_children)
+    )
+
+
+@given(event_trees)
+@settings(max_examples=150, deadline=None)
+def test_expression_roundtrip(tree):
+    """to_expression() re-parses to a structurally identical tree."""
+    text = tree.to_expression()
+    reparsed = parse_event(text)
+    assert structurally_equal(tree, reparsed), text
+
+
+@given(event_trees)
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_preserves_leaves(tree):
+    text = tree.to_expression()
+    reparsed = parse_event(text)
+    original_leaves = sorted(
+        str(leaf.signature) for leaf in tree.leaves()
+    )
+    reparsed_leaves = sorted(
+        str(leaf.signature) for leaf in reparsed.leaves()
+    )
+    assert original_leaves == reparsed_leaves

@@ -1,0 +1,113 @@
+"""Property-based tests for composite-event detection.
+
+Each operator is compared against a brute-force oracle over random
+left/right streams, in the chronicle context (the default).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Conjunction,
+    Disjunction,
+    EventModifier,
+    EventOccurrence,
+    Primitive,
+    Sequence,
+)
+
+# A stream is a list of 'L'/'R' choices.
+streams = st.lists(st.sampled_from("LR"), max_size=40)
+
+
+def run(operator_cls, stream, **kwargs):
+    left = Primitive("end Src::left()")
+    right = Primitive("end Src::right()")
+    event = operator_cls(left, right, **kwargs)
+    signals = []
+
+    class Listener:
+        def on_event(self, ev, occ):
+            signals.append(occ)
+
+    event.add_listener(Listener())
+    for side in stream:
+        occurrence = EventOccurrence(
+            class_name="Src",
+            method="left" if side == "L" else "right",
+            modifier=EventModifier.END,
+        )
+        event.notify(occurrence)
+    return signals
+
+
+@given(streams)
+def test_conjunction_chronicle_count(stream):
+    """Chronicle And signals exactly min(#L, #R) times."""
+    signals = run(Conjunction, stream)
+    assert len(signals) == min(stream.count("L"), stream.count("R"))
+
+
+@given(streams)
+def test_conjunction_signals_have_one_of_each(stream):
+    for signal in run(Conjunction, stream):
+        methods = sorted(c.method for c in signal.constituents)
+        assert methods == ["left", "right"]
+
+
+@given(streams)
+def test_disjunction_count(stream):
+    """Or signals once per constituent occurrence."""
+    assert len(run(Disjunction, stream)) == len(stream)
+
+
+@given(streams)
+def test_sequence_chronicle_oracle(stream):
+    """Chronicle sequence = greedy FIFO matching of L before R."""
+    expected = 0
+    pending_l = 0
+    for side in stream:
+        if side == "L":
+            pending_l += 1
+        elif pending_l:
+            pending_l -= 1
+            expected += 1
+    assert len(run(Sequence, stream)) == expected
+
+
+@given(streams)
+def test_sequence_order_invariant(stream):
+    """Every signalled pair is ordered: initiator seq < terminator seq."""
+    for signal in run(Sequence, stream):
+        first, second = signal.constituents
+        assert first.seq < second.seq
+        assert first.method == "left"
+        assert second.method == "right"
+
+
+@given(streams)
+@settings(deadline=None)
+def test_recent_sequence_never_exceeds_chronicle_continuous(stream):
+    """Cross-context sanity: recent <= continuous; chronicle <= continuous."""
+    recent = len(run(Sequence, stream, context="recent"))
+    chronicle = len(run(Sequence, stream, context="chronicle"))
+    continuous = len(run(Sequence, stream, context="continuous"))
+    assert chronicle <= continuous
+    assert recent >= chronicle or recent <= continuous  # recent re-pairs
+
+
+@given(streams)
+def test_cumulative_conjunction_folds_all(stream):
+    """Cumulative And consumes every pending occurrence when it signals."""
+    signals = run(Conjunction, stream, context="cumulative")
+    total_constituents = sum(len(s.constituents) for s in signals)
+    # Every constituent is consumed at most once.
+    seqs = [c.seq for s in signals for c in s.constituents]
+    assert len(seqs) == len(set(seqs))
+    assert total_constituents <= len(stream)
+
+
+@given(streams)
+def test_composite_seq_is_terminator_seq(stream):
+    for signal in run(Conjunction, stream):
+        assert signal.seq == max(c.seq for c in signal.constituents)

@@ -1,0 +1,90 @@
+"""Property-based tests: B-tree invariants against a dict/list oracle."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.oodb.index import BTree
+
+keys = st.integers(min_value=-50, max_value=50)
+values = st.integers(min_value=0, max_value=10_000)
+
+
+@given(st.lists(st.tuples(keys, values)))
+def test_search_matches_oracle(pairs):
+    tree = BTree(order=3)
+    oracle: dict[int, list[int]] = defaultdict(list)
+    for key, value in pairs:
+        tree.insert(key, value)
+        oracle[key].append(value)
+    for key in range(-50, 51):
+        assert tree.search(key) == oracle.get(key, [])
+    tree.check_invariants()
+
+
+@given(st.lists(st.tuples(keys, values)), keys, keys)
+def test_range_matches_oracle(pairs, low, high):
+    if low > high:
+        low, high = high, low
+    tree = BTree(order=4)
+    oracle = []
+    for key, value in pairs:
+        tree.insert(key, value)
+        oracle.append((key, value))
+    expected = sorted(
+        [(k, v) for k, v in oracle if low <= k <= high],
+        key=lambda kv: kv[0],
+    )
+    got = list(tree.range(low, high))
+    assert sorted(got) == sorted(expected)
+    assert [k for k, _v in got] == [k for k, _v in expected]
+
+
+@given(st.lists(st.tuples(keys, values), max_size=200), st.randoms())
+@settings(max_examples=50, deadline=None)
+def test_insert_delete_roundtrip(pairs, rng):
+    tree = BTree(order=2)
+    for key, value in pairs:
+        tree.insert(key, value)
+    shuffled = list(pairs)
+    rng.shuffle(shuffled)
+    for key, value in shuffled:
+        assert tree.delete(key, value)
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison of the B-tree against a dict-of-lists oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BTree(order=2)
+        self.oracle: dict[int, list[int]] = defaultdict(list)
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.oracle[key].append(value)
+
+    @rule(key=keys)
+    def delete_key(self, key):
+        expected = key in self.oracle and bool(self.oracle[key])
+        assert self.tree.delete(key) == expected
+        self.oracle.pop(key, None)
+
+    @rule(key=keys)
+    def search(self, key):
+        assert self.tree.search(key) == self.oracle.get(key, [])
+
+    @invariant()
+    def invariants_hold(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == sum(len(v) for v in self.oracle.values())
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(max_examples=30, deadline=None)

@@ -1,0 +1,136 @@
+"""Property-based tests for transaction atomicity and serializer totality."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.oodb import Database, Persistent
+
+
+class Cell(Persistent):
+    def __init__(self, value=0):
+        super().__init__()
+        self.value = value
+
+
+# JSON-ish nested values the serializer must round-trip exactly.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+nested = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+        st.tuples(inner, inner),
+    ),
+    max_leaves=15,
+)
+
+
+@given(nested)
+@settings(max_examples=100, deadline=None)
+def test_serializer_value_roundtrip(value):
+    db = Database()
+    try:
+        encoded = db.serializer.encode_value(value)
+        assert db.serializer.decode_value(encoded) == value
+    finally:
+        db.close()
+
+
+# A random program: a list of (op, cell_index, value, commit?) steps.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "create", "delete"]),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=-100, max_value=100),
+        st.booleans(),
+    ),
+    max_size=25,
+)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_aborted_transactions_leave_no_trace(program):
+    """Run each step inside a txn; aborted steps must change nothing."""
+    db = Database()
+    try:
+        cells = []
+        committed_state: dict[int, int] = {}
+        for op, index, value, commit in program:
+            txn = db.begin()
+            try:
+                if op == "create":
+                    cell = Cell(value)
+                    db.add(cell)
+                    cells.append(cell)
+                    if commit:
+                        committed_state[len(cells) - 1] = value
+                elif op == "set" and cells:
+                    target = index % len(cells)
+                    if cells[target].is_persistent:
+                        cells[target].value = value
+                        if commit:
+                            committed_state[target] = value
+                elif op == "delete" and cells:
+                    target = index % len(cells)
+                    if cells[target].is_persistent:
+                        db.delete(cells[target])
+                        if commit:
+                            committed_state.pop(target, None)
+                if commit:
+                    db.txn_manager.commit(txn)
+                else:
+                    db.txn_manager.rollback(txn)
+            except Exception:
+                db.txn_manager.rollback(txn)
+                raise
+        # The observable state equals exactly the committed effects.
+        for index, expected in committed_state.items():
+            assert cells[index].is_persistent
+            assert cells[index].value == expected
+        live = {i for i, c in enumerate(cells) if c.is_persistent}
+        assert live == set(committed_state)
+    finally:
+        db.close()
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_commit_abort_alternation_on_disk(tmp_path_factory, values):
+    """Even-indexed updates commit, odd-indexed abort; disk state follows."""
+    path = tmp_path_factory.mktemp("prop") / "db"
+    db = Database(str(path), sync=False)
+    try:
+        cell = Cell(0)
+        db.add(cell)
+        db.commit()
+        expected = 0
+        for i, value in enumerate(values):
+            if i % 2 == 0:
+                with db.transaction():
+                    cell.value = value
+                expected = value
+            else:
+                try:
+                    with db.transaction():
+                        cell.value = value
+                        raise RuntimeError
+                except RuntimeError:
+                    pass
+            assert cell.value == expected
+    finally:
+        db.close()
+    reopened = Database(str(path), sync=False)
+    try:
+        assert reopened.fetch(cell.oid).value == expected
+    finally:
+        reopened.close()

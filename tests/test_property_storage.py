@@ -1,0 +1,103 @@
+"""Property-based tests for the storage layer (pages and heap files)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.oodb.buffer import BufferPool
+from repro.oodb.storage.heap import HeapFile
+from repro.oodb.storage.pages import MAX_RECORD_SIZE, Page
+
+payloads = st.binary(min_size=0, max_size=300)
+
+
+@given(st.lists(payloads, max_size=12))
+def test_page_roundtrip_any_payloads(records):
+    page = Page(0)
+    stored = []
+    for payload in records:
+        if page.fits(payload):
+            stored.append((page.insert(payload), payload))
+    restored = Page.from_bytes(page.to_bytes())
+    for slot, payload in stored:
+        assert restored.read(slot) == payload
+
+
+@given(st.lists(st.tuples(payloads, st.booleans()), max_size=15))
+def test_page_insert_delete_consistency(steps):
+    page = Page(0)
+    live: dict[int, bytes] = {}
+    for payload, delete_one in steps:
+        if delete_one and live:
+            slot = next(iter(live))
+            page.delete(slot)
+            del live[slot]
+        elif page.fits(payload):
+            live[page.insert(payload)] = payload
+    assert page.live_count == len(live)
+    assert dict(page.records()) == live
+
+
+@given(st.integers(min_value=0, max_value=MAX_RECORD_SIZE))
+def test_page_accepts_any_legal_size(size):
+    page = Page(0)
+    slot = page.insert(b"z" * size)
+    assert len(page.read(slot)) == size
+
+
+class HeapMachine(RuleBasedStateMachine):
+    """Random insert/update/delete/reopen against a dict oracle."""
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self._dir = tempfile.mkdtemp(prefix="heap-prop-")
+        self._path = f"{self._dir}/h.heap"
+        self.heap = HeapFile(self._path, BufferPool(capacity=4))
+        self.oracle: dict = {}
+
+    def teardown(self):
+        import shutil
+
+        self.heap.close()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+    @rule(payload=st.binary(min_size=1, max_size=500))
+    def insert(self, payload):
+        rid = self.heap.insert(payload)
+        assert rid not in self.oracle
+        self.oracle[rid] = payload
+
+    @precondition(lambda self: self.oracle)
+    @rule(payload=st.binary(min_size=1, max_size=500), data=st.data())
+    def update(self, payload, data):
+        rid = data.draw(st.sampled_from(sorted(self.oracle)))
+        new_rid = self.heap.update(rid, payload)
+        del self.oracle[rid]
+        self.oracle[new_rid] = payload
+
+    @precondition(lambda self: self.oracle)
+    @rule(data=st.data())
+    def delete(self, data):
+        rid = data.draw(st.sampled_from(sorted(self.oracle)))
+        assert self.heap.delete(rid) == self.oracle.pop(rid)
+
+    @rule()
+    def reopen(self):
+        self.heap.close()
+        self.heap = HeapFile(self._path, BufferPool(capacity=4))
+
+    @invariant()
+    def contents_match_oracle(self):
+        assert dict(self.heap.scan()) == self.oracle
+
+
+TestHeapStateful = HeapMachine.TestCase
+TestHeapStateful.settings = settings(
+    max_examples=20,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

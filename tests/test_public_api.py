@@ -1,0 +1,69 @@
+"""Public-API contract: everything advertised in ``__all__`` exists.
+
+A guard against docs/code drift: every name each package exports must be
+importable and be a class, function, or documented constant.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.events",
+    "repro.oodb",
+    "repro.oodb.storage",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.tools",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} has no __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_exported_classes_documented(package_name):
+    package = importlib.import_module(package_name)
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if isinstance(obj, type):
+            assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+def test_top_level_surface_is_usable():
+    """The README quickstart names must all come from `repro` directly."""
+    import repro
+
+    for name in (
+        "Sentinel",
+        "Reactive",
+        "Notifiable",
+        "event_method",
+        "class_rule",
+        "monitor",
+        "Rule",
+        "Primitive",
+        "Conjunction",
+        "Disjunction",
+        "Sequence",
+        "Database",
+        "Persistent",
+        "TransactionAborted",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)

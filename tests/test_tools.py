@@ -1,0 +1,101 @@
+"""Tests for the database inspection tool."""
+
+import pytest
+
+from repro.core import Sentinel
+from repro.oodb import Database, Persistent
+from repro.tools import summarize
+from repro.tools.inspect import dump_object, main
+from repro.workloads import Account
+
+
+class Widget(Persistent):
+    def __init__(self, size=1):
+        super().__init__()
+        self.size = size
+
+
+@pytest.fixture
+def populated(tmp_path):
+    path = str(tmp_path / "db")
+    system = Sentinel(path=path, adopt_class_rules=False)
+    with system:
+        db = system.db
+        with db.transaction():
+            widget = Widget(5)
+            db.add(widget)
+            db.add(Widget(7))
+            db.set_root("main-widget", widget)
+        db.create_index(Widget, "size")
+        rule = system.rule_from_spec(
+            "RULE Stored\nON end Account::deposit(float amount)",
+            persist=True,
+        )
+        account = Account("X", 0.0)
+        account.subscribe(rule)
+        account.deposit(5.0)
+        db.commit()
+        system.close()
+    return path
+
+
+class TestSummarize:
+    def test_counts_and_classes(self, populated):
+        summary = summarize(populated)
+        assert summary.classes["Widget"] == 2
+        assert summary.object_count >= 3  # widgets + root map + rule bits
+
+    def test_roots_listed(self, populated):
+        summary = summarize(populated)
+        assert "main-widget" in summary.roots
+        assert "Widget" in summary.roots["main-widget"]
+
+    def test_indexes_listed(self, populated):
+        summary = summarize(populated)
+        assert "Widget.size" in summary.indexes
+
+    def test_stored_rules_described(self, populated):
+        summary = summarize(populated)
+        names = [r["name"] for r in summary.rules]
+        assert "Stored" in names
+        stored = next(r for r in summary.rules if r["name"] == "Stored")
+        assert stored["coupling"] == "immediate"
+        assert stored["triggered"] == 1
+
+    def test_render_plain_and_detailed(self, populated):
+        summary = summarize(populated)
+        plain = summary.render()
+        detailed = summary.render(show_rules=True)
+        assert "objects:" in plain
+        assert "Stored" in detailed
+        assert len(detailed) >= len(plain)
+
+
+class TestDumpObject:
+    def test_dump_existing(self, populated):
+        summary = summarize(populated)
+        # find the widget oid from the root listing: "Widget @<n>"
+        oid_value = int(summary.roots["main-widget"].split("@")[1])
+        text = dump_object(populated, oid_value)
+        assert "class=Widget" in text
+        assert "size = 5" in text
+
+    def test_dump_missing(self, populated):
+        assert "no object" in dump_object(populated, 99_999)
+
+
+class TestCli:
+    def test_main_summary(self, populated, capsys):
+        assert main([populated]) == 0
+        out = capsys.readouterr().out
+        assert "database:" in out and "Widget" in out
+
+    def test_main_rules_flag(self, populated, capsys):
+        assert main([populated, "--rules"]) == 0
+        assert "Stored" in capsys.readouterr().out
+
+    def test_main_oid_flag(self, populated, capsys):
+        summary = summarize(populated)
+        oid_value = int(summary.roots["main-widget"].split("@")[1])
+        assert main([populated, "--oid", str(oid_value)]) == 0
+        assert "class=Widget" in capsys.readouterr().out

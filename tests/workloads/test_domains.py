@@ -1,0 +1,121 @@
+"""Tests for the example domain classes."""
+
+import pytest
+
+from repro.workloads import (
+    Account,
+    Employee,
+    FinancialInfo,
+    Manager,
+    Patient,
+    Person,
+    Physician,
+    Portfolio,
+    Stock,
+)
+from repro.workloads.domains import InsufficientFunds
+
+
+class TestStockAndMarket:
+    def test_price_update(self):
+        stock = Stock("IBM", 100.0)
+        stock.set_price(120.0)
+        assert stock.get_price() == 120.0
+
+    def test_financial_info_change_percent(self):
+        dow = FinancialInfo("DJ", 10_000.0)
+        dow.set_value(10_500.0)
+        assert dow.change == pytest.approx(5.0)
+        dow.set_value(10_395.0)
+        assert dow.change == pytest.approx(-1.0)
+
+    def test_change_from_zero(self):
+        info = FinancialInfo("Z", 0.0)
+        info.set_value(10.0)
+        assert info.change == 0.0
+
+
+class TestPortfolio:
+    def test_purchase_and_sell(self):
+        portfolio = Portfolio("P", cash=1_000.0)
+        portfolio.purchase("IBM", 5, 100.0)
+        assert portfolio.cash == 500.0
+        assert portfolio.holdings == {"IBM": 5}
+        portfolio.sell("IBM", 2, 110.0)
+        assert portfolio.cash == 720.0
+        assert portfolio.holdings == {"IBM": 3}
+        assert len(portfolio.trades) == 2
+
+    def test_oversell_rejected(self):
+        portfolio = Portfolio("P")
+        with pytest.raises(ValueError):
+            portfolio.sell("IBM", 1, 10.0)
+
+
+class TestPayroll:
+    def test_manager_reports(self):
+        mike = Manager("Mike", 100.0)
+        fred = Employee("Fred", 50.0)
+        mike.add_report(fred)
+        assert fred.manager is mike
+        assert mike.salary_greater_than_all_reports()
+        fred.set_salary(200.0)
+        assert not mike.salary_greater_than_all_reports()
+
+    def test_change_salary_is_delta(self):
+        fred = Employee("Fred", 50.0)
+        fred.change_salary(10.0)
+        assert fred.salary == 60.0
+
+    def test_manager_is_employee(self):
+        assert isinstance(Manager("M", 1.0), Employee)
+
+    def test_get_name_is_passive(self):
+        from repro.core import event_generators
+
+        assert "get_name" not in event_generators(Employee)
+
+
+class TestAccount:
+    def test_deposit_withdraw(self):
+        account = Account("A", 100.0)
+        assert account.deposit(50.0) == 150.0
+        assert account.withdraw(30.0) == 120.0
+
+    def test_overdraft_rejected(self):
+        account = Account("A", 10.0)
+        with pytest.raises(InsufficientFunds):
+            account.withdraw(100.0)
+        assert account.balance == 10.0
+
+    def test_nonpositive_amounts_rejected(self):
+        account = Account("A", 10.0)
+        with pytest.raises(ValueError):
+            account.deposit(0)
+        with pytest.raises(ValueError):
+            account.withdraw(-5)
+
+
+class TestClinic:
+    def test_patient_vitals(self):
+        patient = Patient("p")
+        patient.record_temperature(39.5)
+        patient.record_heart_rate(120)
+        patient.diagnose("flu")
+        patient.prescribe("rest")
+        assert patient.temperature == 39.5
+        assert patient.heart_rate == 120
+        assert patient.condition == "flu"
+        assert patient.medications == ["rest"]
+
+    def test_physician_alerts(self):
+        physician = Physician("d")
+        physician.alert("check patient 3")
+        assert physician.alerts == ["check patient 3"]
+
+
+class TestMarriage:
+    def test_marriage_links_both(self):
+        alice, bob = Person("Alice", "F"), Person("Bob", "M")
+        alice.marry(bob)
+        assert alice.spouse is bob and bob.spouse is alice

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    EventStreamGenerator,
+    make_employees,
+    make_stocks,
+    uniform_updates,
+)
+
+
+class TestPopulations:
+    def test_make_stocks_deterministic(self):
+        first = make_stocks(10, seed=3)
+        second = make_stocks(10, seed=3)
+        assert [s.price for s in first] == [s.price for s in second]
+        assert [s.symbol for s in first] == [f"SYM{i:04d}" for i in range(10)]
+
+    def test_make_employees_attaches_managers(self):
+        employees, managers = make_employees(10, managers=2)
+        assert len(employees) == 10 and len(managers) == 2
+        assert all(e.manager in managers for e in employees)
+        assert len(managers[0].reports) == 5
+
+    def test_make_employees_no_managers(self):
+        employees, managers = make_employees(3)
+        assert managers == []
+        assert all(e.manager is None for e in employees)
+
+
+class TestUniformUpdates:
+    def test_applies_count(self):
+        stocks = make_stocks(5)
+        calls = []
+        applied = uniform_updates(
+            stocks, 20, lambda obj, rng: calls.append(obj)
+        )
+        assert applied == 20
+        assert len(calls) == 20
+        assert all(c in stocks for c in calls)
+
+    def test_deterministic_choice(self):
+        stocks = make_stocks(5)
+        first, second = [], []
+        uniform_updates(stocks, 10, lambda o, r: first.append(o.symbol), seed=1)
+        uniform_updates(stocks, 10, lambda o, r: second.append(o.symbol), seed=1)
+        assert first == second
+
+
+class TestEventStreamGenerator:
+    def make(self, **kwargs):
+        return EventStreamGenerator(
+            population=4,
+            methods={
+                "set_price": lambda rng: (round(rng.uniform(1, 100), 2),),
+                "get_price": lambda rng: (),
+            },
+            **kwargs,
+        )
+
+    def test_items_reproducible(self):
+        generator = self.make(seed=5)
+        first = [(i.index, i.method, i.args) for i in generator.items(50)]
+        second = [(i.index, i.method, i.args) for i in generator.items(50)]
+        assert first == second
+
+    def test_weights_respected(self):
+        generator = self.make(weights={"set_price": 1.0, "get_price": 0.0})
+        assert all(i.method == "set_price" for i in generator.items(100))
+
+    def test_replay_invokes_methods(self):
+        from repro.workloads import Stock
+
+        stocks = [Stock(f"S{i}", 1.0) for i in range(4)]
+        generator = self.make(weights={"set_price": 1.0, "get_price": 0.0})
+        applied = generator.replay(stocks, 30)
+        assert applied == 30
+        assert any(s.price != 1.0 for s in stocks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventStreamGenerator(population=0, methods={"m": lambda r: ()})
+        with pytest.raises(ValueError):
+            EventStreamGenerator(population=1, methods={})
