@@ -13,13 +13,26 @@ the series without pytest-benchmark's statistics machinery:
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
-sys.path.insert(0, __file__.rsplit("/", 2)[0])  # repo root, for `benchmarks`
+_REPO_ROOT = __file__.rsplit("/", 2)[0]
+sys.path.insert(0, _REPO_ROOT)  # repo root, for `benchmarks`
 
 from repro.core import Notifiable, Reactive, Rule, Sentinel, event_method
+from repro.stats import pipeline_stats, reset_pipeline_stats
 from repro.workloads import Stock, make_stocks, uniform_updates
+
+
+def write_baseline(name: str, payload: dict) -> str:
+    """Write a benchmark baseline JSON next to the repo root."""
+    path = os.path.join(_REPO_ROOT, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def timed(fn, *args, repeat=300):
@@ -183,6 +196,149 @@ def report_e16():
     )
 
 
+def report_hotpath():
+    """Event→rule hot path: the E9 ladder plus consumer-cache engagement.
+
+    Writes ``BENCH_hotpath.json`` at the repo root — the committed baseline
+    the perf work is gated against.
+    """
+    from benchmarks.test_bench_event_overhead import (
+        NullConsumer,
+        PassiveCounter,
+        ReactiveCounter,
+    )
+
+    with Sentinel(adopt_class_rules=False):
+        passive = PassiveCounter()
+        unsub = ReactiveCounter()
+        sub = ReactiveCounter()
+        sub.subscribe(NullConsumer())
+
+        passive_us = timed(passive.bump, repeat=3000)
+        unsub_us = timed(unsub.bump, repeat=3000)
+        reset_pipeline_stats()
+        sub_us = timed(sub.bump, repeat=3000)
+        stats = pipeline_stats.snapshot()
+
+    overhead_us = sub_us - passive_us
+    total = stats["consumer_cache_hits"] + stats["consumer_cache_misses"]
+    hit_rate = stats["consumer_cache_hits"] / total if total else 0.0
+    payload = {
+        "passive_call_us": round(passive_us, 4),
+        "reactive_unsubscribed_us": round(unsub_us, 4),
+        "reactive_subscribed_us": round(sub_us, 4),
+        "per_event_overhead_us": round(overhead_us, 4),
+        "subscribed_over_passive": round(sub_us / passive_us, 2),
+        "consumer_cache_hit_rate": round(hit_rate, 4),
+        "consumer_cache_hits": stats["consumer_cache_hits"],
+        "consumer_cache_misses": stats["consumer_cache_misses"],
+    }
+    path = write_baseline("BENCH_hotpath.json", payload)
+    table(
+        "HOTPATH: event pipeline baseline (µs)",
+        ("metric", "value"),
+        sorted(payload.items()),
+    )
+    print(f"wrote {path}")
+
+
+def report_oodb():
+    """OODB write path: bulk commit throughput with and without group commit.
+
+    Writes ``BENCH_oodb.json`` at the repo root.
+    """
+    import shutil
+    import tempfile
+
+    from repro.oodb.database import Database
+    from repro.oodb.schema import ClassRegistry, Persistent
+
+    registry = ClassRegistry()
+
+    class Item(Persistent):
+        def __init__(self, n: int) -> None:
+            super().__init__()
+            self.n = n
+            self.name = f"item-{n}"
+            self.price = float(n)
+
+    registry.register(Item)
+
+    def best_seconds(fn, trials=7):
+        results = []
+        for _ in range(trials):
+            start = time.perf_counter()
+            fn()
+            results.append(time.perf_counter() - start)
+        return min(results)
+
+    def measure(group_commit: bool) -> dict:
+        directory = tempfile.mkdtemp(prefix="repro-bench-oodb-")
+        db = Database(
+            directory, registry=registry, sync=False, group_commit=group_commit
+        )
+        try:
+
+            def create200():
+                with db.transaction():
+                    for i in range(200):
+                        db.add(Item(i))
+
+            create_s = best_seconds(create200)
+            objs = []
+            with db.transaction():
+                for i in range(200):
+                    obj = Item(i)
+                    db.add(obj)
+                    objs.append(obj)
+
+            def update200():
+                with db.transaction():
+                    for obj in objs:
+                        obj.price += 1.0
+
+            update_s = best_seconds(update200)
+        finally:
+            db.close()
+            shutil.rmtree(directory, ignore_errors=True)
+        return {
+            "create_commit_200_objs_per_s": round(200 / create_s),
+            "update_commit_200_objs_per_s": round(200 / update_s),
+        }
+
+    reset_pipeline_stats()
+    grouped = measure(group_commit=True)
+    stats = pipeline_stats.snapshot()
+    per_record = measure(group_commit=False)
+
+    payload = {
+        "group_commit": grouped,
+        "per_record_logging": per_record,
+        "group_over_per_record_create": round(
+            grouped["create_commit_200_objs_per_s"]
+            / per_record["create_commit_200_objs_per_s"],
+            2,
+        ),
+        "serializer_fast_objects": stats["serializer_fast_objects"],
+        "serializer_slow_objects": stats["serializer_slow_objects"],
+        "group_commits": stats["group_commits"],
+        "group_commit_records": stats["group_commit_records"],
+        "wal_syncs": stats["wal_syncs"],
+    }
+    path = write_baseline("BENCH_oodb.json", payload)
+    table(
+        "OODB: bulk-commit throughput (objs/s, sync=False)",
+        ("configuration", "create", "update"),
+        [
+            ("group commit", grouped["create_commit_200_objs_per_s"],
+             grouped["update_commit_200_objs_per_s"]),
+            ("per-record logging", per_record["create_commit_200_objs_per_s"],
+             per_record["update_commit_200_objs_per_s"]),
+        ],
+    )
+    print(f"wrote {path}")
+
+
 REPORTS = {
     "E8": report_e8,
     "E9": report_e9,
@@ -190,6 +346,8 @@ REPORTS = {
     "E11": report_e11,
     "E14": report_e14,
     "E16": report_e16,
+    "HOTPATH": report_hotpath,
+    "OODB": report_oodb,
 }
 
 

@@ -169,6 +169,52 @@ def test_garbage_collection(benchmark, tmp_path):
     assert swept == 500
 
 
+def test_group_commit_batch(benchmark, tmp_path):
+    benchmark.group = "E15 object store"
+    benchmark.name = f"create+commit batch of {BATCH} (group commit)"
+    database = Database(str(tmp_path / "db"), sync=False, group_commit=True)
+
+    def run():
+        with database.transaction():
+            for i in range(BATCH):
+                database.add(Record(key=i, payload="x" * 50))
+
+    benchmark.pedantic(run, rounds=10)
+    database.close()
+
+
+def test_per_record_logging_batch(benchmark, tmp_path):
+    benchmark.group = "E15 object store"
+    benchmark.name = f"create+commit batch of {BATCH} (per-record logging)"
+    database = Database(str(tmp_path / "db"), sync=False, group_commit=False)
+
+    def run():
+        with database.transaction():
+            for i in range(BATCH):
+                database.add(Record(key=i, payload="x" * 50))
+
+    benchmark.pedantic(run, rounds=10)
+    database.close()
+
+
+def test_shape_group_commit_batches_wal_writes(tmp_path):
+    """One transaction → one group commit covering every logged record."""
+    from repro.stats import pipeline_stats, reset_pipeline_stats
+
+    database = Database(str(tmp_path / "db"), sync=False, group_commit=True)
+    try:
+        reset_pipeline_stats()
+        with database.transaction():
+            for i in range(BATCH):
+                database.add(Record(key=i))
+        assert pipeline_stats.group_commits == 1
+        # BEGIN + one update per object + COMMIT, in a single flush.
+        assert pipeline_stats.group_commit_records == BATCH + 2
+        assert pipeline_stats.wal_syncs <= 1
+    finally:
+        database.close()
+
+
 def test_shape_indexed_query_beats_scan(loaded_db):
     import time
 

@@ -56,6 +56,7 @@ from .core import (
     parse_rule,
 )
 from .oodb import Database, ObjectNotFound, Oid, Persistent, TransactionAborted
+from .stats import PipelineStats, pipeline_stats, reset_pipeline_stats
 
 __version__ = "1.0.0"
 
@@ -87,4 +88,7 @@ __all__ = [
     "Oid",
     "TransactionAborted",
     "ObjectNotFound",
+    "PipelineStats",
+    "pipeline_stats",
+    "reset_pipeline_stats",
 ]

@@ -18,6 +18,7 @@ from .dsl import (
     parse_event,
     parse_rule,
 )
+from .identity import IdentitySet
 from .events import (
     Any,
     Aperiodic,
@@ -70,6 +71,7 @@ __all__ = [
     "event_generators",
     "EventSpec",
     "subscribe_all",
+    "IdentitySet",
     # occurrences
     "Occurrence",
     "EventOccurrence",

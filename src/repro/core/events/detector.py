@@ -16,9 +16,9 @@ where its counters measure detection work.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
+from ..identity import IdentitySet
 from ..notifiable import Notifiable
 from ..occurrence import EventOccurrence, Occurrence
 from .base import Event
@@ -26,6 +26,19 @@ from .extended import _Pollable
 from .primitive import Primitive
 
 __all__ = ["EventDetector", "DetectorStats"]
+
+# Routing keys are pre-normalized at registration; at feed time the
+# occurrence's method name is looked up in this intern table instead of
+# re-lowercasing it for every occurrence.  Method-name cardinality is the
+# size of the monitored event interfaces — tiny and bounded.
+_lowered_names: dict[str, str] = {}
+
+
+def _routing_name(method: str) -> str:
+    low = _lowered_names.get(method)
+    if low is None:
+        low = _lowered_names[method] = method.lower()
+    return low
 
 
 @dataclass(slots=True)
@@ -56,17 +69,16 @@ class EventDetector(Notifiable):
 
     def __init__(self) -> None:
         super().__init__()
-        object.__setattr__(self, "_roots", [])
-        object.__setattr__(self, "_leaf_index", defaultdict(list))
-        object.__setattr__(self, "_pollables", [])
-        object.__setattr__(self, "stats", DetectorStats())
-        object.__setattr__(self, "_sink", _SignalSink(self))
+        self._init_transient_wiring()
 
     def _p_after_load(self) -> None:
         """Fresh transient wiring after materialization from storage."""
-        object.__setattr__(self, "_roots", [])
-        object.__setattr__(self, "_leaf_index", defaultdict(list))
-        object.__setattr__(self, "_pollables", [])
+        self._init_transient_wiring()
+
+    def _init_transient_wiring(self) -> None:
+        object.__setattr__(self, "_roots", IdentitySet())
+        object.__setattr__(self, "_leaf_index", {})
+        object.__setattr__(self, "_pollables", IdentitySet())
         object.__setattr__(self, "stats", DetectorStats())
         object.__setattr__(self, "_sink", _SignalSink(self))
 
@@ -75,26 +87,22 @@ class EventDetector(Notifiable):
     # ------------------------------------------------------------------
     def register(self, event: Event) -> Event:
         """Add an event graph; returns the event for chaining."""
-        if any(existing is event for existing in self._roots):
+        if not self._roots.add(event):
             return event
-        self._roots.append(event)
         event.add_listener(self._sink)
         for leaf in event.leaves():
             if isinstance(leaf, _Pollable):
-                self._pollables.append(leaf)
+                self._pollables.add(leaf)
         self._index_leaves(event)
         return event
 
     def unregister(self, event: Event) -> None:
-        for i, existing in enumerate(self._roots):
-            if existing is event:
-                del self._roots[i]
-                event.remove_listener(self._sink)
-                break
+        if self._roots.discard(event):
+            event.remove_listener(self._sink)
         self._rebuild_index()
 
     def roots(self) -> list[Event]:
-        return list(self._roots)
+        return self._roots.as_list()
 
     def _index_leaves(self, event: Event) -> None:
         stack: list[Event] = [event]
@@ -107,15 +115,14 @@ class EventDetector(Notifiable):
             kids = node.children()
             if kids:
                 stack.extend(kids)
-                if isinstance(node, _Pollable) and not any(
-                    p is node for p in self._pollables
-                ):
-                    self._pollables.append(node)
+                if isinstance(node, _Pollable):
+                    self._pollables.add(node)
             elif isinstance(node, Primitive):
-                key = (node.signature.modifier, node.signature.method.lower())
-                bucket = self._leaf_index[key]
-                if not any(existing is node for existing in bucket):
-                    bucket.append(node)
+                key = (node.signature.modifier, _routing_name(node.signature.method))
+                bucket = self._leaf_index.get(key)
+                if bucket is None:
+                    bucket = self._leaf_index[key] = IdentitySet()
+                bucket.add(node)
 
     def _rebuild_index(self) -> None:
         self._leaf_index.clear()
@@ -135,11 +142,16 @@ class EventDetector(Notifiable):
         if not isinstance(occurrence, EventOccurrence):
             return
         self.stats.fed += 1
-        key = (occurrence.modifier, occurrence.method.lower())
-        for leaf in self._leaf_index.get(key, ()):
-            self.stats.leaf_deliveries += 1
-            leaf.notify(occurrence)
-        self.poll(occurrence.timestamp)
+        key = (occurrence.modifier, _routing_name(occurrence.method))
+        bucket = self._leaf_index.get(key)
+        if bucket is not None:
+            deliveries = 0
+            for leaf in bucket:
+                deliveries += 1
+                leaf.notify(occurrence)
+            self.stats.leaf_deliveries += deliveries
+        if self._pollables:
+            self.poll(occurrence.timestamp)
 
     def poll(self, now: float | None = None) -> int:
         """Drive the clock-based operators; returns signals emitted."""

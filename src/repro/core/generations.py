@@ -1,0 +1,96 @@
+"""Generation counters for the consumer-snapshot cache.
+
+Reactive objects cache their resolved consumer set (instance subscribers
+merged with class-level rules along the MRO) so a monitored method call
+does not re-derive it.  The cache is validated by two monotonic counters:
+
+* a **per-instance** subscription generation, bumped by
+  ``Reactive.subscribe``/``unsubscribe`` (lives on the instance);
+* the **class generation** defined here, bumped whenever *any* class's
+  ``_class_consumers`` list changes or a rule's enabled flag flips.
+
+A single process-wide class generation (rather than one per class) keeps
+the hot-path check to one integer comparison; class-level rule mutations
+are rare enough that invalidating every instance cache on each one is the
+right trade.
+
+``_class_consumers`` lists are :class:`ClassConsumerList` instances so
+that *direct* mutation — the benchmarks append rules to
+``Stock._class_consumers`` without going through any API — still bumps the
+generation and invalidates the caches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "class_generation",
+    "bump_class_generation",
+    "ClassConsumerList",
+]
+
+# A one-element list, not a bare int: hot paths read ``_class_gen[0]``
+# through the imported reference, and writers mutate in place.
+_class_gen: list[int] = [0]
+
+
+def class_generation() -> int:
+    """Current value of the process-wide class-consumer generation."""
+    return _class_gen[0]
+
+
+def bump_class_generation() -> int:
+    """Invalidate every consumer-snapshot cache; returns the new value."""
+    _class_gen[0] += 1
+    return _class_gen[0]
+
+
+class ClassConsumerList(list):
+    """A list whose mutations bump the class generation.
+
+    Installed by ``ReactiveMeta`` as every reactive class's
+    ``_class_consumers``, so rule attachment/detachment — via
+    ``materialize_class_rules`` or direct list surgery — is always
+    observed by the caches.
+    """
+
+    __slots__ = ()
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        bump_class_generation()
+
+    def extend(self, items: Iterable[Any]) -> None:
+        super().extend(items)
+        bump_class_generation()
+
+    def insert(self, index: int, item: Any) -> None:
+        super().insert(index, item)
+        bump_class_generation()
+
+    def remove(self, item: Any) -> None:
+        super().remove(item)
+        bump_class_generation()
+
+    def pop(self, index: int = -1) -> Any:
+        value = super().pop(index)
+        bump_class_generation()
+        return value
+
+    def clear(self) -> None:
+        super().clear()
+        bump_class_generation()
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        super().__setitem__(index, value)
+        bump_class_generation()
+
+    def __delitem__(self, index: Any) -> None:
+        super().__delitem__(index)
+        bump_class_generation()
+
+    def __iadd__(self, items: Iterable[Any]) -> "ClassConsumerList":
+        super().extend(items)
+        bump_class_generation()
+        return self

@@ -1,0 +1,79 @@
+"""Identity-keyed collections for consumer/listener bookkeeping.
+
+Subscription lists throughout the system are *identity* sets: an object is
+subscribed at most once, and membership means "this exact object", never
+``__eq__`` equality (two distinct rules can compare equal but must both be
+notified).  The seed implementation expressed this with
+``any(existing is x for existing in items)`` scans, which makes every
+subscribe/register O(n) and a subscribe-all loop O(n²).
+
+:class:`IdentitySet` keeps the insertion-ordered list (delivery order is
+part of the observable behaviour) next to an ``id()``-keyed set, so
+membership tests and deduplicating inserts are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["IdentitySet"]
+
+
+class IdentitySet:
+    """An insertion-ordered set keyed by object identity.
+
+    Holds strong references (members stay alive while subscribed), so the
+    ``id()`` keys cannot be recycled behind our back.
+    """
+
+    __slots__ = ("_items", "_ids")
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._items: list[Any] = []
+        self._ids: set[int] = set()
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Any) -> bool:
+        """Insert ``item`` if absent; returns True when it was added."""
+        key = id(item)
+        if key in self._ids:
+            return False
+        self._ids.add(key)
+        self._items.append(item)
+        return True
+
+    def discard(self, item: Any) -> bool:
+        """Remove ``item`` if present; returns True when it was removed."""
+        key = id(item)
+        if key not in self._ids:
+            return False
+        self._ids.remove(key)
+        for i, existing in enumerate(self._items):
+            if existing is item:
+                del self._items[i]
+                break
+        return True
+
+    def __contains__(self, item: Any) -> bool:
+        return id(item) in self._ids
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._ids.clear()
+
+    def as_list(self) -> list[Any]:
+        """A copy of the members in insertion order."""
+        return list(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdentitySet({self._items!r})"

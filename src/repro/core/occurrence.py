@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
@@ -32,14 +31,15 @@ __all__ = [
     "next_sequence",
 ]
 
+# ``itertools.count.__next__`` is a single C call and therefore atomic
+# under the GIL — no lock needed on a counter consulted once per event.
 _sequence = itertools.count(1)
-_sequence_lock = threading.Lock()
+_next_sequence = _sequence.__next__
 
 
 def next_sequence() -> int:
     """Next value of the global occurrence sequence (total detection order)."""
-    with _sequence_lock:
-        return next(_sequence)
+    return _next_sequence()
 
 
 class EventModifier(enum.Enum):
@@ -90,22 +90,31 @@ class Occurrence:
 
     def sources(self) -> list[Any]:
         """The distinct reactive objects that produced the constituents."""
-        seen: list[Any] = []
+        result: list[Any] = []
+        seen: set[int] = set()
         for part in self.constituents:
-            if part.source is not None and not any(
-                part.source is s for s in seen
-            ):
-                seen.append(part.source)
-        return seen
+            source = part.source
+            if source is not None and id(source) not in seen:
+                seen.add(id(source))
+                result.append(source)
+        return result
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(eq=False, slots=True)
 class EventOccurrence(Occurrence):
     """One primitive event: a designated method was invoked.
 
     ``class_names`` holds the full persistent-class MRO of the source, so
     that an event declared on a superclass matches occurrences produced by
     subclass instances (rule inheritance, §5.1).
+
+    Occurrences are **read-only messages**: one is built per monitored
+    invocation, so construction is on the hottest path in the system.
+    ``eq=False`` (identity equality/hashing — each occurrence is unique by
+    ``seq`` anyway) without ``frozen`` keeps the generated ``__init__`` to
+    plain slot stores; a frozen dataclass pays an ``object.__setattr__``
+    call per field, which more than doubles construction cost.  Nothing
+    may mutate an occurrence after construction.
     """
 
     class_name: str
@@ -119,7 +128,7 @@ class EventOccurrence(Occurrence):
     result: Any = None
     class_names: tuple[str, ...] = ()
     timestamp: float = field(default_factory=lambda: get_clock().now())
-    seq: int = field(default_factory=next_sequence)
+    seq: int = field(default_factory=_next_sequence)
 
     @property
     def constituents(self) -> tuple["EventOccurrence", ...]:
@@ -142,7 +151,7 @@ class EventOccurrence(Occurrence):
         return f"[{self.seq}] {self.signature_text}{oid}"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(eq=False, slots=True)
 class CompositeOccurrence(Occurrence):
     """A composite event signalled by an operator (§4.3).
 

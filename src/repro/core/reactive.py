@@ -19,6 +19,14 @@ Class-level consumers hold the rules declared in class definitions (§4.7):
 they receive events from *every* instance of the class (and its
 subclasses) without per-instance subscription — the paper's "efficient
 mechanism for associating rules to all instances of a class".
+
+Hot path: the resolved consumer set (instance subscribers merged with the
+class consumers along the MRO) is cached per instance as an immutable
+*snapshot* tuple, validated by generation counters (see
+:mod:`repro.core.generations`).  A monitored call on a warm object costs
+one attribute load and one integer comparison before it either takes the
+passive fast path (empty snapshot) or starts delivering — no MRO walk, no
+identity scans, no list building.
 """
 
 from __future__ import annotations
@@ -26,6 +34,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Iterable
 
 from ..oodb.schema import Persistent
+from ..stats import pipeline_stats
+from .generations import _class_gen
+from .identity import IdentitySet
 from .interface import ReactiveMeta
 from .occurrence import EventModifier, EventOccurrence
 from .runtime import current_scheduler
@@ -34,6 +45,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from .notifiable import Notifiable
 
 __all__ = ["Reactive", "subscribe_all"]
+
+#: Shared empty mapping for occurrences raised without keyword arguments —
+#: never mutated (EventOccurrence treats its mappings as read-only).
+_NO_KWARGS: dict[str, Any] = {}
 
 
 class Reactive(Persistent, metaclass=ReactiveMeta):
@@ -45,57 +60,81 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
     class provides the subscription and propagation machinery.
     """
 
-    _p_transient = ("_consumers",)
+    _p_transient = ("_consumers", "_consumer_cache", "_subscription_gen")
 
     def __init__(self) -> None:
         super().__init__()
-        object.__setattr__(self, "_consumers", [])
+        object.__setattr__(self, "_consumers", IdentitySet())
+        object.__setattr__(self, "_consumer_cache", None)
+        object.__setattr__(self, "_subscription_gen", 0)
 
     # ------------------------------------------------------------------
     # Subscription (the paper's Subscribe/Unsubscribe)
     # ------------------------------------------------------------------
     def subscribe(self, consumer: "Notifiable") -> None:
         """Add ``consumer`` to this object's consumer set (idempotent)."""
-        consumers = self._instance_consumers()
-        if not any(existing is consumer for existing in consumers):
-            consumers.append(consumer)
+        if self._instance_consumers().add(consumer):
+            self._invalidate_consumer_cache()
 
     def unsubscribe(self, consumer: "Notifiable") -> None:
         """Remove ``consumer``; unknown consumers are ignored."""
-        consumers = self._instance_consumers()
-        for i, existing in enumerate(consumers):
-            if existing is consumer:
-                del consumers[i]
-                return
+        if self._instance_consumers().discard(consumer):
+            self._invalidate_consumer_cache()
 
     def subscribers(self) -> list["Notifiable"]:
         """Instance-level consumers (excludes class-level rules)."""
-        return list(self._instance_consumers())
+        return self._instance_consumers().as_list()
+
+    def subscription_generation(self) -> int:
+        """Monotonic counter of subscribe/unsubscribe calls (observability)."""
+        return getattr(self, "_subscription_gen", 0)
+
+    def _invalidate_consumer_cache(self) -> None:
+        object.__setattr__(
+            self, "_subscription_gen", self.subscription_generation() + 1
+        )
+        object.__setattr__(self, "_consumer_cache", None)
+        pipeline_stats.consumer_cache_invalidations += 1
 
     def has_consumers(self) -> bool:
         """Cheap check used by event stubs to skip all event work."""
-        if self._instance_consumers():
-            return True
-        for klass in type(self).__mro__:
-            if klass.__dict__.get("_class_consumers"):
-                return True
-        return False
+        return bool(self._consumer_snapshot())
 
-    def _instance_consumers(self) -> list["Notifiable"]:
+    def _instance_consumers(self) -> IdentitySet:
         consumers = getattr(self, "_consumers", None)
         if consumers is None:
-            consumers = []
+            # Instances materialized from storage skip __init__.
+            consumers = IdentitySet()
             object.__setattr__(self, "_consumers", consumers)
         return consumers
 
     def _all_consumers(self) -> list["Notifiable"]:
         """Instance consumers plus class-level consumers along the MRO."""
-        result: list["Notifiable"] = list(self._instance_consumers())
-        for klass in type(self).__mro__:
-            for consumer in klass.__dict__.get("_class_consumers", ()):
-                if not any(existing is consumer for existing in result):
-                    result.append(consumer)
-        return result
+        return list(self._consumer_snapshot())
+
+    def _consumer_snapshot(self) -> tuple["Notifiable", ...]:
+        """The cached, resolved consumer tuple (rebuilt when stale)."""
+        cache = getattr(self, "_consumer_cache", None)
+        if cache is not None and cache[0] == _class_gen[0]:
+            pipeline_stats.consumer_cache_hits += 1
+            return cache[1]
+        return self._rebuild_consumer_snapshot()
+
+    def _rebuild_consumer_snapshot(self) -> tuple["Notifiable", ...]:
+        pipeline_stats.consumer_cache_misses += 1
+        # Read the generation *before* merging: a concurrent bump then
+        # stamps the cache stale, never fresh.
+        generation = _class_gen[0]
+        merged: list["Notifiable"] = self._instance_consumers().as_list()
+        class_consumers = _merged_class_consumers(type(self), generation)
+        if class_consumers:
+            seen = {id(consumer) for consumer in merged}
+            for consumer in class_consumers:
+                if id(consumer) not in seen:
+                    merged.append(consumer)
+        snapshot = tuple(merged)
+        object.__setattr__(self, "_consumer_cache", (generation, snapshot))
+        return snapshot
 
     # ------------------------------------------------------------------
     # Event generation and propagation (the paper's Notify)
@@ -107,12 +146,18 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
         immediate rules triggered by the same occurrence are ordered by
         the conflict-resolution policy rather than by subscription order.
         """
-        consumers = self._all_consumers()
+        consumers = self._consumer_snapshot()
         if not consumers:
             return 0
-        with current_scheduler().delivery_round():
+        scheduler = current_scheduler()
+        frame = scheduler._begin_round()
+        try:
             for consumer in consumers:
                 consumer.notify(occurrence)
+        except BaseException:
+            scheduler._abandon_round(frame)
+            raise
+        scheduler._finish_round(frame)
         return len(consumers)
 
     def raise_event(
@@ -131,7 +176,7 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
             method=name,
             modifier=modifier,
             args=(),
-            kwargs={},
+            kwargs=_NO_KWARGS,
             params=params,
             result=result,
         )
@@ -155,11 +200,34 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
             source=self,
             source_oid=self._p_oid,
             args=args,
-            kwargs=dict(kwargs),
+            # Event stubs pass a fresh kwargs dict per call; copying it
+            # again would only burn the hot path.
+            kwargs=kwargs if kwargs else _NO_KWARGS,
             params=params,
             result=result,
             class_names=_persistent_mro_names(cls),
         )
+
+
+def _merged_class_consumers(cls: type, generation: int) -> tuple[Any, ...]:
+    """Class-level consumers along ``cls``'s MRO, deduplicated by identity.
+
+    Cached on the class, keyed by the class generation, so instance-cache
+    rebuilds after a subscribe/unsubscribe do not re-walk the MRO.
+    """
+    cached = cls.__dict__.get("_class_consumer_merge")
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    merged: list[Any] = []
+    seen: set[int] = set()
+    for klass in cls.__mro__:
+        for consumer in klass.__dict__.get("_class_consumers", ()):
+            if id(consumer) not in seen:
+                seen.add(id(consumer))
+                merged.append(consumer)
+    result = tuple(merged)
+    cls._class_consumer_merge = (generation, result)  # type: ignore[attr-defined]
+    return result
 
 
 def _persistent_mro_names(cls: type) -> tuple[str, ...]:

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 from ..oodb.errors import TransactionAborted
 from .coupling import Coupling
 from .events.base import Event
+from .generations import bump_class_generation
 from .events.primitive import Primitive
 from .notifiable import Notifiable
 from .occurrence import Occurrence
@@ -211,9 +212,14 @@ class Rule(Reactive, Notifiable):
     # ------------------------------------------------------------------
     def enable(self) -> None:
         self.enabled = True
+        # Consumer-snapshot caches key on the class generation; bumping it
+        # here guarantees the state flip is observed by the next monitored
+        # call even if a cache should ever grow enabled-dependent data.
+        bump_class_generation()
 
     def disable(self) -> None:
         self.enabled = False
+        bump_class_generation()
 
     def update(
         self,

@@ -182,15 +182,33 @@ class RuleScheduler:
         Reactive objects wrap consumer notification in a round; at round
         exit the buffered rules run in conflict-resolution order.
         """
-        frame: list[tuple["Rule", Occurrence]] = []
-        self._frames.append(frame)
+        frame = self._begin_round()
         try:
             yield
-        finally:
-            popped = self._frames.pop()
-            assert popped is frame
-        for rule, occurrence in self.resolver(frame):
-            self._execute(rule, occurrence)
+        except BaseException:
+            self._abandon_round(frame)
+            raise
+        self._finish_round(frame)
+
+    # The three-call form below is the contextmanager unrolled: the hot
+    # path (Reactive.notify_consumers, once per propagated occurrence)
+    # calls it directly to skip the generator machinery.
+    def _begin_round(self) -> list[tuple["Rule", Occurrence]]:
+        frame: list[tuple["Rule", Occurrence]] = []
+        self._frames.append(frame)
+        return frame
+
+    def _abandon_round(self, frame: list[tuple["Rule", Occurrence]]) -> None:
+        """Pop the round without running it (delivery raised)."""
+        popped = self._frames.pop()
+        assert popped is frame
+
+    def _finish_round(self, frame: list[tuple["Rule", Occurrence]]) -> None:
+        popped = self._frames.pop()
+        assert popped is frame
+        if frame:
+            for rule, occurrence in self.resolver(frame):
+                self._execute(rule, occurrence)
 
     # ------------------------------------------------------------------
     # Scheduling (rules call this when their event signals)

@@ -71,6 +71,14 @@ class Database:
         registry.
     sync:
         Whether commits fsync the WAL (durability vs. speed).
+    fsync:
+        Finer-grained fsync policy (``"commit"``, ``"always"`` or
+        ``"never"``, see :data:`~repro.oodb.storage.wal.FSYNC_POLICIES`);
+        overrides ``sync`` when given.
+    group_commit:
+        Log each transaction as one batched WAL write (default) instead of
+        one write per record.  Same bytes on disk either way; the knob
+        exists so recovery can be exercised against both paths.
     locking:
         Whether to acquire per-object locks (needed only for multithreaded
         use; single-threaded benchmarks leave it off).
@@ -82,6 +90,8 @@ class Database:
         *,
         registry: ClassRegistry | None = None,
         sync: bool = True,
+        fsync: str | None = None,
+        group_commit: bool = True,
         locking: bool = False,
         buffer_capacity: int = 256,
     ) -> None:
@@ -90,6 +100,7 @@ class Database:
         # registry the application supplies.
         self.registry.register(RootMap)
         self.locking = locking
+        self.group_commit = group_commit
         self.locks = LockManager()
         self.extents = Extents(self.registry)
         self.indexes = IndexManager(self.registry.family)
@@ -114,7 +125,9 @@ class Database:
             os.makedirs(self._dir, exist_ok=True)
             self._pool = BufferPool(capacity=buffer_capacity)
             self._heap = HeapFile(os.path.join(self._dir, "data.heap"), self._pool)
-            self._wal = WriteAheadLog(os.path.join(self._dir, "wal.log"), sync=sync)
+            self._wal = WriteAheadLog(
+                os.path.join(self._dir, "wal.log"), sync=sync, fsync_policy=fsync
+            )
             self._memory_records = {}
             self.last_recovery = self._recover_and_load()
 
@@ -251,7 +264,8 @@ class Database:
         self._cache[oid] = obj
         class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
         self.extents.add(class_name, oid)
-        self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+        if self.indexes.covers(class_name):
+            self.indexes.on_add(class_name, oid, _plain_attrs(obj))
         txn.note_created(obj)
         return oid
 
@@ -406,30 +420,43 @@ class Database:
     def _apply_commit(self, txn: Transaction) -> None:
         # Serializing touched objects can pull in newly-reachable objects
         # (persistence by reachability), so iterate to a fixed point.
+        # Each record is JSON-encoded exactly once; the WAL and the heap
+        # both reuse the encoded string.
         redo: dict[Oid, dict[str, Any]] = {}
-        done: set[Oid] = set()
+        encoded: dict[Oid, str] = {}
         while True:
             pending = [
                 (oid, obj)
                 for oid, obj in txn._touched.items()
-                if oid not in done
+                if oid not in redo
             ]
             if not pending:
                 break
             for oid, obj in pending:
-                redo[oid] = self.serializer.encode_object(obj)
-                done.add(oid)
+                record = self.serializer.encode_object(obj)
+                redo[oid] = record
+                encoded[oid] = Serializer.record_to_json(record)
 
         if not redo and not txn._deleted:
             return
 
         if self._wal is not None:
-            self._wal.log_begin(txn.id)
-            for oid, record in redo.items():
-                self._wal.log_update(txn.id, oid.value, txn._undo.get(oid), record)
-            for oid in txn._deleted:
-                self._wal.log_update(txn.id, oid.value, txn._undo.get(oid), None)
-            self._wal.log_commit(txn.id)
+            undo = txn._undo
+            if self.group_commit:
+                updates: list[Any] = [
+                    (oid.value, undo.get(oid), encoded[oid]) for oid in redo
+                ]
+                updates.extend(
+                    (oid.value, undo.get(oid), None) for oid in txn._deleted
+                )
+                self._wal.log_transaction(txn.id, updates)
+            else:
+                self._wal.log_begin(txn.id)
+                for oid, record in redo.items():
+                    self._wal.log_update(txn.id, oid.value, undo.get(oid), record)
+                for oid in txn._deleted:
+                    self._wal.log_update(txn.id, oid.value, undo.get(oid), None)
+                self._wal.log_commit(txn.id)
 
         for oid, obj in txn._deleted.items():
             # The object reverts to transient once the delete is durable.
@@ -442,8 +469,8 @@ class Database:
             if rid is not None:
                 assert self._heap is not None
                 self._heap.delete(rid)
-        for oid, record in redo.items():
-            payload = Serializer.record_to_bytes({"oid": oid.value, **record})
+        for oid in redo:
+            payload = Serializer.record_with_oid(oid.value, encoded[oid])
             if self._in_memory:
                 self._memory_records[oid] = payload
                 continue

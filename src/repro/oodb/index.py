@@ -371,6 +371,10 @@ class IndexManager:
     def definitions(self) -> list[IndexDefinition]:
         return [s.definition for s in self._indexes.values()]
 
+    def covers(self, class_name: str) -> bool:
+        """True if any index applies to instances of ``class_name``."""
+        return bool(self._indexes) and bool(self._states_for(class_name))
+
     def _states_for(self, class_name: str) -> list[_IndexState]:
         # Lazily cached: a class is covered by an index when it belongs to
         # the index class's family (itself or a transitive subclass).

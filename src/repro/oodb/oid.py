@@ -30,6 +30,12 @@ class Oid:
 
     value: int
 
+    def __hash__(self) -> int:
+        # Hash the value directly; the generated frozen-dataclass hash
+        # builds a one-element tuple per call, and OIDs key every hot
+        # dictionary in the store.
+        return hash(self.value)
+
     def __post_init__(self) -> None:
         if not isinstance(self.value, int):
             raise TypeError(f"Oid value must be int, got {type(self.value).__name__}")

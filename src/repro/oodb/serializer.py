@@ -29,12 +29,29 @@ import json
 import types
 from typing import Any, Callable, Protocol
 
+from ..stats import pipeline_stats
 from .errors import SerializationError
 from .oid import Oid
 
 __all__ = ["Serializer", "ObjectResolver"]
 
 _SCALARS = (int, float, str, bool, type(None))
+
+# Exact-type membership for the scalar fast path.  ``type(v) in _FAST_TYPES``
+# deliberately excludes subclasses (IntEnum, str subclasses...), which must
+# take the full ``encode_value`` route to get their tagged encoding.
+_FAST_TYPES = frozenset(_SCALARS)
+
+# Per-class cache of the effective transient-name set; rebuilt per class,
+# not per encoded object.
+_transient_cache: dict[type, frozenset[str]] = {}
+
+
+def _transient_for(cls: type) -> frozenset[str]:
+    cached = _transient_cache.get(cls)
+    if cached is None:
+        cached = _transient_cache[cls] = frozenset(getattr(cls, "_p_transient", ()))
+    return cached
 
 
 class ObjectResolver(Protocol):
@@ -74,11 +91,19 @@ class Serializer:
             raise SerializationError(
                 f"{cls.__name__} is not a registered persistent class"
             )
-        transient = set(getattr(cls, "_p_transient", ()))
+        transient = _transient_for(cls)
         attrs: dict[str, Any] = {}
+        # Fast path: most domain objects carry only scalar attributes, and
+        # exact-type scalars encode to themselves — assign them directly and
+        # only drop into the recursive encoder for the rest.
+        scalars_only = True
         for name, value in vars(obj).items():
             if name.startswith("_p_") or name in transient:
                 continue
+            if type(value) in _FAST_TYPES:
+                attrs[name] = value
+                continue
+            scalars_only = False
             try:
                 attrs[name] = self.encode_value(value)
             except SerializationError as exc:
@@ -86,6 +111,10 @@ class Serializer:
                     f"cannot serialize attribute {name!r} of "
                     f"{class_name}{obj._p_oid or ''}: {exc}"
                 ) from exc
+        if scalars_only:
+            pipeline_stats.serializer_fast_objects += 1
+        else:
+            pipeline_stats.serializer_slow_objects += 1
         return {"class": class_name, "attrs": attrs}
 
     def decode_object(self, record: dict[str, Any], obj: Any | None = None) -> Any:
@@ -159,7 +188,24 @@ class Serializer:
     # ------------------------------------------------------------------
     @staticmethod
     def record_to_bytes(record: dict[str, Any]) -> bytes:
-        return json.dumps(record, separators=(",", ":"), sort_keys=True).encode()
+        return _RECORD_ENCODER.encode(record).encode()
+
+    @staticmethod
+    def record_to_json(record: dict[str, Any]) -> str:
+        """Encode a record once; reusable by both the WAL and the heap."""
+        return _RECORD_ENCODER.encode(record)
+
+    @staticmethod
+    def record_with_oid(oid_value: int, record_json: str) -> bytes:
+        """Heap payload from a pre-encoded record: splice in the OID.
+
+        Equivalent to ``record_to_bytes({"oid": oid_value, **record})``
+        modulo key order, which JSON parsing does not observe — commit
+        encodes each record exactly once this way.
+        """
+        if record_json == "{}":  # defensive; records always carry class+attrs
+            return ('{"oid":%d}' % oid_value).encode()
+        return ('{"oid":%d,%s' % (oid_value, record_json[1:])).encode()
 
     @staticmethod
     def record_from_bytes(payload: bytes) -> dict[str, Any]:
@@ -212,6 +258,12 @@ class Serializer:
                 for k, v in encoded["$dict"]
             }
         raise SerializationError(f"unknown tag in encoded value: {encoded!r}")
+
+
+# ``json.dumps`` with non-default options builds a fresh JSONEncoder per
+# call; records are encoded twice per committed object (WAL + heap), so a
+# shared encoder instance is worth having.
+_RECORD_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True)
 
 
 def _importable_name(obj: type | Callable[..., Any]) -> str:

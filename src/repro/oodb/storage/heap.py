@@ -79,6 +79,10 @@ class HeapFile:
         self._pool = pool
         self._page_count = 0
         self._free_map: dict[int, int] = {}
+        # Last page an insert landed in.  Bulk loads fill one page at a
+        # time, so checking it first turns the free-map scan into O(1) on
+        # the common path.
+        self._hint_page: int | None = None
         self._open()
 
     # ------------------------------------------------------------------
@@ -277,8 +281,12 @@ class HeapFile:
         return self._pool.get(self._path, rid.page)
 
     def _find_page_with_space(self, needed: int) -> int:
+        hint = self._hint_page
+        if hint is not None and self._free_map.get(hint, 0) >= needed:
+            return hint
         for page_id, free in self._free_map.items():
             if free >= needed:
+                self._hint_page = page_id
                 return page_id
         return self._grow()
 
@@ -289,4 +297,5 @@ class HeapFile:
         self._pool.put_new(self._path, page)
         self._page_count += 1
         self._free_map[page_id] = page.free_space
+        self._hint_page = page_id
         return page_id

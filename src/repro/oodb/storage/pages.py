@@ -22,6 +22,7 @@ address page *n* at byte offset ``n * PAGE_SIZE``.
 
 from __future__ import annotations
 
+import heapq
 import struct
 import zlib
 from typing import Iterator
@@ -52,7 +53,7 @@ class Page:
     the record (deletions leave tombstones rather than renumbering).
     """
 
-    __slots__ = ("page_id", "_slots", "_records", "dirty")
+    __slots__ = ("page_id", "_slots", "_records", "dirty", "_record_bytes", "_free_slots")
 
     def __init__(self, page_id: int) -> None:
         if page_id < 0:
@@ -61,6 +62,13 @@ class Page:
         # Parallel lists: _slots[i] is live/tombstone flag via _records[i] is None
         self._slots: list[int] = []  # lengths, kept for size accounting
         self._records: list[bytes | None] = []
+        # Incremental size accounting.  Recomputing the record-byte total
+        # on every free-space check made page fills O(slots²); these are
+        # maintained by insert/update/delete instead.  ``_free_slots`` is a
+        # min-heap of tombstone slot numbers (lowest slot reused first,
+        # matching the old linear scan).
+        self._record_bytes = 0
+        self._free_slots: list[int] = []
         self.dirty = False
 
     # ------------------------------------------------------------------
@@ -74,11 +82,10 @@ class Page:
     @property
     def live_count(self) -> int:
         """Number of live (non-deleted) records."""
-        return sum(1 for r in self._records if r is not None)
+        return len(self._records) - len(self._free_slots)
 
     def _used_bytes(self) -> int:
-        record_bytes = sum(len(r) for r in self._records if r is not None)
-        return _HEADER_SIZE + _SLOT_SIZE * len(self._records) + record_bytes
+        return _HEADER_SIZE + _SLOT_SIZE * len(self._records) + self._record_bytes
 
     @property
     def free_space(self) -> int:
@@ -88,7 +95,7 @@ class Page:
         available for reuse — otherwise a page holding one full-size
         record could never take the same record back after a delete.
         """
-        slot_overhead = 0 if any(r is None for r in self._records) else _SLOT_SIZE
+        slot_overhead = 0 if self._free_slots else _SLOT_SIZE
         return max(0, PAGE_SIZE - self._used_bytes() - slot_overhead)
 
     def fits(self, payload: bytes) -> bool:
@@ -114,11 +121,12 @@ class Page:
                 f"record needs {len(payload)}"
             )
         self.dirty = True
-        for slot, record in enumerate(self._records):
-            if record is None:
-                self._records[slot] = bytes(payload)
-                self._slots[slot] = len(payload)
-                return slot
+        self._record_bytes += len(payload)
+        if self._free_slots:
+            slot = heapq.heappop(self._free_slots)
+            self._records[slot] = bytes(payload)
+            self._slots[slot] = len(payload)
+            return slot
         self._records.append(bytes(payload))
         self._slots.append(len(payload))
         return len(self._records) - 1
@@ -144,6 +152,7 @@ class Page:
             )
         self._records[slot] = bytes(payload)
         self._slots[slot] = len(payload)
+        self._record_bytes += len(payload) - len(old)
         self.dirty = True
 
     def delete(self, slot: int) -> bytes:
@@ -153,6 +162,8 @@ class Page:
             raise PageError(f"slot {slot} of page {self.page_id} already deleted")
         self._records[slot] = None
         self._slots[slot] = 0
+        self._record_bytes -= len(record)
+        heapq.heappush(self._free_slots, slot)
         self.dirty = True
         return record
 
@@ -215,11 +226,13 @@ class Page:
             rec_off, rec_len = _SLOT.unpack_from(data, offset)
             offset += _SLOT_SIZE
             if rec_off == 0:
+                heapq.heappush(page._free_slots, len(page._records))
                 page._records.append(None)
                 page._slots.append(0)
             else:
                 page._records.append(bytes(data[rec_off : rec_off + rec_len]))
                 page._slots.append(rec_len)
+                page._record_bytes += rec_len
         return page
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

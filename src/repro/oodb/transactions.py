@@ -91,6 +91,10 @@ class Transaction:
     def touched_oids(self) -> set[Oid]:
         return set(self._touched)
 
+    def change_count(self) -> int:
+        """Objects this transaction will write (touched plus deleted)."""
+        return len(self._touched) + len(self._deleted)
+
     def created_oids(self) -> set[Oid]:
         return set(self._created)
 
@@ -251,6 +255,10 @@ class TransactionManager:
         #: statistics for benchmarks
         self.committed = 0
         self.aborted = 0
+        #: objects written across all committed transactions / by the last
+        #: one — group-commit batch sizes for the benchmark reports.
+        self.objects_committed = 0
+        self.last_commit_size = 0
         #: observers called as fn(kind, txn) with kind in
         #: {"begin", "commit", "abort"}; used by Sentinel's transaction
         #: events (rules on transactions).
@@ -329,6 +337,8 @@ class TransactionManager:
         txn.status = TransactionStatus.COMMITTED
         self._finish(txn)
         self.committed += 1
+        self.last_commit_size = txn.change_count()
+        self.objects_committed += self.last_commit_size
         self._notify_observers("commit", txn)
         for hook in txn.drain_post_commit_hooks():
             hook()

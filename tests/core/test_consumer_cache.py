@@ -1,0 +1,214 @@
+"""Tests for the consumer-snapshot cache and its invalidation triggers.
+
+The hot path caches each reactive object's merged consumer list (instance
+subscribers + class-level rules up the MRO) and serves event deliveries
+from the cached tuple.  These tests pin down the invalidation contract:
+every way the consumer set can change — instance subscribe/unsubscribe,
+class-rule list mutation, rule enable/disable, rebuild after storage
+materialization — must be observed by the *next* ``notify_consumers``.
+"""
+
+import pytest
+
+from repro.core import IdentitySet, Notifiable, Reactive, Rule, event_method
+from repro.core.generations import ClassConsumerList, class_generation
+from repro.stats import pipeline_stats, reset_pipeline_stats
+from repro.workloads import Stock
+
+
+class Producer(Reactive):
+    @event_method
+    def ping(self, n=0):
+        return n
+
+
+class Consumer(Notifiable):
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def notify(self, occurrence):
+        self.count += 1
+        self.record(occurrence)
+
+
+class TestIdentitySet:
+    def test_add_and_contains_by_identity(self):
+        items = IdentitySet()
+        a, b = [1], [1]  # equal but distinct
+        assert items.add(a)
+        assert items.add(b)
+        assert a in items and b in items
+        assert len(items) == 2
+
+    def test_add_is_idempotent_and_reports_change(self):
+        items = IdentitySet()
+        a = object()
+        assert items.add(a)
+        assert not items.add(a)
+        assert len(items) == 1
+
+    def test_discard_reports_change(self):
+        items = IdentitySet()
+        a = object()
+        items.add(a)
+        assert items.discard(a)
+        assert not items.discard(a)
+        assert a not in items
+
+    def test_insertion_order_preserved(self):
+        items = IdentitySet()
+        objs = [object() for _ in range(5)]
+        for obj in objs:
+            items.add(obj)
+        items.discard(objs[2])
+        assert items.as_list() == [objs[0], objs[1], objs[3], objs[4]]
+
+    def test_as_list_is_a_copy(self):
+        items = IdentitySet()
+        items.add(object())
+        listed = items.as_list()
+        listed.clear()
+        assert len(items) == 1
+
+
+class TestInstanceCacheInvalidation:
+    def test_subscribe_mid_stream_observed(self):
+        producer, early, late = Producer(), Consumer(), Consumer()
+        producer.subscribe(early)
+        producer.ping()  # warms the cache
+        producer.subscribe(late)
+        producer.ping()
+        assert early.count == 2
+        assert late.count == 1
+
+    def test_unsubscribe_mid_stream_observed(self):
+        producer, staying, leaving = Producer(), Consumer(), Consumer()
+        producer.subscribe(staying)
+        producer.subscribe(leaving)
+        producer.ping()
+        producer.unsubscribe(leaving)
+        producer.ping()
+        assert staying.count == 2
+        assert leaving.count == 1
+
+    def test_subscription_generation_counts_changes(self):
+        producer, consumer = Producer(), Consumer()
+        before = producer.subscription_generation()
+        producer.subscribe(consumer)
+        producer.subscribe(consumer)  # idempotent: no second bump
+        producer.unsubscribe(consumer)
+        assert producer.subscription_generation() == before + 2
+
+    def test_warm_stream_hits_cache(self):
+        producer, consumer = Producer(), Consumer()
+        producer.subscribe(consumer)
+        producer.ping()  # cold: builds the snapshot
+        reset_pipeline_stats()
+        for _ in range(10):
+            producer.ping()
+        assert pipeline_stats.consumer_cache_hits >= 10
+        assert pipeline_stats.consumer_cache_misses == 0
+
+    def test_materialized_instance_rebuilds_consumers(self):
+        # Objects loaded from storage skip __init__ entirely (fetch uses
+        # __new__ and then assigns the persistence fields); subscription
+        # and delivery must still work through the lazy-rebuild path.
+        producer = Producer.__new__(Producer)
+        object.__setattr__(producer, "_p_oid", None)
+        object.__setattr__(producer, "_p_db", None)
+        consumer = Consumer()
+        assert not producer.has_consumers()
+        producer.subscribe(consumer)
+        producer.ping()
+        assert consumer.count == 1
+
+
+class TestClassConsumerInvalidation:
+    def test_class_consumer_list_bumps_generation(self):
+        before = class_generation()
+        Producer._class_consumers.append(None)
+        Producer._class_consumers.pop()
+        assert class_generation() == before + 2
+
+    def test_reactive_classes_get_bumping_list(self):
+        assert isinstance(Producer._class_consumers, ClassConsumerList)
+        assert isinstance(Stock._class_consumers, ClassConsumerList)
+
+    def test_class_consumer_added_between_events_observed(self, sentinel):
+        class Gadget(Reactive):
+            @event_method
+            def poke(self):
+                pass
+
+        gadget, instance_consumer, class_consumer = Gadget(), Consumer(), Consumer()
+        gadget.subscribe(instance_consumer)
+        gadget.poke()  # warm cache without the class consumer
+        Gadget._class_consumers.append(class_consumer)
+        try:
+            gadget.poke()
+        finally:
+            Gadget._class_consumers.remove(class_consumer)
+        assert instance_consumer.count == 2
+        assert class_consumer.count == 1
+
+    def test_class_consumer_removed_between_events_observed(self, sentinel):
+        class Widget(Reactive):
+            @event_method
+            def poke(self):
+                pass
+
+        widget, class_consumer = Widget(), Consumer()
+        Widget._class_consumers.append(class_consumer)
+        widget.poke()
+        Widget._class_consumers.remove(class_consumer)
+        widget.poke()
+        assert class_consumer.count == 1
+
+    def test_rule_disable_enable_between_events(self, sentinel):
+        fired = []
+        rule = Rule(
+            "cache_toggle",
+            "end Stock::set_price(float price)",
+            action=lambda ctx: fired.append(ctx.param("price")),
+        )
+        stock = Stock("IBM", 100.0)
+        stock.subscribe(rule)
+        stock.set_price(1.0)
+        rule.disable()
+        stock.set_price(2.0)
+        rule.enable()
+        stock.set_price(3.0)
+        assert fired == [1.0, 3.0]
+
+    def test_enable_disable_bump_class_generation(self, sentinel):
+        rule = Rule(
+            "gen_bump",
+            "end Stock::set_price(float price)",
+            action=lambda ctx: None,
+        )
+        before = class_generation()
+        rule.disable()
+        rule.enable()
+        assert class_generation() == before + 2
+
+
+class TestPipelineStats:
+    def test_reset_zeroes_counters(self):
+        pipeline_stats.consumer_cache_hits += 5
+        reset_pipeline_stats()
+        assert pipeline_stats.consumer_cache_hits == 0
+
+    def test_snapshot_is_plain_dict(self):
+        reset_pipeline_stats()
+        snap = pipeline_stats.snapshot()
+        assert snap["consumer_cache_hits"] == 0
+        assert "group_commits" in snap
+        assert "serializer_fast_objects" in snap
+
+    def test_invalidation_counter_tracks_subscribes(self):
+        producer, consumer = Producer(), Consumer()
+        reset_pipeline_stats()
+        producer.subscribe(consumer)
+        producer.unsubscribe(consumer)
+        assert pipeline_stats.consumer_cache_invalidations == 2

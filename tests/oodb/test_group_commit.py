@@ -1,0 +1,202 @@
+"""Tests for WAL group commit and the fsync policy knob.
+
+Group commit batches a transaction's BEGIN/UPDATE.../COMMIT into a single
+buffered write with one flush (and at most one fsync) at the commit
+boundary.  The on-disk format is unchanged, so recovery must behave
+identically whichever logging path produced the log.
+"""
+
+import pytest
+
+from repro.oodb import Database, Persistent
+from repro.oodb.recovery import replay
+from repro.oodb.storage.wal import FSYNC_POLICIES, LogRecordType, WriteAheadLog
+from repro.stats import pipeline_stats, reset_pipeline_stats
+
+
+class Doc(Persistent):
+    def __init__(self, body=""):
+        super().__init__()
+        self.body = body
+
+
+def _simulate_crash(db: Database) -> None:
+    """Close file handles without checkpoint — as a crash would."""
+    assert db._heap is not None and db._wal is not None
+    db._pool.flush_all()
+    db._wal.flush(force_sync=True)
+    db._heap._pool = None  # ensure no further use
+    db._closed = True
+    db._wal._file.close()
+
+
+class TestLogTransaction:
+    def test_replays_like_individual_appends(self, tmp_path):
+        grouped = WriteAheadLog(tmp_path / "grouped.log", sync=False)
+        grouped.log_transaction(1, [(5, None, {"v": 1}), (6, {"v": 0}, None)])
+        separate = WriteAheadLog(tmp_path / "separate.log", sync=False)
+        separate.log_begin(1)
+        separate.log_update(1, 5, None, {"v": 1})
+        separate.log_update(1, 6, {"v": 0}, None)
+        separate.log_commit(1)
+
+        def applied(wal):
+            out = []
+            replay(wal, lambda oid, redo: out.append((oid, redo)))
+            return out
+
+        assert applied(grouped) == applied(separate) == [(5, {"v": 1}), (6, None)]
+        grouped.close()
+        separate.close()
+
+    def test_pre_encoded_redo_round_trips(self, tmp_path):
+        # The commit path hands the WAL an already-encoded record string;
+        # the reader must see the same dict as for a dict-valued redo.
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_transaction(3, [(9, {"old": 1}, '{"attrs":{"n":2},"class":"Doc"}')])
+        records = list(wal.records())
+        update = [r for r in records if r.type is LogRecordType.UPDATE][0]
+        assert update.oid == 9
+        assert update.undo == {"old": 1}
+        assert update.redo == {"attrs": {"n": 2}, "class": "Doc"}
+        wal.close()
+
+    def test_counts_group_commit_stats(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        reset_pipeline_stats()
+        wal.log_transaction(1, [(5, None, {"v": 1}), (6, None, {"v": 2})])
+        assert pipeline_stats.group_commits == 1
+        assert pipeline_stats.group_commit_records == 4  # BEGIN + 2 + COMMIT
+        wal.close()
+
+    def test_empty_transaction_still_brackets(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_transaction(1, [])
+        types = [r.type for r in wal.records()]
+        assert types == [LogRecordType.BEGIN, LogRecordType.COMMIT]
+        wal.close()
+
+
+class TestBufferedAppends:
+    def test_records_reader_sees_buffered_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(7)  # buffered, not yet flushed
+        assert [r.txn_id for r in wal.records()] == [7]
+        wal.close()
+
+    def test_truncate_discards_buffered_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        wal.log_begin(7)
+        wal.truncate()
+        assert list(wal.records()) == []
+        assert wal.tail_size() == 0
+        wal.close()
+
+    def test_lsns_account_for_buffered_entries(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        first = wal.log_begin(1)
+        second = wal.log_begin(2)
+        assert first == 0
+        assert second > first
+        lsns = [r.lsn for r in wal.records()]
+        assert lsns == [first, second]
+        wal.close()
+
+
+class TestFsyncPolicy:
+    def test_policies_enumerated(self):
+        assert set(FSYNC_POLICIES) == {"commit", "always", "never"}
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "w.log", fsync_policy="sometimes")
+
+    def test_sync_flag_maps_to_policy(self, tmp_path):
+        assert WriteAheadLog(tmp_path / "a.log", sync=True).fsync_policy == "commit"
+        assert WriteAheadLog(tmp_path / "b.log", sync=False).fsync_policy == "never"
+
+    def test_never_policy_skips_fsync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", fsync_policy="never")
+        reset_pipeline_stats()
+        wal.log_transaction(1, [(5, None, {"v": 1})])
+        assert pipeline_stats.wal_syncs == 0
+        wal.close()
+
+    def test_commit_policy_syncs_once_per_transaction(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", fsync_policy="commit")
+        reset_pipeline_stats()
+        wal.log_transaction(1, [(5, None, {"v": 1}), (6, None, {"v": 2})])
+        assert pipeline_stats.wal_syncs == 1
+        wal.close()
+
+    def test_always_policy_syncs_every_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", fsync_policy="always")
+        reset_pipeline_stats()
+        wal.log_begin(1)
+        wal.log_update(1, 5, None, {"v": 1})
+        assert pipeline_stats.wal_syncs == 2
+        wal.close()
+
+    def test_database_accepts_fsync_policy(self, tmp_path):
+        db = Database(str(tmp_path / "db"), fsync="never")
+        assert db._wal is not None
+        assert db._wal.fsync_policy == "never"
+        with db.transaction():
+            db.add(Doc("x"))
+        db.close()
+
+
+@pytest.mark.parametrize("group_commit", [True, False])
+class TestRecoveryBothPaths:
+    def test_committed_work_survives_crash(self, tmp_path, group_commit):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False, group_commit=group_commit)
+        with db.transaction():
+            doc = Doc("hello")
+            db.add(doc)
+            db.set_root("doc", doc)
+        oid = doc.oid
+        _simulate_crash(db)
+
+        db2 = Database(path, sync=False)
+        restored = db2.fetch(oid)
+        assert restored.body == "hello"
+        assert db2.get_root("doc") is restored
+        db2.close()
+
+    def test_update_and_delete_survive_crash(self, tmp_path, group_commit):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False, group_commit=group_commit)
+        with db.transaction():
+            keep = Doc("v1")
+            gone = Doc("bye")
+            db.add(keep)
+            db.add(gone)
+            db.set_root("keep", keep)
+        db.checkpoint()
+        keep_oid, gone_oid = keep.oid, gone.oid
+        with db.transaction():
+            keep.body = "v2"
+            db.delete(gone)
+        _simulate_crash(db)
+
+        from repro.oodb import ObjectNotFound
+
+        db2 = Database(path, sync=False)
+        assert db2.fetch(keep_oid).body == "v2"
+        with pytest.raises(ObjectNotFound):
+            db2.fetch(gone_oid)
+        db2.close()
+
+    def test_reopen_after_clean_close(self, tmp_path, group_commit):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False, group_commit=group_commit)
+        with db.transaction():
+            db.set_root("d", Doc("x"))
+        db.close()
+
+        db2 = Database(path, sync=False)
+        assert db2.last_recovery is not None
+        assert db2.last_recovery.clean
+        assert db2.get_root("d").body == "x"
+        db2.close()
