@@ -339,6 +339,77 @@ def report_oodb():
     print(f"wrote {path}")
 
 
+def report_obs():
+    """Observability overhead: tracer disabled vs enabled on the hot path.
+
+    Writes ``BENCH_obs.json`` at the repo root: the disabled-mode
+    regression against the committed ``BENCH_hotpath.json`` baseline (the
+    ≤5% acceptance gate) and the measured cost of running with tracing
+    enabled, including spans produced per rule firing.
+    """
+    from benchmarks.test_bench_obs import (
+        load_hotpath_baseline,
+        measure_pipeline,
+    )
+    from repro.obs import tracer
+
+    with Sentinel(adopt_class_rules=False):
+        disabled = measure_pipeline(tracing=False)
+        enabled = measure_pipeline(tracing=True)
+
+        # Spans per firing: one monitored call through a full ECA rule.
+        from repro.workloads import Stock
+
+        stock = Stock("IBM", 100.0)
+        rule = Rule(
+            "ObsReport",
+            "end Stock::set_price(float price)",
+            condition=lambda ctx: True,
+            action=lambda ctx: None,
+        )
+        stock.subscribe(rule)
+        stock.set_price(1.0)  # warm
+        tracer.enable(capacity=256)
+        try:
+            tracer.clear()
+            stock.set_price(2.0)
+            spans_per_firing = len(tracer.spans())
+        finally:
+            tracer.disable()
+            tracer.clear()
+
+    baseline = load_hotpath_baseline()
+    payload = {
+        "disabled": {k: round(v, 4) for k, v in disabled.items()},
+        "enabled": {k: round(v, 4) for k, v in enabled.items()},
+        "enabled_over_disabled": round(
+            enabled["subscribed_us"] / disabled["subscribed_us"], 2
+        ),
+        "disabled_ratio_vs_baseline": round(
+            disabled["subscribed_over_passive"]
+            / baseline["subscribed_over_passive"],
+            3,
+        ),
+        "baseline_subscribed_over_passive": baseline["subscribed_over_passive"],
+        "spans_per_rule_firing": spans_per_firing,
+    }
+    path = write_baseline("BENCH_obs.json", payload)
+    table(
+        "OBS: tracer overhead (µs/call)",
+        ("mode", "subscribed", "overhead vs passive", "ratio"),
+        [
+            ("disabled", f"{disabled['subscribed_us']:.3f}",
+             f"{disabled['per_event_overhead_us']:.3f}",
+             f"{disabled['subscribed_over_passive']:.2f}"),
+            ("enabled", f"{enabled['subscribed_us']:.3f}",
+             f"{enabled['per_event_overhead_us']:.3f}",
+             f"{enabled['subscribed_over_passive']:.2f}"),
+        ],
+    )
+    print(f"spans per rule firing: {spans_per_firing}")
+    print(f"wrote {path}")
+
+
 REPORTS = {
     "E8": report_e8,
     "E9": report_e9,
@@ -348,6 +419,7 @@ REPORTS = {
     "E16": report_e16,
     "HOTPATH": report_hotpath,
     "OODB": report_oodb,
+    "OBS": report_obs,
 }
 
 

@@ -1,0 +1,180 @@
+"""OBS — the cost of the observability layer.
+
+The causality tracer is wired into every hot path of the pipeline as a
+single flag-guarded branch.  Two properties are pinned here:
+
+* **disabled**: the per-event overhead of the monitored path must stay
+  within 5% of the committed ``BENCH_hotpath.json`` baseline — the guard
+  is one attribute load and one jump per instrumented function;
+* **enabled**: one rule firing must produce the full connected span
+  chain (the cost of which is recorded, not gated — tracing is a
+  diagnosis mode, not a production default).
+
+Timing comparisons use the machine-normalized ``subscribed_over_passive``
+ratio (falling back to the absolute µs figure), so the gate holds across
+hardware of different speeds.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from repro.obs import tracer
+
+from benchmarks.test_bench_event_overhead import (
+    NullConsumer,
+    PassiveCounter,
+    ReactiveCounter,
+)
+
+_REPO_ROOT = __file__.rsplit("/", 2)[0]
+
+#: The acceptance bound: disabled-mode regression vs the committed
+#: hot-path baseline.
+MAX_DISABLED_REGRESSION = 0.05
+
+
+def load_hotpath_baseline() -> dict:
+    with open(os.path.join(_REPO_ROOT, "BENCH_hotpath.json")) as handle:
+        return json.load(handle)
+
+
+def best_us_per_call(fn, repeat=20000, trials=9):
+    """Min-of-trials per-call cost in µs.
+
+    The large repeat count matters: at 3000 calls a trial lasts ~2ms and
+    scheduler interference dominates (±40% run-to-run); at 20000 the
+    min-of-trials is stable to a few percent.  GC is paused during the
+    timed region — collection cost scales with the whole process heap
+    (pytest imports, other suites), which would skew the allocating
+    subscribed path relative to the allocation-free passive one.
+    """
+    best = float("inf")
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(trials):
+            start = time.perf_counter()
+            for _ in range(repeat):
+                fn()
+            best = min(best, (time.perf_counter() - start) / repeat)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best * 1e6
+
+
+def measure_pipeline(tracing: bool) -> dict:
+    """Passive vs subscribed per-call cost with tracing on or off."""
+    passive = PassiveCounter()
+    subscribed = ReactiveCounter()
+    subscribed.subscribe(NullConsumer())
+    for counter in (passive, subscribed):
+        counter.bump()  # warm the consumer snapshot / code paths
+    tracer.disable()
+    passive_us = best_us_per_call(passive.bump)
+    if tracing:
+        tracer.enable(capacity=256)
+    try:
+        subscribed_us = best_us_per_call(subscribed.bump)
+    finally:
+        tracer.disable()
+        tracer.clear()
+    return {
+        "passive_us": passive_us,
+        "subscribed_us": subscribed_us,
+        "per_event_overhead_us": subscribed_us - passive_us,
+        "subscribed_over_passive": subscribed_us / passive_us,
+    }
+
+
+def test_bench_disabled_dispatch(benchmark, sentinel):
+    benchmark.group = "OBS tracer overhead"
+    counter = ReactiveCounter()
+    counter.subscribe(NullConsumer())
+    tracer.disable()
+    benchmark(counter.bump)
+
+
+def test_bench_enabled_dispatch(benchmark, sentinel):
+    benchmark.group = "OBS tracer overhead"
+    counter = ReactiveCounter()
+    counter.subscribe(NullConsumer())
+    tracer.enable(capacity=256)
+    try:
+        benchmark(counter.bump)
+    finally:
+        tracer.disable()
+        tracer.clear()
+
+
+def test_shape_disabled_overhead_within_budget(sentinel):
+    """Tracing off: per-event overhead within 5% of the committed baseline.
+
+    Primary gate is the machine-normalized subscribed/passive ratio; the
+    absolute µs figure is accepted as an alternative so a machine *faster*
+    than the baseline recorder also passes trivially.
+    """
+    baseline = load_hotpath_baseline()
+    measured = measure_pipeline(tracing=False)
+
+    ratio_bound = baseline["subscribed_over_passive"] * (
+        1 + MAX_DISABLED_REGRESSION
+    )
+    absolute_bound = baseline["per_event_overhead_us"] * (
+        1 + MAX_DISABLED_REGRESSION
+    )
+    assert (
+        measured["subscribed_over_passive"] <= ratio_bound
+        or measured["per_event_overhead_us"] <= absolute_bound
+    ), (
+        f"disabled-tracing overhead regressed: "
+        f"ratio {measured['subscribed_over_passive']:.2f} vs bound "
+        f"{ratio_bound:.2f}, overhead {measured['per_event_overhead_us']:.3f}µs "
+        f"vs bound {absolute_bound:.3f}µs"
+    )
+
+
+def test_shape_enabled_records_full_chain(sentinel):
+    """Tracing on: every firing yields the connected method→action chain."""
+    from repro.core import Rule
+
+    counter = ReactiveCounter()
+    rule = Rule(
+        "ObsCheck",
+        "end ReactiveCounter::bump(int n)",
+        condition=lambda ctx: True,
+        action=lambda ctx: None,
+    )
+    counter.subscribe(rule)
+    counter.bump()  # warm, untraced
+    tracer.enable(capacity=256)
+    try:
+        counter.bump()
+        kinds = {span.kind for span in tracer.spans()}
+    finally:
+        tracer.disable()
+        tracer.clear()
+    assert {
+        "method",
+        "occurrence",
+        "signal",
+        "schedule",
+        "rule",
+        "condition",
+        "action",
+        "outcome",
+    } <= kinds
+
+
+def test_shape_disabled_records_nothing(sentinel):
+    counter = ReactiveCounter()
+    counter.subscribe(NullConsumer())
+    tracer.disable()
+    tracer.clear()
+    counter.bump()
+    assert tracer.spans() == []

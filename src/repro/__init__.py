@@ -55,6 +55,7 @@ from .core import (
     parse_event,
     parse_rule,
 )
+from .obs import CausalityTracer, MetricsRegistry, metrics, tracer
 from .oodb import Database, ObjectNotFound, Oid, Persistent, TransactionAborted
 from .stats import PipelineStats, pipeline_stats, reset_pipeline_stats
 
@@ -91,4 +92,8 @@ __all__ = [
     "PipelineStats",
     "pipeline_stats",
     "reset_pipeline_stats",
+    "CausalityTracer",
+    "MetricsRegistry",
+    "metrics",
+    "tracer",
 ]

@@ -35,10 +35,16 @@ class Coupling(enum.Enum):
 
     @classmethod
     def parse(cls, value: "str | Coupling") -> "Coupling":
+        """Parse a mode name; ``"detached"`` is accepted for DECOUPLED
+        (the literature uses both names for the same mode)."""
         if isinstance(value, cls):
             return value
+        text = value.strip().lower()
+        # Local, not a class attribute: an Enum body would turn it into
+        # a member.
+        aliases = {"detached": "decoupled"}
         try:
-            return cls(value.strip().lower())
+            return cls(aliases.get(text, text))
         except ValueError:
             raise ValueError(
                 f"unknown coupling mode {value!r}; expected one of "

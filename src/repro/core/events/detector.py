@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...obs.tracer import tracer as _tracer
 from ..identity import IdentitySet
 from ..notifiable import Notifiable
 from ..occurrence import EventOccurrence, Occurrence
@@ -141,6 +142,15 @@ class EventDetector(Notifiable):
         """Route one primitive occurrence to the candidate leaves."""
         if not isinstance(occurrence, EventOccurrence):
             return
+        if _tracer.enabled:
+            with _tracer.span(
+                "detect", f"feed:{occurrence.method}", seq=occurrence.seq
+            ):
+                self._feed_inner(occurrence)
+            return
+        self._feed_inner(occurrence)
+
+    def _feed_inner(self, occurrence: EventOccurrence) -> None:
         self.stats.fed += 1
         key = (occurrence.modifier, _routing_name(occurrence.method))
         bucket = self._leaf_index.get(key)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable
 
+from ...obs.tracer import tracer as _tracer
 from ..occurrence import CompositeOccurrence, Occurrence
 from .base import Event, EventError, validate_children
 from .contexts import ParameterContext
@@ -87,7 +88,31 @@ class Operator(Event):
         if not self.enabled:
             return
         index = self._child_index(child)
+        if _tracer.enabled:
+            return self._on_event_traced(child, index, occurrence)
         for signalled in self.combine(index, occurrence):
+            self.signal(signalled)
+
+    def _on_event_traced(
+        self, child: Event, index: int, occurrence: Occurrence
+    ) -> None:
+        """Tracing slow path: records the operator evaluation — including
+        *partial* matches, where a child signal is buffered without the
+        composite signalling (``signalled=0`` with non-empty ``pending``).
+        """
+        composites = list(self.combine(index, occurrence))
+        _tracer.point(
+            "detect",
+            self.name,
+            operator=type(self).__name__,
+            context=self.context.value,
+            child=child.name,
+            child_index=index,
+            seq=occurrence.seq,
+            signalled=len(composites),
+            pending=[len(b) for b in self._buffers()],
+        )
+        for signalled in composites:
             self.signal(signalled)
 
     def combine(self, index: int, occurrence: Occurrence) -> Iterable[Occurrence]:

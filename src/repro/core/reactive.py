@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterable
 
+from ..obs.tracer import tracer as _tracer
 from ..oodb.schema import Persistent
 from ..stats import pipeline_stats
 from .generations import _class_gen
@@ -149,6 +150,8 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
         consumers = self._consumer_snapshot()
         if not consumers:
             return 0
+        if _tracer.enabled:
+            return self._notify_consumers_traced(occurrence, consumers)
         scheduler = current_scheduler()
         frame = scheduler._begin_round()
         try:
@@ -158,6 +161,40 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
             scheduler._abandon_round(frame)
             raise
         scheduler._finish_round(frame)
+        return len(consumers)
+
+    def _notify_consumers_traced(
+        self, occurrence: EventOccurrence, consumers: tuple["Notifiable", ...]
+    ) -> int:
+        """Tracing slow path of :meth:`notify_consumers`.
+
+        The occurrence span stays open across the delivery round, so
+        detection spans *and* the immediate rules the round executes at
+        its close all parent to the occurrence that caused them.
+        """
+        oid = getattr(occurrence, "source_oid", None)
+        span = _tracer.begin(
+            "occurrence",
+            occurrence.signature_text,
+            seq=occurrence.seq,
+            method=occurrence.method,
+            modifier=occurrence.modifier.value,
+            **{"class": occurrence.class_name, "oid": oid.value if oid else None},
+        )
+        try:
+            scheduler = current_scheduler()
+            frame = scheduler._begin_round()
+            try:
+                for consumer in consumers:
+                    consumer.notify(occurrence)
+            except BaseException:
+                scheduler._abandon_round(frame)
+                raise
+            scheduler._finish_round(frame)
+        except BaseException as exc:
+            _tracer.end(span, error=type(exc).__name__)
+            raise
+        _tracer.end(span, consumers=len(consumers))
         return len(consumers)
 
     def raise_event(

@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
+from ..obs.tracer import tracer as _tracer
 from ..oodb.errors import TransactionAborted
 from .coupling import Coupling
 from .events.base import Event
@@ -194,6 +195,8 @@ class Rule(Reactive, Notifiable):
         Returns True when the action ran.  This method is itself an event
         generator (rules on rules).
         """
+        if _tracer.enabled:
+            return self._fire_traced(occurrence)
         context = RuleContext(
             rule=self,
             occurrence=occurrence,
@@ -205,6 +208,48 @@ class Rule(Reactive, Notifiable):
         self.times_fired += 1
         if self.action is not None:
             self.action(context)
+        return True
+
+    def _fire_traced(self, occurrence: Occurrence) -> bool:
+        """Tracing slow path of :meth:`fire`: same protocol, with a
+        "condition" span, an "action" span, and an "outcome" point (the
+        join key for per-rule reports)."""
+        context = RuleContext(
+            rule=self,
+            occurrence=occurrence,
+            params=occurrence.parameters(),
+        )
+        self.times_triggered += 1
+        if self.condition is not None:
+            span = _tracer.begin(
+                "condition", self.name, rule=self.name, seq=occurrence.seq
+            )
+            try:
+                passed = bool(self.condition(context))
+            except BaseException as exc:
+                _tracer.end(span, error=type(exc).__name__)
+                raise
+            _tracer.end(span, passed=passed)
+            if not passed:
+                _tracer.point(
+                    "outcome", self.name,
+                    rule=self.name, fired=False, seq=occurrence.seq,
+                )
+                return False
+        self.times_fired += 1
+        if self.action is not None:
+            span = _tracer.begin(
+                "action", self.name, rule=self.name, seq=occurrence.seq
+            )
+            try:
+                self.action(context)
+            except BaseException as exc:
+                _tracer.end(span, error=type(exc).__name__)
+                raise
+            _tracer.end(span)
+        _tracer.point(
+            "outcome", self.name, rule=self.name, fired=True, seq=occurrence.seq
+        )
         return True
 
     # ------------------------------------------------------------------

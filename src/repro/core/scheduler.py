@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator
 
+from ..obs.tracer import tracer as _tracer
 from ..oodb.errors import TransactionAborted
 from .coupling import Coupling
 from .occurrence import Occurrence
@@ -216,6 +217,14 @@ class RuleScheduler:
     def schedule(self, rule: "Rule", occurrence: Occurrence) -> None:
         self.stats.triggered += 1
         mode = rule.coupling
+        if _tracer.enabled:
+            _tracer.point(
+                "schedule",
+                rule.name,
+                rule=rule.name,
+                coupling=mode.value,
+                seq=occurrence.seq,
+            )
         if mode is Coupling.IMMEDIATE:
             self.stats.immediate += 1
             if self._frames:
@@ -259,6 +268,25 @@ class RuleScheduler:
     # Execution
     # ------------------------------------------------------------------
     def _execute(self, rule: "Rule", occurrence: Occurrence) -> None:
+        if _tracer.enabled:
+            span = _tracer.begin(
+                "rule",
+                rule.name,
+                rule=rule.name,
+                coupling=rule.coupling.value,
+                seq=occurrence.seq,
+                depth=self._depth,
+            )
+            try:
+                self._execute_inner(rule, occurrence)
+            except BaseException as exc:
+                _tracer.end(span, error=type(exc).__name__)
+                raise
+            _tracer.end(span)
+            return
+        self._execute_inner(rule, occurrence)
+
+    def _execute_inner(self, rule: "Rule", occurrence: Occurrence) -> None:
         if self._depth >= self.max_depth:
             raise CascadeError(
                 f"rule cascade deeper than {self.max_depth} "

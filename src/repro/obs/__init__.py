@@ -1,0 +1,43 @@
+"""``repro.obs`` — observability for the event→rule pipeline and the OODB.
+
+Two halves, both deliberately free of imports from ``repro.core`` and
+``repro.oodb`` (they feed *into* this package, never the reverse):
+
+* :mod:`repro.obs.metrics` — a process-wide registry of named counters
+  and latency histograms (p50/p95/p99).  The PR-1 fast-path counters
+  (``PipelineStats``) now live here; ``repro.stats`` remains as a thin
+  compatibility alias.
+* :mod:`repro.obs.tracer` — a causality tracer: lightweight spans linking
+  method invocation → bom/eom occurrence → detector evaluation → rule
+  condition → action (and, on the OODB side, transaction commits and WAL
+  writes), recorded into a bounded ring buffer with JSONL export.
+
+Instrumented code checks one flag (``tracer.enabled``) and takes a single
+guarded branch; with tracing disabled the hot paths pay one attribute
+load per instrumented function.  ``benchmarks/test_bench_obs.py`` holds
+that cost to ≤5% of the committed per-event overhead baseline.
+"""
+
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    PipelineStats,
+    metrics,
+    pipeline_stats,
+    reset_pipeline_stats,
+)
+from .tracer import CausalityTracer, Span, tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "PipelineStats",
+    "pipeline_stats",
+    "reset_pipeline_stats",
+    "CausalityTracer",
+    "Span",
+    "tracer",
+]

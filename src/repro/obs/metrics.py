@@ -1,0 +1,239 @@
+"""Named counters and latency histograms for the pipeline and the OODB.
+
+The PR-1 optimizations introduced ad-hoc process-wide counters
+(``repro.stats.PipelineStats``); this module generalizes them into a
+:class:`MetricsRegistry` — named :class:`Counter` and :class:`Histogram`
+instruments that the tracer, the benchmarks, and the tools all read from
+one place.  ``PipelineStats`` itself is re-homed here (the hot paths keep
+bumping plain integer attributes on it — one ``int`` add, no indirection)
+and is exposed through the registry as a *collector*, so
+``metrics.snapshot()`` includes the fast-path counters alongside
+everything else.  ``repro.stats`` re-exports the compatibility names.
+
+This module must not import ``repro.core`` or ``repro.oodb`` — both feed
+metrics into it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Deque
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "PipelineStats",
+    "pipeline_stats",
+    "reset_pipeline_stats",
+]
+
+#: How many recent samples a histogram keeps for percentile estimation.
+#: Count/sum/min/max stay exact beyond the window; percentiles are over
+#: the most recent samples (a sliding reservoir, not a decaying sketch).
+DEFAULT_WINDOW = 4096
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """A latency histogram: exact count/sum/min/max, windowed percentiles."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_window")
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._window: Deque[float] = deque(maxlen=window)
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank) over the sample window."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, int(p / 100.0 * (len(ordered) - 1) + 0.5))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        ordered = sorted(self._window)
+
+        def at(p: float) -> float:
+            rank = min(len(ordered) - 1, int(p / 100.0 * (len(ordered) - 1) + 0.5))
+            return ordered[rank]
+
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **{f"p{int(p)}": at(p) for p in _PERCENTILES},
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._window.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Creates, caches, and snapshots named instruments.
+
+    ``counter(name)`` / ``histogram(name)`` are get-or-create: callers can
+    hold the returned instrument and bump it directly (no per-update dict
+    lookup on hot paths).  *Collectors* adapt externally-owned counter
+    structs (``PipelineStats``) into the snapshot under a name prefix.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[
+            str, tuple[Callable[[], dict[str, Any]], Callable[[], None] | None]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str, window: int = DEFAULT_WINDOW) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, window)
+        return histogram
+
+    def register_collector(
+        self,
+        prefix: str,
+        snapshot: Callable[[], dict[str, Any]],
+        reset: Callable[[], None] | None = None,
+    ) -> None:
+        """Expose an external counter struct under ``prefix.*`` (idempotent)."""
+        self._collectors[prefix] = (snapshot, reset)
+
+    # ------------------------------------------------------------------
+    # Reading and resetting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Every instrument's current value, flat, keyed by name."""
+        out: dict[str, Any] = {
+            name: counter.value for name, counter in self._counters.items()
+        }
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.summary()
+        for prefix, (collect, _reset) in self._collectors.items():
+            for key, value in collect().items():
+                out[f"{prefix}.{key}"] = value
+        return out
+
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def reset(self) -> None:
+        """Zero every instrument (benchmark/test setup)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        for _collect, reset in self._collectors.values():
+            if reset is not None:
+                reset()
+
+
+#: The process-wide registry.  Like ``pipeline_stats`` before it, one
+#: shared instance: both ``repro.core`` and ``repro.oodb`` feed it.
+metrics = MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# PipelineStats — the PR-1 fast-path counters, re-homed from repro.stats
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class PipelineStats:
+    """Process-wide counters for the optimized hot paths.
+
+    Hot paths bump attributes directly (one integer add; no indirection)
+    rather than going through :class:`Counter` objects — the registry
+    reads them through a collector instead.
+    """
+
+    #: consumer-snapshot cache on Reactive instances
+    consumer_cache_hits: int = 0
+    consumer_cache_misses: int = 0
+    consumer_cache_invalidations: int = 0
+    #: serializer: objects whose attributes were all plain scalars
+    serializer_fast_objects: int = 0
+    serializer_slow_objects: int = 0
+    #: WAL group commit
+    group_commits: int = 0
+    group_commit_records: int = 0
+    wal_syncs: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: The process-wide instance (formerly ``repro.stats.pipeline_stats``).
+pipeline_stats = PipelineStats()
+
+metrics.register_collector(
+    "pipeline", pipeline_stats.snapshot, pipeline_stats.reset
+)
+
+
+def reset_pipeline_stats() -> PipelineStats:
+    """Zero every counter (benchmark/test setup) and return the instance."""
+    pipeline_stats.reset()
+    return pipeline_stats

@@ -1,0 +1,251 @@
+"""The causality tracer: spans over the event→rule pipeline and the OODB.
+
+One rule firing in Sentinel crosses five layers — a method invocation
+raises a bom/eom occurrence, the occurrence feeds event detection
+(possibly buffering inside a composite operator), the signalled rule is
+scheduled under a coupling mode, its condition is checked, its action
+runs — and, for deferred/detached modes, the tail of that chain moves
+into the committing transaction.  The tracer records each step as a
+:class:`Span` with a parent link, so the whole chain renders as one tree
+and exports as JSONL (``python -m repro.tools.trace`` renders it).
+
+Span parentage follows the dynamic call structure: whatever span is open
+when a new one begins becomes its parent.  Steps that happen *later* than
+their cause (a deferred rule firing at commit) are linked causally by the
+triggering occurrence's sequence number (``seq`` attribute) while being
+*parented* to the span actually executing them (the committing
+transaction), which is exactly the paper's coupling-mode semantics made
+visible.
+
+The tracer is disabled by default.  Instrumented hot paths check the
+:attr:`CausalityTracer.enabled` flag and take a single guarded branch;
+the disabled cost is one attribute load per instrumented function.  When
+enabled, every finished span also feeds a ``<kind>_us`` latency histogram
+in :data:`repro.obs.metrics.metrics`.
+
+Not thread-safe, by design — neither is the rule scheduler it observes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import IO, Any, Deque, Iterator
+
+from .metrics import metrics
+
+__all__ = ["Span", "CausalityTracer", "tracer", "SPAN_KINDS"]
+
+#: The span kinds the instrumented layers emit, pipeline order first.
+SPAN_KINDS = (
+    "method",       # monitored method invocation (event stub)
+    "occurrence",   # bom/eom occurrence propagated to consumers
+    "detect",       # detector feed / composite operator evaluation
+    "signal",       # an event (primitive or composite) signalled
+    "schedule",     # a rule handed to the scheduler (coupling decision)
+    "rule",         # one rule execution (condition + action)
+    "condition",    # rule condition evaluation
+    "action",       # rule action execution
+    "outcome",      # per-firing verdict point (joins EXPLAIN RULE reports)
+    "txn",          # transaction begin/commit/abort
+    "wal",          # write-ahead-log writes
+)
+
+
+@dataclass(slots=True)
+class Span:
+    """One step in a causality chain.
+
+    ``start_us`` is monotonic microseconds since the tracer was enabled;
+    ``duration_us`` is 0.0 for instantaneous (point) spans.  ``attrs``
+    carries the identifying payload: ``seq`` (occurrence sequence number),
+    ``oid``, ``rule``, ``coupling``, ``class``/``method`` — whatever the
+    emitting layer knows.
+    """
+
+    span_id: int
+    parent_id: int | None
+    kind: str
+    name: str
+    start_us: float
+    duration_us: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start_us": round(self.start_us, 3),
+            "duration_us": round(self.duration_us, 3),
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict[str, Any]) -> "Span":
+        return cls(
+            span_id=body["span"],
+            parent_id=body.get("parent"),
+            kind=body["kind"],
+            name=body["name"],
+            start_us=body.get("start_us", 0.0),
+            duration_us=body.get("duration_us", 0.0),
+            attrs=body.get("attrs") or {},
+        )
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        return (
+            f"[{self.span_id}<-{self.parent_id or '·'}] {self.kind} "
+            f"{self.name} {self.duration_us:.1f}µs {extra}".rstrip()
+        )
+
+
+class CausalityTracer:
+    """Bounded-ring-buffer span recorder with an ambient span stack."""
+
+    __slots__ = ("enabled", "capacity", "_buffer", "_stack", "_next_id", "_origin")
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.enabled = False
+        self.capacity = capacity
+        self._buffer: Deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 0
+        self._origin = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self, capacity: int | None = None) -> "CausalityTracer":
+        """Start recording (optionally resizing the ring buffer)."""
+        if capacity is not None and capacity != self.capacity:
+            self.capacity = capacity
+            self._buffer = deque(self._buffer, maxlen=capacity)
+        if not self.enabled:
+            self._origin = perf_counter()
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Stop recording.  Recorded spans stay readable until clear()."""
+        self.enabled = False
+        self._stack.clear()
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self._stack.clear()
+        self._next_id = 0
+
+    @contextmanager
+    def session(self, capacity: int | None = None) -> Iterator["CausalityTracer"]:
+        """``with tracer.session(): ...`` — enable, then disable on exit."""
+        self.enable(capacity)
+        try:
+            yield self
+        finally:
+            self.disable()
+
+    # ------------------------------------------------------------------
+    # Recording (called only from guarded branches: tracer is enabled)
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return (perf_counter() - self._origin) * 1e6
+
+    def begin(self, kind: str, name: str, **attrs: Any) -> Span:
+        """Open a span as a child of the currently open span."""
+        self._next_id += 1
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            kind=kind,
+            name=name,
+            start_us=self._now(),
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        """Close ``span``, record it, and feed its latency histogram."""
+        span.duration_us = self._now() - span.start_us
+        if attrs:
+            span.attrs.update(attrs)
+        # Unwind to this span even if an exception skipped inner end()s.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        self._buffer.append(span)
+        metrics.histogram(f"{span.kind}_us").record(span.duration_us)
+        return span
+
+    @contextmanager
+    def span(self, kind: str, name: str, **attrs: Any) -> Iterator[Span]:
+        opened = self.begin(kind, name, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def point(self, kind: str, name: str, **attrs: Any) -> Span:
+        """Record an instantaneous span under the currently open span."""
+        self._next_id += 1
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            kind=kind,
+            name=name,
+            start_us=self._now(),
+            attrs=attrs,
+        )
+        self._buffer.append(span)
+        metrics.counter(f"trace.{kind}").inc()
+        return span
+
+    # ------------------------------------------------------------------
+    # Reading and export
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Recorded spans, in recording (roughly end-time) order."""
+        return list(self._buffer)
+
+    def find(self, kind: str | None = None, **attrs: Any) -> list[Span]:
+        """Spans matching ``kind`` and every given attr (test helper)."""
+        out = []
+        for span in self._buffer:
+            if kind is not None and span.kind != kind:
+                continue
+            if all(span.attrs.get(k) == v for k, v in attrs.items()):
+                out.append(span)
+        return out
+
+    def export_jsonl(self, target: "str | IO[str]") -> int:
+        """Write every recorded span as one JSON object per line.
+
+        ``target`` is a path or an open text stream.  Returns the number
+        of spans written.  Attributes that are not JSON-native are
+        stringified (OIDs render as ``@n``).
+        """
+        spans = self.spans()
+        if hasattr(target, "write"):
+            self._write_jsonl(target, spans)  # type: ignore[arg-type]
+        else:
+            with open(target, "w") as handle:
+                self._write_jsonl(handle, spans)
+        return len(spans)
+
+    @staticmethod
+    def _write_jsonl(handle: "IO[str]", spans: list[Span]) -> None:
+        for span in spans:
+            handle.write(json.dumps(span.to_json(), default=str))
+            handle.write("\n")
+
+
+#: The process-wide tracer.  Instrumented modules bind this to a local
+#: (``from ..obs.tracer import tracer as _tracer``) and branch on
+#: ``_tracer.enabled`` — one load, one jump when disabled.
+tracer = CausalityTracer()

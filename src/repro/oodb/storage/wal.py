@@ -29,6 +29,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from ...obs.tracer import tracer as _tracer
 from ...stats import pipeline_stats
 from ..errors import WALError
 
@@ -196,6 +197,8 @@ class WriteAheadLog:
     def log_commit(self, txn_id: int) -> int:
         lsn = self.append(LogRecord(LogRecordType.COMMIT, txn_id))
         self.flush()
+        if _tracer.enabled:
+            _tracer.point("wal", f"commit:{txn_id}", txn=txn_id, lsn=lsn)
         return lsn
 
     def _update_frame(
@@ -235,6 +238,24 @@ class WriteAheadLog:
         fsync) at the commit boundary, instead of a write per record.
         Returns the COMMIT record's LSN.
         """
+        if _tracer.enabled:
+            span = _tracer.begin("wal", f"group-commit:{txn_id}", txn=txn_id)
+            try:
+                lsn, count, nbytes = self._log_transaction_inner(txn_id, updates)
+            except BaseException as exc:
+                _tracer.end(span, error=type(exc).__name__)
+                raise
+            _tracer.end(span, records=count, bytes=nbytes, lsn=lsn)
+            return lsn
+        return self._log_transaction_inner(txn_id, updates)[0]
+
+    def _log_transaction_inner(
+        self,
+        txn_id: int,
+        updates: Iterable[
+            tuple[int, dict[str, Any] | None, dict[str, Any] | str | None]
+        ],
+    ) -> tuple[int, int, int]:
         frames = [self._frame(LogRecord(LogRecordType.BEGIN, txn_id))]
         count = 2
         for oid, undo, redo in updates:
@@ -248,7 +269,7 @@ class WriteAheadLog:
         self.flush()
         pipeline_stats.group_commits += 1
         pipeline_stats.group_commit_records += count
-        return lsn
+        return lsn, count, len(batch) + len(commit)
 
     def log_abort(self, txn_id: int) -> int:
         return self.append(LogRecord(LogRecordType.ABORT, txn_id))

@@ -26,6 +26,7 @@ import itertools
 import threading
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..obs.tracer import tracer as _tracer
 from .errors import (
     NoActiveTransaction,
     TransactionAborted,
@@ -311,6 +312,9 @@ class TransactionManager:
             )
         txn = Transaction(self._db, implicit=implicit)
         self._local.txn = txn
+        if _tracer.enabled:
+            _tracer.point("txn", f"begin:{txn.id}", txn=txn.id, op="begin",
+                          implicit=implicit)
         self._notify_observers("begin", txn)
         return txn
 
@@ -320,6 +324,34 @@ class TransactionManager:
             raise TransactionNotActive(
                 f"cannot commit transaction {txn.id} ({txn.status.value})"
             )
+        if _tracer.enabled:
+            # The commit span covers pre-commit hooks (deferred rules nest
+            # under it), the WAL/heap apply, and the commit observers.
+            # Post-commit hooks (decoupled rules) run after the span is
+            # closed: their transactions are causally linked, not nested.
+            span = _tracer.begin(
+                "txn",
+                f"commit:{txn.id}",
+                txn=txn.id,
+                op="commit",
+                changes=txn.change_count(),
+            )
+            try:
+                self._commit_core(txn)
+            except BaseException as exc:
+                _tracer.end(
+                    span, error=type(exc).__name__, status=txn.status.value
+                )
+                raise
+            _tracer.end(
+                span, status=txn.status.value, objects=self.last_commit_size
+            )
+        else:
+            self._commit_core(txn)
+        for hook in txn.drain_post_commit_hooks():
+            hook()
+
+    def _commit_core(self, txn: Transaction) -> None:
         try:
             self._run_pre_commit(txn)
         except TransactionAborted:
@@ -340,8 +372,6 @@ class TransactionManager:
         self.last_commit_size = txn.change_count()
         self.objects_committed += self.last_commit_size
         self._notify_observers("commit", txn)
-        for hook in txn.drain_post_commit_hooks():
-            hook()
 
     def _run_pre_commit(self, txn: Transaction) -> None:
         rounds = 0
@@ -359,6 +389,11 @@ class TransactionManager:
         """Undo the transaction's effects without raising."""
         if txn.status in (TransactionStatus.COMMITTED, TransactionStatus.ABORTED):
             return
+        if _tracer.enabled:
+            _tracer.point(
+                "txn", f"abort:{txn.id}", txn=txn.id, op="abort",
+                changes=txn.change_count(),
+            )
         txn._restoring = True
         try:
             self._db._apply_rollback(txn)

@@ -1,53 +1,20 @@
-"""Hot-path instrumentation shared by the event pipeline and the OODB.
+"""Compatibility alias — the hot-path counters moved to ``repro.obs``.
 
-The optimizations this package layers onto the paper's design — the
-consumer-snapshot cache on reactive objects, the serializer's scalar fast
-path, and WAL group commit — are invisible when they work.
-:class:`PipelineStats` makes them observable: the benchmarks (and the
-invalidation tests) assert against these counters to prove the fast paths
-actually engage instead of silently falling back.
+``PipelineStats`` began life here as a standalone struct of process-wide
+counters for the PR-1 fast paths.  The observability subsystem
+(:mod:`repro.obs.metrics`) re-homed it onto the metrics registry, where
+``metrics.snapshot()`` exposes the same counters as ``pipeline.*``
+alongside the tracer's latency histograms.  This module keeps the
+original import surface working unchanged::
 
-The module lives at the package root because both ``repro.core`` and
-``repro.oodb`` feed it, and ``repro.oodb`` must not import ``repro.core``.
+    from repro.stats import pipeline_stats, reset_pipeline_stats
+
+Hot paths still bump ``pipeline_stats`` attributes directly (one integer
+add; no indirection) — the registry reads them through a collector.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from .obs.metrics import PipelineStats, pipeline_stats, reset_pipeline_stats
 
 __all__ = ["PipelineStats", "pipeline_stats", "reset_pipeline_stats"]
-
-
-@dataclass(slots=True)
-class PipelineStats:
-    """Process-wide counters for the optimized hot paths."""
-
-    #: consumer-snapshot cache on Reactive instances
-    consumer_cache_hits: int = 0
-    consumer_cache_misses: int = 0
-    consumer_cache_invalidations: int = 0
-    #: serializer: objects whose attributes were all plain scalars
-    serializer_fast_objects: int = 0
-    serializer_slow_objects: int = 0
-    #: WAL group commit
-    group_commits: int = 0
-    group_commit_records: int = 0
-    wal_syncs: int = 0
-
-    def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, f.default)
-
-    def snapshot(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-
-#: The process-wide instance.  Hot paths bump attributes on it directly
-#: (one integer add; no indirection) rather than going through a function.
-pipeline_stats = PipelineStats()
-
-
-def reset_pipeline_stats() -> PipelineStats:
-    """Zero every counter (benchmark/test setup) and return the instance."""
-    pipeline_stats.reset()
-    return pipeline_stats

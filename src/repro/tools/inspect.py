@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools.inspect /path/to/dbdir           # summary
     python -m repro.tools.inspect /path/to/dbdir --rules   # + stored rules
     python -m repro.tools.inspect /path/to/dbdir --oid 17  # dump one object
+    python -m repro.tools.inspect /path/to/dbdir --stats   # storage stats
 
 The tool opens the database read-mostly (recovery runs if the WAL holds
 committed work, exactly as a normal open would), prints a structural
@@ -23,8 +24,9 @@ from ..core.events.base import Event
 from ..core.rules import Rule
 from ..oodb.database import Database
 from ..oodb.oid import Oid
+from ..oodb.storage.pages import PAGE_SIZE
 
-__all__ = ["DatabaseSummary", "summarize", "main"]
+__all__ = ["DatabaseSummary", "summarize", "storage_stats", "main"]
 
 
 @dataclass(slots=True)
@@ -119,6 +121,68 @@ def summarize(path: str) -> DatabaseSummary:
         db.close()
 
 
+def _wal_stats(path: str) -> list[str]:
+    """Summarize the WAL *before* the database is opened.
+
+    Opening runs restart recovery, which checkpoints and truncates the
+    log — reading after that would always report an empty WAL.
+    """
+    import os
+
+    from ..oodb.storage.wal import WriteAheadLog
+
+    wal_path = os.path.join(path, "wal.log")
+    if not os.path.exists(wal_path):
+        return ["wal: no log file"]
+    wal = WriteAheadLog(wal_path, sync=False)
+    try:
+        by_type: dict[str, int] = {}
+        total = 0
+        for record in wal.records():
+            total += 1
+            by_type[record.type.value] = by_type.get(record.type.value, 0) + 1
+        lines = [f"wal: {total} records, {wal.tail_size()} bytes"]
+        for name in sorted(by_type):
+            lines.append(f"  {name:<12} {by_type[name]}")
+        return lines
+    finally:
+        wal.close()
+
+
+def storage_stats(path: str) -> str:
+    """Render the storage-layer statistics of the database at ``path``:
+    WAL record counts by type, heap page utilization, index sizes."""
+    lines = [f"database: {path}"]
+    lines.extend(_wal_stats(path))
+    db = Database(path)
+    try:
+        heap = getattr(db, "_heap", None)
+        if heap is None:
+            lines.append("heap: none (in-memory database)")
+        else:
+            pages = heap.page_count
+            capacity = pages * PAGE_SIZE
+            free = sum(heap._free_map.values())
+            used = capacity - free
+            utilization = (used / capacity * 100.0) if capacity else 0.0
+            lines.append(
+                f"heap: {pages} pages, {heap.record_count()} records, "
+                f"{utilization:.1f}% utilized ({used}/{capacity} bytes)"
+            )
+
+        states = db.indexes._indexes
+        lines.append(f"indexes: {len(states)}")
+        for state in states.values():
+            lines.append(
+                f"  {state.definition.name:<28} "
+                f"{len(state.keyed)} entries"
+                + (" (unique)" if state.definition.unique else "")
+            )
+        return "\n".join(lines)
+    finally:
+        db.close()
+
+
 def dump_object(path: str, oid_value: int) -> str:
     """Render one stored object's record, reference edges included."""
     db = Database(path)
@@ -148,9 +212,16 @@ def main(argv: list[str] | None = None) -> int:
         "--oid", type=int, default=None,
         help="dump the record of one object by OID value",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print storage statistics (WAL, heap pages, indexes)",
+    )
     args = parser.parse_args(argv)
     if args.oid is not None:
         print(dump_object(args.path, args.oid))
+        return 0
+    if args.stats:
+        print(storage_stats(args.path))
         return 0
     print(summarize(args.path).render(show_rules=args.rules))
     return 0

@@ -1,0 +1,232 @@
+"""Render and query causality traces from the command line.
+
+Usage::
+
+    python -m repro.tools.trace spans.jsonl                  # span tree
+    python -m repro.tools.trace spans.jsonl --rule SalaryCheck
+    python -m repro.tools.trace spans.jsonl --class Employee --kind method
+    python -m repro.tools.trace spans.jsonl --oid 17
+    python -m repro.tools.trace spans.jsonl --explain SalaryCheck
+
+The input is the JSONL file written by
+:meth:`repro.obs.tracer.CausalityTracer.export_jsonl` — one span per
+line.  The default view is the span *tree*: children indented under the
+span that was open when they began, so one monitored call reads top-down
+as method → occurrence → detection → rule → condition/action.
+
+``--explain RULE`` answers "why did (or didn't) this rule fire": per
+coupling mode how often it was scheduled, how its condition decided, its
+latency profile, and the triggering occurrence sequence numbers — the
+EXPLAIN RULE report of the observability layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, Iterable
+
+from ..obs.tracer import Span
+
+__all__ = ["load_spans", "filter_spans", "render_tree", "explain_rule", "main"]
+
+
+def load_spans(source: "str | IO[str]") -> list[Span]:
+    """Parse a JSONL trace export (path or open stream) into spans."""
+    if hasattr(source, "read"):
+        return _parse_lines(source)  # type: ignore[arg-type]
+    with open(source) as handle:
+        return _parse_lines(handle)
+
+
+def _parse_lines(handle: "IO[str]") -> list[Span]:
+    spans = []
+    for lineno, line in enumerate(handle, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(Span.from_json(json.loads(line)))
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+    return spans
+
+
+def filter_spans(
+    spans: Iterable[Span],
+    rule: str | None = None,
+    class_name: str | None = None,
+    oid: int | None = None,
+    kind: str | None = None,
+) -> list[Span]:
+    """Spans matching every given criterion.
+
+    ``rule`` matches the ``rule`` attribute (or the span name for
+    rule-pipeline kinds); ``class_name`` and ``oid`` match the attributes
+    the event-side spans carry.
+    """
+    out = []
+    for span in spans:
+        if kind is not None and span.kind != kind:
+            continue
+        if rule is not None:
+            named = span.attrs.get("rule") == rule or (
+                span.kind in ("schedule", "rule", "condition", "action", "outcome")
+                and span.name == rule
+            )
+            if not named:
+                continue
+        if class_name is not None and span.attrs.get("class") != class_name:
+            continue
+        if oid is not None and span.attrs.get("oid") != oid:
+            continue
+        out.append(span)
+    return out
+
+
+def render_tree(spans: list[Span]) -> str:
+    """Indent spans under their parents; orphans (evicted or filtered
+    parents) render at top level, in start order."""
+    by_id = {span.span_id: span for span in spans}
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s.start_us, s.span_id))
+
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        attrs = " ".join(
+            f"{k}={v}" for k, v in span.attrs.items() if v is not None
+        )
+        duration = f" {span.duration_us:.1f}µs" if span.duration_us else ""
+        lines.append(
+            f"{'  ' * depth}{span.kind:<10} {span.name}{duration}"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+        for child in children.get(span.span_id, ()):
+            emit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def explain_rule(spans: list[Span], rule_name: str) -> str:
+    """Per-rule report: scheduling, condition decisions, latencies."""
+    mine = filter_spans(spans, rule=rule_name)
+    if not mine:
+        return f"no trace spans for rule {rule_name!r}"
+
+    scheduled = [s for s in mine if s.kind == "schedule"]
+    executions = [s for s in mine if s.kind == "rule"]
+    conditions = [s for s in mine if s.kind == "condition"]
+    actions = [s for s in mine if s.kind == "action"]
+    outcomes = [s for s in mine if s.kind == "outcome"]
+
+    by_coupling: dict[str, int] = {}
+    for span in scheduled:
+        mode = span.attrs.get("coupling", "?")
+        by_coupling[mode] = by_coupling.get(mode, 0) + 1
+
+    fired = sum(1 for s in outcomes if s.attrs.get("fired"))
+    skipped = sum(1 for s in outcomes if not s.attrs.get("fired"))
+    passed = sum(1 for s in conditions if s.attrs.get("passed"))
+    errors = [s for s in mine if "error" in s.attrs]
+
+    lines = [f"rule {rule_name}"]
+    lines.append(
+        f"  scheduled: {len(scheduled)}"
+        + (
+            " ("
+            + ", ".join(f"{m}: {n}" for m, n in sorted(by_coupling.items()))
+            + ")"
+            if by_coupling
+            else ""
+        )
+    )
+    lines.append(f"  executed:  {len(executions)}")
+    lines.append(f"  fired:     {fired}   skipped by condition: {skipped}")
+    if conditions:
+        lines.append(
+            f"  condition: {passed}/{len(conditions)} passed, "
+            f"mean {_mean(conditions):.1f}µs"
+        )
+    if actions:
+        lines.append(
+            f"  action:    mean {_mean(actions):.1f}µs "
+            f"max {max(s.duration_us for s in actions):.1f}µs"
+        )
+    if executions:
+        lines.append(
+            f"  rule span: mean {_mean(executions):.1f}µs "
+            f"max {max(s.duration_us for s in executions):.1f}µs"
+        )
+    if errors:
+        lines.append(f"  errors:    {len(errors)}")
+        for span in errors[:5]:
+            lines.append(f"    {span.kind} seq={span.attrs.get('seq')}: "
+                         f"{span.attrs['error']}")
+    seqs = sorted(
+        {s.attrs.get("seq") for s in outcomes if s.attrs.get("seq") is not None}
+    )
+    if seqs:
+        shown = ", ".join(str(s) for s in seqs[-10:])
+        lines.append(f"  triggering occurrence seqs: {shown}")
+    return "\n".join(lines)
+
+
+def _mean(spans: list[Span]) -> float:
+    return sum(s.duration_us for s in spans) / len(spans)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.trace",
+        description="Render and query causality-trace JSONL exports.",
+    )
+    parser.add_argument("path", help="trace file (JSONL, one span per line)")
+    parser.add_argument("--rule", default=None, help="filter to one rule")
+    parser.add_argument(
+        "--class", dest="class_name", default=None,
+        help="filter to spans from one reactive class",
+    )
+    parser.add_argument(
+        "--oid", type=int, default=None, help="filter to one object"
+    )
+    parser.add_argument("--kind", default=None, help="filter by span kind")
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print the EXPLAIN RULE report for one rule",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = load_spans(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.explain is not None:
+        print(explain_rule(spans, args.explain))
+        return 0
+
+    spans = filter_spans(
+        spans,
+        rule=args.rule,
+        class_name=args.class_name,
+        oid=args.oid,
+        kind=args.kind,
+    )
+    if not spans:
+        print("no spans match")
+        return 0
+    print(render_tree(spans))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Fixtures for the observability tests: no tracer state may leak."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every obs test starts and ends with a disabled, empty tracer."""
+    tracer.disable()
+    tracer.clear()
+    metrics.reset()
+    yield
+    tracer.disable()
+    tracer.clear()
+    metrics.reset()

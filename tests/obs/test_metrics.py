@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry (counters, histograms, collectors)."""
+
+from repro.obs import Counter, Histogram, MetricsRegistry, metrics
+from repro.obs.metrics import PipelineStats as HomedPipelineStats
+from repro.obs.metrics import pipeline_stats as homed_pipeline_stats
+from repro.stats import PipelineStats, pipeline_stats, reset_pipeline_stats
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = Histogram("h")
+        for value in (2.0, 8.0, 5.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.total == 15.0
+        assert hist.min == 2.0
+        assert hist.max == 8.0
+        assert hist.mean == 5.0
+
+    def test_percentiles_over_known_distribution(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.record(float(value))
+        # Nearest-rank estimates land within one sample of the exact value.
+        assert 50.0 <= hist.percentile(50) <= 51.0
+        assert 95.0 <= hist.percentile(95) <= 96.0
+        assert 99.0 <= hist.percentile(99) <= 100.0
+        summary = hist.summary()
+        assert summary["p50"] == hist.percentile(50)
+        assert summary["p95"] == hist.percentile(95)
+        assert summary["p99"] == hist.percentile(99)
+        assert summary["count"] == 100
+
+    def test_window_bounds_percentiles_but_not_count(self):
+        hist = Histogram("h", window=10)
+        for value in range(1, 101):
+            hist.record(float(value))
+        # Exact aggregates see all 100 samples...
+        assert hist.count == 100
+        assert hist.min == 1.0
+        # ...percentiles only the last 10 (91..100).
+        assert hist.percentile(0) == 91.0
+
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"count": 0}
+        assert Histogram("h").percentile(50) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_snapshot_flattens_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("lat").record(7.0)
+        external = {"widgets": 2}
+        registry.register_collector("ext", lambda: dict(external))
+        snap = registry.snapshot()
+        assert snap["hits"] == 3
+        assert snap["lat"]["count"] == 1
+        assert snap["ext.widgets"] == 2
+
+    def test_reset_zeroes_instruments_and_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.histogram("lat").record(1.0)
+        state = {"n": 5}
+        registry.register_collector(
+            "ext", lambda: dict(state), lambda: state.update(n=0)
+        )
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["hits"] == 0
+        assert snap["lat"] == {"count": 0}
+        assert snap["ext.n"] == 0
+
+    def test_counters_view(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(2)
+        assert registry.counters() == {"x": 2}
+
+
+class TestPipelineStatsRehoming:
+    def test_stats_module_is_an_alias(self):
+        # repro.stats and repro.obs.metrics expose the same objects.
+        assert pipeline_stats is homed_pipeline_stats
+        assert PipelineStats is HomedPipelineStats
+
+    def test_reset_returns_the_shared_instance(self):
+        pipeline_stats.group_commits += 3
+        returned = reset_pipeline_stats()
+        assert returned is pipeline_stats
+        assert pipeline_stats.group_commits == 0
+
+    def test_registry_snapshot_includes_pipeline_counters(self):
+        reset_pipeline_stats()
+        pipeline_stats.group_commits += 2
+        pipeline_stats.wal_syncs += 1
+        snap = metrics.snapshot()
+        assert snap["pipeline.group_commits"] == 2
+        assert snap["pipeline.wal_syncs"] == 1
+
+    def test_registry_reset_clears_pipeline_counters(self):
+        pipeline_stats.consumer_cache_hits += 9
+        metrics.reset()
+        assert pipeline_stats.consumer_cache_hits == 0

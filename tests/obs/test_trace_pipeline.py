@@ -1,0 +1,226 @@
+"""End-to-end tracing through the event→rule pipeline and the OODB.
+
+These tests pin the tentpole acceptance behaviour: with tracing enabled,
+a salary-check rule firing produces one *connected* span chain — method
+invocation → occurrence → detection → condition → action — and the
+coupling mode decides where the rule's span attaches (immediate under the
+occurrence, deferred under the committing transaction, detached outside
+it).
+"""
+
+import pytest
+
+from repro.core import Coupling, Reactive, event_method
+from repro.obs import Span, tracer
+from repro.tools.trace import explain_rule, load_spans, render_tree
+
+
+class TracedEmployee(Reactive):
+    def __init__(self, name: str, salary: float):
+        super().__init__()
+        self.name = name
+        self.salary = salary
+
+    @event_method
+    def set_salary(self, salary: float):
+        self.salary = salary
+
+
+SET_SALARY = "end TracedEmployee::set_salary(float salary)"
+
+
+def _by_id(spans: list[Span]) -> dict[int, Span]:
+    return {span.span_id: span for span in spans}
+
+
+def _ancestors(span: Span, spans: list[Span]) -> list[Span]:
+    index = _by_id(spans)
+    chain = []
+    current = span
+    while current.parent_id is not None:
+        current = index[current.parent_id]
+        chain.append(current)
+    return chain
+
+
+def _one(spans: list[Span], kind: str, **attrs) -> Span:
+    matches = [
+        s
+        for s in spans
+        if s.kind == kind and all(s.attrs.get(k) == v for k, v in attrs.items())
+    ]
+    assert len(matches) == 1, f"expected one {kind} span, got {matches}"
+    return matches[0]
+
+
+class TestImmediateChain:
+    def test_salary_check_produces_connected_chain(self, sentinel, tmp_path):
+        fred = TracedEmployee("fred", 100.0)
+        sentinel.monitor(
+            [fred],
+            on=SET_SALARY,
+            condition=lambda ctx: ctx.param("salary") > 150,
+            action=lambda ctx: None,
+            name="SalaryCheck",
+        )
+        tracer.enable()
+        fred.set_salary(200.0)
+        tracer.disable()
+
+        spans = tracer.spans()
+        method = _one(spans, "method")
+        occurrence = _one(spans, "occurrence")
+        signal = _one(spans, "signal")
+        rule = _one(spans, "rule", rule="SalaryCheck")
+        condition = _one(spans, "condition")
+        action = _one(spans, "action")
+        outcome = _one(spans, "outcome")
+
+        # One connected chain, parent by parent.
+        assert occurrence.parent_id == method.span_id
+        assert signal.parent_id == occurrence.span_id
+        assert rule.parent_id == occurrence.span_id
+        assert condition.parent_id == rule.span_id
+        assert action.parent_id == rule.span_id
+        assert method in _ancestors(action, spans)
+
+        # The chain carries the identifying payload.
+        assert method.attrs["class"] == "TracedEmployee"
+        assert occurrence.attrs["seq"] == signal.attrs["seq"] == rule.attrs["seq"]
+        assert rule.attrs["coupling"] == "immediate"
+        assert condition.attrs["passed"] is True
+        assert outcome.attrs["fired"] is True
+
+        # Exportable as JSONL and renderable by the CLI.
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(path)) == len(spans)
+        reloaded = load_spans(str(path))
+        tree = render_tree(reloaded)
+        assert "TracedEmployee.set_salary" in tree
+        assert "SalaryCheck" in tree
+        report = explain_rule(reloaded, "SalaryCheck")
+        assert "fired:     1" in report
+
+    def test_condition_skip_is_visible(self, sentinel):
+        fred = TracedEmployee("fred", 100.0)
+        sentinel.monitor(
+            [fred],
+            on=SET_SALARY,
+            condition=lambda ctx: ctx.param("salary") > 150,
+            action=lambda ctx: None,
+            name="SalaryCheck",
+        )
+        tracer.enable()
+        fred.set_salary(120.0)
+        tracer.disable()
+        condition = _one(tracer.spans(), "condition")
+        assert condition.attrs["passed"] is False
+        outcome = _one(tracer.spans(), "outcome")
+        assert outcome.attrs["fired"] is False
+        assert not tracer.find("action")
+
+
+class TestCompositeDetection:
+    def test_partial_match_recorded_as_detect_point(self, sentinel):
+        from repro.core import Conjunction, Primitive
+
+        fred = TracedEmployee("fred", 100.0)
+        both = Conjunction(
+            Primitive(SET_SALARY),
+            Primitive("begin TracedEmployee::set_salary(float salary)"),
+            name="both-ends",
+        )
+        sentinel.monitor([fred], on=both, action=lambda ctx: None, name="Both")
+        tracer.enable()
+        fred.set_salary(1.0)  # only the eom leaf fires: partial match
+        tracer.disable()
+
+        detect = _one(tracer.spans(), "detect", operator="Conjunction")
+        assert detect.attrs["signalled"] == 0
+        assert sum(detect.attrs["pending"]) == 1
+        assert not tracer.find("rule")
+
+
+class TestCouplingModes:
+    def _monitored(self, system, coupling):
+        fred = TracedEmployee("fred", 100.0)
+        system.monitor(
+            [fred],
+            on=SET_SALARY,
+            action=lambda ctx: None,
+            name=f"Check-{coupling}",
+            coupling=coupling,
+        )
+        return fred
+
+    def test_immediate_rule_nests_under_occurrence(self, sentinel_db):
+        fred = self._monitored(sentinel_db, "immediate")
+        tracer.enable()
+        fred.set_salary(1.0)
+        tracer.disable()
+        spans = tracer.spans()
+        rule = _one(spans, "rule", rule="Check-immediate")
+        assert _one(spans, "occurrence") in _ancestors(rule, spans)
+
+    def test_deferred_rule_attaches_to_committing_txn(self, sentinel_db):
+        fred = self._monitored(sentinel_db, "deferred")
+        tracer.enable()
+        with sentinel_db.db.transaction():
+            fred.set_salary(1.0)
+            assert not tracer.find("rule")  # queued, not yet executed
+        tracer.disable()
+        spans = tracer.spans()
+        rule = _one(spans, "rule", rule="Check-deferred")
+        commit = _one(spans, "txn", op="commit")
+        assert rule.parent_id == commit.span_id
+        assert rule.attrs["coupling"] == "deferred"
+        # The triggering occurrence is linked causally by sequence number.
+        assert rule.attrs["seq"] == _one(spans, "occurrence").attrs["seq"]
+
+    def test_detached_rule_runs_outside_the_commit_span(self, sentinel_db):
+        fred = self._monitored(sentinel_db, "detached")
+        tracer.enable()
+        with sentinel_db.db.transaction():
+            fred.set_salary(1.0)
+            assert not tracer.find("rule")
+        tracer.disable()
+        spans = tracer.spans()
+        rule = _one(spans, "rule", rule="Check-detached")
+        assert rule.attrs["coupling"] == "decoupled"
+        # The rule ran in its own transaction, not inside the triggering
+        # commit: no txn span is an ancestor of the rule span.
+        assert all(a.kind != "txn" for a in _ancestors(rule, spans))
+        # Both the triggering commit and the decoupled rule's own
+        # transaction appear on the timeline.
+        commits = [s for s in spans if s.kind == "txn" and s.attrs.get("op") == "commit"]
+        assert len(commits) == 2
+
+    def test_wal_span_nests_under_commit(self, sentinel_db):
+        fred = self._monitored(sentinel_db, "immediate")
+        tracer.enable()
+        with sentinel_db.db.transaction():
+            sentinel_db.db.add(fred)
+        tracer.disable()
+        spans = tracer.spans()
+        wal = _one(spans, "wal")
+        commit = _one(spans, "txn", op="commit")
+        assert wal.parent_id == commit.span_id
+        assert wal.attrs["records"] >= 3  # BEGIN + UPDATE(s) + COMMIT
+
+
+class TestCouplingAlias:
+    def test_detached_parses_to_decoupled(self):
+        assert Coupling.parse("detached") is Coupling.DECOUPLED
+        assert Coupling.parse(" Detached ") is Coupling.DECOUPLED
+
+    def test_unknown_mode_still_rejected(self):
+        with pytest.raises(ValueError):
+            Coupling.parse("sideways")
+
+
+class TestDisabledByDefault:
+    def test_no_spans_recorded_when_disabled(self, sentinel):
+        fred = TracedEmployee("fred", 100.0)
+        sentinel.monitor([fred], on=SET_SALARY, action=lambda ctx: None)
+        fred.set_salary(1.0)
+        assert tracer.spans() == []

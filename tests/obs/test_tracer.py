@@ -1,0 +1,120 @@
+"""Unit tests for the causality tracer (spans, ring buffer, export)."""
+
+import io
+import json
+
+from repro.obs import Span, metrics, tracer
+from repro.tools.trace import load_spans
+
+
+class TestSpanLifecycle:
+    def test_nesting_follows_the_ambient_stack(self):
+        tracer.enable()
+        outer = tracer.begin("method", "Stock.set_price")
+        inner = tracer.begin("occurrence", "end Stock::set_price")
+        leaf = tracer.point("signal", "price-change", seq=1)
+        tracer.end(inner)
+        tracer.end(outer)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+
+    def test_end_merges_attrs_and_sets_duration(self):
+        tracer.enable()
+        span = tracer.begin("rule", "R", coupling="immediate")
+        tracer.end(span, fired=True)
+        assert span.attrs == {"coupling": "immediate", "fired": True}
+        assert span.duration_us >= 0.0
+        assert tracer.spans() == [span]
+
+    def test_span_contextmanager_closes_on_error(self):
+        tracer.enable()
+        try:
+            with tracer.span("action", "boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        [span] = tracer.spans()
+        assert span.name == "boom"
+        assert not tracer._stack
+
+    def test_end_unwinds_skipped_inner_spans(self):
+        tracer.enable()
+        outer = tracer.begin("txn", "commit:1")
+        tracer.begin("wal", "orphaned")  # never ended (exception path)
+        tracer.end(outer)
+        assert not tracer._stack
+
+    def test_finished_spans_feed_latency_histograms(self):
+        tracer.enable()
+        with tracer.span("rule", "R"):
+            pass
+        assert metrics.histogram("rule_us").count == 1
+
+    def test_points_feed_counters(self):
+        tracer.enable()
+        tracer.point("signal", "S")
+        assert metrics.counter("trace.signal").value == 1
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_recorded_spans(self):
+        tracer.enable(capacity=4)
+        for i in range(10):
+            tracer.point("signal", f"s{i}")
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert [s.name for s in spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_disable_keeps_buffer_clear_empties_it(self):
+        tracer.enable()
+        tracer.point("signal", "kept")
+        tracer.disable()
+        assert not tracer.enabled
+        assert len(tracer.spans()) == 1
+        tracer.clear()
+        assert tracer.spans() == []
+
+    def test_session_contextmanager(self):
+        with tracer.session() as t:
+            assert t is tracer
+            assert tracer.enabled
+        assert not tracer.enabled
+
+
+class TestFind:
+    def test_find_by_kind_and_attrs(self):
+        tracer.enable()
+        tracer.point("schedule", "A", rule="A", coupling="deferred")
+        tracer.point("schedule", "B", rule="B", coupling="immediate")
+        tracer.point("signal", "A")
+        assert [s.name for s in tracer.find("schedule")] == ["A", "B"]
+        assert [s.name for s in tracer.find("schedule", coupling="deferred")] == ["A"]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer.enable()
+        with tracer.span("method", "Stock.set_price", oid=3):
+            tracer.point("signal", "S", seq=7)
+        path = tmp_path / "spans.jsonl"
+        written = tracer.export_jsonl(str(path))
+        assert written == 2
+        loaded = load_spans(str(path))
+        assert [s.kind for s in loaded] == ["signal", "method"]
+        by_kind = {s.kind: s for s in loaded}
+        assert by_kind["signal"].attrs["seq"] == 7
+        assert by_kind["signal"].parent_id == by_kind["method"].span_id
+        assert by_kind["method"].attrs["oid"] == 3
+
+    def test_export_to_stream_stringifies_non_json_attrs(self):
+        tracer.enable()
+        tracer.point("txn", "t", status=object())
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        body = json.loads(buffer.getvalue())
+        assert isinstance(body["attrs"]["status"], str)
+
+    def test_span_json_round_trip(self):
+        span = Span(5, 2, "rule", "R", 10.0, 3.5, {"seq": 1})
+        assert Span.from_json(span.to_json()) == span

@@ -1,11 +1,15 @@
-"""Tests for the database inspection tool."""
+"""Tests for the database inspection and trace-rendering tools."""
+
+import json
 
 import pytest
 
 from repro.core import Sentinel
+from repro.obs.tracer import Span
 from repro.oodb import Database, Persistent
 from repro.tools import summarize
-from repro.tools.inspect import dump_object, main
+from repro.tools.inspect import dump_object, main, storage_stats
+from repro.tools.trace import main as trace_main
 from repro.workloads import Account
 
 
@@ -99,3 +103,102 @@ class TestCli:
         oid_value = int(summary.roots["main-widget"].split("@")[1])
         assert main([populated, "--oid", str(oid_value)]) == 0
         assert "class=Widget" in capsys.readouterr().out
+
+
+class TestStorageStats:
+    def test_reports_heap_and_indexes(self, populated):
+        text = storage_stats(populated)
+        assert "heap:" in text and "% utilized" in text
+        assert "Widget.size" in text
+        # Clean close checkpointed, so the WAL is empty.
+        assert "wal: 0 records" in text
+
+    def test_counts_wal_records_by_type(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path)
+        with db.transaction():
+            db.add(Widget(1))
+        # Leave the WAL un-checkpointed: stats must see the commit batch.
+        db._wal.close()
+        db._pool.flush_all()
+        text = storage_stats(path)
+        assert "begin        1" in text
+        assert "commit       1" in text
+        assert "update       1" in text
+
+    def test_main_stats_flag(self, populated, capsys):
+        assert main([populated, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "heap:" in out and "indexes:" in out
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A small hand-built JSONL trace: method → occurrence → rule chain."""
+    spans = [
+        Span(1, None, "method", "Employee.set_salary", 0.0, 50.0,
+             {"class": "Employee", "oid": 7}),
+        Span(2, 1, "occurrence", "end Employee::set_salary", 1.0, 40.0,
+             {"seq": 3, "class": "Employee", "oid": 7}),
+        Span(3, 2, "schedule", "SalaryCheck", 2.0, 0.0,
+             {"rule": "SalaryCheck", "coupling": "immediate", "seq": 3}),
+        Span(4, 2, "rule", "SalaryCheck", 3.0, 30.0,
+             {"rule": "SalaryCheck", "coupling": "immediate", "seq": 3}),
+        Span(5, 4, "condition", "SalaryCheck", 4.0, 5.0,
+             {"rule": "SalaryCheck", "seq": 3, "passed": True}),
+        Span(6, 4, "action", "SalaryCheck", 10.0, 15.0,
+             {"rule": "SalaryCheck", "seq": 3}),
+        Span(7, 4, "outcome", "SalaryCheck", 26.0, 0.0,
+             {"rule": "SalaryCheck", "fired": True, "seq": 3}),
+    ]
+    path = tmp_path / "spans.jsonl"
+    path.write_text(
+        "".join(json.dumps(s.to_json()) + "\n" for s in spans)
+    )
+    return str(path)
+
+
+class TestTraceCli:
+    def test_renders_tree(self, trace_file, capsys):
+        assert trace_main([trace_file]) == 0
+        out = capsys.readouterr().out
+        # Children indent under parents.
+        assert "method     Employee.set_salary" in out
+        assert "  occurrence" in out
+        assert "    rule" in out
+        assert "      condition" in out
+
+    def test_filter_by_rule(self, trace_file, capsys):
+        assert trace_main([trace_file, "--rule", "SalaryCheck"]) == 0
+        out = capsys.readouterr().out
+        assert "SalaryCheck" in out
+        assert "Employee.set_salary" not in out
+
+    def test_filter_by_class_and_kind(self, trace_file, capsys):
+        assert trace_main([trace_file, "--class", "Employee",
+                           "--kind", "method"]) == 0
+        out = capsys.readouterr().out
+        assert "Employee.set_salary" in out
+        assert "occurrence" not in out
+
+    def test_filter_by_oid(self, trace_file, capsys):
+        assert trace_main([trace_file, "--oid", "7"]) == 0
+        assert "Employee" in capsys.readouterr().out
+        assert trace_main([trace_file, "--oid", "99"]) == 0
+        assert "no spans match" in capsys.readouterr().out
+
+    def test_explain_rule(self, trace_file, capsys):
+        assert trace_main([trace_file, "--explain", "SalaryCheck"]) == 0
+        out = capsys.readouterr().out
+        assert "rule SalaryCheck" in out
+        assert "scheduled: 1 (immediate: 1)" in out
+        assert "fired:     1" in out
+        assert "condition: 1/1 passed" in out
+
+    def test_explain_unknown_rule(self, trace_file, capsys):
+        assert trace_main([trace_file, "--explain", "Nope"]) == 0
+        assert "no trace spans" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert trace_main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
