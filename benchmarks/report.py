@@ -22,7 +22,7 @@ _REPO_ROOT = __file__.rsplit("/", 2)[0]
 sys.path.insert(0, _REPO_ROOT)  # repo root, for `benchmarks`
 
 from repro.core import Notifiable, Reactive, Rule, Sentinel, event_method
-from repro.stats import pipeline_stats, reset_pipeline_stats
+from repro.obs.metrics import pipeline_stats, reset_pipeline_stats
 from repro.workloads import Stock, make_stocks, uniform_updates
 
 
@@ -344,10 +344,12 @@ def report_obs():
 
     Writes ``BENCH_obs.json`` at the repo root: the disabled-mode
     regression against the committed ``BENCH_hotpath.json`` baseline (the
-    ≤5% acceptance gate) and the measured cost of running with tracing
-    enabled, including spans produced per rule firing.
+    ≤5% acceptance gate), the measured cost of running with tracing
+    enabled (including spans produced per rule firing), and the sampled
+    1-in-16 mode gated at ≤1.5× disabled.
     """
     from benchmarks.test_bench_obs import (
+        SAMPLE_INTERVAL,
         load_hotpath_baseline,
         measure_pipeline,
     )
@@ -356,6 +358,7 @@ def report_obs():
     with Sentinel(adopt_class_rules=False):
         disabled = measure_pipeline(tracing=False)
         enabled = measure_pipeline(tracing=True)
+        sampled = measure_pipeline(tracing=True, sample=SAMPLE_INTERVAL)
 
         # Spans per firing: one monitored call through a full ECA rule.
         from repro.workloads import Stock
@@ -382,8 +385,13 @@ def report_obs():
     payload = {
         "disabled": {k: round(v, 4) for k, v in disabled.items()},
         "enabled": {k: round(v, 4) for k, v in enabled.items()},
+        "sampled": {k: round(v, 4) for k, v in sampled.items()},
+        "sample_interval": SAMPLE_INTERVAL,
         "enabled_over_disabled": round(
             enabled["subscribed_us"] / disabled["subscribed_us"], 2
+        ),
+        "sampled_over_disabled": round(
+            sampled["subscribed_us"] / disabled["subscribed_us"], 2
         ),
         "disabled_ratio_vs_baseline": round(
             disabled["subscribed_over_passive"]
@@ -401,6 +409,9 @@ def report_obs():
             ("disabled", f"{disabled['subscribed_us']:.3f}",
              f"{disabled['per_event_overhead_us']:.3f}",
              f"{disabled['subscribed_over_passive']:.2f}"),
+            (f"sampled 1-in-{SAMPLE_INTERVAL}", f"{sampled['subscribed_us']:.3f}",
+             f"{sampled['per_event_overhead_us']:.3f}",
+             f"{sampled['subscribed_over_passive']:.2f}"),
             ("enabled", f"{enabled['subscribed_us']:.3f}",
              f"{enabled['per_event_overhead_us']:.3f}",
              f"{enabled['subscribed_over_passive']:.2f}"),

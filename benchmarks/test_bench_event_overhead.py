@@ -19,7 +19,7 @@ import time
 
 from repro.core import Notifiable, Reactive, event_method
 from repro.oodb import Persistent
-from repro.stats import pipeline_stats, reset_pipeline_stats
+from repro.obs.metrics import pipeline_stats, reset_pipeline_stats
 
 
 class PassiveCounter(Persistent):

@@ -8,7 +8,10 @@ single flag-guarded branch.  Two properties are pinned here:
   is one attribute load and one jump per instrumented function;
 * **enabled**: one rule firing must produce the full connected span
   chain (the cost of which is recorded, not gated — tracing is a
-  diagnosis mode, not a production default).
+  diagnosis mode, not a production default);
+* **sampled**: with a 1-in-16 sample clock the per-call cost must stay
+  within 1.5× the disabled path — the skip decision is made once per
+  chain root, so 15 of every 16 chains take the untraced fast path.
 
 Timing comparisons use the machine-normalized ``subscribed_over_passive``
 ratio (falling back to the absolute µs figure), so the gate holds across
@@ -35,6 +38,16 @@ _REPO_ROOT = __file__.rsplit("/", 2)[0]
 #: The acceptance bound: disabled-mode regression vs the committed
 #: hot-path baseline.
 MAX_DISABLED_REGRESSION = 0.05
+
+#: The acceptance bound: 1-in-N sampled tracing vs the disabled path.
+MAX_SAMPLED_OVER_DISABLED = 1.5
+
+#: The sample interval the sampled-mode gate runs at.
+SAMPLE_INTERVAL = 16
+
+#: Gate attempts.  A µs-scale gate on a shared machine needs a retry: a
+#: real regression fails every attempt, a busy scheduler only some.
+GATE_ATTEMPTS = 5
 
 
 def load_hotpath_baseline() -> dict:
@@ -68,8 +81,8 @@ def best_us_per_call(fn, repeat=20000, trials=9):
     return best * 1e6
 
 
-def measure_pipeline(tracing: bool) -> dict:
-    """Passive vs subscribed per-call cost with tracing on or off."""
+def measure_pipeline(tracing: bool, sample: int = 1) -> dict:
+    """Passive vs subscribed per-call cost with tracing off/on/sampled."""
     passive = PassiveCounter()
     subscribed = ReactiveCounter()
     subscribed.subscribe(NullConsumer())
@@ -78,12 +91,13 @@ def measure_pipeline(tracing: bool) -> dict:
     tracer.disable()
     passive_us = best_us_per_call(passive.bump)
     if tracing:
-        tracer.enable(capacity=256)
+        tracer.enable(capacity=256, sample=sample)
     try:
         subscribed_us = best_us_per_call(subscribed.bump)
     finally:
         tracer.disable()
         tracer.clear()
+        tracer.sample_interval = 1
     return {
         "passive_us": passive_us,
         "subscribed_us": subscribed_us,
@@ -112,30 +126,72 @@ def test_bench_enabled_dispatch(benchmark, sentinel):
         tracer.clear()
 
 
+def test_bench_sampled_dispatch(benchmark, sentinel):
+    benchmark.group = "OBS tracer overhead"
+    counter = ReactiveCounter()
+    counter.subscribe(NullConsumer())
+    tracer.enable(capacity=256, sample=SAMPLE_INTERVAL)
+    try:
+        benchmark(counter.bump)
+    finally:
+        tracer.disable()
+        tracer.clear()
+        tracer.sample_interval = 1
+
+
+def test_shape_sampled_overhead_within_budget(sentinel):
+    """1-in-16 sampling: per-call cost ≤1.5× the disabled path.
+
+    Both sides are measured back-to-back in this process, so the gate is
+    machine-relative and needs no committed baseline.  Best-of-attempts:
+    a back-to-back pair distorted by scheduler interference retries.
+    """
+    best = float("inf")
+    for _attempt in range(GATE_ATTEMPTS):
+        disabled = measure_pipeline(tracing=False)
+        sampled = measure_pipeline(tracing=True, sample=SAMPLE_INTERVAL)
+        ratio = sampled["subscribed_us"] / disabled["subscribed_us"]
+        best = min(best, ratio)
+        if best <= MAX_SAMPLED_OVER_DISABLED:
+            return
+    raise AssertionError(
+        f"sampled tracing too costly: best ratio over {GATE_ATTEMPTS} "
+        f"attempts {best:.2f} > {MAX_SAMPLED_OVER_DISABLED}"
+    )
+
+
 def test_shape_disabled_overhead_within_budget(sentinel):
     """Tracing off: per-event overhead within 5% of the committed baseline.
 
     Primary gate is the machine-normalized subscribed/passive ratio; the
     absolute µs figure is accepted as an alternative so a machine *faster*
-    than the baseline recorder also passes trivially.
+    than the baseline recorder also passes trivially.  Best-of-attempts:
+    the bound sits a few percent over the committed baseline, so one
+    measurement taken while the machine is loaded must not fail the gate.
     """
     baseline = load_hotpath_baseline()
-    measured = measure_pipeline(tracing=False)
-
     ratio_bound = baseline["subscribed_over_passive"] * (
         1 + MAX_DISABLED_REGRESSION
     )
     absolute_bound = baseline["per_event_overhead_us"] * (
         1 + MAX_DISABLED_REGRESSION
     )
-    assert (
-        measured["subscribed_over_passive"] <= ratio_bound
-        or measured["per_event_overhead_us"] <= absolute_bound
-    ), (
-        f"disabled-tracing overhead regressed: "
-        f"ratio {measured['subscribed_over_passive']:.2f} vs bound "
-        f"{ratio_bound:.2f}, overhead {measured['per_event_overhead_us']:.3f}µs "
-        f"vs bound {absolute_bound:.3f}µs"
+    # Per-side minima across attempts: each min approaches the true
+    # quiet-machine cost, so transient interference on one attempt (or
+    # on one side of one attempt) cannot fail the gate by itself.
+    passive_us = subscribed_us = float("inf")
+    for _attempt in range(GATE_ATTEMPTS):
+        measured = measure_pipeline(tracing=False)
+        passive_us = min(passive_us, measured["passive_us"])
+        subscribed_us = min(subscribed_us, measured["subscribed_us"])
+        ratio = subscribed_us / passive_us
+        overhead_us = subscribed_us - passive_us
+        if ratio <= ratio_bound or overhead_us <= absolute_bound:
+            return
+    raise AssertionError(
+        f"disabled-tracing overhead regressed on all {GATE_ATTEMPTS} "
+        f"attempts: ratio {ratio:.2f} vs bound {ratio_bound:.2f}, "
+        f"overhead {overhead_us:.3f}µs vs bound {absolute_bound:.3f}µs"
     )
 
 

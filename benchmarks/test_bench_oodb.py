@@ -199,7 +199,7 @@ def test_per_record_logging_batch(benchmark, tmp_path):
 
 def test_shape_group_commit_batches_wal_writes(tmp_path):
     """One transaction → one group commit covering every logged record."""
-    from repro.stats import pipeline_stats, reset_pipeline_stats
+    from repro.obs.metrics import pipeline_stats, reset_pipeline_stats
 
     database = Database(str(tmp_path / "db"), sync=False, group_commit=True)
     try:

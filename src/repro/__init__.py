@@ -57,7 +57,7 @@ from .core import (
 )
 from .obs import CausalityTracer, MetricsRegistry, metrics, tracer
 from .oodb import Database, ObjectNotFound, Oid, Persistent, TransactionAborted
-from .stats import PipelineStats, pipeline_stats, reset_pipeline_stats
+from .obs.metrics import PipelineStats, pipeline_stats, reset_pipeline_stats
 
 __version__ = "1.0.0"
 

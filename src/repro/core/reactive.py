@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 from ..obs.tracer import tracer as _tracer
 from ..oodb.schema import Persistent
-from ..stats import pipeline_stats
+from ..obs.metrics import pipeline_stats
 from .generations import _class_gen
 from .identity import IdentitySet
 from .interface import ReactiveMeta
@@ -150,7 +150,7 @@ class Reactive(Persistent, metaclass=ReactiveMeta):
         consumers = self._consumer_snapshot()
         if not consumers:
             return 0
-        if _tracer.enabled:
+        if _tracer.enabled and not _tracer._skip_depth:
             return self._notify_consumers_traced(occurrence, consumers)
         scheduler = current_scheduler()
         frame = scheduler._begin_round()

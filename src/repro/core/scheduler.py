@@ -27,8 +27,12 @@ from __future__ import annotations
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterator
 
+from ..obs.audit import audit_log as _audit
+from ..obs.metrics import metrics as _metrics
+from ..obs.signals import engine_signals as _signals, occurrence_from_sysmon
 from ..obs.tracer import tracer as _tracer
 from ..oodb.errors import TransactionAborted
 from .coupling import Coupling
@@ -288,12 +292,35 @@ class RuleScheduler:
 
     def _execute_inner(self, rule: "Rule", occurrence: Occurrence) -> None:
         if self._depth >= self.max_depth:
+            if _signals.active:
+                _signals.emit(
+                    "scheduler_depth_exceeded",
+                    depth=self._depth + 1,
+                    threshold=self.max_depth,
+                )
             raise CascadeError(
                 f"rule cascade deeper than {self.max_depth} "
                 f"(at rule {rule.name!r}); check for mutually-triggering rules"
             )
         self._depth += 1
         self.stats.max_depth_seen = max(self.stats.max_depth_seen, self._depth)
+        if _signals.active and self._depth == _signals.depth_threshold:
+            # Crossing the sysmon alert threshold (softer than max_depth,
+            # which aborts the cascade) raises an event a rule can act on.
+            _signals.emit(
+                "scheduler_depth_exceeded",
+                depth=self._depth,
+                threshold=_signals.depth_threshold,
+            )
+        if _audit.enabled or _signals.active:
+            # Observed path: same semantics, plus audit/signals/counters.
+            # It does its own trace recording and error-policy handling,
+            # so only the depth unwind wraps it.
+            try:
+                self._fire_observed(rule, occurrence)
+            finally:
+                self._depth -= 1
+            return
         try:
             self.stats.executed += 1
             fired = rule.fire(occurrence)
@@ -310,6 +337,95 @@ class RuleScheduler:
             self.stats.errors.append(exc)
         finally:
             self._depth -= 1
+
+    def _fire_observed(self, rule: "Rule", occurrence: Occurrence) -> None:
+        """:meth:`_execute_inner` body with the observation hooks live.
+
+        Runs only when the audit log is open or a sysmon sink is
+        attached; the unobserved hot path above stays two flag loads.
+        Rules *triggered by* sysmon occurrences execute under signal
+        suppression (re-entrancy guard: their firings must not
+        manufacture further sysmon events) but are still audited and
+        counted — operators see them; the monitor does not.
+        """
+        from_sysmon = _signals.active and occurrence_from_sysmon(occurrence)
+        if from_sysmon:
+            _signals.push_suppression()
+        outcome = "rejected"
+        error: str | None = None
+        start = perf_counter()
+        try:
+            self.stats.executed += 1
+            fired = rule.fire(occurrence)
+            if fired:
+                outcome = "fired"
+                self.stats.fired += 1
+            self._record_trace(rule, occurrence, fired, None)
+        except TransactionAborted as exc:
+            outcome, error = "aborted", str(exc)
+            self._record_trace(rule, occurrence, True, str(exc))
+            raise
+        except Exception as exc:
+            outcome, error = "error", repr(exc)
+            self._record_trace(rule, occurrence, False, str(exc))
+            if self.error_policy == "propagate":
+                raise
+            self.stats.errors.append(exc)
+        finally:
+            latency_us = (perf_counter() - start) * 1e6
+            if from_sysmon:
+                _signals.pop_suppression()
+            self._observe(rule, occurrence, outcome, error, latency_us,
+                          from_sysmon)
+
+    def _observe(
+        self,
+        rule: "Rule",
+        occurrence: Occurrence,
+        outcome: str,
+        error: str | None,
+        latency_us: float,
+        from_sysmon: bool,
+    ) -> None:
+        name = rule.name
+        coupling = rule.coupling.value
+        if _audit.enabled:
+            _audit.record(
+                rule=name,
+                seq=occurrence.seq,
+                coupling=coupling,
+                condition=outcome in ("fired", "aborted"),
+                outcome=outcome,
+                error=error,
+                latency_us=latency_us,
+            )
+        _metrics.counter(f"rule_firings{{rule={name},outcome={outcome}}}").inc()
+        if not _signals.active or from_sysmon:
+            return
+        if outcome == "fired":
+            _signals.emit(
+                "rule_fired",
+                rule=name,
+                seq=occurrence.seq,
+                coupling=coupling,
+                latency_us=round(latency_us, 1),
+            )
+        elif outcome == "rejected":
+            _signals.emit(
+                "condition_rejected",
+                rule=name,
+                seq=occurrence.seq,
+                coupling=coupling,
+            )
+        elif outcome == "error":
+            _signals.emit(
+                "rule_error",
+                rule=name,
+                seq=occurrence.seq,
+                coupling=coupling,
+                error=error or "",
+            )
+        # "aborted": the transaction manager emits txn_aborted itself.
 
     def _run_decoupled(self, rule: "Rule", occurrence: Occurrence) -> None:
         """Run a decoupled rule in its own transaction."""

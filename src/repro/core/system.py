@@ -64,6 +64,8 @@ class Sentinel:
         self.events = EventRegistry()
         self.detector = EventDetector()
         self._txn_monitor = None
+        self._sys_monitor = None
+        self._obs_server = None
         self._entered = 0
         if adopt_class_rules:
             self._adopt_class_rules()
@@ -82,6 +84,52 @@ class Sentinel:
 
             self._txn_monitor = TransactionMonitor().attach(self.db.txn_manager)
         return self._txn_monitor
+
+    def system_monitor(
+        self,
+        depth_threshold: int | None = None,
+        fsync_slow_us: float | None = None,
+    ):
+        """The reactive object that raises engine-health events.
+
+        Created (and attached to the engine signal hub) on first use.
+        Subscribe rules to it to react to rule errors, rejected
+        conditions, transaction aborts, cascade-depth alerts, and slow
+        WAL fsyncs — see :mod:`repro.obs.sysmon`.
+        """
+        if self._sys_monitor is None:
+            from ..obs.sysmon import SystemMonitor
+
+            self._sys_monitor = SystemMonitor().attach(
+                depth_threshold=depth_threshold, fsync_slow_us=fsync_slow_us
+            )
+        return self._sys_monitor
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start (or return) the HTTP exporter for this system.
+
+        Serves ``/metrics`` (OpenMetrics), ``/healthz`` and ``/vars``
+        from a daemon thread; ``port=0`` picks an ephemeral port (read
+        ``.port``/``.url`` on the returned server).
+        """
+        if self._obs_server is None:
+            from ..obs.exporter import ObservabilityServer
+
+            self._obs_server = ObservabilityServer(
+                sentinel=self, host=host, port=port
+            ).start()
+        return self._obs_server
+
+    def enable_audit(self, path: str, max_bytes: int = 1 << 20, keep: int = 3):
+        """Open the durable rule-firing audit trail at ``path``.
+
+        The audit log is process-wide (:data:`repro.obs.audit.audit_log`);
+        this convenience opens it and returns it.  Query with
+        ``python -m repro.tools.audit``.
+        """
+        from ..obs.audit import audit_log
+
+        return audit_log.open(path, max_bytes=max_bytes, keep=keep)
 
     def _adopt_class_rules(self) -> None:
         """Bind already-materialized class rules to this system's scheduler.
@@ -106,6 +154,12 @@ class Sentinel:
         pop_scheduler(self.scheduler)
 
     def close(self) -> None:
+        if self._obs_server is not None:
+            self._obs_server.stop()
+            self._obs_server = None
+        if self._sys_monitor is not None:
+            self._sys_monitor.detach()
+            self._sys_monitor = None
         if self.db is not None:
             self.db.close()
 

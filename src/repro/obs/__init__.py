@@ -1,6 +1,6 @@
 """``repro.obs`` — observability for the event→rule pipeline and the OODB.
 
-Two halves, both deliberately free of imports from ``repro.core`` and
+The passive half is deliberately free of imports from ``repro.core`` and
 ``repro.oodb`` (they feed *into* this package, never the reverse):
 
 * :mod:`repro.obs.metrics` — a process-wide registry of named counters
@@ -10,14 +10,31 @@ Two halves, both deliberately free of imports from ``repro.core`` and
 * :mod:`repro.obs.tracer` — a causality tracer: lightweight spans linking
   method invocation → bom/eom occurrence → detector evaluation → rule
   condition → action (and, on the OODB side, transaction commits and WAL
-  writes), recorded into a bounded ring buffer with JSONL export.
+  writes), recorded into a bounded ring buffer with JSONL export; an
+  ``enable(sample=N)`` knob records one chain in every N.
+* :mod:`repro.obs.signals` — the dependency-free hub engine layers emit
+  health signals into.
+* :mod:`repro.obs.audit` — the durable, size-rotated JSONL audit trail
+  of rule firings (queried by ``python -m repro.tools.audit``).
 
-Instrumented code checks one flag (``tracer.enabled``) and takes a single
-guarded branch; with tracing disabled the hot paths pay one attribute
-load per instrumented function.  ``benchmarks/test_bench_obs.py`` holds
-that cost to ≤5% of the committed per-event overhead baseline.
+The operational half builds *on top of* the engine and is therefore
+imported lazily (``repro.obs.sysmon`` needs ``repro.core``, which itself
+imports the tracer — an eager import here would be a cycle):
+
+* :mod:`repro.obs.sysmon` — the ``SystemMonitor`` reactive object that
+  turns engine signals into first-class events for ECA rules.
+* :mod:`repro.obs.exporter` — OpenMetrics/``/healthz``/``/vars`` HTTP
+  exporter on a background thread.
+
+Instrumented code checks one flag (``tracer.enabled``, ``signals.active``,
+``audit_log.enabled``) and takes a single guarded branch; with everything
+off the hot paths pay an attribute load per instrumented function.
+``benchmarks/test_bench_obs.py`` holds that cost to ≤5% of the committed
+per-event overhead baseline, and holds 1-in-16 sampled tracing to ≤1.5×
+the disabled-mode figure.
 """
 
+from .audit import AuditLog, audit_log
 from .metrics import (
     Counter,
     Histogram,
@@ -27,6 +44,7 @@ from .metrics import (
     pipeline_stats,
     reset_pipeline_stats,
 )
+from .signals import SIGNAL_KINDS, EngineSignals, engine_signals
 from .tracer import CausalityTracer, Span, tracer
 
 __all__ = [
@@ -40,4 +58,32 @@ __all__ = [
     "CausalityTracer",
     "Span",
     "tracer",
+    "AuditLog",
+    "audit_log",
+    "EngineSignals",
+    "engine_signals",
+    "SIGNAL_KINDS",
+    # lazy (see __getattr__):
+    "SystemMonitor",
+    "occurrence_from_sysmon",
+    "ObservabilityServer",
+    "render_openmetrics",
 ]
+
+_LAZY = {
+    "SystemMonitor": "sysmon",
+    "occurrence_from_sysmon": "sysmon",
+    "ObservabilityServer": "exporter",
+    "render_openmetrics": "exporter",
+    "build_checks": "exporter",
+    "run_checks": "exporter",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module_name}", __name__), name)

@@ -1,0 +1,344 @@
+"""OpenMetrics/health HTTP exporter over the metrics registry.
+
+The registry and tracer are in-process structures; this module puts an
+operational surface in front of them using only the stdlib.  A
+:class:`ObservabilityServer` runs a ``http.server`` daemon thread with
+three endpoints:
+
+``/metrics``
+    :func:`render_openmetrics` over ``metrics.snapshot()`` — counters as
+    ``<name>_total``, histograms as OpenMetrics *summary* families
+    (``quantile`` labels plus ``_count``/``_sum``), terminated by
+    ``# EOF``.
+``/healthz``
+    structured health checks (WAL writable, rule error rate, scheduler
+    queue depth, recovery clean) as JSON; HTTP 200 when every check
+    passes, 503 when any is degraded.
+``/vars``
+    the raw snapshot as JSON (what ``repro.tools.top`` polls).
+
+The server thread only ever *reads*: ``snapshot()``/``summary()`` take
+copies under the registry lock (see :mod:`repro.obs.metrics`), so the
+engine thread stays the single writer and pays no new cost.
+
+**Labeled counters.**  The engine encodes labels in counter names with a
+brace convention — ``rule_firings{rule=audit_salary,outcome=fired}`` —
+because the registry itself is a flat namespace.  The renderer parses
+that back into proper OpenMetrics labels (escaping ``\\``, ``"`` and
+newlines per the spec) and groups same-base series under one family.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from .metrics import MetricsRegistry, metrics
+
+__all__ = [
+    "render_openmetrics",
+    "build_checks",
+    "run_checks",
+    "ObservabilityServer",
+    "OPENMETRICS_CONTENT_TYPE",
+]
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_QUANTILES = (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99"))
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics rendering
+# ----------------------------------------------------------------------
+def _sanitize(name: str) -> str:
+    """A legal OpenMetrics metric name (``.`` and friends become ``_``)."""
+    name = _NAME_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def parse_metric_name(name: str) -> tuple[str, dict[str, str]]:
+    """Split ``base{k=v,k2=v2}`` into ``(base, labels)``.
+
+    Values run to the next ``,`` or the closing ``}`` — the convention
+    deliberately has no quoting, so label values must not contain those
+    two characters (rule names never do).
+    """
+    brace = name.find("{")
+    if brace < 0 or not name.endswith("}"):
+        return name, {}
+    labels: dict[str, str] = {}
+    for pair in name[brace + 1 : -1].split(","):
+        key, sep, value = pair.partition("=")
+        if sep:
+            labels[key.strip()] = value.strip()
+    return name[:brace], labels
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        return format(value, "g")
+    return str(value)
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_sanitize(k)}="{_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_openmetrics(snapshot: dict[str, Any]) -> str:
+    """Render a ``metrics.snapshot()`` dict as OpenMetrics text.
+
+    Scalar values (counters, collector counts) become ``counter``
+    families; histogram summary dicts become ``summary`` families.
+    Families are emitted in sorted order so output is stable for tests.
+    """
+    counters: dict[str, list[tuple[dict[str, str], Any]]] = {}
+    summaries: dict[str, dict[str, Any]] = {}
+    for name, value in snapshot.items():
+        base, labels = parse_metric_name(name)
+        base = _sanitize(base)
+        if isinstance(value, dict):
+            summaries[base] = value
+        else:
+            counters.setdefault(base, []).append((labels, value))
+
+    lines: list[str] = []
+    for base in sorted(counters):
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"# HELP {base} Engine counter {base}.")
+        for labels, value in counters[base]:
+            lines.append(
+                f"{base}_total{_label_str(labels)} {_format_value(value)}"
+            )
+    for base in sorted(summaries):
+        summary = summaries[base]
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"# HELP {base} Latency summary {base} (microseconds).")
+        for key, quantile in _QUANTILES:
+            if key in summary:
+                lines.append(
+                    f'{base}{{quantile="{quantile}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        lines.append(f"{base}_count {_format_value(summary.get('count', 0))}")
+        lines.append(f"{base}_sum {_format_value(summary.get('sum', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Health checks
+# ----------------------------------------------------------------------
+Check = Callable[[], tuple[bool, str]]
+
+
+def build_checks(
+    sentinel: Any = None,
+    registry: MetricsRegistry = metrics,
+    max_error_ratio: float = 0.5,
+    max_pending: int = 1000,
+) -> dict[str, Check]:
+    """The default ``/healthz`` check set.
+
+    Registry-backed checks (error rate) always apply; engine-backed ones
+    (WAL writable, scheduler depth, recovery clean) need a ``sentinel``
+    and report healthy with an explanatory detail when none is attached.
+    """
+
+    def wal_writable() -> tuple[bool, str]:
+        db = getattr(sentinel, "db", None)
+        wal = getattr(db, "wal", None) if db is not None else None
+        path = getattr(wal, "path", None)
+        if path is None:
+            return True, "no database attached"
+        if os.access(path, os.W_OK):
+            return True, f"wal writable: {path}"
+        return False, f"wal not writable: {path}"
+
+    def error_rate() -> tuple[bool, str]:
+        errors = 0
+        total = 0
+        for name, value in registry.counters().items():
+            base, labels = parse_metric_name(name)
+            if base != "rule_firings":
+                continue
+            total += value
+            if labels.get("outcome") == "error":
+                errors += value
+        if not total:
+            return True, "no firings observed"
+        ratio = errors / total
+        detail = f"{errors}/{total} firings errored"
+        return ratio <= max_error_ratio, detail
+
+    def scheduler_depth() -> tuple[bool, str]:
+        scheduler = getattr(sentinel, "scheduler", None)
+        if scheduler is None:
+            return True, "no scheduler attached"
+        pending = scheduler.pending_deferred()
+        detail = f"{pending} deferred rules pending"
+        return pending <= max_pending, detail
+
+    def recovery_clean() -> tuple[bool, str]:
+        db = getattr(sentinel, "db", None)
+        report = getattr(db, "last_recovery", None) if db is not None else None
+        if report is None:
+            return True, "no recovery report"
+        if report.clean:
+            return True, "recovery clean"
+        return False, f"recovery replayed {report.redone_updates} updates"
+
+    return {
+        "wal_writable": wal_writable,
+        "error_rate": error_rate,
+        "scheduler_depth": scheduler_depth,
+        "recovery_clean": recovery_clean,
+    }
+
+
+def run_checks(checks: dict[str, Check]) -> dict[str, Any]:
+    """Execute checks; a check that raises counts as degraded."""
+    results: dict[str, Any] = {}
+    healthy = True
+    for name, check in checks.items():
+        try:
+            ok, detail = check()
+        except Exception as exc:  # a broken check is itself a finding
+            ok, detail = False, f"check raised: {exc!r}"
+        healthy = healthy and ok
+        results[name] = {"ok": ok, "detail": detail}
+    return {"status": "ok" if healthy else "degraded", "checks": results}
+
+
+def _json_safe(value: Any) -> Any:
+    """Snapshot values with non-finite floats stringified (strict JSON)."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, float) and (
+        value != value or value in (float("inf"), float("-inf"))
+    ):
+        return str(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class ObservabilityServer:
+    """Background ``/metrics`` + ``/healthz`` + ``/vars`` HTTP server.
+
+    Binds on construction (``port=0`` picks an ephemeral port — read
+    :attr:`port`/:attr:`url` after), serves from a daemon thread after
+    :meth:`start`.  Use as a context manager in tests.
+    """
+
+    def __init__(
+        self,
+        sentinel: Any = None,
+        registry: MetricsRegistry = metrics,
+        checks: dict[str, Check] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.checks = (
+            checks
+            if checks is not None
+            else build_checks(sentinel, registry=registry)
+        )
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = render_openmetrics(server.registry.snapshot())
+                    self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+                elif path == "/healthz":
+                    report = run_checks(server.checks)
+                    status = 200 if report["status"] == "ok" else 503
+                    self._reply(
+                        status, "application/json", json.dumps(report) + "\n"
+                    )
+                elif path == "/vars":
+                    body = json.dumps(_json_safe(server.registry.snapshot()))
+                    self._reply(200, "application/json", body + "\n")
+                else:
+                    self._reply(404, "text/plain", "not found\n")
+
+            def _reply(self, status: int, ctype: str, body: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # keep the engine's stdout clean
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-obs-exporter",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -12,10 +12,19 @@ everything else.  ``repro.stats`` re-exports the compatibility names.
 
 This module must not import ``repro.core`` or ``repro.oodb`` — both feed
 metrics into it.
+
+Thread-safety contract: **single writer, concurrent readers**.  The
+engine thread is the only one that increments counters and records
+histogram samples (plain attribute bumps, never locked — these are hot
+paths).  :meth:`MetricsRegistry.snapshot` and :meth:`Histogram.summary`
+take copies under a registry lock and may be called from any thread; the
+metrics exporter's HTTP thread does exactly that.  Readers can observe a
+value mid-batch (a count bumped before its sum), never a torn structure.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Deque
@@ -92,7 +101,15 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> dict[str, float]:
-        if not self.count:
+        """Count/sum/mean/min/max plus windowed percentiles.
+
+        Safe to call from a reader thread while the engine records:
+        ``sorted`` copies the window in one C-level pass under the GIL,
+        so a concurrent append cannot corrupt the read (the sample it
+        adds lands in the next summary).
+        """
+        count = self.count
+        if not count:
             return {"count": 0}
         ordered = sorted(self._window)
 
@@ -100,9 +117,11 @@ class Histogram:
             rank = min(len(ordered) - 1, int(p / 100.0 * (len(ordered) - 1) + 0.5))
             return ordered[rank]
 
+        total = self.total
         return {
-            "count": self.count,
-            "mean": self.mean,
+            "count": count,
+            "sum": total,
+            "mean": total / count,
             "min": self.min,
             "max": self.max,
             **{f"p{int(p)}": at(p) for p in _PERCENTILES},
@@ -134,6 +153,11 @@ class MetricsRegistry:
         self._collectors: dict[
             str, tuple[Callable[[], dict[str, Any]], Callable[[], None] | None]
         ] = {}
+        # Guards the instrument *dicts* (creation, enumeration) against a
+        # concurrent reader thread.  Bumping an existing instrument never
+        # locks: the get-or-create hit path below is lock-free too, so hot
+        # callers holding an instrument pay nothing.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Instruments
@@ -141,13 +165,19 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def histogram(self, name: str, window: int = DEFAULT_WINDOW) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name, window)
+            with self._lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(name, window)
         return histogram
 
     def register_collector(
@@ -157,33 +187,52 @@ class MetricsRegistry:
         reset: Callable[[], None] | None = None,
     ) -> None:
         """Expose an external counter struct under ``prefix.*`` (idempotent)."""
-        self._collectors[prefix] = (snapshot, reset)
+        with self._lock:
+            self._collectors[prefix] = (snapshot, reset)
+
+    def unregister_collector(self, prefix: str) -> None:
+        """Remove a collector registered under ``prefix`` (missing ok)."""
+        with self._lock:
+            self._collectors.pop(prefix, None)
 
     # ------------------------------------------------------------------
     # Reading and resetting
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """Every instrument's current value, flat, keyed by name."""
-        out: dict[str, Any] = {
-            name: counter.value for name, counter in self._counters.items()
-        }
-        for name, histogram in self._histograms.items():
+        """Every instrument's current value, flat, keyed by name.
+
+        Safe to call from any thread: the instrument dicts are copied
+        under the registry lock (so the engine creating a new instrument
+        mid-snapshot cannot break iteration), then read without it.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            histograms = list(self._histograms.items())
+            collectors = list(self._collectors.items())
+        out: dict[str, Any] = {name: counter.value for name, counter in counters}
+        for name, histogram in histograms:
             out[name] = histogram.summary()
-        for prefix, (collect, _reset) in self._collectors.items():
+        for prefix, (collect, _reset) in collectors:
             for key, value in collect().items():
                 out[f"{prefix}.{key}"] = value
         return out
 
     def counters(self) -> dict[str, int]:
-        return {name: c.value for name, c in self._counters.items()}
+        with self._lock:
+            items = list(self._counters.items())
+        return {name: c.value for name, c in items}
 
     def reset(self) -> None:
         """Zero every instrument (benchmark/test setup)."""
-        for counter in self._counters.values():
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+            collectors = list(self._collectors.values())
+        for counter in counters:
             counter.reset()
-        for histogram in self._histograms.values():
+        for histogram in histograms:
             histogram.reset()
-        for _collect, reset in self._collectors.values():
+        for _collect, reset in collectors:
             if reset is not None:
                 reset()
 

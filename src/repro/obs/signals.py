@@ -1,0 +1,133 @@
+"""Engine health signals: the wire between the engine and ``sysmon``.
+
+The self-monitoring bridge (:mod:`repro.obs.sysmon`) turns engine health
+occurrences — a rule erroring, a transaction aborting, the cascade depth
+blowing past a threshold, a slow WAL fsync — into first-class primitive
+events that ordinary ECA rules can monitor.  But the engine layers that
+*observe* those occurrences (``repro.core.scheduler``,
+``repro.oodb.transactions``, ``repro.oodb.storage.wal``) cannot import
+the monitor: ``sysmon`` is built on ``repro.core`` and importing it back
+would be a cycle.
+
+This module is the dependency-free middle: a process-wide
+:class:`EngineSignals` hub the engine emits into and sinks (the
+``SystemMonitor``) attach to.  Design points:
+
+* **One-flag hot path.**  Every emission site is guarded by
+  ``if _signals.active:`` — one attribute load and a jump when no
+  monitor is attached, exactly the tracer's discipline.
+* **Suppression scope.**  ``push_suppression()``/``pop_suppression()``
+  bracket work that must not generate further signals; the scheduler
+  uses it around rules *triggered by* sysmon events, so a rule reacting
+  to ``rule_fired`` cannot recursively manufacture its own firings.
+* **No payload objects.**  Signals carry plain scalars (names, sequence
+  numbers, microseconds), so emitting never pins engine objects.
+
+Like the tracer and the metrics registry, the hub follows the
+single-writer model: signals are emitted from the engine thread only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "EngineSignals",
+    "engine_signals",
+    "occurrence_from_sysmon",
+    "SIGNAL_KINDS",
+]
+
+#: The signal kinds the engine emits, matching the ``SystemMonitor``
+#: event-method catalog one-to-one.
+SIGNAL_KINDS = (
+    "rule_fired",                 # a rule's condition held and its action ran
+    "condition_rejected",         # a rule triggered but its condition said no
+    "rule_error",                 # a condition/action raised an exception
+    "txn_aborted",                # a transaction rolled back
+    "scheduler_depth_exceeded",   # rule cascade crossed the depth threshold
+    "wal_fsync_slow",             # one WAL fsync took longer than the budget
+)
+
+Sink = Callable[[str, dict[str, Any]], None]
+
+
+class EngineSignals:
+    """Process-wide fan-out point for engine health signals."""
+
+    __slots__ = (
+        "active",
+        "depth_threshold",
+        "fsync_slow_us",
+        "_sinks",
+        "_suppress",
+    )
+
+    def __init__(self) -> None:
+        #: True while at least one sink is attached — the emission guard.
+        self.active = False
+        #: Cascade depth at which ``scheduler_depth_exceeded`` fires.
+        self.depth_threshold = 16
+        #: Fsync latency (µs) above which ``wal_fsync_slow`` fires.
+        self.fsync_slow_us = 10_000.0
+        self._sinks: list[Sink] = []
+        self._suppress = 0
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def attach(self, sink: Sink) -> None:
+        """Start delivering signals to ``sink(kind, payload)`` (idempotent)."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+        self.active = True
+
+    def detach(self, sink: Sink) -> None:
+        """Stop delivering to ``sink``; unknown sinks are ignored."""
+        self._sinks = [s for s in self._sinks if s != sink]
+        self.active = bool(self._sinks)
+
+    # ------------------------------------------------------------------
+    # Suppression (re-entrancy control)
+    # ------------------------------------------------------------------
+    @property
+    def suppressed(self) -> bool:
+        return self._suppress > 0
+
+    def push_suppression(self) -> None:
+        """Silence emissions until the matching :meth:`pop_suppression`."""
+        self._suppress += 1
+
+    def pop_suppression(self) -> None:
+        if self._suppress > 0:
+            self._suppress -= 1
+
+    # ------------------------------------------------------------------
+    # Emission (engine side; call sites guard with ``if signals.active``)
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **payload: Any) -> None:
+        if self._suppress:
+            return
+        for sink in list(self._sinks):
+            sink(kind, payload)
+
+
+#: The process-wide hub.  Engine modules bind this to a local
+#: (``from ..obs.signals import engine_signals as _signals``) and branch
+#: on ``_signals.active``.
+engine_signals = EngineSignals()
+
+
+def occurrence_from_sysmon(occurrence: Any) -> bool:
+    """True if any constituent of ``occurrence`` came from a sysmon object.
+
+    The scheduler calls this (only while signals are active) to decide
+    whether a rule execution must run under signal suppression — the
+    second re-entrancy guard described in :mod:`repro.obs.sysmon`.  Duck
+    typed (any object with ``constituents`` each carrying a ``source``)
+    so this module stays free of ``repro.core`` imports.
+    """
+    for part in occurrence.constituents:
+        if getattr(part.source, "_sysmon_source", False):
+            return True
+    return False

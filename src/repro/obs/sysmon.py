@@ -1,0 +1,162 @@
+"""Self-monitoring: the engine as a reactive object ("rules on rules").
+
+The paper's deepest structural claim is that events and rules are
+ordinary objects, so rules can be written over *any* set of objects —
+including the machinery that runs the rules.  :class:`SystemMonitor`
+takes that claim literally for operations: it is a plain
+:class:`~repro.core.reactive.Reactive` object whose event interface is
+the engine's health surface.  Each health signal the engine emits (via
+:mod:`repro.obs.signals`) drives one monitored method here, which raises
+a first-class primitive event that any ECA rule — composite Sequence and
+Conjunction events included — can trigger on::
+
+    monitor = SystemMonitor().attach()
+    errors = Primitive("end SystemMonitor::rule_error(rule, seq, coupling, error)")
+    sentinel.monitor(
+        [monitor],
+        on=errors >> errors,                   # two errors in sequence
+        action=lambda ctx: sentinel.rules.get(ctx.param("rule")).disable(),
+    )
+
+The event catalog (one method per :data:`repro.obs.signals.SIGNAL_KINDS`
+entry):
+
+=============================  =====================================
+``rule_fired``                 a rule's action ran (rule, seq, coupling, latency_us)
+``condition_rejected``         a condition said no (rule, seq, coupling)
+``rule_error``                 condition/action raised (rule, seq, coupling, error)
+``txn_aborted``                a transaction rolled back (txn_id, changes)
+``scheduler_depth_exceeded``   cascade depth crossed the threshold (depth, threshold)
+``wal_fsync_slow``             one fsync overran its budget (micros, threshold_us)
+=============================  =====================================
+
+**Re-entrancy.**  A sysmon rule firing is itself a rule firing; naively
+it would emit ``rule_fired``, trigger itself, and recurse.  Two guards
+prevent that, and both are tested:
+
+1. while the monitor is raising an event (synchronous delivery,
+   immediate rules included), incoming signals are dropped
+   (``_emitting``);
+2. the scheduler suppresses *all* signal emission around any rule whose
+   triggering occurrence originated from a sysmon object, which also
+   covers deferred/decoupled sysmon rules executing later at commit
+   time.  The marker is the ``_sysmon_source`` class attribute checked
+   by :func:`occurrence_from_sysmon`.
+
+The monitor keeps plain counters per event kind and exposes them to
+``metrics.snapshot()`` under ``sysmon.*`` while attached.
+"""
+
+from __future__ import annotations
+
+from ..core.interface import event_method
+from ..core.reactive import Reactive
+from .metrics import metrics
+from .signals import engine_signals, occurrence_from_sysmon
+
+__all__ = ["SystemMonitor", "occurrence_from_sysmon"]
+
+
+class SystemMonitor(Reactive):
+    """The engine's health signals as a reactive object's event interface."""
+
+    #: Marks occurrences sourced here so the scheduler can suppress
+    #: signal emission for the rules they trigger (re-entrancy guard 2).
+    _sysmon_source = True
+
+    _p_transient = Reactive._p_transient + ("_emitting",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fired = 0
+        self.rejected = 0
+        self.errors = 0
+        self.txn_aborts = 0
+        self.depth_alerts = 0
+        self.slow_fsyncs = 0
+        self.dropped_reentrant = 0
+        object.__setattr__(self, "_emitting", False)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        depth_threshold: int | None = None,
+        fsync_slow_us: float | None = None,
+    ) -> "SystemMonitor":
+        """Start receiving engine signals (and publishing ``sysmon.*``).
+
+        ``depth_threshold`` / ``fsync_slow_us`` tune the two thresholded
+        signals process-wide (they live on the hub, because the emitting
+        engine code cannot see the monitor).
+        """
+        if depth_threshold is not None:
+            engine_signals.depth_threshold = depth_threshold
+        if fsync_slow_us is not None:
+            engine_signals.fsync_slow_us = fsync_slow_us
+        engine_signals.attach(self._receive)
+        metrics.register_collector("sysmon", self._counts)
+        return self
+
+    def detach(self) -> None:
+        engine_signals.detach(self._receive)
+        metrics.unregister_collector("sysmon")
+
+    def _receive(self, kind: str, payload: dict) -> None:
+        if getattr(self, "_emitting", False):
+            # Re-entrancy guard 1: a signal generated while this monitor
+            # is mid-delivery (e.g. by an immediate sysmon rule) is
+            # dropped rather than recursing.
+            self.dropped_reentrant += 1
+            return
+        handler = getattr(self, kind, None)
+        if handler is None:
+            return
+        object.__setattr__(self, "_emitting", True)
+        try:
+            handler(**payload)
+        finally:
+            object.__setattr__(self, "_emitting", False)
+
+    def _counts(self) -> dict[str, int]:
+        return {
+            "rule_fired": self.fired,
+            "condition_rejected": self.rejected,
+            "rule_error": self.errors,
+            "txn_aborted": self.txn_aborts,
+            "scheduler_depth_exceeded": self.depth_alerts,
+            "wal_fsync_slow": self.slow_fsyncs,
+            "dropped_reentrant": self.dropped_reentrant,
+        }
+
+    # ------------------------------------------------------------------
+    # Event generators (the monitorable surface)
+    # ------------------------------------------------------------------
+    @event_method
+    def rule_fired(
+        self, rule: str, seq: int, coupling: str, latency_us: float
+    ) -> None:
+        self.fired += 1
+
+    @event_method
+    def condition_rejected(self, rule: str, seq: int, coupling: str) -> None:
+        self.rejected += 1
+
+    @event_method
+    def rule_error(
+        self, rule: str, seq: int, coupling: str, error: str
+    ) -> None:
+        self.errors += 1
+
+    @event_method
+    def txn_aborted(self, txn_id: int, changes: int) -> None:
+        self.txn_aborts += 1
+
+    @event_method
+    def scheduler_depth_exceeded(self, depth: int, threshold: int) -> None:
+        self.depth_alerts += 1
+
+    @event_method
+    def wal_fsync_slow(self, micros: float, threshold_us: float) -> None:
+        self.slow_fsyncs += 1

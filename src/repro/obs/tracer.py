@@ -23,12 +23,30 @@ the disabled cost is one attribute load per instrumented function.  When
 enabled, every finished span also feeds a ``<kind>_us`` latency histogram
 in :data:`repro.obs.metrics.metrics`.
 
-Not thread-safe, by design — neither is the rule scheduler it observes.
+**Sampling.**  Enabled-mode tracing records every span, which costs a few
+µs per monitored call.  ``enable(sample=N)`` records one causality chain
+in every *N* instead: the keep/skip decision is made once, when a chain's
+root span opens (the open-span stack is empty), so a sampled chain is
+always recorded *complete* — method, occurrence, detection, rule,
+condition, action, outcome together — and a skipped chain contributes
+nothing at all.  Two exceptions to "nothing": spans that close with an
+``error`` attribute are always promoted into the buffer (errors are never
+sampled away), and top-level points outside any chain (transaction
+begin/abort markers) are always recorded.
+
+Thread-safety contract: **single writer, concurrent readers**.  The
+engine thread that runs the scheduler is the only thread that may open,
+close, or record spans; :meth:`spans`, :meth:`find`, and
+:meth:`export_jsonl` take a copy of the ring buffer under a lock and may
+be called from any thread (the metrics exporter's HTTP thread does).
+:meth:`clear` and :meth:`enable` take the same lock, so a concurrent
+reader sees either the old buffer or the new one, never a torn state.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -108,24 +126,56 @@ class Span:
 class CausalityTracer:
     """Bounded-ring-buffer span recorder with an ambient span stack."""
 
-    __slots__ = ("enabled", "capacity", "_buffer", "_stack", "_next_id", "_origin")
+    __slots__ = (
+        "enabled",
+        "capacity",
+        "sample_interval",
+        "_buffer",
+        "_stack",
+        "_next_id",
+        "_origin",
+        "_chain_count",
+        "_skip_depth",
+        "_read_lock",
+    )
 
     def __init__(self, capacity: int = 8192) -> None:
         self.enabled = False
         self.capacity = capacity
+        #: Record one chain in every ``sample_interval`` (1 = record all).
+        self.sample_interval = 1
         self._buffer: Deque[Span] = deque(maxlen=capacity)
         self._stack: list[Span] = []
         self._next_id = 0
         self._origin = 0.0
+        #: Chains seen since enable/clear — the sampling counter.
+        self._chain_count = 0
+        #: >0 while inside a skipped (unsampled) chain.  Instrumented
+        #: slow paths may pre-check this and fall back to their untraced
+        #: fast path; begin/end also handle it internally.
+        self._skip_depth = 0
+        self._read_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def enable(self, capacity: int | None = None) -> "CausalityTracer":
-        """Start recording (optionally resizing the ring buffer)."""
-        if capacity is not None and capacity != self.capacity:
-            self.capacity = capacity
-            self._buffer = deque(self._buffer, maxlen=capacity)
+    def enable(
+        self, capacity: int | None = None, sample: int | None = None
+    ) -> "CausalityTracer":
+        """Start recording (optionally resizing the buffer / sampling).
+
+        ``sample=N`` keeps one causality chain in every N (``1`` traces
+        everything, the default).  Skipped chains cost a fraction of a
+        traced one; errors are recorded regardless of the sample clock.
+        """
+        if sample is not None:
+            if sample < 1:
+                raise ValueError(f"sample interval must be >= 1, got {sample}")
+            self.sample_interval = sample
+        with self._read_lock:
+            if capacity is not None and capacity != self.capacity:
+                self.capacity = capacity
+                self._buffer = deque(self._buffer, maxlen=capacity)
         if not self.enabled:
             self._origin = perf_counter()
         self.enabled = True
@@ -135,16 +185,22 @@ class CausalityTracer:
         """Stop recording.  Recorded spans stay readable until clear()."""
         self.enabled = False
         self._stack.clear()
+        self._skip_depth = 0
 
     def clear(self) -> None:
-        self._buffer.clear()
+        with self._read_lock:
+            self._buffer.clear()
         self._stack.clear()
         self._next_id = 0
+        self._chain_count = 0
+        self._skip_depth = 0
 
     @contextmanager
-    def session(self, capacity: int | None = None) -> Iterator["CausalityTracer"]:
+    def session(
+        self, capacity: int | None = None, sample: int | None = None
+    ) -> Iterator["CausalityTracer"]:
         """``with tracer.session(): ...`` — enable, then disable on exit."""
-        self.enable(capacity)
+        self.enable(capacity, sample=sample)
         try:
             yield self
         finally:
@@ -156,8 +212,40 @@ class CausalityTracer:
     def _now(self) -> float:
         return (perf_counter() - self._origin) * 1e6
 
+    def chain_sampled(self) -> bool:
+        """Decide — before building any span — whether the chain opening
+        now should be traced.
+
+        Instrumented chain roots (the event-method stub) call this ahead
+        of their traced slow path so a skipped chain never pays for span
+        names, attrs, or placeholder objects.  Inside an already-open
+        chain the answer is always yes.  At a true root a skip consumes
+        the sample clock's tick here; a keep leaves the tick for the
+        root :meth:`begin`, which then reaches the same decision.
+        """
+        if self._stack or self.sample_interval <= 1:
+            return True
+        if (self._chain_count + 1) % self.sample_interval:
+            self._chain_count += 1  # consume the skipped chain's tick
+            return False
+        return True
+
     def begin(self, kind: str, name: str, **attrs: Any) -> Span:
-        """Open a span as a child of the currently open span."""
+        """Open a span as a child of the currently open span.
+
+        At a chain root (no span open) the sampling decision is made: a
+        skipped chain returns placeholder spans (``span_id == 0``) that
+        :meth:`end` discards — unless they close with an ``error`` attr,
+        which always promotes them into the buffer.
+        """
+        if self._skip_depth:
+            self._skip_depth += 1
+            return Span(0, None, kind, name, 0.0, attrs=attrs)
+        if self.sample_interval > 1 and not self._stack:
+            self._chain_count += 1
+            if self._chain_count % self.sample_interval:
+                self._skip_depth = 1
+                return Span(0, None, kind, name, 0.0, attrs=attrs)
         self._next_id += 1
         span = Span(
             span_id=self._next_id,
@@ -172,6 +260,21 @@ class CausalityTracer:
 
     def end(self, span: Span, **attrs: Any) -> Span:
         """Close ``span``, record it, and feed its latency histogram."""
+        if span.span_id == 0:
+            # Placeholder from a skipped chain.  Errors are never sampled
+            # away: promote the erroring span (alone) into the buffer.
+            if self._skip_depth:
+                self._skip_depth -= 1
+            if attrs:
+                span.attrs.update(attrs)
+            if "error" in span.attrs:
+                self._next_id += 1
+                span.span_id = self._next_id
+                span.start_us = self._now()
+                span.attrs["sampled"] = False
+                self._buffer.append(span)
+                metrics.counter("trace.errors_promoted").inc()
+            return span
         span.duration_us = self._now() - span.start_us
         if attrs:
             span.attrs.update(attrs)
@@ -192,7 +295,14 @@ class CausalityTracer:
             self.end(opened)
 
     def point(self, kind: str, name: str, **attrs: Any) -> Span:
-        """Record an instantaneous span under the currently open span."""
+        """Record an instantaneous span under the currently open span.
+
+        Inside a skipped chain, points are dropped — except points carrying
+        an ``error`` attribute, which are always recorded.  Points outside
+        any chain (transaction markers) ignore sampling entirely.
+        """
+        if self._skip_depth and "error" not in attrs:
+            return Span(0, None, kind, name, 0.0, attrs=attrs)
         self._next_id += 1
         span = Span(
             span_id=self._next_id,
@@ -210,13 +320,21 @@ class CausalityTracer:
     # Reading and export
     # ------------------------------------------------------------------
     def spans(self) -> list[Span]:
-        """Recorded spans, in recording (roughly end-time) order."""
-        return list(self._buffer)
+        """Recorded spans, in recording (roughly end-time) order.
+
+        Safe to call from any thread: the copy is taken under the read
+        lock, so a concurrent :meth:`clear`/:meth:`enable` cannot swap the
+        buffer out from underneath it.  (Span *appends* by the engine
+        thread do not lock — copying a deque is a single C-level
+        operation under the GIL.)
+        """
+        with self._read_lock:
+            return list(self._buffer)
 
     def find(self, kind: str | None = None, **attrs: Any) -> list[Span]:
         """Spans matching ``kind`` and every given attr (test helper)."""
         out = []
-        for span in self._buffer:
+        for span in self.spans():
             if kind is not None and span.kind != kind:
                 continue
             if all(span.attrs.get(k) == v for k, v in attrs.items()):

@@ -29,7 +29,7 @@ import json
 import types
 from typing import Any, Callable, Protocol
 
-from ..stats import pipeline_stats
+from ..obs.metrics import pipeline_stats
 from .errors import SerializationError
 from .oid import Oid
 

@@ -29,11 +29,20 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from time import perf_counter
+
+from ...obs.metrics import pipeline_stats
+from ...obs.signals import engine_signals as _signals
 from ...obs.tracer import tracer as _tracer
-from ...stats import pipeline_stats
 from ..errors import WALError
 
-__all__ = ["LogRecordType", "LogRecord", "WriteAheadLog", "FSYNC_POLICIES"]
+__all__ = [
+    "LogRecordType",
+    "LogRecord",
+    "WriteAheadLog",
+    "FSYNC_POLICIES",
+    "read_records",
+]
 
 _FRAME = struct.Struct("<II")
 
@@ -177,7 +186,18 @@ class WriteAheadLog:
             pending.clear()
         self._file.flush()
         if self._sync if force_sync is None else force_sync:
-            os.fsync(self._file.fileno())
+            if _signals.active:
+                start = perf_counter()
+                os.fsync(self._file.fileno())
+                micros = (perf_counter() - start) * 1e6
+                if micros >= _signals.fsync_slow_us:
+                    _signals.emit(
+                        "wal_fsync_slow",
+                        micros=round(micros, 1),
+                        threshold_us=_signals.fsync_slow_us,
+                    )
+            else:
+                os.fsync(self._file.fileno())
             pipeline_stats.wal_syncs += 1
 
     def log_begin(self, txn_id: int) -> int:
@@ -291,18 +311,7 @@ class WriteAheadLog:
         the logical end of the log, as a crashed append would leave).
         """
         self.flush(force_sync=False)
-        with open(self._path, "rb") as reader:
-            offset = 0
-            while True:
-                frame = reader.read(_FRAME.size)
-                if len(frame) < _FRAME.size:
-                    return
-                length, crc = _FRAME.unpack(frame)
-                payload = reader.read(length)
-                if len(payload) < length or zlib.crc32(payload) != crc:
-                    return
-                yield LogRecord.from_payload(payload, lsn=offset)
-                offset += _FRAME.size + length
+        yield from read_records(self._path)
 
     def tail_size(self) -> int:
         """Current end-of-log offset."""
@@ -326,3 +335,32 @@ class WriteAheadLog:
     @property
     def path(self) -> str:
         return self._path
+
+
+def read_records(path: str | os.PathLike[str]) -> Iterator[LogRecord]:
+    """Yield every valid record from the log at ``path``, read-only.
+
+    Unlike constructing a :class:`WriteAheadLog` (which opens the file in
+    append mode and whose owning :class:`~repro.oodb.database.Database`
+    runs recovery — truncating the very records being counted), this
+    touches nothing: no write handle, no flush, no recovery.  It is the
+    safe way for inspection tools to read a live or crashed log.  Stops
+    at the first torn or corrupt entry, like :meth:`WriteAheadLog.records`.
+    A missing file yields nothing.
+    """
+    try:
+        reader = open(os.fspath(path), "rb")
+    except FileNotFoundError:
+        return
+    with reader:
+        offset = 0
+        while True:
+            frame = reader.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                return
+            length, crc = _FRAME.unpack(frame)
+            payload = reader.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            yield LogRecord.from_payload(payload, lsn=offset)
+            offset += _FRAME.size + length

@@ -26,6 +26,7 @@ import itertools
 import threading
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..obs.signals import engine_signals as _signals
 from ..obs.tracer import tracer as _tracer
 from .errors import (
     NoActiveTransaction,
@@ -393,6 +394,13 @@ class TransactionManager:
             _tracer.point(
                 "txn", f"abort:{txn.id}", txn=txn.id, op="abort",
                 changes=txn.change_count(),
+            )
+        if _signals.active:
+            # Emit before the undo runs: change_count reflects what the
+            # transaction was about to write, which is what an operator
+            # alerting on aborts wants to see.
+            _signals.emit(
+                "txn_aborted", txn_id=txn.id, changes=txn.change_count()
             )
         txn._restoring = True
         try:

@@ -11,10 +11,23 @@ original import surface working unchanged::
 
 Hot paths still bump ``pipeline_stats`` attributes directly (one integer
 add; no indirection) — the registry reads them through a collector.
+
+Importing this module emits a :class:`DeprecationWarning`: new code
+should import from :mod:`repro.obs.metrics` directly.  The alias will be
+kept for at least one more release.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from .obs.metrics import PipelineStats, pipeline_stats, reset_pipeline_stats
 
 __all__ = ["PipelineStats", "pipeline_stats", "reset_pipeline_stats"]
+
+warnings.warn(
+    "repro.stats is deprecated; import PipelineStats/pipeline_stats/"
+    "reset_pipeline_stats from repro.obs.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,4 +1,12 @@
-"""Operational tooling: database inspection and statistics."""
+"""Operational tooling: inspection, audit queries, live metrics views.
+
+Each module doubles as a CLI entry point::
+
+    python -m repro.tools.inspect DBDIR [--rules|--stats|--oid N]
+    python -m repro.tools.trace   TRACE.jsonl
+    python -m repro.tools.audit   AUDIT.jsonl [--rule R] [--summary] ...
+    python -m repro.tools.top     http://HOST:PORT [--interval S]
+"""
 
 from .inspect import DatabaseSummary, summarize
 

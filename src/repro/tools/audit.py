@@ -1,0 +1,168 @@
+"""Query the rule-firing audit trail from the command line.
+
+Usage::
+
+    python -m repro.tools.audit /path/to/audit.jsonl                 # all
+    python -m repro.tools.audit audit.jsonl --rule guard             # filter
+    python -m repro.tools.audit audit.jsonl --outcome error          # filter
+    python -m repro.tools.audit audit.jsonl --since 2026-08-05T14:00
+    python -m repro.tools.audit audit.jsonl --tail 20                # newest
+    python -m repro.tools.audit audit.jsonl --summary                # per-rule
+
+Reads the JSONL trail written by :mod:`repro.obs.audit` (rotated
+generations included, oldest first; ``--no-rotated`` restricts to the
+active file).  Timestamps for ``--since``/``--until`` accept epoch
+seconds or ISO-8601 (interpreted in local time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime
+from typing import Any, Iterable, Iterator
+
+from ..obs.audit import OUTCOMES, read_entries
+
+__all__ = ["filter_entries", "render_entry", "render_summary", "main"]
+
+
+def parse_when(text: str) -> float:
+    """``--since``/``--until`` value → epoch seconds."""
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return datetime.fromisoformat(text).timestamp()
+    except ValueError:
+        raise SystemExit(
+            f"unrecognized time {text!r}; use epoch seconds or ISO-8601"
+        ) from None
+
+
+def filter_entries(
+    entries: Iterable[dict[str, Any]],
+    rule: str | None = None,
+    outcome: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> Iterator[dict[str, Any]]:
+    for entry in entries:
+        if rule is not None and entry.get("rule") != rule:
+            continue
+        if outcome is not None and entry.get("outcome") != outcome:
+            continue
+        ts = entry.get("ts", 0.0)
+        if since is not None and ts < since:
+            continue
+        if until is not None and ts > until:
+            continue
+        yield entry
+
+
+def render_entry(entry: dict[str, Any]) -> str:
+    when = datetime.fromtimestamp(entry.get("ts", 0.0)).isoformat(
+        sep=" ", timespec="milliseconds"
+    )
+    line = (
+        f"{when}  seq={entry.get('seq'):<6} {entry.get('rule'):<24} "
+        f"{entry.get('coupling'):<9} {entry.get('outcome'):<8} "
+        f"{entry.get('latency_us', 0.0):>8.1f}µs"
+    )
+    error = entry.get("error")
+    if error:
+        line += f"  {error}"
+    return line
+
+
+def render_summary(entries: Iterable[dict[str, Any]]) -> str:
+    """Per-rule firing counts by outcome, with mean/max latency."""
+    per_rule: dict[str, dict[str, Any]] = {}
+    for entry in entries:
+        stats = per_rule.setdefault(
+            entry.get("rule", "?"),
+            {"total": 0, "latency_sum": 0.0, "latency_max": 0.0,
+             **{outcome: 0 for outcome in OUTCOMES}},
+        )
+        stats["total"] += 1
+        outcome = entry.get("outcome")
+        if outcome in stats:
+            stats[outcome] += 1
+        latency = entry.get("latency_us", 0.0) or 0.0
+        stats["latency_sum"] += latency
+        stats["latency_max"] = max(stats["latency_max"], latency)
+    if not per_rule:
+        return "no entries"
+    header = (
+        f"{'rule':<24} {'total':>6} {'fired':>6} {'reject':>6} "
+        f"{'error':>6} {'abort':>6} {'mean µs':>9} {'max µs':>9}"
+    )
+    lines = [header]
+    for name in sorted(per_rule):
+        stats = per_rule[name]
+        mean = stats["latency_sum"] / stats["total"] if stats["total"] else 0.0
+        lines.append(
+            f"{name:<24} {stats['total']:>6} {stats['fired']:>6} "
+            f"{stats['rejected']:>6} {stats['error']:>6} "
+            f"{stats['aborted']:>6} {mean:>9.1f} {stats['latency_max']:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.audit",
+        description="Query the Sentinel rule-firing audit trail.",
+    )
+    parser.add_argument("path", help="audit log path (the active JSONL file)")
+    parser.add_argument("--rule", default=None, help="only this rule")
+    parser.add_argument(
+        "--outcome", default=None, choices=OUTCOMES,
+        help="only firings with this outcome",
+    )
+    parser.add_argument(
+        "--since", default=None,
+        help="only entries at/after this time (epoch or ISO-8601)",
+    )
+    parser.add_argument(
+        "--until", default=None,
+        help="only entries at/before this time (epoch or ISO-8601)",
+    )
+    parser.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="show only the newest N matching entries",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="per-rule outcome counts and latency instead of entries",
+    )
+    parser.add_argument(
+        "--no-rotated", action="store_true",
+        help="read only the active file, not rotated generations",
+    )
+    args = parser.parse_args(argv)
+
+    entries: Iterable[dict[str, Any]] = filter_entries(
+        read_entries(args.path, include_rotated=not args.no_rotated),
+        rule=args.rule,
+        outcome=args.outcome,
+        since=parse_when(args.since) if args.since else None,
+        until=parse_when(args.until) if args.until else None,
+    )
+    if args.summary:
+        print(render_summary(entries))
+        return 0
+    if args.tail is not None:
+        entries = list(entries)[-args.tail :]
+    count = 0
+    for entry in entries:
+        print(render_entry(entry))
+        count += 1
+    if not count:
+        print("no entries")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -125,28 +125,27 @@ def _wal_stats(path: str) -> list[str]:
     """Summarize the WAL *before* the database is opened.
 
     Opening runs restart recovery, which checkpoints and truncates the
-    log — reading after that would always report an empty WAL.
+    log — reading after that would always report an empty WAL.  The read
+    uses :func:`repro.oodb.storage.wal.read_records` (no write handle, no
+    flush, no recovery), so inspecting a live or crashed database cannot
+    disturb it.
     """
     import os
 
-    from ..oodb.storage.wal import WriteAheadLog
+    from ..oodb.storage.wal import read_records
 
     wal_path = os.path.join(path, "wal.log")
     if not os.path.exists(wal_path):
         return ["wal: no log file"]
-    wal = WriteAheadLog(wal_path, sync=False)
-    try:
-        by_type: dict[str, int] = {}
-        total = 0
-        for record in wal.records():
-            total += 1
-            by_type[record.type.value] = by_type.get(record.type.value, 0) + 1
-        lines = [f"wal: {total} records, {wal.tail_size()} bytes"]
-        for name in sorted(by_type):
-            lines.append(f"  {name:<12} {by_type[name]}")
-        return lines
-    finally:
-        wal.close()
+    by_type: dict[str, int] = {}
+    total = 0
+    for record in read_records(wal_path):
+        total += 1
+        by_type[record.type.value] = by_type.get(record.type.value, 0) + 1
+    lines = [f"wal: {total} records, {os.path.getsize(wal_path)} bytes"]
+    for name in sorted(by_type):
+        lines.append(f"  {name:<12} {by_type[name]}")
+    return lines
 
 
 def storage_stats(path: str) -> str:
@@ -156,6 +155,13 @@ def storage_stats(path: str) -> str:
     lines.extend(_wal_stats(path))
     db = Database(path)
     try:
+        if db.last_recovery is not None and not db.last_recovery.clean:
+            lines.append(
+                "warning: opening for stats ran restart recovery "
+                f"({db.last_recovery.redone_updates} updates replayed); "
+                "the WAL counts above were read before it (read-only) — "
+                "the log on disk is now truncated"
+            )
         heap = getattr(db, "_heap", None)
         if heap is None:
             lines.append("heap: none (in-memory database)")

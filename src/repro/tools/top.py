@@ -1,0 +1,137 @@
+"""Live terminal view of rule firing rates and latencies.
+
+Usage::
+
+    python -m repro.tools.top http://127.0.0.1:9100            # live
+    python -m repro.tools.top http://127.0.0.1:9100 --interval 5
+    python -m repro.tools.top http://127.0.0.1:9100 --iterations 1
+
+Polls the ``/vars`` JSON endpoint of a running
+:class:`repro.obs.exporter.ObservabilityServer` (a separate process
+cannot read the in-process registry, so the exporter is the data path)
+and renders:
+
+* per-rule firing rates — deltas of the ``rule_firings{rule=…,outcome=…}``
+  counters between polls (the first frame shows totals);
+* pipeline latency p50/p95/p99 from every ``*_us`` histogram summary.
+
+``--iterations`` bounds the loop (0 = run until interrupted); the
+rendering is a pure function of two snapshots, so tests drive it
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+from urllib.request import urlopen
+
+from ..obs.exporter import parse_metric_name
+
+__all__ = ["fetch_vars", "render_top", "main"]
+
+
+def fetch_vars(url: str, timeout: float = 5.0) -> dict[str, Any]:
+    """GET ``<url>/vars`` and return the decoded snapshot."""
+    with urlopen(url.rstrip("/") + "/vars", timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _firings(snapshot: dict[str, Any]) -> dict[tuple[str, str], int]:
+    """``(rule, outcome) -> count`` from the labeled firing counters."""
+    out: dict[tuple[str, str], int] = {}
+    for name, value in snapshot.items():
+        base, labels = parse_metric_name(name)
+        if base == "rule_firings" and isinstance(value, (int, float)):
+            key = (labels.get("rule", "?"), labels.get("outcome", "?"))
+            out[key] = out.get(key, 0) + int(value)
+    return out
+
+
+def render_top(
+    snapshot: dict[str, Any],
+    previous: dict[str, Any] | None = None,
+    elapsed: float = 0.0,
+) -> str:
+    """One frame: firing rates (vs ``previous``) and latency summaries."""
+    lines: list[str] = []
+    now = _firings(snapshot)
+    before = _firings(previous) if previous else {}
+    rating = previous is not None and elapsed > 0.0
+    unit = "Δ/s" if rating else "total"
+    lines.append(f"{'rule':<24} {'outcome':<9} {unit:>10}")
+    rules = sorted({rule for rule, _ in now})
+    for rule in rules:
+        for (r, outcome), count in sorted(now.items()):
+            if r != rule:
+                continue
+            delta = count - before.get((r, outcome), 0)
+            value = f"{delta / elapsed:.1f}" if rating else str(count)
+            lines.append(f"{rule:<24} {outcome:<9} {value:>10}")
+    if not rules:
+        lines.append("(no rule firings observed)")
+
+    lines.append("")
+    lines.append(
+        f"{'latency':<24} {'count':>8} {'p50 µs':>9} {'p95 µs':>9} "
+        f"{'p99 µs':>9}"
+    )
+    histograms = 0
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if not (name.endswith("_us") and isinstance(value, dict)):
+            continue
+        histograms += 1
+        lines.append(
+            f"{name:<24} {value.get('count', 0):>8} "
+            f"{value.get('p50', 0.0):>9.1f} {value.get('p95', 0.0):>9.1f} "
+            f"{value.get('p99', 0.0):>9.1f}"
+        )
+    if not histograms:
+        lines.append("(no latency histograms; enable the tracer)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.top",
+        description="Live firing rates and latencies from a Sentinel "
+        "metrics exporter.",
+    )
+    parser.add_argument("url", help="exporter base URL (serving /vars)")
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    previous: dict[str, Any] | None = None
+    last_poll = 0.0
+    frames = 0
+    try:
+        while True:
+            snapshot = fetch_vars(args.url)
+            elapsed = time.monotonic() - last_poll if previous else 0.0
+            last_poll = time.monotonic()
+            frame = render_top(snapshot, previous, elapsed)
+            if previous is not None and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")  # clear between frames
+            print(frame)
+            previous = snapshot
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

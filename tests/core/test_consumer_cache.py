@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import IdentitySet, Notifiable, Reactive, Rule, event_method
 from repro.core.generations import ClassConsumerList, class_generation
-from repro.stats import pipeline_stats, reset_pipeline_stats
+from repro.obs.metrics import pipeline_stats, reset_pipeline_stats
 from repro.workloads import Stock
 
 

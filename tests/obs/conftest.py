@@ -1,19 +1,36 @@
-"""Fixtures for the observability tests: no tracer state may leak."""
+"""Fixtures for the observability tests: no obs state may leak.
+
+The observability layer is deliberately process-global (tracer, metrics
+registry, signal hub, audit log) — so every test here starts and ends
+with all of it disabled and empty.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.obs import metrics, tracer
+from repro.obs import audit_log, engine_signals, metrics, tracer
+
+
+def _reset_all() -> None:
+    tracer.disable()
+    tracer.clear()
+    tracer.sample_interval = 1
+    metrics.reset()
+    for prefix in list(metrics._collectors):
+        if prefix != "pipeline":
+            metrics.unregister_collector(prefix)
+    audit_log.close()
+    engine_signals._sinks.clear()
+    engine_signals.active = False
+    engine_signals._suppress = 0
+    engine_signals.depth_threshold = 16
+    engine_signals.fsync_slow_us = 10_000.0
 
 
 @pytest.fixture(autouse=True)
-def _clean_tracer():
-    """Every obs test starts and ends with a disabled, empty tracer."""
-    tracer.disable()
-    tracer.clear()
-    metrics.reset()
+def _clean_obs():
+    """Every obs test starts and ends with pristine observability state."""
+    _reset_all()
     yield
-    tracer.disable()
-    tracer.clear()
-    metrics.reset()
+    _reset_all()

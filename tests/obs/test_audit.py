@@ -1,0 +1,127 @@
+"""The durable rule-firing audit trail: rotation, outcomes, sampling."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.interface import event_method
+from repro.core.reactive import Reactive
+from repro.core.system import Sentinel
+from repro.obs import audit_log, tracer
+from repro.obs.audit import AuditLog, read_entries
+
+
+class TestAuditLog:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        log = AuditLog()
+        log.open(path)
+        log.record("r1", seq=1, coupling="immediate", condition=True,
+                   outcome="fired", latency_us=12.34)
+        log.record("r2", seq=2, coupling="deferred", condition=False,
+                   outcome="rejected")
+        log.close()
+        entries = list(read_entries(path))
+        assert [e["rule"] for e in entries] == ["r1", "r2"]
+        assert entries[0]["outcome"] == "fired"
+        assert entries[0]["latency_us"] == 12.3
+        assert entries[1]["condition"] is False
+        assert all("ts" in e for e in entries)
+
+    def test_rotation_by_size(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        log = AuditLog()
+        log.open(path, max_bytes=300, keep=2)
+        for i in range(50):
+            log.record(f"rule{i}", seq=i, coupling="immediate",
+                       condition=True, outcome="fired")
+        log.close()
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".1")
+        assert os.path.exists(path + ".2")
+        assert not os.path.exists(path + ".3")  # keep=2 bounds retention
+
+    def test_read_entries_oldest_first_across_generations(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        log = AuditLog()
+        log.open(path, max_bytes=300, keep=3)
+        for i in range(30):
+            log.record(f"rule{i}", seq=i, coupling="immediate",
+                       condition=True, outcome="fired")
+        log.close()
+        seqs = [e["seq"] for e in read_entries(path)]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 29
+        active_only = [e["seq"] for e in read_entries(path, include_rotated=False)]
+        assert len(active_only) < len(seqs)
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"rule": "ok", "seq": 1}) + "\n")
+            handle.write('{"rule": "torn", "se')  # crash mid-append
+        assert [e["rule"] for e in read_entries(path)] == ["ok"]
+
+    def test_open_validates_knobs(self, tmp_path):
+        log = AuditLog()
+        with pytest.raises(ValueError):
+            log.open(str(tmp_path / "a"), max_bytes=0)
+        with pytest.raises(ValueError):
+            log.open(str(tmp_path / "a"), keep=0)
+
+    def test_record_without_open_is_a_noop(self):
+        AuditLog().record("r", seq=1, coupling="immediate",
+                          condition=True, outcome="fired")
+
+
+class _Stock(Reactive):
+    def __init__(self) -> None:
+        super().__init__()
+        self.price = 0.0
+
+    @event_method
+    def set_price(self, price: float) -> None:
+        self.price = price
+
+
+class TestSchedulerIntegration:
+    def test_every_outcome_is_audited(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        with Sentinel(error_policy="isolate", adopt_class_rules=False) as s:
+            s.enable_audit(path)
+            stock = _Stock()
+            s.monitor([stock], on="end _Stock::set_price(float price)",
+                      action=lambda ctx: None, name="fires")
+            s.monitor([stock], on="end _Stock::set_price(float price)",
+                      condition=lambda ctx: False,
+                      action=lambda ctx: None, name="rejects")
+            s.monitor([stock], on="end _Stock::set_price(float price)",
+                      action=lambda ctx: 1 / 0, name="errors")
+            stock.set_price(1.0)
+        audit_log.close()
+        by_rule = {e["rule"]: e for e in read_entries(path)}
+        assert by_rule["fires"]["outcome"] == "fired"
+        assert by_rule["fires"]["condition"] is True
+        assert by_rule["fires"]["latency_us"] >= 0.0
+        assert by_rule["fires"]["coupling"] == "immediate"
+        assert by_rule["rejects"]["outcome"] == "rejected"
+        assert by_rule["errors"]["outcome"] == "error"
+        assert "ZeroDivisionError" in by_rule["errors"]["error"]
+
+    def test_audit_is_unaffected_by_trace_sampling(self, tmp_path):
+        """Sampling skips trace chains; the audit trail still sees every
+        firing."""
+        path = str(tmp_path / "audit.jsonl")
+        with Sentinel(adopt_class_rules=False) as s:
+            s.enable_audit(path)
+            stock = _Stock()
+            s.monitor([stock], on="end _Stock::set_price(float price)",
+                      action=lambda ctx: None, name="watch")
+            tracer.enable(sample=1000)  # effectively skip every chain
+            for i in range(20):
+                stock.set_price(float(i))
+        audit_log.close()
+        entries = list(read_entries(path))
+        assert len(entries) == 20  # every firing audited
+        assert len(tracer.find("rule")) == 0  # no chain sampled

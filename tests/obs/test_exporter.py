@@ -1,0 +1,203 @@
+"""The OpenMetrics/health exporter: rendering, checks, HTTP endpoints."""
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+from repro.obs.exporter import (
+    OPENMETRICS_CONTENT_TYPE,
+    ObservabilityServer,
+    build_checks,
+    parse_metric_name,
+    render_openmetrics,
+    run_checks,
+)
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_metrics.txt")
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("events.raised").inc(3)
+    registry.counter('rule_firings{rule=audit"salary\\check,outcome=fired}').inc(2)
+    registry.counter("rule_firings{rule=guard,outcome=error}").inc(1)
+    registry.counter("rule_firings{rule=multi\nline,outcome=rejected}").inc(4)
+    histogram = registry.histogram("rule_us")
+    for value in range(1, 101):
+        histogram.record(float(value))
+    return registry
+
+
+class TestOpenMetricsRendering:
+    def test_matches_golden_file(self):
+        rendered = render_openmetrics(_golden_registry().snapshot())
+        with open(GOLDEN) as handle:
+            assert rendered == handle.read()
+
+    def test_golden_covers_format_requirements(self):
+        """The golden file itself exercises naming, TYPE/HELP lines, and
+        all three label escapes — keep it that way."""
+        with open(GOLDEN) as handle:
+            golden = handle.read()
+        assert "# TYPE events_raised counter" in golden  # '.' sanitized
+        assert "# HELP events_raised" in golden
+        assert "# TYPE rule_us summary" in golden
+        assert '\\"' in golden  # quote escaped
+        assert "\\\\" in golden  # backslash escaped
+        assert "\\n" in golden  # newline escaped
+        assert golden.endswith("# EOF\n")
+
+    def test_empty_snapshot_is_valid(self):
+        assert render_openmetrics({}) == "# EOF\n"
+
+    def test_empty_histogram_renders_count_and_sum_only(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle_us")
+        body = render_openmetrics(registry.snapshot())
+        assert "idle_us_count 0" in body
+        assert "idle_us_sum 0" in body
+        assert "quantile" not in body
+
+    def test_parse_metric_name_roundtrip(self):
+        base, labels = parse_metric_name("rule_firings{rule=r1,outcome=fired}")
+        assert base == "rule_firings"
+        assert labels == {"rule": "r1", "outcome": "fired"}
+        assert parse_metric_name("plain") == ("plain", {})
+
+
+class _FakeScheduler:
+    def __init__(self, pending: int) -> None:
+        self._pending = pending
+
+    def pending_deferred(self) -> int:
+        return self._pending
+
+
+class _FakeRecovery:
+    def __init__(self, clean: bool) -> None:
+        self.clean = clean
+        self.redone_updates = 0 if clean else 7
+
+
+class _FakeWal:
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+
+class _FakeDb:
+    def __init__(self, wal_path: str, clean: bool = True) -> None:
+        self.wal = _FakeWal(wal_path)
+        self.last_recovery = _FakeRecovery(clean)
+
+
+class _FakeSentinel:
+    def __init__(self, db=None, scheduler=None) -> None:
+        self.db = db
+        self.scheduler = scheduler
+
+
+class TestHealthChecks:
+    def test_all_ok_without_engine(self):
+        report = run_checks(build_checks(registry=MetricsRegistry()))
+        assert report["status"] == "ok"
+        assert set(report["checks"]) == {
+            "wal_writable", "error_rate", "scheduler_depth", "recovery_clean",
+        }
+
+    def test_error_rate_degrades(self):
+        registry = MetricsRegistry()
+        registry.counter("rule_firings{rule=r,outcome=error}").inc(3)
+        registry.counter("rule_firings{rule=r,outcome=fired}").inc(1)
+        report = run_checks(build_checks(registry=registry))
+        assert report["status"] == "degraded"
+        assert not report["checks"]["error_rate"]["ok"]
+        assert "3/4" in report["checks"]["error_rate"]["detail"]
+
+    def test_scheduler_depth_degrades(self):
+        sentinel = _FakeSentinel(scheduler=_FakeScheduler(pending=5000))
+        report = run_checks(
+            build_checks(sentinel, registry=MetricsRegistry(), max_pending=10)
+        )
+        assert not report["checks"]["scheduler_depth"]["ok"]
+
+    def test_unclean_recovery_degrades(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        wal.write_bytes(b"")
+        sentinel = _FakeSentinel(db=_FakeDb(str(wal), clean=False))
+        report = run_checks(build_checks(sentinel, registry=MetricsRegistry()))
+        assert not report["checks"]["recovery_clean"]["ok"]
+        assert "7" in report["checks"]["recovery_clean"]["detail"]
+
+    def test_missing_wal_degrades(self, tmp_path):
+        sentinel = _FakeSentinel(db=_FakeDb(str(tmp_path / "gone.log")))
+        report = run_checks(build_checks(sentinel, registry=MetricsRegistry()))
+        assert not report["checks"]["wal_writable"]["ok"]
+
+    def test_raising_check_counts_as_degraded(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        report = run_checks({"broken": broken})
+        assert report["status"] == "degraded"
+        assert "boom" in report["checks"]["broken"]["detail"]
+
+
+class TestServer:
+    def test_metrics_endpoint(self):
+        registry = _golden_registry()
+        with ObservabilityServer(registry=registry) as server:
+            response = urllib.request.urlopen(server.url + "/metrics")
+            assert response.status == 200
+            assert response.headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+            body = response.read().decode()
+            assert body.endswith("# EOF\n")
+            assert "rule_us_count 100" in body
+
+    def test_vars_endpoint_is_json(self):
+        registry = _golden_registry()
+        with ObservabilityServer(registry=registry) as server:
+            body = urllib.request.urlopen(server.url + "/vars").read()
+            snapshot = json.loads(body)
+            assert snapshot["events.raised"] == 3
+            assert snapshot["rule_us"]["count"] == 100
+
+    def test_healthz_degraded_returns_503(self):
+        registry = MetricsRegistry()
+        registry.counter("rule_firings{rule=r,outcome=error}").inc(9)
+        registry.counter("rule_firings{rule=r,outcome=fired}").inc(1)
+        with ObservabilityServer(registry=registry) as server:
+            try:
+                urllib.request.urlopen(server.url + "/healthz")
+                raise AssertionError("expected HTTP 503")
+            except urllib.error.HTTPError as error:
+                assert error.code == 503
+                report = json.loads(error.read())
+                assert report["status"] == "degraded"
+
+    def test_healthz_ok_returns_200(self):
+        with ObservabilityServer(registry=MetricsRegistry()) as server:
+            response = urllib.request.urlopen(server.url + "/healthz")
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+
+    def test_unknown_path_is_404(self):
+        with ObservabilityServer(registry=MetricsRegistry()) as server:
+            try:
+                urllib.request.urlopen(server.url + "/nope")
+                raise AssertionError("expected HTTP 404")
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+
+    def test_reader_thread_sees_live_writes(self):
+        """The exporter thread reads while this (engine) thread writes."""
+        registry = MetricsRegistry()
+        counter = registry.counter("spin")
+        with ObservabilityServer(registry=registry) as server:
+            for i in range(50):
+                counter.inc()
+                registry.histogram("spin_us").record(float(i))
+                body = urllib.request.urlopen(server.url + "/metrics").read()
+                assert b"spin_total" in body
+        assert counter.value == 50

@@ -1,0 +1,128 @@
+"""Trace sampling: 1-in-N chains, complete chains, errors never dropped."""
+
+import pytest
+
+from repro.core.interface import event_method
+from repro.core.reactive import Reactive
+from repro.core.system import Sentinel
+from repro.obs import metrics, tracer
+
+
+class TestChainSampling:
+    def test_sample_interval_keeps_one_chain_in_n(self):
+        tracer.enable(sample=4)
+        for i in range(8):
+            with tracer.span("method", f"call{i}"):
+                pass
+        spans = tracer.spans()
+        # Chains 4 and 8 are kept (counter hits a multiple of 4).
+        assert [s.name for s in spans] == ["call3", "call7"]
+
+    def test_sampled_chain_is_recorded_complete(self):
+        tracer.enable(sample=2)
+        for i in range(2):
+            with tracer.span("method", f"m{i}"):
+                with tracer.span("occurrence", f"o{i}"):
+                    tracer.point("signal", f"s{i}")
+        names = [s.name for s in tracer.spans()]
+        # The skipped chain (m0) contributes nothing; the kept chain (m1)
+        # is complete: method, occurrence, and the nested point.
+        assert names == ["s1", "o1", "m1"]
+
+    def test_skipped_chain_contributes_nothing(self):
+        tracer.enable(sample=1000)
+        with tracer.span("method", "m"):
+            with tracer.span("rule", "r"):
+                tracer.point("signal", "s")
+        assert tracer.spans() == []
+        assert tracer._skip_depth == 0
+        assert not tracer._stack
+
+    def test_sample_one_records_everything(self):
+        tracer.enable(sample=1)
+        for i in range(5):
+            with tracer.span("method", f"m{i}"):
+                pass
+        assert len(tracer.spans()) == 5
+
+    def test_sample_must_be_positive(self):
+        with pytest.raises(ValueError):
+            tracer.enable(sample=0)
+
+    def test_top_level_points_ignore_sampling(self):
+        tracer.enable(sample=1000)
+        tracer.point("txn", "begin:1")
+        tracer.point("txn", "abort:1")
+        assert [s.name for s in tracer.spans()] == ["begin:1", "abort:1"]
+
+
+class TestErrorsAlwaysTraced:
+    def test_error_span_in_skipped_chain_is_promoted(self):
+        tracer.enable(sample=1000)
+        span = tracer.begin("method", "m")
+        inner = tracer.begin("rule", "failing")
+        tracer.end(inner, error="ValueError")
+        tracer.end(span)
+        [recorded] = tracer.spans()
+        assert recorded.name == "failing"
+        assert recorded.attrs["error"] == "ValueError"
+        assert recorded.attrs["sampled"] is False
+        assert metrics.counter("trace.errors_promoted").value == 1
+
+    def test_error_point_in_skipped_chain_is_recorded(self):
+        tracer.enable(sample=1000)
+        with tracer.span("method", "m"):
+            tracer.point("outcome", "boom", error="RuntimeError")
+        [recorded] = tracer.spans()
+        assert recorded.name == "boom"
+
+    def test_non_error_spans_of_skipped_chain_stay_dropped(self):
+        tracer.enable(sample=1000)
+        with tracer.span("method", "m"):
+            with tracer.span("rule", "fine"):
+                pass
+        assert tracer.spans() == []
+
+
+class _Stock(Reactive):
+    def __init__(self) -> None:
+        super().__init__()
+        self.price = 0.0
+
+    @event_method
+    def set_price(self, price: float) -> None:
+        self.price = price
+
+
+class TestPipelineSampling:
+    def test_sampled_pipeline_records_one_chain_in_n(self):
+        fired = []
+        with Sentinel(adopt_class_rules=False) as sentinel:
+            stock = _Stock()
+            sentinel.monitor(
+                [stock],
+                on="end _Stock::set_price(float price)",
+                action=lambda ctx: fired.append(ctx.occurrence.seq),
+                name="watch",
+            )
+            tracer.enable(sample=4)
+            for i in range(8):
+                stock.set_price(float(i))
+        assert len(fired) == 8  # sampling never affects rule execution
+        rule_spans = tracer.find("rule")
+        assert len(rule_spans) == 2  # chains 4 and 8
+        assert tracer._skip_depth == 0
+
+    def test_unsampled_pipeline_traces_every_chain(self):
+        with Sentinel(adopt_class_rules=False) as sentinel:
+            stock = _Stock()
+            sentinel.monitor(
+                [stock],
+                on="end _Stock::set_price(float price)",
+                action=lambda ctx: None,
+                name="watch",
+            )
+            tracer.enable()
+            for i in range(3):
+                stock.set_price(float(i))
+        assert len(tracer.find("rule")) == 3

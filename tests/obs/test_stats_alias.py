@@ -1,0 +1,46 @@
+"""The deprecated ``repro.stats`` alias: warns, re-exports unchanged."""
+
+import importlib
+import sys
+import warnings
+
+
+def _fresh_import():
+    sys.modules.pop("repro.stats", None)
+    return importlib.import_module("repro.stats")
+
+
+class TestStatsAlias:
+    def test_import_emits_deprecation_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _fresh_import()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.obs.metrics" in str(deprecations[0].message)
+
+    def test_reexports_are_the_same_objects(self):
+        obs_metrics = importlib.import_module("repro.obs.metrics")
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            stats = _fresh_import()
+        assert stats.PipelineStats is obs_metrics.PipelineStats
+        assert stats.pipeline_stats is obs_metrics.pipeline_stats
+        assert stats.reset_pipeline_stats is obs_metrics.reset_pipeline_stats
+        assert stats.__all__ == [
+            "PipelineStats", "pipeline_stats", "reset_pipeline_stats",
+        ]
+
+    def test_alias_counters_stay_live(self):
+        """Bumps through the alias land in the shared instance."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            stats = _fresh_import()
+        from repro.obs.metrics import pipeline_stats
+
+        stats.pipeline_stats.wal_syncs += 1
+        assert pipeline_stats.wal_syncs >= 1
+        stats.reset_pipeline_stats()
+        assert pipeline_stats.wal_syncs == 0

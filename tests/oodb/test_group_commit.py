@@ -11,7 +11,7 @@ import pytest
 from repro.oodb import Database, Persistent
 from repro.oodb.recovery import replay
 from repro.oodb.storage.wal import FSYNC_POLICIES, LogRecordType, WriteAheadLog
-from repro.stats import pipeline_stats, reset_pipeline_stats
+from repro.obs.metrics import pipeline_stats, reset_pipeline_stats
 
 
 class Doc(Persistent):

@@ -202,3 +202,163 @@ class TestTraceCli:
     def test_missing_file_errors(self, tmp_path, capsys):
         assert trace_main([str(tmp_path / "absent.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestReadOnlyWalStats:
+    def test_wal_stats_do_not_modify_the_log(self, tmp_path):
+        from repro.tools.inspect import _wal_stats
+
+        path = str(tmp_path / "db")
+        db = Database(path)
+        with db.transaction():
+            db.add(Widget(1))
+        db._wal.close()
+        db._pool.flush_all()
+        wal_path = tmp_path / "db" / "wal.log"
+        before = wal_path.read_bytes()
+        lines = _wal_stats(path)
+        assert any("3 records" in line for line in lines)
+        assert wal_path.read_bytes() == before  # read-only, no recovery
+
+    def test_stats_warn_when_open_ran_recovery(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        db = Database(path)
+        with db.transaction():
+            db.add(Widget(1))
+        # Simulate a crash: committed work left in the WAL, no checkpoint.
+        db._wal.close()
+        db._pool.flush_all()
+        text = storage_stats(path)
+        assert "begin        1" in text  # counts read before recovery
+        assert "warning:" in text
+        assert "restart recovery" in text
+
+    def test_no_warning_on_clean_database(self, populated):
+        assert "warning:" not in storage_stats(populated)
+
+
+@pytest.fixture
+def audit_file(tmp_path):
+    """A small audit trail with mixed rules, outcomes, and timestamps."""
+    from repro.obs.audit import AuditLog
+
+    path = str(tmp_path / "audit.jsonl")
+    log = AuditLog()
+    log.open(path)
+    log.record("guard", seq=1, coupling="immediate", condition=True,
+               outcome="fired", latency_us=10.0)
+    log.record("flaky", seq=2, coupling="immediate", condition=True,
+               outcome="error", error="ValueError('x')", latency_us=55.0)
+    log.record("picky", seq=3, coupling="deferred", condition=False,
+               outcome="rejected", latency_us=2.0)
+    log.record("guard", seq=4, coupling="immediate", condition=True,
+               outcome="fired", latency_us=14.0)
+    log.close()
+    return path
+
+
+class TestAuditCli:
+    def test_lists_all_entries(self, audit_file, capsys):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main([audit_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 4
+        assert "guard" in out and "flaky" in out and "picky" in out
+
+    def test_filter_by_rule(self, audit_file, capsys):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main([audit_file, "--rule", "guard"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("guard") == 2
+        assert "flaky" not in out
+
+    def test_filter_by_outcome(self, audit_file, capsys):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main([audit_file, "--outcome", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "flaky" in out and "ValueError" in out
+        assert "guard" not in out
+
+    def test_tail(self, audit_file, capsys):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main([audit_file, "--tail", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "seq=4" in out
+        assert "seq=1" not in out
+
+    def test_time_filters(self, audit_file, capsys):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main([audit_file, "--since", "0"]) == 0
+        assert readouterr_count(capsys) == 4
+        assert audit_main([audit_file, "--until", "1"]) == 0
+        assert "no entries" in capsys.readouterr().out
+
+    def test_summary(self, audit_file, capsys):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main([audit_file, "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "rule" in out.splitlines()[0]
+        guard_line = next(line for line in out.splitlines()
+                          if line.startswith("guard"))
+        fields = guard_line.split()
+        assert fields[1] == "2"  # total
+        assert fields[2] == "2"  # fired
+        assert "12.0" in guard_line  # mean latency of 10 and 14
+
+    def test_parse_when_accepts_iso(self):
+        from repro.tools.audit import parse_when
+
+        assert parse_when("1000.5") == 1000.5
+        assert parse_when("2026-08-05T12:00:00") > 0
+
+
+def readouterr_count(capsys) -> int:
+    return capsys.readouterr().out.count("\n")
+
+
+class TestTopCli:
+    def test_render_totals_then_rates(self):
+        from repro.tools.top import render_top
+
+        first = {
+            "rule_firings{rule=guard,outcome=fired}": 10,
+            "rule_us": {"count": 10, "p50": 5.0, "p95": 9.0, "p99": 9.9},
+        }
+        second = {
+            "rule_firings{rule=guard,outcome=fired}": 30,
+            "rule_us": {"count": 30, "p50": 5.0, "p95": 9.0, "p99": 9.9},
+        }
+        totals = render_top(first)
+        assert "total" in totals
+        assert "guard" in totals and "10" in totals
+        rates = render_top(second, first, elapsed=2.0)
+        assert "Δ/s" in rates
+        assert "10.0" in rates  # (30 - 10) / 2s
+        assert "p50" in rates and "5.0" in rates
+
+    def test_render_empty_snapshot(self):
+        from repro.tools.top import render_top
+
+        frame = render_top({})
+        assert "no rule firings" in frame
+        assert "no latency histograms" in frame
+
+    def test_main_polls_a_live_exporter(self, capsys):
+        from repro.obs.exporter import ObservabilityServer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.tools.top import main as top_main
+
+        registry = MetricsRegistry()
+        registry.counter("rule_firings{rule=guard,outcome=fired}").inc(3)
+        registry.histogram("rule_us").record(7.0)
+        with ObservabilityServer(registry=registry) as server:
+            assert top_main([server.url, "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "guard" in out
+        assert "rule_us" in out
