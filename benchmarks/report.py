@@ -421,6 +421,164 @@ def report_obs():
     print(f"wrote {path}")
 
 
+def report_query():
+    """Read path: cost-aware planner vs the seed's scan-and-filter loop.
+
+    Writes ``BENCH_query.json`` at the repo root: five workloads over a
+    10 000-object extent, timed interleaved A/B (planner / legacy
+    alternating, min of trials) so machine drift hits both sides equally.
+    The legacy side reproduces the seed's execution exactly — sorted
+    extent, one ``fetch`` per OID, Python-side filter, full sort, then
+    limit.  Gated in CI at ≥5× for the indexed range + order_by + limit
+    workload and ≥20× for the index-only count.
+    """
+    import operator
+    import random
+    import shutil
+    import tempfile
+
+    from repro.oodb.database import Database
+    from repro.oodb.schema import ClassRegistry, Persistent
+
+    registry = ClassRegistry()
+
+    class Emp(Persistent):
+        def __init__(self, n: int, salary: int, dept: str) -> None:
+            super().__init__()
+            self.name = f"emp{n:05d}"
+            self.salary = salary
+            self.dept = dept
+
+    registry.register(Emp)
+    compare = {
+        "==": operator.eq, "<": operator.lt, "<=": operator.le,
+        ">": operator.gt, ">=": operator.ge,
+    }
+    missing = object()
+    rng = random.Random(0x51C2)
+    depts = ("eng", "sales", "hr", "ops", "legal", "qa", "it", "pr")
+    salaries = [rng.randrange(30_000, 150_000) for _ in range(10_000)]
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-query-")
+    db = Database(directory, registry=registry, sync=False)
+    try:
+        with db.transaction():
+            for n, salary in enumerate(salaries):
+                db.add(Emp(n, salary, depts[n % len(depts)]))
+        db.create_index(Emp, "salary")
+        db.create_index(Emp, "dept")
+
+        def legacy(filters, order=None, limit=None, count_only=False):
+            """The seed read path, reproduced for the A/B baseline."""
+            out = []
+            for oid in sorted(db.extents.of("Emp")):
+                obj = db.fetch(oid)
+                for attribute, op, value in filters:
+                    attr_value = getattr(obj, attribute, missing)
+                    if attr_value is missing or not compare[op](attr_value, value):
+                        break
+                else:
+                    out.append(obj)
+            if order is not None:
+                out.sort(key=lambda o: getattr(o, order), reverse=False)
+            if limit is not None:
+                out = out[:limit]
+            return len(out) if count_only else out
+
+        ordered = sorted(salaries)
+        p50, p80, p95 = ordered[5_000], ordered[8_000], ordered[9_500]
+        point = salaries[1_234]
+
+        workloads = [
+            (
+                "point_lookup",
+                db.query(Emp).where_eq("salary", point),
+                lambda: legacy([("salary", "==", point)]),
+            ),
+            (
+                "range_5pct",
+                db.query(Emp).where_op("salary", ">=", p95),
+                lambda: legacy([("salary", ">=", p95)]),
+            ),
+            (
+                "multi_filter_intersect",
+                db.query(Emp).where_op("salary", ">=", p80).where_eq("dept", "eng"),
+                lambda: legacy([("salary", ">=", p80), ("dept", "==", "eng")]),
+            ),
+            (
+                "range_order_by_limit",
+                db.query(Emp)
+                .where_op("salary", ">=", p50)
+                .order_by("salary")
+                .limit(10),
+                lambda: legacy([("salary", ">=", p50)], order="salary", limit=10),
+            ),
+            (
+                "index_only_count",
+                db.query(Emp).where_op("salary", ">=", p50),
+                lambda: legacy([("salary", ">=", p50)], count_only=True),
+            ),
+        ]
+
+        legacy([])  # warm the object cache so A/B compares execution only
+
+        results: dict[str, dict] = {}
+        rows = []
+        for name, query, legacy_fn in workloads:
+            count_only = name == "index_only_count"
+            planner_fn = query.count if count_only else query.all
+            # Correctness first: both sides must agree before we time them.
+            got, want = planner_fn(), legacy_fn()
+            if count_only:
+                assert got == want, (name, got, want)
+            elif name == "range_order_by_limit":
+                assert [o.name for o in got] == [o.name for o in want], name
+            else:
+                assert {o.name for o in got} == {o.name for o in want}, name
+            planner_best = legacy_best = float("inf")
+            for _trial in range(7):
+                start = time.perf_counter()
+                planner_fn()
+                planner_best = min(planner_best, time.perf_counter() - start)
+                start = time.perf_counter()
+                legacy_fn()
+                legacy_best = min(legacy_best, time.perf_counter() - start)
+            speedup = legacy_best / planner_best
+            results[name] = {
+                "planner_us": round(planner_best * 1e6, 1),
+                "legacy_us": round(legacy_best * 1e6, 1),
+                "speedup": round(speedup, 2),
+                "access_path": query.explain().access_path,
+            }
+            rows.append(
+                (name, results[name]["access_path"],
+                 f"{results[name]['planner_us']:.0f}",
+                 f"{results[name]['legacy_us']:.0f}",
+                 f"{speedup:.1f}x")
+            )
+    finally:
+        db.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+    payload = {
+        "objects": len(salaries),
+        "workloads": results,
+        "range_order_limit_speedup": results["range_order_by_limit"]["speedup"],
+        "index_only_count_speedup": results["index_only_count"]["speedup"],
+        "gates": {
+            "range_order_limit_min": 5.0,
+            "index_only_count_min": 20.0,
+        },
+    }
+    path = write_baseline("BENCH_query.json", payload)
+    table(
+        "QUERY: planner vs seed scan path (10k objects, µs)",
+        ("workload", "access path", "planner", "legacy", "speedup"),
+        rows,
+    )
+    print(f"wrote {path}")
+
+
 REPORTS = {
     "E8": report_e8,
     "E9": report_e9,
@@ -431,6 +589,7 @@ REPORTS = {
     "HOTPATH": report_hotpath,
     "OODB": report_oodb,
     "OBS": report_obs,
+    "QUERY": report_query,
 }
 
 

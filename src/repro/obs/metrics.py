@@ -261,6 +261,9 @@ class PipelineStats:
     #: serializer: objects whose attributes were all plain scalars
     serializer_fast_objects: int = 0
     serializer_slow_objects: int = 0
+    #: serializer: decoded records whose stored attributes were all scalars
+    serializer_fast_decodes: int = 0
+    serializer_slow_decodes: int = 0
     #: WAL group commit
     group_commits: int = 0
     group_commit_records: int = 0

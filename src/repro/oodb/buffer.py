@@ -3,15 +3,25 @@
 The pool is the only component that reads or writes page files.  It keeps a
 bounded number of pages in memory; dirty pages are written back on eviction
 and on :meth:`BufferPool.flush_file`.  Statistics (hits, misses, evictions,
-writebacks) are exposed for the substrate benchmarks.
+writebacks, readahead) are exposed for the substrate benchmarks, and every
+live pool also reports into the process-wide metrics registry under
+``buffer_pool.*`` so the exporter and ``inspect --stats`` can see hit rates
+without holding a pool reference.
+
+Sequential readers (extent scans, clustered batch fetches) can ask
+:meth:`BufferPool.get` for *readahead*: on a miss the pool reads a run of
+contiguous on-disk pages in one I/O and admits them all, so the next pages
+of the scan are already cached.
 """
 
 from __future__ import annotations
 
 import os
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..obs.metrics import metrics as _metrics
 from .errors import StorageError
 from .storage.pages import PAGE_SIZE, Page
 
@@ -26,11 +36,54 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    #: pages admitted ahead of an explicit request (readahead runs)
+    readahead_pages: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "readahead_pages": self.readahead_pages,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.readahead_pages = 0
+
+
+#: Live pools, for the aggregated ``buffer_pool.*`` metrics collector.
+_live_pools: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+
+def _aggregate_stats() -> dict[str, float]:
+    totals = BufferStats()
+    for pool in list(_live_pools):
+        stats = pool.stats
+        totals.hits += stats.hits
+        totals.misses += stats.misses
+        totals.evictions += stats.evictions
+        totals.writebacks += stats.writebacks
+        totals.readahead_pages += stats.readahead_pages
+    return totals.snapshot()
+
+
+def _reset_stats() -> None:
+    for pool in list(_live_pools):
+        pool.stats.reset()
+
+
+_metrics.register_collector("buffer_pool", _aggregate_stats, _reset_stats)
 
 
 @dataclass(slots=True)
@@ -50,6 +103,7 @@ class BufferPool:
         self._pages: OrderedDict[tuple[str, int], Page] = OrderedDict()
         self._files: dict[str, _FileState] = {}
         self.stats = BufferStats()
+        _live_pools.add(self)
 
     # ------------------------------------------------------------------
     # File management
@@ -81,8 +135,15 @@ class BufferPool:
     # ------------------------------------------------------------------
     # Page access
     # ------------------------------------------------------------------
-    def get(self, path: str, page_id: int) -> Page:
-        """Return the page, reading it from disk on a miss."""
+    def get(self, path: str, page_id: int, readahead: int = 0) -> Page:
+        """Return the page, reading it from disk on a miss.
+
+        ``readahead`` asks the pool, on a miss, to read up to that many
+        *contiguous on-disk* pages starting at ``page_id`` in a single
+        I/O and admit them all — sequential scans hit the cache for the
+        following pages.  Pages already cached are never overwritten
+        (their in-memory copy may be dirty and newer than disk).
+        """
         key = (path, page_id)
         page = self._pages.get(key)
         if page is not None:
@@ -90,9 +151,61 @@ class BufferPool:
             self._pages.move_to_end(key)
             return page
         self.stats.misses += 1
+        if readahead > 1:
+            run = self._read_run(path, page_id, readahead)
+            if run is not None:
+                return run
         page = self._read_page(path, page_id)
         self._admit(key, page)
         return page
+
+    def _read_run(self, path: str, page_id: int, length: int) -> Page | None:
+        """Read a run of contiguous on-disk pages in one I/O.
+
+        Returns the page at ``page_id`` or ``None`` when the run cannot be
+        read as a block (first page not on disk — let ``_read_page`` raise
+        its usual error).  The run is capped at the pool capacity so the
+        requested page cannot be evicted by its own readahead.
+        """
+        state = self._require_file(path)
+        if page_id not in state.pages_on_disk:
+            return None
+        length = min(length, self._capacity)
+        run = 1
+        while (
+            run < length
+            and page_id + run in state.pages_on_disk
+        ):
+            run += 1
+        if run == 1:
+            return None
+        handle = state.handle
+        handle.seek(page_id * PAGE_SIZE)  # type: ignore[attr-defined]
+        data = handle.read(run * PAGE_SIZE)  # type: ignore[attr-defined]
+        if len(data) != run * PAGE_SIZE:
+            raise StorageError(
+                f"short read of pages {page_id}..{page_id + run - 1} "
+                f"from {path}: {len(data)} bytes"
+            )
+        requested: Page | None = None
+        for offset in range(run):
+            current = page_id + offset
+            key = (path, current)
+            if key in self._pages:
+                # Keep the cached copy — it may be dirty and newer.
+                if current == page_id:  # pragma: no cover - miss implies absent
+                    requested = self._pages[key]
+                continue
+            page = Page.from_bytes(
+                data[offset * PAGE_SIZE : (offset + 1) * PAGE_SIZE]
+            )
+            self._admit(key, page)
+            if current == page_id:
+                requested = page
+            else:
+                self.stats.readahead_pages += 1
+        assert requested is not None
+        return requested
 
     def put_new(self, path: str, page: Page) -> None:
         """Admit a freshly-allocated page that does not yet exist on disk."""

@@ -26,6 +26,7 @@ import tempfile
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from ..obs.metrics import metrics
 from .buffer import BufferPool
 from .errors import (
     DatabaseClosed,
@@ -280,6 +281,15 @@ class Database:
         record = self._stored_record(oid)
         if record is None:
             raise ObjectNotFound(oid)
+        return self._materialize(oid, record)
+
+    def _materialize(self, oid: Oid, record: dict[str, Any]) -> Persistent:
+        """Decode ``record`` into a live cached instance for ``oid``."""
+        cached = self._cache.get(oid)
+        if cached is not None:
+            # A reference cycle in an earlier batch entry already pulled
+            # this object in; keep identity-map semantics.
+            return cached
         cls = self.registry.get(record["class"])
         obj: Persistent = cls.__new__(cls)
         object.__setattr__(obj, "_p_oid", oid)
@@ -293,6 +303,46 @@ class Database:
         if after_load is not None:
             after_load()
         return obj
+
+    def fetch_many(self, oids: "list[Oid]") -> "list[Persistent]":
+        """Fetch a batch of objects, clustered by heap page.
+
+        Cache hits are served directly; the misses are sorted by
+        ``(page, slot)`` and read through :meth:`HeapFile.read_many`, which
+        pins each page once and reads runs of consecutive pages ahead.
+        Returns the objects in the order the OIDs were given (duplicates
+        allowed); raises :class:`ObjectNotFound` like :meth:`fetch`.
+        """
+        self._require_open()
+        misses: list[Oid] = []
+        seen: set[Oid] = set()
+        for oid in oids:
+            if oid not in self._cache and oid not in seen:
+                seen.add(oid)
+                misses.append(oid)
+        if misses:
+            if self._in_memory or self._heap is None:
+                for oid in misses:
+                    self.fetch(oid)
+            else:
+                located: list[tuple[RecordId, Oid]] = []
+                for oid in misses:
+                    if oid == NULL_OID:
+                        raise ObjectNotFound(oid)
+                    rid = self._locations.get(oid)
+                    if rid is None:
+                        raise ObjectNotFound(oid)
+                    located.append((rid, oid))
+                located.sort()
+                payloads = self._heap.read_many([rid for rid, _ in located])
+                metrics.counter("fetch_many_page_pins").inc(
+                    len({rid.page for rid, _ in located})
+                )
+                for rid, oid in located:
+                    self._materialize(
+                        oid, Serializer.record_from_bytes(payloads[rid])
+                    )
+        return [self.fetch(oid) for oid in oids]
 
     def delete(self, obj: Persistent) -> None:
         """Remove ``obj`` from the store (undone if the txn aborts)."""

@@ -25,12 +25,16 @@ _MISSING = object()
 
 
 class _Node:
-    __slots__ = ("keys", "values", "children")
+    __slots__ = ("keys", "values", "children", "entries")
 
     def __init__(self) -> None:
         self.keys: list[Any] = []
         self.values: list[list[Any]] = []
         self.children: list["_Node"] = []
+        #: Cached subtree entry count; ``None`` marks it dirty.  Mutations
+        #: invalidate every node they touch (conservative, never wrong);
+        #: ``BTree._entries`` recomputes lazily, reusing clean children.
+        self.entries: int | None = None
 
     @property
     def is_leaf(self) -> bool:
@@ -52,6 +56,7 @@ class BTree:
         self._unique = unique
         self._root = _Node()
         self._size = 0
+        self._distinct = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -67,6 +72,17 @@ class BTree:
                 return []
             node = node.children[idx]
 
+    def count_key(self, key: Any) -> int:
+        """Number of values stored under ``key`` without copying them."""
+        node = self._root
+        while True:
+            idx = _bisect(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return len(node.values[idx])
+            if node.is_leaf:
+                return 0
+            node = node.children[idx]
+
     def __contains__(self, key: Any) -> bool:
         return bool(self.search(key))
 
@@ -75,40 +91,189 @@ class BTree:
         low: Any = None,
         high: Any = None,
         inclusive: tuple[bool, bool] = (True, True),
+        reverse: bool = False,
     ) -> Iterator[tuple[Any, Any]]:
         """Yield ``(key, value)`` pairs with ``low <= key <= high`` in order.
 
         ``None`` bounds are open; ``inclusive`` controls each endpoint.
+        ``reverse=True`` yields keys in descending order (values under one
+        key keep insertion order either way).  Subtrees entirely outside
+        the bounds are pruned, so a narrow range over a large tree does
+        not walk the whole tree.
         """
-        for key, values in self._walk(self._root):
-            if low is not None:
-                if key < low or (not inclusive[0] and key == low):
-                    continue
-            if high is not None:
-                if key > high or (not inclusive[1] and key == high):
-                    break
+        for key, values in self._range_walk(self._root, low, high, reverse):
+            if not inclusive[0] and low is not None and key == low:
+                continue
+            if not inclusive[1] and high is not None and key == high:
+                continue
             for value in values:
                 yield key, value
+
+    def count_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> int:
+        """Exact number of entries with ``low <= key <= high``.
+
+        Node-granular: sums value-list lengths per visited node instead of
+        yielding entries one by one, so it is an order of magnitude
+        cheaper than ``sum(1 for _ in range(...))`` — this is what makes
+        index-only ``count()`` pay off.
+        """
+        if low is not None and low == high:
+            return self.count_key(low) if inclusive == (True, True) else 0
+        total = self._count_range(self._root, low, high)
+        if not inclusive[0] and low is not None:
+            total -= self.count_key(low)
+        if not inclusive[1] and high is not None:
+            total -= self.count_key(high)
+        return total
+
+    def _count_range(self, node: _Node, low: Any, high: Any) -> int:
+        keys = node.keys
+        lo = 0 if low is None else _bisect(keys, low)
+        hi = len(keys) if high is None else _bisect_right(keys, high)
+        total = sum(map(len, node.values[lo:hi]))
+        if node.is_leaf:
+            return total
+        children = node.children
+        # Only the two boundary children can straddle a bound; everything
+        # between them lies fully inside the range and is answered by the
+        # cached subtree total — the walk is O(height), not O(matched).
+        if lo == hi:
+            return total + self._count_range(children[lo], low, high)
+        total += self._count_range(children[lo], low, high)
+        total += self._count_range(children[hi], low, high)
+        for i in range(lo + 1, hi):
+            total += self._entries(children[i])
+        return total
+
+    def _entries(self, node: _Node) -> int:
+        """Subtree entry count, recomputed only where mutations dirtied it."""
+        cached = node.entries
+        if cached is None:
+            cached = sum(map(len, node.values))
+            for child in node.children:
+                cached += self._entries(child)
+            node.entries = cached
+        return cached
+
+    def range_values(
+        self,
+        low: Any = None,
+        high: Any = None,
+        inclusive: tuple[bool, bool] = (True, True),
+    ) -> list[Any]:
+        """All values in ``[low, high]`` as one list, in key order.
+
+        The eager counterpart of :meth:`range` for callers that need the
+        whole result anyway (OID-set intersection): list ``extend`` per
+        node, no generator frame or tuple per entry.
+        """
+        if low is not None and low == high:
+            return list(self.search(low)) if inclusive == (True, True) else []
+        out: list[Any] = []
+        self._collect_range(self._root, low, high, out)
+        # Boundary keys sit at the ends of the ordered result, so
+        # exclusive bounds trim rather than filter.
+        if not inclusive[0] and low is not None:
+            del out[: self.count_key(low)]
+        if not inclusive[1] and high is not None:
+            count = self.count_key(high)
+            if count:
+                del out[len(out) - count :]
+        return out
+
+    def _collect_range(
+        self, node: _Node, low: Any, high: Any, out: list[Any]
+    ) -> None:
+        keys = node.keys
+        lo = 0 if low is None else _bisect(keys, low)
+        hi = len(keys) if high is None else _bisect_right(keys, high)
+        if node.is_leaf:
+            for i in range(lo, hi):
+                out.extend(node.values[i])
+            return
+        for i in range(lo, hi):
+            self._collect_range(node.children[i], low, high, out)
+            out.extend(node.values[i])
+        self._collect_range(node.children[hi], low, high, out)
 
     def items(self) -> Iterator[tuple[Any, Any]]:
         """All ``(key, value)`` pairs in key order."""
         return self.range()
 
     def keys(self) -> Iterator[Any]:
-        for key, _values in self._walk(self._root):
+        for key, _values in self._range_walk(self._root, None, None, False):
             yield key
 
-    def _walk(self, node: _Node) -> Iterator[tuple[Any, list[Any]]]:
+    def _range_walk(
+        self, node: _Node, low: Any, high: Any, reverse: bool
+    ) -> Iterator[tuple[Any, list[Any]]]:
+        keys = node.keys
+        lo = 0 if low is None else _bisect(keys, low)
+        hi = len(keys) if high is None else _bisect_right(keys, high)
         if node.is_leaf:
-            yield from zip(node.keys, node.values)
+            span = range(lo, hi)
+            for i in reversed(span) if reverse else span:
+                yield keys[i], node.values[i]
             return
-        for idx, key in enumerate(node.keys):
-            yield from self._walk(node.children[idx])
-            yield key, node.values[idx]
-        yield from self._walk(node.children[-1])
+        if reverse:
+            yield from self._range_walk(node.children[hi], low, high, reverse)
+            for i in reversed(range(lo, hi)):
+                yield keys[i], node.values[i]
+                yield from self._range_walk(node.children[i], low, high, reverse)
+        else:
+            for i in range(lo, hi):
+                yield from self._range_walk(node.children[i], low, high, reverse)
+                yield keys[i], node.values[i]
+            yield from self._range_walk(node.children[hi], low, high, reverse)
 
     def __len__(self) -> int:
         return self._size
+
+    # ------------------------------------------------------------------
+    # Planner statistics
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys currently in the tree."""
+        return self._distinct
+
+    def estimate_range_count(self, low: Any = None, high: Any = None) -> int:
+        """Estimated number of entries with ``low <= key <= high``.
+
+        Descends once per bound accumulating positional fractions, so the
+        estimate costs O(height) — it never walks the range.  Accuracy is
+        bounded by the fanout at each level; good enough to rank access
+        paths, not to answer ``count()``.
+        """
+        if not self._size:
+            return 0
+        lo_frac = 0.0 if low is None else self._key_fraction(low)
+        hi_frac = 1.0 if high is None else self._key_fraction(high)
+        estimate = int((hi_frac - lo_frac) * self._size)
+        if high is not None:
+            estimate += self.count_key(high)
+        return max(0, min(estimate, self._size))
+
+    def _key_fraction(self, key: Any) -> float:
+        """Approximate fraction of entries whose key is ``< key``."""
+        node = self._root
+        fraction = 0.0
+        span = 1.0
+        while True:
+            n = len(node.keys)
+            if n == 0:
+                return fraction
+            idx = _bisect(node.keys, key)
+            if node.is_leaf:
+                return fraction + span * (idx / n)
+            fraction += span * (idx / (n + 1))
+            span /= n + 1
+            node = node.children[idx]
 
     # ------------------------------------------------------------------
     # Insertion
@@ -125,6 +290,7 @@ class BTree:
 
     def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
         while True:
+            node.entries = None
             idx = _bisect(node.keys, key)
             if idx < len(node.keys) and node.keys[idx] == key:
                 if self._unique:
@@ -136,6 +302,7 @@ class BTree:
                 node.keys.insert(idx, key)
                 node.values.insert(idx, [value])
                 self._size += 1
+                self._distinct += 1
                 return
             child = node.children[idx]
             if len(child.keys) == 2 * self._t - 1:
@@ -156,6 +323,8 @@ class BTree:
     def _split_child(self, parent: _Node, idx: int) -> None:
         t = self._t
         child = parent.children[idx]
+        parent.entries = None
+        child.entries = None
         sibling = _Node()
         parent.keys.insert(idx, child.keys[t - 1])
         parent.values.insert(idx, child.values[t - 1])
@@ -183,6 +352,7 @@ class BTree:
         return removed
 
     def _delete(self, node: _Node, key: Any, value: Any) -> bool:
+        node.entries = None
         t = self._t
         idx = _bisect(node.keys, key)
         if idx < len(node.keys) and node.keys[idx] == key:
@@ -199,6 +369,7 @@ class BTree:
                 node.keys.pop(idx)
                 node.values.pop(idx)
                 self._size -= count
+                self._distinct -= 1
                 return True
             return self._delete_internal(node, idx, count)
         if node.is_leaf:
@@ -255,6 +426,7 @@ class BTree:
 
     def _borrow_prev(self, node: _Node, idx: int) -> None:
         child, sibling = node.children[idx], node.children[idx - 1]
+        node.entries = child.entries = sibling.entries = None
         child.keys.insert(0, node.keys[idx - 1])
         child.values.insert(0, node.values[idx - 1])
         node.keys[idx - 1] = sibling.keys.pop()
@@ -264,6 +436,7 @@ class BTree:
 
     def _borrow_next(self, node: _Node, idx: int) -> None:
         child, sibling = node.children[idx], node.children[idx + 1]
+        node.entries = child.entries = sibling.entries = None
         child.keys.append(node.keys[idx])
         child.values.append(node.values[idx])
         node.keys[idx] = sibling.keys.pop(0)
@@ -273,6 +446,7 @@ class BTree:
 
     def _merge(self, node: _Node, idx: int) -> None:
         child, sibling = node.children[idx], node.children[idx + 1]
+        node.entries = child.entries = None
         child.keys.append(node.keys.pop(idx))
         child.values.append(node.values.pop(idx))
         child.keys.extend(sibling.keys)
@@ -288,6 +462,26 @@ class BTree:
         self._check(self._root, None, None, is_root=True)
         keys = list(self.keys())
         assert keys == sorted(keys), "keys out of order"
+        assert len(keys) == self._distinct, "distinct-key stat out of sync"
+        self._check_entries(self._root)
+        assert self._entries(self._root) == self._size, (
+            "subtree entry counts out of sync with size"
+        )
+
+    def _check_entries(self, node: _Node) -> None:
+        """Every *clean* cached subtree count must match a recount."""
+        if node.entries is not None:
+            actual = sum(map(len, node.values)) + sum(
+                self._recount(child) for child in node.children
+            )
+            assert node.entries == actual, "stale cached subtree count"
+        for child in node.children:
+            self._check_entries(child)
+
+    def _recount(self, node: _Node) -> int:
+        return sum(map(len, node.values)) + sum(
+            self._recount(child) for child in node.children
+        )
 
     def _check(
         self, node: _Node, low: Any, high: Any, *, is_root: bool = False
@@ -317,6 +511,17 @@ def _bisect(keys: list[Any], key: Any) -> int:
     while lo < hi:
         mid = (lo + hi) // 2
         if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right(keys: list[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] <= key:
             lo = mid + 1
         else:
             hi = mid
@@ -431,6 +636,22 @@ class IndexManager:
     def lookup(self, class_name: str, attribute: str) -> BTree | None:
         state = self._indexes.get((class_name, attribute))
         return state.tree if state else None
+
+    def covering(self, class_name: str, attribute: str) -> _IndexState | None:
+        """The index state usable for ``attribute`` queries on ``class_name``.
+
+        Unlike :meth:`lookup`, this also finds indexes defined on an
+        *ancestor* class: an index on ``Animal.legs`` covers a query over
+        the ``Dog`` extent, because index maintenance tracks the whole
+        class family.  Exact matches win over inherited ones.
+        """
+        state = self._indexes.get((class_name, attribute))
+        if state is not None:
+            return state
+        for state in self._states_for(class_name):
+            if state.definition.attribute == attribute:
+                return state
+        return None
 
     def find_eq(self, class_name: str, attribute: str, value: Any) -> list[Oid]:
         tree = self._require(class_name, attribute)

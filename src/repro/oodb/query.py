@@ -1,10 +1,23 @@
-"""Queries over class extents.
+"""Queries over class extents, executed through a cost-aware planner.
 
 A :class:`Query` selects instances of a persistent class (by default
 including subclasses), filters them with attribute comparisons or arbitrary
-predicates, and sorts/limits the result.  Equality and range filters on
-indexed attributes use the B-tree instead of scanning the extent; everything
-else falls back to a filtered extent scan.
+predicates, and sorts/limits the result.  Execution is planned per run:
+
+* every indexable filter (``== < <= > >=`` on an indexed attribute) is
+  scored by estimated selectivity from B-tree statistics; the cheapest one
+  becomes the access path and the other selective ones are intersected as
+  OID sets, with the rest applied as residual filters,
+* ``order_by`` on an indexed attribute streams from the B-tree in key
+  order instead of sorting, so ``limit(k)`` stops after ~k fetches,
+* ``count()`` and ``exists()`` are answered from the index alone when no
+  residual work remains — no object is materialized,
+* everything else falls back to a clustered extent scan
+  (:meth:`~repro.oodb.database.Database.fetch_many` batches).
+
+The plan is a per-execution value object — building or running a query
+never mutates the builder, so a ``Query`` can be iterated repeatedly.
+:meth:`Query.explain` returns the plan without executing it.
 
 Example::
 
@@ -14,21 +27,25 @@ Example::
         .order_by("name")
         .all()
     )
+    print(db.query(Employee).where_op("salary", ">=", 100_000).explain())
 """
 
 from __future__ import annotations
 
 import operator
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
+from ..obs.metrics import metrics
 from .errors import QueryError
 from .oid import Oid
 
 if TYPE_CHECKING:  # pragma: no cover
     from .database import Database
+    from .index import _IndexState
     from .schema import Persistent
 
-__all__ = ["Query"]
+__all__ = ["Query", "QueryPlan", "IndexChoice"]
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "==": operator.eq,
@@ -41,7 +58,106 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "contains": lambda a, b: b in a,
 }
 
+#: Operators a B-tree can serve directly.
+_INDEXABLE_OPS = frozenset(("==", "<", "<=", ">", ">="))
+
+#: An extra index joins the OID intersection only if its estimated result
+#: is below max(this floor, a quarter of the extent) — scanning a huge
+#: index posting list to intersect it away is worse than re-checking the
+#: filter on the already-small primary result.
+_INTERSECT_MIN_ROWS = 64
+
+#: Objects fetched per ``fetch_many`` batch while streaming candidates.
+_FETCH_CHUNK = 64
+
 _MISSING = object()
+
+# Lazily-created labeled counters, one per access path.
+_exec_counters: dict[str, Any] = {}
+
+
+def _count_execution(access_path: str) -> None:
+    counter = _exec_counters.get(access_path)
+    if counter is None:
+        counter = _exec_counters[access_path] = metrics.counter(
+            f"query_executions{{access_path={access_path}}}"
+        )
+    counter.inc()
+
+
+@dataclass(frozen=True, slots=True)
+class IndexChoice:
+    """One filter the planner decided to serve from an index."""
+
+    attribute: str
+    op: str
+    value: Any
+    index_name: str
+    estimated_rows: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.index_name} ({self.attribute} {self.op} {self.value!r}),"
+            f" est ~{self.estimated_rows} rows"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """The access strategy chosen for one execution of a query.
+
+    ``access_path`` is one of ``extent_scan`` (sorted-OID scan of the class
+    extent), ``index_eq`` / ``index_range`` (one B-tree serves the primary
+    filter), ``index_intersect`` (several B-trees, OID sets intersected) or
+    ``index_order`` (no indexable filter, but ``order_by`` streams from an
+    index).  ``sort_needed`` is False when the access path already yields
+    the requested order; ``index_only`` marks plans whose ``count()`` /
+    ``exists()`` never materialize an object.
+    """
+
+    class_name: str
+    include_subclasses: bool
+    access_path: str
+    index_filters: tuple[IndexChoice, ...]
+    residual_filters: tuple[tuple[str, str, Any], ...]
+    predicates: int
+    order: tuple[str, bool] | None
+    sort_needed: bool
+    index_only: bool
+    limit: int | None
+    estimated_rows: int
+    extent_size: int
+
+    def describe(self) -> str:
+        subclasses = "included" if self.include_subclasses else "excluded"
+        lines = [f"query plan: {self.class_name} (subclasses {subclasses})"]
+        if self.index_filters:
+            primary, *rest = self.index_filters
+            lines.append(f"  access: {self.access_path} via {primary.describe()}")
+            for choice in rest:
+                lines.append(f"  intersect: {choice.describe()}")
+        else:
+            lines.append(
+                f"  access: {self.access_path}, {self.extent_size} extent rows"
+            )
+        for attribute, op, value in self.residual_filters:
+            lines.append(f"  residual: {attribute} {op} {value!r}")
+        if self.predicates:
+            lines.append(f"  predicates: {self.predicates}")
+        if self.order is not None:
+            attribute, descending = self.order
+            direction = "desc" if descending else "asc"
+            how = "sorted in memory" if self.sort_needed else "streamed in key order"
+            lines.append(f"  order: {attribute} {direction} ({how})")
+        if self.limit is not None:
+            lines.append(f"  limit: {self.limit}")
+        lines.append(
+            f"  index-only count/exists: {'yes' if self.index_only else 'no'}"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
 
 
 class Query:
@@ -99,15 +215,152 @@ class Query:
         return self
 
     # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def explain(self) -> QueryPlan:
+        """The plan this query would execute with, without executing it."""
+        return self._prepare()
+
+    def _wanted(self) -> set[Oid]:
+        """The extent the query selects from (fresh set, built on demand)."""
+        return self._db.extents.of(self._class_name, self._include_subclasses)
+
+    def _prepare(self) -> QueryPlan:
+        db = self._db
+        extent_size = db.extents.count(
+            self._class_name, self._include_subclasses
+        )
+        order = self._order
+
+        choices: list[IndexChoice] = []
+        residual: list[tuple[str, str, Any]] = []
+        for attribute, op, value in self._attr_filters:
+            state = (
+                db.indexes.covering(self._class_name, attribute)
+                if op in _INDEXABLE_OPS
+                else None
+            )
+            if state is None:
+                residual.append((attribute, op, value))
+                continue
+            tree = state.tree
+            if op == "==":
+                estimate = tree.count_key(value)
+            elif op in ("<", "<="):
+                estimate = tree.estimate_range_count(None, value)
+            else:
+                estimate = tree.estimate_range_count(value, None)
+            choices.append(
+                IndexChoice(attribute, op, value, state.definition.name, estimate)
+            )
+
+        order_satisfied = False
+        if choices:
+            choices.sort(key=lambda c: (c.estimated_rows, c.attribute, c.op))
+            primary = choices[0]
+            cap = max(_INTERSECT_MIN_ROWS, extent_size // 4)
+            secondary: list[IndexChoice] = []
+            for choice in choices[1:]:
+                if choice.estimated_rows <= cap:
+                    secondary.append(choice)
+                else:
+                    residual.append((choice.attribute, choice.op, choice.value))
+            index_filters = (primary, *secondary)
+            if secondary:
+                access_path = "index_intersect"
+            elif primary.op == "==":
+                access_path = "index_eq"
+            else:
+                access_path = "index_range"
+            order_satisfied = (
+                order is not None
+                and not secondary
+                and primary.attribute == order[0]
+            )
+            estimated_rows = primary.estimated_rows
+        else:
+            index_filters = ()
+            if (
+                order is not None
+                and db.indexes.covering(self._class_name, order[0]) is not None
+            ):
+                access_path = "index_order"
+                order_satisfied = True
+            else:
+                access_path = "extent_scan"
+            estimated_rows = extent_size
+
+        plan = QueryPlan(
+            class_name=self._class_name,
+            include_subclasses=self._include_subclasses,
+            access_path=access_path,
+            index_filters=index_filters,
+            residual_filters=tuple(residual),
+            predicates=len(self._predicates),
+            order=order,
+            sort_needed=order is not None and not order_satisfied,
+            index_only=(
+                not self._predicates
+                and not residual
+                and (bool(index_filters) or not self._attr_filters)
+            ),
+            limit=self._limit,
+            estimated_rows=estimated_rows,
+            extent_size=extent_size,
+        )
+        return plan
+
+    def _note_execution(self, plan: QueryPlan) -> None:
+        _count_execution(plan.access_path)
+        if plan.index_filters:
+            metrics.counter("index_hits").inc(len(plan.index_filters))
+        elif plan.access_path == "index_order":
+            metrics.counter("index_hits").inc()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator["Persistent"]:
-        # Bind the filter tuples now: generator pipelines evaluate lazily,
-        # so closing over the loop variables directly would apply only the
-        # last filter to every stage.
+        return self._execute(self._prepare())
+
+    def _execute(self, plan: QueryPlan) -> Iterator["Persistent"]:
+        self._note_execution(plan)
+        passes = self._residual_passes(plan)
+        candidates = self._candidate_oids(plan, self._wanted())
+        if plan.sort_needed:
+            assert plan.order is not None
+            attribute, descending = plan.order
+            present: list["Persistent"] = []
+            absent: list["Persistent"] = []
+            for obj in self._fetch_stream(candidates):
+                if not passes(obj):
+                    continue
+                if getattr(obj, attribute, _MISSING) is _MISSING:
+                    absent.append(obj)
+                else:
+                    present.append(obj)
+            present.sort(
+                key=lambda obj: getattr(obj, attribute), reverse=descending
+            )
+            # Objects without the sort attribute always sort last — the
+            # counterpart of filters treating a missing attribute as a
+            # non-match rather than an error.
+            objects: Iterator["Persistent"] = iter(present + absent)
+        else:
+            objects = (
+                obj for obj in self._fetch_stream(candidates) if passes(obj)
+            )
+        if plan.limit is not None:
+            objects = _take(objects, plan.limit)
+        return objects
+
+    def _residual_passes(self, plan: QueryPlan) -> Callable[[Any], bool]:
+        # Bind the comparator tuples now: generator pipelines evaluate
+        # lazily, so closing over loop variables directly would apply only
+        # the last filter to every stage.
         attr_filters = [
             (attribute, _OPS[op], value)
-            for attribute, op, value in self._attr_filters
+            for attribute, op, value in plan.residual_filters
         ]
         predicates = list(self._predicates)
 
@@ -118,20 +371,114 @@ class Query:
                     return False
             return all(predicate(obj) for predicate in predicates)
 
-        objects = (obj for obj in self._candidates() if passes(obj))
-        if self._order is not None:
-            attribute, descending = self._order
-            objects = iter(
-                sorted(
-                    objects,
-                    key=lambda obj: getattr(obj, attribute),
-                    reverse=descending,
-                )
-            )
-        if self._limit is not None:
-            objects = _take(objects, self._limit)
-        return objects
+        return passes
 
+    # ------------------------------------------------------------------
+    # Candidate generation (index-aware)
+    # ------------------------------------------------------------------
+    def _candidate_oids(
+        self, plan: QueryPlan, wanted: set[Oid]
+    ) -> Iterator[Oid]:
+        if plan.access_path == "extent_scan":
+            return iter(sorted(wanted))
+        if plan.access_path == "index_order":
+            return self._ordered_extent_oids(plan, wanted)
+        primary = plan.index_filters[0]
+        if len(plan.index_filters) > 1:
+            oid_set = self._index_candidate_set(plan, wanted)
+            return iter(sorted(oid_set))
+        reverse = (
+            plan.order is not None
+            and not plan.sort_needed
+            and plan.order[1]
+            and primary.op != "=="
+        )
+        # Index lookups cover the whole class family; re-check membership
+        # against the extent the caller actually asked for.
+        return (
+            oid
+            for oid in self._index_oids(primary, reverse=reverse)
+            if oid in wanted
+        )
+
+    def _ordered_extent_oids(
+        self, plan: QueryPlan, wanted: set[Oid]
+    ) -> Iterator[Oid]:
+        """Extent OIDs streamed in ``order_by`` key order from the index."""
+        assert plan.order is not None
+        attribute, descending = plan.order
+        state = self._require_state(attribute)
+        for _key, oid in state.tree.range(reverse=descending):
+            if oid in wanted:
+                yield oid
+        # Extent members the index has never seen lack the attribute
+        # entirely; they sort last, in stable OID order.
+        stragglers = wanted.difference(state.keyed)
+        yield from sorted(stragglers)
+
+    def _index_candidate_set(
+        self, plan: QueryPlan, wanted: set[Oid]
+    ) -> set[Oid]:
+        result: set[Oid] | None = None
+        for choice in plan.index_filters:
+            oids = set(self._index_oid_list(choice))
+            result = oids if result is None else result & oids
+            if not result:
+                return set()
+        assert result is not None
+        return result & wanted
+
+    def _index_oid_list(self, choice: IndexChoice) -> list[Oid]:
+        """Matching OIDs as one eager list (set building, counting)."""
+        tree = self._require_state(choice.attribute).tree
+        if choice.op == "==":
+            return tree.search(choice.value)
+        return tree.range_values(*_bounds(choice))
+
+    def _index_oids(
+        self, choice: IndexChoice, reverse: bool = False
+    ) -> Iterator[Oid]:
+        tree = self._require_state(choice.attribute).tree
+        if choice.op == "==":
+            return iter(tree.search(choice.value))
+        low, high, inclusive = _bounds(choice)
+        pairs = tree.range(low, high, inclusive=inclusive, reverse=reverse)
+        return (oid for _key, oid in pairs)
+
+    def _index_covers_extent(self, state: "_IndexState") -> bool:
+        """True when every indexed OID is a member of the queried extent.
+
+        Index lookups span the whole family of the class the index was
+        defined on; when the query targets that same class with
+        subclasses included, the two populations coincide and the
+        extent-membership re-check is a no-op that can be skipped.
+        """
+        return (
+            self._include_subclasses
+            and state.definition.class_name == self._class_name
+        )
+
+    def _require_state(self, attribute: str) -> "_IndexState":
+        state = self._db.indexes.covering(self._class_name, attribute)
+        if state is None:  # pragma: no cover - plan and execution share a stack
+            raise QueryError(f"no index on {self._class_name}.{attribute}")
+        return state
+
+    def _fetch_stream(self, oids: Iterable[Oid]) -> Iterator["Persistent"]:
+        """Materialize OIDs in clustered batches, preserving order."""
+        db = self._db
+        batch: list[Oid] = []
+        for oid in oids:
+            batch.append(oid)
+            if len(batch) >= _FETCH_CHUNK:
+                yield from db.fetch_many(batch)
+                batch = []
+        if batch:
+            yield from db.fetch_many(batch)
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
     def all(self) -> list["Persistent"]:
         return list(self)
 
@@ -141,7 +488,11 @@ class Query:
         return None
 
     def one(self) -> "Persistent":
-        results = self.limit(2).all() if self._limit is None else self.all()
+        if self._limit is None:
+            # Probe for a second match without mutating the builder.
+            results = list(_take(iter(self), 2))
+        else:
+            results = self.all()
         if len(results) != 1:
             raise QueryError(
                 f"expected exactly one result, got {len(results)}"
@@ -149,56 +500,73 @@ class Query:
         return results[0]
 
     def count(self) -> int:
-        return sum(1 for _ in self)
+        """Number of matching objects.
 
-    # ------------------------------------------------------------------
-    # Candidate generation (index-aware)
-    # ------------------------------------------------------------------
-    def _candidates(self) -> Iterator["Persistent"]:
-        oids = self._try_index()
-        if oids is None:
-            for oid in sorted(
-                self._db.extents.of(self._class_name, self._include_subclasses)
-            ):
-                yield self._db.fetch(oid)
-            return
-        # Index lookups cover the whole class family; re-check membership
-        # against the extent the caller actually asked for.
-        wanted = self._db.extents.of(self._class_name, self._include_subclasses)
-        for oid in oids:
-            if oid in wanted:
-                yield self._db.fetch(oid)
-
-    def _try_index(self) -> list[Oid] | None:
-        """Use a B-tree for the first indexable equality/range filter."""
-        for i, (attribute, op, value) in enumerate(self._attr_filters):
-            tree = self._db.indexes.lookup(self._class_name, attribute)
-            if tree is None:
-                continue
-            if op == "==":
-                oids = self._db.indexes.find_eq(
-                    self._class_name, attribute, value
-                )
-            elif op in ("<", "<="):
-                oids = [
-                    oid
-                    for key, oid in tree.range(
-                        None, value, inclusive=(True, op == "<=")
+        Index-only when the plan has no residual work: the answer comes
+        from OID-set arithmetic over the B-tree(s) and the extent, without
+        materializing a single object.
+        """
+        plan = self._prepare()
+        if plan.index_only:
+            self._note_execution(plan)
+            metrics.counter("index_only_answers").inc()
+            if not plan.index_filters:
+                matched = plan.extent_size
+            elif len(plan.index_filters) == 1:
+                choice = plan.index_filters[0]
+                state = self._require_state(choice.attribute)
+                if self._index_covers_extent(state):
+                    # Exact count straight off the B-tree — no OID set,
+                    # no membership re-check.
+                    if choice.op == "==":
+                        matched = state.tree.count_key(choice.value)
+                    else:
+                        matched = state.tree.count_range(*_bounds(choice))
+                else:
+                    matched = len(
+                        self._index_candidate_set(plan, self._wanted())
                     )
-                ]
-            elif op in (">", ">="):
-                oids = [
-                    oid
-                    for key, oid in tree.range(
-                        value, None, inclusive=(op == ">=", True)
-                    )
-                ]
             else:
-                continue
-            # The index satisfied this filter; drop it, keep the rest.
-            del self._attr_filters[i]
-            return oids
-        return None
+                matched = len(self._index_candidate_set(plan, self._wanted()))
+            return matched if plan.limit is None else min(matched, plan.limit)
+        return sum(1 for _ in self._execute(plan))
+
+    def exists(self) -> bool:
+        """True if at least one object matches (index-only when possible)."""
+        plan = self._prepare()
+        if plan.limit == 0:
+            return False
+        if plan.index_only:
+            self._note_execution(plan)
+            metrics.counter("index_only_answers").inc()
+            if not plan.index_filters:
+                return plan.extent_size > 0
+            if len(plan.index_filters) == 1:
+                choice = plan.index_filters[0]
+                state = self._require_state(choice.attribute)
+                if self._index_covers_extent(state):
+                    if choice.op == "==":
+                        return state.tree.count_key(choice.value) > 0
+                    for _oid in self._index_oids(choice):
+                        return True
+                    return False
+                wanted = self._wanted()
+                return any(
+                    oid in wanted for oid in self._index_oids(choice)
+                )
+            return bool(self._index_candidate_set(plan, self._wanted()))
+        for _obj in self._execute(plan):
+            return True
+        return False
+
+
+def _bounds(
+    choice: IndexChoice,
+) -> tuple[Any, Any, tuple[bool, bool]]:
+    """B-tree ``(low, high, inclusive)`` bounds for a range comparison."""
+    if choice.op in ("<", "<="):
+        return None, choice.value, (True, choice.op == "<=")
+    return choice.value, None, (choice.op == ">=", True)
 
 
 def _take(items: Iterator[Any], count: int) -> Iterator[Any]:

@@ -211,7 +211,17 @@ class Extents:
         return result
 
     def count(self, class_name: str, include_subclasses: bool = True) -> int:
-        return len(self.of(class_name, include_subclasses))
+        if class_name not in self._registry:
+            raise SchemaError(f"unknown persistent class {class_name!r}")
+        names = (
+            self._registry.family(class_name)
+            if include_subclasses
+            else (class_name,)
+        )
+        # Every object lives in exactly one concrete-class extent, so the
+        # family union is disjoint and the count needs no set copy.
+        members = self._members
+        return sum(len(members.get(name, ())) for name in names)
 
     def class_names(self) -> Iterator[str]:
         return iter(sorted(self._members))

@@ -127,7 +127,29 @@ class Serializer:
         cls = self._resolver.class_for_name(record["class"])
         if obj is None:
             obj = cls.__new__(cls)
-        for name, encoded in record["attrs"].items():
+        attrs = record["attrs"]
+        # Fast path: exact-type scalars decode to themselves, and most
+        # domain objects are all-scalar — one dict.update instead of one
+        # object.__setattr__ per attribute.  Falls back per attribute for
+        # tagged values and for classes without a __dict__.
+        target = getattr(obj, "__dict__", None)
+        if target is not None:
+            plain: dict[str, Any] = {}
+            slow: list[tuple[str, Any]] = []
+            for name, encoded in attrs.items():
+                if type(encoded) in _FAST_TYPES:
+                    plain[name] = encoded
+                else:
+                    slow.append((name, encoded))
+            target.update(plain)
+            if slow:
+                pipeline_stats.serializer_slow_decodes += 1
+                for name, encoded in slow:
+                    object.__setattr__(obj, name, self.decode_value(encoded))
+            else:
+                pipeline_stats.serializer_fast_decodes += 1
+            return obj
+        for name, encoded in attrs.items():
             object.__setattr__(obj, name, self.decode_value(encoded))
         return obj
 

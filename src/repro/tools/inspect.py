@@ -181,12 +181,52 @@ def storage_stats(path: str) -> str:
         for state in states.values():
             lines.append(
                 f"  {state.definition.name:<28} "
-                f"{len(state.keyed)} entries"
+                f"{len(state.keyed)} entries, "
+                f"{state.tree.key_count} distinct keys"
                 + (" (unique)" if state.definition.unique else "")
             )
+        lines.extend(_read_path_stats())
         return "\n".join(lines)
     finally:
         db.close()
+
+
+def _read_path_stats() -> list[str]:
+    """Query-planner and buffer-pool counters from the metrics registry.
+
+    Process-wide, so they cover whatever this process has executed —
+    for the CLI that is the stats collection itself, but the function is
+    also the one embedding applications call after a workload.
+    """
+    from ..obs.metrics import metrics
+
+    snapshot = metrics.snapshot()
+    lines = ["read path:"]
+    executions = {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if name.startswith("query_executions{")
+    }
+    total = sum(executions.values())
+    lines.append(f"  query executions: {total}")
+    for name, value in executions.items():
+        access_path = name[len("query_executions{access_path=") : -1]
+        lines.append(f"    {access_path:<26} {value}")
+    for label, key in (
+        ("index hits", "index_hits"),
+        ("index-only answers", "index_only_answers"),
+        ("fetch_many page pins", "fetch_many_page_pins"),
+    ):
+        lines.append(f"  {label}: {snapshot.get(key, 0)}")
+    hits = snapshot.get("buffer_pool.hits", 0)
+    misses = snapshot.get("buffer_pool.misses", 0)
+    hit_rate = snapshot.get("buffer_pool.hit_rate", 0.0)
+    lines.append(
+        f"  buffer pool: {hits} hits / {misses} misses "
+        f"({hit_rate:.1%} hit rate), "
+        f"{snapshot.get('buffer_pool.readahead_pages', 0)} readahead pages"
+    )
+    return lines
 
 
 def dump_object(path: str, oid_value: int) -> str:

@@ -111,3 +111,56 @@ class TestBufferPool:
     def test_bad_capacity(self):
         with pytest.raises(ValueError):
             BufferPool(capacity=0)
+
+
+class TestReadahead:
+    def test_readahead_caches_following_pages(self, tmp_path):
+        path = make_file(tmp_path, pages=8)
+        pool = BufferPool()
+        pool.attach(path)
+        page = pool.get(path, 0, readahead=4)
+        assert page.page_id == 0
+        assert pool.stats.misses == 1
+        assert pool.stats.readahead_pages == 3
+        for i in range(1, 4):
+            pool.get(path, i)
+        assert pool.stats.misses == 1  # the run was prefetched in one I/O
+
+    def test_readahead_stops_at_end_of_file(self, tmp_path):
+        path = make_file(tmp_path, pages=2)
+        pool = BufferPool()
+        pool.attach(path)
+        pool.get(path, 0, readahead=8)
+        assert pool.stats.readahead_pages == 1
+        pool.get(path, 1)
+        assert pool.stats.misses == 1
+
+    def test_readahead_never_replaces_cached_page(self, tmp_path):
+        path = make_file(tmp_path, pages=4)
+        pool = BufferPool()
+        pool.attach(path)
+        dirty = pool.get(path, 1)
+        dirty.insert(b"unflushed")
+        pool.get(path, 0, readahead=4)
+        # The in-memory copy (possibly dirty) must win over the disk image.
+        assert pool.get(path, 1) is dirty
+
+    def test_readahead_capped_by_capacity(self, tmp_path):
+        path = make_file(tmp_path, pages=8)
+        pool = BufferPool(capacity=2)
+        pool.attach(path)
+        page = pool.get(path, 0, readahead=8)
+        assert page.page_id == 0
+        assert pool.cached_page_count() <= 2
+        # The requested page itself must not be evicted by its own readahead.
+        misses = pool.stats.misses
+        assert pool.get(path, 0).page_id == 0
+        assert pool.stats.misses == misses
+
+    def test_readahead_one_is_a_plain_get(self, tmp_path):
+        path = make_file(tmp_path, pages=3)
+        pool = BufferPool()
+        pool.attach(path)
+        pool.get(path, 0, readahead=1)
+        assert pool.stats.readahead_pages == 0
+        assert pool.stats.misses == 1

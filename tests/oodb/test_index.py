@@ -116,6 +116,70 @@ class TestBTreeDeletion:
         assert len(tree) == sum(len(v) for v in shadow.values())
 
 
+class TestBTreeCounting:
+    def make_tree(self, order=3):
+        tree = BTree(order=order)
+        entries = []
+        rng = random.Random(17)
+        for step in range(500):
+            key = rng.randrange(80)
+            tree.insert(key, step)
+            entries.append(key)
+        return tree, entries
+
+    def test_count_key(self):
+        tree, entries = self.make_tree()
+        for key in (0, 13, 79, 200):
+            assert tree.count_key(key) == entries.count(key)
+
+    @pytest.mark.parametrize(
+        "inclusive", [(True, True), (True, False), (False, True), (False, False)]
+    )
+    def test_count_range_matches_walk(self, inclusive):
+        tree, _entries = self.make_tree()
+        for low, high in [(None, None), (10, 50), (None, 40), (25, None), (30, 30)]:
+            walked = sum(1 for _ in tree.range(low, high, inclusive=inclusive))
+            assert tree.count_range(low, high, inclusive=inclusive) == walked
+
+    @pytest.mark.parametrize(
+        "inclusive", [(True, True), (True, False), (False, True), (False, False)]
+    )
+    def test_range_values_matches_lazy_range(self, inclusive):
+        tree, _entries = self.make_tree()
+        for low, high in [(None, None), (10, 50), (None, 40), (25, None), (30, 30)]:
+            lazy = [v for _k, v in tree.range(low, high, inclusive=inclusive)]
+            assert tree.range_values(low, high, inclusive=inclusive) == lazy
+
+    def test_counts_survive_deletions(self):
+        """Cached subtree counts must be invalidated by every delete shape."""
+        by_key: dict[int, list[int]] = {}
+        tree = BTree(order=3)
+        _tree, entries = self.make_tree()
+        for step, key in enumerate(entries):
+            tree.insert(key, step)
+            by_key.setdefault(key, []).append(step)
+        tree.count_range(None, None)  # populate the subtree caches
+        for key in list(by_key)[::2]:
+            for value in by_key.pop(key):
+                assert tree.delete(key, value)
+        remaining = sum(len(v) for v in by_key.values())
+        assert tree.count_range(None, None) == remaining
+        assert tree.count_range(20, 60) == sum(
+            len(v) for k, v in by_key.items() if 20 <= k <= 60
+        )
+        tree.check_invariants()
+
+    def test_estimate_range_count_brackets_truth(self):
+        tree, _entries = self.make_tree(order=16)
+        for low, high in [(None, 40), (10, 50), (60, None)]:
+            exact = tree.count_range(low, high)
+            estimate = tree.estimate_range_count(low, high)
+            assert 0 <= estimate <= len(tree)
+            # The estimate ranks access paths; it should be in the right
+            # ballpark, not exact.
+            assert abs(estimate - exact) <= max(25, exact)
+
+
 class TestIndexManager:
     @pytest.fixture
     def manager(self):

@@ -1,0 +1,278 @@
+"""Tests for the cost-aware query planner and the clustered read path."""
+
+import random
+
+import pytest
+
+from repro.oodb import Database, Persistent
+from repro.oodb.errors import ObjectNotFound
+from repro.oodb.oid import Oid
+from repro.obs.metrics import metrics
+
+_MISSING = object()
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Emp(Persistent):
+    def __init__(self, name, salary, dept, rating):
+        super().__init__()
+        self.name = name
+        self.salary = salary
+        self.dept = dept
+        self.rating = rating
+
+
+def brute_force(objects, filters):
+    """Reference semantics: missing attribute == no match."""
+    out = []
+    for obj in objects:
+        for attribute, op, value in filters:
+            attr_value = getattr(obj, attribute, _MISSING)
+            if attr_value is _MISSING or not _OPS[op](attr_value, value):
+                break
+        else:
+            out.append(obj)
+    return out
+
+
+@pytest.fixture
+def staffed(mem_db):
+    rng = random.Random(0xC0FFEE)
+    objects = []
+    for i in range(200):
+        emp = Emp(
+            f"emp{i:03d}",
+            rng.randrange(30_000, 120_000, 500),
+            rng.choice(["eng", "sales", "hr", "ops"]),
+            rng.random(),
+        )
+        mem_db.add(emp)
+        objects.append(emp)
+    mem_db.commit()
+    mem_db.create_index(Emp, "salary")
+    mem_db.create_index(Emp, "dept")
+    return mem_db, objects, rng
+
+
+class TestPlannerEquivalence:
+    """Property-style: every plan must agree with brute force."""
+
+    def test_randomized_workloads_match_brute_force(self, staffed):
+        db, objects, rng = staffed
+        for _ in range(60):
+            filters = []
+            if rng.random() < 0.7:
+                op = rng.choice(["==", "<", "<=", ">", ">="])
+                filters.append(("salary", op, rng.randrange(30_000, 120_000, 250)))
+            if rng.random() < 0.7:
+                filters.append(("dept", "==", rng.choice(["eng", "sales", "qa"])))
+            if rng.random() < 0.4:
+                # rating has no index: always a residual filter.
+                filters.append(("rating", rng.choice(["<", ">="]), rng.random()))
+            query = db.query(Emp)
+            for attribute, op, value in filters:
+                query.where_op(attribute, op, value)
+            expected = {obj.name for obj in brute_force(objects, filters)}
+            got = {obj.name for obj in query}
+            assert got == expected, (filters, query.explain().describe())
+            assert query.count() == len(expected)
+            assert query.exists() == bool(expected)
+
+    def test_intersection_path_matches_brute_force(self, staffed):
+        db, objects, _rng = staffed
+        filters = [("salary", ">=", 100_000), ("dept", "==", "eng")]
+        query = db.query(Emp)
+        for attribute, op, value in filters:
+            query.where_op(attribute, op, value)
+        plan = query.explain()
+        assert plan.access_path in ("index_intersect", "index_eq", "index_range")
+        assert {o.name for o in query} == {
+            o.name for o in brute_force(objects, filters)
+        }
+
+    def test_order_by_with_limit_streams_from_index(self, staffed):
+        db, objects, _rng = staffed
+        query = db.query(Emp).order_by("salary").limit(10)
+        assert query.explain().access_path == "index_order"
+        got = [o.salary for o in query]
+        expected = sorted(o.salary for o in objects)[:10]
+        assert got == expected
+
+    def test_order_by_descending_on_range_filter(self, staffed):
+        db, objects, _rng = staffed
+        query = (
+            db.query(Emp)
+            .where_op("salary", ">=", 90_000)
+            .order_by("salary", descending=True)
+        )
+        plan = query.explain()
+        assert plan.access_path == "index_range"
+        assert not plan.sort_needed
+        got = [o.salary for o in query]
+        assert got == sorted(
+            (o.salary for o in objects if o.salary >= 90_000), reverse=True
+        )
+
+
+class TestPlanShapes:
+    def test_eq_filter_plans_index_eq(self, staffed):
+        db, _objects, _rng = staffed
+        plan = db.query(Emp).where_eq("dept", "eng").explain()
+        assert plan.access_path == "index_eq"
+        assert plan.index_filters[0].index_name == "Emp.dept"
+        assert plan.index_only
+
+    def test_cheapest_index_wins(self, staffed):
+        db, objects, _rng = staffed
+        # A narrow salary band is far more selective than a whole dept.
+        plan = (
+            db.query(Emp)
+            .where_eq("dept", "eng")
+            .where_op("salary", ">=", 118_000)
+            .explain()
+        )
+        assert plan.index_filters[0].attribute == "salary"
+
+    def test_unindexed_filter_is_residual(self, staffed):
+        db, _objects, _rng = staffed
+        plan = db.query(Emp).where_op("rating", ">", 0.5).explain()
+        assert plan.access_path == "extent_scan"
+        assert plan.residual_filters == (("rating", ">", 0.5),)
+        assert not plan.index_only
+
+    def test_count_is_index_only(self, staffed):
+        db, objects, _rng = staffed
+        metrics.counter("index_only_answers").reset()
+        before_pins = metrics.counter("fetch_many_page_pins").value
+        query = db.query(Emp).where_op("salary", ">=", 60_000)
+        expected = sum(1 for o in objects if o.salary >= 60_000)
+        assert query.count() == expected
+        assert metrics.counter("index_only_answers").value == 1
+        assert metrics.counter("fetch_many_page_pins").value == before_pins
+
+    def test_execution_metrics_are_labeled_by_access_path(self, staffed):
+        db, _objects, _rng = staffed
+        counter = metrics.counter("query_executions{access_path=index_eq}")
+        before = counter.value
+        db.query(Emp).where_eq("dept", "hr").all()
+        assert counter.value == before + 1
+
+
+class TestExplainGolden:
+    def test_extent_scan_plan(self, mem_db):
+        mem_db.add(Emp("solo", 50_000, "eng", 0.5))
+        mem_db.commit()
+        plan = mem_db.query(Emp, include_subclasses=False).where_eq(
+            "name", "solo"
+        )
+        assert plan.explain().describe() == (
+            "query plan: Emp (subclasses excluded)\n"
+            "  access: extent_scan, 1 extent rows\n"
+            "  residual: name == 'solo'\n"
+            "  index-only count/exists: no"
+        )
+
+    def test_indexed_plan_with_order_and_limit(self, mem_db):
+        for i in range(4):
+            mem_db.add(Emp(f"e{i}", 40_000 + i * 10_000, "eng", 0.1))
+        mem_db.commit()
+        mem_db.create_index(Emp, "salary")
+        plan = (
+            mem_db.query(Emp)
+            .where_op("salary", ">=", 50_000)
+            .order_by("salary")
+            .limit(2)
+            .explain()
+        )
+        assert plan.describe() == (
+            "query plan: Emp (subclasses included)\n"
+            "  access: index_range via Emp.salary (salary >= 50000),"
+            " est ~3 rows\n"
+            "  order: salary asc (streamed in key order)\n"
+            "  limit: 2\n"
+            "  index-only count/exists: yes"
+        )
+
+
+class TestFetchMany:
+    def _build(self, tmp_path, count=120):
+        db = Database(str(tmp_path / "db"), sync=False)
+        oids = []
+        # Payloads sized so the extent spans several heap pages.
+        for i in range(count):
+            emp = Emp(f"e{i:04d}", 30_000 + i, "eng", 0.0)
+            emp.padding = "x" * 256
+            db.add(emp)
+            oids.append(emp._p_oid)
+        db.commit()
+        return db, oids
+
+    def test_cold_fetch_crosses_page_boundaries(self, tmp_path):
+        db, oids = self._build(tmp_path)
+        try:
+            assert db._heap.page_count > 1
+            db.evict_cache()
+            shuffled = list(oids)
+            random.Random(7).shuffle(shuffled)
+            objects = db.fetch_many(shuffled)
+            assert [o._p_oid for o in objects] == shuffled
+            assert all(o.padding == "x" * 256 for o in objects)
+        finally:
+            db.close()
+
+    def test_duplicates_and_order_preserved(self, tmp_path):
+        db, oids = self._build(tmp_path, count=30)
+        try:
+            db.evict_cache()
+            batch = [oids[3], oids[7], oids[3], oids[0], oids[7]]
+            objects = db.fetch_many(batch)
+            assert [o._p_oid for o in objects] == batch
+            assert objects[0] is objects[2]  # identity map holds
+        finally:
+            db.close()
+
+    def test_pins_each_page_once(self, tmp_path):
+        db, oids = self._build(tmp_path)
+        try:
+            db.evict_cache()
+            pages = {db._locations[oid].page for oid in oids}
+            before = metrics.counter("fetch_many_page_pins").value
+            db.fetch_many(oids)
+            assert (
+                metrics.counter("fetch_many_page_pins").value - before
+                == len(pages)
+            )
+        finally:
+            db.close()
+
+    def test_overflow_records_reassemble(self, tmp_path):
+        db = Database(str(tmp_path / "db"), sync=False)
+        try:
+            big = Emp("big", 1, "eng", 0.0)
+            big.blob = "y" * 20_000  # spills into an overflow chain
+            small = Emp("small", 2, "eng", 0.0)
+            db.add(big)
+            db.add(small)
+            db.commit()
+            big_oid, small_oid = big._p_oid, small._p_oid
+            db.evict_cache()
+            fetched_big, fetched_small = db.fetch_many([big_oid, small_oid])
+            assert fetched_big.blob == "y" * 20_000
+            assert fetched_small.name == "small"
+        finally:
+            db.close()
+
+    def test_unknown_oid_raises(self, tmp_path):
+        db, oids = self._build(tmp_path, count=5)
+        try:
+            with pytest.raises(ObjectNotFound):
+                db.fetch_many([oids[0], Oid(999_999)])
+        finally:
+            db.close()

@@ -158,3 +158,68 @@ class TestIndexedQueries:
         with zoo.transaction():
             zoo.delete(cat)
             assert zoo.query(Animal).where_eq("name", "cat").count() == 0
+
+
+class TestQueryReuse:
+    """Executing a query must never mutate the builder (seed regression)."""
+
+    def test_iterating_twice_returns_identical_results(self, zoo):
+        query = zoo.query(Animal).where_eq("legs", 4).where_op("weight", "<", 20.0)
+        first = [a.name for a in query]
+        second = [a.name for a in query]
+        assert first == second == ["cat", "beagle"]
+
+    def test_indexed_query_iterates_twice(self, zoo):
+        zoo.create_index(Animal, "legs")
+        query = zoo.query(Animal).where_eq("legs", 4).where_op("weight", "<", 20.0)
+        assert {a.name for a in query} == {"cat", "beagle"}
+        assert {a.name for a in query} == {"cat", "beagle"}
+
+    def test_one_does_not_install_limit(self, zoo):
+        query = zoo.query(Animal).where_op("weight", ">", 1.0)
+        with pytest.raises(QueryError):
+            query.one()
+        # The seed's one() left limit(2) behind, truncating later calls.
+        assert len(query.all()) == 4
+        assert query.count() == 4
+
+    def test_explain_does_not_execute_or_mutate(self, zoo):
+        query = zoo.query(Animal).where_eq("legs", 4)
+        plan = query.explain()
+        assert plan.access_path == "extent_scan"
+        assert {a.name for a in query} == {"cat", "beagle", "husky"}
+
+
+class TestOrderByMissingAttribute:
+    def test_objects_without_sort_attribute_come_last(self, zoo):
+        zoo.add(Animal("jelly", 0, 1.5))
+        sponge = Animal("sponge", 0, 0.2)
+        del sponge.weight
+        zoo.add(sponge)
+        zoo.commit()
+        names = [a.name for a in zoo.query(Animal).order_by("weight")]
+        assert names[-1] == "sponge"
+        assert names[:-1] == ["bird", "jelly", "snake", "cat", "beagle", "husky"]
+
+    def test_missing_attribute_last_when_descending(self, zoo):
+        sponge = Animal("sponge", 0, 0.2)
+        del sponge.weight
+        zoo.add(sponge)
+        zoo.commit()
+        names = [
+            a.name for a in zoo.query(Animal).order_by("weight", descending=True)
+        ]
+        assert names[-1] == "sponge"
+        assert names[0] == "husky"
+
+    def test_missing_attribute_last_with_index_order(self, zoo):
+        zoo.create_index(Animal, "weight")
+        sponge = Animal("sponge", 0, 0.2)
+        del sponge.weight
+        zoo.add(sponge)
+        zoo.commit()
+        query = zoo.query(Animal).order_by("weight")
+        assert query.explain().access_path == "index_order"
+        names = [a.name for a in query]
+        assert names[-1] == "sponge"
+        assert names[:-1] == ["bird", "snake", "cat", "beagle", "husky"]
