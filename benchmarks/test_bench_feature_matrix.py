@@ -144,7 +144,9 @@ EXPECTED = {
     "events spanning distinct classes": {"sentinel": True, "adam": False, "ode": False},
     "rules as first-class objects": {"sentinel": True, "adam": True, "ode": False},
     "events as first-class objects": {"sentinel": True, "adam": True, "ode": False},
-    "subscription-scoped rule checking": {"sentinel": True, "adam": False, "ode": False},
+    "subscription-scoped rule checking": {
+        "sentinel": True, "adam": False, "ode": False,
+    },
     "composite event operators": {"sentinel": True, "adam": False, "ode": True},
     "instance-level rules": {"sentinel": True, "adam": True, "ode": True},
     "rules on rules themselves": {"sentinel": True, "adam": False, "ode": False},

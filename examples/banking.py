@@ -16,9 +16,32 @@ Run:  python examples/banking.py
 
 import shutil
 import tempfile
+from types import SimpleNamespace
 
 from repro import Primitive, Sentinel, Sequence
 from repro.workloads import Account
+
+#: The fraud-style rule, in the textual DSL.  Source text is what makes
+#: it persistable — and statically analyzable.
+AUDIT_RULE_SPEC = """
+RULE DepositThenWithdraw
+ON   end Account::deposit(float amount) then before Account::withdraw(float amount)
+IF   True
+DO   rule.matches = getattr(rule, "matches", 0) + 1
+MODE immediate
+"""
+
+
+def build_system() -> SimpleNamespace:
+    """Wire the audit rule over a fresh in-memory account; drive nothing.
+
+    Also the entry point for ``python -m repro.tools.analyze``.
+    """
+    sentinel = Sentinel()
+    checking = Account("CHK-001", balance=1_000.0)
+    audit = sentinel.rule_from_spec(AUDIT_RULE_SPEC)
+    audit.subscribe_to(checking)
+    return SimpleNamespace(sentinel=sentinel, account=checking, audit=audit)
 
 
 def main() -> None:
@@ -42,15 +65,7 @@ def session_one(db_dir: str) -> None:
 
         # The rule is written in the DSL so its condition/action are
         # source text — which is what makes it persistable.
-        audit = sentinel.rule_from_spec(
-            """
-            RULE DepositThenWithdraw
-            ON   end Account::deposit(float amount) then before Account::withdraw(float amount)
-            IF   True
-            DO   rule.matches = getattr(rule, "matches", 0) + 1
-            MODE immediate
-            """
-        )
+        audit = sentinel.rule_from_spec(AUDIT_RULE_SPEC)
         audit.subscribe_to(checking)
 
         checking.deposit(500.0)

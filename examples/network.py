@@ -14,8 +14,10 @@ cannot modify.  Rules are layered the way a NOC would:
 Run:  python examples/network.py
 """
 
+from types import SimpleNamespace
+
 from repro import Reactive, Sentinel, event_method
-from repro.core import Any, Not, Primitive, Sequence
+from repro.core import Not, Primitive, Sequence
 
 
 class Router(Reactive):
@@ -71,62 +73,82 @@ class Noc(Reactive):
         self.pages = self.pages + [text]
 
 
+def build_system() -> SimpleNamespace:
+    """Wire the NOC's standing rules over a fresh fleet; drive nothing.
+
+    Also the entry point for ``python -m repro.tools.analyze``.  The
+    PageAudit meta-rule is added later in :func:`main` — a rule created
+    mid-demo, exactly as a real NOC would bolt it on.
+    """
+    sentinel = Sentinel()
+    fleet = [Router(f"r{i:02d}") for i in range(12)]
+    core_a, core_b = fleet[0], fleet[1]
+    noc = Noc()
+
+    # 1. Fleet-wide flap counting: one rule, subscribed everywhere.
+    flap_counts: dict[str, int] = {}
+    flap_watch = sentinel.monitor(
+        fleet,
+        on="end Router::link_down(str interface)",
+        action=lambda ctx: flap_counts.__setitem__(
+            ctx.source.name, flap_counts.get(ctx.source.name, 0) + 1
+        ),
+        name="FlapCounter",
+    )
+
+    # 2. Core-only escalation: instance-level, different threshold.
+    sentinel.monitor(
+        [core_a, core_b],
+        on="end Router::link_down(str interface)",
+        action=lambda ctx: noc.page_oncall(
+            f"core router {ctx.source.name} lost {ctx.param('interface')}"
+        ),
+        name="CoreEscalation",
+        priority=10,
+    )
+
+    # 3. Flap-then-overload: a sequence spanning two event kinds.
+    flap = Primitive("end Router::link_down(str interface)")
+    overload = Primitive("end Router::cpu_load(float percent)")
+    congestion = Sequence(flap, overload, name="congestion")
+    sentinel.monitor(
+        fleet,
+        on=congestion,
+        condition=lambda ctx: ctx.param("percent") > 90,
+        action=lambda ctx: noc.open_ticket(
+            f"congestion pattern on {ctx.source.name}"
+        ),
+        name="CongestionPattern",
+    )
+
+    # 4. Unacknowledged major alarms: Not(ack, alarm, close).
+    alarm = Primitive("end Router::raise_alarm(str severity, str text)")
+    ack = Primitive("end Router::ack_alarm(str operator)")
+    closed = Primitive("end Router::close_incident()")
+    unacked = Not(ack, alarm, closed, name="unacked-major")
+    sentinel.monitor(
+        fleet,
+        on=unacked,
+        action=lambda ctx: noc.open_ticket(
+            f"incident on {ctx.source.name} closed without ack"
+        ),
+        name="ComplianceCheck",
+    )
+    return SimpleNamespace(
+        sentinel=sentinel,
+        fleet=fleet,
+        noc=noc,
+        flap_counts=flap_counts,
+        flap_watch=flap_watch,
+    )
+
+
 def main() -> None:
-    with Sentinel() as sentinel:
-        fleet = [Router(f"r{i:02d}") for i in range(12)]
-        core_a, core_b = fleet[0], fleet[1]
-        noc = Noc()
-
-        # 1. Fleet-wide flap counting: one rule, subscribed everywhere.
-        flap_counts: dict[str, int] = {}
-        flap_watch = sentinel.monitor(
-            fleet,
-            on="end Router::link_down(str interface)",
-            action=lambda ctx: flap_counts.__setitem__(
-                ctx.source.name, flap_counts.get(ctx.source.name, 0) + 1
-            ),
-            name="FlapCounter",
-        )
-
-        # 2. Core-only escalation: instance-level, different threshold.
-        sentinel.monitor(
-            [core_a, core_b],
-            on="end Router::link_down(str interface)",
-            action=lambda ctx: noc.page_oncall(
-                f"core router {ctx.source.name} lost {ctx.param('interface')}"
-            ),
-            name="CoreEscalation",
-            priority=10,
-        )
-
-        # 3. Flap-then-overload: a sequence spanning two event kinds.
-        flap = Primitive("end Router::link_down(str interface)")
-        overload = Primitive("end Router::cpu_load(float percent)")
-        congestion = Sequence(flap, overload, name="congestion")
-        sentinel.monitor(
-            fleet,
-            on=congestion,
-            condition=lambda ctx: ctx.param("percent") > 90,
-            action=lambda ctx: noc.open_ticket(
-                f"congestion pattern on {ctx.source.name}"
-            ),
-            name="CongestionPattern",
-        )
-
-        # 4. Unacknowledged major alarms: Not(ack, alarm, close).
-        alarm = Primitive("end Router::raise_alarm(str severity, str text)")
-        ack = Primitive("end Router::ack_alarm(str operator)")
-        closed = Primitive("end Router::close_incident()")
-        unacked = Not(ack, alarm, closed, name="unacked-major")
-        sentinel.monitor(
-            fleet,
-            on=unacked,
-            action=lambda ctx: noc.open_ticket(
-                f"incident on {ctx.source.name} closed without ack"
-            ),
-            name="ComplianceCheck",
-        )
-
+    ns = build_system()
+    fleet, noc = ns.fleet, ns.noc
+    core_a, core_b = fleet[0], fleet[1]
+    flap_counts, flap_watch = ns.flap_counts, ns.flap_watch
+    with ns.sentinel as sentinel:
         # --- a day in the NOC -----------------------------------------
         fleet[5].link_down("ge-0/0/1")      # edge flap: counted only
         core_a.link_down("xe-1/0/0")        # core flap: counted + paged

@@ -15,9 +15,76 @@ the periodic operator under a manual clock.
 Run:  python examples/patients.py
 """
 
+from types import SimpleNamespace
+
 from repro import ManualClock, Primitive, Sentinel
 from repro.core import Any, Aperiodic, Not, Periodic, set_clock
 from repro.workloads import Patient, Physician
+
+
+def build_system() -> SimpleNamespace:
+    """Wire the ward's standing rules over fresh patients; drive nothing.
+
+    Also the entry point for ``python -m repro.tools.analyze``.  Mirrors
+    the four rules the demos below create interactively.
+    """
+    sentinel = Sentinel()
+    ward = [Patient(f"patient-{i}") for i in range(4)]
+    house = Physician("Dr. House")
+    nurse = Physician("Nurse Chapel")
+
+    fever = Primitive("end Patient::record_temperature(float celsius)")
+    tachy = Primitive("end Patient::record_heart_rate(int bpm)")
+    diagnose = Primitive("end Patient::diagnose(str condition)")
+    medicate = Primitive("end Patient::prescribe(str medication)")
+
+    def anomalous(ctx) -> bool:
+        params = ctx.params
+        return params.get("celsius", 0) > 38.5 or params.get("bpm", 0) > 120
+
+    escalate = sentinel.create_rule(
+        "Escalate",
+        event=Any(2, fever, tachy, name="two-anomalies"),
+        condition=anomalous,
+        action=lambda ctx: house.alert(
+            f"escalate {ctx.source.name}: {dict(ctx.params)}"
+        ),
+    )
+    escalate.subscribe_to(ward[0], ward[2])
+
+    readings: list[float] = []
+    tracker = sentinel.create_rule(
+        "EpisodeTracker",
+        event=Aperiodic(fever, diagnose, medicate, name="fever-during-episode"),
+        action=lambda ctx: readings.append(ctx.param("celsius")),
+    )
+    tracker.subscribe_to(ward[2])
+
+    missed = sentinel.create_rule(
+        "MissedDose",
+        event=Not(medicate, diagnose, fever, name="missed-dose"),
+        action=lambda ctx: nurse.alert(f"missed dose for {ctx.source.name}"),
+    )
+    missed.subscribe_to(ward[0])
+
+    every_4h = Periodic(diagnose, 4 * 3600.0, medicate, name="vitals-timer")
+    ticks: list[int] = []
+    timer = sentinel.create_rule(
+        "VitalsTimer",
+        event=every_4h,
+        action=lambda ctx: ticks.append(ctx.param("tick")),
+    )
+    timer.subscribe_to(ward[0])
+    sentinel.detector.register(every_4h)
+
+    return SimpleNamespace(
+        sentinel=sentinel,
+        ward=ward,
+        house=house,
+        nurse=nurse,
+        readings=readings,
+        ticks=ticks,
+    )
 
 
 def main() -> None:

@@ -75,13 +75,13 @@ def marriage_demo(sentinel: Sentinel) -> None:
     assert alice.spouse is bob and carol.spouse is None
 
 
-def salary_check_demo(sentinel: Sentinel) -> None:
-    print("— §5.1: one Salary-check rule spanning two classes —")
-    mike = Manager("Mike", salary=90_000.0)
-    fred = Employee("Fred", salary=50_000.0)
-    mike.add_report(fred)
-
-    violations = []
+def install_salary_check(
+    sentinel: Sentinel,
+    fred: Employee,
+    mike: Manager,
+    violations: list,
+):
+    """The §5.1 Salary-check rule: one rule spanning two classes."""
 
     def check(ctx) -> bool:
         return fred.salary >= mike.salary
@@ -90,7 +90,7 @@ def salary_check_demo(sentinel: Sentinel) -> None:
         violations.append((fred.salary, mike.salary))
         fred.salary = mike.salary - 1.0  # corrective action
 
-    salary_check = sentinel.monitor(
+    return sentinel.monitor(
         [fred, mike],
         on=(
             "end Employee::set_salary(float salary) or "
@@ -100,6 +100,38 @@ def salary_check_demo(sentinel: Sentinel) -> None:
         action=report,
         name="SalaryCheck",
     )
+
+
+def build_system():
+    """Wire the Marriage class rule and the Salary-check rule, in memory.
+
+    Also the entry point for ``python -m repro.tools.analyze``.
+    """
+    from types import SimpleNamespace
+
+    sentinel = Sentinel()  # adopts Person's Marriage rule automatically
+    mike = Manager("Mike", salary=90_000.0)
+    fred = Employee("Fred", salary=50_000.0)
+    mike.add_report(fred)
+    violations: list = []
+    salary_check = install_salary_check(sentinel, fred, mike, violations)
+    return SimpleNamespace(
+        sentinel=sentinel,
+        fred=fred,
+        mike=mike,
+        violations=violations,
+        salary_check=salary_check,
+    )
+
+
+def salary_check_demo(sentinel: Sentinel) -> None:
+    print("— §5.1: one Salary-check rule spanning two classes —")
+    mike = Manager("Mike", salary=90_000.0)
+    fred = Employee("Fred", salary=50_000.0)
+    mike.add_report(fred)
+
+    violations = []
+    salary_check = install_salary_check(sentinel, fred, mike, violations)
 
     fred.set_salary(70_000.0)      # fine
     assert not violations

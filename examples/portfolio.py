@@ -15,27 +15,46 @@ definitions change when the rule is added.
 Run:  python examples/portfolio.py
 """
 
+from types import SimpleNamespace
+
 from repro import Sentinel
 from repro.workloads import FinancialInfo, Portfolio, Stock
 
 
+def build_system() -> SimpleNamespace:
+    """Wire the Purchase rule over fresh market objects; drive nothing.
+
+    Also the entry point for ``python -m repro.tools.analyze``.
+    """
+    sentinel = Sentinel()
+    ibm = Stock("IBM", price=95.0)
+    dow_jones = FinancialInfo("DowJones", value=10_000.0)
+    parker = Portfolio("Parker", cash=50_000.0)
+
+    purchase = sentinel.monitor(
+        [ibm, dow_jones],
+        on=(
+            "end Stock::set_price(float price) and "
+            "end FinancialInfo::set_value(float value)"
+        ),
+        condition=lambda ctx: ibm.price < 80.0 and dow_jones.change < 3.4,
+        action=lambda ctx: parker.purchase("IBM", 100, ibm.price),
+        name="Purchase",
+    )
+    return SimpleNamespace(
+        sentinel=sentinel,
+        ibm=ibm,
+        dow_jones=dow_jones,
+        parker=parker,
+        purchase=purchase,
+    )
+
+
 def main() -> None:
-    with Sentinel() as sentinel:
-        ibm = Stock("IBM", price=95.0)
-        dow_jones = FinancialInfo("DowJones", value=10_000.0)
-        parker = Portfolio("Parker", cash=50_000.0)
-
-        purchase = sentinel.monitor(
-            [ibm, dow_jones],
-            on=(
-                "end Stock::set_price(float price) and "
-                "end FinancialInfo::set_value(float value)"
-            ),
-            condition=lambda ctx: ibm.price < 80.0 and dow_jones.change < 3.4,
-            action=lambda ctx: parker.purchase("IBM", 100, ibm.price),
-            name="Purchase",
-        )
-
+    ns = build_system()
+    ibm, dow_jones, parker = ns.ibm, ns.dow_jones, ns.parker
+    purchase = ns.purchase
+    with ns.sentinel as sentinel:
         print("day 1: IBM stays high — no purchase")
         ibm.set_price(92.0)
         dow_jones.set_value(10_050.0)

@@ -10,43 +10,58 @@ monitoring viewpoint in one screen.
 Run:  python examples/quickstart.py
 """
 
-from repro import Conjunction, Disjunction, Primitive, Rule, Sentinel
+from types import SimpleNamespace
+
+from repro import Disjunction, Primitive, Sentinel
 from repro.workloads import Employee, Manager
 
 
+def build_system() -> SimpleNamespace:
+    """Wire the IncomeLevel rule; drive nothing.
+
+    Also the entry point for ``python -m repro.tools.analyze``.
+    """
+    sentinel = Sentinel()
+    # Two pre-existing objects of different classes.
+    fred = Employee("Fred", salary=50_000.0)
+    mike = Manager("Mike", salary=60_000.0)
+
+    # Fig 10, line for line:
+    #   Event* emp  = new Primitive("end Employee::Change-Income(float amount)");
+    #   Event* mang = new Primitive("end Manager::Change-Income(float amount)");
+    #   Event* equal = new Disjunction(emp, mang);
+    emp = Primitive("end Employee::Change-Income(float amount)")
+    mang = Primitive("end Manager::Change-Income(float amount)")
+    equal = Disjunction(emp, mang, name="equal")
+
+    #   Rule IncomeLevel (equal, CheckEqual(), MakeEqual());
+    def check_equal(ctx) -> bool:
+        return fred.salary != mike.salary
+
+    def make_equal(ctx) -> None:
+        amount = ctx.param("amount")
+        print(f"  [rule] equalizing incomes at {amount:,.0f}")
+        # Plain attribute writes: no events, no re-trigger loop.
+        fred.salary = amount
+        mike.salary = amount
+
+    income_level = sentinel.create_rule(
+        "IncomeLevel", event=equal, condition=check_equal, action=make_equal
+    )
+
+    #   Fred.Subscribe(IncomeLevel);  Mike.Subscribe(IncomeLevel);
+    fred.subscribe(income_level)
+    mike.subscribe(income_level)
+
+    return SimpleNamespace(
+        sentinel=sentinel, fred=fred, mike=mike, income_level=income_level
+    )
+
+
 def main() -> None:
-    with Sentinel() as sentinel:
-        # Two pre-existing objects of different classes.
-        fred = Employee("Fred", salary=50_000.0)
-        mike = Manager("Mike", salary=60_000.0)
-
-        # Fig 10, line for line:
-        #   Event* emp  = new Primitive("end Employee::Change-Income(float amount)");
-        #   Event* mang = new Primitive("end Manager::Change-Income(float amount)");
-        #   Event* equal = new Disjunction(emp, mang);
-        emp = Primitive("end Employee::Change-Income(float amount)")
-        mang = Primitive("end Manager::Change-Income(float amount)")
-        equal = Disjunction(emp, mang, name="equal")
-
-        #   Rule IncomeLevel (equal, CheckEqual(), MakeEqual());
-        def check_equal(ctx) -> bool:
-            return fred.salary != mike.salary
-
-        def make_equal(ctx) -> None:
-            amount = ctx.param("amount")
-            print(f"  [rule] equalizing incomes at {amount:,.0f}")
-            # Plain attribute writes: no events, no re-trigger loop.
-            fred.salary = amount
-            mike.salary = amount
-
-        income_level = sentinel.create_rule(
-            "IncomeLevel", event=equal, condition=check_equal, action=make_equal
-        )
-
-        #   Fred.Subscribe(IncomeLevel);  Mike.Subscribe(IncomeLevel);
-        fred.subscribe(income_level)
-        mike.subscribe(income_level)
-
+    ns = build_system()
+    fred, mike, income_level = ns.fred, ns.mike, ns.income_level
+    with ns.sentinel as sentinel:
         print(f"before: fred={fred.salary:,.0f} mike={mike.salary:,.0f}")
         fred.change_income(70_000.0)
         print(f"after fred's raise: fred={fred.salary:,.0f} mike={mike.salary:,.0f}")

@@ -17,6 +17,7 @@ Run:  python examples/simulation.py
 """
 
 import random
+from types import SimpleNamespace
 
 from repro import ManualClock, Primitive, Sentinel, Sequence
 from repro.core import ParameterContext, Periodic, set_clock
@@ -36,92 +37,118 @@ def main() -> None:
         set_clock(previous)
 
 
+def build_system(rng: random.Random | None = None) -> SimpleNamespace:
+    """Wire the whole trading floor — stocks, index, rules; drive nothing.
+
+    Also the entry point for ``python -m repro.tools.analyze``.  The
+    opening bell and the trading loop live in :func:`run_day`.
+    """
+    if rng is None:
+        rng = random.Random(SEED)
+    sentinel = Sentinel(adopt_class_rules=False)
+
+    stocks = [Stock(f"T{i:03d}", rng.uniform(20, 400)) for i in range(40)]
+    blue_chips = stocks[:5]
+    index = FinancialInfo("INDEX", 10_000.0)
+
+    halted: set[str] = set()
+    pages: list[str] = []
+    vol_alerts: list[int] = []
+
+    # 1. Circuit breakers: instance-level rules on blue chips only.
+    open_prices = {s.symbol: s.price for s in stocks}
+    sentinel.monitor(
+        blue_chips,
+        on="end Stock::set_price(float price)",
+        condition=lambda ctx: (
+            ctx.source.symbol not in halted
+            and abs(ctx.param("price") - open_prices[ctx.source.symbol])
+            / open_prices[ctx.source.symbol]
+            > 0.07
+        ),
+        action=lambda ctx: halted.add(ctx.source.symbol),
+        name="CircuitBreaker",
+        priority=10,
+    )
+
+    # 2. Volatility: each minute's ticks folded into one cumulative
+    #    composite by the CUMULATIVE parameter context.
+    tick = Primitive("end Stock::set_price(float price)")
+    minute_close = Primitive("end FinancialInfo::set_value(float v)")
+    burst = Sequence(
+        tick, minute_close,
+        name="minute-burst", context=ParameterContext.CUMULATIVE,
+    )
+
+    def burst_volatility(ctx) -> bool:
+        prices = [
+            c.params["price"]
+            for c in ctx.occurrence.constituents
+            if "price" in c.params
+        ]
+        if len(prices) < 6:
+            return False
+        mean = sum(prices) / len(prices)
+        spread = max(prices) - min(prices)
+        return spread / mean > 1.5   # high cross-market dispersion
+
+    vol_rule = sentinel.create_rule(
+        "VolatilityWatch", event=burst,
+        condition=burst_volatility,
+        action=lambda ctx: vol_alerts.append(
+            len(ctx.occurrence.constituents)
+        ),
+    )
+    for stock in stocks:
+        stock.subscribe(vol_rule)
+    index.subscribe(vol_rule)
+
+    # 3. Risk paging: any blue-chip halt AND a 2% index drop.
+    index_open = index.value
+    sentinel.monitor(
+        [index],
+        on="end FinancialInfo::set_value(float v)",
+        condition=lambda ctx: (
+            halted and (index_open - index.value) / index_open > 0.02
+        ),
+        action=lambda ctx: pages.append(
+            f"halts={sorted(halted)} index={index.value:,.0f}"
+        ),
+        name="RiskPager",
+    )
+
+    # 4. Periodic heartbeat: one tick per simulated minute.
+    opening_bell = Primitive("explicit FinancialInfo::opening_bell")
+    closing_bell = Primitive("explicit FinancialInfo::closing_bell")
+    heartbeat = Periodic(opening_bell, 60.0, closing_bell)
+    sentinel.detector.register(heartbeat)
+    index.subscribe(sentinel.detector)  # feed the detector's graphs
+    heartbeats: list[int] = []
+    sentinel.create_rule(
+        "Heartbeat", event=heartbeat,
+        action=lambda ctx: heartbeats.append(ctx.param("tick")),
+    )
+
+    return SimpleNamespace(
+        sentinel=sentinel,
+        stocks=stocks,
+        blue_chips=blue_chips,
+        index=index,
+        halted=halted,
+        pages=pages,
+        vol_alerts=vol_alerts,
+        heartbeats=heartbeats,
+    )
+
+
 def run_day(clock: ManualClock) -> None:
     rng = random.Random(SEED)
-    with Sentinel(adopt_class_rules=False) as sentinel:
+    ns = build_system(rng)
+    stocks, blue_chips, index = ns.stocks, ns.blue_chips, ns.index
+    halted, pages = ns.halted, ns.pages
+    vol_alerts, heartbeats = ns.vol_alerts, ns.heartbeats
+    with ns.sentinel as sentinel:
         sentinel.scheduler.enable_tracing(limit=50)
-
-        stocks = [Stock(f"T{i:03d}", rng.uniform(20, 400)) for i in range(40)]
-        blue_chips = stocks[:5]
-        index = FinancialInfo("INDEX", 10_000.0)
-
-        halted: set[str] = set()
-        pages: list[str] = []
-        vol_alerts: list[int] = []
-
-        # 1. Circuit breakers: instance-level rules on blue chips only.
-        open_prices = {s.symbol: s.price for s in stocks}
-        sentinel.monitor(
-            blue_chips,
-            on="end Stock::set_price(float price)",
-            condition=lambda ctx: (
-                ctx.source.symbol not in halted
-                and abs(ctx.param("price") - open_prices[ctx.source.symbol])
-                / open_prices[ctx.source.symbol]
-                > 0.07
-            ),
-            action=lambda ctx: halted.add(ctx.source.symbol),
-            name="CircuitBreaker",
-            priority=10,
-        )
-
-        # 2. Volatility: each minute's ticks folded into one cumulative
-        #    composite by the CUMULATIVE parameter context.
-        tick = Primitive("end Stock::set_price(float price)")
-        minute_close = Primitive("end FinancialInfo::set_value(float v)")
-        burst = Sequence(
-            tick, minute_close,
-            name="minute-burst", context=ParameterContext.CUMULATIVE,
-        )
-
-        def burst_volatility(ctx) -> bool:
-            prices = [
-                c.params["price"]
-                for c in ctx.occurrence.constituents
-                if "price" in c.params
-            ]
-            if len(prices) < 6:
-                return False
-            mean = sum(prices) / len(prices)
-            spread = max(prices) - min(prices)
-            return spread / mean > 1.5   # high cross-market dispersion
-
-        vol_rule = sentinel.create_rule(
-            "VolatilityWatch", event=burst,
-            condition=burst_volatility,
-            action=lambda ctx: vol_alerts.append(
-                len(ctx.occurrence.constituents)
-            ),
-        )
-        for stock in stocks:
-            stock.subscribe(vol_rule)
-        index.subscribe(vol_rule)
-
-        # 3. Risk paging: any blue-chip halt AND a 2% index drop.
-        index_open = index.value
-        sentinel.monitor(
-            [index],
-            on="end FinancialInfo::set_value(float v)",
-            condition=lambda ctx: (
-                halted and (index_open - index.value) / index_open > 0.02
-            ),
-            action=lambda ctx: pages.append(
-                f"halts={sorted(halted)} index={index.value:,.0f}"
-            ),
-            name="RiskPager",
-        )
-
-        # 4. Periodic heartbeat: one tick per simulated minute.
-        opening_bell = Primitive("explicit FinancialInfo::opening_bell")
-        closing_bell = Primitive("explicit FinancialInfo::closing_bell")
-        heartbeat = Periodic(opening_bell, 60.0, closing_bell)
-        sentinel.detector.register(heartbeat)
-        index.subscribe(sentinel.detector)  # feed the detector's graphs
-        heartbeats = []
-        sentinel.create_rule(
-            "Heartbeat", event=heartbeat,
-            action=lambda ctx: heartbeats.append(ctx.param("tick")),
-        )
         index.raise_event("opening_bell")   # one window for the whole day
 
         # --- the trading day ------------------------------------------

@@ -1,0 +1,63 @@
+"""``repro.analysis`` — static analysis of a Sentinel rule base.
+
+The runtime guards a mis-specified rule base with the scheduler's
+cascade-depth limit; this package catches the same classes of mistake
+*before* anything fires.  It extracts read/write/raise sets from rule
+conditions and actions by ``ast`` inspection, builds the **triggering
+graph** (rule → events its callables may raise → rules listening), and
+reports potential non-termination, non-confluence, dead rules and
+signature problems as findings with stable codes (SA001…), rendered as
+text, JSON, SARIF or Graphviz DOT.
+
+Entry points::
+
+    report = sentinel.analyze()            # the Sentinel façade
+    report = analyze(sentinel)             # the function underneath
+    python -m repro.tools.analyze app.py   # the CLI / CI gate
+
+The analyzer is **pure inspection**: it never fires a rule, never
+notifies a consumer, never mutates the system it looks at (verified by
+test).  Where extraction fails — builtins, C callables, unresolvable
+names — it falls back to "unknown ⇒ may-trigger-anything" and says so
+(SA030), preferring false alarms to false silence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .checks import run_checks
+from .effects import CallableEffects, MethodCall, extract_effects
+from .graph import Edge, RaiseSite, RuleNode, TriggeringGraph, build_graph
+from .report import FINDING_CODES, AnalysisReport, Finding, sort_findings
+
+__all__ = [
+    "analyze",
+    "AnalysisReport",
+    "Finding",
+    "FINDING_CODES",
+    "sort_findings",
+    "TriggeringGraph",
+    "RuleNode",
+    "RaiseSite",
+    "Edge",
+    "build_graph",
+    "run_checks",
+    "CallableEffects",
+    "MethodCall",
+    "extract_effects",
+]
+
+
+def analyze(system: Any, registry: Any = None) -> AnalysisReport:
+    """Statically analyze a system's rule base.
+
+    ``system`` is a :class:`~repro.core.system.Sentinel`, any object with
+    an iterable ``rules`` attribute, or a plain iterable of rules.
+    ``registry`` defaults to the process-wide class registry.  Returns an
+    :class:`AnalysisReport` with the triggering graph and ordered
+    findings; no rule fires and nothing is mutated.
+    """
+    graph = build_graph(system, registry)
+    findings = run_checks(graph, registry)
+    return AnalysisReport(findings=findings, graph=graph)

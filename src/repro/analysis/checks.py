@@ -1,0 +1,620 @@
+"""The analyses run over the triggering graph.
+
+* **Termination (SA001)** — Tarjan SCC detection on the triggering
+  graph.  Every non-trivial SCC (or self-loop) is a potential
+  non-termination; the finding carries a concrete *cycle witness* — the
+  shortest cycle through the component, e.g. ``A -> B -> A``.  Severity
+  is ``error`` when the cycle is **unconditional** (every rule on it has
+  no condition, is enabled, and every edge is definite) and ``warning``
+  otherwise — a condition or a may-edge can break the loop at runtime.
+
+* **Confluence (SA002)** — two enabled rules triggered by overlapping
+  primitive events at the same priority whose write/write or read/write
+  sets intersect: the final state depends on execution order, which the
+  conflict-resolution policy leaves to FIFO tie-breaking.
+
+* **Dead rules (SA010/SA011/SA012)** — rules none of whose primitive
+  leaves any registered class can raise; Sequence composites whose first
+  constituent is unraisable (the sequence can never complete); disabled
+  rules nothing can ever enable.
+
+* **Signature checks (SA020/SA021)** — conditions/actions that cannot
+  be called with the single ``RuleContext`` argument; parameter names
+  consulted (via ``ctx.param(...)`` or DSL bare names) that no
+  triggering event binds.
+
+* **Opacity (SA030)** — callables whose effects could not be extracted;
+  these run under the conservative may-trigger-anything fallback, and
+  the note makes that visible.
+
+All analyses are pure functions of the graph — nothing here fires rules
+or mutates the system.
+"""
+
+from __future__ import annotations
+
+import builtins
+import inspect
+from collections import deque
+from typing import Any, Iterable
+
+from ..core.events.base import Event
+from ..core.events.operators import Sequence
+from ..core.events.primitive import Primitive
+from ..core.interface import EventSpec, raised_event_registry
+from ..core.occurrence import EventModifier
+from .effects import DSL_ENV_NAMES
+from .graph import RuleNode, TriggeringGraph
+from .report import Finding, sort_findings
+
+__all__ = ["run_checks"]
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def run_checks(graph: TriggeringGraph, registry: Any = None) -> list[Finding]:
+    """Run every analysis; findings come back most-severe first."""
+    if registry is None:
+        from ..oodb.schema import global_registry
+
+        registry = global_registry
+    table = raised_event_registry(registry)
+    findings: list[Finding] = []
+    findings.extend(_check_termination(graph))
+    findings.extend(_check_confluence(graph, registry))
+    findings.extend(_check_dead_rules(graph, registry, table))
+    findings.extend(_check_signatures(graph, registry))
+    findings.extend(_check_opacity(graph))
+    return sort_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# SA001: termination
+# ----------------------------------------------------------------------
+
+def _check_termination(graph: TriggeringGraph) -> list[Finding]:
+    adjacency = graph.adjacency()
+    findings: list[Finding] = []
+    for component in _tarjan_sccs(adjacency):
+        is_cycle = len(component) > 1 or (
+            component[0] in adjacency[component[0]]
+        )
+        if not is_cycle:
+            continue
+        witness = _cycle_witness(component, adjacency)
+        unconditional = _cycle_is_unconditional(witness, graph)
+        severity = "error" if unconditional else "warning"
+        start = graph.nodes[witness[0]]
+        qualifier = (
+            "unconditional cycle"
+            if unconditional
+            else "cycle (conditional or via may-edges)"
+        )
+        findings.append(
+            Finding(
+                code="SA001",
+                severity=severity,
+                message=(
+                    f"potential non-termination: {qualifier} "
+                    f"{' -> '.join(witness)}"
+                ),
+                rule=witness[0],
+                file=start.action_effects.file,
+                line=start.action_effects.line,
+                witness=tuple(witness),
+            )
+        )
+    return findings
+
+
+def _tarjan_sccs(adjacency: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components, iterative Tarjan, deterministic."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(adjacency):
+        if root in index_of:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [
+            (root, iter(sorted(adjacency[root])))
+        ]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+def _cycle_witness(
+    component: list[str], adjacency: dict[str, set[str]]
+) -> list[str]:
+    """The shortest cycle through the component's smallest-named rule.
+
+    BFS within the component from its lexicographically first member
+    back to itself; the result is closed (first == last), e.g.
+    ``["A", "B", "A"]``.
+    """
+    members = set(component)
+    start = component[0]
+    if start in adjacency[start]:
+        return [start, start]
+    parents: dict[str, str] = {}
+    queue: deque[str] = deque([start])
+    visited: set[str] = {start}
+    while queue:
+        node = queue.popleft()
+        for succ in sorted(adjacency[node] & members):
+            if succ == start:
+                path = [node]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path + [start]
+            if succ not in visited:
+                visited.add(succ)
+                parents[succ] = node
+                queue.append(succ)
+    return component + [component[0]]  # pragma: no cover - defensive
+
+
+def _cycle_is_unconditional(
+    witness: list[str], graph: TriggeringGraph
+) -> bool:
+    """True when nothing at runtime can break the cycle."""
+    for name in witness[:-1]:
+        node = graph.nodes[name]
+        if node.rule.condition is not None or not node.rule.enabled:
+            return False
+    for src, dst in zip(witness, witness[1:]):
+        edge = graph.edge_between(src, dst)
+        if edge is None or not edge.definite:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# SA002: confluence
+# ----------------------------------------------------------------------
+
+def _check_confluence(
+    graph: TriggeringGraph, registry: Any
+) -> list[Finding]:
+    findings: list[Finding] = []
+    nodes = sorted(graph.nodes.values(), key=lambda n: n.name)
+    for i, first in enumerate(nodes):
+        for second in nodes[i + 1:]:
+            if first.rule.priority != second.rule.priority:
+                continue
+            if not (first.rule.enabled and second.rule.enabled):
+                continue
+            trigger = _common_trigger(first, second, registry)
+            if trigger is None:
+                continue
+            conflicts = _data_conflicts(first, second)
+            if not conflicts:
+                continue
+            findings.append(
+                Finding(
+                    code="SA002",
+                    severity="warning",
+                    message=(
+                        f"potential non-confluence: {first.name!r} and "
+                        f"{second.name!r} both trigger on {trigger} at "
+                        f"priority {first.rule.priority} and touch "
+                        f"{_render_conflicts(conflicts)}; their outcome "
+                        "is order-dependent"
+                    ),
+                    rule=first.name,
+                    file=first.action_effects.file,
+                    line=first.action_effects.line,
+                )
+            )
+    return findings
+
+
+def _common_trigger(
+    first: RuleNode, second: RuleNode, registry: Any
+) -> str | None:
+    """A primitive event both rules can be triggered by, if any."""
+    for a in first.signatures:
+        for b in second.signatures:
+            if a.modifier is not b.modifier:
+                continue
+            if a.method.lower() != b.method.lower():
+                continue
+            if _families_overlap(a.class_name, b.class_name, registry):
+                return str(a)
+    return None
+
+
+def _families_overlap(first: str, second: str, registry: Any) -> bool:
+    if first.lower() == second.lower():
+        return True
+    fam_a = _family_lower(registry, first)
+    fam_b = _family_lower(registry, second)
+    return bool(fam_a & fam_b)
+
+
+def _family_lower(registry: Any, class_name: str) -> set[str]:
+    if class_name in registry:
+        return {n.lower() for n in registry.family(class_name)}
+    lowered = class_name.lower()
+    for name in registry.names():
+        if name.lower() == lowered:
+            return {n.lower() for n in registry.family(name)}
+    return {lowered}
+
+
+def _data_conflicts(
+    first: RuleNode, second: RuleNode
+) -> dict[str, set[str]]:
+    """write/write and read/write attribute overlaps between two rules."""
+    conflicts: dict[str, set[str]] = {}
+    ww = first.all_writes() & second.all_writes()
+    if ww:
+        conflicts["write/write"] = ww
+    rw = (first.all_reads() & second.all_writes()) | (
+        second.all_reads() & first.all_writes()
+    )
+    if rw:
+        conflicts["read/write"] = rw
+    return conflicts
+
+
+def _render_conflicts(conflicts: dict[str, set[str]]) -> str:
+    parts = [
+        f"{kind} on {', '.join(sorted(attrs))}"
+        for kind, attrs in sorted(conflicts.items())
+    ]
+    return "; ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# SA010 / SA011 / SA012: dead rules
+# ----------------------------------------------------------------------
+
+def _leaf_raisable(
+    leaf: Event,
+    registry: Any,
+    table: dict[str, dict[str, EventSpec]],
+) -> bool:
+    """Can any registered class ever raise this primitive leaf?
+
+    Non-primitive leaves (timers) and explicit-modifier leaves count as
+    raisable — any method body may call ``raise_event`` — which keeps
+    the check conservative (no false "dead" findings).
+    """
+    if not isinstance(leaf, Primitive):
+        return True
+    signature = leaf.signature
+    if signature.modifier is EventModifier.EXPLICIT:
+        return True
+    family = _family_lower(registry, signature.class_name)
+    method = signature.method.lower()
+    for class_name, generators in table.items():
+        if class_name.lower() not in family:
+            continue
+        for name, spec in generators.items():
+            if name.lower() != method:
+                continue
+            if signature.modifier is EventModifier.BEGIN and spec.before:
+                return True
+            if signature.modifier is EventModifier.END and spec.after:
+                return True
+    return False
+
+
+def _check_dead_rules(
+    graph: TriggeringGraph,
+    registry: Any,
+    table: dict[str, dict[str, EventSpec]],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    any_opaque_action = any(
+        node.action_effects.opaque for node in graph.nodes.values()
+    )
+    for node in sorted(graph.nodes.values(), key=lambda n: n.name):
+        leaves = list(node.rule.event.leaves())
+        raisable = [
+            leaf for leaf in leaves if _leaf_raisable(leaf, registry, table)
+        ]
+        if leaves and not raisable:
+            described = ", ".join(
+                str(leaf.signature)
+                for leaf in leaves
+                if isinstance(leaf, Primitive)
+            )
+            findings.append(
+                Finding(
+                    code="SA010",
+                    severity="warning",
+                    message=(
+                        f"dead rule: no reactive class raises any of its "
+                        f"triggering events ({described})"
+                    ),
+                    rule=node.name,
+                )
+            )
+        findings.extend(_check_sequences(node, registry, table))
+        if not node.rule.enabled and not any_opaque_action:
+            if not _someone_enables(graph, registry):
+                findings.append(
+                    Finding(
+                        code="SA012",
+                        severity="note",
+                        message=(
+                            "permanently disabled: the rule is disabled "
+                            "and no rule's action calls enable()"
+                        ),
+                        rule=node.name,
+                    )
+                )
+    return findings
+
+
+def _check_sequences(
+    node: RuleNode,
+    registry: Any,
+    table: dict[str, dict[str, EventSpec]],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for event in node.rule.event.walk():
+        if not isinstance(event, Sequence):
+            continue
+        children = event.children()
+        if not children:
+            continue
+        head = children[0]
+        head_leaves = list(head.leaves())
+        if head_leaves and not any(
+            _leaf_raisable(leaf, registry, table) for leaf in head_leaves
+        ):
+            findings.append(
+                Finding(
+                    code="SA011",
+                    severity="warning",
+                    message=(
+                        f"unreachable sequence: first constituent of "
+                        f"{event.name!r} can never be raised, so the "
+                        "sequence never completes"
+                    ),
+                    rule=node.name,
+                )
+            )
+    return findings
+
+
+def _someone_enables(graph: TriggeringGraph, registry: Any) -> bool:
+    """Does any rule's condition/action call an ``enable`` method that
+    could reach a Rule object?"""
+    rule_family = _family_lower(registry, "Rule")
+    for node in graph.nodes.values():
+        for site in node.raise_sites:
+            if site.method.lower() != "enable":
+                continue
+            if site.class_name is None:
+                return True
+            if site.class_name.lower() in rule_family:
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# SA020 / SA021: signatures and parameters
+# ----------------------------------------------------------------------
+
+def _check_signatures(
+    graph: TriggeringGraph, registry: Any
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in sorted(graph.nodes.values(), key=lambda n: n.name):
+        for role, fn in (
+            ("condition", node.rule.condition),
+            ("action", node.rule.action),
+        ):
+            problem = _arity_problem(fn)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        code="SA020",
+                        severity="error",
+                        message=f"bad {role} arity: {problem}",
+                        rule=node.name,
+                    )
+                )
+        findings.extend(_check_parameters(node, registry))
+    return findings
+
+
+def _arity_problem(fn: Any) -> str | None:
+    """Why ``fn(ctx)`` would raise TypeError, or None if it is fine."""
+    if fn is None or not callable(fn):
+        return None if fn is None else "not callable"
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None  # C callables: assume fine
+    try:
+        signature.bind(object())
+    except TypeError:
+        expected = ", ".join(
+            p.name for p in signature.parameters.values()
+        )
+        return (
+            f"must accept exactly one positional RuleContext argument, "
+            f"but its signature is ({expected})"
+        )
+    return None
+
+
+def _available_parameters(node: RuleNode, registry: Any) -> set[str] | None:
+    """Parameter names the rule's triggering occurrences can bind.
+
+    Union over every primitive leaf of (a) the signature's declared
+    parameter names and (b) the Python parameter names of the matching
+    methods across the leaf class's family — the occurrence binds the
+    *method's* actual parameters, whatever the signature text declares.
+    Returns None ("anything possible") for explicit leaves and rules
+    with timer leaves, disabling the check.
+    """
+    available: set[str] = set()
+    for tree_node in node.rule.event.walk():
+        # Time-driven operators (Periodic/At/Plus) synthesize occurrence
+        # parameters — e.g. Periodic's ``tick`` — that no signature
+        # declares; their presence makes the check unsound.
+        if hasattr(tree_node, "poll") and not isinstance(tree_node, Primitive):
+            return None
+    for leaf in node.rule.event.leaves():
+        if not isinstance(leaf, Primitive):
+            return None
+        signature = leaf.signature
+        if signature.modifier is EventModifier.EXPLICIT:
+            return None
+        available.update(signature.param_names)
+        for class_name in sorted(_family_lower(registry, signature.class_name)):
+            resolved = _lookup_class(registry, class_name)
+            if resolved is None:
+                continue
+            method = getattr(resolved, signature.method, None)
+            if method is None:
+                lowered = signature.method.lower()
+                for attr in dir(resolved):
+                    if attr.lower() == lowered:
+                        method = getattr(resolved, attr)
+                        break
+            if method is None:
+                continue
+            try:
+                method_signature = inspect.signature(method)
+            except (TypeError, ValueError):
+                return None
+            names = [
+                p.name
+                for p in method_signature.parameters.values()
+                if p.name != "self"
+            ]
+            if any(
+                p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+                for p in method_signature.parameters.values()
+            ):
+                return None
+            available.update(names)
+    return available
+
+
+def _lookup_class(registry: Any, class_name: str) -> type | None:
+    for name in registry.names():
+        if name.lower() == class_name.lower():
+            resolved: type = registry.get(name)
+            return resolved
+    return None
+
+
+def _check_parameters(node: RuleNode, registry: Any) -> list[Finding]:
+    findings: list[Finding] = []
+    available = _available_parameters(node, registry)
+    if available is None:
+        return findings
+    for role, fn, effects in (
+        ("condition", node.rule.condition, node.condition_effects),
+        ("action", node.rule.action, node.action_effects),
+    ):
+        if fn is None:
+            continue
+        unknown = {
+            name for name in effects.param_reads
+            if name != "*" and name not in available
+        }
+        if _is_dsl(fn):
+            unknown |= (
+                effects.free_names()
+                - DSL_ENV_NAMES
+                - _BUILTIN_NAMES
+                - available
+            )
+        if unknown:
+            findings.append(
+                Finding(
+                    code="SA021",
+                    severity="warning",
+                    message=(
+                        f"{role} references unknown event parameter(s) "
+                        f"{sorted(unknown)}; the triggering events bind "
+                        f"{sorted(available) or 'no parameters'}"
+                    ),
+                    rule=node.name,
+                )
+            )
+    return findings
+
+
+def _is_dsl(fn: Any) -> bool:
+    return type(fn).__name__ in ("CompiledCondition", "CompiledAction")
+
+
+# ----------------------------------------------------------------------
+# SA030: opacity
+# ----------------------------------------------------------------------
+
+def _check_opacity(graph: TriggeringGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in sorted(graph.nodes.values(), key=lambda n: n.name):
+        for role, effects in (
+            ("condition", node.condition_effects),
+            ("action", node.action_effects),
+        ):
+            if not effects.opaque:
+                continue
+            reasons = "; ".join(effects.opaque_reasons) or "unknown reason"
+            fallback = (
+                " (conservative may-trigger-anything fallback applied)"
+                if role == "action"
+                else ""
+            )
+            findings.append(
+                Finding(
+                    code="SA030",
+                    severity="note",
+                    message=(
+                        f"opaque {role}: effects not extracted — "
+                        f"{reasons}{fallback}"
+                    ),
+                    rule=node.name,
+                    file=effects.file,
+                    line=effects.line,
+                )
+            )
+    return findings

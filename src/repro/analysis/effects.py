@@ -1,0 +1,528 @@
+"""Read/write/raise-set extraction from rule conditions and actions.
+
+The static analyzer needs to know, without running anything, what a rule's
+condition and action *can do*: which attributes they read and write on the
+triggering object, which reactive methods they invoke (each such call may
+raise the method's begin/end events), which events they raise explicitly
+via ``raise_event``, and which triggering parameters they consult.
+
+Extraction is by ``ast`` inspection of the callable's source:
+
+* plain functions and lambdas — the defining module is re-parsed and the
+  matching ``FunctionDef``/``Lambda`` node located by its compiled first
+  line number (several lambdas on one line are *unioned*, which is
+  conservative but sound);
+* DSL conditions/actions (:class:`~repro.core.dsl.CompiledCondition` /
+  :class:`~repro.core.dsl.CompiledAction`) — their stored source text is
+  parsed directly, with the DSL environment names (``ctx``, ``self``,
+  ``occurrence``, ...) bound per :func:`repro.core.dsl._build_env`;
+* bound methods and ``functools.partial`` wrappers are unwrapped;
+* anything without reachable Python source — builtins, C extension
+  callables, callables whose module file is gone — is marked **opaque**.
+
+**Conservatism.**  An opaque callable "may do anything": the graph layer
+turns an opaque *action* into may-trigger edges to every rule (the
+documented "unknown ⇒ may-trigger-anything" fallback), and every opaque
+callable is surfaced as an SA030 note.  Calls to names that cannot be
+resolved through the callable's globals/closure/builtins also mark the
+effects opaque.  Resolvable helper functions are followed (depth-limited)
+and their effects merged in.
+
+Everything here is pure inspection: no rule is fired, no object mutated.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import functools
+import inspect
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "CallableEffects",
+    "MethodCall",
+    "extract_effects",
+    "DSL_ENV_NAMES",
+]
+
+#: Names the DSL evaluation environment injects (see ``dsl._build_env``),
+#: in addition to the triggering parameters.
+DSL_ENV_NAMES = frozenset(
+    {"ctx", "self", "occurrence", "result", "sources", "abort", "rule"}
+)
+
+#: Receiver classifications for :class:`MethodCall`.
+SOURCE_RECEIVER = "source"
+UNKNOWN_RECEIVER = "unknown"
+
+_MAX_HELPER_DEPTH = 4
+
+
+@dataclass(frozen=True, slots=True)
+class MethodCall:
+    """One method invocation found in a condition/action body.
+
+    ``receiver`` is ``"source"`` (the triggering object or an alias of
+    it), a concrete reactive class name (the receiver resolved through
+    the callable's globals/closure to a known instance or class), or
+    ``"unknown"``.
+    """
+
+    method: str
+    receiver: str
+    line: int | None = None
+
+
+@dataclass(slots=True)
+class CallableEffects:
+    """What one condition/action callable may read, write, call and raise."""
+
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    calls: list[MethodCall] = field(default_factory=list)
+    #: Event names passed to ``raise_event``; ``"*"`` when dynamic.
+    explicit_raises: set[str] = field(default_factory=set)
+    #: Parameter names consulted via ``ctx.param("x")`` / ``ctx.params["x"]``.
+    param_reads: set[str] = field(default_factory=set)
+    #: Free names loaded in the body (DSL unknown-name check, SA021).
+    name_refs: set[str] = field(default_factory=set)
+    #: Names bound within the body (assignments, loop/lambda targets).
+    bound_names: set[str] = field(default_factory=set)
+    aborts: bool = False
+    opaque: bool = False
+    opaque_reasons: list[str] = field(default_factory=list)
+    file: str | None = None
+    line: int | None = None
+
+    def merge(self, other: "CallableEffects") -> None:
+        """Union ``other`` into this effects set (helper-call merging)."""
+        self.reads |= other.reads
+        self.writes |= other.writes
+        self.calls.extend(other.calls)
+        self.explicit_raises |= other.explicit_raises
+        self.param_reads |= other.param_reads
+        self.aborts = self.aborts or other.aborts
+        if other.opaque:
+            self.opaque = True
+            self.opaque_reasons.extend(other.opaque_reasons)
+
+    def free_names(self) -> set[str]:
+        """Loaded names never bound in the body (candidate unknowns)."""
+        return self.name_refs - self.bound_names
+
+
+def extract_effects(fn: Any, _depth: int = 0) -> CallableEffects:
+    """Extract the effects of one condition/action callable.
+
+    Never raises on strange input: anything that cannot be analyzed comes
+    back as an opaque :class:`CallableEffects` with the reason recorded.
+    ``None`` (no condition / no action) yields empty effects.
+    """
+    if fn is None:
+        return CallableEffects()
+    # DSL-compiled conditions/actions carry their source text.
+    mode = _dsl_mode(fn)
+    if mode is not None:
+        return _extract_from_dsl(fn.source, mode)
+    if isinstance(fn, functools.partial):
+        return extract_effects(fn.func, _depth)
+    fn = inspect.unwrap(fn)
+    underlying = getattr(fn, "__func__", fn)  # bound methods
+    code = getattr(underlying, "__code__", None)
+    if code is None:
+        # A class instance with a Python __call__ is analyzable through it.
+        call = getattr(type(fn), "__call__", None)
+        if call is not None and getattr(call, "__code__", None) is not None:
+            return extract_effects(call, _depth)
+        return _opaque(
+            f"no Python source for {type(fn).__name__} callable"
+        )
+    nodes, filename = _locate_nodes(underlying)
+    if not nodes:
+        name = getattr(underlying, "__qualname__", repr(underlying))
+        return _opaque(f"source of {name!r} not found")
+    effects = CallableEffects(file=filename, line=code.co_firstlineno)
+    for node in nodes:
+        visitor = _EffectsVisitor(
+            effects,
+            ctx_names=_ctx_param_names(node),
+            fn=underlying,
+            dsl=False,
+            depth=_depth,
+        )
+        visitor.visit_body(node)
+    return effects
+
+
+# ----------------------------------------------------------------------
+# Locating the AST of a live callable
+# ----------------------------------------------------------------------
+
+def _dsl_mode(fn: Any) -> str | None:
+    """``"eval"``/``"exec"`` for DSL-compiled callables, else None."""
+    # Imported lazily (and compared by name up the MRO) to keep this
+    # module importable without triggering the DSL import chain.
+    for cls in type(fn).__mro__:
+        if cls.__name__ == "CompiledCondition":
+            return "eval"
+        if cls.__name__ == "CompiledAction":
+            return "exec"
+    return None
+
+
+def _opaque(reason: str) -> CallableEffects:
+    return CallableEffects(opaque=True, opaque_reasons=[reason])
+
+
+def _locate_nodes(fn: Any) -> tuple[list[ast.AST], str | None]:
+    """Find the AST node(s) compiled into ``fn`` by re-parsing its module.
+
+    ``inspect.getsource`` fails on lambdas inside multi-line call
+    expressions; parsing the whole module and matching on the compiled
+    first line number does not.  Several candidates on one line (two
+    lambdas in one call) are all returned — the caller unions them.
+    """
+    code = fn.__code__
+    try:
+        lines, _ = inspect.findsource(code)
+    except (OSError, TypeError):
+        return [], None
+    try:
+        tree = ast.parse("".join(lines))
+    except (SyntaxError, ValueError):
+        return [], None
+    wanted: list[ast.AST] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Lambda):
+            if code.co_name == "<lambda>" and node.lineno == code.co_firstlineno:
+                wanted.append(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name != code.co_name:
+                continue
+            start_lines = {node.lineno}
+            # co_firstlineno of a decorated function points at the first
+            # decorator on some interpreter versions; accept either.
+            start_lines.update(d.lineno for d in node.decorator_list)
+            if code.co_firstlineno in start_lines:
+                wanted.append(node)
+    return wanted, code.co_filename
+
+
+def _ctx_param_names(node: ast.AST) -> set[str]:
+    """The name(s) the callable binds its RuleContext argument to."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if positional:
+            first = positional[0].arg
+            # A method's first parameter is the receiver, the context is
+            # second (rare for rule callables, but harmless to cover).
+            if first == "self" and len(positional) > 1:
+                return {positional[1].arg}
+            return {first}
+    return {"ctx"}
+
+
+def _extract_from_dsl(source: str, mode: str) -> CallableEffects:
+    """Effects of a DSL condition (eval) or action (exec) source string."""
+    try:
+        tree = ast.parse(source, mode=mode)
+    except (SyntaxError, ValueError):
+        return _opaque(f"unparseable DSL source {source!r}")
+    effects = CallableEffects(line=None)
+    visitor = _EffectsVisitor(
+        effects, ctx_names={"ctx"}, fn=None, dsl=True, depth=0
+    )
+    body = tree.body if isinstance(tree, ast.Module) else [tree.body]
+    for stmt in body:
+        visitor.visit(stmt)
+    return effects
+
+
+# ----------------------------------------------------------------------
+# The visitor
+# ----------------------------------------------------------------------
+
+class _EffectsVisitor(ast.NodeVisitor):
+    """Walk a condition/action body collecting its effects.
+
+    ``ctx_names`` are the names bound to the RuleContext;
+    ``source_aliases`` tracks locals assigned from ``ctx.source`` (and,
+    in DSL mode, the injected ``self``).  ``fn`` provides the
+    globals/closure used to resolve free names to live objects.
+    """
+
+    def __init__(
+        self,
+        effects: CallableEffects,
+        ctx_names: set[str],
+        fn: Any,
+        dsl: bool,
+        depth: int,
+    ) -> None:
+        self.effects = effects
+        self.ctx_names = set(ctx_names)
+        self.source_aliases: set[str] = {"self"} if dsl else set()
+        self.fn = fn
+        self.dsl = dsl
+        self.depth = depth
+
+    # -- entry ----------------------------------------------------------
+    def visit_body(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Lambda):
+            self._bind_args(node.args)
+            self.visit(node.body)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._bind_args(node.args)
+            for stmt in node.body:
+                self.visit(stmt)
+        else:  # pragma: no cover - defensive
+            self.visit(node)
+
+    def _bind_args(self, args: ast.arguments) -> None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            self.effects.bound_names.add(arg.arg)
+
+    # -- expression classification --------------------------------------
+    def _is_ctx(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in self.ctx_names
+
+    def _is_source(self, node: ast.AST) -> bool:
+        """Does ``node`` denote the triggering source object?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.source_aliases
+        if isinstance(node, ast.Attribute):
+            return node.attr == "source" and self._is_ctx(node.value)
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Attribute):
+                return value.attr == "sources" and self._is_ctx(value.value)
+            if isinstance(value, ast.Name):
+                return self.dsl and value.id == "sources"
+        return False
+
+    def _resolve(self, name: str) -> tuple[bool, Any]:
+        """Look ``name`` up in the callable's globals, closure, builtins."""
+        fn = self.fn
+        if fn is not None:
+            glob = getattr(fn, "__globals__", None)
+            if glob is not None and name in glob:
+                return True, glob[name]
+            closure = getattr(fn, "__closure__", None)
+            code = getattr(fn, "__code__", None)
+            if closure and code is not None:
+                for var, cell in zip(code.co_freevars, closure):
+                    if var == name:
+                        try:
+                            return True, cell.cell_contents
+                        except ValueError:
+                            return False, None
+        if hasattr(builtins, name):
+            return True, getattr(builtins, name)
+        return False, None
+
+    def _receiver_of(self, node: ast.AST) -> str | None:
+        """Classify a call/attribute receiver expression.
+
+        Returns ``"source"``, a concrete reactive class name, ``"unknown"``
+        for receivers we cannot type, or None when the receiver is a
+        plainly non-reactive object (a module, a list, ...), which
+        produces no raise site at all.
+        """
+        if self._is_source(node):
+            return SOURCE_RECEIVER
+        # ctx.rule (and the DSL's injected `rule`) is the Rule instance:
+        # calls on it raise Rule's own enable/disable/fire events.
+        if isinstance(node, ast.Attribute):
+            if node.attr == "rule" and self._is_ctx(node.value):
+                return "Rule"
+        if isinstance(node, ast.Name):
+            if self.dsl and node.id == "rule":
+                return "Rule"
+            if node.id in self.effects.bound_names:
+                return UNKNOWN_RECEIVER
+            found, obj = self._resolve(node.id)
+            if found:
+                cls = obj if isinstance(obj, type) else type(obj)
+                if hasattr(cls, "_event_generators"):
+                    return str(getattr(cls, "_p_class_name", cls.__name__))
+                return None  # resolved, provably not reactive
+            return UNKNOWN_RECEIVER
+        return UNKNOWN_RECEIVER
+
+    # -- reads and writes -----------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._is_source(node.value):
+            if isinstance(node.ctx, ast.Store):
+                self.effects.writes.add(node.attr)
+            elif isinstance(node.ctx, ast.Del):
+                self.effects.writes.add(node.attr)
+            else:
+                self.effects.reads.add(node.attr)
+        self.visit(node.value)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.effects.name_refs.add(node.id)
+        else:
+            self.effects.bound_names.add(node.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track `src = ctx.source` style aliases before visiting targets.
+        if self._is_source(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.source_aliases.add(target.id)
+        elif self._is_ctx(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.ctx_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # `ctx.source.x += 1` both reads and writes x.
+        target = node.target
+        if isinstance(target, ast.Attribute) and self._is_source(target.value):
+            self.effects.reads.add(target.attr)
+            self.effects.writes.add(target.attr)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ctx.params["x"] — a parameter read with a constant key.
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "params"
+            and self._is_ctx(value.value)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            self.effects.param_reads.add(node.slice.value)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._bind_args(node.args)
+        self.visit(node.body)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.effects.bound_names.add(node.name)
+        self._bind_args(node.args)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    # -- calls -----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._attribute_call(node, func)
+        elif isinstance(func, ast.Name):
+            self._name_call(node, func)
+        else:
+            # Computed callee: f()() etc.  Conservative.
+            self.effects.opaque = True
+            self.effects.opaque_reasons.append(
+                f"computed callee at line {node.lineno}"
+            )
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+
+    def _attribute_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        method = func.attr
+        receiver_expr = func.value
+        if self._is_ctx(receiver_expr):
+            if method == "param":
+                self._record_param_call(node)
+            elif method == "abort":
+                self.effects.aborts = True
+            return
+        if method == "abort" and self._is_source(receiver_expr):
+            # ctx.source.abort() would be odd, but harmless to record.
+            self.effects.aborts = True
+        if method == "raise_event":
+            self._record_raise_event(node)
+            self.visit(receiver_expr)
+            return
+        receiver = self._receiver_of(receiver_expr)
+        if receiver is not None:
+            self.effects.calls.append(
+                MethodCall(method=method, receiver=receiver, line=node.lineno)
+            )
+        # The receiver expression itself may read attributes
+        # (obj.child.m() reads `child`).
+        self.visit(receiver_expr)
+
+    def _record_param_call(self, node: ast.Call) -> None:
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                self.effects.param_reads.add(value)
+                return
+        self.effects.param_reads.add("*")
+
+    def _record_raise_event(self, node: ast.Call) -> None:
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                self.effects.explicit_raises.add(value)
+                return
+        self.effects.explicit_raises.add("*")
+
+    def _name_call(self, node: ast.Call, func: ast.Name) -> None:
+        name = func.id
+        self.effects.name_refs.add(name)
+        if self.dsl and name == "abort":
+            self.effects.aborts = True
+            return
+        if name in self.effects.bound_names:
+            # Calling a local (a parameter, a nested def): its body, if a
+            # nested def, is already visited in place; a callable passed
+            # in as a parameter is unknowable.
+            return
+        found, obj = self._resolve(name)
+        if not found:
+            if not self.dsl:
+                self.effects.opaque = True
+                self.effects.opaque_reasons.append(
+                    f"call to unresolved name {name!r} at line {node.lineno}"
+                )
+            return
+        if obj is None or isinstance(obj, type):
+            # Constructors and None-guards produce no events we model;
+            # reactive constructors raise nothing (no generator wraps
+            # __init__).
+            return
+        if inspect.isbuiltin(obj) or (
+            getattr(obj, "__module__", None) == "builtins"
+        ):
+            return
+        underlying = getattr(obj, "__func__", obj)
+        if getattr(underlying, "__code__", None) is not None:
+            self._follow_helper(underlying, name, node.lineno)
+            return
+        if callable(obj):
+            self.effects.opaque = True
+            self.effects.opaque_reasons.append(
+                f"call to non-Python callable {name!r} at line {node.lineno}"
+            )
+
+    def _follow_helper(self, helper: Any, name: str, lineno: int) -> None:
+        """Merge the effects of a resolvable helper function."""
+        if self.depth >= _MAX_HELPER_DEPTH:
+            self.effects.opaque = True
+            self.effects.opaque_reasons.append(
+                f"helper call chain too deep at {name!r} (line {lineno})"
+            )
+            return
+        merged = extract_effects(helper, self.depth + 1)
+        self.effects.merge(merged)

@@ -1,0 +1,398 @@
+"""The triggering graph: which rule's action can trigger which rule.
+
+A directed edge ``A -> B`` means: some event that rule A's condition or
+action *may raise* matches a primitive leaf of rule B's event tree.  The
+raises come from :mod:`repro.analysis.effects`; matching follows the
+runtime semantics of :meth:`repro.core.events.signature.EventSignature.matches`:
+
+* modifier must be equal (begin/end/explicit);
+* method names compare case-insensitively after hyphen normalization;
+* the raising class must be the leaf's class or one of its registered
+  subclasses (``registry.family``), because a leaf declared on a base
+  class matches occurrences produced by subclass instances.
+
+Composite events (Sequence/Conjunction/Disjunction and the extended
+operators) are flattened to their primitive leaves: raising *any* leaf of
+a composite may advance its detection, so the edge is drawn.  That
+over-approximates Sequence (raising only the second leaf cannot complete
+it from scratch) — sound for termination analysis, noted in DESIGN.md.
+
+Conservatism: a call whose receiver cannot be typed matches every class
+that declares the method (``definite=False`` edges); an **opaque action**
+draws may-trigger edges to every rule.  Subscription topology (which
+instances a rule is subscribed to) is deliberately ignored — the graph
+answers "could this trigger that, for *some* subscription", which is the
+sound question for a lint.
+
+Everything here is pure inspection: building the graph never fires a
+rule, never notifies a consumer, never mutates an object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..core.events.primitive import Primitive
+from ..core.events.signature import EventSignature, normalize_method_name
+from ..core.interface import EventSpec, raised_event_registry
+from ..core.occurrence import EventModifier
+from .effects import (
+    SOURCE_RECEIVER,
+    UNKNOWN_RECEIVER,
+    CallableEffects,
+    MethodCall,
+    extract_effects,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.rules import Rule
+
+__all__ = [
+    "Edge",
+    "RaiseSite",
+    "RuleNode",
+    "TriggeringGraph",
+    "build_graph",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RaiseSite:
+    """One primitive event a rule's condition/action may raise.
+
+    ``class_name`` is None when the raising class is unknown (explicit
+    raises with untyped receivers); ``definite`` is False when the site
+    comes from an untyped receiver and so only *may* exist.
+    """
+
+    class_name: str | None
+    method: str
+    modifier: EventModifier
+    definite: bool
+    line: int | None = None
+
+    def describe(self) -> str:
+        owner = self.class_name or "?"
+        return f"{self.modifier.value} {owner}::{self.method}"
+
+
+@dataclass(slots=True)
+class RuleNode:
+    """One rule with its extracted effects and raise sites."""
+
+    name: str
+    rule: "Rule"
+    condition_effects: CallableEffects
+    action_effects: CallableEffects
+    raise_sites: list[RaiseSite]
+    signatures: list[EventSignature]
+    has_timer_leaves: bool
+
+    def all_reads(self) -> set[str]:
+        return self.condition_effects.reads | self.action_effects.reads
+
+    def all_writes(self) -> set[str]:
+        return self.condition_effects.writes | self.action_effects.writes
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """``src`` may trigger ``dst`` via the described primitive event."""
+
+    src: str
+    dst: str
+    via: str
+    definite: bool
+
+
+@dataclass(slots=True)
+class TriggeringGraph:
+    """Rule nodes plus the may-trigger edges between them."""
+
+    nodes: dict[str, RuleNode] = field(default_factory=dict)
+    edges: list[Edge] = field(default_factory=list)
+
+    def successors(self, name: str) -> list[Edge]:
+        return [edge for edge in self.edges if edge.src == name]
+
+    def adjacency(self) -> dict[str, set[str]]:
+        adj: dict[str, set[str]] = {name: set() for name in self.nodes}
+        for edge in self.edges:
+            adj[edge.src].add(edge.dst)
+        return adj
+
+    def edge_between(self, src: str, dst: str) -> Edge | None:
+        """The (preferably definite) edge from ``src`` to ``dst``."""
+        best: Edge | None = None
+        for edge in self.edges:
+            if edge.src == src and edge.dst == dst:
+                if edge.definite:
+                    return edge
+                best = best or edge
+        return best
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: boxes per rule, dashed may-edges."""
+        lines = [
+            "digraph triggering {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="Helvetica"];',
+        ]
+        for name, node in sorted(self.nodes.items()):
+            attrs = []
+            if not node.rule.enabled:
+                attrs.append('style=dashed')
+                attrs.append('color=gray')
+            suffix = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f'  "{_dot_escape(name)}"{suffix};')
+        for edge in self.edges:
+            style = "" if edge.definite else ", style=dashed"
+            lines.append(
+                f'  "{_dot_escape(edge.src)}" -> "{_dot_escape(edge.dst)}" '
+                f'[label="{_dot_escape(edge.via)}"{style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+def build_graph(system: Any, registry: Any = None) -> TriggeringGraph:
+    """Build the triggering graph of a system's rule base.
+
+    ``system`` is a :class:`~repro.core.system.Sentinel` (its ``rules``
+    registry is used), any object with an iterable ``rules`` attribute,
+    or a plain iterable of rules.  ``registry`` defaults to the process
+    :data:`~repro.oodb.schema.global_registry`.
+    """
+    if registry is None:
+        from ..oodb.schema import global_registry
+
+        registry = global_registry
+    rules = _rules_of(system)
+    table = raised_event_registry(registry)
+    graph = TriggeringGraph()
+    for rule in sorted(rules, key=lambda r: r.name):
+        condition_effects = extract_effects(rule.condition)
+        action_effects = extract_effects(rule.action)
+        signatures = rule.monitored_signatures()
+        has_timer = any(
+            not isinstance(leaf, Primitive) for leaf in rule.event.leaves()
+        )
+        sites = _raise_sites(
+            condition_effects, action_effects, signatures, registry, table
+        )
+        graph.nodes[rule.name] = RuleNode(
+            name=rule.name,
+            rule=rule,
+            condition_effects=condition_effects,
+            action_effects=action_effects,
+            raise_sites=sites,
+            signatures=signatures,
+            has_timer_leaves=has_timer,
+        )
+    _build_edges(graph, registry)
+    return graph
+
+
+def _rules_of(system: Any) -> list["Rule"]:
+    rules = getattr(system, "rules", system)
+    return list(rules)
+
+
+def _raise_sites(
+    condition_effects: CallableEffects,
+    action_effects: CallableEffects,
+    signatures: list[EventSignature],
+    registry: Any,
+    table: dict[str, dict[str, EventSpec]],
+) -> list[RaiseSite]:
+    """Everything this rule's condition *and* action may raise.
+
+    Conditions count too: a condition invoking a monitored accessor
+    (``ctx.source.get_salary()``) raises that accessor's events exactly
+    as an action would.
+    """
+    sites: list[RaiseSite] = []
+    seen: set[tuple[str | None, str, EventModifier, bool]] = set()
+
+    def add(
+        class_name: str | None,
+        method: str,
+        spec_or_modifier: "EventSpec | EventModifier",
+        definite: bool,
+        line: int | None,
+    ) -> None:
+        modifiers: list[EventModifier]
+        if isinstance(spec_or_modifier, EventModifier):
+            modifiers = [spec_or_modifier]
+        else:
+            modifiers = []
+            if spec_or_modifier.before:
+                modifiers.append(EventModifier.BEGIN)
+            if spec_or_modifier.after:
+                modifiers.append(EventModifier.END)
+        for modifier in modifiers:
+            key = (class_name, method, modifier, definite)
+            if key not in seen:
+                seen.add(key)
+                sites.append(
+                    RaiseSite(
+                        class_name=class_name,
+                        method=method,
+                        modifier=modifier,
+                        definite=definite,
+                        line=line,
+                    )
+                )
+
+    source_classes = _source_classes(signatures, registry)
+    for effects in (condition_effects, action_effects):
+        for call in effects.calls:
+            _sites_for_call(call, source_classes, table, add)
+        for raised in effects.explicit_raises:
+            if raised == "*":
+                add(None, "*", EventModifier.EXPLICIT, False, None)
+            else:
+                add(None, raised, EventModifier.EXPLICIT, True, None)
+    return sites
+
+
+def _source_classes(
+    signatures: Iterable[EventSignature], registry: Any
+) -> set[str]:
+    """The classes ``ctx.source`` may be an instance of.
+
+    A rule triggered by ``end Employee::set_salary`` sees sources from
+    ``Employee`` or any registered subclass — the leaf class's family.
+    Signature classes not in the registry contribute just themselves.
+    """
+    classes: set[str] = set()
+    for signature in signatures:
+        name = _registry_name(registry, signature.class_name)
+        if name is None:
+            classes.add(signature.class_name)
+        else:
+            classes.update(registry.family(name))
+    return classes
+
+
+def _registry_name(registry: Any, class_name: str) -> str | None:
+    """Resolve ``class_name`` in the registry, case-insensitively."""
+    if class_name in registry:
+        return class_name
+    lowered = class_name.lower()
+    for name in registry.names():
+        if name.lower() == lowered:
+            return name
+    return None
+
+
+def _sites_for_call(
+    call: MethodCall,
+    source_classes: set[str],
+    table: dict[str, dict[str, EventSpec]],
+    add: Any,
+) -> None:
+    method = normalize_method_name(call.method)
+    if call.receiver == SOURCE_RECEIVER:
+        for class_name in sorted(source_classes):
+            spec = _spec_of(table, class_name, method)
+            if spec is not None:
+                add(class_name, method, spec, True, call.line)
+        return
+    if call.receiver == UNKNOWN_RECEIVER:
+        # Untyped receiver: any class declaring the method may raise.
+        for class_name in sorted(table):
+            spec = _spec_of(table, class_name, method)
+            if spec is not None:
+                add(class_name, method, spec, False, call.line)
+        return
+    spec = _spec_of(table, call.receiver, method)
+    if spec is not None:
+        add(call.receiver, method, spec, True, call.line)
+
+
+def _spec_of(
+    table: dict[str, dict[str, EventSpec]], class_name: str, method: str
+) -> EventSpec | None:
+    generators = table.get(class_name)
+    if generators is None:
+        return None
+    if method in generators:
+        return generators[method]
+    lowered = method.lower()
+    for name, spec in generators.items():
+        if name.lower() == lowered:
+            return spec
+    return None
+
+
+def _build_edges(graph: TriggeringGraph, registry: Any) -> None:
+    families: dict[str, set[str]] = {}
+
+    def family_of(leaf_class: str) -> set[str]:
+        cached = families.get(leaf_class)
+        if cached is None:
+            name = _registry_name(registry, leaf_class)
+            cached = (
+                {n.lower() for n in registry.family(name)}
+                if name is not None
+                else {leaf_class.lower()}
+            )
+            families[leaf_class] = cached
+        return cached
+
+    seen: set[tuple[str, str, str, bool]] = set()
+    for src in graph.nodes.values():
+        if src.action_effects.opaque:
+            for dst_name in graph.nodes:
+                key = (src.name, dst_name, "opaque", False)
+                if key not in seen:
+                    seen.add(key)
+                    graph.edges.append(
+                        Edge(
+                            src=src.name,
+                            dst=dst_name,
+                            via="opaque action (conservative fallback)",
+                            definite=False,
+                        )
+                    )
+        for site in src.raise_sites:
+            for dst in graph.nodes.values():
+                if _site_triggers(site, dst, family_of):
+                    via = site.describe()
+                    key = (src.name, dst.name, via, site.definite)
+                    if key not in seen:
+                        seen.add(key)
+                        graph.edges.append(
+                            Edge(
+                                src=src.name,
+                                dst=dst.name,
+                                via=via,
+                                definite=site.definite,
+                            )
+                        )
+
+
+def _site_triggers(
+    site: RaiseSite, dst: RuleNode, family_of: Any
+) -> bool:
+    """Does raising ``site`` match any primitive leaf of ``dst``?"""
+    for leaf in dst.signatures:
+        if leaf.modifier is not site.modifier:
+            continue
+        if site.method != "*" and leaf.method.lower() != site.method.lower():
+            continue
+        if site.class_name is None:
+            return True
+        if site.class_name.lower() in family_of(leaf.class_name):
+            return True
+    return False

@@ -1,0 +1,282 @@
+"""Findings and report rendering (text, JSON, SARIF).
+
+Every finding carries a stable code, a severity, a message, and — where
+the analyzer could pin one down — the rule it concerns and a source
+location.  The code catalog:
+
+=======  ========  ====================================================
+code     severity  meaning
+=======  ========  ====================================================
+SA001    error/    potential non-termination: the triggering graph has
+         warning   a cycle (error when the cycle is unconditional and
+                   every edge definite, warning otherwise)
+SA002    warning   potential non-confluence: two same-event rules with
+                   equal priority and overlapping write/write or
+                   read/write sets
+SA010    warning   dead rule: no reactive class can raise any of its
+                   primitive leaves
+SA011    warning   unreachable sequence: a Sequence composite whose
+                   first constituent can never be raised
+SA012    note      permanently disabled: the rule is disabled and no
+                   rule's action can enable it
+SA020    error     bad arity: the condition/action is not callable
+                   with the single RuleContext argument
+SA021    warning   unknown event parameter: a condition/action
+                   references a parameter no triggering event binds
+SA030    note      opaque callable: effects could not be extracted,
+                   conservative fallback applied
+=======  ========  ====================================================
+
+SARIF output follows the 2.1.0 schema, minimal profile: one run, one
+driver, ``results`` with ``ruleId``/``level``/``message``/``locations``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import TriggeringGraph
+
+__all__ = [
+    "FINDING_CODES",
+    "SEVERITY_RANK",
+    "Finding",
+    "AnalysisReport",
+    "sort_findings",
+]
+
+#: Severity names, weakest first; used to order findings and to compare
+#: against a ``--fail-on`` threshold.
+SEVERITY_RANK: dict[str, int] = {"note": 0, "warning": 1, "error": 2}
+
+#: Code → (name, short description) — also the SARIF rule metadata.
+FINDING_CODES: dict[str, tuple[str, str]] = {
+    "SA001": (
+        "non-termination",
+        "The triggering graph contains a cycle: these rules can fire "
+        "each other forever.",
+    ),
+    "SA002": (
+        "non-confluence",
+        "Two rules triggered by the same event at the same priority "
+        "touch overlapping state; their outcome is order-dependent.",
+    ),
+    "SA010": (
+        "dead-rule",
+        "No reactive class can raise any primitive event this rule is "
+        "triggered by.",
+    ),
+    "SA011": (
+        "unreachable-sequence",
+        "A Sequence composite's first constituent can never be raised, "
+        "so the sequence can never complete.",
+    ),
+    "SA012": (
+        "permanently-disabled",
+        "The rule is disabled and no rule's action can enable it.",
+    ),
+    "SA020": (
+        "bad-arity",
+        "The condition or action cannot be called with the single "
+        "RuleContext argument.",
+    ),
+    "SA021": (
+        "unknown-parameter",
+        "A condition or action references an event parameter that no "
+        "triggering event binds.",
+    ),
+    "SA030": (
+        "opaque-callable",
+        "Effects of a condition/action could not be extracted; the "
+        "conservative may-trigger-anything fallback applies.",
+    ),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One analyzer diagnostic."""
+
+    code: str
+    severity: str
+    message: str
+    rule: str | None = None
+    file: str | None = None
+    line: int | None = None
+    witness: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.rule is not None:
+            data["rule"] = self.rule
+        if self.file is not None:
+            data["file"] = self.file
+        if self.line is not None:
+            data["line"] = self.line
+        if self.witness:
+            data["witness"] = list(self.witness)
+        return data
+
+    def render(self) -> str:
+        location = ""
+        if self.file:
+            location = f" ({self.file}:{self.line})" if self.line else f" ({self.file})"
+        scope = f" [{self.rule}]" if self.rule else ""
+        return f"{self.code} {self.severity}{scope}: {self.message}{location}"
+
+
+@dataclass(slots=True)
+class AnalysisReport:
+    """The analyzer's output: the graph plus ordered findings."""
+
+    findings: list[Finding] = field(default_factory=list)
+    graph: "TriggeringGraph | None" = None
+
+    # -- aggregation ----------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        totals = {"error": 0, "warning": 0, "note": 0}
+        for finding in self.findings:
+            totals[finding.severity] = totals.get(finding.severity, 0) + 1
+        return totals
+
+    def worst_severity(self) -> str | None:
+        worst: str | None = None
+        for finding in self.findings:
+            if worst is None or (
+                SEVERITY_RANK.get(finding.severity, 0)
+                > SEVERITY_RANK.get(worst, 0)
+            ):
+                worst = finding.severity
+        return worst
+
+    def should_fail(self, fail_on: str) -> bool:
+        """True when any finding is at/above the ``fail_on`` threshold."""
+        if fail_on == "never":
+            return False
+        threshold = SEVERITY_RANK.get(fail_on)
+        if threshold is None:
+            raise ValueError(
+                f"unknown fail-on level {fail_on!r}; expected one of "
+                f"{sorted(SEVERITY_RANK)} or 'never'"
+            )
+        return any(
+            SEVERITY_RANK.get(f.severity, 0) >= threshold
+            for f in self.findings
+        )
+
+    # -- rendering ------------------------------------------------------
+    def to_text(self) -> str:
+        counts = self.counts()
+        node_count = len(self.graph.nodes) if self.graph is not None else 0
+        edge_count = len(self.graph.edges) if self.graph is not None else 0
+        lines = [
+            f"rule-set analysis: {node_count} rules, {edge_count} "
+            f"triggering edges; {counts['error']} errors, "
+            f"{counts['warning']} warnings, {counts['note']} notes"
+        ]
+        if not self.findings:
+            lines.append("no findings")
+        for finding in self.findings:
+            lines.append(finding.render())
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": self.counts(),
+        }
+        if self.graph is not None:
+            data["rules"] = sorted(self.graph.nodes)
+            data["edges"] = [
+                {
+                    "src": e.src,
+                    "dst": e.dst,
+                    "via": e.via,
+                    "definite": e.definite,
+                }
+                for e in self.graph.edges
+            ]
+        return data
+
+    def to_json_text(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    def to_sarif(self) -> dict[str, Any]:
+        """SARIF 2.1.0, minimal profile."""
+        rules = [
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": description},
+            }
+            for code, (name, description) in sorted(FINDING_CODES.items())
+        ]
+        results = []
+        for finding in self.findings:
+            result: dict[str, Any] = {
+                "ruleId": finding.code,
+                "level": finding.severity,
+                "message": {"text": finding.render()},
+            }
+            if finding.file:
+                region: dict[str, Any] = {}
+                if finding.line:
+                    region["startLine"] = finding.line
+                location: dict[str, Any] = {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.file},
+                    }
+                }
+                if region:
+                    location["physicalLocation"]["region"] = region
+                result["locations"] = [location]
+            results.append(result)
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-analyze",
+                            "informationUri": (
+                                "https://example.invalid/repro/analysis"
+                            ),
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }
+
+    def to_sarif_text(self) -> str:
+        return json.dumps(self.to_sarif(), indent=2) + "\n"
+
+    def to_dot(self) -> str:
+        if self.graph is None:
+            return "digraph triggering {\n}\n"
+        return self.graph.to_dot()
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Most severe first; ties break on code then rule name."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            -SEVERITY_RANK.get(f.severity, 0),
+            f.code,
+            f.rule or "",
+            f.message,
+        ),
+    )

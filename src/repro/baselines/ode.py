@@ -115,7 +115,9 @@ class OdeObject:
 
     _ids = itertools.count(1)
 
-    def __init__(self, definition: OdeClassDefinition, system: "OdeSystem", **attrs: Any):
+    def __init__(
+        self, definition: OdeClassDefinition, system: "OdeSystem", **attrs: Any
+    ):
         self.definition = definition
         self.system = system
         self.id = next(OdeObject._ids)

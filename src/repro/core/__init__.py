@@ -38,7 +38,13 @@ from .events import (
     Sequence,
     SignatureError,
 )
-from .interface import EventSpec, ReactiveMeta, event_generators, event_method
+from .interface import (
+    EventSpec,
+    ReactiveMeta,
+    event_generators,
+    event_method,
+    raised_event_registry,
+)
 from .monitor import monitor, unmonitor
 from .notifiable import Notifiable
 from .occurrence import (
@@ -52,6 +58,7 @@ from .registry import EventRegistry, RuleRegistry, default_events, default_regis
 from .rules import Rule, RuleContext, RuleError
 from .scheduler import (
     CascadeError,
+    RuleCascadeError,
     RuleScheduler,
     SchedulerStats,
     TraceEntry,
@@ -69,6 +76,7 @@ __all__ = [
     "ReactiveMeta",
     "event_method",
     "event_generators",
+    "raised_event_registry",
     "EventSpec",
     "subscribe_all",
     "IdentitySet",
@@ -103,6 +111,7 @@ __all__ = [
     "RuleScheduler",
     "SchedulerStats",
     "CascadeError",
+    "RuleCascadeError",
     "TraceEntry",
     "TransactionMonitor",
     "by_priority",

@@ -35,7 +35,12 @@ from typing import Any, Callable
 from .coupling import Coupling
 from .events.base import Event
 
-__all__ = ["ClassRuleDeclaration", "class_rule", "materialize_class_rules", "class_rules_of"]
+__all__ = [
+    "ClassRuleDeclaration",
+    "class_rule",
+    "materialize_class_rules",
+    "class_rules_of",
+]
 
 
 @dataclass(slots=True)

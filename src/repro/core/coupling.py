@@ -16,7 +16,10 @@ transaction, the rule's condition/action pair executes:
 ``DECOUPLED``
     Executed after the triggering transaction commits, in a separate
     transaction of its own.  Failures or aborts of the decoupled rule do
-    not disturb the (already committed) triggering transaction.
+    not disturb the (already committed) triggering transaction.  The
+    literature also calls this mode *detached*; :meth:`Coupling.parse`
+    and :attr:`Coupling.DETACHED` accept both spellings, and both
+    normalize to the canonical ``"decoupled"`` value.
 """
 
 from __future__ import annotations
@@ -32,21 +35,27 @@ class Coupling(enum.Enum):
     IMMEDIATE = "immediate"
     DEFERRED = "deferred"
     DECOUPLED = "decoupled"
+    #: Alias member: same value as DECOUPLED, so ``Coupling.DETACHED is
+    #: Coupling.DECOUPLED`` and both spellings round-trip through parse.
+    DETACHED = "decoupled"
 
     @classmethod
     def parse(cls, value: "str | Coupling") -> "Coupling":
-        """Parse a mode name; ``"detached"`` is accepted for DECOUPLED
-        (the literature uses both names for the same mode)."""
+        """Parse a mode name.
+
+        ``"detached"`` is accepted as an alias of ``"decoupled"`` — the
+        literature uses both names for the same mode — and normalizes to
+        the canonical :attr:`DECOUPLED` member.
+        """
         if isinstance(value, cls):
             return value
         text = value.strip().lower()
-        # Local, not a class attribute: an Enum body would turn it into
-        # a member.
         aliases = {"detached": "decoupled"}
         try:
             return cls(aliases.get(text, text))
         except ValueError:
             raise ValueError(
                 f"unknown coupling mode {value!r}; expected one of "
-                f"{[c.value for c in cls]}"
+                f"{[c.value for c in cls]} (or 'detached', an alias of "
+                f"'decoupled')"
             ) from None

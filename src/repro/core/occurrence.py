@@ -167,7 +167,9 @@ class CompositeOccurrence(Occurrence):
     seq: int
 
     @classmethod
-    def of(cls, event_name: str, parts: tuple[Occurrence, ...]) -> "CompositeOccurrence":
+    def of(
+        cls, event_name: str, parts: tuple[Occurrence, ...]
+    ) -> "CompositeOccurrence":
         if not parts:
             raise ValueError("a composite occurrence needs at least one part")
         last = max(parts, key=lambda p: p.seq)

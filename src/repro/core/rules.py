@@ -306,6 +306,19 @@ class Rule(Reactive, Notifiable):
         """The primitive events this rule's tree watches (introspection)."""
         return self.event.leaves()
 
+    def monitored_signatures(self) -> list["EventSignature"]:
+        """The parsed signatures of this rule's primitive leaves.
+
+        Non-primitive leaves (timer operators and the like) have no
+        signature and are skipped.  Pure introspection, used by the
+        static analyzer and the CLI tools.
+        """
+        return [
+            leaf.signature
+            for leaf in self.event.leaves()
+            if isinstance(leaf, Primitive)
+        ]
+
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"
         return (

@@ -47,6 +47,7 @@ __all__ = [
     "SchedulerStats",
     "TraceEntry",
     "CascadeError",
+    "RuleCascadeError",
     "by_priority",
     "fifo",
 ]
@@ -71,7 +72,21 @@ _RESOLVERS: dict[str, Resolver] = {"priority": by_priority, "fifo": fifo}
 
 
 class CascadeError(RuntimeError):
-    """Rule cascade exceeded the configured depth limit."""
+    """Rule cascade exceeded the configured depth limit.
+
+    ``witness`` is the rule-name path through the cascade that breached
+    the limit — when the cascade is a cycle, the slice from the first
+    repeat of the offending rule, closed with that rule (the same shape
+    the static analyzer's SA001 witness uses).
+    """
+
+    def __init__(self, message: str, witness: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.witness: list[str] = list(witness or [])
+
+
+#: Alias: the docs and the analyzer call this a *rule* cascade error.
+RuleCascadeError = CascadeError
 
 
 @dataclass(slots=True)
@@ -141,6 +156,7 @@ class RuleScheduler:
         self.stats = SchedulerStats()
         self._frames: list[list[tuple["Rule", Occurrence]]] = []
         self._depth = 0
+        self._exec_stack: list[str] = []
         self._orphan_deferred: list[tuple["Rule", Occurrence]] = []
         self._trace: "deque[TraceEntry] | None" = None
 
@@ -292,17 +308,23 @@ class RuleScheduler:
 
     def _execute_inner(self, rule: "Rule", occurrence: Occurrence) -> None:
         if self._depth >= self.max_depth:
+            witness = self._cascade_witness(rule.name)
+            witness_text = " -> ".join(witness)
             if _signals.active:
                 _signals.emit(
                     "scheduler_depth_exceeded",
                     depth=self._depth + 1,
                     threshold=self.max_depth,
+                    witness=witness_text,
                 )
             raise CascadeError(
                 f"rule cascade deeper than {self.max_depth} "
-                f"(at rule {rule.name!r}); check for mutually-triggering rules"
+                f"(at rule {rule.name!r}); check for mutually-triggering "
+                f"rules (cascade: {witness_text})",
+                witness=witness,
             )
         self._depth += 1
+        self._exec_stack.append(rule.name)
         self.stats.max_depth_seen = max(self.stats.max_depth_seen, self._depth)
         if _signals.active and self._depth == _signals.depth_threshold:
             # Crossing the sysmon alert threshold (softer than max_depth,
@@ -311,6 +333,7 @@ class RuleScheduler:
                 "scheduler_depth_exceeded",
                 depth=self._depth,
                 threshold=_signals.depth_threshold,
+                witness=" -> ".join(self._cascade_witness()),
             )
         if _audit.enabled or _signals.active:
             # Observed path: same semantics, plus audit/signals/counters.
@@ -319,6 +342,7 @@ class RuleScheduler:
             try:
                 self._fire_observed(rule, occurrence)
             finally:
+                self._exec_stack.pop()
                 self._depth -= 1
             return
         try:
@@ -336,7 +360,31 @@ class RuleScheduler:
                 raise
             self.stats.errors.append(exc)
         finally:
+            self._exec_stack.pop()
             self._depth -= 1
+
+    def current_cascade(self) -> list[str]:
+        """The names of the rules currently executing, outermost first."""
+        return list(self._exec_stack)
+
+    def _cascade_witness(self, next_rule: str | None = None) -> list[str]:
+        """The cascade path to report when the depth guard trips.
+
+        If ``next_rule`` (the rule about to execute) already appears in
+        the execution stack, the cascade is a cycle: return the slice
+        from its most recent occurrence, closed with the repeat — the
+        minimal cycle, matching the witness shape of the static
+        analyzer's SA001 finding.  Otherwise return the stack tail
+        (bounded, so a deep linear cascade doesn't produce a page-long
+        message).
+        """
+        stack = self._exec_stack
+        if next_rule is not None:
+            if next_rule in stack:
+                last = len(stack) - 1 - stack[::-1].index(next_rule)
+                return stack[last:] + [next_rule]
+            stack = stack + [next_rule]
+        return stack[-16:]
 
     def _fire_observed(self, rule: "Rule", occurrence: Occurrence) -> None:
         """:meth:`_execute_inner` body with the observation hooks live.

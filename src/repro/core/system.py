@@ -298,6 +298,29 @@ class Sentinel:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def max_cascade_depth(self) -> int:
+        """The scheduler's cascade depth limit (runtime-adjustable)."""
+        return self.scheduler.max_depth
+
+    @max_cascade_depth.setter
+    def max_cascade_depth(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("max_cascade_depth must be at least 1")
+        self.scheduler.max_depth = depth
+
+    def analyze(self, **kwargs: Any):
+        """Run the static rule-set analyzer over this system.
+
+        Returns an :class:`repro.analysis.AnalysisReport`: the triggering
+        graph plus termination / confluence / dead-rule / signature
+        findings.  Pure inspection — no rule fires, no state changes.
+        Keyword arguments pass through to :func:`repro.analysis.analyze`.
+        """
+        from ..analysis import analyze as _analyze
+
+        return _analyze(self, **kwargs)
+
     def stats(self) -> dict[str, Any]:
         s = self.scheduler.stats
         return {

@@ -26,7 +26,7 @@ entry):
 ``condition_rejected``         a condition said no (rule, seq, coupling)
 ``rule_error``                 condition/action raised (rule, seq, coupling, error)
 ``txn_aborted``                a transaction rolled back (txn_id, changes)
-``scheduler_depth_exceeded``   cascade depth crossed the threshold (depth, threshold)
+``scheduler_depth_exceeded``   cascade too deep (depth, threshold, witness)
 ``wal_fsync_slow``             one fsync overran its budget (micros, threshold_us)
 =============================  =====================================
 
@@ -154,7 +154,9 @@ class SystemMonitor(Reactive):
         self.txn_aborts += 1
 
     @event_method
-    def scheduler_depth_exceeded(self, depth: int, threshold: int) -> None:
+    def scheduler_depth_exceeded(
+        self, depth: int, threshold: int, witness: str = ""
+    ) -> None:
         self.depth_alerts += 1
 
     @event_method

@@ -614,7 +614,10 @@ class Database:
         self, cls: type | str, attribute: str, unique: bool = False
     ) -> None:
         """Create a B-tree index and build it from the current extent."""
-        class_name = cls if isinstance(cls, str) else cls._p_class_name  # type: ignore[attr-defined]
+        if isinstance(cls, str):
+            class_name = cls
+        else:
+            class_name = cls._p_class_name  # type: ignore[attr-defined]
         definition = IndexDefinition(class_name, attribute, unique)
         self.indexes.create(definition)
         for oid in self.extents.of(class_name):
@@ -645,7 +648,10 @@ class Database:
         Returns the number of objects upgraded.
         """
         self._require_open()
-        class_name = cls if isinstance(cls, str) else cls._p_class_name  # type: ignore[attr-defined]
+        if isinstance(cls, str):
+            class_name = cls
+        else:
+            class_name = cls._p_class_name  # type: ignore[attr-defined]
         oids = sorted(self.extents.of(class_name, include_subclasses))
         if not oids:
             return 0

@@ -53,7 +53,9 @@ class Page:
     the record (deletions leave tombstones rather than renumbering).
     """
 
-    __slots__ = ("page_id", "_slots", "_records", "dirty", "_record_bytes", "_free_slots")
+    __slots__ = (
+        "page_id", "_slots", "_records", "dirty", "_record_bytes", "_free_slots",
+    )
 
     def __init__(self, page_id: int) -> None:
         if page_id < 0:

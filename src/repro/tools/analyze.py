@@ -1,0 +1,145 @@
+"""Statically analyze a Sentinel rule base from the command line.
+
+Usage::
+
+    python -m repro.tools.analyze app.py                 # text report
+    python -m repro.tools.analyze app.py --fail-on error # CI gate
+    python -m repro.tools.analyze app.py --sarif out.sarif
+    python -m repro.tools.analyze app.py --graph out.dot
+    python -m repro.tools.analyze some.module --json
+
+``app.py`` (or the dotted module) must expose a ``build_system()``
+function returning either a :class:`~repro.core.system.Sentinel` or any
+object with a ``sentinel`` attribute — the convention every
+``examples/*.py`` follows.  The target module is imported (so its
+classes and rules come to life) but **nothing is executed beyond that**:
+the analyzer inspects the rule base without firing a single rule.
+
+Exit status: 0 — findings below the ``--fail-on`` threshold (default
+``error``); 1 — at least one finding at/above the threshold; 2 — the
+target could not be loaded or exposes no usable system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Any
+
+from ..analysis import AnalysisReport, analyze
+
+__all__ = ["load_system", "main"]
+
+
+class TargetError(Exception):
+    """The analysis target could not be loaded."""
+
+
+def load_system(target: str) -> Any:
+    """Import ``target`` (a ``.py`` path or dotted module) and build its
+    system via the ``build_system()`` convention."""
+    module = _import_target(target)
+    builder = getattr(module, "build_system", None)
+    if builder is None or not callable(builder):
+        raise TargetError(
+            f"{target!r} defines no build_system() function; the analyzer "
+            "needs one returning a Sentinel (or an object with a "
+            ".sentinel attribute)"
+        )
+    built = builder()
+    system = getattr(built, "sentinel", built)
+    if not hasattr(system, "rules"):
+        raise TargetError(
+            f"build_system() in {target!r} returned {type(built).__name__}, "
+            "which has no rule base (expected a Sentinel or an object "
+            "with a .sentinel attribute)"
+        )
+    return system
+
+
+def _import_target(target: str) -> Any:
+    path = Path(target)
+    if path.suffix == ".py" or path.exists():
+        if not path.exists():
+            raise TargetError(f"no such file: {target}")
+        name = f"_repro_analyze_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        if spec is None or spec.loader is None:
+            raise TargetError(f"cannot load {target!r} as a module")
+        module = importlib.util.module_from_spec(spec)
+        # Registered so dataclasses/pickling inside the target resolve.
+        sys.modules[name] = module
+        try:
+            spec.loader.exec_module(module)
+        except Exception as exc:
+            raise TargetError(f"importing {target!r} failed: {exc!r}") from exc
+        return module
+    try:
+        return importlib.import_module(target)
+    except Exception as exc:
+        raise TargetError(f"importing {target!r} failed: {exc!r}") from exc
+
+
+def _write(path: str, content: str) -> None:
+    Path(path).write_text(content, encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.analyze",
+        description="Static rule-set analyzer: triggering graph, "
+        "termination/confluence/dead-rule/signature findings.",
+    )
+    parser.add_argument(
+        "target",
+        help="a .py file or dotted module exposing build_system()",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["note", "warning", "error", "never"],
+        default="error",
+        help="exit 1 when a finding at/above this severity exists "
+        "(default: error)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write the findings as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="PATH",
+        help="also write the triggering graph as Graphviz DOT to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        system = load_system(args.target)
+    except TargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report: AnalysisReport = analyze(system)
+
+    if args.json:
+        sys.stdout.write(report.to_json_text())
+    else:
+        sys.stdout.write(report.to_text())
+    if args.sarif:
+        _write(args.sarif, report.to_sarif_text())
+    if args.graph:
+        _write(args.graph, report.to_dot())
+
+    return 1 if report.should_fail(args.fail_on) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Signature-check fixtures: wrong arity and unknown parameters.
+
+* ``TwoArgCondition``'s condition takes ``(ctx, extra)`` — it cannot be
+  called with the single RuleContext argument — SA020.
+* ``WrongParam``'s action consults ``ctx.param("missing")``, which no
+  triggering event binds — SA021.
+"""
+
+from repro.core import Reactive, Sentinel, event_method
+
+
+class GaugeSensor(Reactive):
+    @event_method
+    def observe(self, value: float) -> None:
+        pass
+
+
+def build_system() -> Sentinel:
+    sentinel = Sentinel(adopt_class_rules=False)
+    sensor = GaugeSensor()
+
+    bad = sentinel.create_rule(
+        "TwoArgCondition",
+        "end GaugeSensor::observe(float value)",
+        condition=lambda ctx, extra: True,
+        action=lambda ctx: None,
+    )
+    bad.subscribe_to(sensor)
+
+    wrong = sentinel.create_rule(
+        "WrongParam",
+        "end GaugeSensor::observe(float value)",
+        action=lambda ctx: print(ctx.param("missing")),
+    )
+    wrong.subscribe_to(sensor)
+    return sentinel

@@ -1,0 +1,47 @@
+"""A confluent and a non-confluent rule pair on the same event.
+
+``WriterOne`` and ``WriterTwo`` both trigger on the same primitive at
+the same priority and both write ``level`` on the source — their final
+state is order-dependent (SA002).  ``Independent`` shares the trigger
+but writes a disjoint attribute, so it pairs cleanly with both.
+"""
+
+from repro.core import Reactive, Sentinel, event_method
+
+
+class LevelMeter(Reactive):
+    def __init__(self) -> None:
+        super().__init__()
+        self.level = 0.0
+        self.samples = 0
+
+    @event_method
+    def measure(self, value: float) -> None:
+        self.samples += 1
+
+
+def _raise_level(ctx) -> None:
+    ctx.source.level = ctx.param("value")
+
+
+def _damp_level(ctx) -> None:
+    ctx.source.level = ctx.param("value") / 2.0
+
+
+def _count(ctx) -> None:
+    ctx.source.sample_log = ctx.param("value")
+
+
+def build_system() -> Sentinel:
+    sentinel = Sentinel(adopt_class_rules=False)
+    meter = LevelMeter()
+    for name, action in (
+        ("WriterOne", _raise_level),
+        ("WriterTwo", _damp_level),
+        ("Independent", _count),
+    ):
+        rule = sentinel.create_rule(
+            name, "end LevelMeter::measure(float value)", action=action
+        )
+        rule.subscribe_to(meter)
+    return sentinel

@@ -1,0 +1,45 @@
+"""A deliberately non-terminating rule base: A and B fire each other.
+
+Rule ``A`` triggers on ``end PingPongNode::ping`` and calls
+``ctx.source.pong()``; rule ``B`` triggers on ``end PingPongNode::pong``
+and calls ``ctx.source.ping()``.  Neither has a condition, so the cycle
+is unconditional — SA001 at error severity with witness ``A -> B -> A``.
+
+``build_system(conditional=True)`` puts a condition on ``A``, demoting
+the finding to a warning.
+"""
+
+from repro.core import Reactive, Sentinel, event_method
+
+
+class PingPongNode(Reactive):
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits = 0
+
+    @event_method
+    def ping(self) -> None:
+        self.hits += 1
+
+    @event_method
+    def pong(self) -> None:
+        self.hits += 1
+
+
+def build_system(conditional: bool = False) -> Sentinel:
+    sentinel = Sentinel(adopt_class_rules=False)
+    node = PingPongNode()
+    rule_a = sentinel.create_rule(
+        "A",
+        "end PingPongNode::ping()",
+        condition=(lambda ctx: ctx.source.hits < 5) if conditional else None,
+        action=lambda ctx: ctx.source.pong(),
+    )
+    rule_b = sentinel.create_rule(
+        "B",
+        "end PingPongNode::pong()",
+        action=lambda ctx: ctx.source.ping(),
+    )
+    rule_a.subscribe_to(node)
+    rule_b.subscribe_to(node)
+    return sentinel

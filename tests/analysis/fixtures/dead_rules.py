@@ -1,0 +1,51 @@
+"""Dead-rule fixtures: unraisable events, a doomed Sequence, a rule
+nothing ever enables.
+
+* ``DeadRule`` triggers on ``end Ghost::vanish()`` — no registered
+  reactive class declares ``vanish`` — SA010.
+* ``DoomedSequence`` triggers on a Sequence whose *first* constituent is
+  that same unraisable event — SA011 (but not SA010: its second leaf is
+  raisable).
+* ``SleepingRule`` is created disabled and no rule's action calls
+  ``enable()`` — SA012.
+"""
+
+from repro.core import Primitive, Reactive, Sentinel, Sequence, event_method
+
+
+class WardSensor(Reactive):
+    @event_method
+    def observe(self, value: float) -> None:
+        pass
+
+
+def build_system() -> Sentinel:
+    sentinel = Sentinel(adopt_class_rules=False)
+    sensor = WardSensor()
+
+    dead = sentinel.create_rule(
+        "DeadRule",
+        "end Ghost::vanish()",
+        action=lambda ctx: None,
+    )
+    dead.subscribe_to(sensor)
+
+    doomed = sentinel.create_rule(
+        "DoomedSequence",
+        event=Sequence(
+            Primitive("end Ghost::vanish()"),
+            Primitive("end WardSensor::observe(float value)"),
+            name="doomed",
+        ),
+        action=lambda ctx: None,
+    )
+    doomed.subscribe_to(sensor)
+
+    sleeping = sentinel.create_rule(
+        "SleepingRule",
+        "end WardSensor::observe(float value)",
+        action=lambda ctx: None,
+        enabled=False,
+    )
+    sleeping.subscribe_to(sensor)
+    return sentinel

@@ -1,0 +1,120 @@
+"""Tests for the analyses (repro.analysis.checks) over golden fixtures."""
+
+from repro.analysis import analyze
+
+from .fixtures import bad_arity, confluent, cyclic, dead_rules
+
+
+def _by_code(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+# ---------------------------------------------------------------------- SA001
+def test_unconditional_cycle_is_an_error_with_witness():
+    report = analyze(cyclic.build_system())
+    findings = _by_code(report, "SA001")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.severity == "error"
+    assert finding.witness == ("A", "B", "A")
+    assert "A -> B -> A" in finding.message
+    assert finding.file and finding.file.endswith("cyclic.py")
+
+
+def test_conditional_cycle_is_only_a_warning():
+    report = analyze(cyclic.build_system(conditional=True))
+    findings = _by_code(report, "SA001")
+    assert len(findings) == 1
+    assert findings[0].severity == "warning"
+    assert "conditional" in findings[0].message
+
+
+def test_disabled_rule_also_demotes_the_cycle():
+    sentinel = cyclic.build_system()
+    sentinel.rules.get("B").disable()
+    report = analyze(sentinel)
+    assert _by_code(report, "SA001")[0].severity == "warning"
+
+
+# ---------------------------------------------------------------------- SA002
+def test_write_write_conflict_flagged_once():
+    report = analyze(confluent.build_system())
+    findings = _by_code(report, "SA002")
+    assert len(findings) == 1
+    message = findings[0].message
+    assert "'WriterOne'" in message and "'WriterTwo'" in message
+    assert "write/write" in message and "level" in message
+    assert "Independent" not in message
+
+
+def test_different_priorities_are_not_flagged():
+    sentinel = confluent.build_system()
+    sentinel.rules.get("WriterTwo").priority = 5
+    report = analyze(sentinel)
+    assert not _by_code(report, "SA002")
+
+
+# ---------------------------------------------- SA010 / SA011 / SA012
+def test_dead_rule_fixture_produces_all_three_codes():
+    report = analyze(dead_rules.build_system())
+    dead = _by_code(report, "SA010")
+    assert [f.rule for f in dead] == ["DeadRule"]
+    assert "Ghost::vanish" in dead[0].message
+
+    doomed = _by_code(report, "SA011")
+    assert [f.rule for f in doomed] == ["DoomedSequence"]
+
+    sleeping = _by_code(report, "SA012")
+    assert [f.rule for f in sleeping] == ["SleepingRule"]
+
+
+def test_an_enabling_rule_suppresses_sa012():
+    sentinel = dead_rules.build_system()
+    sleeping = sentinel.rules.get("SleepingRule")
+    sentinel.create_rule(
+        "Waker",
+        "end WardSensor::observe(float value)",
+        action=lambda ctx: sleeping.enable(),
+    )
+    report = analyze(sentinel)
+    assert not _by_code(report, "SA012")
+
+
+def test_opaque_actions_suppress_sa012():
+    """With an unanalyzable action around, nothing is provably dead."""
+    sentinel = dead_rules.build_system()
+    sentinel.create_rule(
+        "Mystery", "end WardSensor::observe(float value)", action=print
+    )
+    report = analyze(sentinel)
+    assert not _by_code(report, "SA012")
+
+
+# ---------------------------------------------------------- SA020 / SA021
+def test_bad_arity_and_unknown_parameter():
+    report = analyze(bad_arity.build_system())
+    arity = _by_code(report, "SA020")
+    assert [f.rule for f in arity] == ["TwoArgCondition"]
+    assert arity[0].severity == "error"
+
+    params = _by_code(report, "SA021")
+    assert [f.rule for f in params] == ["WrongParam"]
+    assert "missing" in params[0].message
+
+
+# ---------------------------------------------------------------------- SA030
+def test_opaque_action_is_noted():
+    sentinel = dead_rules.build_system()
+    sentinel.create_rule(
+        "Mystery", "end WardSensor::observe(float value)", action=print
+    )
+    report = analyze(sentinel)
+    notes = _by_code(report, "SA030")
+    assert any(f.rule == "Mystery" for f in notes)
+
+
+def test_findings_are_ordered_most_severe_first():
+    report = analyze(bad_arity.build_system())
+    ranks = ["note", "warning", "error"]
+    severities = [ranks.index(f.severity) for f in report.findings]
+    assert severities == sorted(severities, reverse=True)

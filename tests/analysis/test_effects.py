@@ -1,0 +1,173 @@
+"""Unit tests for read/write/raise-set extraction (repro.analysis.effects)."""
+
+import functools
+
+from repro.analysis import extract_effects
+from repro.core import Reactive, event_method
+from repro.core.dsl import CompiledAction, CompiledCondition
+
+
+class EffectsProbe(Reactive):
+    @event_method
+    def poke(self) -> None:
+        pass
+
+    @event_method
+    def prod(self) -> None:
+        pass
+
+
+probe = EffectsProbe()
+
+
+def test_none_yields_empty_effects():
+    effects = extract_effects(None)
+    assert not effects.reads and not effects.writes
+    assert not effects.calls and not effects.opaque
+
+
+def test_source_attribute_reads_and_writes():
+    def action(ctx):
+        ctx.source.level = ctx.source.level + ctx.source.offset
+
+    effects = extract_effects(action)
+    assert effects.reads == {"level", "offset"}
+    assert effects.writes == {"level"}
+    assert not effects.opaque
+
+
+def test_augassign_is_read_and_write():
+    def action(ctx):
+        ctx.source.count += 1
+
+    effects = extract_effects(action)
+    assert "count" in effects.reads and "count" in effects.writes
+
+
+def test_param_reads_constant_and_dynamic():
+    def condition(ctx):
+        which = "volume"
+        return ctx.param("price") > 1 and ctx.params["size"] and ctx.param(which)
+
+    effects = extract_effects(condition)
+    assert {"price", "size", "*"} <= effects.param_reads
+
+
+def test_source_method_call_classified_as_source():
+    effects = extract_effects(lambda ctx: ctx.source.poke())
+    assert [(c.method, c.receiver) for c in effects.calls] == [("poke", "source")]
+
+
+def test_source_alias_tracked_through_assignment():
+    def action(ctx):
+        node = ctx.source
+        node.prod()
+
+    effects = extract_effects(action)
+    assert [(c.method, c.receiver) for c in effects.calls] == [("prod", "source")]
+
+
+def test_resolved_instance_call_gets_class_name():
+    effects = extract_effects(lambda ctx: probe.poke())
+    assert [(c.method, c.receiver) for c in effects.calls] == [
+        ("poke", "EffectsProbe")
+    ]
+
+
+def test_non_reactive_receiver_is_dropped():
+    log = []
+    effects = extract_effects(lambda ctx: log.append(1))
+    assert effects.calls == []
+    assert not effects.opaque
+
+
+def test_unresolvable_receiver_is_unknown():
+    def action(ctx, helper_obj=None):
+        obj = helper_obj
+        obj.poke()
+
+    effects = extract_effects(action)
+    assert [(c.method, c.receiver) for c in effects.calls] == [("poke", "unknown")]
+
+
+def test_explicit_raise_constant_and_dynamic():
+    def action(ctx):
+        ctx.source.raise_event("overflow", size=3)
+        name = "dynamic"
+        ctx.source.raise_event(name)
+
+    effects = extract_effects(action)
+    assert effects.explicit_raises == {"overflow", "*"}
+
+
+def test_ctx_rule_receiver_is_rule():
+    effects = extract_effects(lambda ctx: ctx.rule.disable())
+    assert [(c.method, c.receiver) for c in effects.calls] == [("disable", "Rule")]
+
+
+def test_builtin_calls_are_not_opaque():
+    effects = extract_effects(lambda ctx: print(len(str(ctx))))
+    assert not effects.opaque
+
+
+def test_helper_functions_are_followed_and_merged():
+    def helper(ctx):
+        ctx.source.poke()
+
+    def action(ctx):
+        helper(ctx)
+
+    effects = extract_effects(action)
+    assert [(c.method, c.receiver) for c in effects.calls] == [("poke", "source")]
+
+
+def test_partial_is_unwrapped():
+    def action(ctx, extra=0):
+        ctx.source.prod()
+
+    effects = extract_effects(functools.partial(action, extra=1))
+    assert [(c.method, c.receiver) for c in effects.calls] == [("prod", "source")]
+
+
+def test_callable_without_source_is_opaque():
+    effects = extract_effects(print)
+    assert effects.opaque
+    assert effects.opaque_reasons
+
+
+def test_exec_compiled_lambda_is_opaque():
+    namespace = {}
+    exec("fn = lambda ctx: ctx.source.poke()", namespace)
+    effects = extract_effects(namespace["fn"])
+    assert effects.opaque
+
+
+def test_dsl_condition_reads_source_and_free_names():
+    condition = CompiledCondition("self.sex == spouse.sex")
+    effects = extract_effects(condition)
+    assert "sex" in effects.reads
+    assert "spouse" in effects.free_names()
+    assert not effects.opaque
+
+
+def test_dsl_action_abort_and_rule_receiver():
+    assert extract_effects(CompiledAction("abort")).aborts
+    effects = extract_effects(CompiledAction("rule.disable()"))
+    assert [(c.method, c.receiver) for c in effects.calls] == [("disable", "Rule")]
+
+
+def test_dsl_self_method_call_is_source():
+    effects = extract_effects(CompiledAction("self.poke()"))
+    assert [(c.method, c.receiver) for c in effects.calls] == [("poke", "source")]
+
+
+def test_ctx_abort_recorded():
+    effects = extract_effects(lambda ctx: ctx.abort())
+    assert effects.aborts
+
+
+def test_two_lambdas_on_one_line_are_unioned():
+    pair = (lambda ctx: ctx.source.poke(), lambda ctx: ctx.source.prod())
+    effects = extract_effects(pair[0])
+    methods = {c.method for c in effects.calls}
+    assert methods == {"poke", "prod"}  # conservative union, sound

@@ -1,0 +1,45 @@
+"""Every example must expose build_system() and analyze without errors.
+
+This is the same sweep the CI ``analyze`` job runs: the default
+``--fail-on error`` gate over ``examples/*.py``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+)
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_analyzes_clean(example):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.tools.analyze",
+            os.path.join(EXAMPLES_DIR, example),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 0, (
+        f"{example} failed the analyze gate:\n"
+        f"{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.startswith("rule-set analysis:")

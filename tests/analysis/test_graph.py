@@ -1,0 +1,108 @@
+"""Tests for triggering-graph construction (repro.analysis.graph)."""
+
+from repro.analysis import build_graph
+from repro.core import Reactive, Sentinel, event_method
+
+from .fixtures import cyclic
+
+
+def test_cyclic_fixture_builds_definite_cycle():
+    sentinel = cyclic.build_system()
+    graph = build_graph(sentinel)
+    assert set(graph.nodes) == {"A", "B"}
+    ab = graph.edge_between("A", "B")
+    ba = graph.edge_between("B", "A")
+    assert ab is not None and ab.definite
+    assert ba is not None and ba.definite
+    assert "pong" in ab.via and "ping" in ba.via
+
+
+def test_adjacency_and_successors():
+    graph = build_graph(cyclic.build_system())
+    adjacency = graph.adjacency()
+    assert adjacency["A"] == {"B"} and adjacency["B"] == {"A"}
+    assert [e.dst for e in graph.successors("A")] == ["B"]
+
+
+def test_condition_raises_count_too():
+    """A condition invoking a monitored method contributes raise sites."""
+    sentinel = Sentinel(adopt_class_rules=False)
+    listener = sentinel.create_rule(
+        "Listener", "end PingPongNode::pong()", action=lambda ctx: None
+    )
+    nosy = sentinel.create_rule(
+        "Nosy",
+        "end PingPongNode::ping()",
+        condition=lambda ctx: ctx.source.pong() is None,
+        action=lambda ctx: None,
+    )
+    graph = build_graph(sentinel)
+    edge = graph.edge_between("Nosy", "Listener")
+    assert edge is not None and edge.definite
+    assert listener is not None and nosy is not None
+
+
+def test_opaque_action_draws_may_edges_to_every_rule():
+    sentinel = Sentinel(adopt_class_rules=False)
+    sentinel.create_rule("Blind", "end PingPongNode::ping()", action=print)
+    sentinel.create_rule(
+        "Bystander", "end PingPongNode::pong()", action=lambda ctx: None
+    )
+    graph = build_graph(sentinel)
+    targets = {e.dst for e in graph.successors("Blind")}
+    assert targets == {"Blind", "Bystander"}
+    assert all(not e.definite for e in graph.successors("Blind"))
+
+
+def test_unknown_receiver_makes_may_edges():
+    sentinel = Sentinel(adopt_class_rules=False)
+
+    def action(ctx, node=None):
+        obj = node
+        obj.ping()
+
+    sentinel.create_rule("Poker", "end PingPongNode::pong()", action=action)
+    sentinel.create_rule(
+        "PingListener", "end PingPongNode::ping()", action=lambda ctx: None
+    )
+    graph = build_graph(sentinel)
+    edge = graph.edge_between("Poker", "PingListener")
+    assert edge is not None and not edge.definite
+
+
+def test_subclass_sources_trigger_base_class_leaves():
+    """A leaf on a base class matches raises typed to a subclass."""
+
+    class BaseBeacon(Reactive):
+        @event_method
+        def blink(self) -> None:
+            pass
+
+    class ChildBeacon(BaseBeacon):
+        pass
+
+    child = ChildBeacon()
+    sentinel = Sentinel(adopt_class_rules=False)
+    sentinel.create_rule(
+        "Flasher", "end ChildBeacon::blink()", action=lambda ctx: child.blink()
+    )
+    sentinel.create_rule(
+        "BaseWatcher", "end BaseBeacon::blink()", action=lambda ctx: None
+    )
+    graph = build_graph(sentinel)
+    assert graph.edge_between("Flasher", "BaseWatcher") is not None
+
+
+def test_to_dot_renders_nodes_edges_and_disabled_style():
+    sentinel = cyclic.build_system()
+    sentinel.rules.get("B").disable()
+    dot = build_graph(sentinel).to_dot()
+    assert dot.startswith("digraph triggering {")
+    assert '"A" -> "B"' in dot and '"B" -> "A"' in dot
+    assert "style=dashed" in dot  # the disabled node
+
+
+def test_graph_accepts_plain_rule_iterables():
+    sentinel = cyclic.build_system()
+    graph = build_graph(list(sentinel.rules))
+    assert set(graph.nodes) == {"A", "B"}

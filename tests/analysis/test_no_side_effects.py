@@ -1,0 +1,49 @@
+"""The analyzer is pure inspection: it must never fire or mutate anything."""
+
+from repro.analysis import analyze
+from repro.core.reactive import Reactive
+from repro.core.rules import Rule
+
+from .fixtures import cyclic, dead_rules
+
+
+def test_analysis_fires_no_rule_and_notifies_no_consumer(monkeypatch):
+    sentinel = cyclic.build_system()
+
+    def explode(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("the analyzer performed a runtime action")
+
+    monkeypatch.setattr(Rule, "fire", explode)
+    monkeypatch.setattr(Reactive, "notify_consumers", explode)
+    monkeypatch.setattr(Reactive, "raise_event", explode)
+
+    report = analyze(sentinel)
+    assert report.findings  # it really analyzed something
+
+
+def test_analysis_leaves_counters_and_state_untouched():
+    sentinel = dead_rules.build_system()
+    rules = list(sentinel.rules)
+    before = {
+        rule.name: (rule.times_triggered, rule.times_fired, rule.enabled)
+        for rule in rules
+    }
+    stats_before = sentinel.stats()
+
+    analyze(sentinel)
+    analyze(sentinel)  # idempotent too
+
+    after = {
+        rule.name: (rule.times_triggered, rule.times_fired, rule.enabled)
+        for rule in rules
+    }
+    assert after == before
+    assert sentinel.stats() == stats_before
+
+
+def test_sentinel_facade_returns_same_report_shape():
+    sentinel = cyclic.build_system()
+    report = sentinel.analyze()
+    assert {f.code for f in report.findings} == {
+        f.code for f in analyze(sentinel).findings
+    }

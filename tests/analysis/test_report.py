@@ -1,0 +1,138 @@
+"""Tests for report rendering (text/JSON/SARIF/DOT) and the CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import AnalysisReport, Finding, analyze
+from repro.tools.analyze import main
+
+from .fixtures import cyclic
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "cyclic.py")
+
+
+def test_finding_render_format():
+    finding = Finding(
+        code="SA001",
+        severity="error",
+        message="boom",
+        rule="A",
+        file="x.py",
+        line=3,
+    )
+    assert finding.render() == "SA001 error [A]: boom (x.py:3)"
+    assert finding.to_dict()["code"] == "SA001"
+
+
+def test_should_fail_thresholds():
+    report = AnalysisReport(
+        findings=[Finding(code="SA002", severity="warning", message="w")]
+    )
+    assert report.should_fail("warning")
+    assert report.should_fail("note")
+    assert not report.should_fail("error")
+    assert not report.should_fail("never")
+    with pytest.raises(ValueError):
+        report.should_fail("bogus")
+
+
+def test_counts_and_worst_severity():
+    report = analyze(cyclic.build_system())
+    counts = report.counts()
+    assert counts["error"] == 1
+    assert report.worst_severity() == "error"
+
+
+def test_text_report_header_and_findings():
+    text = analyze(cyclic.build_system()).to_text()
+    assert text.startswith("rule-set analysis: 2 rules, 2 triggering edges;")
+    assert "SA001 error [A]" in text
+
+
+def test_json_report_roundtrips():
+    data = json.loads(analyze(cyclic.build_system()).to_json_text())
+    assert data["rules"] == ["A", "B"]
+    assert data["counts"]["error"] == 1
+    assert {e["src"] for e in data["edges"]} == {"A", "B"}
+
+
+def test_sarif_is_valid_minimal_profile():
+    sarif = analyze(cyclic.build_system()).to_sarif()
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analyze"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "SA001" in rule_ids and "SA030" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "SA001" and result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("cyclic.py")
+    assert location["region"]["startLine"] > 0
+
+
+def test_empty_report_renders():
+    report = AnalysisReport()
+    assert "no findings" in report.to_text()
+    assert report.to_dot().startswith("digraph")
+    assert report.worst_severity() is None
+
+
+# ------------------------------------------------------------------ CLI
+def test_cli_fails_on_cyclic_fixture(capsys):
+    assert main([FIXTURE]) == 1
+    out = capsys.readouterr().out
+    assert "SA001 error [A]" in out
+    assert "A -> B -> A" in out
+
+
+def test_cli_fail_on_never_passes(capsys):
+    assert main([FIXTURE, "--fail-on", "never"]) == 0
+
+
+def test_cli_json_output(capsys):
+    assert main([FIXTURE, "--json", "--fail-on", "never"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["rules"] == ["A", "B"]
+
+
+def test_cli_writes_sarif_and_dot(tmp_path, capsys):
+    sarif_path = tmp_path / "out.sarif"
+    dot_path = tmp_path / "out.dot"
+    code = main(
+        [FIXTURE, "--sarif", str(sarif_path), "--graph", str(dot_path)]
+    )
+    assert code == 1
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["runs"][0]["results"][0]["ruleId"] == "SA001"
+    assert '"A" -> "B"' in dot_path.read_text()
+
+
+def test_cli_rejects_missing_file(capsys):
+    assert main(["/nonexistent/app.py"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_rejects_module_without_build_system(tmp_path, capsys):
+    target = tmp_path / "plain.py"
+    target.write_text("x = 1\n")
+    assert main([str(target)]) == 2
+    assert "build_system" in capsys.readouterr().err
+
+
+def test_cli_as_subprocess_gates_on_error():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.tools.analyze", FIXTURE],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "A -> B -> A" in result.stdout

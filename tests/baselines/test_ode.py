@@ -94,7 +94,11 @@ class TestTriggers:
             attributes=("reading",),
             methods={"set": lambda self, v: setattr(self, "reading", v)},
             triggers=[
-                Trigger("hot", lambda o: o.reading > 50, lambda o: log.append(o.reading)),
+                Trigger(
+                    "hot",
+                    lambda o: o.reading > 50,
+                    lambda o: log.append(o.reading),
+                ),
             ],
         )
         sensor = system.new("sensor", reading=0)

@@ -1,0 +1,105 @@
+"""Cascade-depth breaches carry a concrete cycle witness.
+
+The witness is the tail of the execution stack closed on the repeated
+rule — the same minimal-cycle shape (``["A", "B", "A"]``) the static
+analyzer's SA001 finding reports.
+"""
+
+import pytest
+
+from repro.core import Reactive, RuleCascadeError, Sentinel, event_method
+from repro.core.scheduler import CascadeError
+from repro.obs.signals import engine_signals
+
+
+class Paddle(Reactive):
+    @event_method
+    def ping(self) -> None:
+        pass
+
+    @event_method
+    def pong(self) -> None:
+        pass
+
+
+def _wire_ping_pong(sentinel: Sentinel) -> Paddle:
+    paddle = Paddle()
+    rule_a = sentinel.create_rule(
+        "A", "end Paddle::ping()", action=lambda ctx: ctx.source.pong()
+    )
+    rule_b = sentinel.create_rule(
+        "B", "end Paddle::pong()", action=lambda ctx: ctx.source.ping()
+    )
+    rule_a.subscribe_to(paddle)
+    rule_b.subscribe_to(paddle)
+    return paddle
+
+
+def test_rule_cascade_error_is_cascade_error():
+    assert RuleCascadeError is CascadeError
+
+
+def test_max_cascade_depth_property_roundtrip():
+    with Sentinel(adopt_class_rules=False) as sentinel:
+        sentinel.max_cascade_depth = 7
+        assert sentinel.max_cascade_depth == 7
+        assert sentinel.scheduler.max_depth == 7
+        with pytest.raises(ValueError):
+            sentinel.max_cascade_depth = 0
+
+
+def test_cascade_error_carries_minimal_cycle_witness():
+    with Sentinel(adopt_class_rules=False) as sentinel:
+        sentinel.max_cascade_depth = 6
+        paddle = _wire_ping_pong(sentinel)
+        with pytest.raises(RuleCascadeError) as excinfo:
+            paddle.ping()
+        witness = excinfo.value.witness
+        assert witness in (["A", "B", "A"], ["B", "A", "B"])
+        assert "cascade:" in str(excinfo.value)
+        assert " -> ".join(witness) in str(excinfo.value)
+
+
+def test_self_loop_witness():
+    with Sentinel(adopt_class_rules=False) as sentinel:
+        sentinel.max_cascade_depth = 4
+        paddle = Paddle()
+        rule = sentinel.create_rule(
+            "Echo", "end Paddle::ping()", action=lambda ctx: ctx.source.ping()
+        )
+        rule.subscribe_to(paddle)
+        with pytest.raises(RuleCascadeError) as excinfo:
+            paddle.ping()
+        assert excinfo.value.witness == ["Echo", "Echo"]
+
+
+def test_sysmon_depth_exceeded_payload_includes_witness():
+    events = []
+
+    def sink(kind, payload):
+        if kind == "scheduler_depth_exceeded":
+            events.append(payload)
+
+    engine_signals.attach(sink)
+    try:
+        with Sentinel(adopt_class_rules=False) as sentinel:
+            sentinel.max_cascade_depth = 5
+            paddle = _wire_ping_pong(sentinel)
+            with pytest.raises(RuleCascadeError):
+                paddle.ping()
+    finally:
+        engine_signals.detach(sink)
+    assert events
+    payload = events[-1]
+    assert payload["depth"] >= payload["threshold"]
+    assert " -> " in payload["witness"]
+
+
+def test_current_cascade_is_empty_outside_execution():
+    with Sentinel(adopt_class_rules=False) as sentinel:
+        paddle = _wire_ping_pong(sentinel)
+        sentinel.max_cascade_depth = 6
+        with pytest.raises(RuleCascadeError):
+            paddle.ping()
+        # The stack unwound fully despite the error.
+        assert sentinel.scheduler.current_cascade() == []

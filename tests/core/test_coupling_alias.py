@@ -1,0 +1,45 @@
+"""The "detached" spelling is a first-class alias of decoupled (§4.4)."""
+
+import pytest
+
+from repro.core import Coupling, Sentinel
+from tests.analysis.fixtures.cyclic import PingPongNode
+
+
+def test_detached_member_is_decoupled():
+    assert Coupling.DETACHED is Coupling.DECOUPLED
+    assert Coupling.DETACHED.value == "decoupled"
+
+
+def test_parse_accepts_both_spellings():
+    assert Coupling.parse("detached") is Coupling.DECOUPLED
+    assert Coupling.parse("DETACHED") is Coupling.DECOUPLED
+    assert Coupling.parse("decoupled") is Coupling.DECOUPLED
+    assert Coupling.parse(Coupling.DETACHED) is Coupling.DECOUPLED
+
+
+def test_alias_does_not_add_a_fourth_mode():
+    assert [c.value for c in Coupling] == ["immediate", "deferred", "decoupled"]
+
+
+def test_parse_error_mentions_the_alias():
+    with pytest.raises(ValueError, match="detached"):
+        Coupling.parse("sideways")
+
+
+def test_rule_created_with_detached_runs_decoupled():
+    with Sentinel(adopt_class_rules=False) as sentinel:
+        node = PingPongNode()
+        ran = []
+        rule = sentinel.create_rule(
+            "DetachedRule",
+            "end PingPongNode::ping()",
+            action=lambda ctx: ran.append(ctx.source.hits),
+            coupling="detached",
+        )
+        rule.subscribe_to(node)
+        assert rule.coupling is Coupling.DECOUPLED
+        assert "decoupled" in repr(rule)
+        node.ping()
+        assert ran  # no transaction open: runs right after the signal
+        assert sentinel.stats()["decoupled"] == 1

@@ -67,7 +67,9 @@ class TestMonitor:
 
     def test_passive_object_rejected(self, sentinel):
         with pytest.raises(TypeError):
-            monitor(object(), on="end Stock::set_price(float price)")  # type: ignore[arg-type]
+            monitor(  # type: ignore[arg-type]
+                object(), on="end Stock::set_price(float price)"
+            )
 
     def test_bad_on_type_rejected(self, sentinel):
         with pytest.raises(TypeError):

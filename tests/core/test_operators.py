@@ -254,7 +254,9 @@ class TestEventObjectBehaviour:
         device.unsubscribe(disjunction)
         from repro.core import EventModifier
 
-        occurrence = device._make_occurrence("alpha", EventModifier.END, (), {}, {}, None)
+        occurrence = device._make_occurrence(
+            "alpha", EventModifier.END, (), {}, {}, None
+        )
         disjunction.notify(occurrence)
         disjunction.notify(occurrence)  # duplicate path
         assert len(signals.occurrences) == 2  # one per *distinct* occurrence

@@ -78,9 +78,11 @@ class TestSubscription:
         a, b = Consumer(), Consumer()
         producer.subscribe(a)
         producer.subscribe(b)
+        explicit = __import__(
+            "repro.core", fromlist=["EventModifier"]
+        ).EventModifier.EXPLICIT
         occurrence = producer._make_occurrence(
-            "manual", __import__("repro.core", fromlist=["EventModifier"]).EventModifier.EXPLICIT,
-            (), {}, {}, None,
+            "manual", explicit, (), {}, {}, None,
         )
         assert producer.notify_consumers(occurrence) == 2
 

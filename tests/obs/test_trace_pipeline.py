@@ -192,7 +192,9 @@ class TestCouplingModes:
         assert all(a.kind != "txn" for a in _ancestors(rule, spans))
         # Both the triggering commit and the decoupled rule's own
         # transaction appear on the timeline.
-        commits = [s for s in spans if s.kind == "txn" and s.attrs.get("op") == "commit"]
+        commits = [
+            s for s in spans if s.kind == "txn" and s.attrs.get("op") == "commit"
+        ]
         assert len(commits) == 2
 
     def test_wal_span_nests_under_commit(self, sentinel_db):

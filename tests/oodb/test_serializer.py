@@ -53,7 +53,8 @@ class TestScalars:
 
 class TestContainers:
     def test_list(self, serializer):
-        assert serializer.decode_value(serializer.encode_value([1, "a", None])) == [1, "a", None]
+        value = [1, "a", None]
+        assert serializer.decode_value(serializer.encode_value(value)) == value
 
     def test_nested_list(self, serializer):
         value = [[1, [2, [3]]], []]
@@ -84,7 +85,8 @@ class TestContainers:
 
 class TestSpecialTypes:
     def test_bytes(self, serializer):
-        assert serializer.decode_value(serializer.encode_value(b"\x00\xffbin")) == b"\x00\xffbin"
+        blob = b"\x00\xffbin"
+        assert serializer.decode_value(serializer.encode_value(blob)) == blob
 
     def test_datetime(self, serializer):
         value = dt.datetime(2026, 7, 5, 12, 30, 15)
@@ -98,7 +100,8 @@ class TestSpecialTypes:
         assert serializer.decode_value(serializer.encode_value(Oid(17))) == Oid(17)
 
     def test_enum(self, serializer):
-        assert serializer.decode_value(serializer.encode_value(Color.BLUE)) is Color.BLUE
+        decoded = serializer.decode_value(serializer.encode_value(Color.BLUE))
+        assert decoded is Color.BLUE
 
     def test_module_level_function(self, serializer):
         restored = serializer.decode_value(
