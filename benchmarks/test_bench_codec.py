@@ -1,0 +1,174 @@
+"""Record codec benchmarks: struct-packed format vs tagged JSON.
+
+The timed series behind ``BENCH_codec.json`` (see ``report.py CODEC``)
+plus fast shape tests asserting that schema'd classes actually take the
+packed path, that both formats round-trip identically, and that packed
+payloads are smaller — these run in CI with ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.oodb import Database, Persistent, codec
+from repro.oodb.oid import Oid
+from repro.oodb.schema import ClassRegistry
+
+registry = ClassRegistry()
+
+
+class PackedEvt(Persistent, registry=registry):
+    _p_schema = [
+        ("seq", "int"),
+        ("score", "float"),
+        ("active", "bool"),
+        ("label", "str:24"),
+        ("ref", "oid"),
+        ("stamp", "datetime"),
+    ]
+
+
+class JsonEvt(Persistent, registry=registry):
+    pass
+
+
+POPULATION = 500
+
+
+def _populate(cls: type, n: int):
+    obj = cls()
+    obj.__dict__.update(
+        seq=n,
+        score=n * 0.5,
+        active=n % 2 == 0,
+        label=f"evt-{n:06d}",
+        ref=Oid(n + 1),
+        stamp=dt.datetime(2026, 1, 1) + dt.timedelta(seconds=n),
+    )
+    return obj
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(str(tmp_path / "db"), registry=registry, sync=False)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def serializer(db):
+    return db.serializer
+
+
+def _payload_pairs(serializer, count=POPULATION):
+    schema = codec.schema_for(PackedEvt)
+    assert schema is not None
+    packed = [
+        serializer.encode_packed_payload(n + 1, _populate(PackedEvt, n), schema)
+        for n in range(count)
+    ]
+    json_side = [
+        serializer.record_with_oid(
+            n + 1,
+            serializer.record_to_json(
+                serializer.encode_object(_populate(JsonEvt, n))
+            ),
+        )
+        for n in range(count)
+    ]
+    return packed, json_side
+
+
+def test_encode_packed(benchmark, serializer):
+    benchmark.group = "CODEC write path"
+    benchmark.name = f"encode packed ({POPULATION} records)"
+    schema = codec.schema_for(PackedEvt)
+    objs = [_populate(PackedEvt, n) for n in range(POPULATION)]
+
+    def run():
+        return [
+            serializer.encode_packed_payload(n + 1, obj, schema)
+            for n, obj in enumerate(objs)
+        ]
+
+    payloads = benchmark.pedantic(run, rounds=20)
+    assert all(codec.is_packed(p) for p in payloads)
+
+
+def test_encode_json(benchmark, serializer):
+    benchmark.group = "CODEC write path"
+    benchmark.name = f"encode json ({POPULATION} records)"
+    objs = [_populate(JsonEvt, n) for n in range(POPULATION)]
+
+    def run():
+        return [
+            serializer.record_with_oid(
+                n + 1,
+                serializer.record_to_json(serializer.encode_object(obj)),
+            )
+            for n, obj in enumerate(objs)
+        ]
+
+    payloads = benchmark.pedantic(run, rounds=20)
+    assert not any(codec.is_packed(p) for p in payloads)
+
+
+def test_decode_packed(benchmark, serializer):
+    benchmark.group = "CODEC read path"
+    benchmark.name = f"decode packed to live objects ({POPULATION} records)"
+    packed, _ = _payload_pairs(serializer)
+
+    def run():
+        return [
+            serializer.decode_object(serializer.record_from_payload(p))
+            for p in packed
+        ]
+
+    objs = benchmark.pedantic(run, rounds=20)
+    assert objs[7].seq == 7 and type(objs[7].ref) is Oid
+
+
+def test_decode_json(benchmark, serializer):
+    benchmark.group = "CODEC read path"
+    benchmark.name = f"decode json to live objects ({POPULATION} records)"
+    _, json_side = _payload_pairs(serializer)
+
+    def run():
+        return [
+            serializer.decode_object(serializer.record_from_payload(p))
+            for p in json_side
+        ]
+
+    objs = benchmark.pedantic(run, rounds=20)
+    assert objs[7].seq == 7 and type(objs[7].ref) is Oid
+
+
+def test_formats_agree(serializer):
+    """Twin records decode to identical attributes, type-exactly."""
+    packed, json_side = _payload_pairs(serializer, count=50)
+    for pp, jp in zip(packed, json_side):
+        a = serializer.decode_object(serializer.record_from_payload(pp))
+        b = serializer.decode_object(serializer.record_from_payload(jp))
+        attrs_a = {k: v for k, v in vars(a).items() if not k.startswith("_p_")}
+        attrs_b = {k: v for k, v in vars(b).items() if not k.startswith("_p_")}
+        assert attrs_a == attrs_b
+        assert all(type(attrs_a[k]) is type(attrs_b[k]) for k in attrs_a)
+
+
+def test_packed_is_smaller(serializer):
+    packed, json_side = _payload_pairs(serializer, count=50)
+    assert sum(map(len, packed)) < sum(map(len, json_side))
+
+
+def test_hash_beats_btree_probe(db):
+    """The planner routes point lookups to the hash index once present."""
+    with db.transaction():
+        for n in range(POPULATION):
+            db.add(_populate(PackedEvt, n))
+    db.create_index(PackedEvt, "label")
+    db.create_index(PackedEvt, "label", kind="hash")
+    plan = db.query(PackedEvt).where_eq("label", "evt-000007").explain()
+    assert plan.access_path == "hash_eq"
+    assert db.query(PackedEvt).where_eq("label", "evt-000007").all()[0].seq == 7

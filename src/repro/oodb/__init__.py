@@ -22,6 +22,7 @@ Quick use::
 """
 
 from .buffer import BufferPool, BufferStats
+from .codec import RecordSchema, compile_schema
 from .database import Database, RootMap
 from .errors import (
     DatabaseClosed,
@@ -40,7 +41,8 @@ from .errors import (
     UnregisteredClass,
     WALError,
 )
-from .index import BTree, IndexDefinition, IndexManager
+from .hashindex import ExtendibleHashIndex, HashIndexStats
+from .index import INDEX_KINDS, BTree, IndexDefinition, IndexManager
 from .locks import LockManager, LockMode
 from .oid import NULL_OID, Oid, OidAllocator
 from .query import Query
@@ -63,8 +65,13 @@ __all__ = [
     "TransactionStatus",
     "Query",
     "BTree",
+    "ExtendibleHashIndex",
+    "HashIndexStats",
     "IndexDefinition",
     "IndexManager",
+    "INDEX_KINDS",
+    "RecordSchema",
+    "compile_schema",
     "LockManager",
     "LockMode",
     "BufferPool",

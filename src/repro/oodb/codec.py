@@ -1,0 +1,679 @@
+"""Struct-packed binary record codec.
+
+Classes may declare a ``_p_schema``: an ordered mapping of attribute name
+to a type spec (``"int"``, ``"float"``, ``"bool"``, ``"str:<max-bytes>"``,
+``"oid"``, ``"datetime"``).  Schema'd attributes are packed with
+:mod:`struct` into a fixed-layout region; everything else — dynamic
+attributes, ``None``, out-of-range ints, over-long strings, aware
+datetimes — falls back to the existing tagged-JSON encoding in a trailing
+*dynamic* region.  The result is one compact byte string per record that
+the heap and the WAL store as-is.
+
+Layout of a packed record payload::
+
+    u8   format tag (0x01; legacy JSON records start with '{' = 0x7B)
+    u8   codec version (1)
+    u32  schema fingerprint (crc32 over the canonical schema spec)
+    u32  body checksum (crc32 over everything after this field)
+    u64  oid
+    u16  class-name length, then that many UTF-8 bytes
+    ...  presence bitmap, one bit per schema field (set = packed)
+    ...  fixed region: struct.pack of every schema field (zeroes when
+         the bit is clear — offsets stay constant)
+    u32  dynamic length, then that many bytes of tagged-JSON attrs
+
+Records in both formats coexist in the same heap file and WAL because the
+first payload byte disambiguates them; :func:`record_meta` peeks the OID
+and class name of either format without a full decode.
+
+The fingerprint pins the layout: decoding a packed record with a class
+whose ``_p_schema`` has changed raises a clear
+:class:`~repro.oodb.errors.SerializationError` instead of misreading
+offsets.  The body checksum turns corruption and truncation into the same
+clear error — never silently-wrong attribute values.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import struct
+import zlib
+from typing import Any, Callable
+
+from .errors import SerializationError
+from .oid import Oid
+
+__all__ = [
+    "FieldSpec",
+    "RecordSchema",
+    "PACKED_FORMAT",
+    "schema_for",
+    "compile_schema",
+    "encode_packed",
+    "decode_packed",
+    "record_meta",
+    "is_packed",
+    "jsonable_record",
+]
+
+#: First payload byte of a packed record.  Legacy JSON records begin with
+#: ``{`` (0x7B), so a single byte distinguishes the formats.
+PACKED_FORMAT = 0x01
+
+_CODEC_VERSION = 1
+
+#: Fixed part of the header: tag, version, fingerprint, body crc, oid,
+#: class-name length.
+_HEADER = struct.Struct("<BBIIQH")
+_DYN_LEN = struct.Struct("<I")
+_HEAD = struct.Struct("<BBII")
+_OID_NAME = struct.Struct("<QH")
+
+#: Where the checksummed body begins: right after tag, version,
+#: fingerprint, and the crc field itself.
+_BODY_OFFSET = _HEAD.size
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+_U64_MAX = 2**64 - 1
+_MICROS_PER_DAY = 86_400_000_000
+_DT_MIN = _dt.datetime.min  # 0001-01-01 00:00, ordinal 1
+
+_TYPE_FORMATS: dict[str, str] = {
+    "int": "q",
+    "float": "d",
+    "bool": "B",
+    "oid": "Q",
+    "datetime": "q",
+}
+
+# Values a schema field contributes to the fixed struct: strings pack as
+# (length, padded bytes), everything else as a single value.
+_SLOTS_PER_TYPE: dict[str, int] = {
+    "int": 1,
+    "float": 1,
+    "bool": 1,
+    "oid": 1,
+    "datetime": 1,
+    "str": 2,
+}
+
+_ZEROS: dict[str, tuple[Any, ...]] = {
+    "int": (0,),
+    "float": (0.0,),
+    "bool": (0,),
+    "oid": (0,),
+    "datetime": (0,),
+}
+
+_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True)
+
+
+class FieldSpec:
+    """One compiled ``_p_schema`` entry."""
+
+    __slots__ = ("name", "type", "max_len", "slot", "bit", "mask")
+
+    def __init__(
+        self, name: str, type_: str, max_len: int, slot: int, bit: int
+    ) -> None:
+        self.name = name
+        self.type = type_
+        self.max_len = max_len  # str only; 0 otherwise
+        self.slot = slot  # first value index in the unpacked tuple
+        self.bit = bit  # position in the presence bitmap
+        self.mask = 1 << bit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        spec = f"str:{self.max_len}" if self.type == "str" else self.type
+        return f"FieldSpec({self.name!r}, {spec!r})"
+
+
+class RecordSchema:
+    """The compiled fixed layout for one persistent class."""
+
+    __slots__ = (
+        "class_name",
+        "class_bytes",
+        "fields",
+        "field_index",
+        "fingerprint",
+        "packer",
+        "bitmap_size",
+        "fixed_size",
+        "zero_slots",
+        "full_mask",
+        "fast_decode",
+        "fast_encode",
+    )
+
+    def __init__(self, class_name: str, fields: list[FieldSpec]) -> None:
+        self.class_name = class_name
+        self.class_bytes = class_name.encode("utf-8")
+        self.fields = fields
+        self.field_index = {f.name: f for f in fields}
+        canonical = tuple(
+            (f.name, f"str:{f.max_len}" if f.type == "str" else f.type)
+            for f in fields
+        )
+        self.fingerprint = zlib.crc32(repr(canonical).encode())
+        fmt = "<"
+        zero: list[Any] = []
+        for field in fields:
+            if field.type == "str":
+                fmt += f"H{field.max_len}s"
+                zero.append(0)
+                zero.append(b"")
+            else:
+                fmt += _TYPE_FORMATS[field.type]
+                zero.extend(_ZEROS[field.type])
+        self.packer = struct.Struct(fmt)
+        self.bitmap_size = (len(fields) + 7) // 8
+        self.fixed_size = self.packer.size
+        # Encode-time template: copied with ``list()`` per record so the
+        # hot path never rebuilds the all-absent slot layout.
+        self.zero_slots = tuple(zero)
+        self.full_mask = (1 << len(fields)) - 1
+        self.fast_decode = _compile_fast_decode(fields)
+        self.fast_encode = _compile_fast_encode(fields)
+
+
+def _bad_str_length(name: str, length: int, max_len: int) -> None:
+    raise _corrupt(
+        f"string field {name!r} claims {length} bytes, max is {max_len}"
+    )
+
+
+def _compile_fast_decode(
+    fields: list[FieldSpec],
+) -> Callable[[tuple[Any, ...], dict[str, Any]], None]:
+    """Generate the every-field-present decoder for one schema.
+
+    The generic decode loop pays a Python-level type dispatch per field
+    per record; for the common case — every schema'd attribute packed —
+    a purpose-built function with the field names and slot indexes baked
+    in (the ``namedtuple`` technique) converts the whole record in
+    straight-line code.  Field names appear only as ``repr`` string
+    literals (dict keys), never as identifiers.
+    """
+    lines = ["def fast(slots, attrs):"]
+    for f in fields:
+        slot = f.slot
+        if f.type == "str":
+            lines.append(f"    length = slots[{slot}]")
+            lines.append(
+                f"    if length > {f.max_len}:"
+                f" _bad({f.name!r}, length, {f.max_len})"
+            )
+            lines.append(
+                f"    attrs[{f.name!r}] ="
+                f" slots[{slot + 1}][:length].decode('utf-8')"
+            )
+        elif f.type == "oid":
+            # The ``<Q`` slot is a non-negative int by construction, so
+            # skip the dataclass ctor (and its redundant validation):
+            # allocate + set the frozen slot directly.
+            lines.append("    ref = _new(_Oid)")
+            lines.append(f"    _set(ref, 'value', slots[{slot}])")
+            lines.append(f"    attrs[{f.name!r}] = ref")
+        elif f.type == "datetime":
+            lines.append(
+                f"    attrs[{f.name!r}] ="
+                f" _DT_MIN + _td(microseconds=slots[{slot}] - _DAY)"
+            )
+        elif f.type == "bool":
+            lines.append(f"    attrs[{f.name!r}] = slots[{slot}] != 0")
+        else:
+            lines.append(f"    attrs[{f.name!r}] = slots[{slot}]")
+    namespace: dict[str, Any] = {
+        "_Oid": Oid,
+        "_new": object.__new__,
+        "_set": object.__setattr__,
+        "_DT_MIN": _DT_MIN,
+        "_td": _dt.timedelta,
+        "_DAY": _MICROS_PER_DAY,
+        "_bad": _bad_str_length,
+    }
+    exec("\n".join(lines), namespace)  # noqa: S102 - static codegen
+    fast: Callable[[tuple[Any, ...], dict[str, Any]], None] = namespace[
+        "fast"
+    ]
+    return fast
+
+
+def _compile_fast_encode(
+    fields: list[FieldSpec],
+) -> Callable[..., tuple[int, dict[str, Any] | None]]:
+    """Generate the attribute-walking encoder for one schema.
+
+    Same technique as :func:`_compile_fast_decode`, applied to the write
+    path: the per-attribute ``field_index`` lookup and the per-field type
+    dispatch in ``_pack_field`` are baked into an ``if``/``elif`` chain
+    over the schema's (interned) attribute names, with the slot indexes
+    and bitmap masks as literals.  An attribute that matches a field name
+    but fails its type/range check falls through to the dynamic region,
+    exactly like the generic path.  Returns ``(bitmap, dynamic_or_None)``.
+    """
+    lines = [
+        "def fast(items, slots, transient, encode_dynamic):",
+        "    bitmap = 0",
+        "    dynamic = None",
+        "    for name, value in items:",
+        # Schema fields can never be named ``_p_*`` (compile_schema
+        # rejects them), so the bookkeeping-attr skip goes first.
+        "        if name.startswith('_p_'):",
+        "            continue",
+    ]
+    branch = "if"
+    for f in fields:
+        slot = f.slot
+        lines.append(f"        {branch} name == {f.name!r}:")
+        branch = "elif"
+        if f.type == "str":
+            lines.append(
+                "            if value.__class__ is str"
+                " and name not in transient:"
+            )
+            lines.append("                raw = value.encode('utf-8')")
+            lines.append(f"                if len(raw) <= {f.max_len}:")
+            lines.append(f"                    slots[{slot}] = len(raw)")
+            lines.append(f"                    slots[{slot + 1}] = raw")
+            lines.append(f"                    bitmap |= {f.mask}")
+            lines.append("                    continue")
+            continue
+        if f.type == "int":
+            lines.append(
+                f"            if value.__class__ is int and"
+                f" {_I64_MIN} <= value <= {_I64_MAX} and"
+                f" name not in transient:"
+            )
+            lines.append(f"                slots[{slot}] = value")
+        elif f.type == "float":
+            lines.append(
+                "            if value.__class__ is float"
+                " and name not in transient:"
+            )
+            lines.append(f"                slots[{slot}] = value")
+        elif f.type == "bool":
+            lines.append(
+                "            if value.__class__ is bool"
+                " and name not in transient:"
+            )
+            lines.append(f"                slots[{slot}] = 1 if value else 0")
+        elif f.type == "oid":
+            lines.append(
+                f"            if value.__class__ is _Oid and"
+                f" 0 <= value.value <= {_U64_MAX} and"
+                f" name not in transient:"
+            )
+            lines.append(f"                slots[{slot}] = value.value")
+        else:  # datetime
+            lines.append(
+                "            if value.__class__ is _datetime and"
+                " value.tzinfo is None and value.fold == 0 and"
+                " name not in transient:"
+            )
+            lines.append(
+                f"                slots[{slot}] ="
+                f" value.toordinal() * {_MICROS_PER_DAY} +"
+                " value.hour * 3600000000 +"
+                " value.minute * 60000000 +"
+                " value.second * 1000000 + value.microsecond"
+            )
+        lines.append(f"                bitmap |= {f.mask}")
+        lines.append("                continue")
+    lines.append("        if name in transient:")
+    lines.append("            continue")
+    lines.append("        if dynamic is None:")
+    lines.append("            dynamic = {}")
+    lines.append("        dynamic[name] = encode_dynamic(name, value)")
+    lines.append("    return bitmap, dynamic")
+    namespace: dict[str, Any] = {
+        "_Oid": Oid,
+        "_datetime": _dt.datetime,
+    }
+    exec("\n".join(lines), namespace)  # noqa: S102 - static codegen
+    fast: Callable[..., tuple[int, dict[str, Any] | None]] = namespace["fast"]
+    return fast
+
+
+def _parse_spec(name: str, spec: object) -> tuple[str, int]:
+    if not isinstance(spec, str):
+        raise SerializationError(
+            f"_p_schema entry {name!r} must be a type-spec string, "
+            f"got {type(spec).__name__}"
+        )
+    if spec in _TYPE_FORMATS:
+        return spec, 0
+    if spec.startswith("str:"):
+        try:
+            max_len = int(spec[4:])
+        except ValueError:
+            max_len = -1
+        if max_len <= 0 or max_len > 0xFFFF:
+            raise SerializationError(
+                f"_p_schema entry {name!r}: bad string spec {spec!r}; "
+                "expected 'str:<max-bytes>' with 1 <= max <= 65535"
+            )
+        return "str", max_len
+    raise SerializationError(
+        f"_p_schema entry {name!r}: unknown type spec {spec!r}; expected "
+        "one of int, float, bool, oid, datetime, or str:<max-bytes>"
+    )
+
+
+def compile_schema(class_name: str, declared: Any) -> RecordSchema:
+    """Compile a raw ``_p_schema`` declaration into a :class:`RecordSchema`.
+
+    ``declared`` is a mapping (or sequence of pairs) of attribute name to
+    type spec; declaration order fixes the physical layout.
+    """
+    if hasattr(declared, "items"):
+        pairs = list(declared.items())
+    else:
+        try:
+            pairs = [(name, spec) for name, spec in declared]
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"_p_schema of {class_name} must be a mapping or a "
+                f"sequence of (name, spec) pairs: {exc}"
+            ) from exc
+    if not pairs:
+        raise SerializationError(
+            f"_p_schema of {class_name} is empty; omit it instead"
+        )
+    fields: list[FieldSpec] = []
+    slot = 0
+    seen: set[str] = set()
+    for name, spec in pairs:
+        if not isinstance(name, str) or not name or name.startswith("_p_"):
+            raise SerializationError(
+                f"_p_schema of {class_name}: invalid attribute name {name!r}"
+            )
+        if name in seen:
+            raise SerializationError(
+                f"_p_schema of {class_name}: duplicate attribute {name!r}"
+            )
+        seen.add(name)
+        type_, max_len = _parse_spec(name, spec)
+        fields.append(FieldSpec(name, type_, max_len, slot, len(fields)))
+        slot += _SLOTS_PER_TYPE[type_]
+    return RecordSchema(class_name, fields)
+
+
+# Compiled-schema cache, keyed by class.  ``None`` marks classes without a
+# schema so the lookup is one dict hit on the hot path either way.
+_schema_cache: dict[type[Any], RecordSchema | None] = {}
+
+
+def schema_for(cls: type[Any]) -> RecordSchema | None:
+    """The compiled schema of ``cls`` (inherited declarations included)."""
+    cached = _schema_cache.get(cls, False)
+    if cached is not False:
+        return cached  # type: ignore[return-value]
+    declared = getattr(cls, "_p_schema", None)
+    schema: RecordSchema | None = None
+    if declared is not None:
+        class_name = getattr(cls, "_p_class_name", cls.__name__)
+        schema = compile_schema(class_name, declared)
+    _schema_cache[cls] = schema
+    return schema
+
+
+def _clear_schema_cache() -> None:
+    """Testing aid: forget compiled schemas (e.g. after class redefinition)."""
+    _schema_cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_packed(
+    oid_value: int,
+    obj: Any,
+    schema: RecordSchema,
+    transient: frozenset[str],
+    encode_dynamic: Callable[[str, Any], Any],
+) -> bytes:
+    """Encode ``obj`` into a packed record payload.
+
+    ``encode_dynamic(name, value)`` must return the tagged-JSON form of a
+    value that cannot be packed (it is the serializer's ``encode_value``
+    with error context added) — persistence by reachability happens there.
+    """
+    slots = list(schema.zero_slots)
+    bitmap, dynamic = schema.fast_encode(
+        vars(obj).items(), slots, transient, encode_dynamic
+    )
+    if dynamic is not None:
+        dyn_bytes = _ENCODER.encode(dynamic).encode()
+    else:
+        dyn_bytes = b""
+    class_bytes = schema.class_bytes
+    body = b"".join(
+        (
+            _OID_NAME.pack(oid_value, len(class_bytes)),
+            class_bytes,
+            bitmap.to_bytes(schema.bitmap_size, "little"),
+            schema.packer.pack(*slots),
+            _DYN_LEN.pack(len(dyn_bytes)),
+            dyn_bytes,
+        )
+    )
+    head = _HEAD.pack(
+        PACKED_FORMAT,
+        _CODEC_VERSION,
+        schema.fingerprint,
+        zlib.crc32(body),
+    )
+    return head + body
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def is_packed(payload: bytes) -> bool:
+    """True when ``payload`` is in the packed format (vs legacy JSON)."""
+    return bool(payload) and payload[0] == PACKED_FORMAT
+
+
+def _corrupt(reason: str) -> SerializationError:
+    return SerializationError(f"corrupt packed record: {reason}")
+
+
+def _parse_header(payload: bytes) -> tuple[int, int, int, str, int]:
+    """``(fingerprint, body_crc, oid, class_name, offset_after_name)``."""
+    if len(payload) < _HEADER.size:
+        raise _corrupt(
+            f"truncated header ({len(payload)} < {_HEADER.size} bytes)"
+        )
+    tag, version, fingerprint, body_crc, oid_value, name_len = _HEADER.unpack_from(
+        payload
+    )
+    if tag != PACKED_FORMAT:
+        raise _corrupt(f"bad format tag 0x{tag:02x}")
+    if version != _CODEC_VERSION:
+        raise _corrupt(f"unsupported codec version {version}")
+    offset = _HEADER.size
+    if len(payload) < offset + name_len:
+        raise _corrupt("truncated class name")
+    try:
+        class_name = payload[offset : offset + name_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise _corrupt(f"undecodable class name: {exc}") from None
+    return fingerprint, body_crc, oid_value, class_name, offset + name_len
+
+
+def _check_body(payload: bytes, body_crc: int) -> None:
+    # The body starts right after the fixed header prefix (tag, version,
+    # fingerprint, crc) — i.e. at the oid field.
+    if zlib.crc32(payload[_BODY_OFFSET:]) != body_crc:
+        raise _corrupt("body checksum mismatch (bit rot or truncation)")
+
+
+def record_meta(payload: bytes) -> tuple[int, str]:
+    """``(oid, class_name)`` of a record in either format, cheaply.
+
+    Packed records answer from the header alone; JSON records pay one
+    ``json.loads``.  Open-time scans use this so rebuilding the OID map
+    and the extents never decodes packed attribute data.
+    """
+    if is_packed(payload):
+        _fingerprint, body_crc, oid_value, class_name, _ = _parse_header(payload)
+        _check_body(payload, body_crc)
+        return oid_value, class_name
+    try:
+        record = json.loads(payload.decode())
+        return record["oid"], record["class"]
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SerializationError(f"corrupt record payload: {exc}") from exc
+
+
+def decode_packed(
+    payload: bytes, class_for_name: Callable[[str], type[Any]]
+) -> dict[str, Any]:
+    """Decode a packed payload into a record dict.
+
+    The result has the same shape as a decoded JSON record —
+    ``{"oid": ..., "class": ..., "attrs": {...}}`` — except that packed
+    fields appear as live values (``int``/``float``/``bool``/``str``/
+    :class:`Oid`/naive ``datetime``) rather than tagged forms.  Dynamic
+    attributes keep their tagged-JSON encoding; the serializer's
+    ``decode_object`` handles both.
+    """
+    # Header parsing is inlined (vs delegating to ``_parse_header``) —
+    # this function is the per-record read hot path.
+    if len(payload) < _HEADER.size:
+        raise _corrupt(
+            f"truncated header ({len(payload)} < {_HEADER.size} bytes)"
+        )
+    tag, version, fingerprint, body_crc, oid_value, name_len = _HEADER.unpack_from(
+        payload
+    )
+    if tag != PACKED_FORMAT:
+        raise _corrupt(f"bad format tag 0x{tag:02x}")
+    if version != _CODEC_VERSION:
+        raise _corrupt(f"unsupported codec version {version}")
+    offset = _HEADER.size + name_len
+    if len(payload) < offset:
+        raise _corrupt("truncated class name")
+    if zlib.crc32(payload[_BODY_OFFSET:]) != body_crc:
+        raise _corrupt("body checksum mismatch (bit rot or truncation)")
+    try:
+        class_name = payload[_HEADER.size : offset].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise _corrupt(f"undecodable class name: {exc}") from None
+    cls = class_for_name(class_name)
+    schema = schema_for(cls)
+    if schema is None:
+        raise SerializationError(
+            f"packed record for {class_name} but the class declares no "
+            "_p_schema; restore the schema declaration to read this store"
+        )
+    if schema.fingerprint != fingerprint:
+        raise SerializationError(
+            f"packed record fingerprint mismatch for {class_name}: the "
+            "stored layout differs from the class's current _p_schema "
+            "(changing a schema on a non-empty store is not supported)"
+        )
+    bitmap_end = offset + schema.bitmap_size
+    fixed_end = bitmap_end + schema.fixed_size
+    if len(payload) < fixed_end + _DYN_LEN.size:
+        raise _corrupt("truncated fixed region")
+    bitmap = int.from_bytes(payload[offset:bitmap_end], "little")
+    try:
+        slots = schema.packer.unpack_from(payload, bitmap_end)
+    except struct.error as exc:  # pragma: no cover - length checked above
+        raise _corrupt(str(exc)) from None
+    (dyn_len,) = _DYN_LEN.unpack_from(payload, fixed_end)
+    dyn_start = fixed_end + _DYN_LEN.size
+    if len(payload) != dyn_start + dyn_len:
+        raise _corrupt(
+            f"dynamic region length mismatch "
+            f"({len(payload) - dyn_start} != {dyn_len} bytes)"
+        )
+    attrs: dict[str, Any] = {}
+    if dyn_len:
+        try:
+            attrs = json.loads(payload[dyn_start:].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _corrupt(f"undecodable dynamic region: {exc}") from None
+    if bitmap == schema.full_mask:
+        schema.fast_decode(slots, attrs)
+        if not dyn_len:
+            # Every attribute came out of the fixed region, so every
+            # value is live by construction (scalar/str/Oid/datetime,
+            # nothing tagged): materialization may bulk-assign without
+            # inspecting a single value.
+            return {
+                "oid": oid_value,
+                "class": class_name,
+                "attrs": attrs,
+                "live": True,
+            }
+        return {"oid": oid_value, "class": class_name, "attrs": attrs}
+    for field in schema.fields:
+        if not bitmap & field.mask:
+            continue
+        slot = field.slot
+        type_ = field.type
+        if type_ == "str":
+            length = slots[slot]
+            raw = slots[slot + 1]
+            if length > field.max_len:
+                raise _corrupt(
+                    f"string field {field.name!r} claims {length} bytes, "
+                    f"max is {field.max_len}"
+                )
+            attrs[field.name] = raw[:length].decode("utf-8")
+        elif type_ == "oid":
+            attrs[field.name] = Oid(slots[slot])
+        elif type_ == "datetime":
+            # Ordinal 1 is 0001-01-01, so the proleptic offset is one day.
+            attrs[field.name] = _DT_MIN + _dt.timedelta(
+                microseconds=slots[slot] - _MICROS_PER_DAY
+            )
+        elif type_ == "bool":
+            attrs[field.name] = bool(slots[slot])
+        else:
+            attrs[field.name] = slots[slot]
+    return {"oid": oid_value, "class": class_name, "attrs": attrs}
+
+
+# ----------------------------------------------------------------------
+# JSON sanitization (WAL undo images, inspect tooling)
+# ----------------------------------------------------------------------
+def jsonable_record(record: dict[str, Any]) -> dict[str, Any]:
+    """A JSON-safe copy of a decoded record.
+
+    Packed decode leaves :class:`Oid` and ``datetime`` instances at the
+    top level of ``attrs``; WAL undo images must be JSON.  Converts them
+    back to their tagged forms (``$oid`` / ``$datetime``), leaving
+    everything else alone.  Returns the input unchanged (not copied)
+    when no conversion is needed.
+    """
+    attrs = record.get("attrs")
+    if not isinstance(attrs, dict):
+        return record
+    converted: dict[str, Any] | None = None
+    for name, value in attrs.items():
+        kind = value.__class__
+        if kind is Oid:
+            fixed: Any = {"$oid": value.value}
+        elif kind is _dt.datetime:
+            fixed = {"$datetime": value.isoformat()}
+        else:
+            continue
+        if converted is None:
+            converted = dict(attrs)
+        converted[name] = fixed
+    if converted is None and "live" not in record:
+        return record
+    out = dict(record)
+    # The "live" marker means "attrs hold live values"; it must not
+    # survive into a JSON image whose attrs are tagged again.
+    out.pop("live", None)
+    if converted is not None:
+        out["attrs"] = converted
+    return out

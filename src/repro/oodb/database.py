@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from ..obs.metrics import metrics
+from . import codec
 from .buffer import BufferPool
 from .errors import (
     DatabaseClosed,
@@ -141,16 +142,27 @@ class Database:
 
     def _recover_and_load(self) -> RecoveryReport:
         assert self._heap is not None and self._wal is not None
-        # 1. Rebuild the OID -> record-id map from the heap.
+        # 1. Rebuild the OID -> record-id map from the heap.  One scan
+        # collects locations *and* class names: ``codec.record_meta``
+        # peeks the fixed header of packed records and parses JSON ones,
+        # so open never decodes packed attribute data.
         max_oid = 0
+        classes: dict[Oid, str] = {}
         for rid, payload in self._heap.scan():
-            record = Serializer.record_from_bytes(payload)
-            oid = Oid(record["oid"])
+            oid_value, class_name = codec.record_meta(payload)
+            oid = Oid(oid_value)
             self._locations[oid] = rid
-            max_oid = max(max_oid, oid.value)
+            classes[oid] = class_name
+            max_oid = max(max_oid, oid_value)
 
-        # 2. Replay the WAL over the heap (idempotent upserts).
-        report = replay(self._wal, self._apply_recovered_update)
+        # 2. Replay the WAL over the heap (idempotent upserts), keeping
+        # the class map in step with inserts and deletes.
+        report = replay(
+            self._wal,
+            lambda oid_value, redo: self._apply_recovered_update(
+                oid_value, redo, classes
+            ),
+        )
         max_oid = max(max_oid, report.max_oid_seen)
 
         # 3. Load the catalog (allocator high-water mark, roots, indexes).
@@ -160,11 +172,10 @@ class Database:
                 meta = json.load(handle)
         self.allocator = OidAllocator(max(meta.get("allocator", 1), max_oid + 1))
 
-        # 4. Rebuild extents from the heap.
-        for oid, rid in self._locations.items():
-            record = Serializer.record_from_bytes(self._heap.read(rid))
-            if record["class"] in self.registry:
-                self.extents.add(record["class"], oid)
+        # 4. Rebuild extents from the post-replay class map.
+        for oid, class_name in classes.items():
+            if oid in self._locations and class_name in self.registry:
+                self.extents.add(class_name, oid)
 
         # 5. Recreate and rebuild indexes.
         for entry in meta.get("indexes", []):
@@ -190,7 +201,10 @@ class Database:
         return report
 
     def _apply_recovered_update(
-        self, oid_value: int, redo: dict[str, Any] | None
+        self,
+        oid_value: int,
+        redo: dict[str, Any] | bytes | None,
+        classes: dict[Oid, str] | None = None,
     ) -> None:
         assert self._heap is not None
         oid = Oid(oid_value)
@@ -199,12 +213,23 @@ class Database:
             if rid is not None:
                 self._heap.delete(rid)
                 del self._locations[oid]
+            if classes is not None:
+                classes.pop(oid, None)
             return
-        payload = Serializer.record_to_bytes({"oid": oid.value, **redo})
+        if isinstance(redo, bytes):
+            # Binary WAL entry: the redo image *is* the packed heap
+            # payload — write it back verbatim.
+            payload = redo
+            class_name = codec.record_meta(payload)[1]
+        else:
+            payload = Serializer.record_to_bytes({"oid": oid.value, **redo})
+            class_name = redo["class"]
         if rid is None:
             self._locations[oid] = self._heap.insert(payload)
         else:
             self._locations[oid] = self._heap.update(rid, payload)
+        if classes is not None:
+            classes[oid] = class_name
 
     def _rebuild_indexes(self) -> None:
         self.indexes.clear()
@@ -340,7 +365,7 @@ class Database:
                 )
                 for rid, oid in located:
                     self._materialize(
-                        oid, Serializer.record_from_bytes(payloads[rid])
+                        oid, self.serializer.record_from_payload(payloads[rid])
                     )
         return [self.fetch(oid) for oid in oids]
 
@@ -365,12 +390,14 @@ class Database:
     def _stored_record(self, oid: Oid) -> dict[str, Any] | None:
         if self._in_memory:
             payload = self._memory_records.get(oid)
-            return None if payload is None else Serializer.record_from_bytes(payload)
+            if payload is None:
+                return None
+            return self.serializer.record_from_payload(payload)
         rid = self._locations.get(oid)
         if rid is None:
             return None
         assert self._heap is not None
-        return Serializer.record_from_bytes(self._heap.read(rid))
+        return self.serializer.record_from_payload(self._heap.read(rid))
 
     # ------------------------------------------------------------------
     # Change-tracking hooks (called from Persistent.__setattr__)
@@ -470,31 +497,47 @@ class Database:
     def _apply_commit(self, txn: Transaction) -> None:
         # Serializing touched objects can pull in newly-reachable objects
         # (persistence by reachability), so iterate to a fixed point.
-        # Each record is JSON-encoded exactly once; the WAL and the heap
-        # both reuse the encoded string.
-        redo: dict[Oid, dict[str, Any]] = {}
-        encoded: dict[Oid, str] = {}
+        # Each record is encoded exactly once — classes with a ``_p_schema``
+        # to their packed binary payload, the rest to a JSON string — and
+        # the WAL and the heap both reuse the encoded form.
+        payloads: dict[Oid, bytes] = {}
+        wal_redo: dict[Oid, str | bytes] = {}
         while True:
             pending = [
                 (oid, obj)
                 for oid, obj in txn._touched.items()
-                if oid not in redo
+                if oid not in payloads
             ]
             if not pending:
                 break
             for oid, obj in pending:
-                record = self.serializer.encode_object(obj)
-                redo[oid] = record
-                encoded[oid] = Serializer.record_to_json(record)
+                schema = codec.schema_for(type(obj))
+                if schema is not None:
+                    packed = self.serializer.encode_packed_payload(
+                        oid.value, obj, schema
+                    )
+                    payloads[oid] = packed
+                    wal_redo[oid] = packed
+                else:
+                    record = self.serializer.encode_object(obj)
+                    encoded = Serializer.record_to_json(record)
+                    payloads[oid] = Serializer.record_with_oid(oid.value, encoded)
+                    wal_redo[oid] = encoded
 
-        if not redo and not txn._deleted:
+        if not payloads and not txn._deleted:
             return
 
         if self._wal is not None:
-            undo = txn._undo
+            # Undo images of packed records carry live Oid/datetime
+            # values; the log is JSON, so convert them to tagged form.
+            # (Recovery is redo-only — the undo image is informational.)
+            undo = {
+                oid: None if before is None else codec.jsonable_record(before)
+                for oid, before in txn._undo.items()
+            }
             if self.group_commit:
                 updates: list[Any] = [
-                    (oid.value, undo.get(oid), encoded[oid]) for oid in redo
+                    (oid.value, undo.get(oid), wal_redo[oid]) for oid in payloads
                 ]
                 updates.extend(
                     (oid.value, undo.get(oid), None) for oid in txn._deleted
@@ -502,8 +545,10 @@ class Database:
                 self._wal.log_transaction(txn.id, updates)
             else:
                 self._wal.log_begin(txn.id)
-                for oid, record in redo.items():
-                    self._wal.log_update(txn.id, oid.value, undo.get(oid), record)
+                for oid in payloads:
+                    self._wal.log_update(
+                        txn.id, oid.value, undo.get(oid), wal_redo[oid]
+                    )
                 for oid in txn._deleted:
                     self._wal.log_update(txn.id, oid.value, undo.get(oid), None)
                 self._wal.log_commit(txn.id)
@@ -519,8 +564,7 @@ class Database:
             if rid is not None:
                 assert self._heap is not None
                 self._heap.delete(rid)
-        for oid in redo:
-            payload = Serializer.record_with_oid(oid.value, encoded[oid])
+        for oid, payload in payloads.items():
             if self._in_memory:
                 self._memory_records[oid] = payload
                 continue
@@ -611,14 +655,24 @@ class Database:
         return Query(self, cls, include_subclasses)
 
     def create_index(
-        self, cls: type | str, attribute: str, unique: bool = False
+        self,
+        cls: type | str,
+        attribute: str,
+        unique: bool = False,
+        kind: str = "btree",
     ) -> None:
-        """Create a B-tree index and build it from the current extent."""
+        """Create a secondary index and build it from the current extent.
+
+        ``kind`` selects the structure: ``"btree"`` (the default; serves
+        equality, ranges, and ordered streaming) or ``"hash"`` (extendible
+        hashing; equality only, cheaper point lookups — the planner costs
+        them accordingly).
+        """
         if isinstance(cls, str):
             class_name = cls
         else:
             class_name = cls._p_class_name  # type: ignore[attr-defined]
-        definition = IndexDefinition(class_name, attribute, unique)
+        definition = IndexDefinition(class_name, attribute, unique, kind)
         self.indexes.create(definition)
         for oid in self.extents.of(class_name):
             obj = self.fetch(oid)
@@ -741,6 +795,7 @@ class Database:
                     "class_name": d.class_name,
                     "attribute": d.attribute,
                     "unique": d.unique,
+                    "kind": d.kind,
                 }
                 for d in self.indexes.definitions()
             ],

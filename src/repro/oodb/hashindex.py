@@ -1,0 +1,312 @@
+"""Extendible hash index for equality-only attribute lookups.
+
+The classic Fagin et al. structure: a *directory* of ``2**global_depth``
+slots points at *buckets*, each holding up to ``bucket_capacity`` distinct
+keys and carrying a ``local_depth <= global_depth``.  A key lands in the
+bucket its hash's low ``global_depth`` bits select.  When a bucket
+overflows it **splits** — its entries are redistributed on one more hash
+bit — and if the bucket was already at the directory's depth, the
+directory **doubles** first.  Several directory slots may share a bucket
+(exactly ``2**(global_depth - local_depth)`` of them), so the directory
+grows gracefully: one overflowing bucket never forces every bucket to
+split.
+
+A point probe is one hash plus one directory load plus one in-bucket
+dict lookup — O(1), versus O(log n) node descents for the B-tree, which
+is why the query planner's cost model prefers a hash index for ``==``
+filters.  The structure is *unordered*: range scans and ``order_by``
+streaming stay with the B-tree, and the planner never chooses a hash
+index for them.
+
+Like the B-tree, the index lives in memory and is rebuilt from the heap
+at open; ``bucket_capacity`` plays the role of a page's slot count.
+Duplicate keys chain their values inside one bucket entry (capacity
+counts *distinct* keys), and a bucket whose keys all collide past
+``_MAX_DEPTH`` hash bits is allowed to overfill rather than double the
+directory forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .errors import DuplicateKey
+
+__all__ = ["ExtendibleHashIndex", "HashIndexStats"]
+
+_MISSING: Any = object()
+
+#: Directory-doubling ceiling: 2**20 slots.  Beyond this a pathological
+#: key set (every key equal in its low 20 hash bits) overfills a bucket
+#: instead of exhausting memory on directory copies.
+_MAX_DEPTH = 20
+
+_MASK64 = (1 << 64) - 1
+
+
+class HashIndexStats:
+    """Directory and bucket statistics (``inspect --stats`` reporting)."""
+
+    __slots__ = (
+        "global_depth",
+        "directory_size",
+        "bucket_count",
+        "bucket_capacity",
+        "entries",
+        "distinct_keys",
+        "max_bucket_keys",
+    )
+
+    def __init__(
+        self,
+        global_depth: int,
+        directory_size: int,
+        bucket_count: int,
+        bucket_capacity: int,
+        entries: int,
+        distinct_keys: int,
+        max_bucket_keys: int,
+    ) -> None:
+        self.global_depth = global_depth
+        self.directory_size = directory_size
+        self.bucket_count = bucket_count
+        self.bucket_capacity = bucket_capacity
+        self.entries = entries
+        self.distinct_keys = distinct_keys
+        self.max_bucket_keys = max_bucket_keys
+
+    @property
+    def avg_bucket_fill(self) -> float:
+        """Mean distinct keys per bucket as a fraction of capacity."""
+        if not self.bucket_count or not self.bucket_capacity:
+            return 0.0
+        return self.distinct_keys / (self.bucket_count * self.bucket_capacity)
+
+
+class _Bucket:
+    __slots__ = ("local_depth", "entries")
+
+    def __init__(self, local_depth: int) -> None:
+        self.local_depth = local_depth
+        self.entries: dict[Any, list[Any]] = {}
+
+
+class ExtendibleHashIndex:
+    """An extendible hash table mapping attribute values to OID lists.
+
+    The surface mirrors :class:`~repro.oodb.index.BTree` where the two
+    overlap (``insert`` / ``delete`` / ``search`` / ``count_key`` /
+    ``key_count`` / ``__len__`` / ``__contains__`` /
+    ``check_invariants``), so :class:`~repro.oodb.index.IndexManager`
+    maintains either structure through one code path.  Ordered methods
+    (``range`` and friends) are deliberately absent.
+    """
+
+    def __init__(self, bucket_capacity: int = 64, unique: bool = False) -> None:
+        if bucket_capacity < 1:
+            raise ValueError("bucket capacity must be >= 1")
+        self._capacity = bucket_capacity
+        self._unique = unique
+        self._global_depth = 0
+        bucket = _Bucket(0)
+        self._directory: list[_Bucket] = [bucket]
+        self._size = 0
+        self._distinct = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hash(key: Any) -> int:
+        return hash(key) & _MASK64
+
+    def _bucket_for(self, key: Any) -> _Bucket:
+        return self._directory[self._hash(key) & ((1 << self._global_depth) - 1)]
+
+    def search(self, key: Any) -> list[Any]:
+        """Return the values stored under ``key`` (empty list if absent)."""
+        values = self._bucket_for(key).entries.get(key)
+        return list(values) if values else []
+
+    def count_key(self, key: Any) -> int:
+        """Number of values stored under ``key`` without copying them."""
+        values = self._bucket_for(key).entries.get(key)
+        return len(values) if values else 0
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._bucket_for(key).entries
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        """Number of distinct keys currently in the index."""
+        return self._distinct
+
+    @property
+    def global_depth(self) -> int:
+        return self._global_depth
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Every ``(key, value)`` pair, in no particular order."""
+        seen: set[int] = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            for key, values in bucket.entries.items():
+                for value in values:
+                    yield key, value
+
+    def keys(self) -> Iterator[Any]:
+        """Every distinct key, in no particular order."""
+        seen: set[int] = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield from bucket.entries
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Add ``value`` under ``key``, splitting buckets as needed."""
+        bucket = self._bucket_for(key)
+        values = bucket.entries.get(key)
+        if values is not None:
+            if self._unique:
+                raise DuplicateKey(f"duplicate key {key!r} in unique index")
+            values.append(value)
+            self._size += 1
+            return
+        bucket.entries[key] = [value]
+        self._size += 1
+        self._distinct += 1
+        # After a split at most one half can still be overfull (the two
+        # halves share capacity+1 keys); keep splitting that half.
+        while (
+            len(bucket.entries) > self._capacity
+            and bucket.local_depth < _MAX_DEPTH
+        ):
+            zero, one = self._split(bucket)
+            bucket = zero if len(zero.entries) >= len(one.entries) else one
+
+    def delete(self, key: Any, value: Any = _MISSING) -> bool:
+        """Remove ``value`` from ``key`` (or the whole key when omitted).
+
+        Returns True if something was removed.  Buckets are not merged on
+        underflow (the standard simplification; the index is rebuilt from
+        the heap at open anyway).
+        """
+        bucket = self._bucket_for(key)
+        values = bucket.entries.get(key)
+        if values is None:
+            return False
+        if value is _MISSING:
+            del bucket.entries[key]
+            self._size -= len(values)
+            self._distinct -= 1
+            return True
+        try:
+            values.remove(value)
+        except ValueError:
+            return False
+        self._size -= 1
+        if not values:
+            del bucket.entries[key]
+            self._distinct -= 1
+        return True
+
+    def _split(self, bucket: _Bucket) -> tuple[_Bucket, _Bucket]:
+        """Split ``bucket`` on one more hash bit; double the directory
+        first if the bucket is already at the directory's depth.  Returns
+        the two replacement buckets ``(zero, one)``."""
+        if bucket.local_depth == self._global_depth:
+            self._directory = self._directory + self._directory
+            self._global_depth += 1
+        new_depth = bucket.local_depth + 1
+        bit = 1 << bucket.local_depth
+        zero = _Bucket(new_depth)
+        one = _Bucket(new_depth)
+        for key, values in bucket.entries.items():
+            target = one if self._hash(key) & bit else zero
+            target.entries[key] = values
+        # Redirect every directory slot that pointed at the old bucket.
+        # Those slots are exactly the indexes congruent to the bucket's
+        # pattern modulo 2**old_depth; the new bit picks zero or one.
+        directory = self._directory
+        for i in range(len(directory)):
+            if directory[i] is bucket:
+                directory[i] = one if i & bit else zero
+        return zero, one
+
+    def clear(self) -> None:
+        self._global_depth = 0
+        self._directory = [_Bucket(0)]
+        self._size = 0
+        self._distinct = 0
+
+    # ------------------------------------------------------------------
+    # Statistics and invariants
+    # ------------------------------------------------------------------
+    def stats(self) -> HashIndexStats:
+        buckets: dict[int, _Bucket] = {}
+        for bucket in self._directory:
+            buckets[id(bucket)] = bucket
+        max_keys = max(
+            (len(b.entries) for b in buckets.values()), default=0
+        )
+        return HashIndexStats(
+            global_depth=self._global_depth,
+            directory_size=len(self._directory),
+            bucket_count=len(buckets),
+            bucket_capacity=self._capacity,
+            entries=self._size,
+            distinct_keys=self._distinct,
+            max_bucket_keys=max_keys,
+        )
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any extendible-hashing invariant fails."""
+        directory = self._directory
+        assert len(directory) == 1 << self._global_depth, (
+            "directory size is not 2**global_depth"
+        )
+        slots_of: dict[int, list[int]] = {}
+        buckets: dict[int, _Bucket] = {}
+        for i, bucket in enumerate(directory):
+            buckets[id(bucket)] = bucket
+            slots_of.setdefault(id(bucket), []).append(i)
+        size = 0
+        distinct = 0
+        for bucket in buckets.values():
+            assert bucket.local_depth <= self._global_depth, (
+                "bucket deeper than directory"
+            )
+            slots = slots_of[id(bucket)]
+            expected = 1 << (self._global_depth - bucket.local_depth)
+            assert len(slots) == expected, (
+                f"bucket with local depth {bucket.local_depth} referenced by "
+                f"{len(slots)} slots, expected {expected}"
+            )
+            low_bits = (1 << bucket.local_depth) - 1
+            patterns = {slot & low_bits for slot in slots}
+            assert len(patterns) == 1, "bucket slots disagree on low bits"
+            pattern = patterns.pop()
+            assert (
+                bucket.local_depth >= _MAX_DEPTH
+                or len(bucket.entries) <= self._capacity
+            ), "overfull bucket below the depth ceiling"
+            for key, values in bucket.entries.items():
+                assert values, "empty value chain"
+                assert self._hash(key) & low_bits == pattern, (
+                    f"key {key!r} in the wrong bucket"
+                )
+                if self._unique:
+                    assert len(values) == 1, "duplicate in unique index"
+                size += len(values)
+                distinct += 1
+        assert size == self._size, "entry count stat out of sync"
+        assert distinct == self._distinct, "distinct-key stat out of sync"

@@ -2,10 +2,11 @@
 
 The B-tree is a textbook implementation (order ``t``: internal nodes hold
 between ``t-1`` and ``2t-1`` keys except the root) mapping keys to lists of
-values.  The :class:`IndexManager` maintains one B-tree per
-``(class, attribute)`` pair, keeps it current as attributes change (hooked
-from :meth:`repro.oodb.schema.Persistent.__setattr__` via the database) and
-rebuilds after transaction aborts.
+values.  The :class:`IndexManager` maintains one structure per
+``(class, attribute, kind)`` triple — ``kind`` is ``"btree"`` or ``"hash"``
+(see :mod:`repro.oodb.hashindex`) — keeps it current as attributes change
+(hooked from :meth:`repro.oodb.schema.Persistent.__setattr__` via the
+database) and rebuilds after transaction aborts.
 
 Indexes are rebuilt from the heap at database open; their definitions are
 persisted in the database catalog.
@@ -17,9 +18,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from .errors import DuplicateKey, QueryError
+from .hashindex import ExtendibleHashIndex
 from .oid import Oid
 
-__all__ = ["BTree", "IndexManager", "IndexDefinition"]
+__all__ = ["BTree", "IndexManager", "IndexDefinition", "INDEX_KINDS"]
 
 _MISSING = object()
 
@@ -528,49 +530,86 @@ def _bisect_right(keys: list[Any], key: Any) -> int:
     return lo
 
 
+#: Index structures the catalog knows how to build.
+INDEX_KINDS = ("btree", "hash")
+
+
 @dataclass(frozen=True, slots=True)
 class IndexDefinition:
-    """Catalog entry describing one secondary index."""
+    """Catalog entry describing one secondary index.
+
+    ``kind`` selects the structure: ``"btree"`` (ordered; equality, ranges
+    and key-order streaming) or ``"hash"`` (extendible hashing; equality
+    only, O(1) point probes).  Both kinds may coexist on the same
+    attribute — the planner costs them against each other.
+    """
 
     class_name: str
     attribute: str
     unique: bool = False
+    kind: str = "btree"
+
+    def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise QueryError(
+                f"unknown index kind {self.kind!r}; expected one of "
+                f"{INDEX_KINDS}"
+            )
 
     @property
     def name(self) -> str:
         return f"{self.class_name}.{self.attribute}"
 
+    @property
+    def display(self) -> str:
+        """Kind-qualified name for catalogs and tooling output."""
+        return f"{self.kind}:{self.class_name}.{self.attribute}"
+
+
+def _make_structure(definition: IndexDefinition) -> "BTree | ExtendibleHashIndex":
+    if definition.kind == "hash":
+        return ExtendibleHashIndex(unique=definition.unique)
+    return BTree(unique=definition.unique)
+
 
 @dataclass(slots=True)
 class _IndexState:
     definition: IndexDefinition
-    tree: BTree
+    tree: "BTree | ExtendibleHashIndex"
     keyed: dict[Oid, Any] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        return self.definition.kind
 
 
 class IndexManager:
-    """Maintains B-tree indexes over persistent object attributes."""
+    """Maintains secondary indexes (B-tree and hash) over object attributes."""
 
     def __init__(self, family_of: Callable[[str], set[str]]) -> None:
         # family_of(name) -> the class name plus its subclasses; indexes on
         # a class cover instances of its subclasses too.
         self._family_of = family_of
-        self._indexes: dict[tuple[str, str], _IndexState] = {}
+        self._indexes: dict[tuple[str, str, str], _IndexState] = {}
         self._by_class: dict[str, list[_IndexState]] = {}
 
     # ------------------------------------------------------------------
     # Definition
     # ------------------------------------------------------------------
     def create(self, definition: IndexDefinition) -> None:
-        key = (definition.class_name, definition.attribute)
+        key = (definition.class_name, definition.attribute, definition.kind)
         if key in self._indexes:
-            raise QueryError(f"index {definition.name} already exists")
-        state = _IndexState(definition, BTree(unique=definition.unique))
+            raise QueryError(f"index {definition.display} already exists")
+        state = _IndexState(definition, _make_structure(definition))
         self._indexes[key] = state
         self._by_class.clear()
 
-    def drop(self, class_name: str, attribute: str) -> None:
-        self._indexes.pop((class_name, attribute), None)
+    def drop(
+        self, class_name: str, attribute: str, kind: str | None = None
+    ) -> None:
+        kinds = INDEX_KINDS if kind is None else (kind,)
+        for k in kinds:
+            self._indexes.pop((class_name, attribute, k), None)
         self._by_class.clear()
 
     def definitions(self) -> list[IndexDefinition]:
@@ -633,43 +672,89 @@ class IndexManager:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def lookup(self, class_name: str, attribute: str) -> BTree | None:
-        state = self._indexes.get((class_name, attribute))
+    def lookup(
+        self, class_name: str, attribute: str, kind: str | None = None
+    ) -> "BTree | ExtendibleHashIndex | None":
+        state = self._exact(class_name, attribute, kind)
         return state.tree if state else None
 
-    def covering(self, class_name: str, attribute: str) -> _IndexState | None:
+    def _exact(
+        self, class_name: str, attribute: str, kind: str | None = None
+    ) -> _IndexState | None:
+        """Exact-class state; ``kind=None`` prefers btree, then hash."""
+        kinds = INDEX_KINDS if kind is None else (kind,)
+        for k in kinds:
+            state = self._indexes.get((class_name, attribute, k))
+            if state is not None:
+                return state
+        return None
+
+    def covering(
+        self, class_name: str, attribute: str, kind: str | None = None
+    ) -> _IndexState | None:
         """The index state usable for ``attribute`` queries on ``class_name``.
 
         Unlike :meth:`lookup`, this also finds indexes defined on an
         *ancestor* class: an index on ``Animal.legs`` covers a query over
         the ``Dog`` extent, because index maintenance tracks the whole
-        class family.  Exact matches win over inherited ones.
+        class family.  Exact matches win over inherited ones; ``kind``
+        restricts the structure (``None`` prefers btree, then hash).
         """
-        state = self._indexes.get((class_name, attribute))
+        state = self._exact(class_name, attribute, kind)
         if state is not None:
             return state
-        for state in self._states_for(class_name):
-            if state.definition.attribute == attribute:
-                return state
-        return None
+        candidates = [
+            state
+            for state in self._states_for(class_name)
+            if state.definition.attribute == attribute
+            and (kind is None or state.kind == kind)
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda s: INDEX_KINDS.index(s.kind))
+        return candidates[0]
+
+    def covering_all(
+        self, class_name: str, attribute: str
+    ) -> list[_IndexState]:
+        """Every index state usable for ``attribute`` on ``class_name``,
+        one per kind at most (exact-class definitions shadow inherited
+        ones).  The planner costs these against each other."""
+        out: list[_IndexState] = []
+        for kind in INDEX_KINDS:
+            state = self._exact(class_name, attribute, kind)
+            if state is None:
+                for candidate in self._states_for(class_name):
+                    if (
+                        candidate.definition.attribute == attribute
+                        and candidate.kind == kind
+                    ):
+                        state = candidate
+                        break
+            if state is not None:
+                out.append(state)
+        return out
 
     def find_eq(self, class_name: str, attribute: str, value: Any) -> list[Oid]:
-        tree = self._require(class_name, attribute)
-        return list(tree.search(value))
+        state = self._exact(class_name, attribute)
+        if state is None:
+            raise QueryError(f"no index on {class_name}.{attribute}")
+        return list(state.tree.search(value))
 
     def find_range(
         self, class_name: str, attribute: str, low: Any = None, high: Any = None
     ) -> list[Oid]:
-        tree = self._require(class_name, attribute)
-        return [oid for _key, oid in tree.range(low, high)]
-
-    def _require(self, class_name: str, attribute: str) -> BTree:
-        state = self._indexes.get((class_name, attribute))
+        state = self._exact(class_name, attribute, "btree")
         if state is None:
-            raise QueryError(f"no index on {class_name}.{attribute}")
-        return state.tree
+            raise QueryError(
+                f"no btree index on {class_name}.{attribute} "
+                "(hash indexes cannot serve ranges)"
+            )
+        tree = state.tree
+        assert isinstance(tree, BTree)
+        return [oid for _key, oid in tree.range(low, high)]
 
     def clear(self) -> None:
         for state in self._indexes.values():
-            state.tree = BTree(unique=state.definition.unique)
+            state.tree = _make_structure(state.definition)
             state.keyed.clear()

@@ -5,9 +5,13 @@ including subclasses), filters them with attribute comparisons or arbitrary
 predicates, and sorts/limits the result.  Execution is planned per run:
 
 * every indexable filter (``== < <= > >=`` on an indexed attribute) is
-  scored by estimated selectivity from B-tree statistics; the cheapest one
-  becomes the access path and the other selective ones are intersected as
-  OID sets, with the rest applied as residual filters,
+  scored by estimated selectivity plus a per-structure probe cost — an
+  extendible hash index answers ``==`` in one probe, a B-tree descends
+  O(log n) nodes, so when both kinds cover an attribute the hash wins
+  point lookups; the cheapest choice becomes the access path and the
+  other selective ones are intersected as OID sets, with the rest applied
+  as residual filters.  Hash indexes are equality-only: range filters and
+  ``order_by`` never use them,
 * ``order_by`` on an indexed attribute streams from the B-tree in key
   order instead of sorting, so ``limit(k)`` stops after ~k fetches,
 * ``count()`` and ``exists()`` are answered from the index alone when no
@@ -32,12 +36,14 @@ Example::
 
 from __future__ import annotations
 
+import math
 import operator
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from ..obs.metrics import metrics
 from .errors import QueryError
+from .index import BTree
 from .oid import Oid
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +91,19 @@ def _count_execution(access_path: str) -> None:
     counter.inc()
 
 
+#: Modeled cost of one probe, in row-fetch units: a hash point lookup is
+#: one directory load plus one bucket hit, a B-tree descends ~log2(n)
+#: nodes.  Added to the row estimate when scoring candidate indexes, so
+#: with both kinds on an attribute the hash wins equality lookups.
+_HASH_PROBE_COST = 0.5
+
+
+def _probe_cost(state: "_IndexState") -> float:
+    if state.kind == "hash":
+        return _HASH_PROBE_COST
+    return math.log2(len(state.tree) + 2)
+
+
 @dataclass(frozen=True, slots=True)
 class IndexChoice:
     """One filter the planner decided to serve from an index."""
@@ -94,10 +113,13 @@ class IndexChoice:
     value: Any
     index_name: str
     estimated_rows: int
+    kind: str = "btree"
+    cost: float = 0.0
 
     def describe(self) -> str:
         return (
-            f"{self.index_name} ({self.attribute} {self.op} {self.value!r}),"
+            f"{self.kind}:{self.index_name} "
+            f"({self.attribute} {self.op} {self.value!r}),"
             f" est ~{self.estimated_rows} rows"
         )
 
@@ -108,11 +130,12 @@ class QueryPlan:
 
     ``access_path`` is one of ``extent_scan`` (sorted-OID scan of the class
     extent), ``index_eq`` / ``index_range`` (one B-tree serves the primary
-    filter), ``index_intersect`` (several B-trees, OID sets intersected) or
-    ``index_order`` (no indexable filter, but ``order_by`` streams from an
-    index).  ``sort_needed`` is False when the access path already yields
-    the requested order; ``index_only`` marks plans whose ``count()`` /
-    ``exists()`` never materialize an object.
+    filter), ``hash_eq`` (an extendible hash index serves the primary
+    equality filter), ``index_intersect`` (several indexes, OID sets
+    intersected) or ``index_order`` (no indexable filter, but ``order_by``
+    streams from a B-tree).  ``sort_needed`` is False when the access path
+    already yields the requested order; ``index_only`` marks plans whose
+    ``count()`` / ``exists()`` never materialize an object.
     """
 
     class_name: str
@@ -235,28 +258,45 @@ class Query:
         choices: list[IndexChoice] = []
         residual: list[tuple[str, str, Any]] = []
         for attribute, op, value in self._attr_filters:
-            state = (
-                db.indexes.covering(self._class_name, attribute)
+            states = (
+                db.indexes.covering_all(self._class_name, attribute)
                 if op in _INDEXABLE_OPS
-                else None
+                else []
             )
-            if state is None:
+            if op != "==":
+                # Hash indexes are unordered and equality-only; a range
+                # comparison must come from a B-tree or not at all.
+                states = [s for s in states if s.kind == "btree"]
+            best: IndexChoice | None = None
+            for state in states:
+                tree = state.tree
+                if op == "==":
+                    estimate = tree.count_key(value)
+                else:
+                    assert isinstance(tree, BTree)
+                    if op in ("<", "<="):
+                        estimate = tree.estimate_range_count(None, value)
+                    else:
+                        estimate = tree.estimate_range_count(value, None)
+                cost = estimate + _probe_cost(state)
+                if best is None or cost < best.cost:
+                    best = IndexChoice(
+                        attribute,
+                        op,
+                        value,
+                        state.definition.name,
+                        estimate,
+                        state.kind,
+                        cost,
+                    )
+            if best is None:
                 residual.append((attribute, op, value))
-                continue
-            tree = state.tree
-            if op == "==":
-                estimate = tree.count_key(value)
-            elif op in ("<", "<="):
-                estimate = tree.estimate_range_count(None, value)
             else:
-                estimate = tree.estimate_range_count(value, None)
-            choices.append(
-                IndexChoice(attribute, op, value, state.definition.name, estimate)
-            )
+                choices.append(best)
 
         order_satisfied = False
         if choices:
-            choices.sort(key=lambda c: (c.estimated_rows, c.attribute, c.op))
+            choices.sort(key=lambda c: (c.cost, c.attribute, c.op))
             primary = choices[0]
             cap = max(_INTERSECT_MIN_ROWS, extent_size // 4)
             secondary: list[IndexChoice] = []
@@ -269,7 +309,7 @@ class Query:
             if secondary:
                 access_path = "index_intersect"
             elif primary.op == "==":
-                access_path = "index_eq"
+                access_path = "hash_eq" if primary.kind == "hash" else "index_eq"
             else:
                 access_path = "index_range"
             order_satisfied = (
@@ -280,9 +320,9 @@ class Query:
             estimated_rows = primary.estimated_rows
         else:
             index_filters = ()
-            if (
-                order is not None
-                and db.indexes.covering(self._class_name, order[0]) is not None
+            if order is not None and (
+                db.indexes.covering(self._class_name, order[0], kind="btree")
+                is not None
             ):
                 access_path = "index_order"
                 order_satisfied = True
@@ -407,7 +447,8 @@ class Query:
         """Extent OIDs streamed in ``order_by`` key order from the index."""
         assert plan.order is not None
         attribute, descending = plan.order
-        state = self._require_state(attribute)
+        state = self._require_state(attribute, "btree")
+        assert isinstance(state.tree, BTree)
         for _key, oid in state.tree.range(reverse=descending):
             if oid in wanted:
                 yield oid
@@ -430,17 +471,19 @@ class Query:
 
     def _index_oid_list(self, choice: IndexChoice) -> list[Oid]:
         """Matching OIDs as one eager list (set building, counting)."""
-        tree = self._require_state(choice.attribute).tree
+        tree = self._require_state(choice.attribute, choice.kind).tree
         if choice.op == "==":
             return tree.search(choice.value)
+        assert isinstance(tree, BTree)  # ranges never plan onto a hash
         return tree.range_values(*_bounds(choice))
 
     def _index_oids(
         self, choice: IndexChoice, reverse: bool = False
     ) -> Iterator[Oid]:
-        tree = self._require_state(choice.attribute).tree
+        tree = self._require_state(choice.attribute, choice.kind).tree
         if choice.op == "==":
             return iter(tree.search(choice.value))
+        assert isinstance(tree, BTree)  # ranges never plan onto a hash
         low, high, inclusive = _bounds(choice)
         pairs = tree.range(low, high, inclusive=inclusive, reverse=reverse)
         return (oid for _key, oid in pairs)
@@ -458,8 +501,10 @@ class Query:
             and state.definition.class_name == self._class_name
         )
 
-    def _require_state(self, attribute: str) -> "_IndexState":
-        state = self._db.indexes.covering(self._class_name, attribute)
+    def _require_state(
+        self, attribute: str, kind: str | None = None
+    ) -> "_IndexState":
+        state = self._db.indexes.covering(self._class_name, attribute, kind)
         if state is None:  # pragma: no cover - plan and execution share a stack
             raise QueryError(f"no index on {self._class_name}.{attribute}")
         return state

@@ -40,19 +40,22 @@ class RecoveryReport:
 
 def replay(
     wal: WriteAheadLog,
-    apply_update: Callable[[int, dict[str, Any] | None], None],
+    apply_update: Callable[[int, "dict[str, Any] | bytes | None"], None],
 ) -> RecoveryReport:
     """Replay ``wal``, calling ``apply_update(oid, redo_record)`` for every
     update of every committed transaction, in log order.
 
-    ``redo_record`` is ``None`` for deletions.  ``apply_update`` must be
-    idempotent (upsert/ delete-if-present semantics), because some of the
-    updates may already have reached the heap before the crash.
+    ``redo_record`` is ``None`` for deletions, a record dict for legacy
+    JSON entries, or the raw packed-record payload (``bytes``) for binary
+    entries — both record formats replay through the same path.
+    ``apply_update`` must be idempotent (upsert/ delete-if-present
+    semantics), because some of the updates may already have reached the
+    heap before the crash.
     """
     report = RecoveryReport()
     # updates per transaction, in order: list of (oid, redo)
-    pending: dict[int, list[tuple[int, dict[str, Any] | None]]] = {}
-    committed_batches: list[list[tuple[int, dict[str, Any] | None]]] = []
+    pending: dict[int, list[tuple[int, dict[str, Any] | bytes | None]]] = {}
+    committed_batches: list[list[tuple[int, dict[str, Any] | bytes | None]]] = []
 
     for record in wal.records():
         if record.type is LogRecordType.BEGIN:

@@ -46,6 +46,12 @@ __all__ = [
 
 _FRAME = struct.Struct("<II")
 
+#: First payload byte of a *binary* update entry.  JSON payloads start
+#: with ``{`` (0x7B), so one byte disambiguates — the same trick the heap
+#: uses for packed vs JSON record payloads.
+_BINARY_UPDATE = 0x01
+_BINARY_HEAD = struct.Struct("<BQQI")
+
 #: When the log calls ``os.fsync``:
 #: ``"commit"`` — once per commit boundary (group commit; the default),
 #: ``"always"`` — after every appended record (paranoid, no batching),
@@ -77,7 +83,9 @@ class LogRecord:
     lsn: int = 0
     oid: int | None = None
     undo: dict[str, Any] | None = None
-    redo: dict[str, Any] | None = None
+    #: Redo image: a record dict (legacy JSON entries) or the raw packed
+    #: record payload (binary entries) — recovery applies either.
+    redo: dict[str, Any] | bytes | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def to_payload(self) -> bytes:
@@ -93,6 +101,8 @@ class LogRecord:
 
     @classmethod
     def from_payload(cls, payload: bytes, lsn: int) -> "LogRecord":
+        if payload[:1] == bytes([_BINARY_UPDATE]):
+            return cls._from_binary_payload(payload, lsn)
         try:
             body = json.loads(payload.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -105,6 +115,32 @@ class LogRecord:
             undo=body.get("undo"),
             redo=body.get("redo"),
             extra=body.get("extra") or {},
+        )
+
+    @classmethod
+    def _from_binary_payload(cls, payload: bytes, lsn: int) -> "LogRecord":
+        """Parse a binary UPDATE entry (packed-record redo carried as-is)."""
+        if len(payload) < _BINARY_HEAD.size:
+            raise WALError(f"truncated binary log payload at lsn {lsn}")
+        _tag, txn_id, oid, undo_len = _BINARY_HEAD.unpack_from(payload)
+        undo_end = _BINARY_HEAD.size + undo_len
+        if len(payload) < undo_end:
+            raise WALError(f"truncated binary log payload at lsn {lsn}")
+        undo: dict[str, Any] | None = None
+        if undo_len:
+            try:
+                undo = json.loads(payload[_BINARY_HEAD.size : undo_end].decode())
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WALError(
+                    f"corrupt binary log payload at lsn {lsn}: {exc}"
+                ) from exc
+        return cls(
+            type=LogRecordType.UPDATE,
+            txn_id=txn_id,
+            lsn=lsn,
+            oid=oid,
+            undo=undo,
+            redo=payload[undo_end:],
         )
 
 
@@ -208,11 +244,17 @@ class WriteAheadLog:
         txn_id: int,
         oid: int,
         undo: dict[str, Any] | None,
-        redo: dict[str, Any] | None,
+        redo: dict[str, Any] | str | bytes | None,
     ) -> int:
-        return self.append(
-            LogRecord(LogRecordType.UPDATE, txn_id, oid=oid, undo=undo, redo=redo)
-        )
+        """Append one UPDATE.  ``redo`` may be a record dict, a pre-encoded
+        record JSON string, or raw packed-record bytes (binary entry)."""
+        framed = self._update_frame(txn_id, oid, undo, redo)
+        lsn = self._end
+        self._pending.append(framed)
+        self._end += len(framed)
+        if self._fsync_policy == "always":
+            self.flush(force_sync=True)
+        return lsn
 
     def log_commit(self, txn_id: int) -> int:
         lsn = self.append(LogRecord(LogRecordType.COMMIT, txn_id))
@@ -226,8 +268,23 @@ class WriteAheadLog:
         txn_id: int,
         oid: int,
         undo: dict[str, Any] | None,
-        redo: dict[str, Any] | str | None,
+        redo: dict[str, Any] | str | bytes | None,
     ) -> bytes:
+        if isinstance(redo, bytes):
+            # Packed record: the redo image is the exact heap payload, so
+            # it is carried verbatim in a binary entry — no JSON wrapping,
+            # no base64, and recovery writes the bytes straight back.
+            undo_bytes = (
+                _PAYLOAD_ENCODER.encode(undo).encode()
+                if undo is not None
+                else b""
+            )
+            payload = (
+                _BINARY_HEAD.pack(_BINARY_UPDATE, txn_id, oid, len(undo_bytes))
+                + undo_bytes
+                + redo
+            )
+            return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
         if isinstance(redo, str):
             # ``redo`` is an already-encoded record: splice it into the
             # payload instead of re-encoding the dict.  Byte-identical to
@@ -246,15 +303,15 @@ class WriteAheadLog:
         self,
         txn_id: int,
         updates: Iterable[
-            tuple[int, dict[str, Any] | None, dict[str, Any] | str | None]
+            tuple[int, dict[str, Any] | None, dict[str, Any] | str | bytes | None]
         ],
     ) -> int:
         """Group commit: BEGIN, all UPDATEs, and COMMIT in one write.
 
         ``updates`` yields ``(oid, undo, redo)`` triples; ``redo`` may be a
-        record dict or a pre-encoded record JSON string (see
-        :meth:`_update_frame`).  The whole batch is framed in memory and
-        lands in a single buffered write with one flush (and at most one
+        record dict, a pre-encoded record JSON string, or raw packed-record
+        bytes (see :meth:`_update_frame`).  The whole batch is framed in
+        memory and lands in a single buffered write with one flush (and at most one
         fsync) at the commit boundary, instead of a write per record.
         Returns the COMMIT record's LSN.
         """
@@ -273,7 +330,7 @@ class WriteAheadLog:
         self,
         txn_id: int,
         updates: Iterable[
-            tuple[int, dict[str, Any] | None, dict[str, Any] | str | None]
+            tuple[int, dict[str, Any] | None, dict[str, Any] | str | bytes | None]
         ],
     ) -> tuple[int, int, int]:
         frames = [self._frame(LogRecord(LogRecordType.BEGIN, txn_id))]

@@ -1,0 +1,460 @@
+"""Tests for the struct-packed binary record codec.
+
+Covers schema compilation, randomized round-trips through the packed
+format (schema'd and dynamic attributes, boundary values, fallbacks),
+corruption detection, and the JSON-sanitization helper used for WAL undo
+images.
+"""
+
+import datetime
+import struct
+import types
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.oodb import Database, Persistent
+from repro.oodb import codec
+from repro.oodb.errors import SerializationError
+from repro.oodb.oid import Oid
+
+_MISSING = object()
+
+
+class PackedRec(Persistent):
+    """Module-level class with a wide schema for round-trip tests."""
+
+    _p_schema = [
+        ("count", "int"),
+        ("ratio", "float"),
+        ("flag", "bool"),
+        ("label", "str:8"),
+        ("ref", "oid"),
+        ("stamp", "datetime"),
+    ]
+
+    def __init__(self, **attrs):
+        super().__init__()
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+
+@pytest.fixture
+def ser(mem_db):
+    return mem_db.serializer
+
+
+def _schema():
+    return codec.schema_for(PackedRec)
+
+
+def _encode(ser, attrs, oid_value=42):
+    obj = types.SimpleNamespace(**attrs)
+    return codec.encode_packed(
+        oid_value,
+        obj,
+        _schema(),
+        frozenset(),
+        lambda _name, value: ser.encode_value(value),
+    )
+
+
+def _decode(ser, payload):
+    record = codec.decode_packed(payload, lambda _name: PackedRec)
+    return {
+        name: ser.decode_value(value)
+        for name, value in record["attrs"].items()
+    }
+
+
+class TestCompileSchema:
+    def test_simple_layout(self):
+        schema = codec.compile_schema("C", [("a", "int"), ("b", "str:4")])
+        assert [f.name for f in schema.fields] == ["a", "b"]
+        assert schema.bitmap_size == 1
+        # i64 + (u16 length + 4 padded bytes)
+        assert schema.fixed_size == struct.calcsize("<qH4s")
+
+    def test_mapping_declaration(self):
+        schema = codec.compile_schema("C", {"a": "float", "b": "bool"})
+        assert schema.field_index["b"].type == "bool"
+
+    def test_fingerprint_tracks_layout(self):
+        one = codec.compile_schema("C", [("a", "int")])
+        two = codec.compile_schema("C", [("a", "float")])
+        three = codec.compile_schema("C", [("a", "int")])
+        assert one.fingerprint != two.fingerprint
+        assert one.fingerprint == three.fingerprint
+
+    @pytest.mark.parametrize(
+        "declared",
+        [
+            [],
+            [("a", "int"), ("a", "float")],
+            [("", "int")],
+            [("_p_oid", "int")],
+            [("a", "varchar")],
+            [("a", "str:0")],
+            [("a", "str:65536")],
+            [("a", "str:huge")],
+            [("a", 7)],
+            "not-pairs",
+        ],
+    )
+    def test_rejects_bad_declarations(self, declared):
+        with pytest.raises(SerializationError):
+            codec.compile_schema("C", declared)
+
+    def test_schema_for_caches_and_handles_plain_classes(self):
+        class Plain(Persistent):
+            pass
+
+        assert codec.schema_for(Plain) is None
+        schema = codec.schema_for(PackedRec)
+        assert schema is codec.schema_for(PackedRec)
+        assert schema.class_name == "PackedRec"
+
+
+# ----------------------------------------------------------------------
+# Randomized round-trips.  Each schema'd attribute draws either a value
+# the codec can pack or one that must fall back to the dynamic region
+# (wrong type, out-of-range int, over-long string, aware datetime);
+# extra dynamic attributes ride along.  ``_MISSING`` drops the attribute.
+# ----------------------------------------------------------------------
+_FIELD_VALUES = {
+    "count": st.one_of(
+        st.just(_MISSING),
+        st.none(),
+        st.integers(min_value=-(2**70), max_value=2**70),
+        st.text(max_size=4),
+    ),
+    "ratio": st.one_of(
+        st.just(_MISSING),
+        st.none(),
+        st.floats(allow_nan=False),
+        st.integers(min_value=-5, max_value=5),
+    ),
+    "flag": st.one_of(
+        st.just(_MISSING), st.none(), st.booleans(), st.integers(0, 1)
+    ),
+    "label": st.one_of(
+        st.just(_MISSING), st.none(), st.text(max_size=12), st.integers()
+    ),
+    "ref": st.one_of(
+        st.just(_MISSING),
+        st.none(),
+        st.builds(Oid, st.integers(min_value=1, max_value=2**63)),
+    ),
+    "stamp": st.one_of(st.just(_MISSING), st.none(), st.datetimes()),
+}
+
+_DYNAMIC = st.dictionaries(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6
+    ).map(lambda s: "x_" + s),
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=12),
+        st.lists(st.integers(0, 9), max_size=3),
+    ),
+    max_size=3,
+)
+
+
+@st.composite
+def _records(draw):
+    attrs = {}
+    for name, values in _FIELD_VALUES.items():
+        value = draw(values)
+        if value is not _MISSING:
+            attrs[name] = value
+    attrs.update(draw(_DYNAMIC))
+    return attrs
+
+
+class TestRoundTrip:
+    @given(_records())
+    @settings(
+        max_examples=120,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_every_attribute_survives(self, ser, attrs):
+        payload = _encode(ser, attrs)
+        assert codec.is_packed(payload)
+        assert codec.record_meta(payload) == (42, "PackedRec")
+        decoded = _decode(ser, payload)
+        assert set(decoded) == set(attrs)
+        for name, value in attrs.items():
+            got = decoded[name]
+            assert got == value
+            # bool/int confusion is a silent-corruption classic.
+            assert type(got) is type(value)
+
+    def test_max_length_string_packs_exactly(self, ser):
+        payload = _encode(ser, {"label": "ab" * 4})
+        decoded = _decode(ser, payload)
+        assert decoded["label"] == "ab" * 4
+        # One byte over must fall back, not truncate.
+        over = _encode(ser, {"label": "x" * 9})
+        assert _decode(ser, over)["label"] == "x" * 9
+
+    def test_multibyte_string_measured_in_bytes(self, ser):
+        # Four snowmen are 12 UTF-8 bytes: over the 8-byte cap, so the
+        # value must take the dynamic path and still round-trip intact.
+        value = "☃☃☃☃"
+        decoded = _decode(ser, _encode(ser, {"label": value}))
+        assert decoded["label"] == value
+        two = "☃☃"  # 6 bytes: packs
+        assert _decode(ser, _encode(ser, {"label": two}))["label"] == two
+
+    def test_aware_and_folded_datetimes_fall_back(self, ser):
+        aware = datetime.datetime(
+            2020, 5, 1, tzinfo=datetime.timezone.utc
+        )
+        folded = datetime.datetime(2020, 11, 1, 1, 30, fold=1)
+        decoded = _decode(ser, _encode(ser, {"stamp": aware}))
+        assert decoded["stamp"] == aware
+        assert decoded["stamp"].tzinfo == datetime.timezone.utc
+        assert _decode(ser, _encode(ser, {"stamp": folded})).get(
+            "stamp"
+        ) == folded
+
+    def test_datetime_extremes_pack(self, ser):
+        for value in (datetime.datetime.min, datetime.datetime.max):
+            decoded = _decode(ser, _encode(ser, {"stamp": value}))
+            assert decoded["stamp"] == value
+
+    def test_oid_round_trips_as_oid(self, ser):
+        ref = Oid(987_654)
+        record = codec.decode_packed(
+            _encode(ser, {"ref": ref}), lambda _name: PackedRec
+        )
+        assert record["attrs"]["ref"] == ref
+        assert isinstance(record["attrs"]["ref"], Oid)
+
+
+class TestCorruption:
+    def _payload(self, ser):
+        return _encode(
+            ser,
+            {
+                "count": 7,
+                "label": "hello",
+                "x_extra": [1, 2],
+                "stamp": datetime.datetime(2021, 3, 4, 5, 6, 7),
+            },
+        )
+
+    @given(st.data())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_truncation_is_detected(self, ser, data):
+        payload = self._payload(ser)
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        with pytest.raises(SerializationError):
+            codec.decode_packed(payload[:cut], lambda _name: PackedRec)
+
+    @given(st.data())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_body_bit_flip_is_detected(self, ser, data):
+        payload = self._payload(ser)
+        pos = data.draw(
+            st.integers(min_value=10, max_value=len(payload) - 1)
+        )
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        corrupt = (
+            payload[:pos] + bytes([payload[pos] ^ flip]) + payload[pos + 1 :]
+        )
+        with pytest.raises(SerializationError):
+            codec.decode_packed(corrupt, lambda _name: PackedRec)
+
+    def test_bad_tag_and_version(self, ser):
+        payload = self._payload(ser)
+        with pytest.raises(SerializationError, match="format tag"):
+            codec.decode_packed(
+                b"\x7f" + payload[1:], lambda _name: PackedRec
+            )
+        with pytest.raises(SerializationError, match="version"):
+            codec.decode_packed(
+                payload[:1] + b"\x09" + payload[2:],
+                lambda _name: PackedRec,
+            )
+
+    def test_overlong_string_length_claim_is_rejected(self, ser):
+        # Craft a payload whose string-length field exceeds the schema
+        # max, with a recomputed (valid) checksum: the decoder must
+        # refuse rather than read past the padded region.
+        schema = _schema()
+        payload = _encode(ser, {"label": "ok"})
+        field = schema.field_index["label"]
+        name_len = len("PackedRec")
+        fixed_start = 10 + 8 + 2 + name_len + schema.bitmap_size
+        # Slot offset of the u16 length inside the fixed region.
+        length_offset = fixed_start + struct.calcsize("<qdB")
+        bad = bytearray(payload)
+        struct.pack_into("<H", bad, length_offset, field.max_len + 1)
+        body = bytes(bad[10:])
+        bad[6:10] = struct.pack("<I", zlib.crc32(body))
+        with pytest.raises(SerializationError, match="claims"):
+            codec.decode_packed(bytes(bad), lambda _name: PackedRec)
+
+    def test_fingerprint_mismatch_is_a_clear_error(self, ser):
+        class PackedRecV2(Persistent, register=False):
+            _p_class_name = "PackedRec"
+            _p_schema = [("count", "float")]
+
+        payload = self._payload(ser)
+        with pytest.raises(SerializationError, match="fingerprint"):
+            codec.decode_packed(payload, lambda _name: PackedRecV2)
+
+    def test_schema_removed_is_a_clear_error(self, ser):
+        class Bare(Persistent, register=False):
+            _p_class_name = "PackedRec"
+
+        payload = self._payload(ser)
+        with pytest.raises(SerializationError, match="_p_schema"):
+            codec.decode_packed(payload, lambda _name: Bare)
+
+
+class TestRecordMeta:
+    def test_meta_of_packed_payload(self, ser):
+        payload = _encode(ser, {"count": 1}, oid_value=77)
+        assert codec.record_meta(payload) == (77, "PackedRec")
+
+    def test_meta_of_json_payload(self):
+        raw = b'{"oid": 12, "class": "Doc", "attrs": {"a": 1}}'
+        assert codec.record_meta(raw) == (12, "Doc")
+
+    def test_meta_of_garbage(self):
+        with pytest.raises(SerializationError):
+            codec.record_meta(b"\x02garbage")
+        with pytest.raises(SerializationError):
+            codec.record_meta(b"{not json")
+
+
+class TestJsonableRecord:
+    def test_converts_top_level_oid_and_datetime(self):
+        record = {
+            "oid": 1,
+            "class": "C",
+            "attrs": {
+                "ref": Oid(9),
+                "when": datetime.datetime(2020, 1, 2, 3, 4, 5),
+                "plain": [1, 2],
+            },
+        }
+        out = codec.jsonable_record(record)
+        assert out["attrs"]["ref"] == {"$oid": 9}
+        assert out["attrs"]["when"] == {
+            "$datetime": "2020-01-02T03:04:05"
+        }
+        assert out["attrs"]["plain"] == [1, 2]
+        # The input record is left untouched.
+        assert isinstance(record["attrs"]["ref"], Oid)
+
+    def test_clean_record_returned_unchanged(self):
+        record = {"oid": 1, "class": "C", "attrs": {"a": 1, "b": "x"}}
+        assert codec.jsonable_record(record) is record
+
+    def test_import_roundtrip_of_sanitized_record(self, mem_db):
+        # The sanitized form is exactly what decode_value turns back
+        # into live values — the WAL undo image stays faithful.
+        when = datetime.datetime(2020, 1, 2, 3, 4, 5)
+        out = codec.jsonable_record(
+            {"oid": 1, "class": "C", "attrs": {"ref": Oid(9), "when": when}}
+        )
+        ser = mem_db.serializer
+        assert ser.decode_value(out["attrs"]["ref"]) == Oid(9)
+        assert ser.decode_value(out["attrs"]["when"]) == when
+
+
+class TestDatabaseIntegration:
+    def test_packed_records_round_trip_through_reopen(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        stamp = datetime.datetime(2022, 7, 8, 9, 10, 11, 121314)
+        with db.transaction():
+            rec = PackedRec(
+                count=41,
+                ratio=2.5,
+                flag=True,
+                label="abc",
+                stamp=stamp,
+                x_dynamic={"nested": [1, 2, 3]},
+            )
+            other = PackedRec(count=1)
+            db.set_root("rec", rec)
+            db.set_root("other", other)
+            rec.ref = other._p_oid
+        db.close()
+
+        db2 = Database(path, sync=False)
+        rec = db2.get_root("rec")
+        assert (rec.count, rec.ratio, rec.flag) == (41, 2.5, True)
+        assert rec.label == "abc" and rec.stamp == stamp
+        assert rec.x_dynamic == {"nested": [1, 2, 3]}
+        assert db2.fetch(rec.ref).count == 1
+        db2.close()
+
+    def test_stored_payload_is_packed_and_smaller_than_json(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            rec = PackedRec(
+                count=123,
+                ratio=1.25,
+                flag=False,
+                label="tag",
+                stamp=datetime.datetime(2020, 1, 1),
+            )
+            db.set_root("rec", rec)
+        oid = rec._p_oid
+        rid = db._locations[oid]
+        payload = db._heap.read(rid)
+        assert codec.is_packed(payload)
+        record = db.serializer.record_from_payload(payload)
+        twin = json.dumps(
+            codec.jsonable_record(record),
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode()
+        assert len(payload) < len(twin)
+        db.close()
+
+    def test_unschema_classes_still_write_json(self, tmp_path):
+        class LooseRec(Persistent):
+            def __init__(self, v):
+                super().__init__()
+                self.v = v
+
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            db.set_root("loose", LooseRec(5))
+        oid = db.get_root("loose")._p_oid
+        payload = db._heap.read(db._locations[oid])
+        assert not codec.is_packed(payload)
+        assert payload.lstrip()[:1] == b"{"
+        db.close()
+
+    def test_unserializable_dynamic_attr_names_the_culprit(self, mem_db):
+        rec = PackedRec(count=1)
+        rec.x_bad = object()
+        with pytest.raises(SerializationError, match="x_bad"):
+            with mem_db.transaction():
+                mem_db.set_root("rec", rec)

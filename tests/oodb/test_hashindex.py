@@ -1,0 +1,194 @@
+"""Tests for the extendible hash index: splits, directory doubling,
+duplicates, uniqueness, deletion, and a randomized dict-oracle check."""
+
+import random
+
+import pytest
+
+from repro.oodb.errors import DuplicateKey
+from repro.oodb.hashindex import _MAX_DEPTH, ExtendibleHashIndex
+
+
+class TestBasics:
+    def test_empty(self):
+        idx = ExtendibleHashIndex()
+        assert len(idx) == 0
+        assert idx.key_count == 0
+        assert idx.search("missing") == []
+        assert idx.count_key("missing") == 0
+        assert "missing" not in idx
+        idx.check_invariants()
+
+    def test_insert_and_search(self):
+        idx = ExtendibleHashIndex()
+        idx.insert("a", 1)
+        idx.insert("b", 2)
+        assert idx.search("a") == [1]
+        assert idx.search("b") == [2]
+        assert "a" in idx and "c" not in idx
+        assert len(idx) == 2 and idx.key_count == 2
+        idx.check_invariants()
+
+    def test_duplicate_keys_chain(self):
+        idx = ExtendibleHashIndex()
+        for value in range(5):
+            idx.insert("k", value)
+        assert sorted(idx.search("k")) == [0, 1, 2, 3, 4]
+        assert idx.count_key("k") == 5
+        assert len(idx) == 5 and idx.key_count == 1
+        idx.check_invariants()
+
+    def test_unique_rejects_duplicates(self):
+        idx = ExtendibleHashIndex(unique=True)
+        idx.insert("k", 1)
+        with pytest.raises(DuplicateKey):
+            idx.insert("k", 2)
+        assert idx.search("k") == [1]
+
+    def test_mixed_key_types(self):
+        idx = ExtendibleHashIndex()
+        idx.insert(1, "int")
+        idx.insert(1.5, "float")
+        idx.insert("one", "str")
+        idx.insert((1, 2), "tuple")
+        assert idx.search(1) == ["int"]
+        assert idx.search((1, 2)) == ["tuple"]
+        idx.check_invariants()
+
+
+class TestSplitting:
+    def test_bucket_split_doubles_directory(self):
+        idx = ExtendibleHashIndex(bucket_capacity=2)
+        assert idx.global_depth == 0
+        for i in range(50):
+            idx.insert(i, i)
+        assert idx.global_depth >= 1
+        stats = idx.stats()
+        assert stats.directory_size == 1 << idx.global_depth
+        assert stats.bucket_count > 1
+        for i in range(50):
+            assert idx.search(i) == [i]
+        idx.check_invariants()
+
+    def test_duplicates_do_not_force_splits(self):
+        # Capacity counts distinct keys, so one hot key never doubles
+        # the directory.
+        idx = ExtendibleHashIndex(bucket_capacity=2)
+        for i in range(100):
+            idx.insert("hot", i)
+        assert idx.global_depth == 0
+        assert idx.count_key("hot") == 100
+        idx.check_invariants()
+
+    def test_depth_ceiling_overfills_instead_of_looping(self):
+        # hash(int) == int for small ints, so keys congruent modulo
+        # 2**_MAX_DEPTH collide in their low hash bits at every depth:
+        # the bucket must overfill at the ceiling, not split forever.
+        idx = ExtendibleHashIndex(bucket_capacity=1)
+        keys = [5, 5 + (1 << _MAX_DEPTH), 5 + (2 << _MAX_DEPTH)]
+        for key in keys:
+            idx.insert(key, key)
+        assert idx.global_depth == _MAX_DEPTH
+        for key in keys:
+            assert idx.search(key) == [key]
+        stats = idx.stats()
+        assert stats.max_bucket_keys == len(keys)
+        idx.check_invariants()
+
+    def test_stats_shape(self):
+        idx = ExtendibleHashIndex(bucket_capacity=4)
+        for i in range(40):
+            idx.insert(i, i)
+        stats = idx.stats()
+        assert stats.entries == 40
+        assert stats.distinct_keys == 40
+        assert stats.bucket_capacity == 4
+        assert 0.0 < stats.avg_bucket_fill <= 1.0
+        assert stats.directory_size == 1 << stats.global_depth
+
+
+class TestDeletion:
+    def test_delete_single_value(self):
+        idx = ExtendibleHashIndex()
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert idx.delete("k", 1)
+        assert idx.search("k") == [2]
+        assert len(idx) == 1 and idx.key_count == 1
+        idx.check_invariants()
+
+    def test_delete_last_value_removes_key(self):
+        idx = ExtendibleHashIndex()
+        idx.insert("k", 1)
+        assert idx.delete("k", 1)
+        assert "k" not in idx
+        assert idx.key_count == 0
+        idx.check_invariants()
+
+    def test_delete_whole_key(self):
+        idx = ExtendibleHashIndex()
+        for value in range(4):
+            idx.insert("k", value)
+        assert idx.delete("k")
+        assert len(idx) == 0 and idx.key_count == 0
+
+    def test_delete_missing_returns_false(self):
+        idx = ExtendibleHashIndex()
+        idx.insert("k", 1)
+        assert not idx.delete("nope")
+        assert not idx.delete("k", 99)
+        assert idx.search("k") == [1]
+
+    def test_clear(self):
+        idx = ExtendibleHashIndex(bucket_capacity=2)
+        for i in range(30):
+            idx.insert(i, i)
+        idx.clear()
+        assert len(idx) == 0 and idx.global_depth == 0
+        idx.check_invariants()
+        idx.insert("again", 1)
+        assert idx.search("again") == [1]
+
+
+class TestIteration:
+    def test_items_and_keys_visit_each_once(self):
+        idx = ExtendibleHashIndex(bucket_capacity=2)
+        expected = set()
+        for i in range(40):
+            idx.insert(i % 10, i)
+            expected.add((i % 10, i))
+        assert set(idx.items()) == expected
+        assert sorted(idx.keys()) == list(range(10))
+
+
+class TestOracle:
+    def test_randomized_against_dict(self):
+        rng = random.Random(0xFEED)
+        idx = ExtendibleHashIndex(bucket_capacity=3)
+        oracle: dict[int, list[int]] = {}
+        for step in range(3000):
+            key = rng.randrange(60)
+            action = rng.random()
+            if action < 0.6:
+                value = rng.randrange(1000)
+                idx.insert(key, value)
+                oracle.setdefault(key, []).append(value)
+            elif action < 0.85:
+                values = oracle.get(key)
+                value = rng.choice(values) if values else -1
+                assert idx.delete(key, value) == bool(values)
+                if values:
+                    values.remove(value)
+                    if not values:
+                        del oracle[key]
+            else:
+                del_all = idx.delete(key)
+                assert del_all == (key in oracle)
+                oracle.pop(key, None)
+            if step % 500 == 0:
+                idx.check_invariants()
+        idx.check_invariants()
+        assert idx.key_count == len(oracle)
+        assert len(idx) == sum(len(v) for v in oracle.values())
+        for key in range(60):
+            assert sorted(idx.search(key)) == sorted(oracle.get(key, []))

@@ -193,12 +193,130 @@ class TestExplainGolden:
         )
         assert plan.describe() == (
             "query plan: Emp (subclasses included)\n"
-            "  access: index_range via Emp.salary (salary >= 50000),"
+            "  access: index_range via btree:Emp.salary (salary >= 50000),"
             " est ~3 rows\n"
             "  order: salary asc (streamed in key order)\n"
             "  limit: 2\n"
             "  index-only count/exists: yes"
         )
+
+
+class TestHashIndexPlanning:
+    """The extendible hash index behind the planner's cost model."""
+
+    @pytest.fixture
+    def hashed(self, mem_db):
+        rng = random.Random(0xBEEF)
+        objects = []
+        for i in range(200):
+            emp = Emp(
+                f"emp{i:03d}",
+                rng.randrange(30_000, 120_000, 500),
+                rng.choice(["eng", "sales", "hr", "ops"]),
+                rng.random(),
+            )
+            mem_db.add(emp)
+            objects.append(emp)
+        mem_db.commit()
+        mem_db.create_index(Emp, "name", kind="hash")  # hash-only attr
+        mem_db.create_index(Emp, "dept", kind="hash")
+        mem_db.create_index(Emp, "dept")  # both kinds on dept
+        mem_db.create_index(Emp, "salary")  # btree-only attr
+        return mem_db, objects
+
+    def test_eq_filter_plans_hash_eq(self, hashed):
+        db, objects, = hashed
+        query = db.query(Emp).where_eq("name", "emp042")
+        plan = query.explain()
+        assert plan.access_path == "hash_eq"
+        assert plan.index_filters[0].kind == "hash"
+        assert plan.index_only
+        assert [o.name for o in query] == ["emp042"]
+        assert query.count() == 1 and query.exists()
+
+    def test_hash_beats_btree_for_point_lookups(self, hashed):
+        db, objects = hashed
+        # Both kinds cover dept; the hash probe is cheaper than the
+        # B-tree descent at equal estimated rows.
+        plan = db.query(Emp).where_eq("dept", "eng").explain()
+        assert plan.access_path == "hash_eq"
+        assert plan.index_filters[0].kind == "hash"
+        choice = plan.index_filters[0]
+        assert choice.cost < choice.estimated_rows + 1.0
+
+    def test_hash_results_match_brute_force(self, hashed):
+        db, objects = hashed
+        for dept in ["eng", "sales", "hr", "ops", "missing"]:
+            filters = [("dept", "==", dept)]
+            query = db.query(Emp).where_eq("dept", dept)
+            expected = {o.name for o in brute_force(objects, filters)}
+            assert {o.name for o in query} == expected
+            assert query.count() == len(expected)
+
+    def test_hash_is_never_chosen_for_ranges(self, hashed):
+        db, objects = hashed
+        # ``name`` has only a hash index: a range filter over it must
+        # fall back to an extent scan with a residual, never index_range.
+        filters = [("name", ">=", "emp150")]
+        query = db.query(Emp).where_op("name", ">=", "emp150")
+        plan = query.explain()
+        assert plan.access_path == "extent_scan"
+        assert plan.residual_filters == (("name", ">=", "emp150"),)
+        assert not plan.index_filters
+        assert {o.name for o in query} == {
+            o.name for o in brute_force(objects, filters)
+        }
+
+    def test_hash_is_never_chosen_for_order_by(self, hashed):
+        db, objects = hashed
+        query = db.query(Emp).order_by("name")
+        plan = query.explain()
+        assert plan.access_path != "index_order"
+        assert plan.sort_needed
+        assert [o.name for o in query] == sorted(o.name for o in objects)
+
+    def test_range_on_dual_indexed_attribute_uses_btree(self, hashed):
+        db, objects = hashed
+        db.create_index(Emp, "salary", kind="hash")
+        filters = [("salary", ">=", 100_000)]
+        query = db.query(Emp).where_op("salary", ">=", 100_000)
+        plan = query.explain()
+        assert plan.access_path == "index_range"
+        assert plan.index_filters[0].kind == "btree"
+        assert {o.name for o in query} == {
+            o.name for o in brute_force(objects, filters)
+        }
+
+    def test_hash_index_maintained_by_updates(self, hashed):
+        db, objects = hashed
+        target = objects[7]
+        with db.transaction():
+            target.dept = "research"
+        query = db.query(Emp).where_eq("dept", "research")
+        assert [o.name for o in query] == [target.name]
+        assert db.query(Emp).where_eq("dept", "eng").count() == sum(
+            1 for o in objects if o.dept == "eng"
+        )
+
+    def test_golden_hash_plan(self, mem_db):
+        for i, dept in enumerate(["eng", "eng", "hr", "ops"]):
+            mem_db.add(Emp(f"e{i}", 40_000, dept, 0.1))
+        mem_db.commit()
+        mem_db.create_index(Emp, "dept", kind="hash")
+        plan = mem_db.query(Emp).where_eq("dept", "eng").explain()
+        assert plan.describe() == (
+            "query plan: Emp (subclasses included)\n"
+            "  access: hash_eq via hash:Emp.dept (dept == 'eng'),"
+            " est ~2 rows\n"
+            "  index-only count/exists: yes"
+        )
+
+    def test_execution_metrics_labeled_hash_eq(self, hashed):
+        db, _objects = hashed
+        counter = metrics.counter("query_executions{access_path=hash_eq}")
+        before = counter.value
+        db.query(Emp).where_eq("dept", "hr").all()
+        assert counter.value == before + 1
 
 
 class TestFetchMany:

@@ -203,3 +203,158 @@ class TestRestartRecovery:
         hits = db2.query(Doc).where_eq("body", "doc-2").all()
         assert len(hits) == 1
         db2.close()
+
+
+class Packet(Persistent):
+    """Schema'd class: its records hit the WAL as packed binary frames."""
+
+    _p_schema = [("seq", "int"), ("tag", "str:16")]
+
+    def __init__(self, seq=0, tag=""):
+        super().__init__()
+        self.seq = seq
+        self.tag = tag
+
+
+def _simulate_hard_crash(db: Database) -> None:
+    """Crash with the WAL durable but dirty heap pages still in memory.
+
+    Unlike :func:`_simulate_crash` this does NOT flush the buffer pool,
+    so the heap on disk is stale and restart recovery must actually redo
+    the committed work from the log.
+    """
+    assert db._heap is not None and db._wal is not None
+    db._wal.flush(force_sync=True)
+    db._closed = True
+    db._wal._file.close()
+
+
+class TestBinaryWalEntries:
+    def test_bytes_redo_round_trips_through_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        payload = b"\x01" + bytes(range(48))
+        wal.log_begin(1)
+        wal.log_update(1, 9, {"v": 1}, payload)
+        wal.log_update(1, 10, None, payload * 2)
+        wal.log_commit(1)
+        applied = []
+        report = replay(wal, lambda oid, redo: applied.append((oid, redo)))
+        assert applied == [(9, payload), (10, payload * 2)]
+        assert report.redone_updates == 2
+        wal.close()
+
+    def test_binary_and_json_entries_interleave(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", sync=False)
+        packed = b"\x01packed-payload"
+        wal.log_begin(1)
+        wal.log_update(1, 1, None, {"v": "json"})
+        wal.log_update(1, 2, {"v": "json"}, packed)
+        wal.log_update(1, 3, None, None)  # delete
+        wal.log_commit(1)
+        applied = []
+        replay(wal, lambda oid, redo: applied.append((oid, redo)))
+        assert applied == [(1, {"v": "json"}), (2, packed), (3, None)]
+        wal.close()
+
+
+class TestPackedRecovery:
+    def test_mixed_formats_survive_a_hard_crash(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            packet = Packet(7, "urgent")
+            packet.extra = {"route": [1, 2]}  # dynamic region
+            doc = Doc("plain json record")
+            db.set_root("packet", packet)
+            db.set_root("doc", doc)
+        _simulate_hard_crash(db)
+
+        db2 = Database(path, sync=False)
+        assert db2.last_recovery is not None
+        assert not db2.last_recovery.clean
+        packet = db2.get_root("packet")
+        assert (packet.seq, packet.tag) == (7, "urgent")
+        assert packet.extra == {"route": [1, 2]}
+        assert db2.get_root("doc").body == "plain json record"
+        db2.close()
+
+    def test_packed_update_chain_replays_in_order(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            packet = Packet(0, "start")
+            db.set_root("packet", packet)
+        for seq in (1, 2, 3):
+            with db.transaction():
+                packet.seq = seq
+                packet.tag = f"rev{seq}"
+        _simulate_hard_crash(db)
+
+        db2 = Database(path, sync=False)
+        packet = db2.get_root("packet")
+        assert (packet.seq, packet.tag) == (3, "rev3")
+        db2.close()
+
+    def test_extents_and_indexes_rebuilt_over_packed_records(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, sync=False)
+        with db.transaction():
+            for i in range(6):
+                db.set_root(f"p{i}", Packet(i, f"tag{i % 2}"))
+        _simulate_hard_crash(db)
+
+        db2 = Database(path, sync=False)
+        db2.create_index(Packet, "tag", kind="hash")
+        assert db2.extents.count("Packet") == 6
+        assert db2.query(Packet).where_eq("tag", "tag1").count() == 3
+        db2.close()
+
+    def test_pre_schema_store_reopened_with_schema(self, tmp_path):
+        """A store written before the class had a ``_p_schema`` keeps its
+        JSON records readable; updates rewrite them packed in place."""
+        from repro.oodb import codec
+        from repro.oodb.schema import ClassRegistry
+
+        path = str(tmp_path / "db")
+        old_registry = ClassRegistry()
+
+        class Msg(Persistent, registry=old_registry):
+            _p_class_name = "Msg"
+
+            def __init__(self, n=0, text=""):
+                super().__init__()
+                self.n = n
+                self.text = text
+
+        db = Database(path, registry=old_registry, sync=False)
+        with db.transaction():
+            db.set_root("a", Msg(1, "alpha"))
+            db.set_root("b", Msg(2, "beta"))
+        db.close()
+
+        new_registry = ClassRegistry()
+
+        class MsgV2(Persistent, registry=new_registry):
+            _p_class_name = "Msg"
+            _p_schema = [("n", "int"), ("text", "str:32")]
+
+            def __init__(self, n=0, text=""):
+                super().__init__()
+                self.n = n
+                self.text = text
+
+        db2 = Database(path, registry=new_registry, sync=False)
+        a = db2.get_root("a")
+        assert (a.n, a.text) == (1, "alpha")
+        # The legacy record is still JSON on disk...
+        assert not codec.is_packed(db2._heap.read(db2._locations[a._p_oid]))
+        with db2.transaction():
+            a.text = "alpha-v2"
+        # ...and the rewrite switched it to the packed format.
+        assert codec.is_packed(db2._heap.read(db2._locations[a._p_oid]))
+        db2.close()
+
+        db3 = Database(path, registry=new_registry, sync=False)
+        assert db3.get_root("a").text == "alpha-v2"
+        assert db3.get_root("b").text == "beta"  # untouched, still JSON
+        db3.close()

@@ -56,7 +56,7 @@ class TestSummarize:
 
     def test_indexes_listed(self, populated):
         summary = summarize(populated)
-        assert "Widget.size" in summary.indexes
+        assert "btree:Widget.size" in summary.indexes
 
     def test_stored_rules_described(self, populated):
         summary = summarize(populated)
