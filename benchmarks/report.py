@@ -351,6 +351,7 @@ def report_obs():
     from benchmarks.test_bench_obs import (
         SAMPLE_INTERVAL,
         load_hotpath_baseline,
+        measure_firing,
         measure_pipeline,
     )
     from repro.obs import tracer
@@ -359,6 +360,12 @@ def report_obs():
         disabled = measure_pipeline(tracing=False)
         enabled = measure_pipeline(tracing=True)
         sampled = measure_pipeline(tracing=True, sample=SAMPLE_INTERVAL)
+
+        # Flight recorder: zero code on the fan-out path (gated in
+        # test_bench_obs), one deque append per rule firing (recorded
+        # here as the firing-path on/off ratio).
+        firing_flight_off = measure_firing(flight_on=False)
+        firing_flight_on = measure_firing(flight_on=True)
 
         # Spans per firing: one monitored call through a full ECA rule.
         from repro.workloads import Stock
@@ -400,6 +407,13 @@ def report_obs():
         ),
         "baseline_subscribed_over_passive": baseline["subscribed_over_passive"],
         "spans_per_rule_firing": spans_per_firing,
+        "flight": {
+            "firing_us_off": round(firing_flight_off, 4),
+            "firing_us_on": round(firing_flight_on, 4),
+            "firing_on_over_off": round(
+                firing_flight_on / firing_flight_off, 3
+            ),
+        },
     }
     path = write_baseline("BENCH_obs.json", payload)
     table(
@@ -415,6 +429,15 @@ def report_obs():
             ("enabled", f"{enabled['subscribed_us']:.3f}",
              f"{enabled['per_event_overhead_us']:.3f}",
              f"{enabled['subscribed_over_passive']:.2f}"),
+        ],
+    )
+    table(
+        "OBS: flight recorder on the firing path (µs/firing)",
+        ("mode", "firing", "on/off"),
+        [
+            ("flight off", f"{firing_flight_off:.3f}", ""),
+            ("flight on (default)", f"{firing_flight_on:.3f}",
+             f"{firing_flight_on / firing_flight_off:.3f}"),
         ],
     )
     print(f"spans per rule firing: {spans_per_firing}")

@@ -11,7 +11,13 @@ single flag-guarded branch.  Two properties are pinned here:
   diagnosis mode, not a production default);
 * **sampled**: with a 1-in-16 sample clock the per-call cost must stay
   within 1.5× the disabled path — the skip decision is made once per
-  chain root, so 15 of every 16 chains take the untraced fast path.
+  chain root, so 15 of every 16 chains take the untraced fast path;
+* **flight recorder**: the always-on flight recorder must leave the
+  per-event fan-out path within the same 5% bound — its record sites
+  live on firing/txn/query *boundaries*, never on the per-occurrence
+  fan-out, so the monitored bump path executes zero flight code.  The
+  firing-path cost it does add is measured (``report.py OBS``) but not
+  gated: one deque append per firing.
 
 Timing comparisons use the machine-normalized ``subscribed_over_passive``
 ratio (falling back to the absolute µs figure), so the gate holds across
@@ -26,6 +32,7 @@ import os
 import time
 
 from repro.obs import tracer
+from repro.obs.flight import flight_recorder
 
 from benchmarks.test_bench_event_overhead import (
     NullConsumer,
@@ -104,6 +111,33 @@ def measure_pipeline(tracing: bool, sample: int = 1) -> dict:
         "per_event_overhead_us": subscribed_us - passive_us,
         "subscribed_over_passive": subscribed_us / passive_us,
     }
+
+
+def measure_firing(flight_on: bool, repeat: int = 4000, trials: int = 7):
+    """Per-call cost of a monitored bump that fires a full ECA rule.
+
+    This is the path the flight recorder *does* touch (one tuple append
+    per firing); measured for ``report.py OBS``, not gated.
+    """
+    from repro.core import Rule
+
+    counter = ReactiveCounter()
+    rule = Rule(
+        "FlightBench",
+        "end ReactiveCounter::bump(int n)",
+        condition=lambda ctx: True,
+        action=lambda ctx: None,
+    )
+    counter.subscribe(rule)
+    counter.bump()  # warm
+    was_enabled = flight_recorder.enabled
+    flight_recorder.configure(enabled=flight_on)
+    try:
+        us = best_us_per_call(counter.bump, repeat=repeat, trials=trials)
+    finally:
+        flight_recorder.configure(enabled=was_enabled)
+        flight_recorder.clear()
+    return us
 
 
 def test_bench_disabled_dispatch(benchmark, sentinel):
@@ -193,6 +227,66 @@ def test_shape_disabled_overhead_within_budget(sentinel):
         f"attempts: ratio {ratio:.2f} vs bound {ratio_bound:.2f}, "
         f"overhead {overhead_us:.3f}µs vs bound {absolute_bound:.3f}µs"
     )
+
+
+def test_shape_flight_on_hotpath_within_budget(sentinel):
+    """Flight recorder on (the default): the monitored fan-out path must
+    stay within 5% of the committed hot-path baseline.
+
+    The recorder's hooks live on firing/txn/query boundaries, so the
+    per-occurrence bump path executes no flight code at all — this gate
+    pins that structural claim against the same baseline and bounds as
+    the disabled-tracing gate.
+    """
+    assert flight_recorder.enabled, "flight recorder must be on by default"
+    baseline = load_hotpath_baseline()
+    ratio_bound = baseline["subscribed_over_passive"] * (
+        1 + MAX_DISABLED_REGRESSION
+    )
+    absolute_bound = baseline["per_event_overhead_us"] * (
+        1 + MAX_DISABLED_REGRESSION
+    )
+    passive_us = subscribed_us = float("inf")
+    for _attempt in range(GATE_ATTEMPTS):
+        measured = measure_pipeline(tracing=False)
+        passive_us = min(passive_us, measured["passive_us"])
+        subscribed_us = min(subscribed_us, measured["subscribed_us"])
+        ratio = subscribed_us / passive_us
+        overhead_us = subscribed_us - passive_us
+        if ratio <= ratio_bound or overhead_us <= absolute_bound:
+            return
+    raise AssertionError(
+        f"hot path with flight recorder on regressed on all "
+        f"{GATE_ATTEMPTS} attempts: ratio {ratio:.2f} vs bound "
+        f"{ratio_bound:.2f}, overhead {overhead_us:.3f}µs vs bound "
+        f"{absolute_bound:.3f}µs"
+    )
+
+
+def test_shape_flight_records_firings_but_not_bumps(sentinel):
+    """Structural half of the flight gate: a consumer-only bump records
+    nothing; a rule firing records exactly one entry."""
+    counter = ReactiveCounter()
+    counter.subscribe(NullConsumer())
+    flight_recorder.clear()
+    counter.bump()
+    assert flight_recorder.depth() == 0  # fan-out path: zero flight code
+
+    from repro.core import Rule
+
+    rule = Rule(
+        "FlightShape",
+        "end ReactiveCounter::bump(int n)",
+        condition=lambda ctx: True,
+        action=lambda ctx: None,
+    )
+    ruled = ReactiveCounter()
+    ruled.subscribe(rule)
+    flight_recorder.clear()
+    ruled.bump()
+    entries = flight_recorder.snapshot()
+    assert [e["kind"] for e in entries] == ["firing"]
+    flight_recorder.clear()
 
 
 def test_shape_enabled_records_full_chain(sentinel):

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
+from ..obs.slowlog import slow_op_log as _slowlog
 from ..obs.tracer import tracer as _tracer
 from ..oodb.errors import TransactionAborted
 from .coupling import Coupling
@@ -197,6 +199,8 @@ class Rule(Reactive, Notifiable):
         """
         if _tracer.enabled:
             return self._fire_traced(occurrence)
+        if _slowlog.enabled:
+            return self._fire_timed(occurrence)
         context = RuleContext(
             rule=self,
             occurrence=occurrence,
@@ -209,6 +213,60 @@ class Rule(Reactive, Notifiable):
         if self.action is not None:
             self.action(context)
         return True
+
+    def _fire_timed(self, occurrence: Occurrence) -> bool:
+        """Slow-op timing path of :meth:`fire`: same protocol, with the
+        condition and action bodies timed separately so the slow-op log
+        can attribute a slow firing to the right phase.  Entries are
+        recorded in ``finally`` blocks so a slow body that raises still
+        logs before the exception unwinds."""
+        context = RuleContext(
+            rule=self,
+            occurrence=occurrence,
+            params=occurrence.parameters(),
+        )
+        self.times_triggered += 1
+        if self.condition is not None:
+            started = perf_counter()
+            try:
+                passed = bool(self.condition(context))
+            finally:
+                self._note_phase("condition", occurrence.seq, started)
+            if not passed:
+                return False
+        self.times_fired += 1
+        if self.action is not None:
+            started = perf_counter()
+            try:
+                self.action(context)
+            finally:
+                self._note_phase("action", occurrence.seq, started)
+        return True
+
+    def _note_phase(self, phase: str, seq: int, started: float) -> None:
+        """Record a slow-op entry when a condition/action body overran."""
+        if not _slowlog.enabled:
+            return
+        micros = (perf_counter() - started) * 1e6
+        if micros < _slowlog.slow_rule_us:
+            return
+        _slowlog.record(
+            "rule",
+            micros,
+            _slowlog.slow_rule_us,
+            signal="rule_slow",
+            signal_payload={
+                "rule": self.name,
+                "phase": phase,
+                "seq": seq,
+                "micros": round(micros, 1),
+                "threshold_us": _slowlog.slow_rule_us,
+            },
+            rule=self.name,
+            phase=phase,
+            seq=seq,
+            coupling=self.coupling.value,
+        )
 
     def _fire_traced(self, occurrence: Occurrence) -> bool:
         """Tracing slow path of :meth:`fire`: same protocol, with a
@@ -224,11 +282,14 @@ class Rule(Reactive, Notifiable):
             span = _tracer.begin(
                 "condition", self.name, rule=self.name, seq=occurrence.seq
             )
+            started = perf_counter()
             try:
                 passed = bool(self.condition(context))
             except BaseException as exc:
                 _tracer.end(span, error=type(exc).__name__)
                 raise
+            finally:
+                self._note_phase("condition", occurrence.seq, started)
             _tracer.end(span, passed=passed)
             if not passed:
                 _tracer.point(
@@ -241,11 +302,14 @@ class Rule(Reactive, Notifiable):
             span = _tracer.begin(
                 "action", self.name, rule=self.name, seq=occurrence.seq
             )
+            started = perf_counter()
             try:
                 self.action(context)
             except BaseException as exc:
                 _tracer.end(span, error=type(exc).__name__)
                 raise
+            finally:
+                self._note_phase("action", occurrence.seq, started)
             _tracer.end(span)
         _tracer.point(
             "outcome", self.name, rule=self.name, fired=True, seq=occurrence.seq

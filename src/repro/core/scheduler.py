@@ -31,6 +31,7 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..obs.audit import audit_log as _audit
+from ..obs.flight import flight_recorder as _flight
 from ..obs.metrics import metrics as _metrics
 from ..obs.signals import engine_signals as _signals, occurrence_from_sysmon
 from ..obs.tracer import tracer as _tracer
@@ -317,6 +318,14 @@ class RuleScheduler:
                     threshold=self.max_depth,
                     witness=witness_text,
                 )
+            if _flight.enabled:
+                _flight.record(
+                    "error",
+                    rule.name,
+                    occurrence.seq,
+                    f"cascade depth {self._depth + 1}",
+                )
+                _flight.auto_dump("rule_cascade", witness_text)
             raise CascadeError(
                 f"rule cascade deeper than {self.max_depth} "
                 f"(at rule {rule.name!r}); check for mutually-triggering "
@@ -351,11 +360,28 @@ class RuleScheduler:
             if fired:
                 self.stats.fired += 1
             self._record_trace(rule, occurrence, fired, None)
+            if _flight.enabled:
+                _flight.record(
+                    "firing",
+                    rule.name,
+                    occurrence.seq,
+                    "fired" if fired else "rejected",
+                )
         except TransactionAborted as exc:
             self._record_trace(rule, occurrence, True, str(exc))
+            if _flight.enabled:
+                _flight.record("firing", rule.name, occurrence.seq, "aborted")
             raise
         except Exception as exc:
             self._record_trace(rule, occurrence, False, str(exc))
+            if _flight.enabled:
+                _flight.record("error", rule.name, occurrence.seq, repr(exc))
+                # A CascadeError already dumped (reason "rule_cascade") at
+                # its raise site; don't re-dump per unwinding frame.
+                if self.error_policy == "propagate" and not isinstance(
+                    exc, CascadeError
+                ):
+                    _flight.auto_dump("rule_error", f"{rule.name}: {exc!r}")
             if self.error_policy == "propagate":
                 raise
             self.stats.errors.append(exc)
@@ -437,6 +463,16 @@ class RuleScheduler:
     ) -> None:
         name = rule.name
         coupling = rule.coupling.value
+        if _flight.enabled:
+            if outcome == "error":
+                _flight.record("error", name, occurrence.seq, error or "")
+                # error is repr(exc); CascadeError dumped at its raise site.
+                if self.error_policy == "propagate" and not (
+                    error or ""
+                ).startswith("CascadeError"):
+                    _flight.auto_dump("rule_error", f"{name}: {error}")
+            else:
+                _flight.record("firing", name, occurrence.seq, outcome)
         if _audit.enabled:
             _audit.record(
                 rule=name,

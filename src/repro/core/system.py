@@ -131,6 +131,61 @@ class Sentinel:
 
         return audit_log.open(path, max_bytes=max_bytes, keep=keep)
 
+    def enable_slow_log(
+        self,
+        path: str,
+        max_bytes: int = 1 << 20,
+        keep: int = 3,
+        **thresholds: float,
+    ):
+        """Open the slow-operation log at ``path``.
+
+        Once open, queries, rule condition/action bodies, WAL fsyncs and
+        transactions that overrun their thresholds are appended as JSONL
+        with enough context to reproduce them, and the matching sysmon
+        signals (``query_slow``/``rule_slow``/``txn_long``) fire.
+        Thresholds (``slow_query_us``, ``slow_rule_us``, ``slow_fsync_us``,
+        ``long_txn_us``) pass through as keywords.  The log is
+        process-wide (:data:`repro.obs.slowlog.slow_op_log`); this
+        convenience opens it and returns it.
+        """
+        from ..obs.slowlog import slow_op_log
+
+        return slow_op_log.open(
+            path, max_bytes=max_bytes, keep=keep, **thresholds
+        )
+
+    def disable_slow_log(self) -> None:
+        """Close the slow-operation log and restore default thresholds."""
+        from ..obs.slowlog import slow_op_log
+
+        slow_op_log.close()
+        slow_op_log.reset_thresholds()
+
+    def flight_recorder(self):
+        """The process-wide flight recorder (always on by default).
+
+        Returns :data:`repro.obs.flight.flight_recorder`; read
+        ``snapshot()`` for the last-N engine events or ``dump(path)`` to
+        write them out.  See :meth:`configure_flight` to size the ring or
+        point automatic crash dumps at a directory.
+        """
+        from ..obs.flight import flight_recorder
+
+        return flight_recorder
+
+    def configure_flight(self, **kwargs: Any):
+        """Configure the flight recorder (capacity/dump_dir/dump_keep/enabled).
+
+        Keyword arguments pass through to
+        :meth:`repro.obs.flight.FlightRecorder.configure`; returns the
+        recorder for chaining.
+        """
+        from ..obs.flight import flight_recorder
+
+        flight_recorder.configure(**kwargs)
+        return flight_recorder
+
     def _adopt_class_rules(self) -> None:
         """Bind already-materialized class rules to this system's scheduler.
 

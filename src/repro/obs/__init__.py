@@ -16,6 +16,13 @@ The passive half is deliberately free of imports from ``repro.core`` and
   health signals into.
 * :mod:`repro.obs.audit` — the durable, size-rotated JSONL audit trail
   of rule firings (queried by ``python -m repro.tools.audit``).
+* :mod:`repro.obs.slowlog` — the threshold-driven slow-operation log:
+  slow queries (with their analyzed plans), slow rule bodies, slow WAL
+  fsyncs, and long transactions, as rotated JSONL.
+* :mod:`repro.obs.flight` — the always-on flight recorder: a bounded
+  ring of the last N transactions/queries/firings/errors, snapshotted
+  automatically when something goes wrong (``python -m
+  repro.tools.doctor`` bundles it).
 
 The operational half builds *on top of* the engine and is therefore
 imported lazily (``repro.obs.sysmon`` needs ``repro.core``, which itself
@@ -35,6 +42,7 @@ the disabled-mode figure.
 """
 
 from .audit import AuditLog, audit_log
+from .flight import FlightRecorder, flight_recorder
 from .metrics import (
     Counter,
     Histogram,
@@ -45,6 +53,7 @@ from .metrics import (
     reset_pipeline_stats,
 )
 from .signals import SIGNAL_KINDS, EngineSignals, engine_signals
+from .slowlog import SlowOpLog, slow_op_log
 from .tracer import CausalityTracer, Span, tracer
 
 __all__ = [
@@ -63,6 +72,10 @@ __all__ = [
     "EngineSignals",
     "engine_signals",
     "SIGNAL_KINDS",
+    "SlowOpLog",
+    "slow_op_log",
+    "FlightRecorder",
+    "flight_recorder",
     # lazy (see __getattr__):
     "SystemMonitor",
     "occurrence_from_sysmon",

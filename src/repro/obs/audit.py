@@ -35,7 +35,13 @@ import os
 import time
 from typing import IO, Any, Iterator
 
-__all__ = ["AuditLog", "audit_log", "OUTCOMES", "read_entries"]
+__all__ = [
+    "AuditLog",
+    "audit_log",
+    "OUTCOMES",
+    "read_entries",
+    "tail_entries",
+]
 
 #: The verdicts a rule execution can audit as.
 OUTCOMES = ("fired", "rejected", "error", "aborted")
@@ -159,6 +165,43 @@ def read_entries(
                     yield json.loads(line)
                 except ValueError:
                     continue
+
+
+def tail_entries(
+    path: str, count: int, include_rotated: bool = True
+) -> list[dict[str, Any]]:
+    """The last ``count`` entries, oldest-first, spanning rotations.
+
+    Walks generations newest-first (``path``, then ``.1``, ``.2``, …)
+    and stops as soon as enough entries are collected, so a short tail
+    over a heavily-rotated log reads only the files it needs.
+    """
+    if count <= 0:
+        return []
+    paths = [path] if os.path.exists(path) else []
+    if include_rotated:
+        generation = 1
+        while os.path.exists(f"{path}.{generation}"):
+            paths.append(f"{path}.{generation}")
+            generation += 1
+    collected: list[dict[str, Any]] = []
+    for name in paths:  # newest generation first
+        entries: list[dict[str, Any]] = []
+        with open(name, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue
+        # Prepend this (older) generation's contribution.
+        needed = count - len(collected)
+        collected = entries[-needed:] + collected
+        if len(collected) >= count:
+            break
+    return collected
 
 
 #: The process-wide audit log; the scheduler binds this to a local and

@@ -1,0 +1,252 @@
+"""Always-on flight recorder: the last N engine events, crash-dumpable.
+
+The tracer answers "show me one chain in detail" and costs enough that
+it ships disabled.  The audit log answers "what did rule X do at 14:02"
+and needs a file opened first.  Neither helps when a process that was
+never instrumented hits a ``RuleCascadeError`` at 3am — by then the
+evidence is gone.  The flight recorder closes that gap: a fixed-size
+ring buffer of the last N transactions, query executions, rule firings,
+and errors that is **on by default** and cheap enough to stay on.
+
+Design points, in tension order:
+
+* **Allocation-light record path.**  One entry is one plain tuple
+  ``(ts, kind, name, value, detail)`` appended to a bounded
+  ``collections.deque`` — no dicts, no formatting, no I/O.  Call sites
+  guard with ``if _flight.enabled:`` (the tracer's discipline), so
+  turning the recorder off restores the bare hot path.  The record
+  sites live on per-firing / per-transaction / per-query boundaries,
+  never on the per-occurrence fan-out path, which is what keeps the
+  ≤5% hot-path gate in ``benchmarks/test_bench_obs.py`` honest.
+* **Automatic dumps.**  The engine snapshots the ring when evidence is
+  about to become interesting: a transaction rolls back, a rule error
+  propagates, a cascade blows the depth limit.  Snapshots are stored
+  in memory (``dumps``, newest last, bounded) as raw tuple lists —
+  rendering to dicts/JSON happens only when somebody reads them.  When
+  a ``dump_dir`` is configured the snapshot is *also* written to
+  ``flight-<seq>-<reason>.jsonl`` (at most ``dump_keep`` files kept).
+* **Single-writer/concurrent-reader.**  The engine thread records;
+  readers (``tools.doctor``, the exporter) take locked copies via
+  :meth:`snapshot` / :meth:`snapshot_dumps`.
+
+The registry gains a ``flight`` collector (``flight.depth``,
+``flight.capacity``, ``flight.recorded``, ``flight.dumps``) so the
+OpenMetrics exporter publishes recorder depth gauges for free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from time import time
+from typing import Any
+
+from .metrics import metrics
+
+__all__ = ["FlightRecorder", "flight_recorder", "ENTRY_KINDS", "DUMP_REASONS"]
+
+#: The entry kinds the engine records.
+ENTRY_KINDS = ("txn", "query", "firing", "error")
+
+#: The reasons an automatic dump is taken (plus ``manual`` on demand).
+DUMP_REASONS = ("txn_aborted", "rule_error", "rule_cascade", "manual")
+
+_FIELDS = ("ts", "kind", "name", "value", "detail")
+
+
+class FlightRecorder:
+    """Bounded, always-on ring buffer of recent engine activity."""
+
+    __slots__ = (
+        "enabled",
+        "dump_dir",
+        "dump_keep",
+        "recorded",
+        "dumps",
+        "_ring",
+        "_dump_seq",
+        "_lock",
+    )
+
+    def __init__(self, capacity: int = 512) -> None:
+        #: The record-path guard; on by default.
+        self.enabled = True
+        #: When set, automatic dumps are also written here as JSONL.
+        self.dump_dir: str | None = None
+        #: How many on-disk dump files to retain.
+        self.dump_keep = 8
+        #: Total entries ever recorded (survives ring wrap).
+        self.recorded = 0
+        #: In-memory dump snapshots: (reason, ts, error, [entry tuples]).
+        self.dumps: deque[tuple[str, float, str, list[tuple]]] = deque(
+            maxlen=8
+        )
+        self._ring: deque[tuple] = deque(maxlen=capacity)
+        self._dump_seq = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording (engine thread only; guard call sites on ``enabled``)
+    # ------------------------------------------------------------------
+    def record(
+        self, kind: str, name: str, value: int = 0, detail: str = ""
+    ) -> None:
+        """Append one entry.  One tuple, one deque append — nothing else."""
+        self._ring.append((time(), kind, name, value, detail))
+        self.recorded += 1
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def configure(
+        self,
+        *,
+        capacity: int | None = None,
+        dump_dir: str | None = None,
+        dump_keep: int | None = None,
+        enabled: bool | None = None,
+    ) -> "FlightRecorder":
+        """Adjust the recorder; resizing the ring keeps the newest entries."""
+        with self._lock:
+            if capacity is not None:
+                if capacity < 1:
+                    raise ValueError(
+                        f"capacity must be >= 1, got {capacity}"
+                    )
+                self._ring = deque(self._ring, maxlen=capacity)
+            if dump_dir is not None:
+                self.dump_dir = dump_dir or None
+            if dump_keep is not None:
+                if dump_keep < 1:
+                    raise ValueError(
+                        f"dump_keep must be >= 1, got {dump_keep}"
+                    )
+                self.dump_keep = dump_keep
+            if enabled is not None:
+                self.enabled = enabled
+        return self
+
+    def clear(self) -> None:
+        """Drop all entries and in-memory dumps (tests, mostly)."""
+        with self._lock:
+            self._ring.clear()
+            self.dumps.clear()
+            self.recorded = 0
+            self._dump_seq = 0
+
+    # ------------------------------------------------------------------
+    # Reading (any thread)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """The live ring as dicts, oldest first."""
+        with self._lock:
+            raw = list(self._ring)
+        return [dict(zip(_FIELDS, entry)) for entry in raw]
+
+    def snapshot_dumps(self) -> list[dict[str, Any]]:
+        """The retained dump snapshots as dicts, oldest first."""
+        with self._lock:
+            raw = list(self.dumps)
+        return [
+            {
+                "reason": reason,
+                "ts": ts,
+                "error": error,
+                "entries": [dict(zip(_FIELDS, e)) for e in entries],
+            }
+            for reason, ts, error, entries in raw
+        ]
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def auto_dump(self, reason: str, error: str = "") -> str | None:
+        """Snapshot the ring because something just went wrong.
+
+        Always records an in-memory snapshot (cheap: a list copy of the
+        tuples); writes a JSONL file only when :attr:`dump_dir` is set.
+        Returns the file path when one was written.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            entries = list(self._ring)
+            self.dumps.append((reason, time(), error, entries))
+            self._dump_seq += 1
+            seq = self._dump_seq
+            dump_dir = self.dump_dir
+        if dump_dir is None:
+            return None
+        return self._write_dump(dump_dir, seq, reason, error, entries)
+
+    def dump(self, path: str | None = None) -> str | list[dict[str, Any]]:
+        """On-demand dump: to ``path`` as JSONL, or returned as dicts."""
+        snapshot = self.snapshot()
+        if path is None:
+            return snapshot
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in snapshot:
+                handle.write(json.dumps(entry, default=str))
+                handle.write("\n")
+        return path
+
+    def _write_dump(
+        self,
+        dump_dir: str,
+        seq: int,
+        reason: str,
+        error: str,
+        entries: list[tuple],
+    ) -> str:
+        os.makedirs(dump_dir, exist_ok=True)
+        path = os.path.join(dump_dir, f"flight-{seq:04d}-{reason}.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"reason": reason, "ts": time(), "error": error}
+            handle.write(json.dumps(header, default=str))
+            handle.write("\n")
+            for entry in entries:
+                handle.write(json.dumps(dict(zip(_FIELDS, entry)), default=str))
+                handle.write("\n")
+        self._prune(dump_dir)
+        return path
+
+    def _prune(self, dump_dir: str) -> None:
+        dumps = sorted(
+            name
+            for name in os.listdir(dump_dir)
+            if name.startswith("flight-") and name.endswith(".jsonl")
+        )
+        for name in dumps[: -self.dump_keep]:
+            try:
+                os.remove(os.path.join(dump_dir, name))
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+
+
+#: The process-wide recorder.  Engine modules bind this to a local
+#: (``from ..obs.flight import flight_recorder as _flight``) and guard
+#: record sites with ``if _flight.enabled:``.
+flight_recorder = FlightRecorder()
+
+
+def _flight_counts() -> dict[str, float]:
+    return {
+        "depth": float(flight_recorder.depth()),
+        "capacity": float(flight_recorder.capacity),
+        "recorded": float(flight_recorder.recorded),
+        "dumps": float(len(flight_recorder.dumps)),
+    }
+
+
+metrics.register_collector(
+    "flight", _flight_counts, flight_recorder.clear
+)

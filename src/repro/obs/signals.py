@@ -47,6 +47,9 @@ SIGNAL_KINDS = (
     "txn_aborted",                # a transaction rolled back
     "scheduler_depth_exceeded",   # rule cascade crossed the depth threshold
     "wal_fsync_slow",             # one WAL fsync took longer than the budget
+    "query_slow",                 # a query overran the slow-op threshold
+    "rule_slow",                  # a condition/action body overran its budget
+    "txn_long",                   # a transaction stayed open too long
 )
 
 Sink = Callable[[str, dict[str, Any]], None]

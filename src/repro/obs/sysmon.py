@@ -28,7 +28,17 @@ entry):
 ``txn_aborted``                a transaction rolled back (txn_id, changes)
 ``scheduler_depth_exceeded``   cascade too deep (depth, threshold, witness)
 ``wal_fsync_slow``             one fsync overran its budget (micros, threshold_us)
+``query_slow``                 a query breached the slow-op log threshold
+                               (class_name, access_path, micros, threshold_us)
+``rule_slow``                  a condition/action body overran its budget
+                               (rule, phase, seq, micros, threshold_us)
+``txn_long``                   a transaction stayed open too long
+                               (txn_id, changes, micros, threshold_us)
 =============================  =====================================
+
+The three ``*_slow``/``*_long`` signals are raised by the slow-op log
+(:mod:`repro.obs.slowlog`) when it is open, so "react to slowness" rules
+need both a monitor attached *and* ``Sentinel.enable_slow_log()``.
 
 **Re-entrancy.**  A sysmon rule firing is itself a rule firing; naively
 it would emit ``rule_fired``, trigger itself, and recurse.  Two guards
@@ -74,6 +84,9 @@ class SystemMonitor(Reactive):
         self.txn_aborts = 0
         self.depth_alerts = 0
         self.slow_fsyncs = 0
+        self.slow_queries = 0
+        self.slow_rules = 0
+        self.long_txns = 0
         self.dropped_reentrant = 0
         object.__setattr__(self, "_emitting", False)
 
@@ -127,6 +140,9 @@ class SystemMonitor(Reactive):
             "txn_aborted": self.txn_aborts,
             "scheduler_depth_exceeded": self.depth_alerts,
             "wal_fsync_slow": self.slow_fsyncs,
+            "query_slow": self.slow_queries,
+            "rule_slow": self.slow_rules,
+            "txn_long": self.long_txns,
             "dropped_reentrant": self.dropped_reentrant,
         }
 
@@ -162,3 +178,30 @@ class SystemMonitor(Reactive):
     @event_method
     def wal_fsync_slow(self, micros: float, threshold_us: float) -> None:
         self.slow_fsyncs += 1
+
+    @event_method
+    def query_slow(
+        self,
+        class_name: str,
+        access_path: str,
+        micros: float,
+        threshold_us: float,
+    ) -> None:
+        self.slow_queries += 1
+
+    @event_method
+    def rule_slow(
+        self,
+        rule: str,
+        phase: str,
+        seq: int,
+        micros: float,
+        threshold_us: float,
+    ) -> None:
+        self.slow_rules += 1
+
+    @event_method
+    def txn_long(
+        self, txn_id: int, changes: int, micros: float, threshold_us: float
+    ) -> None:
+        self.long_txns += 1

@@ -96,6 +96,7 @@ class Database:
         group_commit: bool = True,
         locking: bool = False,
         buffer_capacity: int = 256,
+        profile_queries: bool = False,
     ) -> None:
         self.registry = registry or global_registry
         # The catalog's own classes must decode regardless of which
@@ -103,6 +104,12 @@ class Database:
         self.registry.register(RootMap)
         self.locking = locking
         self.group_commit = group_commit
+        #: When True every query executes through the instrumented
+        #: pipeline (see ``Query.explain(analyze=True)``); the most
+        #: recent evidence is kept on :attr:`last_query_profile`.
+        self.profile_queries = profile_queries
+        #: The ``AnalyzedPlan`` of the last profiled query execution.
+        self.last_query_profile: Any | None = None
         self.locks = LockManager()
         self.extents = Extents(self.registry)
         self.indexes = IndexManager(self.registry.family)
@@ -132,6 +139,16 @@ class Database:
             )
             self._memory_records = {}
             self.last_recovery = self._recover_and_load()
+
+    @property
+    def wal(self) -> "WriteAheadLog | None":
+        """The write-ahead log (None for in-memory databases).
+
+        Public so health checks (``repro.obs.exporter.build_checks``)
+        and diagnostics (``repro.tools.doctor``) can probe WAL
+        writability without reaching into privates.
+        """
+        return self._wal
 
     # ------------------------------------------------------------------
     # Open-time recovery and loading

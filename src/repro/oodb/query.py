@@ -21,7 +21,16 @@ predicates, and sorts/limits the result.  Execution is planned per run:
 
 The plan is a per-execution value object — building or running a query
 never mutates the builder, so a ``Query`` can be iterated repeatedly.
-:meth:`Query.explain` returns the plan without executing it.
+:meth:`Query.explain` returns the plan without executing it;
+``explain(analyze=True)`` *executes* the query through an instrumented
+twin of the normal pipeline and returns an :class:`AnalyzedPlan` — the
+plan plus measured per-stage numbers (rows scanned vs. estimated, index
+probes, ``fetch_many`` page pins, buffer hit rate, residual-filter
+drops, wall time per stage), so planner mis-estimates are visible.
+Setting ``db.profile_queries = True`` (or opening the slow-op log)
+routes every execution through the instrumented path; the most recent
+result is kept on ``db.last_query_profile`` and slow executions land in
+:mod:`repro.obs.slowlog` with their analyzed plan attached.
 
 Example::
 
@@ -38,10 +47,13 @@ from __future__ import annotations
 
 import math
 import operator
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
+from ..obs.flight import flight_recorder as _flight
 from ..obs.metrics import metrics
+from ..obs.slowlog import slow_op_log as _slowlog
 from .errors import QueryError
 from .index import BTree
 from .oid import Oid
@@ -51,7 +63,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from .index import _IndexState
     from .schema import Persistent
 
-__all__ = ["Query", "QueryPlan", "IndexChoice"]
+__all__ = [
+    "Query",
+    "QueryPlan",
+    "IndexChoice",
+    "AnalyzedPlan",
+    "ExecutionStats",
+]
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "==": operator.eq,
@@ -182,6 +200,133 @@ class QueryPlan:
     def __str__(self) -> str:
         return self.describe()
 
+    def to_json(self) -> dict[str, Any]:
+        """The plan as JSON-safe primitives (filter values ``repr``-ed)."""
+        return {
+            "class_name": self.class_name,
+            "include_subclasses": self.include_subclasses,
+            "access_path": self.access_path,
+            "index_filters": [
+                {
+                    "attribute": c.attribute,
+                    "op": c.op,
+                    "value": repr(c.value),
+                    "index": c.index_name,
+                    "kind": c.kind,
+                    "estimated_rows": c.estimated_rows,
+                }
+                for c in self.index_filters
+            ],
+            "residual_filters": [
+                [attribute, op, repr(value)]
+                for attribute, op, value in self.residual_filters
+            ],
+            "predicates": self.predicates,
+            "order": (
+                None
+                if self.order is None
+                else {"attribute": self.order[0], "descending": self.order[1]}
+            ),
+            "sort_needed": self.sort_needed,
+            "index_only": self.index_only,
+            "limit": self.limit,
+            "estimated_rows": self.estimated_rows,
+            "extent_size": self.extent_size,
+        }
+
+
+@dataclass(slots=True)
+class ExecutionStats:
+    """Measured per-stage numbers from one instrumented execution.
+
+    Counters cover the four pipeline stages (access → fetch → filter →
+    sort); ``*_us`` fields are the wall time spent inside each.  In
+    streaming executions (no in-memory sort) a ``limit`` stops the
+    pipeline early, exactly like the uninstrumented path, so the counts
+    reflect the work actually done.
+    """
+
+    candidates: int = 0        # OIDs the access path yielded ("rows scanned")
+    fetched: int = 0           # objects materialized via fetch_many
+    residual_dropped: int = 0  # fetched objects the residual filters rejected
+    returned: int = 0          # rows the query produced
+    index_probes: int = 0      # index lookups performed by the access path
+    page_pins: int = 0         # fetch_many page pins (heap pages touched)
+    buffer_hits: int = 0       # buffer-pool hits during this execution
+    buffer_misses: int = 0     # buffer-pool misses (disk reads)
+    access_us: float = 0.0
+    fetch_us: float = 0.0
+    filter_us: float = 0.0
+    sort_us: float = 0.0
+    total_us: float = 0.0
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        touched = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / touched if touched else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        out["buffer_hit_rate"] = round(self.buffer_hit_rate, 4)
+        for name in ("access_us", "fetch_us", "filter_us", "sort_us", "total_us"):
+            out[name] = round(out[name], 1)
+        return out
+
+
+class AnalyzedPlan:
+    """A :class:`QueryPlan` plus the numbers one execution actually saw.
+
+    Returned by ``Query.explain(analyze=True)`` and kept on
+    ``db.last_query_profile`` when profiling is on.  ``describe()``
+    renders the plan with an ``analyze:`` section putting actuals next
+    to the planner's estimates; ``to_json()`` is the machine-readable
+    twin (it is what the slow-op log embeds).
+    """
+
+    __slots__ = ("plan", "stats")
+
+    def __init__(self, plan: QueryPlan, stats: ExecutionStats) -> None:
+        self.plan = plan
+        self.stats = stats
+
+    def describe(self) -> str:
+        plan, s = self.plan, self.stats
+        est, scanned = plan.estimated_rows, s.candidates
+        rows = f"  rows: est ~{est}, scanned {scanned}, returned {s.returned}"
+        hi, lo = max(est, scanned), max(1, min(est, scanned))
+        if hi >= 8 and hi / lo >= 4:
+            rows += f" (misestimate {hi / lo:.0f}x)"
+        if s.buffer_hits or s.buffer_misses:
+            buffer = (
+                f"  buffer pool: {s.buffer_hits} hits / {s.buffer_misses} "
+                f"misses ({s.buffer_hit_rate * 100:.1f}% hit rate)"
+            )
+        else:
+            buffer = "  buffer pool: untouched"
+        lines = [
+            plan.describe(),
+            "analyze:",
+            rows,
+            f"  index probes: {s.index_probes}",
+            f"  fetch: {s.fetched} objects, {s.page_pins} page pins",
+            buffer,
+            f"  residual filter: dropped {s.residual_dropped}",
+            (
+                f"  time: access {s.access_us:.1f}µs, "
+                f"fetch {s.fetch_us:.1f}µs, filter {s.filter_us:.1f}µs, "
+                f"sort {s.sort_us:.1f}µs, total {s.total_us:.1f}µs"
+            ),
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    def to_json(self) -> dict[str, Any]:
+        return {"plan": self.plan.to_json(), "actual": self.stats.to_json()}
+
 
 class Query:
     """A lazily-evaluated selection over one class extent."""
@@ -240,9 +385,20 @@ class Query:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def explain(self) -> QueryPlan:
-        """The plan this query would execute with, without executing it."""
-        return self._prepare()
+    def explain(self, analyze: bool = False) -> QueryPlan | AnalyzedPlan:
+        """The plan this query would execute with.
+
+        With ``analyze=False`` (the default) the plan is returned
+        without executing anything.  With ``analyze=True`` the query is
+        *executed* through the instrumented pipeline and the returned
+        :class:`AnalyzedPlan` carries the measured per-stage numbers
+        next to the planner's estimates.
+        """
+        plan = self._prepare()
+        if not analyze:
+            return plan
+        _rows, stats = self._run_analyzed(plan)
+        return AnalyzedPlan(plan, stats)
 
     def _wanted(self) -> set[Oid]:
         """The extent the query selects from (fresh set, built on demand)."""
@@ -356,12 +512,22 @@ class Query:
             metrics.counter("index_hits").inc(len(plan.index_filters))
         elif plan.access_path == "index_order":
             metrics.counter("index_hits").inc()
+        if _flight.enabled:
+            _flight.record(
+                "query",
+                plan.class_name,
+                plan.estimated_rows,
+                plan.access_path,
+            )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator["Persistent"]:
-        return self._execute(self._prepare())
+        plan = self._prepare()
+        if self._db.profile_queries or _slowlog.enabled:
+            return iter(self._profiled_execute(plan))
+        return self._execute(plan)
 
     def _execute(self, plan: QueryPlan) -> Iterator["Persistent"]:
         self._note_execution(plan)
@@ -393,6 +559,144 @@ class Query:
         if plan.limit is not None:
             objects = _take(objects, plan.limit)
         return objects
+
+    # ------------------------------------------------------------------
+    # Instrumented execution (EXPLAIN ANALYZE / profiling / slow-op log)
+    # ------------------------------------------------------------------
+    def _profiled_execute(self, plan: QueryPlan) -> list["Persistent"]:
+        """Execute through the instrumented pipeline, keep the evidence."""
+        rows, stats = self._run_analyzed(plan)
+        analyzed = AnalyzedPlan(plan, stats)
+        self._db.last_query_profile = analyzed
+        if _slowlog.enabled and stats.total_us >= _slowlog.slow_query_us:
+            threshold = _slowlog.slow_query_us
+            _slowlog.record(
+                "query",
+                stats.total_us,
+                threshold,
+                signal="query_slow",
+                signal_payload={
+                    "class_name": plan.class_name,
+                    "access_path": plan.access_path,
+                    "micros": stats.total_us,
+                    "threshold_us": threshold,
+                },
+                access_path=plan.access_path,
+                rows=stats.returned,
+                plan=analyzed.to_json(),
+                **{"class": plan.class_name},
+            )
+        return rows
+
+    def _run_analyzed(
+        self, plan: QueryPlan
+    ) -> tuple[list["Persistent"], ExecutionStats]:
+        """The instrumented twin of :meth:`_execute`.
+
+        Same stages, same results, same early termination on ``limit``
+        (when no in-memory sort forces full materialization) — but every
+        stage boundary is timed and counted.  The per-row ``perf_counter``
+        bracketing costs a few hundred ns/row, which is why this path is
+        opt-in (``analyze=True`` / ``profile_queries`` / open slow-op log)
+        rather than the default.
+        """
+        stats = ExecutionStats()
+        total0 = perf_counter()
+        self._note_execution(plan)
+        stats.index_probes = len(plan.index_filters) or (
+            1 if plan.access_path == "index_order" else 0
+        )
+        pool = getattr(self._db, "_pool", None)
+        if pool is not None:
+            hits0, misses0 = pool.stats.hits, pool.stats.misses
+        pins = metrics.counter("fetch_many_page_pins")
+        pins0 = pins.value
+
+        passes = self._residual_passes(plan)
+        candidates = self._timed_oids(
+            self._candidate_oids(plan, self._wanted()), stats
+        )
+        out: list["Persistent"] = []
+        if plan.sort_needed:
+            assert plan.order is not None
+            attribute, descending = plan.order
+            present: list["Persistent"] = []
+            absent: list["Persistent"] = []
+            for obj in self._timed_fetch(candidates, stats):
+                t0 = perf_counter()
+                ok = passes(obj)
+                stats.filter_us += (perf_counter() - t0) * 1e6
+                if not ok:
+                    stats.residual_dropped += 1
+                    continue
+                if getattr(obj, attribute, _MISSING) is _MISSING:
+                    absent.append(obj)
+                else:
+                    present.append(obj)
+            t0 = perf_counter()
+            present.sort(
+                key=lambda obj: getattr(obj, attribute), reverse=descending
+            )
+            stats.sort_us = (perf_counter() - t0) * 1e6
+            out = present + absent
+            if plan.limit is not None:
+                out = out[: plan.limit]
+        elif plan.limit != 0:
+            for obj in self._timed_fetch(candidates, stats):
+                t0 = perf_counter()
+                ok = passes(obj)
+                stats.filter_us += (perf_counter() - t0) * 1e6
+                if not ok:
+                    stats.residual_dropped += 1
+                    continue
+                out.append(obj)
+                if plan.limit is not None and len(out) >= plan.limit:
+                    break
+
+        stats.returned = len(out)
+        stats.page_pins = pins.value - pins0
+        if pool is not None:
+            stats.buffer_hits = pool.stats.hits - hits0
+            stats.buffer_misses = pool.stats.misses - misses0
+        stats.total_us = (perf_counter() - total0) * 1e6
+        return out, stats
+
+    def _timed_oids(
+        self, oids: Iterator[Oid], stats: ExecutionStats
+    ) -> Iterator[Oid]:
+        """Pass OIDs through, charging generator time to the access stage."""
+        while True:
+            t0 = perf_counter()
+            try:
+                oid = next(oids)
+            except StopIteration:
+                stats.access_us += (perf_counter() - t0) * 1e6
+                return
+            stats.access_us += (perf_counter() - t0) * 1e6
+            stats.candidates += 1
+            yield oid
+
+    def _timed_fetch(
+        self, oids: Iterable[Oid], stats: ExecutionStats
+    ) -> Iterator["Persistent"]:
+        """:meth:`_fetch_stream` with the fetch stage timed and counted."""
+        db = self._db
+        batch: list[Oid] = []
+        for oid in oids:
+            batch.append(oid)
+            if len(batch) >= _FETCH_CHUNK:
+                t0 = perf_counter()
+                objects = db.fetch_many(batch)
+                stats.fetch_us += (perf_counter() - t0) * 1e6
+                stats.fetched += len(objects)
+                yield from objects
+                batch = []
+        if batch:
+            t0 = perf_counter()
+            objects = db.fetch_many(batch)
+            stats.fetch_us += (perf_counter() - t0) * 1e6
+            stats.fetched += len(objects)
+            yield from objects
 
     def _residual_passes(self, plan: QueryPlan) -> Callable[[Any], bool]:
         # Bind the comparator tuples now: generator pipelines evaluate

@@ -33,6 +33,7 @@ from time import perf_counter
 
 from ...obs.metrics import pipeline_stats
 from ...obs.signals import engine_signals as _signals
+from ...obs.slowlog import slow_op_log as _slowlog
 from ...obs.tracer import tracer as _tracer
 from ..errors import WALError
 
@@ -222,15 +223,24 @@ class WriteAheadLog:
             pending.clear()
         self._file.flush()
         if self._sync if force_sync is None else force_sync:
-            if _signals.active:
+            if _signals.active or _slowlog.enabled:
                 start = perf_counter()
                 os.fsync(self._file.fileno())
                 micros = (perf_counter() - start) * 1e6
-                if micros >= _signals.fsync_slow_us:
+                if _signals.active and micros >= _signals.fsync_slow_us:
                     _signals.emit(
                         "wal_fsync_slow",
                         micros=round(micros, 1),
                         threshold_us=_signals.fsync_slow_us,
+                    )
+                if _slowlog.enabled and micros >= _slowlog.slow_fsync_us:
+                    # The sysmon signal for slow fsyncs predates the
+                    # slow-op log and keeps its own threshold above.
+                    _slowlog.record(
+                        "fsync",
+                        micros,
+                        _slowlog.slow_fsync_us,
+                        path=self._path,
                     )
             else:
                 os.fsync(self._file.fileno())

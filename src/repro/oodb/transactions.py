@@ -24,9 +24,12 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
 
+from ..obs.flight import flight_recorder as _flight
 from ..obs.signals import engine_signals as _signals
+from ..obs.slowlog import slow_op_log as _slowlog
 from ..obs.tracer import tracer as _tracer
 from .errors import (
     NoActiveTransaction,
@@ -79,6 +82,9 @@ class Transaction:
         self._on_abort: list[Hook] = []
         self._savepoints: dict[str, dict[str, Any]] = {}
         self._restoring = False
+        # Begin timestamp for long-transaction detection; stamped by the
+        # manager only while the slow-op log is open.
+        self._started_at: float | None = None
 
     # ------------------------------------------------------------------
     # State inspection
@@ -313,6 +319,8 @@ class TransactionManager:
             )
         txn = Transaction(self._db, implicit=implicit)
         self._local.txn = txn
+        if _slowlog.enabled:
+            txn._started_at = perf_counter()
         if _tracer.enabled:
             _tracer.point("txn", f"begin:{txn.id}", txn=txn.id, op="begin",
                           implicit=implicit)
@@ -372,6 +380,12 @@ class TransactionManager:
         self.committed += 1
         self.last_commit_size = txn.change_count()
         self.objects_committed += self.last_commit_size
+        if _flight.enabled:
+            _flight.record(
+                "txn", "commit", txn.id, f"changes={self.last_commit_size}"
+            )
+        if _slowlog.enabled:
+            self._note_duration(txn, "committed")
         self._notify_observers("commit", txn)
 
     def _run_pre_commit(self, txn: Transaction) -> None:
@@ -402,6 +416,11 @@ class TransactionManager:
             _signals.emit(
                 "txn_aborted", txn_id=txn.id, changes=txn.change_count()
             )
+        if _flight.enabled:
+            _flight.record(
+                "txn", "abort", txn.id, f"changes={txn.change_count()}"
+            )
+            _flight.auto_dump("txn_aborted", f"txn {txn.id} rolled back")
         txn._restoring = True
         try:
             self._db._apply_rollback(txn)
@@ -410,9 +429,35 @@ class TransactionManager:
         txn.status = TransactionStatus.ABORTED
         self._finish(txn)
         self.aborted += 1
+        if _slowlog.enabled:
+            self._note_duration(txn, "aborted")
         self._notify_observers("abort", txn)
         for hook in txn.drain_abort_hooks():
             hook()
+
+    def _note_duration(self, txn: Transaction, status: str) -> None:
+        """Record a long-transaction breach (slow-op log open, by contract)."""
+        started = txn._started_at
+        if started is None:
+            return
+        micros = (perf_counter() - started) * 1e6
+        threshold = _slowlog.long_txn_us
+        if micros >= threshold:
+            _slowlog.record(
+                "txn",
+                micros,
+                threshold,
+                signal="txn_long",
+                signal_payload={
+                    "txn_id": txn.id,
+                    "changes": txn.change_count(),
+                    "micros": round(micros, 1),
+                    "threshold_us": threshold,
+                },
+                txn_id=txn.id,
+                changes=txn.change_count(),
+                status=status,
+            )
 
     def _finish(self, txn: Transaction) -> None:
         if self.current is txn:

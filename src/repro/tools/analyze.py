@@ -31,7 +31,7 @@ from typing import Any
 
 from ..analysis import AnalysisReport, analyze
 
-__all__ = ["load_system", "main"]
+__all__ = ["load_system", "system_from_module", "main"]
 
 
 class TargetError(Exception):
@@ -41,7 +41,16 @@ class TargetError(Exception):
 def load_system(target: str) -> Any:
     """Import ``target`` (a ``.py`` path or dotted module) and build its
     system via the ``build_system()`` convention."""
-    module = _import_target(target)
+    return system_from_module(_import_target(target), target)
+
+
+def system_from_module(module: Any, target: str) -> Any:
+    """Build the system from an already-imported target module.
+
+    Split out of :func:`load_system` so callers that also need the
+    module itself (``repro.tools.doctor`` looks for an optional
+    ``exercise()`` hook next to ``build_system()``) import it once.
+    """
     builder = getattr(module, "build_system", None)
     if builder is None or not callable(builder):
         raise TargetError(

@@ -22,7 +22,7 @@ import sys
 from datetime import datetime
 from typing import Any, Iterable, Iterator
 
-from ..obs.audit import OUTCOMES, read_entries
+from ..obs.audit import OUTCOMES, read_entries, tail_entries
 
 __all__ = ["filter_entries", "render_entry", "render_summary", "main"]
 
@@ -143,18 +143,31 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    entries: Iterable[dict[str, Any]] = filter_entries(
-        read_entries(args.path, include_rotated=not args.no_rotated),
-        rule=args.rule,
-        outcome=args.outcome,
-        since=parse_when(args.since) if args.since else None,
-        until=parse_when(args.until) if args.until else None,
+    filters_active = any(
+        value is not None
+        for value in (args.rule, args.outcome, args.since, args.until)
     )
-    if args.summary:
-        print(render_summary(entries))
-        return 0
-    if args.tail is not None:
-        entries = list(entries)[-args.tail :]
+    if args.tail is not None and not args.summary and not filters_active:
+        # Unfiltered tail: walk generations newest-first (the active file,
+        # then .1, .2, ...) and stop as soon as N entries are collected —
+        # a tail that spans a rotation boundary never reads older
+        # generations it does not need.
+        entries: Iterable[dict[str, Any]] = tail_entries(
+            args.path, args.tail, include_rotated=not args.no_rotated
+        )
+    else:
+        entries = filter_entries(
+            read_entries(args.path, include_rotated=not args.no_rotated),
+            rule=args.rule,
+            outcome=args.outcome,
+            since=parse_when(args.since) if args.since else None,
+            until=parse_when(args.until) if args.until else None,
+        )
+        if args.summary:
+            print(render_summary(entries))
+            return 0
+        if args.tail is not None:
+            entries = list(entries)[-args.tail :]
     count = 0
     for entry in entries:
         print(render_entry(entry))

@@ -1,0 +1,360 @@
+"""One-shot diagnostics bundle for a Sentinel system.
+
+Usage::
+
+    python -m repro.tools.doctor app.py                  # markdown to stdout
+    python -m repro.tools.doctor app.py --out bundle/    # directory bundle
+    python -m repro.tools.doctor app.py --json doctor.json
+    python -m repro.tools.doctor some.module --slow-tail 100
+
+``app.py`` (or the dotted module) must expose ``build_system()`` — the
+same convention as ``repro.tools.analyze``.  If the module also defines
+``exercise(sentinel)``, the doctor calls it before collecting, so the
+bundle reflects a real workload (induce the slow query you want
+diagnosed there); ``--no-exercise`` skips it.
+
+The bundle gathers, in one place, everything the other observability
+surfaces expose separately:
+
+* **health** — the ``/healthz`` checks (WAL writability, error rate,
+  scheduler depth, recovery state) without needing the HTTP server;
+* **metrics** — the full registry snapshot (``/vars`` equivalent);
+* **flight** — the always-on flight recorder ring and any retained
+  crash dumps;
+* **slow_ops** — the newest entries of the slow-op log, thresholds
+  included;
+* **storage** — the ``inspect --stats`` report for the live database;
+* **analysis** — the static rule-set findings (triggering graph,
+  termination/confluence/dead-rule checks).
+
+``--out DIR`` writes the bundle as a directory (``doctor.json``,
+``doctor.md``, ``flight.jsonl``, ``slow_ops.jsonl``); ``--json FILE``
+writes a single JSON file with the markdown summary embedded; neither
+prints the markdown summary to stdout.  :func:`validate_bundle` is the
+schema gate CI runs against the produced bundle.
+
+Exit status: 0 — bundle produced; 2 — the target could not be loaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+from ..analysis import analyze
+from ..obs.audit import tail_entries
+from ..obs.exporter import _json_safe, build_checks, run_checks
+from ..obs.flight import flight_recorder
+from ..obs.metrics import metrics
+from ..obs.slowlog import DEFAULT_THRESHOLDS, slow_op_log
+from .analyze import TargetError, _import_target, system_from_module
+from .inspect import storage_stats_lines
+
+__all__ = [
+    "collect",
+    "render_markdown",
+    "validate_bundle",
+    "write_bundle",
+    "main",
+]
+
+#: Required top-level bundle keys and their types (the CI schema gate).
+BUNDLE_SCHEMA: dict[str, type] = {
+    "generated_at": float,
+    "target": str,
+    "health": dict,
+    "system": dict,
+    "metrics": dict,
+    "flight": dict,
+    "slow_ops": dict,
+    "storage": list,
+    "analysis": dict,
+}
+
+
+def collect(sentinel: Any, target: str = "", slow_tail: int = 50) -> dict[str, Any]:
+    """Gather the full diagnostics bundle from a live system."""
+    health = run_checks(build_checks(sentinel))
+    snapshot = metrics.snapshot()
+    bundle: dict[str, Any] = {
+        "generated_at": time.time(),
+        "target": target,
+        "health": health,
+        "system": sentinel.stats(),
+        "metrics": {
+            name: _json_safe(value) for name, value in sorted(snapshot.items())
+        },
+        "flight": {
+            "enabled": flight_recorder.enabled,
+            "capacity": flight_recorder.capacity,
+            "recorded": flight_recorder.recorded,
+            "entries": flight_recorder.snapshot(),
+            "dumps": flight_recorder.snapshot_dumps(),
+        },
+        "slow_ops": _slow_ops(slow_tail),
+        "storage": (
+            storage_stats_lines(sentinel.db)
+            if sentinel.db is not None
+            else ["no database attached"]
+        ),
+        "analysis": analyze(sentinel).to_json(),
+    }
+    return bundle
+
+
+def _slow_ops(slow_tail: int) -> dict[str, Any]:
+    entries: list[dict[str, Any]] = []
+    if slow_op_log.enabled and slow_op_log.path:
+        entries = tail_entries(slow_op_log.path, slow_tail)
+    return {
+        "enabled": slow_op_log.enabled,
+        "path": slow_op_log.path,
+        "thresholds": {
+            name: getattr(slow_op_log, name) for name in DEFAULT_THRESHOLDS
+        },
+        "entries": entries,
+    }
+
+
+def validate_bundle(bundle: dict[str, Any]) -> None:
+    """Check the bundle against :data:`BUNDLE_SCHEMA`; raise on problems.
+
+    All problems are collected into one :class:`ValueError`, so a CI
+    failure names everything wrong at once.
+    """
+    problems: list[str] = []
+    for key, expected in BUNDLE_SCHEMA.items():
+        if key not in bundle:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(bundle[key], expected):
+            problems.append(
+                f"{key!r} should be {expected.__name__}, "
+                f"got {type(bundle[key]).__name__}"
+            )
+    health = bundle.get("health")
+    if isinstance(health, dict):
+        if health.get("status") not in ("ok", "degraded"):
+            problems.append(f"health.status invalid: {health.get('status')!r}")
+        if not isinstance(health.get("checks"), dict):
+            problems.append("health.checks should be a dict")
+    flight = bundle.get("flight")
+    if isinstance(flight, dict):
+        for entry in flight.get("entries", []):
+            missing = {"ts", "kind", "name", "value", "detail"} - set(entry)
+            if missing:
+                problems.append(f"flight entry missing {sorted(missing)}")
+                break
+    slow = bundle.get("slow_ops")
+    if isinstance(slow, dict):
+        for entry in slow.get("entries", []):
+            missing = {"ts", "kind", "duration_us", "threshold_us"} - set(entry)
+            if missing:
+                problems.append(f"slow_ops entry missing {sorted(missing)}")
+                break
+    analysis = bundle.get("analysis")
+    if isinstance(analysis, dict):
+        if "findings" not in analysis or "counts" not in analysis:
+            problems.append("analysis missing findings/counts")
+    if problems:
+        raise ValueError("invalid doctor bundle: " + "; ".join(problems))
+
+
+def render_markdown(bundle: dict[str, Any]) -> str:
+    """A human-readable summary of the bundle."""
+    when = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(bundle["generated_at"])
+    )
+    health = bundle["health"]
+    lines = [
+        f"# Sentinel doctor — {bundle['target'] or 'live system'}",
+        "",
+        f"Generated {when}; overall status **{health['status']}**.",
+        "",
+        "## Health checks",
+        "",
+    ]
+    for name, check in sorted(health["checks"].items()):
+        ok = check.get("ok")
+        marker = "ok" if ok else "FAIL"
+        lines.append(f"- `{name}`: {marker} — {check.get('detail', '')}")
+
+    system = bundle["system"]
+    lines += [
+        "",
+        "## System",
+        "",
+        f"- rules: {system.get('rules', 0)}, events: {system.get('events', 0)}",
+        f"- triggered {system.get('triggered', 0)}, "
+        f"executed {system.get('executed', 0)}, fired {system.get('fired', 0)}",
+        f"- transactions: {system.get('transactions_committed', 0)} committed, "
+        f"{system.get('transactions_aborted', 0)} aborted",
+    ]
+
+    flight = bundle["flight"]
+    lines += [
+        "",
+        "## Flight recorder",
+        "",
+        f"- {'on' if flight['enabled'] else 'OFF'}, "
+        f"{len(flight['entries'])}/{flight['capacity']} entries held, "
+        f"{flight['recorded']} recorded total, "
+        f"{len(flight['dumps'])} auto-dumps retained",
+    ]
+    for dump in flight["dumps"][-3:]:
+        lines.append(
+            f"- dump `{dump['reason']}`: {dump.get('error', '')} "
+            f"({len(dump['entries'])} entries)"
+        )
+    for entry in flight["entries"][-10:]:
+        lines.append(
+            f"  - {entry['kind']:<7} {entry['name']} "
+            f"value={entry['value']} {entry['detail']}"
+        )
+
+    slow = bundle["slow_ops"]
+    lines += ["", "## Slow operations", ""]
+    if not slow["enabled"]:
+        lines.append(
+            "- slow-op log not enabled (Sentinel.enable_slow_log to capture "
+            "threshold breaches)"
+        )
+    elif not slow["entries"]:
+        lines.append(f"- no breaches logged at {slow['path']}")
+    else:
+        lines.append(
+            f"- newest {len(slow['entries'])} breaches from {slow['path']}:"
+        )
+        for entry in slow["entries"][-10:]:
+            what = entry.get("rule") or entry.get("class") or entry.get(
+                "path", entry.get("txn_id", "")
+            )
+            lines.append(
+                f"  - {entry['kind']:<6} {entry['duration_us']:.0f}µs "
+                f"(threshold {entry['threshold_us']:.0f}µs) {what}"
+            )
+
+    lines += ["", "## Storage", "", "```"]
+    lines.extend(bundle["storage"])
+    lines += ["```"]
+
+    analysis = bundle["analysis"]
+    counts = analysis.get("counts", {})
+    lines += [
+        "",
+        "## Rule-set analysis",
+        "",
+        f"- {len(analysis.get('rules', []))} rules, "
+        f"{len(analysis.get('edges', []))} triggering edges; "
+        f"{counts.get('error', 0)} errors, {counts.get('warning', 0)} "
+        f"warnings, {counts.get('note', 0)} notes",
+    ]
+    for finding in analysis.get("findings", [])[:10]:
+        lines.append(
+            f"- {finding.get('code')} {finding.get('severity')}: "
+            f"{finding.get('message')}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_bundle(bundle: dict[str, Any], out_dir: str) -> list[str]:
+    """Write the bundle as a directory; returns the paths written."""
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    written: list[str] = []
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        written.append(path)
+
+    _write("doctor.json", json.dumps(bundle, indent=2, default=str) + "\n")
+    _write("doctor.md", render_markdown(bundle))
+    _write(
+        "flight.jsonl",
+        "".join(
+            json.dumps(entry, default=str) + "\n"
+            for entry in bundle["flight"]["entries"]
+        ),
+    )
+    _write(
+        "slow_ops.jsonl",
+        "".join(
+            json.dumps(entry, default=str) + "\n"
+            for entry in bundle["slow_ops"]["entries"]
+        ),
+    )
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.doctor",
+        description="Produce a diagnostics bundle for a Sentinel system.",
+    )
+    parser.add_argument(
+        "target",
+        help="a .py path or dotted module exposing build_system() "
+        "(and optionally exercise(sentinel))",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write the bundle as a directory",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the bundle as one JSON file (markdown summary embedded)",
+    )
+    parser.add_argument(
+        "--slow-tail", type=int, default=50, metavar="N",
+        help="newest N slow-op entries to include (default 50)",
+    )
+    parser.add_argument(
+        "--no-exercise", action="store_true",
+        help="skip the target's exercise(sentinel) hook",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        module = _import_target(args.target)
+        system = system_from_module(module, args.target)
+    except TargetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    exercise = getattr(module, "exercise", None)
+    if exercise is not None and not args.no_exercise:
+        try:
+            with system:
+                exercise(system)
+        except Exception as exc:
+            # An exercise that blows up is itself diagnostic material —
+            # the flight recorder and slow-op log saw it happen.
+            print(
+                f"note: exercise() raised {exc!r} (captured in bundle)",
+                file=sys.stderr,
+            )
+
+    bundle = collect(system, target=args.target, slow_tail=args.slow_tail)
+    validate_bundle(bundle)
+
+    if args.out:
+        for path in write_bundle(bundle, args.out):
+            print(path)
+    if args.json:
+        bundle["summary_markdown"] = render_markdown(bundle)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, default=str)
+            handle.write("\n")
+        print(args.json)
+    if not args.out and not args.json:
+        print(render_markdown(bundle), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

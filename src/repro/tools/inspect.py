@@ -26,7 +26,13 @@ from ..oodb.database import Database
 from ..oodb.oid import Oid
 from ..oodb.storage.pages import PAGE_SIZE
 
-__all__ = ["DatabaseSummary", "summarize", "storage_stats", "main"]
+__all__ = [
+    "DatabaseSummary",
+    "summarize",
+    "storage_stats",
+    "storage_stats_lines",
+    "main",
+]
 
 
 @dataclass(slots=True)
@@ -148,6 +154,54 @@ def _wal_stats(path: str) -> list[str]:
     return lines
 
 
+def storage_stats_lines(db: Database) -> list[str]:
+    """Storage-layer statistics of a **live** database: heap page
+    utilization, index sizes, record-format breakdown, read-path
+    counters.
+
+    Takes the already-open :class:`Database` so embedding callers
+    (``repro.tools.doctor`` in particular) can report on the database
+    they hold without opening a second handle on the same directory —
+    a second open would run restart recovery underneath the live one.
+    """
+    lines: list[str] = []
+    heap = getattr(db, "_heap", None)
+    if heap is None:
+        lines.append("heap: none (in-memory database)")
+    else:
+        pages = heap.page_count
+        capacity = pages * PAGE_SIZE
+        free = sum(heap._free_map.values())
+        used = capacity - free
+        utilization = (used / capacity * 100.0) if capacity else 0.0
+        lines.append(
+            f"heap: {pages} pages, {heap.record_count()} records, "
+            f"{utilization:.1f}% utilized ({used}/{capacity} bytes)"
+        )
+
+    states = db.indexes._indexes
+    lines.append(f"indexes: {len(states)}")
+    for state in states.values():
+        lines.append(
+            f"  {state.definition.display:<28} "
+            f"{len(state.keyed)} entries, "
+            f"{state.tree.key_count} distinct keys"
+            + (" (unique)" if state.definition.unique else "")
+        )
+        if state.kind == "hash":
+            hs = state.tree.stats()
+            lines.append(
+                f"    directory {hs.directory_size} slots "
+                f"(global depth {hs.global_depth}), "
+                f"{hs.bucket_count} buckets × {hs.bucket_capacity}, "
+                f"{hs.avg_bucket_fill:.0%} mean fill, "
+                f"max {hs.max_bucket_keys} keys/bucket"
+            )
+    lines.extend(_codec_stats(db))
+    lines.extend(_read_path_stats())
+    return lines
+
+
 def storage_stats(path: str) -> str:
     """Render the storage-layer statistics of the database at ``path``:
     WAL record counts by type, heap page utilization, index sizes."""
@@ -162,40 +216,7 @@ def storage_stats(path: str) -> str:
                 "the WAL counts above were read before it (read-only) — "
                 "the log on disk is now truncated"
             )
-        heap = getattr(db, "_heap", None)
-        if heap is None:
-            lines.append("heap: none (in-memory database)")
-        else:
-            pages = heap.page_count
-            capacity = pages * PAGE_SIZE
-            free = sum(heap._free_map.values())
-            used = capacity - free
-            utilization = (used / capacity * 100.0) if capacity else 0.0
-            lines.append(
-                f"heap: {pages} pages, {heap.record_count()} records, "
-                f"{utilization:.1f}% utilized ({used}/{capacity} bytes)"
-            )
-
-        states = db.indexes._indexes
-        lines.append(f"indexes: {len(states)}")
-        for state in states.values():
-            lines.append(
-                f"  {state.definition.display:<28} "
-                f"{len(state.keyed)} entries, "
-                f"{state.tree.key_count} distinct keys"
-                + (" (unique)" if state.definition.unique else "")
-            )
-            if state.kind == "hash":
-                hs = state.tree.stats()
-                lines.append(
-                    f"    directory {hs.directory_size} slots "
-                    f"(global depth {hs.global_depth}), "
-                    f"{hs.bucket_count} buckets × {hs.bucket_capacity}, "
-                    f"{hs.avg_bucket_fill:.0%} mean fill, "
-                    f"max {hs.max_bucket_keys} keys/bucket"
-                )
-        lines.extend(_codec_stats(db))
-        lines.extend(_read_path_stats())
+        lines.extend(storage_stats_lines(db))
         return "\n".join(lines)
     finally:
         db.close()

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.tools.top http://127.0.0.1:9100            # live
     python -m repro.tools.top http://127.0.0.1:9100 --interval 5
-    python -m repro.tools.top http://127.0.0.1:9100 --iterations 1
+    python -m repro.tools.top http://127.0.0.1:9100 --once     # one frame
 
 Polls the ``/vars`` JSON endpoint of a running
 :class:`repro.obs.exporter.ObservabilityServer` (a separate process
@@ -15,9 +15,11 @@ and renders:
   counters between polls (the first frame shows totals);
 * pipeline latency p50/p95/p99 from every ``*_us`` histogram summary.
 
-``--iterations`` bounds the loop (0 = run until interrupted); the
-rendering is a pure function of two snapshots, so tests drive it
-directly.
+``--iterations`` bounds the loop (0 = run until interrupted) and
+``--once`` is shorthand for a single frame; the rendering is a pure
+function of two snapshots, so tests drive it directly.  When the
+exporter is unreachable the tool prints a one-line notice and keeps
+retrying at the poll interval (``--once`` exits non-zero instead).
 """
 
 from __future__ import annotations
@@ -110,14 +112,34 @@ def main(argv: list[str] | None = None) -> int:
         "--iterations", type=int, default=0, metavar="N",
         help="stop after N frames (default: run until interrupted)",
     )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (same as --iterations 1; "
+        "exits 1 if the exporter is unreachable)",
+    )
     args = parser.parse_args(argv)
+    iterations = 1 if args.once else args.iterations
 
     previous: dict[str, Any] | None = None
     last_poll = 0.0
     frames = 0
     try:
         while True:
-            snapshot = fetch_vars(args.url)
+            try:
+                snapshot = fetch_vars(args.url)
+            except OSError as exc:
+                # URLError subclasses OSError, so this covers refused
+                # connections, DNS failures and timeouts alike.
+                reason = getattr(exc, "reason", None) or exc
+                print(
+                    f"exporter unreachable at {args.url}: {reason} "
+                    f"(retrying in {args.interval:g}s)",
+                    file=sys.stderr,
+                )
+                if args.once:
+                    return 1
+                time.sleep(args.interval)
+                continue
             elapsed = time.monotonic() - last_poll if previous else 0.0
             last_poll = time.monotonic()
             frame = render_top(snapshot, previous, elapsed)
@@ -126,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
             print(frame)
             previous = snapshot
             frames += 1
-            if args.iterations and frames >= args.iterations:
+            if iterations and frames >= iterations:
                 return 0
             time.sleep(args.interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit

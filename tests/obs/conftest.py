@@ -9,7 +9,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import audit_log, engine_signals, metrics, tracer
+from repro.obs import (
+    audit_log,
+    engine_signals,
+    flight_recorder,
+    metrics,
+    slow_op_log,
+    tracer,
+)
 
 
 def _reset_all() -> None:
@@ -18,9 +25,15 @@ def _reset_all() -> None:
     tracer.sample_interval = 1
     metrics.reset()
     for prefix in list(metrics._collectors):
-        if prefix != "pipeline":
+        if prefix not in ("pipeline", "flight"):
             metrics.unregister_collector(prefix)
     audit_log.close()
+    slow_op_log.close()
+    slow_op_log.reset_thresholds()
+    flight_recorder.clear()
+    flight_recorder.configure(
+        capacity=512, dump_dir="", dump_keep=8, enabled=True
+    )
     engine_signals._sinks.clear()
     engine_signals.active = False
     engine_signals._suppress = 0

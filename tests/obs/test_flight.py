@@ -1,0 +1,255 @@
+"""The always-on flight recorder: ring semantics, dumps, engine hooks."""
+
+import json
+
+import pytest
+
+from repro.core.reactive import Reactive
+from repro.core.scheduler import CascadeError
+from repro.core.system import Sentinel
+from repro.obs.flight import FlightRecorder, flight_recorder
+from repro.obs.metrics import metrics
+
+
+class Thing(Reactive):
+    __event_interface__ = {"poke": "end"}
+
+    def poke(self):
+        return "poked"
+
+
+class TestRing:
+    def test_record_and_snapshot_oldest_first(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record("query", "Emp", 10, "extent_scan")
+        fr.record("txn", "commit", 1, "changes=2")
+        snap = fr.snapshot()
+        assert [e["kind"] for e in snap] == ["query", "txn"]
+        assert snap[0]["name"] == "Emp"
+        assert snap[0]["value"] == 10
+        assert snap[0]["detail"] == "extent_scan"
+        assert snap[0]["ts"] > 0
+
+    def test_capacity_evicts_oldest(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(10):
+            fr.record("query", f"c{i}")
+        snap = fr.snapshot()
+        assert len(snap) == 3
+        assert [e["name"] for e in snap] == ["c7", "c8", "c9"]
+        assert fr.recorded == 10
+
+    def test_configure_resize_keeps_newest(self):
+        fr = FlightRecorder(capacity=8)
+        for i in range(8):
+            fr.record("query", f"c{i}")
+        fr.configure(capacity=2)
+        assert [e["name"] for e in fr.snapshot()] == ["c6", "c7"]
+        assert fr.capacity == 2
+
+    def test_configure_validates(self):
+        fr = FlightRecorder()
+        with pytest.raises(ValueError):
+            fr.configure(capacity=0)
+        with pytest.raises(ValueError):
+            fr.configure(dump_keep=0)
+
+    def test_disabled_recorder_still_records_direct_calls(self):
+        # ``enabled`` gates the *hook sites*; direct record() is explicit.
+        fr = FlightRecorder(capacity=4)
+        fr.enabled = False
+        assert fr.auto_dump("manual") is None  # but dumps are gated
+        assert fr.dumps == fr.dumps.__class__(maxlen=8)
+
+
+class TestDumps:
+    def test_auto_dump_in_memory(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record("error", "r1", 1, "ValueError()")
+        fr.auto_dump("rule_error", "ValueError()")
+        dumps = fr.snapshot_dumps()
+        assert len(dumps) == 1
+        assert dumps[0]["reason"] == "rule_error"
+        assert dumps[0]["error"] == "ValueError()"
+        assert dumps[0]["entries"][0]["name"] == "r1"
+
+    def test_auto_dump_to_disk(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        fr.configure(dump_dir=str(tmp_path))
+        fr.record("txn", "abort", 7, "changes=3")
+        path = fr.auto_dump("txn_aborted", "txn 7 rolled back")
+        assert path is not None
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0]["reason"] == "txn_aborted"
+        assert lines[1]["kind"] == "txn"
+        assert lines[1]["value"] == 7
+
+    def test_disk_dumps_pruned_to_keep(self, tmp_path):
+        fr = FlightRecorder(capacity=2)
+        fr.configure(dump_dir=str(tmp_path), dump_keep=2)
+        for i in range(5):
+            fr.record("error", f"r{i}")
+            fr.auto_dump("manual")
+        files = sorted(p.name for p in tmp_path.glob("flight-*.jsonl"))
+        assert len(files) == 2
+        assert files[-1].startswith("flight-0005")
+
+    def test_on_demand_dump(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        fr.record("query", "Emp", 3)
+        assert fr.dump()[0]["name"] == "Emp"
+        path = str(tmp_path / "out.jsonl")
+        assert fr.dump(path) == path
+        assert json.loads(open(path).readline())["name"] == "Emp"
+
+    def test_clear_resets_everything(self):
+        fr = FlightRecorder(capacity=4)
+        fr.record("query", "Emp")
+        fr.auto_dump("manual")
+        fr.clear()
+        assert fr.depth() == 0
+        assert fr.snapshot_dumps() == []
+        assert fr.recorded == 0
+
+
+class TestCollector:
+    def test_metrics_snapshot_exposes_flight_gauges(self):
+        flight_recorder.record("query", "Emp")
+        snap = metrics.snapshot()
+        assert snap["flight.depth"] == 1.0
+        assert snap["flight.capacity"] == 512.0
+        assert snap["flight.recorded"] == 1.0
+        assert snap["flight.dumps"] == 0.0
+
+    def test_metrics_reset_clears_the_ring(self):
+        flight_recorder.record("query", "Emp")
+        metrics.reset()
+        assert flight_recorder.depth() == 0
+
+
+class TestEngineHooks:
+    def test_rule_firing_recorded(self):
+        with Sentinel() as s:
+            rule = s.create_rule(
+                name="fr_rule", event="end Thing::poke()",
+                action=lambda ctx: None,
+            )
+            thing = Thing()
+            thing.subscribe(rule)
+            thing.poke()
+        kinds = [(e["kind"], e["name"], e["detail"])
+                 for e in flight_recorder.snapshot()]
+        assert ("firing", "fr_rule", "fired") in kinds
+
+    def test_rejected_condition_recorded(self):
+        with Sentinel() as s:
+            rule = s.create_rule(
+                name="fr_reject", event="end Thing::poke()",
+                condition=lambda ctx: False, action=lambda ctx: None,
+            )
+            thing = Thing()
+            thing.subscribe(rule)
+            thing.poke()
+        kinds = [(e["kind"], e["detail"])
+                 for e in flight_recorder.snapshot()]
+        assert ("firing", "rejected") in kinds
+
+    def test_rule_error_records_and_dumps(self):
+        with Sentinel() as s:
+            rule = s.create_rule(
+                name="fr_boom", event="end Thing::poke()",
+                action=lambda ctx: 1 / 0,
+            )
+            thing = Thing()
+            thing.subscribe(rule)
+            with pytest.raises(ZeroDivisionError):
+                thing.poke()
+        errors = [e for e in flight_recorder.snapshot()
+                  if e["kind"] == "error"]
+        assert errors and "ZeroDivisionError" in errors[0]["detail"]
+        dumps = flight_recorder.snapshot_dumps()
+        assert dumps and dumps[-1]["reason"] == "rule_error"
+
+    def test_isolate_policy_error_records_without_dump(self):
+        with Sentinel(error_policy="isolate") as s:
+            rule = s.create_rule(
+                name="fr_soft", event="end Thing::poke()",
+                action=lambda ctx: 1 / 0,
+            )
+            thing = Thing()
+            thing.subscribe(rule)
+            thing.poke()
+        errors = [e for e in flight_recorder.snapshot()
+                  if e["kind"] == "error"]
+        assert errors
+        assert flight_recorder.snapshot_dumps() == []
+
+    def test_cascade_dumps(self):
+        with Sentinel(max_cascade_depth=3) as s:
+            rule = s.create_rule(
+                name="fr_loop", event="end Thing::poke()",
+                action=lambda ctx: ctx.source.poke(),
+            )
+            thing = Thing()
+            thing.subscribe(rule)
+            with pytest.raises(CascadeError):
+                thing.poke()
+        dumps = flight_recorder.snapshot_dumps()
+        assert dumps and dumps[-1]["reason"] == "rule_cascade"
+
+    def test_txn_commit_abort_and_abort_dump(self, tmp_path):
+        from repro.oodb.database import Database
+        from repro.oodb.schema import Persistent
+
+        class Doc(Persistent):
+            def __init__(self, n=0):
+                super().__init__()
+                self.n = n
+
+        db = Database(str(tmp_path / "db"))
+        try:
+            with db.transaction():
+                db.add(Doc(1))
+            db.begin()
+            db.add(Doc(2))
+            db.abort()
+        finally:
+            db.close()
+        entries = [(e["kind"], e["name"]) for e in flight_recorder.snapshot()]
+        assert ("txn", "commit") in entries
+        assert ("txn", "abort") in entries
+        dumps = flight_recorder.snapshot_dumps()
+        assert any(d["reason"] == "txn_aborted" for d in dumps)
+
+    def test_query_recorded_with_access_path(self, tmp_path):
+        from repro.oodb.database import Database
+        from repro.oodb.schema import Persistent
+
+        class Row(Persistent):
+            def __init__(self, n=0):
+                super().__init__()
+                self.n = n
+
+        db = Database(str(tmp_path / "db"))
+        try:
+            with db.transaction():
+                db.add(Row(1))
+            list(db.query(Row))
+        finally:
+            db.close()
+        queries = [e for e in flight_recorder.snapshot()
+                   if e["kind"] == "query"]
+        assert queries and queries[-1]["name"] == "Row"
+        assert queries[-1]["detail"] == "extent_scan"
+
+    def test_disabled_hooks_record_nothing(self):
+        flight_recorder.configure(enabled=False)
+        with Sentinel() as s:
+            rule = s.create_rule(
+                name="fr_off", event="end Thing::poke()",
+                action=lambda ctx: None,
+            )
+            thing = Thing()
+            thing.subscribe(rule)
+            thing.poke()
+        assert flight_recorder.depth() == 0

@@ -1,9 +1,7 @@
 """Unit tests for the metrics registry (counters, histograms, collectors)."""
 
 from repro.obs import Counter, Histogram, MetricsRegistry, metrics
-from repro.obs.metrics import PipelineStats as HomedPipelineStats
-from repro.obs.metrics import pipeline_stats as homed_pipeline_stats
-from repro.stats import PipelineStats, pipeline_stats, reset_pipeline_stats
+from repro.obs.metrics import pipeline_stats, reset_pipeline_stats
 
 
 class TestCounter:
@@ -94,10 +92,8 @@ class TestRegistry:
 
 
 class TestPipelineStatsRehoming:
-    def test_stats_module_is_an_alias(self):
-        # repro.stats and repro.obs.metrics expose the same objects.
-        assert pipeline_stats is homed_pipeline_stats
-        assert PipelineStats is HomedPipelineStats
+    # The repro.stats alias itself is covered by test_stats_alias.py;
+    # everything here exercises the canonical repro.obs.metrics home.
 
     def test_reset_returns_the_shared_instance(self):
         pipeline_stats.group_commits += 3

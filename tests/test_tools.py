@@ -362,3 +362,129 @@ class TestTopCli:
         out = capsys.readouterr().out
         assert "guard" in out
         assert "rule_us" in out
+
+
+class TestTopUnreachable:
+    def test_once_exits_nonzero_with_notice(self, capsys):
+        from repro.tools.top import main as top_main
+
+        # Port 9 (discard) on localhost: nothing listens there in CI.
+        assert top_main(["http://127.0.0.1:9", "--once"]) == 1
+        err = capsys.readouterr().err
+        assert "exporter unreachable" in err
+        assert err.count("\n") == 1  # one-line notice, not a traceback
+
+    def test_once_renders_one_frame_when_up(self, capsys):
+        from repro.obs.exporter import ObservabilityServer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.tools.top import main as top_main
+
+        registry = MetricsRegistry()
+        registry.counter("rule_firings{rule=guard,outcome=fired}").inc(1)
+        with ObservabilityServer(registry=registry) as server:
+            assert top_main([server.url, "--once"]) == 0
+        assert "guard" in capsys.readouterr().out
+
+
+class TestAuditTailRotation:
+    @pytest.fixture
+    def rotated_audit(self, tmp_path):
+        """An audit trail whose entries span several rotated generations."""
+        from repro.obs.audit import AuditLog
+
+        path = str(tmp_path / "audit.jsonl")
+        log = AuditLog()
+        log.open(path, max_bytes=300, keep=5)
+        for seq in range(1, 13):
+            log.record("spin", seq=seq, coupling="immediate", condition=True,
+                       outcome="fired", latency_us=float(seq))
+        log.close()
+        return path
+
+    def test_tail_spans_rotation_boundary(self, rotated_audit, capsys):
+        import os
+
+        from repro.tools.audit import main as audit_main
+
+        assert os.path.exists(rotated_audit + ".1")  # rotation happened
+        assert audit_main([rotated_audit, "--tail", "6"]) == 0
+        out = capsys.readouterr().out
+        seqs = [int(line.split("seq=")[1].split()[0])
+                for line in out.strip().splitlines()]
+        assert seqs == [7, 8, 9, 10, 11, 12]
+
+    def test_tail_no_rotated_restricts_to_active_file(
+        self, rotated_audit, capsys
+    ):
+        from repro.obs.audit import read_entries
+        from repro.tools.audit import main as audit_main
+
+        active_only = list(read_entries(rotated_audit, include_rotated=False))
+        assert audit_main(
+            [rotated_audit, "--tail", "6", "--no-rotated"]
+        ) == 0
+        out = capsys.readouterr().out
+        if active_only:
+            shown = [int(line.split("seq=")[1].split()[0])
+                     for line in out.strip().splitlines()]
+            assert shown == [e["seq"] for e in active_only[-6:]]
+        else:
+            assert "no entries" in out
+
+    def test_filtered_tail_still_spans_generations(
+        self, rotated_audit, capsys
+    ):
+        from repro.tools.audit import main as audit_main
+
+        assert audit_main(
+            [rotated_audit, "--rule", "spin", "--tail", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seq=5" in out and "seq=12" in out
+        assert "seq=4" not in out
+
+    def test_tail_entries_reads_newest_generations_lazily(self, rotated_audit):
+        from repro.obs.audit import tail_entries
+
+        newest = tail_entries(rotated_audit, 3)
+        assert [e["seq"] for e in newest] == [10, 11, 12]
+        everything = tail_entries(rotated_audit, 10_000)
+        assert [e["seq"] for e in everything] == list(range(1, 13))
+        assert tail_entries(rotated_audit, 0) == []
+
+
+class PackedPart(Persistent):
+    """Packed-only class: every attribute covered by the struct schema."""
+
+    _p_schema = [("size", "int"), ("grade", "float")]
+
+    def __init__(self, size=0, grade=0.0):
+        super().__init__()
+        self.size = size
+        self.grade = grade
+
+
+class TestStorageStatsEdgeCases:
+    def test_empty_database(self, tmp_path, capsys):
+        path = str(tmp_path / "empty")
+        Database(path).close()
+        assert main([path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "heap: 0 pages, 0 records" in out
+        assert "indexes: 0" in out
+        assert "record formats: 0 classes" in out
+        assert "read path:" in out
+
+    def test_packed_only_database(self, tmp_path, capsys):
+        path = str(tmp_path / "packed")
+        db = Database(path)
+        with db.transaction():
+            for i in range(10):
+                db.add(PackedPart(i, i / 2))
+        db.close()
+        assert main([path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        formats = next(line for line in out.splitlines()
+                       if line.strip().startswith("PackedPart"))
+        assert "10 packed / 0 json" in formats
+        assert "saved vs json" in formats

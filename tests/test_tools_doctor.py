@@ -1,0 +1,232 @@
+"""The tools.doctor diagnostics bundle: collection, schema, CLI."""
+
+import json
+
+import pytest
+
+from repro.core import Sentinel
+from repro.obs.flight import flight_recorder
+from repro.obs.metrics import metrics
+from repro.obs.slowlog import slow_op_log
+from repro.oodb import Persistent
+from repro.tools.doctor import (
+    BUNDLE_SCHEMA,
+    collect,
+    main,
+    render_markdown,
+    validate_bundle,
+    write_bundle,
+)
+
+
+class Gear(Persistent):
+    def __init__(self, teeth=0):
+        super().__init__()
+        self.teeth = teeth
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    slow_op_log.close()
+    slow_op_log.reset_thresholds()
+    flight_recorder.clear()
+    flight_recorder.configure(capacity=512, dump_dir="", enabled=True)
+    metrics.reset()
+
+
+@pytest.fixture
+def system(tmp_path):
+    sentinel = Sentinel(path=str(tmp_path / "db"), adopt_class_rules=False)
+    with sentinel, sentinel.transaction():
+        for i in range(20):
+            sentinel.db.add(Gear(i))
+    yield sentinel
+    sentinel.close()
+
+
+DEMO_MODULE = """\
+import time
+
+from repro.core import Sentinel
+from repro.oodb import Persistent
+
+
+class Part(Persistent):
+    def __init__(self, n=0):
+        super().__init__()
+        self.n = n
+
+
+def build_system():
+    s = Sentinel(path={db_path!r}, adopt_class_rules=False)
+    with s, s.transaction():
+        for i in range(30):
+            s.db.add(Part(i))
+    return s
+
+
+def exercise(s):
+    s.enable_slow_log({slow_path!r}, slow_query_us=0.0)
+    list(s.db.query(Part).where_op("n", ">", 10))
+    rule = s.create_rule(
+        name="doc_boom", event="end Part::shred()",
+        action=lambda ctx: 1 / 0,
+    )
+"""
+
+
+@pytest.fixture
+def demo_target(tmp_path):
+    target = tmp_path / "demo_app.py"
+    target.write_text(
+        DEMO_MODULE.format(
+            db_path=str(tmp_path / "demodb"),
+            slow_path=str(tmp_path / "slow.jsonl"),
+        )
+    )
+    return str(target)
+
+
+class TestCollect:
+    def test_bundle_has_every_schema_key(self, system):
+        bundle = collect(system, target="t")
+        validate_bundle(bundle)  # must not raise
+        assert set(BUNDLE_SCHEMA) <= set(bundle)
+
+    def test_health_reuses_healthz_checks(self, system):
+        bundle = collect(system)
+        assert bundle["health"]["status"] == "ok"
+        checks = bundle["health"]["checks"]
+        assert checks["wal_writable"]["ok"]
+        assert "wal.log" in checks["wal_writable"]["detail"]
+
+    def test_flight_and_slow_ops_sections(self, system, tmp_path):
+        system.enable_slow_log(
+            str(tmp_path / "slow.jsonl"), slow_query_us=0.0
+        )
+        list(system.db.query(Gear).where_op("teeth", ">", 5))
+        bundle = collect(system)
+        assert bundle["flight"]["enabled"]
+        kinds = {e["kind"] for e in bundle["flight"]["entries"]}
+        assert "query" in kinds
+        assert bundle["slow_ops"]["enabled"]
+        assert bundle["slow_ops"]["thresholds"]["slow_query_us"] == 0.0
+        slow_kinds = {e["kind"] for e in bundle["slow_ops"]["entries"]}
+        assert "query" in slow_kinds
+
+    def test_storage_section_uses_live_database(self, system):
+        bundle = collect(system)
+        assert any(line.startswith("heap:") for line in bundle["storage"])
+        assert any("Gear" in line for line in bundle["storage"])
+
+    def test_no_database_system(self):
+        sentinel = Sentinel(adopt_class_rules=False)
+        bundle = collect(sentinel)
+        validate_bundle(bundle)
+        assert bundle["storage"] == ["no database attached"]
+
+    def test_bundle_is_json_serializable(self, system):
+        json.dumps(collect(system, target="t"))
+
+
+class TestValidate:
+    def test_missing_key_reported(self, system):
+        bundle = collect(system)
+        del bundle["flight"]
+        with pytest.raises(ValueError, match="missing key 'flight'"):
+            validate_bundle(bundle)
+
+    def test_wrong_type_reported(self, system):
+        bundle = collect(system)
+        bundle["storage"] = "not a list"
+        with pytest.raises(ValueError, match="'storage' should be list"):
+            validate_bundle(bundle)
+
+    def test_bad_health_status_reported(self, system):
+        bundle = collect(system)
+        bundle["health"]["status"] = "meh"
+        with pytest.raises(ValueError, match="health.status invalid"):
+            validate_bundle(bundle)
+
+    def test_all_problems_reported_at_once(self, system):
+        bundle = collect(system)
+        del bundle["analysis"]
+        bundle["metrics"] = 7
+        with pytest.raises(ValueError) as excinfo:
+            validate_bundle(bundle)
+        message = str(excinfo.value)
+        assert "analysis" in message and "metrics" in message
+
+
+class TestRender:
+    def test_markdown_sections(self, system):
+        text = render_markdown(collect(system, target="app.py"))
+        assert "# Sentinel doctor — app.py" in text
+        assert "## Health checks" in text
+        assert "## Flight recorder" in text
+        assert "## Slow operations" in text
+        assert "## Storage" in text
+        assert "## Rule-set analysis" in text
+
+    def test_write_bundle_directory(self, system, tmp_path):
+        out = tmp_path / "bundle"
+        written = write_bundle(collect(system), str(out))
+        names = {p.rsplit("/", 1)[-1] for p in written}
+        assert names == {
+            "doctor.json", "doctor.md", "flight.jsonl", "slow_ops.jsonl"
+        }
+        reloaded = json.load(open(out / "doctor.json"))
+        validate_bundle(reloaded)
+
+
+class TestCli:
+    def test_directory_bundle_with_induced_slow_query_and_rule_error(
+        self, demo_target, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "bundle"
+        assert main([demo_target, "--out", str(out_dir)]) == 0
+        bundle = json.load(open(out_dir / "doctor.json"))
+        validate_bundle(bundle)
+        # The induced slow query is in the slow-op tail, plan attached.
+        slow = bundle["slow_ops"]["entries"]
+        assert any(
+            e["kind"] == "query" and e["plan"]["actual"]["returned"] == 19
+            for e in slow
+        )
+        # The flight recorder saw the workload.
+        assert any(
+            e["kind"] == "query" for e in bundle["flight"]["entries"]
+        )
+
+    def test_single_json_with_embedded_markdown(
+        self, demo_target, tmp_path, capsys
+    ):
+        out = tmp_path / "doctor.json"
+        assert main([demo_target, "--json", str(out)]) == 0
+        bundle = json.load(open(out))
+        assert bundle["summary_markdown"].startswith("# Sentinel doctor")
+
+    def test_stdout_markdown_by_default(self, demo_target, capsys):
+        assert main([demo_target, "--no-exercise"]) == 0
+        assert capsys.readouterr().out.startswith("# Sentinel doctor")
+
+    def test_bad_target_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.py"
+        empty.write_text("")
+        assert main([str(empty)]) == 2
+        assert "build_system" in capsys.readouterr().err
+
+    def test_exercise_error_is_survivable(self, tmp_path, capsys):
+        target = tmp_path / "raiser.py"
+        target.write_text(
+            "from repro.core import Sentinel\n"
+            "def build_system():\n"
+            "    return Sentinel(adopt_class_rules=False)\n"
+            "def exercise(s):\n"
+            "    raise RuntimeError('induced')\n"
+        )
+        assert main([str(target)]) == 0
+        captured = capsys.readouterr()
+        assert "exercise() raised" in captured.err
+        assert captured.out.startswith("# Sentinel doctor")
