@@ -444,6 +444,114 @@ def report_obs():
     print(f"wrote {path}")
 
 
+def report_tsdb():
+    """Continuous telemetry: collector overhead, store throughput, reads.
+
+    Writes ``BENCH_tsdb.json`` at the repo root: the hot-path cost with
+    the background collector scraping every 0.25 s (20× the 5 s default,
+    so the gate is conservative) against the committed
+    ``BENCH_hotpath.json`` baseline, plus append/query/rate micro-costs
+    and the on-disk bytes per sample.  Gated at ≤5% hot-path overhead in
+    ``benchmarks/test_bench_tsdb.py``.
+    """
+    import shutil
+    import tempfile
+
+    from benchmarks.test_bench_obs import (
+        load_hotpath_baseline,
+        measure_pipeline,
+    )
+    from benchmarks.test_bench_tsdb import (
+        COLLECTOR_INTERVAL_S,
+        make_samples,
+    )
+    from repro.obs.tsdb import TimeSeriesStore, telemetry
+
+    with Sentinel(adopt_class_rules=False):
+        collector_off = measure_pipeline(tracing=False)
+        directory = tempfile.mkdtemp(prefix="repro-bench-tsdb-")
+        telemetry.open(directory, interval=COLLECTOR_INTERVAL_S)
+        try:
+            collector_on = measure_pipeline(tracing=False)
+            scrapes = telemetry.collector.scrapes
+            scrape_errors = telemetry.collector.scrape_errors
+        finally:
+            telemetry.close()
+            shutil.rmtree(directory, ignore_errors=True)
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-tsdb-store-")
+    store = TimeSeriesStore(store_dir)
+    try:
+        samples = make_samples(40)
+        clock = [1000.0]
+
+        def append_one():
+            clock[0] += 1.0
+            store.append(samples, ts=clock[0])
+
+        append_us = timed(append_one, repeat=500)
+        appended = clock[0] - 1000.0
+        stats = store.stats()
+        bytes_per_sample = stats["bytes"] / stats["samples"]
+        query_us = timed(
+            lambda: store.query("series_00", clock[0] - 300, clock[0]),
+            repeat=50,
+        )
+        rate_us = timed(
+            lambda: store.rate("series_00", 300.0, at=clock[0]), repeat=50
+        )
+    finally:
+        store.close()
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    baseline = load_hotpath_baseline()
+    payload = {
+        "collector_interval_s": COLLECTOR_INTERVAL_S,
+        "collector_off": {k: round(v, 4) for k, v in collector_off.items()},
+        "collector_on": {k: round(v, 4) for k, v in collector_on.items()},
+        "on_over_off": round(
+            collector_on["subscribed_us"] / collector_off["subscribed_us"], 3
+        ),
+        "on_ratio_vs_baseline": round(
+            collector_on["subscribed_over_passive"]
+            / baseline["subscribed_over_passive"],
+            3,
+        ),
+        "baseline_subscribed_over_passive": baseline[
+            "subscribed_over_passive"
+        ],
+        "scrapes_during_bench": scrapes,
+        "scrape_errors": scrape_errors,
+        "store": {
+            "series_per_frame": 40,
+            "frames_appended": int(appended),
+            "append_frame_us": round(append_us, 2),
+            "bytes_per_sample": round(bytes_per_sample, 2),
+            "query_300s_us": round(query_us, 1),
+            "rate_300s_us": round(rate_us, 1),
+        },
+        "gates": {"collector_overhead_max": 0.05},
+    }
+    path = write_baseline("BENCH_tsdb.json", payload)
+    table(
+        "TSDB: collector on the hot path (µs/call)",
+        ("mode", "subscribed", "ratio vs passive"),
+        [
+            ("collector off", f"{collector_off['subscribed_us']:.3f}",
+             f"{collector_off['subscribed_over_passive']:.2f}"),
+            (f"collector on ({COLLECTOR_INTERVAL_S:g}s interval)",
+             f"{collector_on['subscribed_us']:.3f}",
+             f"{collector_on['subscribed_over_passive']:.2f}"),
+        ],
+    )
+    table(
+        "TSDB: store micro-costs",
+        ("metric", "value"),
+        sorted(payload["store"].items()),
+    )
+    print(f"wrote {path}")
+
+
 def report_query():
     """Read path: cost-aware planner vs the seed's scan-and-filter loop.
 
@@ -901,6 +1009,7 @@ REPORTS = {
     "HOTPATH": report_hotpath,
     "OODB": report_oodb,
     "OBS": report_obs,
+    "TSDB": report_tsdb,
     "QUERY": report_query,
     "CODEC": report_codec,
 }

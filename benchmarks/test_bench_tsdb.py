@@ -1,0 +1,126 @@
+"""TSDB — the cost of continuous telemetry.
+
+The telemetry collector is a *background* thread: it never touches the
+event→rule hot path directly, but it does contend for the GIL while it
+scrapes the registry and writes a segment frame.  The acceptance gate
+pins that contention: with the collector scraping every
+``COLLECTOR_INTERVAL_S`` seconds (20× faster than the 5 s production
+default, so the gate is conservative), the monitored fan-out path must
+stay within 5% of the committed ``BENCH_hotpath.json`` baseline — the
+same bound and best-of-attempts discipline as the tracer-disabled and
+flight-recorder gates in ``test_bench_obs.py``.
+
+Shape tests pin the store's mechanics: one scrape is one durable frame,
+reads see exactly what was appended, and a segment survives its writer.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from repro.obs.tsdb import TimeSeriesStore, telemetry
+
+from benchmarks.test_bench_obs import (
+    GATE_ATTEMPTS,
+    MAX_DISABLED_REGRESSION,
+    load_hotpath_baseline,
+    measure_pipeline,
+)
+
+#: The scrape interval the overhead gate runs at — 20× the 5 s default.
+COLLECTOR_INTERVAL_S = 0.25
+
+
+def make_samples(n: int) -> dict[str, float]:
+    """A synthetic scrape of ``n`` series (the registry averages ~40)."""
+    return {f"series_{i:02d}": float(i * 7) for i in range(n)}
+
+
+def test_shape_collector_on_hotpath_within_budget(sentinel):
+    """Collector scraping at 0.25 s: hot path within 5% of the baseline.
+
+    Per-side minima across attempts, exactly like the obs gates: each
+    min approaches the true quiet-machine cost, so a trial that lands on
+    a scrape (or any other interference) cannot fail the gate by itself.
+    """
+    baseline = load_hotpath_baseline()
+    ratio_bound = baseline["subscribed_over_passive"] * (
+        1 + MAX_DISABLED_REGRESSION
+    )
+    absolute_bound = baseline["per_event_overhead_us"] * (
+        1 + MAX_DISABLED_REGRESSION
+    )
+    directory = tempfile.mkdtemp(prefix="repro-bench-tsdb-gate-")
+    telemetry.open(directory, interval=COLLECTOR_INTERVAL_S)
+    try:
+        passive_us = subscribed_us = float("inf")
+        for _attempt in range(GATE_ATTEMPTS):
+            measured = measure_pipeline(tracing=False)
+            passive_us = min(passive_us, measured["passive_us"])
+            subscribed_us = min(subscribed_us, measured["subscribed_us"])
+            ratio = subscribed_us / passive_us
+            overhead_us = subscribed_us - passive_us
+            if ratio <= ratio_bound or overhead_us <= absolute_bound:
+                return
+        raise AssertionError(
+            f"hot path with telemetry collector on regressed on all "
+            f"{GATE_ATTEMPTS} attempts: ratio {ratio:.2f} vs bound "
+            f"{ratio_bound:.2f}, overhead {overhead_us:.3f}µs vs bound "
+            f"{absolute_bound:.3f}µs"
+        )
+    finally:
+        telemetry.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_bench_append_frame(benchmark):
+    """One scrape's worth of samples into the append-only segment."""
+    benchmark.group = "TSDB store"
+    directory = tempfile.mkdtemp(prefix="repro-bench-tsdb-append-")
+    store = TimeSeriesStore(directory)
+    samples = make_samples(40)
+    clock = [1000.0]
+
+    def append_one():
+        clock[0] += 1.0
+        store.append(samples, ts=clock[0])
+
+    try:
+        benchmark(append_one)
+    finally:
+        store.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_bench_query_range(benchmark):
+    """A 300-sample range query against a populated store."""
+    benchmark.group = "TSDB store"
+    directory = tempfile.mkdtemp(prefix="repro-bench-tsdb-query-")
+    store = TimeSeriesStore(directory)
+    samples = make_samples(40)
+    try:
+        for i in range(300):
+            store.append(samples, ts=1000.0 + i)
+        benchmark(lambda: store.query("series_00", 1000.0, 1300.0))
+    finally:
+        store.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_shape_scrape_is_durable_frame(sentinel):
+    """One synchronous scrape writes one frame a fresh reader can see."""
+    directory = tempfile.mkdtemp(prefix="repro-bench-tsdb-shape-")
+    try:
+        telemetry.open(directory, interval=60.0, start=False)
+        assert telemetry.collector.scrape_once()
+        reader = TimeSeriesStore(directory)
+        try:
+            times = reader.scrape_times()
+            assert len(times) == 1
+            assert reader.series(), "scrape recorded no series"
+        finally:
+            reader.close()
+    finally:
+        telemetry.close()
+        shutil.rmtree(directory, ignore_errors=True)

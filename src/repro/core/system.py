@@ -162,6 +162,42 @@ class Sentinel:
         slow_op_log.close()
         slow_op_log.reset_thresholds()
 
+    def enable_telemetry(
+        self,
+        path: str,
+        interval: float = 5.0,
+        slos: Any = (),
+        start: bool = True,
+        **store_opts: Any,
+    ):
+        """Start continuous telemetry: scrape metrics into ``path``.
+
+        Opens the process-wide telemetry handle
+        (:data:`repro.obs.tsdb.telemetry`) over an on-disk time-series
+        store at ``path`` and launches the background collector, which
+        scrapes ``metrics.snapshot()`` every ``interval`` seconds and
+        evaluates any :class:`repro.obs.slo.SLO` objectives in ``slos``
+        — breaches fire ``slo_breach`` sysmon events, so attach a
+        :meth:`system_monitor` to route them into rules.  ``start=False``
+        opens the store without the thread (drive
+        ``telemetry.collector.scrape_once()`` yourself — tests do).
+        Store options (``segment_bytes``, ``retain_bytes``,
+        ``retain_age_s``) pass through.  Inspect with ``python -m
+        repro.tools.tsdb`` and the exporter's ``/history`` endpoint;
+        returns the handle.
+        """
+        from ..obs.tsdb import telemetry
+
+        return telemetry.open(
+            path, interval=interval, slos=slos, start=start, **store_opts
+        )
+
+    def disable_telemetry(self) -> None:
+        """Stop the telemetry collector and close the store."""
+        from ..obs.tsdb import telemetry
+
+        telemetry.close()
+
     def flight_recorder(self):
         """The process-wide flight recorder (always on by default).
 
@@ -212,6 +248,9 @@ class Sentinel:
         if self._obs_server is not None:
             self._obs_server.stop()
             self._obs_server = None
+        from ..obs.tsdb import telemetry
+
+        telemetry.close()
         if self._sys_monitor is not None:
             self._sys_monitor.detach()
             self._sys_monitor = None

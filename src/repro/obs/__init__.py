@@ -23,6 +23,13 @@ The passive half is deliberately free of imports from ``repro.core`` and
   ring of the last N transactions/queries/firings/errors, snapshotted
   automatically when something goes wrong (``python -m
   repro.tools.doctor`` bundles it).
+* :mod:`repro.obs.slo` — declarative service-level objectives with
+  multi-window burn-rate thresholds, evaluated over telemetry history.
+* :mod:`repro.obs.tsdb` — continuous telemetry: a background collector
+  scraping the registry into a crash-safe on-disk time-series store
+  (append-only delta-encoded segments, size/age retention, range/rate
+  read API; ``python -m repro.tools.tsdb`` inspects it), raising SLO
+  breaches as ``slo_breach`` sysmon events.
 
 The operational half builds *on top of* the engine and is therefore
 imported lazily (``repro.obs.sysmon`` needs ``repro.core``, which itself
@@ -53,8 +60,16 @@ from .metrics import (
     reset_pipeline_stats,
 )
 from .signals import SIGNAL_KINDS, EngineSignals, engine_signals
+from .slo import DEFAULT_BURN_WINDOWS, SLO, SLOStatus, Window, evaluate_slo
 from .slowlog import SlowOpLog, slow_op_log
 from .tracer import CausalityTracer, Span, tracer
+from .tsdb import (
+    Telemetry,
+    TelemetryCollector,
+    TimeSeriesStore,
+    flatten_snapshot,
+    telemetry,
+)
 
 __all__ = [
     "Counter",
@@ -76,6 +91,16 @@ __all__ = [
     "slow_op_log",
     "FlightRecorder",
     "flight_recorder",
+    "SLO",
+    "SLOStatus",
+    "Window",
+    "evaluate_slo",
+    "DEFAULT_BURN_WINDOWS",
+    "TimeSeriesStore",
+    "TelemetryCollector",
+    "Telemetry",
+    "telemetry",
+    "flatten_snapshot",
     # lazy (see __getattr__):
     "SystemMonitor",
     "occurrence_from_sysmon",

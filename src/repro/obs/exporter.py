@@ -8,14 +8,24 @@ three endpoints:
 ``/metrics``
     :func:`render_openmetrics` over ``metrics.snapshot()`` — counters as
     ``<name>_total``, histograms as OpenMetrics *summary* families
-    (``quantile`` labels plus ``_count``/``_sum``), terminated by
-    ``# EOF``.
+    (``quantile`` labels plus ``_count``/``_sum``) and, when they carry
+    samples, as true cumulative *histogram* families under
+    ``<name>_hist`` (``_bucket{le=...}`` over the log-spaced
+    :data:`repro.obs.metrics.BUCKET_BOUNDS`, so external scrapers can
+    aggregate across processes — summaries can't be merged, buckets
+    can), terminated by ``# EOF``.
 ``/healthz``
     structured health checks (WAL writable, rule error rate, scheduler
-    queue depth, recovery clean) as JSON; HTTP 200 when every check
-    passes, 503 when any is degraded.
+    queue depth, recovery clean, and — when continuous telemetry is on —
+    a *windowed* error rate over the store) as JSON; HTTP 200 when every
+    check passes, 503 when any is degraded.
 ``/vars``
     the raw snapshot as JSON (what ``repro.tools.top`` polls).
+``/history``
+    range queries over the on-disk telemetry store
+    (:mod:`repro.obs.tsdb`): no parameters lists series and SLO
+    statuses; ``?series=NAME[&start=][&end=][&window=&fn=avg]`` returns
+    samples or a windowed aggregate.  503 while telemetry is disabled.
 
 The server thread only ever *reads*: ``snapshot()``/``summary()`` take
 copies under the registry lock (see :mod:`repro.obs.metrics`), so the
@@ -34,15 +44,19 @@ import json
 import os
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
 from .metrics import MetricsRegistry, metrics
+from .slo import sum_increase
 
 __all__ = [
     "render_openmetrics",
     "build_checks",
     "run_checks",
+    "history_payload",
     "ObservabilityServer",
     "OPENMETRICS_CONTENT_TYPE",
 ]
@@ -152,6 +166,27 @@ def render_openmetrics(snapshot: dict[str, Any]) -> str:
                 )
         lines.append(f"{base}_count {_format_value(summary.get('count', 0))}")
         lines.append(f"{base}_sum {_format_value(summary.get('sum', 0.0))}")
+        buckets = summary.get("buckets")
+        if isinstance(buckets, dict) and buckets:
+            # A true cumulative histogram family.  It gets its own name:
+            # the OpenMetrics spec forbids one family being two types,
+            # and the summary above already owns `<base>_count`/`_sum`.
+            hist = f"{base}_hist"
+            lines.append(f"# TYPE {hist} histogram")
+            lines.append(
+                f"# HELP {hist} Cumulative latency buckets for {base} "
+                "(microseconds)."
+            )
+            for le, cumulative in buckets.items():
+                lines.append(
+                    f'{hist}_bucket{{le="{le}"}} {_format_value(cumulative)}'
+                )
+            lines.append(
+                f"{hist}_count {_format_value(summary.get('count', 0))}"
+            )
+            lines.append(
+                f"{hist}_sum {_format_value(summary.get('sum', 0.0))}"
+            )
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
@@ -167,12 +202,19 @@ def build_checks(
     registry: MetricsRegistry = metrics,
     max_error_ratio: float = 0.5,
     max_pending: int = 1000,
+    max_windowed_error_ratio: float = 0.1,
+    error_window_s: float = 300.0,
 ) -> dict[str, Check]:
     """The default ``/healthz`` check set.
 
     Registry-backed checks (error rate) always apply; engine-backed ones
     (WAL writable, scheduler depth, recovery clean) need a ``sentinel``
     and report healthy with an explanatory detail when none is attached.
+    The windowed error-rate check judges the last ``error_window_s``
+    seconds of history instead of process-lifetime totals — a deploy
+    that starts erroring shows up even when yesterday's millions of good
+    firings would drown it in the instantaneous ratio — and reports
+    healthy with a detail while continuous telemetry is disabled.
     """
 
     def wal_writable() -> tuple[bool, str]:
@@ -218,11 +260,33 @@ def build_checks(
             return True, "recovery clean"
         return False, f"recovery replayed {report.redone_updates} updates"
 
+    def windowed_error_rate() -> tuple[bool, str]:
+        from .tsdb import telemetry  # lazy: tsdb sits above this module
+
+        store = telemetry.store
+        if store is None:
+            return True, "telemetry disabled (instantaneous check only)"
+        now = time.time()
+        window = int(error_window_s)
+        total = sum_increase(store, "rule_firings{*", error_window_s, now)
+        if total is None or total <= 0:
+            return True, f"no firings in the last {window}s"
+        errors = (
+            sum_increase(
+                store, "rule_firings{*outcome=error}", error_window_s, now
+            )
+            or 0.0
+        )
+        ratio = errors / total
+        detail = f"{errors:g}/{total:g} firings errored over {window}s"
+        return ratio <= max_windowed_error_ratio, detail
+
     return {
         "wal_writable": wal_writable,
         "error_rate": error_rate,
         "scheduler_depth": scheduler_depth,
         "recovery_clean": recovery_clean,
+        "windowed_error_rate": windowed_error_rate,
     }
 
 
@@ -238,6 +302,77 @@ def run_checks(checks: dict[str, Check]) -> dict[str, Any]:
         healthy = healthy and ok
         results[name] = {"ok": ok, "detail": detail}
     return {"status": "ok" if healthy else "degraded", "checks": results}
+
+
+# ----------------------------------------------------------------------
+# /history — range queries over the telemetry store
+# ----------------------------------------------------------------------
+def history_payload(query: str) -> tuple[int, dict[str, Any]]:
+    """The ``/history`` response for a raw query string.
+
+    Returns ``(http_status, payload)`` so the handler stays a one-liner
+    and tests can call this without a socket.  Without a ``series``
+    parameter the payload is an index (series names, SLO statuses, last
+    scrape); with one it is the samples in ``[start, end]`` (default:
+    the last 600 s), or a single windowed aggregate when ``window`` (and
+    optionally ``fn``) is given.
+    """
+    from .tsdb import telemetry  # lazy: tsdb sits above this module
+
+    store = telemetry.store
+    collector = telemetry.collector
+    if store is None or collector is None:
+        return 503, {
+            "enabled": False,
+            "detail": "telemetry disabled; call Sentinel.enable_telemetry()",
+        }
+    params = parse_qs(query)
+
+    def one(key: str) -> str | None:
+        values = params.get(key)
+        return values[-1] if values else None
+
+    name = one("series")
+    if name is None:
+        return 200, {
+            "enabled": True,
+            "dir": store.directory,
+            "interval_s": collector.interval,
+            "scrapes": collector.scrapes,
+            "scrape_errors": collector.scrape_errors,
+            "last_scrape_ts": store.last_scrape_ts(),
+            "series": store.series(),
+            "slos": [s.as_dict() for s in collector.slo_statuses()],
+        }
+    try:
+        end = float(one("end") or time.time())
+        start_raw = one("start")
+        start = float(start_raw) if start_raw is not None else end - 600.0
+        window_raw = one("window")
+    except ValueError as exc:
+        return 400, {"error": f"bad parameter: {exc}"}
+    if window_raw is not None:
+        fn = one("fn") or "avg"
+        try:
+            window = float(window_raw)
+            value = store.aggregate(name, window, fn, at=end)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        return 200, {
+            "series": name,
+            "window_s": window,
+            "fn": fn,
+            "end": end,
+            "value": value,
+            "rate": store.rate(name, window, at=end),
+        }
+    samples = store.query(name, start=start, end=end)
+    return 200, {
+        "series": name,
+        "start": start,
+        "end": end,
+        "samples": [[ts, value] for ts, value in samples],
+    }
 
 
 def _json_safe(value: Any) -> Any:
@@ -293,6 +428,16 @@ class ObservabilityServer:
                 elif path == "/vars":
                     body = json.dumps(_json_safe(server.registry.snapshot()))
                     self._reply(200, "application/json", body + "\n")
+                elif path == "/history":
+                    parts = self.path.split("?", 1)
+                    status, payload = history_payload(
+                        parts[1] if len(parts) > 1 else ""
+                    )
+                    self._reply(
+                        status,
+                        "application/json",
+                        json.dumps(_json_safe(payload)) + "\n",
+                    )
                 else:
                     self._reply(404, "text/plain", "not found\n")
 

@@ -25,6 +25,7 @@ value mid-batch (a count bumped before its sum), never a torn structure.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Deque
@@ -34,6 +35,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "metrics",
+    "BUCKET_BOUNDS",
     "PipelineStats",
     "pipeline_stats",
     "reset_pipeline_stats",
@@ -45,6 +47,13 @@ __all__ = [
 DEFAULT_WINDOW = 4096
 
 _PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Log-spaced cumulative bucket upper bounds (microseconds): three per
+#: decade from 1µs to 10s.  Unlike the windowed percentiles, bucket
+#: counts are exact over the histogram's whole lifetime, so external
+#: scrapers can aggregate them across processes (the exporter renders
+#: them as an OpenMetrics ``histogram`` family with ``le`` labels).
+BUCKET_BOUNDS = tuple(round(10 ** (e / 3.0), 3) for e in range(22))
 
 
 class Counter:
@@ -67,9 +76,19 @@ class Counter:
 
 
 class Histogram:
-    """A latency histogram: exact count/sum/min/max, windowed percentiles."""
+    """A latency histogram: exact count/sum/min/max/buckets, windowed
+    percentiles.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_window")
+    **Empty-window contract** (the telemetry collector scrapes idle
+    registries constantly, so this is explicit): with no samples
+    recorded, :meth:`percentile` returns ``0.0`` and :meth:`summary`
+    returns exactly ``{"count": 0}``.  If samples exist but the
+    percentile window is empty (``window=0``, or a reset race), the
+    percentiles are ``0.0`` rather than an error — never whatever falls
+    out of an empty sort.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_window", "_buckets")
 
     def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
         self.name = name
@@ -78,6 +97,8 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._window: Deque[float] = deque(maxlen=window)
+        # One slot per bound plus the +Inf overflow; exact, not windowed.
+        self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def record(self, value: float) -> None:
         self.count += 1
@@ -87,26 +108,43 @@ class Histogram:
         if value > self.max:
             self.max = value
         self._window.append(value)
+        self._buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (nearest-rank) over the sample window."""
+        """The ``p``-th percentile (nearest-rank) over the sample window.
+
+        ``0.0`` when the window holds no samples (see the class
+        docstring's empty-window contract).
+        """
         if not self._window:
             return 0.0
         ordered = sorted(self._window)
         rank = min(len(ordered) - 1, int(p / 100.0 * (len(ordered) - 1) + 0.5))
         return ordered[rank]
 
-    def summary(self) -> dict[str, float]:
-        """Count/sum/mean/min/max plus windowed percentiles.
+    def buckets(self) -> dict[str, int]:
+        """Cumulative ``le`` bucket counts (``"+Inf"`` equals ``count``)."""
+        out: dict[str, int] = {}
+        running = 0
+        counts = list(self._buckets)
+        for bound, bucket in zip(BUCKET_BOUNDS, counts):
+            running += bucket
+            out[format(bound, "g")] = running
+        out["+Inf"] = running + counts[-1]
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """Count/sum/mean/min/max, windowed percentiles, bucket counts.
 
         Safe to call from a reader thread while the engine records:
         ``sorted`` copies the window in one C-level pass under the GIL,
         so a concurrent append cannot corrupt the read (the sample it
-        adds lands in the next summary).
+        adds lands in the next summary).  With no samples the summary is
+        exactly ``{"count": 0}`` — no sum/percentiles/buckets keys.
         """
         count = self.count
         if not count:
@@ -114,6 +152,8 @@ class Histogram:
         ordered = sorted(self._window)
 
         def at(p: float) -> float:
+            if not ordered:  # window emptier than count (window=0 / reset race)
+                return 0.0
             rank = min(len(ordered) - 1, int(p / 100.0 * (len(ordered) - 1) + 0.5))
             return ordered[rank]
 
@@ -125,6 +165,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             **{f"p{int(p)}": at(p) for p in _PERCENTILES},
+            "buckets": self.buckets(),
         }
 
     def reset(self) -> None:
@@ -133,6 +174,7 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._window.clear()
+        self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count}>"

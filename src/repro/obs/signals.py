@@ -50,6 +50,7 @@ SIGNAL_KINDS = (
     "query_slow",                 # a query overran the slow-op threshold
     "rule_slow",                  # a condition/action body overran its budget
     "txn_long",                   # a transaction stayed open too long
+    "slo_breach",                 # a telemetry SLO's burn-rate windows all fired
 )
 
 Sink = Callable[[str, dict[str, Any]], None]

@@ -1,0 +1,302 @@
+"""Declarative service-level objectives over the telemetry store.
+
+An :class:`SLO` names a target ("error rate under 0.1%", "p99 commit
+under 500µs") and a set of burn-rate :class:`Window` thresholds; the
+telemetry collector (:mod:`repro.obs.tsdb`) evaluates every objective
+after each scrape and raises an ``slo_breach`` sysmon event on the
+transition into breach, so ordinary ECA rules can react to *trends*
+rather than instants.
+
+**Burn rate** is the SRE multi-window idiom: how fast the error budget
+is being consumed, as a multiple of the rate that would exactly exhaust
+it.  ``burn = observed / target`` — an error ratio of 1% against a 0.1%
+objective burns at 10×.  An objective breaches only when *every* window
+exceeds its ``max_burn``: the fast window (default 60 s at 14.4×) makes
+the alert respond in minutes, the slow window (default 300 s at 6×)
+keeps a brief spike from paging.  Windows without enough samples don't
+count as breaching — "no data" is not "on fire".
+
+Three shapes cover the engine's surface:
+
+* :meth:`SLO.error_rate` — a ratio of two counter families.  Series
+  names are ``fnmatch`` patterns, so the labeled-counter convention
+  (``rule_firings{rule=*,outcome=error}``) aggregates across labels.
+  The ratio uses counter ``increase()`` semantics (sum of positive
+  deltas), so process restarts never yield negative budgets.
+* :meth:`SLO.latency` — a windowed average of a gauge-like series,
+  typically a scraped percentile sub-series such as
+  ``txn_commit_us.p99``.
+* :meth:`SLO.threshold` — the general form of ``latency`` with a
+  selectable aggregation (``avg``/``max``/``min``/``last``/…).
+
+This module reads the store through duck typing (anything with
+``increase``/``aggregate``/``series``) and imports nothing above
+:mod:`repro.obs.metrics`, keeping the obs dependency order
+``metrics < slo < tsdb < exporter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Protocol, Sequence
+
+__all__ = [
+    "Window",
+    "WindowStatus",
+    "SLO",
+    "SLOStatus",
+    "evaluate_slo",
+    "sum_increase",
+    "DEFAULT_BURN_WINDOWS",
+]
+
+
+class SeriesStore(Protocol):
+    """What :func:`evaluate_slo` needs from a store (tsdb satisfies it)."""
+
+    def series(self) -> list[str]: ...
+
+    def increase(
+        self, name: str, window_s: float, at: float | None = None
+    ) -> float | None: ...
+
+    def aggregate(
+        self,
+        name: str,
+        window_s: float,
+        fn: str = "avg",
+        at: float | None = None,
+    ) -> float | None: ...
+
+
+@dataclass(frozen=True)
+class Window:
+    """One burn-rate window: breach requires ``burn > max_burn`` here."""
+
+    seconds: float
+    max_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError(f"window seconds must be > 0, got {self.seconds}")
+        if self.max_burn <= 0:
+            raise ValueError(f"max_burn must be > 0, got {self.max_burn}")
+
+
+#: The SRE fast+slow pair: a 60 s window burning the budget 14.4× over,
+#: confirmed by a 300 s window at 6× — responsive but spike-tolerant.
+DEFAULT_BURN_WINDOWS = (Window(60.0, 14.4), Window(300.0, 6.0))
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A declarative objective the collector evaluates every scrape.
+
+    Use the factories (:meth:`error_rate`, :meth:`latency`,
+    :meth:`threshold`) rather than the constructor; ``kind`` selects the
+    evaluation shape and the factories fill the right fields.
+    """
+
+    name: str
+    kind: str  # "error_rate" | "threshold"
+    target: float
+    windows: tuple[Window, ...] = DEFAULT_BURN_WINDOWS
+    #: error_rate: fnmatch patterns over series names.
+    numerator: str = ""
+    denominator: str = ""
+    #: threshold: the series and aggregation to compare against target.
+    series: str = ""
+    fn: str = "avg"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error_rate", "threshold"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.target <= 0:
+            raise ValueError(f"SLO target must be > 0, got {self.target}")
+        if not self.windows:
+            raise ValueError("an SLO needs at least one window")
+
+    @classmethod
+    def error_rate(
+        cls,
+        name: str,
+        numerator: str,
+        denominator: str,
+        target: float = 0.001,
+        windows: Sequence[Window] = DEFAULT_BURN_WINDOWS,
+        description: str = "",
+    ) -> "SLO":
+        """``increase(numerator) / increase(denominator) < target``."""
+        return cls(
+            name=name,
+            kind="error_rate",
+            target=target,
+            windows=tuple(windows),
+            numerator=numerator,
+            denominator=denominator,
+            description=description,
+        )
+
+    @classmethod
+    def latency(
+        cls,
+        name: str,
+        series: str,
+        target_us: float,
+        windows: Sequence[Window] = DEFAULT_BURN_WINDOWS,
+        description: str = "",
+    ) -> "SLO":
+        """``avg(series) < target_us`` — for scraped percentile series."""
+        return cls(
+            name=name,
+            kind="threshold",
+            target=target_us,
+            windows=tuple(windows),
+            series=series,
+            fn="avg",
+            description=description,
+        )
+
+    @classmethod
+    def threshold(
+        cls,
+        name: str,
+        series: str,
+        target: float,
+        fn: str = "avg",
+        windows: Sequence[Window] = DEFAULT_BURN_WINDOWS,
+        description: str = "",
+    ) -> "SLO":
+        """``fn(series) < target`` over every window."""
+        return cls(
+            name=name,
+            kind="threshold",
+            target=target,
+            windows=tuple(windows),
+            series=series,
+            fn=fn,
+            description=description,
+        )
+
+
+@dataclass
+class WindowStatus:
+    """One window's share of an evaluation."""
+
+    seconds: float
+    max_burn: float
+    value: float | None  # observed ratio / aggregate (None: no data)
+    burn: float | None  # value / target
+
+    @property
+    def over(self) -> bool:
+        return self.burn is not None and self.burn > self.max_burn
+
+
+@dataclass
+class SLOStatus:
+    """The outcome of evaluating one objective at one instant."""
+
+    slo: SLO
+    at: float
+    windows: list[WindowStatus] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.slo.name
+
+    @property
+    def breached(self) -> bool:
+        """Every window has data and burns past its threshold."""
+        return bool(self.windows) and all(w.over for w in self.windows)
+
+    @property
+    def has_data(self) -> bool:
+        return any(w.value is not None for w in self.windows)
+
+    @property
+    def value(self) -> float:
+        """The observed value over the fastest window (0.0 without data)."""
+        for w in self.windows:
+            if w.value is not None:
+                return w.value
+        return 0.0
+
+    @property
+    def worst_burn(self) -> float:
+        burns = [w.burn for w in self.windows if w.burn is not None]
+        return max(burns) if burns else 0.0
+
+    @property
+    def windows_text(self) -> str:
+        """Compact per-window summary, e.g. ``60s:2.1x,300s:0.8x``."""
+        parts = []
+        for w in self.windows:
+            burn = "-" if w.burn is None else f"{w.burn:.1f}x"
+            parts.append(f"{int(w.seconds)}s:{burn}")
+        return ",".join(parts)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe shape for ``/history``, the doctor, and tools."""
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "target": self.slo.target,
+            "breached": self.breached,
+            "value": self.value,
+            "worst_burn": self.worst_burn,
+            "windows": [
+                {
+                    "seconds": w.seconds,
+                    "max_burn": w.max_burn,
+                    "value": w.value,
+                    "burn": w.burn,
+                    "over": w.over,
+                }
+                for w in self.windows
+            ],
+        }
+
+
+def sum_increase(
+    store: SeriesStore, pattern: str, window_s: float, at: float
+) -> float | None:
+    """Total counter increase across every series matching ``pattern``.
+
+    ``None`` when no matching series has two samples in the window —
+    the distinction :class:`SLOStatus` needs between "no traffic data"
+    and "zero errors".
+    """
+    if any(ch in pattern for ch in "*?["):
+        names = [n for n in store.series() if fnmatchcase(n, pattern)]
+    else:
+        names = [pattern]
+    total: float | None = None
+    for name in names:
+        increase = store.increase(name, window_s, at=at)
+        if increase is not None:
+            total = increase if total is None else total + increase
+    return total
+
+
+def evaluate_slo(slo: SLO, store: SeriesStore, at: float) -> SLOStatus:
+    """Evaluate one objective against the store at time ``at``."""
+    status = SLOStatus(slo=slo, at=at)
+    for window in slo.windows:
+        value: float | None
+        if slo.kind == "error_rate":
+            den = sum_increase(store, slo.denominator, window.seconds, at)
+            if den is None or den <= 0:
+                value = None
+            else:
+                num = sum_increase(store, slo.numerator, window.seconds, at)
+                value = (num or 0.0) / den
+        else:  # threshold
+            value = store.aggregate(slo.series, window.seconds, slo.fn, at=at)
+        burn = None if value is None else value / slo.target
+        status.windows.append(
+            WindowStatus(window.seconds, window.max_burn, value, burn)
+        )
+    return status

@@ -34,11 +34,16 @@ entry):
                                (rule, phase, seq, micros, threshold_us)
 ``txn_long``                   a transaction stayed open too long
                                (txn_id, changes, micros, threshold_us)
+``slo_breach``                 a telemetry objective's burn-rate windows
+                               all fired (slo, value, target, burn, windows)
 =============================  =====================================
 
 The three ``*_slow``/``*_long`` signals are raised by the slow-op log
 (:mod:`repro.obs.slowlog`) when it is open, so "react to slowness" rules
 need both a monitor attached *and* ``Sentinel.enable_slow_log()``.
+``slo_breach`` likewise needs continuous telemetry running
+(``Sentinel.enable_telemetry()``) — the collector evaluates the
+objectives and emits on the transition into breach.
 
 **Re-entrancy.**  A sysmon rule firing is itself a rule firing; naively
 it would emit ``rule_fired``, trigger itself, and recurse.  Two guards
@@ -87,6 +92,7 @@ class SystemMonitor(Reactive):
         self.slow_queries = 0
         self.slow_rules = 0
         self.long_txns = 0
+        self.slo_breaches = 0
         self.dropped_reentrant = 0
         object.__setattr__(self, "_emitting", False)
 
@@ -143,6 +149,7 @@ class SystemMonitor(Reactive):
             "query_slow": self.slow_queries,
             "rule_slow": self.slow_rules,
             "txn_long": self.long_txns,
+            "slo_breach": self.slo_breaches,
             "dropped_reentrant": self.dropped_reentrant,
         }
 
@@ -205,3 +212,9 @@ class SystemMonitor(Reactive):
         self, txn_id: int, changes: int, micros: float, threshold_us: float
     ) -> None:
         self.long_txns += 1
+
+    @event_method
+    def slo_breach(
+        self, slo: str, value: float, target: float, burn: float, windows: str
+    ) -> None:
+        self.slo_breaches += 1

@@ -1,0 +1,832 @@
+"""Continuous telemetry: an on-disk metrics time-series store + collector.
+
+Every other observability surface is instantaneous: ``metrics.snapshot()``
+is *now*, ``/healthz`` judges one moment, ``tools.top`` forgets each
+frame.  This module gives the registry a memory.  A
+:class:`TelemetryCollector` scrapes the in-process
+:class:`~repro.obs.metrics.MetricsRegistry` on a fixed interval into a
+:class:`TimeSeriesStore` — compact, crash-safe, append-only segment
+files — and evaluates declarative SLOs (:mod:`repro.obs.slo`) against
+the history, raising breaches as first-class sysmon events so ordinary
+ECA rules can react to *trends* (error-rate burn, latency drift), not
+just instants.
+
+**Segment format.**  A store is a directory of ``tsdb-<seq>.seg`` files.
+Each segment is self-contained::
+
+    header:  magic "RTS1" | u8 version | f64 base_ts
+    NAME:    u8 tag=1 | u32 sid | u16 len | name bytes | u32 crc32(name)
+    FRAME:   u8 tag=2 | u32 dt_ms | u16 n | n x (u32 sid, f64 value)
+             | u32 crc32(samples)
+
+Series names are interned per segment (a ``NAME`` record precedes a
+series id's first use), frame timestamps are delta-encoded as whole
+milliseconds from the segment's ``base_ts`` (4 bytes a frame instead of
+8, reusing the struct-packing discipline of the record codec), and every
+record carries a CRC.  One scrape is one ``write()`` + ``flush()``;
+a crash can therefore tear at most the final record of the final
+segment, and the reader stops cleanly at the first torn or corrupt
+record (:func:`parse_segment` reports the torn byte count).  Reopening
+a store never appends to an old segment — existing files are sealed
+as-is and writing continues in a fresh one, so recovery is a no-op.
+
+**Retention** is size- and age-based: when the active segment rolls
+(``segment_bytes``), sealed segments are deleted oldest-first while the
+store exceeds ``retain_bytes`` or a sealed segment's newest sample is
+older than ``retain_age_s``.  :meth:`TimeSeriesStore.compact` merges
+all sealed segments into one (re-interning names, dropping aged
+samples) — ``python -m repro.tools.tsdb`` exposes it.
+
+**Read API**: :meth:`~TimeSeriesStore.query` (range scan),
+:meth:`~TimeSeriesStore.rate` / :meth:`~TimeSeriesStore.increase`
+(counter semantics: sum of positive deltas, so process restarts do not
+produce negative rates), and :meth:`~TimeSeriesStore.aggregate`
+(windowed avg/min/max/sum/count/last over gauge-like series).  Readers
+(the ``/history`` endpoint, ``tools.top --history``, ``tools.doctor``)
+parse segment files directly; parsed segments are cached by file size,
+so repeated SLO evaluation does not re-read sealed data.
+
+Threading follows the package's single-writer discipline: the collector
+thread is the only writer (``append``/roll/compact take the store lock);
+readers parse flushed bytes and never block the writer.  Note the
+corollary: while the background collector is running, *it* is the thread
+that raises ``slo_breach`` sysmon events — breach rules should stick to
+engine-safe reactions (disable a rule, write a log) or use decoupled
+coupling; tests drive :meth:`TelemetryCollector.scrape_once`
+synchronously instead.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+from typing import Any, Callable, Iterator, Mapping, Sequence
+from zlib import crc32
+
+from .metrics import MetricsRegistry, metrics
+from .signals import engine_signals
+from .slo import SLO, SLOStatus, evaluate_slo
+
+__all__ = [
+    "TimeSeriesStore",
+    "TelemetryCollector",
+    "Telemetry",
+    "telemetry",
+    "flatten_snapshot",
+    "parse_segment",
+    "ParsedSegment",
+    "MAGIC",
+    "VERSION",
+]
+
+MAGIC = b"RTS1"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sBd")  # magic, version, base_ts
+_NAME_HDR = struct.Struct("<BIH")  # tag=1, sid, name length
+_FRAME_HDR = struct.Struct("<BIH")  # tag=2, dt_ms, sample count
+_SAMPLE = struct.Struct("<Id")  # sid, value
+_CRC = struct.Struct("<I")
+
+_TAG_NAME = 1
+_TAG_FRAME = 2
+
+#: dt_ms is u32: one segment spans at most ~49 days before rolling.
+_MAX_DT_MS = (1 << 32) - 1
+
+_AGG_FNS: dict[str, Callable[[Sequence[float]], float]] = {
+    "avg": lambda vs: sum(vs) / len(vs),
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "count": lambda vs: float(len(vs)),
+    "last": lambda vs: vs[-1],
+}
+
+
+class ParsedSegment:
+    """One decoded segment: its names, frames, and torn-tail byte count."""
+
+    __slots__ = ("base_ts", "names", "frames", "torn_bytes")
+
+    def __init__(
+        self,
+        base_ts: float,
+        names: dict[int, str],
+        frames: list[tuple[float, list[tuple[int, float]]]],
+        torn_bytes: int,
+    ) -> None:
+        self.base_ts = base_ts
+        #: sid -> series name (per-segment interning).
+        self.names = names
+        #: (absolute ts, [(sid, value), ...]) per scrape, oldest first.
+        self.frames = frames
+        #: Bytes after the last intact record (non-zero after a crash).
+        self.torn_bytes = torn_bytes
+
+    @property
+    def samples(self) -> int:
+        return sum(len(frame[1]) for frame in self.frames)
+
+    @property
+    def end_ts(self) -> float:
+        return self.frames[-1][0] if self.frames else self.base_ts
+
+
+def parse_segment(data: bytes) -> ParsedSegment:
+    """Decode one segment's bytes, stopping cleanly at a torn tail.
+
+    Raises ``ValueError`` only for a bad magic/version (not a segment at
+    all); truncation and CRC mismatches terminate the parse and are
+    reported via :attr:`ParsedSegment.torn_bytes`.
+    """
+    if len(data) < _HEADER.size:
+        raise ValueError("not a tsdb segment: short header")
+    magic, version, base_ts = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise ValueError(f"not a tsdb segment: bad magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"unsupported tsdb segment version {version}")
+    names: dict[int, str] = {}
+    frames: list[tuple[float, list[tuple[int, float]]]] = []
+    offset = _HEADER.size
+    size = len(data)
+    while offset < size:
+        tag = data[offset]
+        if tag == _TAG_NAME:
+            if offset + _NAME_HDR.size > size:
+                break
+            _, sid, name_len = _NAME_HDR.unpack_from(data, offset)
+            body_end = offset + _NAME_HDR.size + name_len
+            if body_end + _CRC.size > size:
+                break
+            name_bytes = data[offset + _NAME_HDR.size : body_end]
+            (crc,) = _CRC.unpack_from(data, body_end)
+            if crc32(name_bytes) != crc:
+                break
+            names[sid] = name_bytes.decode("utf-8", "replace")
+            offset = body_end + _CRC.size
+        elif tag == _TAG_FRAME:
+            if offset + _FRAME_HDR.size > size:
+                break
+            _, dt_ms, count = _FRAME_HDR.unpack_from(data, offset)
+            body_end = offset + _FRAME_HDR.size + count * _SAMPLE.size
+            if body_end + _CRC.size > size:
+                break
+            body = data[offset + _FRAME_HDR.size : body_end]
+            (crc,) = _CRC.unpack_from(data, body_end)
+            if crc32(body) != crc:
+                break
+            samples = [
+                _SAMPLE.unpack_from(body, i * _SAMPLE.size)
+                for i in range(count)
+            ]
+            frames.append((base_ts + dt_ms / 1000.0, samples))
+            offset = body_end + _CRC.size
+        else:  # unknown tag: corrupt tail
+            break
+    return ParsedSegment(base_ts, names, frames, size - offset)
+
+
+def flatten_snapshot(snapshot: Mapping[str, Any]) -> dict[str, float]:
+    """A ``metrics.snapshot()`` as flat float series.
+
+    Counters pass through; histogram summary dicts fan out to
+    ``<name>.count`` / ``<name>.sum`` / ``<name>.p50`` … sub-series.
+    Non-numeric and non-finite values (an idle histogram's missing
+    percentiles, bucket tables, string collector output) are skipped —
+    scraping an idle registry must always succeed.
+    """
+    out: dict[str, float] = {}
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                if isinstance(sub, bool) or not isinstance(sub, (int, float)):
+                    continue
+                sub_f = float(sub)
+                if sub_f == sub_f and sub_f not in (
+                    float("inf"), float("-inf")
+                ):
+                    out[f"{name}.{key}"] = sub_f
+        elif isinstance(value, bool):
+            out[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            value_f = float(value)
+            if value_f == value_f and value_f not in (
+                float("inf"), float("-inf")
+            ):
+                out[name] = value_f
+    return out
+
+
+class TimeSeriesStore:
+    """Append-only, crash-safe, segment-rotated metrics time series."""
+
+    def __init__(
+        self,
+        directory: str,
+        segment_bytes: int = 256 * 1024,
+        retain_bytes: int = 8 * 1024 * 1024,
+        retain_age_s: float = 24 * 3600.0,
+    ) -> None:
+        if segment_bytes < 1024:
+            raise ValueError(f"segment_bytes must be >= 1024, got {segment_bytes}")
+        if retain_bytes < segment_bytes:
+            raise ValueError("retain_bytes must be >= segment_bytes")
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.retain_bytes = retain_bytes
+        self.retain_age_s = retain_age_s
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle: Any = None
+        self._names: dict[str, int] = {}
+        self._base_ts = 0.0
+        self._size = 0
+        existing = self._segment_seqs()
+        # Never append to a pre-existing segment: a torn tail from a
+        # previous process stays sealed where it is, and recovery is
+        # nothing more than starting the next segment.
+        self._seq = (existing[-1] + 1) if existing else 1
+        #: path -> (file size when parsed, parsed segment).
+        self._cache: dict[str, tuple[int, ParsedSegment]] = {}
+
+    # ------------------------------------------------------------------
+    # Segment bookkeeping
+    # ------------------------------------------------------------------
+    def _segment_path(self, seq: int) -> str:
+        return os.path.join(self.directory, f"tsdb-{seq:08d}.seg")
+
+    def _segment_seqs(self) -> list[int]:
+        seqs: list[int] = []
+        try:
+            entries = os.listdir(self.directory)
+        except FileNotFoundError:
+            return seqs
+        for entry in entries:
+            if entry.startswith("tsdb-") and entry.endswith(".seg"):
+                try:
+                    seqs.append(int(entry[5:-4]))
+                except ValueError:
+                    continue
+        seqs.sort()
+        return seqs
+
+    def segments(self) -> list[dict[str, Any]]:
+        """Every segment's seq/path/bytes/frames/torn bytes, oldest first."""
+        out: list[dict[str, Any]] = []
+        for seq in self._segment_seqs():
+            path = self._segment_path(seq)
+            parsed = self._load(path)
+            if parsed is None:
+                continue
+            out.append(
+                {
+                    "seq": seq,
+                    "path": path,
+                    "bytes": os.path.getsize(path) if os.path.exists(path) else 0,
+                    "frames": len(parsed.frames),
+                    "samples": parsed.samples,
+                    "series": len(parsed.names),
+                    "start_ts": parsed.base_ts,
+                    "end_ts": parsed.end_ts,
+                    "torn_bytes": parsed.torn_bytes,
+                }
+            )
+        return out
+
+    def _load(self, path: str) -> ParsedSegment | None:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return None
+        cached = self._cache.get(path)
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        try:
+            parsed = parse_segment(data)
+        except ValueError:
+            return None
+        self._cache[path] = (len(data), parsed)
+        return parsed
+
+    def _iter_parsed(self) -> Iterator[ParsedSegment]:
+        for seq in self._segment_seqs():
+            parsed = self._load(self._segment_path(seq))
+            if parsed is not None:
+                yield parsed
+
+    # ------------------------------------------------------------------
+    # Writing (collector thread)
+    # ------------------------------------------------------------------
+    def append(self, samples: Mapping[str, float], ts: float | None = None) -> None:
+        """Write one scrape: interleaved NAME records plus one FRAME."""
+        if not samples:
+            return
+        when = time.time() if ts is None else ts
+        with self._lock:
+            if self._handle is None:
+                self._open_segment(when)
+            dt_ms = int(max(0.0, when - self._base_ts) * 1000)
+            if self._size >= self.segment_bytes or dt_ms > _MAX_DT_MS:
+                self._roll(when)
+                dt_ms = int(max(0.0, when - self._base_ts) * 1000)
+            buf = bytearray()
+            for name in samples:
+                if name not in self._names:
+                    sid = self._names[name] = len(self._names)
+                    name_bytes = name.encode("utf-8")
+                    buf += _NAME_HDR.pack(_TAG_NAME, sid, len(name_bytes))
+                    buf += name_bytes
+                    buf += _CRC.pack(crc32(name_bytes))
+            body = b"".join(
+                _SAMPLE.pack(self._names[name], float(value))
+                for name, value in samples.items()
+            )
+            buf += _FRAME_HDR.pack(_TAG_FRAME, dt_ms, len(samples))
+            buf += body
+            buf += _CRC.pack(crc32(body))
+            self._handle.write(bytes(buf))
+            self._handle.flush()
+            self._size += len(buf)
+
+    def _open_segment(self, when: float) -> None:
+        path = self._segment_path(self._seq)
+        self._handle = open(path, "wb")
+        self._base_ts = when
+        self._names = {}
+        self._handle.write(_HEADER.pack(MAGIC, VERSION, when))
+        self._handle.flush()
+        self._size = _HEADER.size
+
+    def _roll(self, when: float) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._seq += 1
+        self._enforce_retention(when)
+        self._open_segment(when)
+
+    def _enforce_retention(self, now: float) -> None:
+        seqs = self._segment_seqs()
+        infos: list[tuple[int, str, int]] = []
+        total = 0
+        for seq in seqs:
+            path = self._segment_path(seq)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            infos.append((seq, path, size))
+            total += size
+        for seq, path, size in infos[:-1]:  # never delete the newest
+            parsed = self._load(path)
+            aged = (
+                parsed is not None
+                and now - parsed.end_ts > self.retain_age_s
+            )
+            if total <= self.retain_bytes and not aged:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            self._cache.pop(path, None)
+            total -= size
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    # Reading (any thread; parses flushed bytes only)
+    # ------------------------------------------------------------------
+    def series(self) -> list[str]:
+        """Every series name present in any live segment, sorted."""
+        names: set[str] = set()
+        for parsed in self._iter_parsed():
+            names.update(parsed.names.values())
+        return sorted(names)
+
+    def query(
+        self,
+        name: str,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> list[tuple[float, float]]:
+        """``(ts, value)`` samples of ``name`` in ``[start, end]``, oldest first."""
+        out: list[tuple[float, float]] = []
+        for parsed in self._iter_parsed():
+            sid = None
+            for known_sid, known in parsed.names.items():
+                if known == name:
+                    sid = known_sid
+                    break
+            if sid is None:
+                continue
+            for ts, samples in parsed.frames:
+                if start is not None and ts < start:
+                    continue
+                if end is not None and ts > end:
+                    continue
+                for sample_sid, value in samples:
+                    if sample_sid == sid:
+                        out.append((ts, value))
+                        break
+        return out
+
+    def latest(self, name: str) -> tuple[float, float] | None:
+        points = self.query(name)
+        return points[-1] if points else None
+
+    def last_scrape_ts(self) -> float | None:
+        """The newest frame timestamp across all segments."""
+        newest: float | None = None
+        for parsed in self._iter_parsed():
+            if parsed.frames:
+                ts = parsed.frames[-1][0]
+                if newest is None or ts > newest:
+                    newest = ts
+        return newest
+
+    def scrape_times(
+        self, start: float | None = None, end: float | None = None
+    ) -> list[float]:
+        """Every frame timestamp (one per scrape), oldest first."""
+        times: list[float] = []
+        for parsed in self._iter_parsed():
+            for ts, _samples in parsed.frames:
+                if start is not None and ts < start:
+                    continue
+                if end is not None and ts > end:
+                    continue
+                times.append(ts)
+        times.sort()
+        return times
+
+    def snapshot_at(self, ts: float) -> dict[str, float]:
+        """The flat sample dict written by the scrape at exactly ``ts``."""
+        out: dict[str, float] = {}
+        for parsed in self._iter_parsed():
+            for frame_ts, samples in parsed.frames:
+                if frame_ts == ts:
+                    for sid, value in samples:
+                        name = parsed.names.get(sid)
+                        if name is not None:
+                            out[name] = value
+        return out
+
+    def increase(
+        self, name: str, window_s: float, at: float | None = None
+    ) -> float | None:
+        """Counter increase over the window: the sum of positive deltas.
+
+        Negative deltas (a process restart reset the counter) contribute
+        nothing rather than poisoning the rate.  Returns ``None`` when
+        fewer than two samples fall inside the window — callers must
+        treat "no data" and "zero" differently (an SLO cannot breach on
+        an empty window).
+        """
+        end = time.time() if at is None else at
+        points = self.query(name, start=end - window_s, end=end)
+        if len(points) < 2:
+            return None
+        total = 0.0
+        for (_, prev), (_, cur) in zip(points, points[1:]):
+            delta = cur - prev
+            if delta > 0:
+                total += delta
+        return total
+
+    def rate(
+        self, name: str, window_s: float, at: float | None = None
+    ) -> float | None:
+        """Per-second counter rate over the window (``None`` without data)."""
+        end = time.time() if at is None else at
+        points = self.query(name, start=end - window_s, end=end)
+        if len(points) < 2:
+            return None
+        elapsed = points[-1][0] - points[0][0]
+        if elapsed <= 0:
+            return None
+        total = 0.0
+        for (_, prev), (_, cur) in zip(points, points[1:]):
+            delta = cur - prev
+            if delta > 0:
+                total += delta
+        return total / elapsed
+
+    def aggregate(
+        self,
+        name: str,
+        window_s: float,
+        fn: str = "avg",
+        at: float | None = None,
+    ) -> float | None:
+        """Windowed aggregation over gauge-like samples (``None`` if empty)."""
+        agg = _AGG_FNS.get(fn)
+        if agg is None:
+            raise ValueError(
+                f"unknown aggregation {fn!r}; pick from {sorted(_AGG_FNS)}"
+            )
+        end = time.time() if at is None else at
+        points = self.query(name, start=end - window_s, end=end)
+        if not points:
+            return None
+        return agg([value for _, value in points])
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self, now: float | None = None) -> dict[str, int]:
+        """Merge every segment into one, dropping samples past retention.
+
+        The active segment is sealed first; the next append starts a
+        fresh one.  Returns before/after statistics.
+        """
+        when = time.time() if now is None else now
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            seqs = self._segment_seqs()
+            paths = [self._segment_path(seq) for seq in seqs]
+            bytes_before = sum(
+                os.path.getsize(p) for p in paths if os.path.exists(p)
+            )
+            merged: list[tuple[float, dict[str, float]]] = []
+            dropped = 0
+            horizon = when - self.retain_age_s
+            for path in paths:
+                parsed = self._load(path)
+                if parsed is None:
+                    continue
+                for ts, samples in parsed.frames:
+                    if ts < horizon:
+                        dropped += sum(1 for _ in samples)
+                        continue
+                    frame: dict[str, float] = {}
+                    for sid, value in samples:
+                        name = parsed.names.get(sid)
+                        if name is not None:
+                            frame[name] = value
+                    if frame:
+                        merged.append((ts, frame))
+            merged.sort(key=lambda item: item[0])
+            out_seq = (seqs[-1] if seqs else 0) + 1
+            out_path = self._segment_path(out_seq)
+            samples_after = 0
+            if merged:
+                tmp_path = out_path + ".tmp"
+                names: dict[str, int] = {}
+                with open(tmp_path, "wb") as handle:
+                    handle.write(_HEADER.pack(MAGIC, VERSION, merged[0][0]))
+                    base = merged[0][0]
+                    for ts, frame in merged:
+                        buf = bytearray()
+                        for name in frame:
+                            if name not in names:
+                                sid = names[name] = len(names)
+                                name_bytes = name.encode("utf-8")
+                                buf += _NAME_HDR.pack(
+                                    _TAG_NAME, sid, len(name_bytes)
+                                )
+                                buf += name_bytes
+                                buf += _CRC.pack(crc32(name_bytes))
+                        body = b"".join(
+                            _SAMPLE.pack(names[name], value)
+                            for name, value in frame.items()
+                        )
+                        dt_ms = min(_MAX_DT_MS, int(max(0.0, ts - base) * 1000))
+                        buf += _FRAME_HDR.pack(_TAG_FRAME, dt_ms, len(frame))
+                        buf += body
+                        buf += _CRC.pack(crc32(body))
+                        handle.write(bytes(buf))
+                        samples_after += len(frame)
+                os.replace(tmp_path, out_path)
+            for path in paths:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                self._cache.pop(path, None)
+            self._seq = out_seq + 1
+            bytes_after = (
+                os.path.getsize(out_path) if os.path.exists(out_path) else 0
+            )
+            return {
+                "segments_before": len(paths),
+                "segments_after": 1 if merged else 0,
+                "bytes_before": bytes_before,
+                "bytes_after": bytes_after,
+                "samples": samples_after,
+                "samples_dropped": dropped,
+            }
+
+    def stats(self) -> dict[str, float]:
+        """Totals for the metrics collector / ``tools.tsdb info``."""
+        segments = self.segments()
+        return {
+            "segments": float(len(segments)),
+            "bytes": float(sum(s["bytes"] for s in segments)),
+            "frames": float(sum(s["frames"] for s in segments)),
+            "samples": float(sum(s["samples"] for s in segments)),
+            "series": float(len(self.series())),
+            "torn_bytes": float(sum(s["torn_bytes"] for s in segments)),
+        }
+
+
+class TelemetryCollector:
+    """Background scraper: registry -> store, plus SLO evaluation.
+
+    ``start()`` launches a daemon thread waking every ``interval``
+    seconds; ``scrape_once()`` is the synchronous unit of work the
+    thread repeats (tests and the doctor drive it directly).  A scrape
+    that raises — a collector callback blowing up inside
+    ``registry.snapshot()``, a full disk — is counted
+    (``tsdb.scrape_errors``) and isolated: the thread survives and tries
+    again next tick.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        registry: MetricsRegistry = metrics,
+        interval: float = 5.0,
+        slos: Sequence[SLO] = (),
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.store = store
+        self.registry = registry
+        self.interval = interval
+        self.slos = list(slos)
+        self.scrapes = 0
+        self.scrape_errors = 0
+        self.breaches = 0
+        self._breached: set[str] = set()
+        self._statuses: dict[str, SLOStatus] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryCollector":
+        """Launch the scrape thread (idempotent: double-start is a no-op)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-tsdb", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread and join it; safe mid-scrape and when idle."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.scrape_once()
+
+    # ------------------------------------------------------------------
+    # One scrape
+    # ------------------------------------------------------------------
+    def scrape_once(self, now: float | None = None) -> bool:
+        """Scrape + evaluate once; returns False when the scrape failed."""
+        when = time.time() if now is None else now
+        try:
+            samples = flatten_snapshot(self.registry.snapshot())
+            self.store.append(samples, ts=when)
+            self.scrapes += 1
+        except Exception:
+            self.scrape_errors += 1
+            return False
+        try:
+            self._evaluate_slos(when)
+        except Exception:
+            self.scrape_errors += 1
+            return False
+        return True
+
+    def _evaluate_slos(self, now: float) -> None:
+        for slo in self.slos:
+            status = evaluate_slo(slo, self.store, now)
+            self._statuses[slo.name] = status
+            if status.breached and slo.name not in self._breached:
+                self._breached.add(slo.name)
+                self.breaches += 1
+                self.registry.counter(
+                    f"slo_breaches_total{{slo={slo.name}}}"
+                ).inc()
+                if engine_signals.active:
+                    engine_signals.emit(
+                        "slo_breach",
+                        slo=slo.name,
+                        value=round(status.value, 6),
+                        target=slo.target,
+                        burn=round(status.worst_burn, 3),
+                        windows=status.windows_text,
+                    )
+            elif not status.breached:
+                self._breached.discard(slo.name)
+
+    def slo_statuses(self) -> list[SLOStatus]:
+        """The most recent evaluation of every objective."""
+        return [
+            self._statuses[slo.name]
+            for slo in self.slos
+            if slo.name in self._statuses
+        ]
+
+    def counts(self) -> dict[str, float]:
+        """The ``tsdb.*`` collector the registry publishes while open."""
+        out = {
+            "scrapes": float(self.scrapes),
+            "scrape_errors": float(self.scrape_errors),
+            "slo_breaches": float(self.breaches),
+            "slos": float(len(self.slos)),
+            "interval_s": float(self.interval),
+        }
+        out.update(self.store.stats())
+        return out
+
+
+class Telemetry:
+    """The process-wide telemetry handle (the audit-log idiom).
+
+    ``Sentinel.enable_telemetry(dir)`` opens it; ``tools.doctor`` and the
+    ``/history`` endpoint read through it without holding a Sentinel.
+    """
+
+    def __init__(self) -> None:
+        self.store: TimeSeriesStore | None = None
+        self.collector: TelemetryCollector | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.store is not None
+
+    def open(
+        self,
+        directory: str,
+        interval: float = 5.0,
+        slos: Sequence[SLO] = (),
+        registry: MetricsRegistry = metrics,
+        start: bool = True,
+        segment_bytes: int = 256 * 1024,
+        retain_bytes: int = 8 * 1024 * 1024,
+        retain_age_s: float = 24 * 3600.0,
+    ) -> "Telemetry":
+        """Open the store at ``directory`` and (by default) start scraping."""
+        self.close()
+        self.store = TimeSeriesStore(
+            directory,
+            segment_bytes=segment_bytes,
+            retain_bytes=retain_bytes,
+            retain_age_s=retain_age_s,
+        )
+        self.collector = TelemetryCollector(
+            self.store, registry=registry, interval=interval, slos=slos
+        )
+        registry.register_collector("tsdb", self.collector.counts)
+        if start:
+            self.collector.start()
+        return self
+
+    def close(self) -> None:
+        if self.collector is not None:
+            self.collector.stop()
+            self.collector.registry.unregister_collector("tsdb")
+            self.collector = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+
+#: The process-wide handle, mirroring ``audit_log`` / ``slow_op_log``.
+telemetry = Telemetry()

@@ -23,6 +23,9 @@ surfaces expose separately:
   crash dumps;
 * **slow_ops** — the newest entries of the slow-op log, thresholds
   included;
+* **telemetry** — when continuous telemetry is on, the last few minutes
+  of every recorded series from the on-disk store plus current SLO
+  statuses (``--telemetry-window`` sets the span);
 * **storage** — the ``inspect --stats`` report for the live database;
 * **analysis** — the static rule-set findings (triggering graph,
   termination/confluence/dead-rule checks).
@@ -70,12 +73,18 @@ BUNDLE_SCHEMA: dict[str, type] = {
     "metrics": dict,
     "flight": dict,
     "slow_ops": dict,
+    "telemetry": dict,
     "storage": list,
     "analysis": dict,
 }
 
 
-def collect(sentinel: Any, target: str = "", slow_tail: int = 50) -> dict[str, Any]:
+def collect(
+    sentinel: Any,
+    target: str = "",
+    slow_tail: int = 50,
+    telemetry_window_s: float = 300.0,
+) -> dict[str, Any]:
     """Gather the full diagnostics bundle from a live system."""
     health = run_checks(build_checks(sentinel))
     snapshot = metrics.snapshot()
@@ -95,6 +104,7 @@ def collect(sentinel: Any, target: str = "", slow_tail: int = 50) -> dict[str, A
             "dumps": flight_recorder.snapshot_dumps(),
         },
         "slow_ops": _slow_ops(slow_tail),
+        "telemetry": _telemetry(telemetry_window_s),
         "storage": (
             storage_stats_lines(sentinel.db)
             if sentinel.db is not None
@@ -103,6 +113,33 @@ def collect(sentinel: Any, target: str = "", slow_tail: int = 50) -> dict[str, A
         "analysis": analyze(sentinel).to_json(),
     }
     return bundle
+
+
+def _telemetry(window_s: float) -> dict[str, Any]:
+    from ..obs.tsdb import telemetry
+
+    store = telemetry.store
+    collector = telemetry.collector
+    if store is None or collector is None:
+        return {"enabled": False}
+    newest = store.last_scrape_ts()
+    start = (newest - window_s) if newest is not None else None
+    samples: dict[str, list[list[float]]] = {}
+    for name in store.series():
+        samples[name] = [
+            [ts, value] for ts, value in store.query(name, start=start)
+        ]
+    return {
+        "enabled": True,
+        "dir": store.directory,
+        "interval_s": collector.interval,
+        "window_s": window_s,
+        "scrapes": collector.scrapes,
+        "scrape_errors": collector.scrape_errors,
+        "series": store.series(),
+        "samples": samples,
+        "slos": [status.as_dict() for status in collector.slo_statuses()],
+    }
 
 
 def _slow_ops(slow_tail: int) -> dict[str, Any]:
@@ -236,6 +273,33 @@ def render_markdown(bundle: dict[str, Any]) -> str:
                 f"(threshold {entry['threshold_us']:.0f}µs) {what}"
             )
 
+    telemetry = bundle["telemetry"]
+    lines += ["", "## Telemetry", ""]
+    if not telemetry.get("enabled"):
+        lines.append(
+            "- continuous telemetry not enabled "
+            "(Sentinel.enable_telemetry to record history)"
+        )
+    else:
+        lines.append(
+            f"- store {telemetry['dir']}, scraping every "
+            f"{telemetry['interval_s']:g}s: {telemetry['scrapes']} scrapes, "
+            f"{telemetry['scrape_errors']} errors, "
+            f"{len(telemetry['series'])} series over the last "
+            f"{telemetry['window_s']:g}s"
+        )
+        slos = telemetry.get("slos", [])
+        if not slos:
+            lines.append("- no SLOs configured")
+        for status in slos:
+            marker = "BREACHED" if status.get("breached") else "ok"
+            lines.append(
+                f"- SLO `{status.get('name')}`: {marker} — "
+                f"value {status.get('value', 0):g} vs target "
+                f"{status.get('target', 0):g} "
+                f"(worst burn {status.get('worst_burn', 0):.1f}x)"
+            )
+
     lines += ["", "## Storage", "", "```"]
     lines.extend(bundle["storage"])
     lines += ["```"]
@@ -288,6 +352,15 @@ def write_bundle(bundle: dict[str, Any], out_dir: str) -> list[str]:
             for entry in bundle["slow_ops"]["entries"]
         ),
     )
+    telemetry = bundle.get("telemetry", {})
+    if telemetry.get("enabled"):
+        _write(
+            "telemetry.jsonl",
+            "".join(
+                json.dumps({"series": name, "samples": samples}) + "\n"
+                for name, samples in telemetry.get("samples", {}).items()
+            ),
+        )
     return written
 
 
@@ -317,6 +390,10 @@ def main(argv: list[str] | None = None) -> int:
         "--no-exercise", action="store_true",
         help="skip the target's exercise(sentinel) hook",
     )
+    parser.add_argument(
+        "--telemetry-window", type=float, default=300.0, metavar="SECONDS",
+        help="seconds of telemetry history to bundle (default 300)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -339,7 +416,12 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
-    bundle = collect(system, target=args.target, slow_tail=args.slow_tail)
+    bundle = collect(
+        system,
+        target=args.target,
+        slow_tail=args.slow_tail,
+        telemetry_window_s=args.telemetry_window,
+    )
     validate_bundle(bundle)
 
     if args.out:

@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools.top http://127.0.0.1:9100            # live
     python -m repro.tools.top http://127.0.0.1:9100 --interval 5
     python -m repro.tools.top http://127.0.0.1:9100 --once     # one frame
+    python -m repro.tools.top --history /var/lib/sentinel/tsdb # replay
 
 Polls the ``/vars`` JSON endpoint of a running
 :class:`repro.obs.exporter.ObservabilityServer` (a separate process
@@ -12,14 +13,24 @@ cannot read the in-process registry, so the exporter is the data path)
 and renders:
 
 * per-rule firing rates — deltas of the ``rule_firings{rule=…,outcome=…}``
-  counters between polls (the first frame shows totals);
-* pipeline latency p50/p95/p99 from every ``*_us`` histogram summary.
+  counters between polls.  The first frame is explicitly labeled as
+  cumulative totals (there is no earlier poll to rate against); the
+  ``Δ/s`` column only appears once two polls exist;
+* pipeline latency p50/p95/p99 from every ``*_us`` histogram summary;
+* a sparkline ``trend`` column per row once frames accumulate — the
+  last dozen firing rates / p95 latencies at a glance.
+
+``--history DIR`` replays frames from an on-disk telemetry store
+(:mod:`repro.obs.tsdb`, written by ``Sentinel.enable_telemetry()``)
+instead of polling a live exporter — the same dashboard over recorded
+scrapes, usable after the process is gone.
 
 ``--iterations`` bounds the loop (0 = run until interrupted) and
 ``--once`` is shorthand for a single frame; the rendering is a pure
-function of two snapshots, so tests drive it directly.  When the
-exporter is unreachable the tool prints a one-line notice and keeps
-retrying at the poll interval (``--once`` exits non-zero instead).
+function of two snapshots plus a trend table, so tests drive it
+directly.  When the exporter is unreachable the tool prints a one-line
+notice and keeps retrying at the poll interval (``--once`` exits
+non-zero instead).
 """
 
 from __future__ import annotations
@@ -28,18 +39,47 @@ import argparse
 import json
 import sys
 import time
-from typing import Any
+from collections import deque
+from typing import Any, Deque
 from urllib.request import urlopen
 
 from ..obs.exporter import parse_metric_name
 
-__all__ = ["fetch_vars", "render_top", "main"]
+__all__ = [
+    "fetch_vars",
+    "render_top",
+    "sparkline",
+    "replay_frames",
+    "main",
+]
+
+#: How many recent values the trend sparkline shows.
+TREND_LEN = 12
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Trend-table keys: ``("rule", rule, outcome)`` or ``("hist", name)``.
+TrendKey = tuple[str, ...]
+Trends = dict[TrendKey, Deque[float]]
 
 
 def fetch_vars(url: str, timeout: float = 5.0) -> dict[str, Any]:
     """GET ``<url>/vars`` and return the decoded snapshot."""
     with urlopen(url.rstrip("/") + "/vars", timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def sparkline(values: list[float], width: int = TREND_LEN) -> str:
+    """The last ``width`` values as unicode blocks (scaled per row)."""
+    tail = values[-width:]
+    if not tail:
+        return ""
+    low = min(tail)
+    high = max(tail)
+    if high <= low:
+        return _SPARK_BLOCKS[0] * len(tail)
+    scale = (len(_SPARK_BLOCKS) - 1) / (high - low)
+    return "".join(_SPARK_BLOCKS[int((v - low) * scale)] for v in tail)
 
 
 def _firings(snapshot: dict[str, Any]) -> dict[tuple[str, str], int]:
@@ -53,33 +93,75 @@ def _firings(snapshot: dict[str, Any]) -> dict[tuple[str, str], int]:
     return out
 
 
+def update_trends(
+    trends: Trends,
+    snapshot: dict[str, Any],
+    previous: dict[str, Any] | None,
+    elapsed: float,
+) -> None:
+    """Fold one poll into the trend table (rates and p95 latencies)."""
+    if previous is not None and elapsed > 0.0:
+        now = _firings(snapshot)
+        before = _firings(previous)
+        for key, count in now.items():
+            rate = (count - before.get(key, 0)) / elapsed
+            trends.setdefault(
+                ("rule",) + key, deque(maxlen=TREND_LEN)
+            ).append(rate)
+    for name, value in snapshot.items():
+        if name.endswith("_us") and isinstance(value, dict):
+            trends.setdefault(
+                ("hist", name), deque(maxlen=TREND_LEN)
+            ).append(float(value.get("p95", 0.0)))
+
+
 def render_top(
     snapshot: dict[str, Any],
     previous: dict[str, Any] | None = None,
     elapsed: float = 0.0,
+    trends: Trends | None = None,
 ) -> str:
-    """One frame: firing rates (vs ``previous``) and latency summaries."""
+    """One frame: firing rates (vs ``previous``), latencies, trends.
+
+    With no ``previous`` poll the firing table shows cumulative totals
+    under an explicit label — a ``Δ/s`` column would be a lie on the
+    first frame, so it only appears once two polls exist.
+    """
     lines: list[str] = []
     now = _firings(snapshot)
     before = _firings(previous) if previous else {}
     rating = previous is not None and elapsed > 0.0
+    trends = trends or {}
+
+    def trend_of(key: TrendKey) -> str:
+        return sparkline(list(trends.get(key, ())))
+
+    if not rating:
+        lines.append(
+            "(first frame: cumulative totals since start — "
+            "Δ/s appears after the next poll)"
+        )
     unit = "Δ/s" if rating else "total"
-    lines.append(f"{'rule':<24} {'outcome':<9} {unit:>10}")
+    lines.append(f"{'rule':<24} {'outcome':<9} {unit:>10}  {'trend':<12}")
     rules = sorted({rule for rule, _ in now})
     for rule in rules:
         for (r, outcome), count in sorted(now.items()):
             if r != rule:
                 continue
-            delta = count - before.get((r, outcome), 0)
-            value = f"{delta / elapsed:.1f}" if rating else str(count)
-            lines.append(f"{rule:<24} {outcome:<9} {value:>10}")
+            if rating:
+                delta = count - before.get((r, outcome), 0)
+                value = f"{delta / elapsed:.1f}"
+            else:
+                value = str(count)
+            trend = trend_of(("rule", r, outcome))
+            lines.append(f"{rule:<24} {outcome:<9} {value:>10}  {trend:<12}")
     if not rules:
         lines.append("(no rule firings observed)")
 
     lines.append("")
     lines.append(
         f"{'latency':<24} {'count':>8} {'p50 µs':>9} {'p95 µs':>9} "
-        f"{'p99 µs':>9}"
+        f"{'p99 µs':>9}  {'trend':<12}"
     )
     histograms = 0
     for name in sorted(snapshot):
@@ -87,23 +169,92 @@ def render_top(
         if not (name.endswith("_us") and isinstance(value, dict)):
             continue
         histograms += 1
+        trend = trend_of(("hist", name))
         lines.append(
             f"{name:<24} {value.get('count', 0):>8} "
             f"{value.get('p50', 0.0):>9.1f} {value.get('p95', 0.0):>9.1f} "
-            f"{value.get('p99', 0.0):>9.1f}"
+            f"{value.get('p99', 0.0):>9.1f}  {trend:<12}"
         )
     if not histograms:
         lines.append("(no latency histograms; enable the tracer)")
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# --history: replay frames from an on-disk telemetry store
+# ----------------------------------------------------------------------
+def _unflatten(flat: dict[str, float]) -> dict[str, Any]:
+    """A scraped frame back into ``/vars`` shape.
+
+    The tsdb collector flattens histogram summaries into
+    ``<name>.count`` / ``<name>.p95`` … sub-series; fold anything with a
+    ``*_us.`` prefix back into a summary dict so :func:`render_top`
+    treats recorded frames exactly like live ones.
+    """
+    out: dict[str, Any] = {}
+    for name, value in flat.items():
+        head, dot, leaf = name.rpartition(".")
+        if dot and head.endswith("_us"):
+            entry = out.setdefault(head, {})
+            if isinstance(entry, dict):
+                entry[leaf] = value
+        else:
+            out[name] = value
+    return out
+
+
+def replay_frames(
+    directory: str, window_s: float | None = None
+) -> list[tuple[float, dict[str, Any]]]:
+    """Every recorded scrape in ``directory`` as ``(ts, snapshot)`` frames."""
+    from ..obs.tsdb import TimeSeriesStore
+
+    store = TimeSeriesStore(directory)
+    try:
+        times = store.scrape_times()
+        if window_s is not None and times:
+            horizon = times[-1] - window_s
+            times = [ts for ts in times if ts >= horizon]
+        return [(ts, _unflatten(store.snapshot_at(ts))) for ts in times]
+    finally:
+        store.close()
+
+
+def _run_history(directory: str, window_s: float | None) -> int:
+    frames = replay_frames(directory, window_s)
+    if not frames:
+        print(f"no recorded scrapes under {directory}", file=sys.stderr)
+        return 1
+    trends: Trends = {}
+    previous: dict[str, Any] | None = None
+    previous_ts = 0.0
+    rendered: str = ""
+    for ts, snapshot in frames:
+        elapsed = ts - previous_ts if previous is not None else 0.0
+        update_trends(trends, snapshot, previous, elapsed)
+        rendered = render_top(snapshot, previous, elapsed, trends)
+        previous = snapshot
+        previous_ts = ts
+    start = time.strftime("%H:%M:%S", time.localtime(frames[0][0]))
+    end = time.strftime("%H:%M:%S", time.localtime(frames[-1][0]))
+    print(
+        f"history replay: {len(frames)} frames from {directory} "
+        f"({start} → {end}); final frame:"
+    )
+    print(rendered)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.top",
         description="Live firing rates and latencies from a Sentinel "
-        "metrics exporter.",
+        "metrics exporter, or a replay from an on-disk telemetry store.",
     )
-    parser.add_argument("url", help="exporter base URL (serving /vars)")
+    parser.add_argument(
+        "url", nargs="?", default=None,
+        help="exporter base URL (serving /vars); omit with --history",
+    )
     parser.add_argument(
         "--interval", type=float, default=2.0,
         help="seconds between polls (default 2)",
@@ -117,9 +268,23 @@ def main(argv: list[str] | None = None) -> int:
         help="render a single frame and exit (same as --iterations 1; "
         "exits 1 if the exporter is unreachable)",
     )
+    parser.add_argument(
+        "--history", metavar="DIR", default=None,
+        help="replay recorded scrapes from a telemetry store directory "
+        "instead of polling an exporter",
+    )
+    parser.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="with --history: only replay the last SECONDS of scrapes",
+    )
     args = parser.parse_args(argv)
+    if args.history is not None:
+        return _run_history(args.history, args.window)
+    if args.url is None:
+        parser.error("url is required unless --history is given")
     iterations = 1 if args.once else args.iterations
 
+    trends: Trends = {}
     previous: dict[str, Any] | None = None
     last_poll = 0.0
     frames = 0
@@ -142,7 +307,8 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             elapsed = time.monotonic() - last_poll if previous else 0.0
             last_poll = time.monotonic()
-            frame = render_top(snapshot, previous, elapsed)
+            update_trends(trends, snapshot, previous, elapsed)
+            frame = render_top(snapshot, previous, elapsed, trends)
             if previous is not None and sys.stdout.isatty():
                 print("\x1b[2J\x1b[H", end="")  # clear between frames
             print(frame)

@@ -1,0 +1,184 @@
+"""Inspect and compact on-disk telemetry stores.
+
+Usage::
+
+    python -m repro.tools.tsdb info /var/lib/sentinel/tsdb
+    python -m repro.tools.tsdb series /var/lib/sentinel/tsdb
+    python -m repro.tools.tsdb dump /var/lib/sentinel/tsdb \\
+        --series txn_commit_us.p99 --last 600
+    python -m repro.tools.tsdb dump /var/lib/sentinel/tsdb \\
+        --series rule_firings* --json
+    python -m repro.tools.tsdb compact /var/lib/sentinel/tsdb
+
+``info`` prints store totals and the per-segment table (including any
+torn tail bytes left by a crash — nonzero is normal after a kill, the
+reader skips them); ``dump`` prints samples for one or more series
+(``--series`` accepts fnmatch patterns); ``compact`` merges every
+segment into one, dropping samples past the retention age.
+
+The store format is append-only and self-contained, so these commands
+are safe against a live writer: readers only parse flushed bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from fnmatch import fnmatchcase
+
+from ..obs.tsdb import TimeSeriesStore
+
+__all__ = ["main"]
+
+
+def _open(directory: str) -> TimeSeriesStore:
+    return TimeSeriesStore(directory)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    store = _open(args.directory)
+    try:
+        stats = store.stats()
+        segments = store.segments()
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps({"stats": stats, "segments": segments}, indent=2))
+        return 0
+    print(f"store: {args.directory}")
+    for key in ("segments", "bytes", "frames", "samples", "series"):
+        print(f"  {key:<10} {int(stats[key])}")
+    if stats["torn_bytes"]:
+        print(f"  torn bytes {int(stats['torn_bytes'])} (skipped on read)")
+    print()
+    print(f"{'seq':>6} {'bytes':>10} {'frames':>8} {'samples':>9} "
+          f"{'start':>9} {'end':>9} {'torn':>6}")
+    for seg in segments:
+        start = time.strftime("%H:%M:%S", time.localtime(seg["start_ts"]))
+        end = time.strftime("%H:%M:%S", time.localtime(seg["end_ts"]))
+        print(
+            f"{seg['seq']:>6} {seg['bytes']:>10} {seg['frames']:>8} "
+            f"{seg['samples']:>9} {start:>9} {end:>9} "
+            f"{seg['torn_bytes']:>6}"
+        )
+    return 0
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    store = _open(args.directory)
+    try:
+        names = store.series()
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(names))
+    else:
+        for name in names:
+            print(name)
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    store = _open(args.directory)
+    try:
+        names = store.series()
+        if args.series:
+            names = [n for n in names if fnmatchcase(n, args.series)]
+        if not names:
+            print(f"no series match {args.series!r}", file=sys.stderr)
+            return 1
+        end = args.end if args.end is not None else time.time()
+        start = args.start
+        if args.last is not None:
+            newest = store.last_scrape_ts()
+            if newest is not None:
+                end = newest
+            start = end - args.last
+        out: dict[str, list[list[float]]] = {}
+        for name in names:
+            out[name] = [
+                [ts, value]
+                for ts, value in store.query(name, start=start, end=end)
+            ]
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(out))
+        return 0
+    for name in names:
+        print(f"# {name}")
+        for ts, value in out[name]:
+            stamp = time.strftime("%H:%M:%S", time.localtime(ts))
+            print(f"{stamp} {ts:.3f} {value:g}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = _open(args.directory)
+    try:
+        result = store.compact()
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(result))
+    else:
+        print(
+            f"compacted {result['segments_before']} segments "
+            f"({result['bytes_before']} B) into "
+            f"{result['segments_after']} ({result['bytes_after']} B); "
+            f"{result['samples']} samples kept, "
+            f"{result['samples_dropped']} dropped by age"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.tsdb",
+        description="Inspect and compact Sentinel telemetry stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="store totals and segment table")
+    info.add_argument("directory")
+    info.add_argument("--json", action="store_true")
+    info.set_defaults(fn=_cmd_info)
+
+    series = sub.add_parser("series", help="list recorded series names")
+    series.add_argument("directory")
+    series.add_argument("--json", action="store_true")
+    series.set_defaults(fn=_cmd_series)
+
+    dump = sub.add_parser("dump", help="print samples for series")
+    dump.add_argument("directory")
+    dump.add_argument(
+        "--series", default=None,
+        help="series name or fnmatch pattern (default: every series)",
+    )
+    dump.add_argument("--start", type=float, default=None,
+                      help="epoch seconds lower bound")
+    dump.add_argument("--end", type=float, default=None,
+                      help="epoch seconds upper bound")
+    dump.add_argument(
+        "--last", type=float, default=None, metavar="SECONDS",
+        help="only the last SECONDS before the newest scrape",
+    )
+    dump.add_argument("--json", action="store_true")
+    dump.set_defaults(fn=_cmd_dump)
+
+    compact = sub.add_parser(
+        "compact", help="merge segments, dropping aged samples"
+    )
+    compact.add_argument("directory")
+    compact.add_argument("--json", action="store_true")
+    compact.set_defaults(fn=_cmd_compact)
+
+    args = parser.parse_args(argv)
+    result: int = args.fn(args)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

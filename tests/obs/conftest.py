@@ -15,6 +15,7 @@ from repro.obs import (
     flight_recorder,
     metrics,
     slow_op_log,
+    telemetry,
     tracer,
 )
 
@@ -23,6 +24,7 @@ def _reset_all() -> None:
     tracer.disable()
     tracer.clear()
     tracer.sample_interval = 1
+    telemetry.close()
     metrics.reset()
     for prefix in list(metrics._collectors):
         if prefix not in ("pipeline", "flight"):

@@ -2,6 +2,7 @@
 
 import json
 import os
+import time
 import urllib.error
 import urllib.request
 
@@ -59,6 +60,33 @@ class TestOpenMetricsRendering:
         assert "idle_us_count 0" in body
         assert "idle_us_sum 0" in body
         assert "quantile" not in body
+        assert "_bucket" not in body  # buckets only once samples exist
+
+    def test_histogram_renders_cumulative_bucket_family(self):
+        """A live histogram gets a true `histogram` family under
+        `<base>_hist` (its own name: a family cannot be two types, and
+        the summary already owns `<base>_count`/`_sum`)."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_us")
+        histogram.record(3.0)      # <= le="4.642"
+        histogram.record(50.0)     # <= le="100"
+        histogram.record(5e8)      # past the top bound -> +Inf only
+        body = render_openmetrics(registry.snapshot())
+        assert "# TYPE lat_us_hist histogram" in body
+        assert 'lat_us_hist_bucket{le="4.642"} 1' in body
+        assert 'lat_us_hist_bucket{le="100"} 2' in body
+        assert 'lat_us_hist_bucket{le="+Inf"} 3' in body
+        assert "lat_us_hist_count 3" in body
+        # Cumulative: counts never decrease across increasing bounds.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in body.splitlines()
+            if line.startswith("lat_us_hist_bucket")
+        ]
+        assert counts == sorted(counts)
+        # The summary family is still present alongside.
+        assert "# TYPE lat_us summary" in body
+        assert 'lat_us{quantile="0.5"}' in body
 
     def test_parse_metric_name_roundtrip(self):
         base, labels = parse_metric_name("rule_firings{rule=r1,outcome=fired}")
@@ -104,6 +132,7 @@ class TestHealthChecks:
         assert report["status"] == "ok"
         assert set(report["checks"]) == {
             "wal_writable", "error_rate", "scheduler_depth", "recovery_clean",
+            "windowed_error_rate",
         }
 
     def test_error_rate_degrades(self):
@@ -189,6 +218,69 @@ class TestServer:
                 raise AssertionError("expected HTTP 404")
             except urllib.error.HTTPError as error:
                 assert error.code == 404
+
+    def test_history_disabled_returns_503(self):
+        with ObservabilityServer(registry=MetricsRegistry()) as server:
+            try:
+                urllib.request.urlopen(server.url + "/history")
+                raise AssertionError("expected HTTP 503")
+            except urllib.error.HTTPError as error:
+                assert error.code == 503
+                assert json.loads(error.read())["enabled"] is False
+
+    def test_history_index_and_samples(self, tmp_path):
+        from repro.obs.tsdb import telemetry
+
+        registry = MetricsRegistry()
+        registry.counter("events.raised").inc(3)
+        telemetry.open(
+            str(tmp_path / "t"), interval=60.0, registry=registry,
+            start=False,
+        )
+        try:
+            now = time.time()
+            assert telemetry.collector.scrape_once(now=now - 30)
+            registry.counter("events.raised").inc(2)
+            assert telemetry.collector.scrape_once(now=now)
+            with ObservabilityServer(registry=registry) as server:
+                index = json.loads(
+                    urllib.request.urlopen(server.url + "/history").read()
+                )
+                assert index["enabled"] is True
+                assert index["scrapes"] == 2
+                assert "events.raised" in index["series"]
+                samples = json.loads(
+                    urllib.request.urlopen(
+                        server.url + "/history?series=events.raised"
+                    ).read()
+                )
+                assert [v for _, v in samples["samples"]] == [3.0, 5.0]
+                windowed = json.loads(
+                    urllib.request.urlopen(
+                        server.url
+                        + "/history?series=events.raised&window=600"
+                    ).read()
+                )
+                assert windowed["value"] == 4.0  # avg(3, 5)
+                assert windowed["rate"] is not None
+        finally:
+            telemetry.close()
+
+    def test_history_bad_params_is_400(self, tmp_path):
+        from repro.obs.tsdb import telemetry
+
+        telemetry.open(str(tmp_path / "t"), interval=60.0, start=False)
+        try:
+            with ObservabilityServer(registry=MetricsRegistry()) as server:
+                try:
+                    urllib.request.urlopen(
+                        server.url + "/history?series=x&start=banana"
+                    )
+                    raise AssertionError("expected HTTP 400")
+                except urllib.error.HTTPError as error:
+                    assert error.code == 400
+        finally:
+            telemetry.close()
 
     def test_reader_thread_sees_live_writes(self):
         """The exporter thread reads while this (engine) thread writes."""

@@ -53,6 +53,43 @@ class TestHistogram:
         assert Histogram("h").summary() == {"count": 0}
         assert Histogram("h").percentile(50) == 0.0
 
+    def test_empty_window_contract_is_explicit(self):
+        """count > 0 but every sample already fell out of the deque:
+        percentiles are 0.0, never an IndexError."""
+        hist = Histogram("h", window=4)
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        hist._window.clear()  # simulate the ring buffer draining
+        assert hist.count == 3
+        assert hist.percentile(50) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["p50"] == 0.0
+
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("h")
+        hist.record(0.5)   # below the first bound -> le="1"
+        hist.record(3.0)   # le="4.642"
+        hist.record(5e8)   # above the last bound -> +Inf only
+        buckets = hist.buckets()
+        assert buckets["1"] == 1
+        assert buckets["4.642"] == 2
+        assert buckets["10000"] == 2
+        assert buckets["+Inf"] == 3
+        counts = list(buckets.values())
+        assert counts == sorted(counts)
+
+    def test_buckets_survive_window_eviction_and_reset(self):
+        hist = Histogram("h", window=2)
+        for _ in range(10):
+            hist.record(3.0)
+        # Window holds only 2 samples but buckets count all 10.
+        assert hist.buckets()["+Inf"] == 10
+        assert hist.summary()["buckets"]["+Inf"] == 10
+        hist.reset()
+        assert hist.buckets()["+Inf"] == 0
+        assert "buckets" not in hist.summary()  # empty stays {"count": 0}
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

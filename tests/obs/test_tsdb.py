@@ -1,0 +1,563 @@
+"""The telemetry time-series store and collector: format, crash safety,
+retention, read API, and collector lifecycle (ISSUE 8 tentpole)."""
+
+import os
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.interface import event_method
+from repro.core.reactive import Reactive
+from repro.core.system import Sentinel
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLO, Window
+from repro.obs.tsdb import (
+    MAGIC,
+    VERSION,
+    TelemetryCollector,
+    TimeSeriesStore,
+    flatten_snapshot,
+    parse_segment,
+    telemetry,
+)
+
+T0 = 1_700_000_000.0  # a fixed epoch anchor; all tests use explicit ts
+
+
+def _store(tmp_path, **kwargs) -> TimeSeriesStore:
+    return TimeSeriesStore(str(tmp_path / "tsdb"), **kwargs)
+
+
+def _fill(store: TimeSeriesStore, frames: int, series: int = 3) -> None:
+    for i in range(frames):
+        store.append(
+            {f"s{j}": float(i * 10 + j) for j in range(series)},
+            ts=T0 + i,
+        )
+
+
+class TestSegmentFormat:
+    def test_rejects_short_header(self):
+        with pytest.raises(ValueError, match="short header"):
+            parse_segment(b"RT")
+
+    def test_rejects_bad_magic(self):
+        data = struct.pack("<4sBd", b"NOPE", VERSION, T0)
+        with pytest.raises(ValueError, match="bad magic"):
+            parse_segment(data)
+
+    def test_rejects_future_version(self):
+        data = struct.pack("<4sBd", MAGIC, VERSION + 1, T0)
+        with pytest.raises(ValueError, match="version"):
+            parse_segment(data)
+
+    def test_header_only_segment_is_empty_not_torn(self):
+        parsed = parse_segment(struct.pack("<4sBd", MAGIC, VERSION, T0))
+        assert parsed.frames == []
+        assert parsed.torn_bytes == 0
+        assert parsed.end_ts == T0
+
+    def test_roundtrip_preserves_names_and_values(self, tmp_path):
+        store = _store(tmp_path)
+        store.append({"a": 1.5, "b": -2.0}, ts=T0)
+        store.append({"a": 3.0, "c": 0.0}, ts=T0 + 1.25)
+        store.close()
+        path = os.path.join(store.directory, "tsdb-00000001.seg")
+        with open(path, "rb") as handle:
+            parsed = parse_segment(handle.read())
+        assert sorted(parsed.names.values()) == ["a", "b", "c"]
+        assert len(parsed.frames) == 2
+        assert parsed.torn_bytes == 0
+        # dt is delta-encoded in whole milliseconds from base_ts.
+        assert parsed.frames[1][0] == pytest.approx(T0 + 1.25)
+
+    def test_unknown_tag_terminates_parse_as_torn(self, tmp_path):
+        store = _store(tmp_path)
+        store.append({"a": 1.0}, ts=T0)
+        store.close()
+        path = os.path.join(store.directory, "tsdb-00000001.seg")
+        with open(path, "ab") as handle:
+            handle.write(b"\xff garbage trailing bytes")
+        with open(path, "rb") as handle:
+            parsed = parse_segment(handle.read())
+        assert len(parsed.frames) == 1  # intact prefix still readable
+        assert parsed.torn_bytes == 24
+
+
+class TestFlattenSnapshot:
+    def test_counters_histograms_and_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("lat_us").record(10.0)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["hits"] == 3.0
+        assert flat["lat_us.count"] == 1.0
+        assert flat["lat_us.p50"] == 10.0
+
+    def test_skips_non_numeric_and_nested(self):
+        flat = flatten_snapshot(
+            {
+                "ok": 1,
+                "text": "nope",
+                "nan": float("nan"),
+                "inf": float("inf"),
+                "flag": True,
+                "summary": {
+                    "count": 2,
+                    "buckets": {"+Inf": 2},  # nested dict: skipped
+                    "label": "x",
+                    "ok": True,
+                },
+            }
+        )
+        assert flat == {"ok": 1.0, "flag": 1.0, "summary.count": 2.0}
+
+    def test_idle_registry_scrapes_clean(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle_us")  # summary is just {"count": 0}
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["idle_us.count"] == 0.0
+
+
+class TestStoreReadWrite:
+    def test_query_series_latest_and_scrape_times(self, tmp_path):
+        store = _store(tmp_path)
+        _fill(store, 5)
+        assert store.series() == ["s0", "s1", "s2"]
+        points = store.query("s1", T0 + 1, T0 + 3)
+        assert points == [(T0 + 1, 11.0), (T0 + 2, 21.0), (T0 + 3, 31.0)]
+        assert store.latest("s1") == (T0 + 4, 41.0)
+        assert store.latest("missing") is None
+        assert store.scrape_times() == [T0 + i for i in range(5)]
+        assert store.last_scrape_ts() == T0 + 4
+        assert store.snapshot_at(T0 + 2) == {"s0": 20.0, "s1": 21.0, "s2": 22.0}
+        store.close()
+
+    def test_empty_append_is_a_noop(self, tmp_path):
+        store = _store(tmp_path)
+        store.append({}, ts=T0)
+        assert store.segments() == []
+        store.close()
+
+    def test_increase_sums_positive_deltas_only(self, tmp_path):
+        store = _store(tmp_path)
+        # Counter climbs, process restarts (value drops), climbs again.
+        for i, value in enumerate([10.0, 25.0, 3.0, 9.0]):
+            store.append({"c": value}, ts=T0 + i * 10)
+        # Deltas: +15, -22 (ignored), +6 -> 21, not -1.
+        assert store.increase("c", 100.0, at=T0 + 30) == 21.0
+        store.close()
+
+    def test_increase_and_rate_need_two_samples(self, tmp_path):
+        store = _store(tmp_path)
+        store.append({"c": 5.0}, ts=T0)
+        assert store.increase("c", 60.0, at=T0) is None
+        assert store.rate("c", 60.0, at=T0) is None
+        store.append({"c": 11.0}, ts=T0 + 3)
+        assert store.increase("c", 60.0, at=T0 + 3) == 6.0
+        assert store.rate("c", 60.0, at=T0 + 3) == pytest.approx(2.0)
+        store.close()
+
+    def test_aggregate_fns(self, tmp_path):
+        store = _store(tmp_path)
+        for i, value in enumerate([4.0, 2.0, 6.0]):
+            store.append({"g": value}, ts=T0 + i)
+        at = T0 + 2
+        assert store.aggregate("g", 60.0, "avg", at=at) == 4.0
+        assert store.aggregate("g", 60.0, "sum", at=at) == 12.0
+        assert store.aggregate("g", 60.0, "min", at=at) == 2.0
+        assert store.aggregate("g", 60.0, "max", at=at) == 6.0
+        assert store.aggregate("g", 60.0, "count", at=at) == 3.0
+        assert store.aggregate("g", 60.0, "last", at=at) == 6.0
+        assert store.aggregate("missing", 60.0, at=at) is None
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            store.aggregate("g", 60.0, "median", at=at)
+        store.close()
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="segment_bytes"):
+            TimeSeriesStore(str(tmp_path / "x"), segment_bytes=16)
+        with pytest.raises(ValueError, match="retain_bytes"):
+            TimeSeriesStore(
+                str(tmp_path / "y"), segment_bytes=4096, retain_bytes=1024
+            )
+
+
+class TestRollingAndRetention:
+    def test_rolls_into_multiple_segments_and_merges_reads(self, tmp_path):
+        store = _store(tmp_path, segment_bytes=1024, retain_bytes=1024 * 1024)
+        _fill(store, 50, series=8)
+        segments = store.segments()
+        assert len(segments) > 1
+        assert sum(s["frames"] for s in segments) == 50
+        # Range reads span segment boundaries transparently.
+        assert len(store.query("s0")) == 50
+        assert store.scrape_times() == [T0 + i for i in range(50)]
+        store.close()
+
+    def test_size_retention_deletes_oldest_first(self, tmp_path):
+        store = _store(tmp_path, segment_bytes=1024, retain_bytes=2048)
+        _fill(store, 200, series=8)
+        segments = store.segments()
+        assert segments, "retention must never delete everything"
+        # The newest data survives; the oldest frames are gone.
+        assert store.latest("s0") == (T0 + 199, 1990.0)
+        assert not store.query("s0", T0, T0 + 10)
+        total = sum(s["bytes"] for s in segments[:-1])
+        assert total <= 2048
+        store.close()
+
+    def test_age_retention_drops_stale_segments(self, tmp_path):
+        store = _store(
+            tmp_path, segment_bytes=1024,
+            retain_bytes=1024 * 1024, retain_age_s=50.0,
+        )
+        _fill(store, 40, series=8)  # spans 40s: nothing ages during fill
+        old_segments = len(store.segments())
+        assert old_segments > 2
+        # Frames far in the future force a size roll, whose retention
+        # pass ages out every *sealed* segment from the first batch.
+        # Old frames sharing the still-active segment ride along — age
+        # is judged per segment by its newest sample.
+        for i in range(20):
+            store.append(
+                {f"s{j}": float(i) for j in range(8)}, ts=T0 + 10_000 + i
+            )
+        now = T0 + 10_000 + 19
+        remaining = store.segments()
+        assert len(remaining) < old_segments
+        assert all(now - s["end_ts"] <= 50.0 for s in remaining)
+        survivors = store.query("s0", T0, T0 + 40)
+        assert len(survivors) < 40  # the sealed old segments are gone
+        assert store.latest("s0") == (now, 19.0)
+        store.close()
+
+    def test_compact_merges_and_drops_aged(self, tmp_path):
+        store = _store(tmp_path, segment_bytes=1024, retain_age_s=100.0)
+        _fill(store, 60, series=8)
+        before = len(store.segments())
+        assert before > 1
+        stats = store.compact(now=T0 + 120)  # frames before T0+20 age out
+        assert stats["segments_before"] == before
+        assert stats["segments_after"] == 1
+        assert stats["samples_dropped"] == 20 * 8  # ts T0..T0+19 < horizon
+        assert stats["bytes_after"] < stats["bytes_before"]
+        assert len(store.segments()) == 1
+        # Surviving data still queryable; aged data gone.
+        assert not store.query("s0", T0, T0 + 19)
+        assert len(store.query("s0")) == 40
+        # Appends after compaction land in a fresh segment.
+        store.append({"s0": 7.0}, ts=T0 + 121)
+        assert len(store.segments()) == 2
+        store.close()
+
+    def test_stats_totals(self, tmp_path):
+        store = _store(tmp_path)
+        _fill(store, 4)
+        stats = store.stats()
+        assert stats["segments"] == 1.0
+        assert stats["frames"] == 4.0
+        assert stats["samples"] == 12.0
+        assert stats["series"] == 3.0
+        assert stats["torn_bytes"] == 0.0
+        store.close()
+
+
+class TestCrashSafety:
+    """Acceptance: a kill mid-write loses at most the current segment's
+    tail, and reopening recovers without touching sealed bytes."""
+
+    def _tear(self, directory: str, cut: int) -> str:
+        [name] = sorted(os.listdir(directory))
+        path = os.path.join(directory, name)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - cut)
+        return path
+
+    def test_torn_final_record_loses_only_the_tail(self, tmp_path):
+        store = _store(tmp_path)
+        _fill(store, 10)
+        store.close()  # simulate the kill: bytes after this are torn
+        self._tear(store.directory, cut=7)
+        reader = _store(tmp_path)
+        points = reader.query("s0")
+        assert len(points) == 9  # the 10th frame was mid-write
+        assert points[-1] == (T0 + 8, 80.0)
+        [segment] = reader.segments()
+        assert segment["torn_bytes"] > 0
+        reader.close()
+
+    def test_reopen_seals_torn_segment_and_starts_fresh(self, tmp_path):
+        store = _store(tmp_path)
+        _fill(store, 10)
+        store.close()
+        self._tear(store.directory, cut=7)
+        reopened = _store(tmp_path)
+        reopened.append({"s0": 999.0}, ts=T0 + 100)
+        files = sorted(os.listdir(reopened.directory))
+        assert files == ["tsdb-00000001.seg", "tsdb-00000002.seg"]
+        # Reads merge the sealed (torn) segment with the fresh one.
+        points = reopened.query("s0")
+        assert len(points) == 10
+        assert points[-1] == (T0 + 100, 999.0)
+        reopened.close()
+
+    def test_corrupt_crc_stops_parse_at_the_flip(self, tmp_path):
+        store = _store(tmp_path)
+        _fill(store, 5)
+        store.close()
+        [name] = sorted(os.listdir(store.directory))
+        path = os.path.join(store.directory, name)
+        with open(path, "r+b") as handle:
+            handle.seek(-2, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-2, os.SEEK_END)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        reader = _store(tmp_path)
+        assert len(reader.query("s0")) == 4  # final frame's CRC is wrong
+        reader.close()
+
+
+class TestCollectorLifecycle:
+    def test_double_start_is_a_noop(self, tmp_path):
+        store = _store(tmp_path)
+        collector = TelemetryCollector(store, registry=MetricsRegistry(),
+                                       interval=60.0)
+        try:
+            collector.start()
+            thread = collector._thread
+            collector.start()
+            assert collector._thread is thread  # same thread, no respawn
+            assert collector.running
+        finally:
+            collector.stop()
+            store.close()
+        assert not collector.running
+
+    def test_stop_while_scraping_joins_cleanly(self, tmp_path):
+        """stop() lands mid-scrape: a registry collector blocks until the
+        stop signal is raised, proving the join covers an active scrape."""
+        registry = MetricsRegistry()
+        store = _store(tmp_path)
+        collector = TelemetryCollector(store, registry=registry,
+                                       interval=0.01)
+        in_scrape = threading.Event()
+
+        def blocking_counts():
+            in_scrape.set()
+            collector._stop.wait(timeout=5.0)
+            return {"n": 1}
+
+        registry.register_collector("slow", blocking_counts)
+        collector.start()
+        try:
+            assert in_scrape.wait(timeout=5.0)
+        finally:
+            collector.stop()
+            store.close()
+        assert not collector.running
+        assert collector.scrapes + collector.scrape_errors >= 1
+
+    def test_scrape_exception_is_isolated(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+        store = _store(tmp_path)
+        collector = TelemetryCollector(store, registry=registry,
+                                       interval=60.0)
+        registry.register_collector(
+            "boom", lambda: (_ for _ in ()).throw(RuntimeError("bad disk"))
+        )
+        assert collector.scrape_once(now=T0) is False
+        assert collector.scrape_errors == 1
+        assert collector.scrapes == 0
+        registry.unregister_collector("boom")
+        # The very next scrape succeeds: the failure did not poison state.
+        assert collector.scrape_once(now=T0 + 5) is True
+        assert collector.scrapes == 1
+        assert store.latest("ok") == (T0 + 5, 1.0)
+        store.close()
+
+    def test_reopen_after_crash_on_torn_segment(self, tmp_path):
+        """The full crash loop: collector writes, process dies tearing
+        the tail, telemetry reopens over the same directory and scrapes
+        into a fresh segment; history spans the crash."""
+        directory = str(tmp_path / "tsdb")
+        registry = MetricsRegistry()
+        registry.counter("events").inc(4)
+        collector = TelemetryCollector(
+            TimeSeriesStore(directory), registry=registry, interval=60.0
+        )
+        assert collector.scrape_once(now=T0)
+        assert collector.scrape_once(now=T0 + 5)
+        collector.store.close()
+        [name] = sorted(os.listdir(directory))
+        path = os.path.join(directory, name)
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 3)
+
+        reopened = TelemetryCollector(
+            TimeSeriesStore(directory), registry=registry, interval=60.0
+        )
+        registry.counter("events").inc(2)
+        assert reopened.scrape_once(now=T0 + 10)
+        points = reopened.store.query("events")
+        assert points == [(T0, 4.0), (T0 + 10, 6.0)]  # torn frame lost
+        assert len(sorted(os.listdir(directory))) == 2
+        reopened.store.close()
+
+    def test_interval_validation(self, tmp_path):
+        store = _store(tmp_path)
+        with pytest.raises(ValueError, match="interval"):
+            TelemetryCollector(store, registry=MetricsRegistry(), interval=0)
+        store.close()
+
+    def test_background_thread_scrapes(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("bg").inc()
+        store = _store(tmp_path)
+        collector = TelemetryCollector(store, registry=registry,
+                                       interval=0.01)
+        collector.start()
+        try:
+            deadline = time.time() + 5.0
+            while collector.scrapes == 0 and time.time() < deadline:
+                time.sleep(0.01)
+        finally:
+            collector.stop()
+            store.close()
+        assert collector.scrapes >= 1
+        assert store.latest("bg") is not None
+
+
+class TestTelemetryHandle:
+    def test_open_registers_collector_and_close_unregisters(self, tmp_path):
+        telemetry.open(str(tmp_path / "t"), interval=60.0, start=False)
+        assert telemetry.enabled
+        assert telemetry.collector.scrape_once()
+        snap = metrics.snapshot()
+        assert snap["tsdb.scrapes"] == 1.0
+        assert snap["tsdb.segments"] >= 1.0
+        telemetry.close()
+        assert not telemetry.enabled
+        assert "tsdb.scrapes" not in metrics.snapshot()
+
+    def test_reopen_replaces_previous_store(self, tmp_path):
+        telemetry.open(str(tmp_path / "a"), interval=60.0, start=False)
+        first = telemetry.store
+        telemetry.open(str(tmp_path / "b"), interval=60.0, start=False)
+        assert telemetry.store is not first
+        assert telemetry.store.directory.endswith("b")
+        telemetry.close()
+
+    def test_collector_self_scrape_includes_tsdb_series(self, tmp_path):
+        telemetry.open(str(tmp_path / "t"), interval=60.0, start=False)
+        telemetry.collector.scrape_once(now=T0)
+        telemetry.collector.scrape_once(now=T0 + 5)
+        assert "tsdb.scrapes" in telemetry.store.series()
+        telemetry.close()
+
+
+class _Stock(Reactive):
+    def __init__(self) -> None:
+        super().__init__()
+        self.price = 0.0
+
+    @event_method
+    def set_price(self, price: float) -> None:
+        self.price = price
+
+
+class TestSentinelFacade:
+    def test_enable_telemetry_and_close_shuts_down(self, tmp_path):
+        directory = str(tmp_path / "t")
+        with Sentinel(adopt_class_rules=False) as s:
+            handle = s.enable_telemetry(directory, interval=60.0, start=False)
+            assert handle is telemetry
+            assert telemetry.enabled
+            assert telemetry.collector.scrape_once()
+            # Sentinel.close() tears telemetry down with the rest of obs.
+            s.close()
+        assert not telemetry.enabled
+        assert sorted(os.listdir(directory))  # the segment survived
+
+    def test_disable_telemetry(self, tmp_path):
+        with Sentinel(adopt_class_rules=False) as s:
+            s.enable_telemetry(str(tmp_path / "t"), interval=60.0,
+                               start=False)
+            s.disable_telemetry()
+            assert not telemetry.enabled
+            s.close()
+
+    def test_slo_breach_fires_an_ordinary_eca_rule(self, tmp_path):
+        """ISSUE 8 acceptance: an SLO breach raised by the collector is
+        an ordinary sysmon event — an ECA rule reacts, and both the
+        domain errors and the meta rule's firing land in the audit log.
+        Driven synchronously via scrape_once (no background thread)."""
+        from repro.obs.audit import read_entries
+
+        audit_path = str(tmp_path / "audit.jsonl")
+        with Sentinel(error_policy="isolate", adopt_class_rules=False) as s:
+            s.enable_audit(audit_path)
+            monitor = s.system_monitor()
+            slo = SLO.error_rate(
+                "rule-errors",
+                numerator="rule_firings{*outcome=error}",
+                denominator="rule_firings{*",
+                target=0.001,
+                windows=(Window(60.0, 10.0),),
+            )
+            s.enable_telemetry(
+                str(tmp_path / "t"), interval=60.0, slos=[slo], start=False
+            )
+            collector = telemetry.collector
+
+            breaches = []
+            s.monitor(
+                [monitor],
+                on="end SystemMonitor::slo_breach"
+                   "(slo, value, target, burn, windows)",
+                action=lambda ctx: breaches.append(
+                    ctx.occurrence.parameters()
+                ),
+                name="budget-guard",
+            )
+            stock = _Stock()
+            s.monitor(
+                [stock],
+                on="end _Stock::set_price(float price)",
+                action=lambda ctx: 1 / 0,
+                name="flaky",
+            )
+
+            stock.set_price(1.0)  # one error on the books
+            assert collector.scrape_once(now=T0)
+            assert not breaches  # single sample: no increase yet
+            stock.set_price(2.0)
+            assert collector.scrape_once(now=T0 + 30)
+
+            # 100% of firings errored against a 0.1% objective: breach.
+            [params] = breaches
+            assert params["slo"] == "rule-errors"
+            assert params["value"] == pytest.approx(1.0)
+            assert params["burn"] == pytest.approx(1000.0)
+            assert monitor.slo_breaches == 1
+            [status] = collector.slo_statuses()
+            assert status.breached
+
+            # Breach is edge-triggered: still breached != a new event.
+            stock.set_price(3.0)
+            assert collector.scrape_once(now=T0 + 45)
+            assert len(breaches) == 1
+            assert metrics.snapshot()[
+                "slo_breaches_total{slo=rule-errors}"
+            ] == 1
+
+            entries = list(read_entries(audit_path))
+            outcomes = [(e["rule"], e["outcome"]) for e in entries]
+            assert ("flaky", "error") in outcomes
+            assert ("budget-guard", "fired") in outcomes
+            s.close()

@@ -342,6 +342,47 @@ class TestTopCli:
         assert "10.0" in rates  # (30 - 10) / 2s
         assert "p50" in rates and "5.0" in rates
 
+    def test_first_frame_is_labeled_rate_frame_is_not(self):
+        from repro.tools.top import render_top
+
+        snapshot = {"rule_firings{rule=guard,outcome=fired}": 10}
+        totals = render_top(snapshot)
+        # Satellite: the first frame says what its numbers are instead
+        # of silently printing totals where rates will appear later.
+        assert "first frame" in totals
+        assert "total" in totals
+        rates = render_top(snapshot, snapshot, elapsed=2.0)
+        assert "first frame" not in rates
+        assert "Δ/s" in rates
+
+    def test_zero_elapsed_refetch_stays_in_totals_mode(self):
+        from repro.tools.top import render_top
+
+        snapshot = {"rule_firings{rule=guard,outcome=fired}": 10}
+        frame = render_top(snapshot, snapshot, elapsed=0.0)
+        assert "first frame" in frame  # can't rate over zero seconds
+
+    def test_sparkline_scales_per_row(self):
+        from repro.tools.top import sparkline
+
+        assert sparkline([]) == ""
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)))) == 12  # window clamp
+
+    def test_trends_accumulate_into_render(self):
+        from repro.tools.top import render_top, update_trends
+
+        first = {"rule_firings{rule=guard,outcome=fired}": 0}
+        second = {"rule_firings{rule=guard,outcome=fired}": 20}
+        trends = {}
+        update_trends(trends, first, None, 0.0)
+        update_trends(trends, second, first, 2.0)
+        assert list(trends[("rule", "guard", "fired")]) == [10.0]
+        frame = render_top(second, first, elapsed=2.0, trends=trends)
+        assert "▁" in frame  # the trend column rendered blocks
+
     def test_render_empty_snapshot(self):
         from repro.tools.top import render_top
 
@@ -384,6 +425,119 @@ class TestTopUnreachable:
         with ObservabilityServer(registry=registry) as server:
             assert top_main([server.url, "--once"]) == 0
         assert "guard" in capsys.readouterr().out
+
+
+def _recorded_store(path: str, frames: int = 5):
+    """A telemetry store with a few recorded scrapes of top's inputs."""
+    import time
+
+    from repro.obs.tsdb import TimeSeriesStore
+
+    store = TimeSeriesStore(path)
+    base = time.time() - 100.0  # recent: compact must not age it out
+    for i in range(frames):
+        store.append(
+            {
+                "rule_firings{rule=guard,outcome=fired}": float(i * 10),
+                "rule_us.count": float(i * 10),
+                "rule_us.p50": 5.0,
+                "rule_us.p95": 9.0 + i,
+                "rule_us.p99": 9.9,
+            },
+            ts=base + i * 5,
+        )
+    store.close()
+    return base
+
+
+class TestTopHistory:
+    def test_replay_renders_final_frame_with_rates(self, capsys, tmp_path):
+        from repro.tools.top import main as top_main
+
+        directory = str(tmp_path / "tsdb")
+        _recorded_store(directory)
+        assert top_main(["--history", directory]) == 0
+        out = capsys.readouterr().out
+        assert "history replay: 5 frames" in out
+        assert "guard" in out
+        assert "Δ/s" in out  # final frame rates against the one before
+        assert "2.0" in out  # 10 firings / 5s between scrapes
+        assert "rule_us" in out  # flattened sub-series folded back
+
+    def test_window_limits_the_replay(self, capsys, tmp_path):
+        from repro.tools.top import main as top_main, replay_frames
+
+        directory = str(tmp_path / "tsdb")
+        _recorded_store(directory)  # frames at +0, +5, +10, +15, +20
+        assert len(replay_frames(directory, window_s=11.0)) == 3
+        assert top_main(["--history", directory, "--window", "11"]) == 0
+        assert "history replay: 3 frames" in capsys.readouterr().out
+
+    def test_empty_store_exits_nonzero(self, capsys, tmp_path):
+        from repro.tools.top import main as top_main
+
+        assert top_main(["--history", str(tmp_path / "empty")]) == 1
+        assert "no recorded scrapes" in capsys.readouterr().err
+
+    def test_url_required_without_history(self):
+        from repro.tools.top import main as top_main
+
+        with pytest.raises(SystemExit):
+            top_main([])
+
+
+class TestTsdbCli:
+    @pytest.fixture
+    def recorded(self, tmp_path):
+        directory = str(tmp_path / "tsdb")
+        _recorded_store(directory)
+        return directory
+
+    def test_info(self, capsys, recorded):
+        from repro.tools.tsdb import main as tsdb_main
+
+        assert tsdb_main(["info", recorded]) == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        assert "frames" in out
+
+    def test_info_json(self, capsys, recorded):
+        from repro.tools.tsdb import main as tsdb_main
+
+        assert tsdb_main(["info", recorded, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["frames"] == 5
+        [segment] = payload["segments"]
+        assert segment["torn_bytes"] == 0
+
+    def test_series(self, capsys, recorded):
+        from repro.tools.tsdb import main as tsdb_main
+
+        assert tsdb_main(["series", recorded]) == 0
+        assert "rule_us.p95" in capsys.readouterr().out
+
+    def test_dump_with_pattern(self, capsys, recorded):
+        from repro.tools.tsdb import main as tsdb_main
+
+        assert tsdb_main(["dump", recorded, "--series", "rule_us.p9*"]) == 0
+        out = capsys.readouterr().out
+        assert "rule_us.p95" in out
+        assert "rule_us.p99" in out
+        assert "rule_firings" not in out
+
+    def test_dump_no_match_exits_nonzero(self, capsys, recorded):
+        from repro.tools.tsdb import main as tsdb_main
+
+        assert tsdb_main(["dump", recorded, "--series", "nope*"]) == 1
+        assert "no series match" in capsys.readouterr().err
+
+    def test_compact(self, capsys, recorded):
+        from repro.tools.tsdb import main as tsdb_main
+
+        assert tsdb_main(["compact", recorded, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["segments_after"] == 1
+        assert tsdb_main(["info", recorded, "--json"]) == 0
 
 
 class TestAuditTailRotation:

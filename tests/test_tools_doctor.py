@@ -129,6 +129,32 @@ class TestCollect:
     def test_bundle_is_json_serializable(self, system):
         json.dumps(collect(system, target="t"))
 
+    def test_telemetry_disabled_by_default(self, system):
+        bundle = collect(system)
+        assert bundle["telemetry"] == {"enabled": False}
+
+    def test_telemetry_section_and_jsonl(self, system, tmp_path):
+        from repro.obs.tsdb import telemetry
+
+        system.enable_telemetry(
+            str(tmp_path / "tsdb"), interval=60.0, start=False
+        )
+        try:
+            assert telemetry.collector.scrape_once()
+            metrics.counter("events.raised").inc(5)
+            assert telemetry.collector.scrape_once()
+            bundle = collect(system)
+            section = bundle["telemetry"]
+            assert section["enabled"]
+            assert section["scrapes"] == 2
+            assert "events.raised" in section["samples"]
+            assert "## Telemetry" in render_markdown(bundle)
+            out = tmp_path / "bundle"
+            written = write_bundle(bundle, str(out))
+            assert any(p.endswith("telemetry.jsonl") for p in written)
+        finally:
+            telemetry.close()
+
 
 class TestValidate:
     def test_missing_key_reported(self, system):
