@@ -1,0 +1,84 @@
+"""Concurrency benchmark smoke tests.
+
+``report.py CONCURRENCY`` is the real benchmark behind
+``BENCH_concurrency.json`` (paired-round client scaling at 1/2/4/8
+threads plus snapshot-reader isolation).  Running it at full size takes
+minutes, so CI runs this scaled-down smoke: the report function must
+complete, produce a structurally complete payload, and the two
+noise-immune gates — snapshot readers acquire zero locks and are not
+stalled by a writer — must hold even at toy scale.  The scaling gate is
+asserted only for shape (present and boolean), because a tiny run on a
+loaded single-core CI box is not a meaningful speedup measurement.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from benchmarks.report import report_concurrency
+from repro.oodb import Database, Persistent
+from repro.oodb.schema import ClassRegistry
+
+
+def test_report_concurrency_smoke(tmp_path, monkeypatch):
+    # Divert the baseline JSON away from the repo-root BENCH file: the
+    # committed baseline is the full-size run, not this toy smoke.
+    import benchmarks.report as report_mod
+
+    def diverted(name: str, payload: dict) -> str:
+        path = tmp_path / name
+        path.write_text(repr(payload))
+        return str(path)
+
+    monkeypatch.setattr(report_mod, "write_baseline", diverted)
+    payload = report_concurrency(
+        per_thread_total=160, rounds=1, read_ops=100, write_seconds=0.1
+    )
+
+    assert set(payload["clients"]) == {"1", "2", "4", "8"}
+    for stats in payload["clients"].values():
+        assert stats["throughput_txn_s"] > 0
+        assert stats["p95_us"] >= stats["p50_us"]
+    assert payload["clients"]["1"]["speedup_vs_1"] == 1.0
+
+    reads = payload["snapshot_reads"]
+    assert reads["reader_lock_acquisitions"] == 0
+    assert reads["concurrent_writer_txns"] > 0
+    assert payload["gates"]["snapshot_reader_lock_free"] is True
+    assert payload["gates"]["snapshot_reader_isolation"] is True
+    assert isinstance(payload["gates"]["scaling"], bool)
+    assert payload["gate_rule"] in {"multi_core_ratio4", "single_core_peak"}
+
+
+def test_concurrent_clients_preserve_every_write(tmp_path):
+    """4 client threads on one locked database lose no increments."""
+    registry = ClassRegistry()
+
+    class Counter(Persistent, registry=registry):
+        def __init__(self, value: int = 0) -> None:
+            super().__init__()
+            self.value = value
+
+    db = Database(str(tmp_path / "db"), registry=registry, locking=True)
+    try:
+        with db.transaction():
+            oid = db.add(Counter())
+        per_thread = 25
+
+        def worker() -> None:
+            for _ in range(per_thread):
+                def fn():
+                    db.fetch(oid).value += 1
+                db.run_transaction(fn)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with db.snapshot() as snap:
+            record = snap.record(oid)
+        assert record is not None
+        assert record["attrs"]["value"] == 4 * per_thread
+    finally:
+        db.close()

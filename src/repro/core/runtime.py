@@ -7,10 +7,19 @@ rules, however, are materialized at *import time*, before any system
 exists.  This module provides the indirection: a process-wide default
 scheduler, plus a stack so that ``with sentinel:`` temporarily installs a
 system's scheduler as current.
+
+The stack is **per thread**: a rule-worker thread (or a rule-server
+connection thread) installing its system's scheduler does not disturb
+the main thread's ambient scheduler.  A thread that has pushed nothing
+falls back to the last scheduler pushed by *any* thread (a system
+``__enter__``-ed on the main thread is the process's system — worker
+threads it spawns should fire rules through it), and finally to the
+process-wide default.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -23,34 +32,62 @@ __all__ = [
     "default_scheduler",
 ]
 
-_stack: list[Any] = []
+_local = threading.local()
+#: The most recent scheduler pushed by any thread (process-wide hint);
+#: threads with their own stack never consult it.  Mutations serialize
+#: on ``_shared_lock`` (reads are one racy-but-atomic tail peek).
+_shared: list[Any] = []
+_shared_lock = threading.Lock()
 _default: "RuleScheduler | None" = None
+_default_lock = threading.Lock()
+
+
+def _stack() -> list[Any]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
 
 
 def default_scheduler() -> "RuleScheduler":
     """The process-wide fallback scheduler (created on first use)."""
     global _default
     if _default is None:
-        from .scheduler import RuleScheduler
+        with _default_lock:
+            if _default is None:
+                from .scheduler import RuleScheduler
 
-        _default = RuleScheduler()
+                _default = RuleScheduler()
     return _default
 
 
 def current_scheduler() -> "RuleScheduler":
-    """The innermost active scheduler, or the process default."""
-    if _stack:
-        return _stack[-1]
+    """The innermost scheduler this thread pushed, else the most recent
+    push by any thread, else the process default."""
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    if _shared:
+        return _shared[-1]
     return default_scheduler()
 
 
 def push_scheduler(scheduler: "RuleScheduler") -> None:
-    _stack.append(scheduler)
+    _stack().append(scheduler)
+    with _shared_lock:
+        _shared.append(scheduler)
 
 
 def pop_scheduler(scheduler: "RuleScheduler") -> None:
     """Remove the most recent push of ``scheduler`` (LIFO discipline)."""
-    for i in range(len(_stack) - 1, -1, -1):
-        if _stack[i] is scheduler:
-            del _stack[i]
-            return
+    stack = _stack()
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i] is scheduler:
+            del stack[i]
+            break
+    with _shared_lock:
+        for i in range(len(_shared) - 1, -1, -1):
+            if _shared[i] is scheduler:
+                del _shared[i]
+                return

@@ -16,18 +16,35 @@ the rule is handed here, and the coupling mode decides what happens:
   runs it (the Sentinel system calls this on ``commit()``).
 * **decoupled** — queued to run after commit in a fresh transaction of
   its own; aborts of that transaction do not disturb the (committed)
-  triggering transaction.
+  triggering transaction.  With a :class:`~repro.core.workers.
+  RuleWorkerPool` attached (``scheduler.worker_pool``), the post-commit
+  hook hands the rule to a worker thread instead of running it on the
+  committing thread: each job opens its own transaction, retries
+  retryable aborts (deadlock victim, lock timeout) up to the pool's
+  budget, and isolates any remaining error — a decoupled rule can never
+  unwind into either the triggering thread or the worker.  A saturated
+  pool rejects the job and it runs inline (exactly-once beats async).
 
 The scheduler also keeps the counters the benchmarks read (rules
 triggered, executed, per-mode totals).
+
+Concurrency: the *ambient* execution state — open delivery rounds, the
+cascade depth, the executing-rule stack — is per-thread, so rule workers
+and server connection threads cascade independently.  The stats counters
+are advisory throughput indicators bumped without a lock on the hot path
+(same trade as ``PipelineStats``); the decoupled-path counters that
+tests assert on (`decoupled_aborts`, ``decoupled_retries``,
+``decoupled_errors``, ``decoupled_rejected``) are bumped under a lock,
+off the hot path.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..obs.audit import audit_log as _audit
@@ -35,13 +52,15 @@ from ..obs.flight import flight_recorder as _flight
 from ..obs.metrics import metrics as _metrics
 from ..obs.signals import engine_signals as _signals, occurrence_from_sysmon
 from ..obs.tracer import tracer as _tracer
-from ..oodb.errors import TransactionAborted
+from ..oodb.errors import OODBError, TransactionAborted
+from . import runtime
 from .coupling import Coupling
 from .occurrence import Occurrence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..oodb.database import Database
     from .rules import Rule
+    from .workers import RuleWorkerPool
 
 __all__ = [
     "RuleScheduler",
@@ -99,8 +118,24 @@ class SchedulerStats:
     deferred: int = 0
     decoupled: int = 0
     decoupled_aborts: int = 0
+    #: Worker-pool path: retryable aborts rerun, errors isolated, and
+    #: saturation fallbacks to inline execution.
+    decoupled_retries: int = 0
+    decoupled_errors: int = 0
+    decoupled_rejected: int = 0
     max_depth_seen: int = 0
     errors: list[Exception] = field(default_factory=list)
+
+
+class _ThreadExecState:
+    """One thread's ambient execution state (rounds, depth, rule stack)."""
+
+    __slots__ = ("frames", "depth", "exec_stack")
+
+    def __init__(self) -> None:
+        self.frames: list[list[tuple["Rule", Occurrence]]] = []
+        self.depth = 0
+        self.exec_stack: list[str] = []
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,11 +190,34 @@ class RuleScheduler:
         self.max_depth = max_depth
         self.error_policy = error_policy
         self.stats = SchedulerStats()
-        self._frames: list[list[tuple["Rule", Occurrence]]] = []
-        self._depth = 0
-        self._exec_stack: list[str] = []
+        #: Optional bounded pool for decoupled rules (see
+        #: :meth:`Sentinel.enable_worker_pool`).  ``None`` = run inline.
+        self.worker_pool: "RuleWorkerPool | None" = None
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
         self._orphan_deferred: list[tuple["Rule", Occurrence]] = []
         self._trace: "deque[TraceEntry] | None" = None
+
+    def _exec_state(self) -> _ThreadExecState:
+        try:
+            return self._local.state  # type: ignore[no-any-return]
+        except AttributeError:
+            state = _ThreadExecState()
+            self._local.state = state
+            return state
+
+    # Back-compat views of the ambient state (tests peek at these).
+    @property
+    def _frames(self) -> list[list[tuple["Rule", Occurrence]]]:
+        return self._exec_state().frames
+
+    @property
+    def _depth(self) -> int:
+        return self._exec_state().depth
+
+    @property
+    def _exec_stack(self) -> list[str]:
+        return self._exec_state().exec_stack
 
     # ------------------------------------------------------------------
     # Tracing (debugging / auditing aid)
@@ -217,16 +275,16 @@ class RuleScheduler:
     # calls it directly to skip the generator machinery.
     def _begin_round(self) -> list[tuple["Rule", Occurrence]]:
         frame: list[tuple["Rule", Occurrence]] = []
-        self._frames.append(frame)
+        self._exec_state().frames.append(frame)
         return frame
 
     def _abandon_round(self, frame: list[tuple["Rule", Occurrence]]) -> None:
         """Pop the round without running it (delivery raised)."""
-        popped = self._frames.pop()
+        popped = self._exec_state().frames.pop()
         assert popped is frame
 
     def _finish_round(self, frame: list[tuple["Rule", Occurrence]]) -> None:
-        popped = self._frames.pop()
+        popped = self._exec_state().frames.pop()
         assert popped is frame
         if frame:
             for rule, occurrence in self.resolver(frame):
@@ -248,8 +306,9 @@ class RuleScheduler:
             )
         if mode is Coupling.IMMEDIATE:
             self.stats.immediate += 1
-            if self._frames:
-                self._frames[-1].append((rule, occurrence))
+            frames = self._exec_state().frames
+            if frames:
+                frames[-1].append((rule, occurrence))
             else:
                 self._execute(rule, occurrence)
             return
@@ -308,13 +367,14 @@ class RuleScheduler:
         self._execute_inner(rule, occurrence)
 
     def _execute_inner(self, rule: "Rule", occurrence: Occurrence) -> None:
-        if self._depth >= self.max_depth:
+        state = self._exec_state()
+        if state.depth >= self.max_depth:
             witness = self._cascade_witness(rule.name)
             witness_text = " -> ".join(witness)
             if _signals.active:
                 _signals.emit(
                     "scheduler_depth_exceeded",
-                    depth=self._depth + 1,
+                    depth=state.depth + 1,
                     threshold=self.max_depth,
                     witness=witness_text,
                 )
@@ -323,7 +383,7 @@ class RuleScheduler:
                     "error",
                     rule.name,
                     occurrence.seq,
-                    f"cascade depth {self._depth + 1}",
+                    f"cascade depth {state.depth + 1}",
                 )
                 _flight.auto_dump("rule_cascade", witness_text)
             raise CascadeError(
@@ -332,15 +392,15 @@ class RuleScheduler:
                 f"rules (cascade: {witness_text})",
                 witness=witness,
             )
-        self._depth += 1
-        self._exec_stack.append(rule.name)
-        self.stats.max_depth_seen = max(self.stats.max_depth_seen, self._depth)
-        if _signals.active and self._depth == _signals.depth_threshold:
+        state.depth += 1
+        state.exec_stack.append(rule.name)
+        self.stats.max_depth_seen = max(self.stats.max_depth_seen, state.depth)
+        if _signals.active and state.depth == _signals.depth_threshold:
             # Crossing the sysmon alert threshold (softer than max_depth,
             # which aborts the cascade) raises an event a rule can act on.
             _signals.emit(
                 "scheduler_depth_exceeded",
-                depth=self._depth,
+                depth=state.depth,
                 threshold=_signals.depth_threshold,
                 witness=" -> ".join(self._cascade_witness()),
             )
@@ -351,8 +411,8 @@ class RuleScheduler:
             try:
                 self._fire_observed(rule, occurrence)
             finally:
-                self._exec_stack.pop()
-                self._depth -= 1
+                state.exec_stack.pop()
+                state.depth -= 1
             return
         try:
             self.stats.executed += 1
@@ -386,8 +446,8 @@ class RuleScheduler:
                 raise
             self.stats.errors.append(exc)
         finally:
-            self._exec_stack.pop()
-            self._depth -= 1
+            state.exec_stack.pop()
+            state.depth -= 1
 
     def current_cascade(self) -> list[str]:
         """The names of the rules currently executing, outermost first."""
@@ -512,7 +572,21 @@ class RuleScheduler:
         # "aborted": the transaction manager emits txn_aborted itself.
 
     def _run_decoupled(self, rule: "Rule", occurrence: Occurrence) -> None:
-        """Run a decoupled rule in its own transaction."""
+        """Run a decoupled rule in its own transaction.
+
+        With a worker pool attached the rule becomes a pool job; a
+        rejected (saturated) submission falls back to the inline path so
+        the rule still runs exactly once.
+        """
+        pool = self.worker_pool
+        if pool is not None and self.db is not None:
+            if pool.submit(
+                lambda r=rule, o=occurrence: self._run_decoupled_job(r, o),
+                rule.name,
+            ):
+                return
+            with self._stats_lock:
+                self.stats.decoupled_rejected += 1
         if self.db is None:
             try:
                 self._execute(rule, occurrence)
@@ -526,6 +600,71 @@ class RuleScheduler:
             # The decoupled transaction rolled back; the triggering one is
             # already committed and unaffected.
             self.stats.decoupled_aborts += 1
+
+    def _run_decoupled_job(self, rule: "Rule", occurrence: Occurrence) -> None:
+        """One worker-pool job: own transaction, deadlock retry, isolation.
+
+        Runs on a ``rule-worker`` thread.  The scheduler installs itself
+        as the thread's ambient scheduler so events the rule's action
+        raises cascade back through *this* scheduler, not the process
+        default.  Retryable aborts (deadlock victim, lock timeout) rerun
+        the rule in a fresh transaction up to the pool's ``max_retries``;
+        every other failure is isolated into the stats — a decoupled
+        rule's error never escapes its job.
+        """
+        db = self.db
+        assert db is not None
+        pool = self.worker_pool
+        retries = pool.max_retries if pool is not None else 5
+        runtime.push_scheduler(self)
+        try:
+            attempt = 0
+            while True:
+                try:
+                    with db.transaction():
+                        self._execute(rule, occurrence)
+                    return
+                except TransactionAborted:
+                    # The rule aborted itself — deliberate, not retryable.
+                    with self._stats_lock:
+                        self.stats.decoupled_aborts += 1
+                    return
+                except OODBError as exc:
+                    if not exc.retryable or attempt >= retries:
+                        with self._stats_lock:
+                            self.stats.decoupled_errors += 1
+                            self.stats.errors.append(exc)
+                        _metrics.counter("decoupled_retry_exhausted").inc()
+                        if _flight.enabled:
+                            _flight.record(
+                                "error", rule.name, occurrence.seq, repr(exc)
+                            )
+                        return
+                    attempt += 1
+                    with self._stats_lock:
+                        self.stats.decoupled_retries += 1
+                    _metrics.counter("decoupled_retries").inc()
+                    # Linear backoff breaks livelock between two workers
+                    # repeatedly deadlocking on the same object pair.
+                    sleep(0.001 * attempt)
+                except Exception as exc:
+                    with self._stats_lock:
+                        self.stats.decoupled_errors += 1
+                        self.stats.errors.append(exc)
+                    if _flight.enabled:
+                        _flight.record(
+                            "error", rule.name, occurrence.seq, repr(exc)
+                        )
+                    return
+        finally:
+            runtime.pop_scheduler(self)
+
+    def drain_decoupled(self, timeout: float | None = None) -> bool:
+        """Wait for the worker pool to finish its backlog (True if idle)."""
+        pool = self.worker_pool
+        if pool is None:
+            return True
+        return pool.drain(timeout)
 
     def reset_stats(self) -> None:
         self.stats = SchedulerStats()

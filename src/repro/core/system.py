@@ -120,6 +120,49 @@ class Sentinel:
             ).start()
         return self._obs_server
 
+    def enable_worker_pool(
+        self,
+        max_workers: int = 4,
+        queue_limit: int = 64,
+        max_retries: int = 5,
+    ):
+        """Run decoupled rules on a bounded worker pool.
+
+        Without a pool, *decoupled* rules run as post-commit callbacks on
+        the committing thread — correct but serial.  With one, the
+        committing thread hands the rule off and returns immediately; the
+        worker runs it in its own transaction with a deadlock-retry loop
+        (``max_retries`` attempts).  ``queue_limit`` bounds outstanding
+        jobs; when the pool is full the rule falls back to running inline
+        (and a ``worker_pool_saturated`` signal fires).  Returns the
+        pool; :meth:`drain_decoupled` waits for outstanding jobs and
+        :meth:`close` shuts the pool down.
+        """
+        from .workers import RuleWorkerPool
+
+        if self.scheduler.worker_pool is not None:
+            return self.scheduler.worker_pool
+        pool = RuleWorkerPool(
+            max_workers=max_workers,
+            queue_limit=queue_limit,
+            max_retries=max_retries,
+        )
+        self.scheduler.worker_pool = pool
+        return pool
+
+    def disable_worker_pool(self) -> None:
+        """Drain and shut down the decoupled-rule worker pool."""
+        pool = self.scheduler.worker_pool
+        if pool is None:
+            return
+        self.scheduler.worker_pool = None
+        pool.drain(timeout=30.0)
+        pool.shutdown(wait=True)
+
+    def drain_decoupled(self, timeout: float | None = None) -> bool:
+        """Wait for all queued decoupled rule jobs; False on timeout."""
+        return self.scheduler.drain_decoupled(timeout=timeout)
+
     def enable_audit(self, path: str, max_bytes: int = 1 << 20, keep: int = 3):
         """Open the durable rule-firing audit trail at ``path``.
 
@@ -245,6 +288,7 @@ class Sentinel:
         pop_scheduler(self.scheduler)
 
     def close(self) -> None:
+        self.disable_worker_pool()
         if self._obs_server is not None:
             self._obs_server.stop()
             self._obs_server = None

@@ -1,0 +1,175 @@
+"""A bounded worker pool for decoupled rule execution.
+
+The paper's *decoupled* coupling mode runs a rule **after** its
+triggering transaction commits, in a transaction of its own.  The
+single-threaded engine realizes that as a post-commit callback on the
+committing thread — correct, but the triggering thread still pays the
+rule's latency.  This pool restores the mode's point: post-commit hooks
+hand the rule to a worker thread and the triggering thread returns
+immediately.
+
+Design constraints, in order:
+
+* **Bounded.**  ``queue_limit`` caps submitted-but-unfinished jobs via a
+  semaphore acquired *non-blocking* at submit time.  A full pool rejects
+  the job — the caller falls back to running it inline (decoupled rules
+  must run exactly once; silently dropping one is not an option) — and
+  the rejection is observable: a ``worker_pool_saturated`` engine signal,
+  a metrics counter, and the ``rejected`` stat all fire.
+* **Isolated.**  Each job is one rule in its own transaction with its own
+  deadlock-retry loop (the scheduler owns that logic); a job that still
+  fails must never unwind into the worker thread, so :meth:`submit` wraps
+  every job in a last-resort catch that counts, audits to
+  ``stats()['failed']``, and moves on.
+* **Drainable.**  Tests and orderly shutdown need "all submitted work
+  finished": :meth:`drain` blocks until the backlog hits zero.
+
+The pool itself knows nothing about rules or databases — it runs
+callables.  The scheduler (:mod:`repro.core.scheduler`) builds the rule
+transaction/retry wrapper and submits it here.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import monotonic
+from typing import Any, Callable
+
+from ..obs.metrics import metrics as _metrics
+from ..obs.signals import engine_signals as _signals
+
+__all__ = ["RuleWorkerPool"]
+
+
+class RuleWorkerPool:
+    """Bounded ``ThreadPoolExecutor`` front end for decoupled rule jobs."""
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        queue_limit: int = 64,
+        max_retries: int = 5,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_workers = max_workers
+        self.queue_limit = queue_limit
+        #: Deadlock/lock-timeout retry budget the scheduler grants each job.
+        self.max_retries = max_retries
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="rule-worker"
+        )
+        # One slot per submitted-but-unfinished job; non-blocking acquire
+        # at submit is what makes the pool *bounded* instead of queueing
+        # without limit.
+        self._slots = threading.BoundedSemaphore(queue_limit)
+        self._state = threading.Condition(threading.Lock())
+        self._backlog = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, job: Callable[[], None], label: str = "") -> bool:
+        """Run ``job`` on a worker thread; False if the pool is full/closed.
+
+        On False the caller still owns the job (run it inline).  The
+        rejection emits ``worker_pool_saturated`` so a sysmon ECA rule —
+        or a ``/healthz`` probe — can see sustained saturation.
+        """
+        if self._closed:
+            return False
+        if not self._slots.acquire(blocking=False):
+            with self._state:
+                self._rejected += 1
+                backlog = self._backlog
+            _metrics.counter("worker_pool_rejections").inc()
+            if _signals.active:
+                _signals.emit(
+                    "worker_pool_saturated",
+                    backlog=backlog,
+                    queue_limit=self.queue_limit,
+                    rule=label,
+                )
+            return False
+        with self._state:
+            self._submitted += 1
+            self._backlog += 1
+
+        def run() -> None:
+            try:
+                job()
+            except BaseException:
+                # The scheduler's job wrapper already isolates rule
+                # errors; anything that reaches here is a harness bug.
+                # Count it rather than killing the worker thread.
+                with self._state:
+                    self._failed += 1
+                _metrics.counter("worker_pool_job_failures").inc()
+            finally:
+                self._slots.release()
+                with self._state:
+                    self._backlog -= 1
+                    self._completed += 1
+                    self._state.notify_all()
+
+        try:
+            self._executor.submit(run)
+        except RuntimeError:
+            # Shut down between the closed-check and here.
+            self._slots.release()
+            with self._state:
+                self._submitted -= 1
+                self._backlog -= 1
+                self._rejected += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Jobs submitted but not yet finished (queued + running)."""
+        with self._state:
+            return self._backlog
+
+    def stats(self) -> dict[str, Any]:
+        with self._state:
+            return {
+                "max_workers": self.max_workers,
+                "queue_limit": self.queue_limit,
+                "backlog": self._backlog,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+            }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job finished; False on timeout."""
+        with self._state:
+            if timeout is None:
+                while self._backlog:
+                    self._state.wait()
+                return True
+            deadline = monotonic() + timeout
+            while self._backlog:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    return False
+                self._state.wait(remaining)
+            return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight jobs."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)

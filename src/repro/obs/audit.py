@@ -23,7 +23,9 @@ line), not fsynced (that budget belongs to the WAL).
 
 Like the other hot-path observability hooks, the scheduler guards its
 call site with one flag load (``if _audit.enabled:``); an unopened log
-costs nothing.
+costs nothing.  Appends are serialized by an internal mutex, so rule
+workers audit from any thread; entries written off the main thread carry
+a ``thread`` field naming the worker that ran the rule.
 
 ``python -m repro.tools.audit`` queries the log (filters, tail, summary).
 """
@@ -32,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import IO, Any, Iterator
 
@@ -50,7 +53,15 @@ OUTCOMES = ("fired", "rejected", "error", "aborted")
 class AuditLog:
     """Append-only, size-rotated JSONL log of rule firings."""
 
-    __slots__ = ("enabled", "path", "max_bytes", "keep", "_handle", "_size")
+    __slots__ = (
+        "enabled",
+        "path",
+        "max_bytes",
+        "keep",
+        "_handle",
+        "_size",
+        "_lock",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
@@ -59,6 +70,7 @@ class AuditLog:
         self.keep = 3
         self._handle: IO[str] | None = None
         self._size = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -72,22 +84,24 @@ class AuditLog:
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.close()
-        self.path = path
-        self.max_bytes = max_bytes
-        self.keep = keep
-        self._handle = open(path, "a", encoding="utf-8")
-        self._size = self._handle.tell()
-        self.enabled = True
+        with self._lock:
+            self.path = path
+            self.max_bytes = max_bytes
+            self.keep = keep
+            self._handle = open(path, "a", encoding="utf-8")
+            self._size = self._handle.tell()
+            self.enabled = True
         return self
 
     def close(self) -> None:
         self.enabled = False
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     # ------------------------------------------------------------------
-    # Writing (engine thread only)
+    # Writing (any thread; appends serialize on the mutex)
     # ------------------------------------------------------------------
     def record(
         self,
@@ -100,28 +114,30 @@ class AuditLog:
         latency_us: float = 0.0,
     ) -> None:
         """Append one firing entry (call sites guard on :attr:`enabled`)."""
-        handle = self._handle
-        if handle is None:
-            return
-        line = json.dumps(
-            {
-                "ts": round(time.time(), 3),
-                "rule": rule,
-                "seq": seq,
-                "coupling": coupling,
-                "condition": condition,
-                "outcome": outcome,
-                "error": error,
-                "latency_us": round(latency_us, 1),
-            },
-            default=str,
-        )
-        handle.write(line)
-        handle.write("\n")
-        handle.flush()
-        self._size += len(line) + 1
-        if self._size >= self.max_bytes:
-            self._rotate()
+        entry = {
+            "ts": round(time.time(), 3),
+            "rule": rule,
+            "seq": seq,
+            "coupling": coupling,
+            "condition": condition,
+            "outcome": outcome,
+            "error": error,
+            "latency_us": round(latency_us, 1),
+        }
+        current = threading.current_thread()
+        if current is not threading.main_thread():
+            entry["thread"] = current.name
+        line = json.dumps(entry, default=str)
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                return
+            handle.write(line)
+            handle.write("\n")
+            handle.flush()
+            self._size += len(line) + 1
+            if self._size >= self.max_bytes:
+                self._rotate()
 
     def _rotate(self) -> None:
         assert self.path is not None and self._handle is not None

@@ -16,7 +16,8 @@ three endpoints:
     can), terminated by ``# EOF``.
 ``/healthz``
     structured health checks (WAL writable, rule error rate, scheduler
-    queue depth, recovery clean, and — when continuous telemetry is on —
+    queue depth, worker-pool backlog, recovery clean, and — when
+    continuous telemetry is on —
     a *windowed* error rate over the store) as JSON; HTTP 200 when every
     check passes, 503 when any is degraded.
 ``/vars``
@@ -260,6 +261,22 @@ def build_checks(
             return True, "recovery clean"
         return False, f"recovery replayed {report.redone_updates} updates"
 
+    def worker_pool() -> tuple[bool, str]:
+        scheduler = getattr(sentinel, "scheduler", None)
+        pool = getattr(scheduler, "worker_pool", None)
+        if pool is None:
+            return True, "no worker pool configured"
+        stats = pool.stats()
+        backlog = stats["backlog"]
+        limit = stats["queue_limit"]
+        detail = (
+            f"backlog {backlog}/{limit}, "
+            f"rejected {stats['rejected']}, failed {stats['failed']}"
+        )
+        # Degraded when the queue is full (submits are being rejected
+        # right now) — past rejections alone are history, not state.
+        return backlog < limit, detail
+
     def windowed_error_rate() -> tuple[bool, str]:
         from .tsdb import telemetry  # lazy: tsdb sits above this module
 
@@ -285,6 +302,7 @@ def build_checks(
         "wal_writable": wal_writable,
         "error_rate": error_rate,
         "scheduler_depth": scheduler_depth,
+        "worker_pool": worker_pool,
         "recovery_clean": recovery_clean,
         "windowed_error_rate": windowed_error_rate,
     }

@@ -13,13 +13,21 @@ everything else.  ``repro.stats`` re-exports the compatibility names.
 This module must not import ``repro.core`` or ``repro.oodb`` — both feed
 metrics into it.
 
-Thread-safety contract: **single writer, concurrent readers**.  The
-engine thread is the only one that increments counters and records
-histogram samples (plain attribute bumps, never locked — these are hot
-paths).  :meth:`MetricsRegistry.snapshot` and :meth:`Histogram.summary`
-take copies under a registry lock and may be called from any thread; the
-metrics exporter's HTTP thread does exactly that.  Readers can observe a
-value mid-batch (a count bumped before its sum), never a torn structure.
+Thread-safety contract: **concurrent writers, concurrent readers**.  The
+original single-writer contract was retired when the engine grew a
+decoupled-rule worker pool and a rule server: counters and histograms
+are now bumped from many threads at once.  Each instrument guards its
+mutation with a per-instrument lock (one uncontended acquire — tens of
+nanoseconds — on paths that are already doing dict lookups and float
+math), so no increment is ever lost and no histogram invariant
+(``count`` vs ``sum`` vs buckets) is ever torn by a racing writer.
+:meth:`MetricsRegistry.snapshot` and :meth:`Histogram.summary` take
+copies under a registry lock and may be called from any thread; the
+metrics exporter's HTTP thread does exactly that.  Readers can still
+observe a value mid-batch (a count bumped before its sum), never a torn
+structure.  ``PipelineStats`` keeps plain unlocked attribute bumps: its
+counters are advisory throughput indicators on the hottest paths, and a
+rare lost bump there trades against every event paying for a lock.
 """
 
 from __future__ import annotations
@@ -57,19 +65,25 @@ BUCKET_BOUNDS = tuple(round(10 ** (e / 3.0), 3) for e in range(22))
 
 
 class Counter:
-    """A monotonically increasing named counter."""
+    """A monotonically increasing named counter (multi-writer safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        # ``value += amount`` alone can lose updates between the LOAD and
+        # the STORE when another thread is bumping too; the per-instrument
+        # lock makes the read-modify-write atomic.
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
@@ -88,7 +102,9 @@ class Histogram:
     out of an empty sort.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_window", "_buckets")
+    __slots__ = (
+        "name", "count", "total", "min", "max", "_window", "_buckets", "_lock"
+    )
 
     def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
         self.name = name
@@ -99,16 +115,18 @@ class Histogram:
         self._window: Deque[float] = deque(maxlen=window)
         # One slot per bound plus the +Inf overflow; exact, not windowed.
         self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._window.append(value)
-        self._buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._window.append(value)
+            self._buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -169,12 +187,13 @@ class Histogram:
         }
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self._window.clear()
-        self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+            self._window.clear()
+            self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count}>"

@@ -20,15 +20,22 @@ This module is the dependency-free middle: a process-wide
   bracket work that must not generate further signals; the scheduler
   uses it around rules *triggered by* sysmon events, so a rule reacting
   to ``rule_fired`` cannot recursively manufacture its own firings.
+  Suppression depth is **per-thread**: a decoupled-rule worker running a
+  sysmon-triggered rule silences only its own emissions, never a
+  concurrent engine thread's.
 * **No payload objects.**  Signals carry plain scalars (names, sequence
   numbers, microseconds), so emitting never pins engine objects.
 
-Like the tracer and the metrics registry, the hub follows the
-single-writer model: signals are emitted from the engine thread only.
+Signals are emitted from any engine thread (the caller's thread, the
+decoupled-rule worker pool, server connection handlers).  ``attach`` /
+``detach`` mutate the sink list atomically (replace, not edit-in-place)
+and ``emit`` iterates a stable copy, so attaching a monitor while
+workers are emitting is safe.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable
 
 __all__ = [
@@ -51,6 +58,7 @@ SIGNAL_KINDS = (
     "rule_slow",                  # a condition/action body overran its budget
     "txn_long",                   # a transaction stayed open too long
     "slo_breach",                 # a telemetry SLO's burn-rate windows all fired
+    "worker_pool_saturated",      # decoupled-rule pool rejected a submission
 )
 
 Sink = Callable[[str, dict[str, Any]], None]
@@ -75,7 +83,9 @@ class EngineSignals:
         #: Fsync latency (µs) above which ``wal_fsync_slow`` fires.
         self.fsync_slow_us = 10_000.0
         self._sinks: list[Sink] = []
-        self._suppress = 0
+        # Per-thread suppression depth: a worker thread suppressing its
+        # own sysmon-triggered rule must not mute other threads.
+        self._suppress = threading.local()
 
     # ------------------------------------------------------------------
     # Sinks
@@ -96,21 +106,31 @@ class EngineSignals:
     # ------------------------------------------------------------------
     @property
     def suppressed(self) -> bool:
-        return self._suppress > 0
+        return getattr(self._suppress, "depth", 0) > 0
 
     def push_suppression(self) -> None:
-        """Silence emissions until the matching :meth:`pop_suppression`."""
-        self._suppress += 1
+        """Silence this thread's emissions until :meth:`pop_suppression`."""
+        self._suppress.depth = getattr(self._suppress, "depth", 0) + 1
 
     def pop_suppression(self) -> None:
-        if self._suppress > 0:
-            self._suppress -= 1
+        depth = getattr(self._suppress, "depth", 0)
+        if depth > 0:
+            self._suppress.depth = depth - 1
+
+    @property
+    def suppression_depth(self) -> int:
+        """This thread's suppression nesting depth (testing aid)."""
+        return int(getattr(self._suppress, "depth", 0))
+
+    def reset_suppression(self) -> None:
+        """Clear suppression for *every* thread (test isolation)."""
+        self._suppress = threading.local()
 
     # ------------------------------------------------------------------
     # Emission (engine side; call sites guard with ``if signals.active``)
     # ------------------------------------------------------------------
     def emit(self, kind: str, **payload: Any) -> None:
-        if self._suppress:
+        if getattr(self._suppress, "depth", 0):
             return
         for sink in list(self._sinks):
             sink(kind, payload)

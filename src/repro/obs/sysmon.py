@@ -36,6 +36,8 @@ entry):
                                (txn_id, changes, micros, threshold_us)
 ``slo_breach``                 a telemetry objective's burn-rate windows
                                all fired (slo, value, target, burn, windows)
+``worker_pool_saturated``      the decoupled-rule pool rejected a job
+                               (backlog, queue_limit, rule)
 =============================  =====================================
 
 The three ``*_slow``/``*_long`` signals are raised by the slow-op log
@@ -93,6 +95,7 @@ class SystemMonitor(Reactive):
         self.slow_rules = 0
         self.long_txns = 0
         self.slo_breaches = 0
+        self.pool_saturations = 0
         self.dropped_reentrant = 0
         object.__setattr__(self, "_emitting", False)
 
@@ -150,6 +153,7 @@ class SystemMonitor(Reactive):
             "rule_slow": self.slow_rules,
             "txn_long": self.long_txns,
             "slo_breach": self.slo_breaches,
+            "worker_pool_saturated": self.pool_saturations,
             "dropped_reentrant": self.dropped_reentrant,
         }
 
@@ -218,3 +222,9 @@ class SystemMonitor(Reactive):
         self, slo: str, value: float, target: float, burn: float, windows: str
     ) -> None:
         self.slo_breaches += 1
+
+    @event_method
+    def worker_pool_saturated(
+        self, backlog: int, queue_limit: int, rule: str = ""
+    ) -> None:
+        self.pool_saturations += 1

@@ -34,17 +34,24 @@ nothing at all.  Two exceptions to "nothing": spans that close with an
 sampled away), and top-level points outside any chain (transaction
 begin/abort markers) are always recorded.
 
-Thread-safety contract: **single writer, concurrent readers**.  The
-engine thread that runs the scheduler is the only thread that may open,
-close, or record spans; :meth:`spans`, :meth:`find`, and
-:meth:`export_jsonl` take a copy of the ring buffer under a lock and may
-be called from any thread (the metrics exporter's HTTP thread does).
-:meth:`clear` and :meth:`enable` take the same lock, so a concurrent
-reader sees either the old buffer or the new one, never a torn state.
+Thread-safety contract: **any thread records, any thread reads**.  The
+ambient state — the open-span stack, the sampling clock, and the
+skip-depth — is *per-thread*, so a rule-worker thread builds its own
+causality chains without corrupting the engine thread's; spans opened
+off the main thread carry a ``thread`` attribute naming their owner.
+Span IDs come from one shared atomic counter and the ring buffer append
+is a single C-level deque operation, so interleaved writers never tear
+it.  :meth:`spans`, :meth:`find`, and :meth:`export_jsonl` take a copy
+of the buffer under a lock and may be called from any thread (the
+metrics exporter's HTTP thread does); :meth:`clear` and :meth:`enable`
+take the same lock and bump an epoch that resets every thread's ambient
+state lazily, so a concurrent reader sees either the old buffer or the
+new one, never a torn state.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 from collections import deque
@@ -123,6 +130,23 @@ class Span:
         )
 
 
+class _ThreadTraceState:
+    """One thread's ambient tracing state (stack, sampling, skip depth)."""
+
+    __slots__ = ("stack", "chain_count", "skip_depth", "epoch")
+
+    def __init__(self, epoch: int) -> None:
+        self.stack: list[Span] = []
+        #: Chains this thread has seen since enable/clear — its sampling
+        #: counter (sampling decisions are per-thread).
+        self.chain_count = 0
+        #: >0 while inside a skipped (unsampled) chain.
+        self.skip_depth = 0
+        #: The tracer epoch this state belongs to; a stale epoch means an
+        #: intervening clear()/disable() and the state resets lazily.
+        self.epoch = epoch
+
+
 class CausalityTracer:
     """Bounded-ring-buffer span recorder with an ambient span stack."""
 
@@ -131,11 +155,10 @@ class CausalityTracer:
         "capacity",
         "sample_interval",
         "_buffer",
-        "_stack",
-        "_next_id",
+        "_ids",
         "_origin",
-        "_chain_count",
-        "_skip_depth",
+        "_local",
+        "_epoch",
         "_read_lock",
     )
 
@@ -145,16 +168,34 @@ class CausalityTracer:
         #: Record one chain in every ``sample_interval`` (1 = record all).
         self.sample_interval = 1
         self._buffer: Deque[Span] = deque(maxlen=capacity)
-        self._stack: list[Span] = []
-        self._next_id = 0
+        #: Shared span-ID source; ``next()`` on a count is atomic under
+        #: the GIL, so concurrent threads never mint the same ID.
+        self._ids = itertools.count(1)
         self._origin = 0.0
-        #: Chains seen since enable/clear — the sampling counter.
-        self._chain_count = 0
-        #: >0 while inside a skipped (unsampled) chain.  Instrumented
-        #: slow paths may pre-check this and fall back to their untraced
-        #: fast path; begin/end also handle it internally.
-        self._skip_depth = 0
+        self._local = threading.local()
+        self._epoch = 0
         self._read_lock = threading.Lock()
+
+    def _state(self) -> _ThreadTraceState:
+        state: _ThreadTraceState | None = getattr(self._local, "state", None)
+        if state is None or state.epoch != self._epoch:
+            state = _ThreadTraceState(self._epoch)
+            self._local.state = state
+        return state
+
+    # The ambient fields read like plain attributes (instrumented call
+    # sites pre-check ``_skip_depth``) but resolve per-thread.
+    @property
+    def _stack(self) -> list[Span]:
+        return self._state().stack
+
+    @property
+    def _skip_depth(self) -> int:
+        return self._state().skip_depth
+
+    @_skip_depth.setter
+    def _skip_depth(self, value: int) -> None:
+        self._state().skip_depth = value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -184,16 +225,15 @@ class CausalityTracer:
     def disable(self) -> None:
         """Stop recording.  Recorded spans stay readable until clear()."""
         self.enabled = False
-        self._stack.clear()
-        self._skip_depth = 0
+        # Epoch bump: every thread's ambient stack/skip state resets
+        # lazily on its next use.
+        self._epoch += 1
 
     def clear(self) -> None:
         with self._read_lock:
             self._buffer.clear()
-        self._stack.clear()
-        self._next_id = 0
-        self._chain_count = 0
-        self._skip_depth = 0
+            self._ids = itertools.count(1)
+        self._epoch += 1
 
     @contextmanager
     def session(
@@ -223,10 +263,11 @@ class CausalityTracer:
         the sample clock's tick here; a keep leaves the tick for the
         root :meth:`begin`, which then reaches the same decision.
         """
-        if self._stack or self.sample_interval <= 1:
+        state = self._state()
+        if state.stack or self.sample_interval <= 1:
             return True
-        if (self._chain_count + 1) % self.sample_interval:
-            self._chain_count += 1  # consume the skipped chain's tick
+        if (state.chain_count + 1) % self.sample_interval:
+            state.chain_count += 1  # consume the skipped chain's tick
             return False
         return True
 
@@ -238,38 +279,41 @@ class CausalityTracer:
         :meth:`end` discards — unless they close with an ``error`` attr,
         which always promotes them into the buffer.
         """
-        if self._skip_depth:
-            self._skip_depth += 1
+        state = self._state()
+        if state.skip_depth:
+            state.skip_depth += 1
             return Span(0, None, kind, name, 0.0, attrs=attrs)
-        if self.sample_interval > 1 and not self._stack:
-            self._chain_count += 1
-            if self._chain_count % self.sample_interval:
-                self._skip_depth = 1
+        if self.sample_interval > 1 and not state.stack:
+            state.chain_count += 1
+            if state.chain_count % self.sample_interval:
+                state.skip_depth = 1
                 return Span(0, None, kind, name, 0.0, attrs=attrs)
-        self._next_id += 1
+        thread = threading.current_thread()
+        if thread is not threading.main_thread():
+            attrs.setdefault("thread", thread.name)
         span = Span(
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
+            span_id=next(self._ids),
+            parent_id=state.stack[-1].span_id if state.stack else None,
             kind=kind,
             name=name,
             start_us=self._now(),
             attrs=attrs,
         )
-        self._stack.append(span)
+        state.stack.append(span)
         return span
 
     def end(self, span: Span, **attrs: Any) -> Span:
         """Close ``span``, record it, and feed its latency histogram."""
+        state = self._state()
         if span.span_id == 0:
             # Placeholder from a skipped chain.  Errors are never sampled
             # away: promote the erroring span (alone) into the buffer.
-            if self._skip_depth:
-                self._skip_depth -= 1
+            if state.skip_depth:
+                state.skip_depth -= 1
             if attrs:
                 span.attrs.update(attrs)
             if "error" in span.attrs:
-                self._next_id += 1
-                span.span_id = self._next_id
+                span.span_id = next(self._ids)
                 span.start_us = self._now()
                 span.attrs["sampled"] = False
                 self._buffer.append(span)
@@ -279,8 +323,9 @@ class CausalityTracer:
         if attrs:
             span.attrs.update(attrs)
         # Unwind to this span even if an exception skipped inner end()s.
-        while self._stack:
-            if self._stack.pop() is span:
+        stack = state.stack
+        while stack:
+            if stack.pop() is span:
                 break
         self._buffer.append(span)
         metrics.histogram(f"{span.kind}_us").record(span.duration_us)
@@ -301,12 +346,15 @@ class CausalityTracer:
         an ``error`` attribute, which are always recorded.  Points outside
         any chain (transaction markers) ignore sampling entirely.
         """
-        if self._skip_depth and "error" not in attrs:
+        state = self._state()
+        if state.skip_depth and "error" not in attrs:
             return Span(0, None, kind, name, 0.0, attrs=attrs)
-        self._next_id += 1
+        thread = threading.current_thread()
+        if thread is not threading.main_thread():
+            attrs.setdefault("thread", thread.name)
         span = Span(
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
+            span_id=next(self._ids),
+            parent_id=state.stack[-1].span_id if state.stack else None,
             kind=kind,
             name=name,
             start_us=self._now(),

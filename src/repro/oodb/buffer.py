@@ -12,11 +12,18 @@ Sequential readers (extent scans, clustered batch fetches) can ask
 :meth:`BufferPool.get` for *readahead*: on a miss the pool reads a run of
 contiguous on-disk pages in one I/O and admits them all, so the next pages
 of the scan are already cached.
+
+Concurrency: one re-entrant lock serializes every public pool operation
+(attach/detach, page gets, admits, flushes).  Page reads and writebacks
+are small and hit the OS page cache, so holding the lock across them is
+cheap; what matters is that an eviction writing back a dirty page can
+never interleave with another thread reading the same slot.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -103,6 +110,8 @@ class BufferPool:
         self._pages: OrderedDict[tuple[str, int], Page] = OrderedDict()
         self._files: dict[str, _FileState] = {}
         self.stats = BufferStats()
+        # Re-entrant: flush_file calls _write_page while already holding it.
+        self._lock = threading.RLock()
         _live_pools.add(self)
 
     # ------------------------------------------------------------------
@@ -110,27 +119,29 @@ class BufferPool:
     # ------------------------------------------------------------------
     def attach(self, path: str) -> None:
         """Register a page file with the pool (idempotent, ref-counted)."""
-        state = self._files.get(path)
-        if state is None:
-            handle = open(path, "r+b")
-            size = os.path.getsize(path)
-            state = _FileState(handle=handle)
-            state.pages_on_disk = set(range(size // PAGE_SIZE))
-            self._files[path] = state
-        state.pins += 1
+        with self._lock:
+            state = self._files.get(path)
+            if state is None:
+                handle = open(path, "r+b")
+                size = os.path.getsize(path)
+                state = _FileState(handle=handle)
+                state.pages_on_disk = set(range(size // PAGE_SIZE))
+                self._files[path] = state
+            state.pins += 1
 
     def detach(self, path: str) -> None:
         """Release one attachment; closes and drops pages at zero."""
-        state = self._files.get(path)
-        if state is None:
-            return
-        state.pins -= 1
-        if state.pins <= 0:
-            self.flush_file(path)
-            state.handle.close()  # type: ignore[attr-defined]
-            del self._files[path]
-            for key in [k for k in self._pages if k[0] == path]:
-                del self._pages[key]
+        with self._lock:
+            state = self._files.get(path)
+            if state is None:
+                return
+            state.pins -= 1
+            if state.pins <= 0:
+                self.flush_file(path)
+                state.handle.close()  # type: ignore[attr-defined]
+                del self._files[path]
+                for key in [k for k in self._pages if k[0] == path]:
+                    del self._pages[key]
 
     # ------------------------------------------------------------------
     # Page access
@@ -145,19 +156,20 @@ class BufferPool:
         (their in-memory copy may be dirty and newer than disk).
         """
         key = (path, page_id)
-        page = self._pages.get(key)
-        if page is not None:
-            self.stats.hits += 1
-            self._pages.move_to_end(key)
+        with self._lock:
+            page = self._pages.get(key)
+            if page is not None:
+                self.stats.hits += 1
+                self._pages.move_to_end(key)
+                return page
+            self.stats.misses += 1
+            if readahead > 1:
+                run = self._read_run(path, page_id, readahead)
+                if run is not None:
+                    return run
+            page = self._read_page(path, page_id)
+            self._admit(key, page)
             return page
-        self.stats.misses += 1
-        if readahead > 1:
-            run = self._read_run(path, page_id, readahead)
-            if run is not None:
-                return run
-        page = self._read_page(path, page_id)
-        self._admit(key, page)
-        return page
 
     def _read_run(self, path: str, page_id: int, length: int) -> Page | None:
         """Read a run of contiguous on-disk pages in one I/O.
@@ -209,15 +221,16 @@ class BufferPool:
 
     def put_new(self, path: str, page: Page) -> None:
         """Admit a freshly-allocated page that does not yet exist on disk."""
-        state = self._require_file(path)
-        key = (path, page.page_id)
-        if key in self._pages or page.page_id in state.pages_on_disk:
-            raise StorageError(
-                f"page {page.page_id} of {path} already exists; "
-                "put_new is for fresh pages only"
-            )
-        page.dirty = True
-        self._admit(key, page)
+        with self._lock:
+            state = self._require_file(path)
+            key = (path, page.page_id)
+            if key in self._pages or page.page_id in state.pages_on_disk:
+                raise StorageError(
+                    f"page {page.page_id} of {path} already exists; "
+                    "put_new is for fresh pages only"
+                )
+            page.dirty = True
+            self._admit(key, page)
 
     def _admit(self, key: tuple[str, int], page: Page) -> None:
         self._pages[key] = page
@@ -264,19 +277,21 @@ class BufferPool:
     # ------------------------------------------------------------------
     def flush_file(self, path: str) -> None:
         """Write back every dirty cached page of ``path`` and fsync."""
-        state = self._files.get(path)
-        if state is None:
-            return
-        for (file_path, _page_id), page in list(self._pages.items()):
-            if file_path == path and page.dirty:
-                self._write_page(path, page)
-        state.handle.flush()  # type: ignore[attr-defined]
-        os.fsync(state.handle.fileno())  # type: ignore[attr-defined]
+        with self._lock:
+            state = self._files.get(path)
+            if state is None:
+                return
+            for (file_path, _page_id), page in list(self._pages.items()):
+                if file_path == path and page.dirty:
+                    self._write_page(path, page)
+            state.handle.flush()  # type: ignore[attr-defined]
+            os.fsync(state.handle.fileno())  # type: ignore[attr-defined]
 
     def flush_all(self) -> None:
         """Flush every attached file."""
-        for path in list(self._files):
-            self.flush_file(path)
+        with self._lock:
+            for path in list(self._files):
+                self.flush_file(path)
 
     @property
     def capacity(self) -> int:

@@ -23,8 +23,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..obs.metrics import metrics
 from . import codec
@@ -32,6 +34,7 @@ from .buffer import BufferPool
 from .errors import (
     DatabaseClosed,
     ObjectNotFound,
+    OODBError,
     SerializationError,
     TransactionAborted,
     TransactionError,
@@ -46,8 +49,9 @@ from .serializer import Serializer
 from .storage.heap import HeapFile, RecordId
 from .storage.wal import WriteAheadLog
 from .transactions import Transaction, TransactionManager
+from .versions import VersionStore
 
-__all__ = ["Database", "RootMap"]
+__all__ = ["Database", "RootMap", "Snapshot"]
 
 _MISSING = object()
 
@@ -83,7 +87,20 @@ class Database:
         exists so recovery can be exercised against both paths.
     locking:
         Whether to acquire per-object locks (needed only for multithreaded
-        use; single-threaded benchmarks leave it off).
+        use; single-threaded benchmarks leave it off).  With locking on,
+        every transactional read S-locks and every write X-locks its
+        object (strict 2PL, released at commit/abort), and the database's
+        shared structures (identity map, extents, indexes, locations) are
+        guarded by an internal state lock.
+
+    Concurrency model (see DESIGN.md "Concurrency model" for the full
+    matrix): writers isolate through strict 2PL; read-only work can
+    instead run inside ``with db.snapshot():`` — an MVCC snapshot pinned
+    to the commit-timestamp watermark, serving detached copies from a
+    small version store of pre-images, taking **no object locks** and
+    never blocking (or being blocked by) writers.  Lock order, outermost
+    first: 2PL object locks → ``_state_lock`` → heap lock → buffer-pool
+    lock; 2PL locks are never requested while an internal mutex is held.
     """
 
     def __init__(
@@ -120,6 +137,27 @@ class Database:
         self._locations: dict[Oid, RecordId] = {}
         self._closed = False
         self._root_map: RootMap | None = None
+        # Guards shared structure mutation (cache registration, extents,
+        # indexes, locations, commit apply, checkpoint) and the MVCC
+        # watermark.  Re-entrant; never held across a 2PL lock acquire,
+        # an fsync, or attribute decoding.
+        self._state_lock = threading.RLock()
+        # Checkpoint gate: commits register while their WAL-log + apply
+        # phases run; a checkpoint stalls new commits and waits the
+        # in-flight ones out before truncating the log.
+        self._ckpt_gate = threading.Condition(threading.Lock())
+        self._commits_in_flight = 0
+        self._checkpointing = False
+        #: Commit-timestamp watermark: bumped (last) by every commit that
+        #: writes, read by snapshots.  Monotonic per database.
+        self._commit_ts = 0
+        #: Pre-image store for MVCC snapshot reads (empty unless a
+        #: snapshot is open).
+        self.versions = VersionStore()
+        self._snap_local = threading.local()
+        # Fast fetch-path guard: nonzero only while any snapshot is open
+        # anywhere in the process, so the common path pays one int check.
+        self._snapshots_active = 0
 
         self._in_memory = path is None
         if self._in_memory:
@@ -134,8 +172,16 @@ class Database:
             os.makedirs(self._dir, exist_ok=True)
             self._pool = BufferPool(capacity=buffer_capacity)
             self._heap = HeapFile(os.path.join(self._dir, "data.heap"), self._pool)
+            # Concurrent databases get the dedicated WAL-syncer thread:
+            # committers publish a target LSN and overlap their CPU work
+            # with the daemon's back-to-back fsyncs (async group commit).
+            # Single-threaded databases keep the cheaper inline
+            # leader-follower fsync — no handoff, no extra thread.
             self._wal = WriteAheadLog(
-                os.path.join(self._dir, "wal.log"), sync=sync, fsync_policy=fsync
+                os.path.join(self._dir, "wal.log"),
+                sync=sync,
+                fsync_policy=fsync,
+                syncer=locking,
             )
             self._memory_records = {}
             self.last_recovery = self._recover_and_load()
@@ -302,21 +348,41 @@ class Database:
         oid = self.allocator.allocate()
         object.__setattr__(obj, "_p_oid", oid)
         object.__setattr__(obj, "_p_db", self)
+        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
         if self.locking:
             self.locks.acquire(txn.id, oid, LockMode.EXCLUSIVE)
-        self._cache[oid] = obj
-        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
-        self.extents.add(class_name, oid)
-        if self.indexes.covers(class_name):
-            self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+            with self._state_lock:
+                self._cache[oid] = obj
+                self.extents.add(class_name, oid)
+                if self.indexes.covers(class_name):
+                    self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+        else:
+            self._cache[oid] = obj
+            self.extents.add(class_name, oid)
+            if self.indexes.covers(class_name):
+                self.indexes.on_add(class_name, oid, _plain_attrs(obj))
         txn.note_created(obj)
         return oid
 
     def fetch(self, oid: Oid) -> Persistent:
-        """Return the object identified by ``oid`` (identity-map semantics)."""
+        """Return the object identified by ``oid`` (identity-map semantics).
+
+        Inside ``with db.snapshot():`` the read is served from the
+        snapshot instead — a detached copy of the committed state at the
+        snapshot's watermark, with no lock taken.  With locking on and a
+        transaction active, the read S-locks ``oid`` first (strict 2PL).
+        """
         self._require_open()
         if oid == NULL_OID:
             raise ObjectNotFound(oid)
+        if self._snapshots_active:
+            snap = self._ambient_snapshot()
+            if snap is not None:
+                return snap.fetch(oid)
+        if self.locking:
+            txn = self.txn_manager.current
+            if txn is not None:
+                self.locks.acquire(txn.id, oid, LockMode.SHARED)
         cached = self._cache.get(oid)
         if cached is not None:
             return cached
@@ -337,7 +403,18 @@ class Database:
         object.__setattr__(obj, "_p_oid", oid)
         object.__setattr__(obj, "_p_db", self)
         # Register before decoding attributes so reference cycles resolve.
-        self._cache[oid] = obj
+        # Under locking, the registration double-checks inside the state
+        # lock so two threads cold-fetching the same OID cannot install
+        # two distinct live instances (split identity); decoding happens
+        # outside the lock because it may recursively fetch references.
+        if self.locking:
+            with self._state_lock:
+                cached = self._cache.get(oid)
+                if cached is not None:
+                    return cached
+                self._cache[oid] = obj
+        else:
+            self._cache[oid] = obj
         self.serializer.decode_object(record, obj)
         # Give the object a chance to restore transient wiring (e.g.
         # composite events re-attach themselves as listeners on children).
@@ -356,6 +433,15 @@ class Database:
         allowed); raises :class:`ObjectNotFound` like :meth:`fetch`.
         """
         self._require_open()
+        if self._snapshots_active:
+            snap = self._ambient_snapshot()
+            if snap is not None:
+                return [snap.fetch(oid) for oid in oids]
+        if self.locking:
+            txn = self.txn_manager.current
+            if txn is not None:
+                for oid in dict.fromkeys(oids):
+                    self.locks.acquire(txn.id, oid, LockMode.SHARED)
         misses: list[Oid] = []
         seen: set[Oid] = set()
         for oid in oids:
@@ -393,13 +479,19 @@ class Database:
             raise ObjectNotFound(getattr(obj, "_p_oid", None))
         txn = self.txn_manager.ensure_current()
         oid = obj._p_oid
+        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
         if self.locking:
             self.locks.acquire(txn.id, oid, LockMode.EXCLUSIVE)
-        txn.note_deleted(obj)
-        class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
-        self.extents.remove(class_name, oid)
-        self.indexes.on_remove(class_name, oid)
-        self._cache.pop(oid, None)
+            txn.note_deleted(obj)
+            with self._state_lock:
+                self.extents.remove(class_name, oid)
+                self.indexes.on_remove(class_name, oid)
+                self._cache.pop(oid, None)
+        else:
+            txn.note_deleted(obj)
+            self.extents.remove(class_name, oid)
+            self.indexes.on_remove(class_name, oid)
+            self._cache.pop(oid, None)
 
     def contains(self, oid: Oid) -> bool:
         return oid in self._cache or self._stored_record(oid) is not None
@@ -434,12 +526,23 @@ class Database:
         self, obj: Persistent, name: str, old: Any, new: Any
     ) -> None:
         assert obj._p_oid is not None
-        self.indexes.on_update(
-            type(obj)._p_class_name,  # type: ignore[attr-defined]
-            obj._p_oid,
-            name,
-            new,
-        )
+        if self.locking:
+            # Index structures are shared; a concurrent query collecting
+            # candidates holds the same lock.
+            with self._state_lock:
+                self.indexes.on_update(
+                    type(obj)._p_class_name,  # type: ignore[attr-defined]
+                    obj._p_oid,
+                    name,
+                    new,
+                )
+        else:
+            self.indexes.on_update(
+                type(obj)._p_class_name,  # type: ignore[attr-defined]
+                obj._p_oid,
+                name,
+                new,
+            )
 
     def _current_record(self, oid: Oid) -> dict[str, Any] | None:
         """Before image for undo: last committed state, from storage."""
@@ -508,6 +611,101 @@ class Database:
         else:
             self.txn_manager.commit(txn)
 
+    def run_transaction(
+        self,
+        fn: "Callable[[], Any]",
+        *,
+        attempts: int = 5,
+        backoff: float = 0.002,
+    ) -> Any:
+        """Run ``fn`` inside a transaction, retrying retryable aborts.
+
+        Deadlock victims and lock timeouts surface as :class:`LockError`
+        subclasses with ``retryable = True``; their transaction rolled
+        back cleanly, so the work is rerun in a fresh transaction after a
+        short linear backoff, up to ``attempts`` times.  Non-retryable
+        errors propagate immediately.  Returns whatever ``fn`` returned
+        on the attempt that committed; raises the last retryable error
+        when every attempt loses.
+        """
+        self._require_open()
+        last: OODBError | None = None
+        for attempt in range(attempts):
+            try:
+                with self.transaction():
+                    return fn()
+            except OODBError as exc:
+                if not exc.retryable:
+                    raise
+                last = exc
+                metrics.counter("txn_retries").inc()
+                if attempt + 1 < attempts:
+                    time.sleep(backoff * (attempt + 1))
+        assert last is not None
+        raise last
+
+    # ------------------------------------------------------------------
+    # MVCC snapshot reads
+    # ------------------------------------------------------------------
+    @contextmanager
+    def snapshot(self) -> "Iterator[Snapshot]":
+        """``with db.snapshot() as snap:`` — a frozen, lock-free read view.
+
+        Reads inside the block (``db.fetch``/``db.query`` on this thread,
+        or ``snap.fetch`` directly) see the committed state as of the
+        moment the block was entered.  They never touch the lock manager,
+        so they cannot block — or be blocked by — concurrent writers.
+        Objects come back as *detached copies* (``obj._p_db is None``):
+        mutating one changes nothing in the store.
+        """
+        snap = self.begin_snapshot()
+        try:
+            yield snap
+        finally:
+            self.end_snapshot(snap)
+
+    def begin_snapshot(self) -> "Snapshot":
+        """Open a snapshot explicitly (prefer ``with db.snapshot():``).
+
+        The snapshot becomes the thread's *ambient* read context:
+        ``fetch``/``fetch_many`` (and queries built on them) on this
+        thread are served from it until :meth:`end_snapshot`.
+        """
+        self._require_open()
+        with self._state_lock:
+            # Atomic with a committing writer: either the snapshot starts
+            # before the commit's publish (and resolves its pre-images)
+            # or after its watermark bump (and reads its results).
+            ts = self._commit_ts
+            self.versions.register(ts)
+            self._snapshots_active += 1
+        snap = Snapshot(self, ts)
+        stack = getattr(self._snap_local, "stack", None)
+        if stack is None:
+            stack = []
+            self._snap_local.stack = stack
+        stack.append(snap)
+        return snap
+
+    def end_snapshot(self, snap: "Snapshot") -> None:
+        """Close ``snap``: drop the ambient binding, prune old versions."""
+        if snap._closed:
+            return
+        snap._closed = True
+        stack = getattr(self._snap_local, "stack", None)
+        if stack and snap in stack:
+            stack.remove(snap)
+        with self._state_lock:
+            self._snapshots_active -= 1
+        self.versions.unregister(snap.ts)
+
+    def _ambient_snapshot(self) -> "Snapshot | None":
+        stack = getattr(self._snap_local, "stack", None)
+        if stack:
+            snap: Snapshot = stack[-1]
+            return snap
+        return None
+
     # ------------------------------------------------------------------
     # Commit/rollback application (called by the TransactionManager)
     # ------------------------------------------------------------------
@@ -544,6 +742,30 @@ class Database:
         if not payloads and not txn._deleted:
             return
 
+        # A checkpoint truncates the WAL; a commit that has logged but not
+        # yet applied to the heap must not have its records truncated away.
+        # The gate keeps a commit's two phases (WAL append+sync, store
+        # apply) atomic with respect to checkpoints while leaving commits
+        # free to overlap *each other* — group commit batches their fsyncs.
+        with self._ckpt_gate:
+            while self._checkpointing:
+                self._ckpt_gate.wait()
+            self._commits_in_flight += 1
+        try:
+            self._log_commit_wal(txn, payloads, wal_redo)
+            self._apply_commit_store(txn, payloads)
+        finally:
+            with self._ckpt_gate:
+                self._commits_in_flight -= 1
+                if not self._commits_in_flight:
+                    self._ckpt_gate.notify_all()
+
+    def _log_commit_wal(
+        self,
+        txn: Transaction,
+        payloads: "dict[Oid, bytes]",
+        wal_redo: "dict[Oid, str | bytes]",
+    ) -> None:
         if self._wal is not None:
             # Undo images of packed records carry live Oid/datetime
             # values; the log is JSON, so convert them to tagged form.
@@ -570,27 +792,48 @@ class Database:
                     self._wal.log_update(txn.id, oid.value, undo.get(oid), None)
                 self._wal.log_commit(txn.id)
 
-        for oid, obj in txn._deleted.items():
-            # The object reverts to transient once the delete is durable.
-            object.__setattr__(obj, "_p_db", None)
-            object.__setattr__(obj, "_p_oid", None)
-            if self._in_memory:
-                self._memory_records.pop(oid, None)
-                continue
-            rid = self._locations.pop(oid, None)
-            if rid is not None:
+    def _apply_commit_store(
+        self, txn: Transaction, payloads: "dict[Oid, bytes]"
+    ) -> None:
+        # Apply under the state lock: snapshot registration, version
+        # publication, the store mutations, and the watermark bump form
+        # one atomic step against concurrent readers.  Pre-images go to
+        # the version store *before* any heap mutation, so a lock-free
+        # snapshot reader either resolves the pre-image or reads heap
+        # state this commit has not reached yet — never torn state.
+        with self._state_lock:
+            commit_ts = self._commit_ts + 1
+            if self.versions.active:
+                pre_images: dict[Oid, dict[str, Any] | None] = {}
+                for oid in payloads:
+                    pre_images[oid] = txn._undo.get(oid)
+                for oid in txn._deleted:
+                    pre_images[oid] = txn._undo.get(oid)
+                self.versions.publish(commit_ts, pre_images)
+            for oid, obj in txn._deleted.items():
+                # The object reverts to transient once the delete is durable.
+                object.__setattr__(obj, "_p_db", None)
+                object.__setattr__(obj, "_p_oid", None)
+                if self._in_memory:
+                    self._memory_records.pop(oid, None)
+                    continue
+                rid = self._locations.pop(oid, None)
+                if rid is not None:
+                    assert self._heap is not None
+                    self._heap.delete(rid)
+            for oid, payload in payloads.items():
+                if self._in_memory:
+                    self._memory_records[oid] = payload
+                    continue
                 assert self._heap is not None
-                self._heap.delete(rid)
-        for oid, payload in payloads.items():
-            if self._in_memory:
-                self._memory_records[oid] = payload
-                continue
-            assert self._heap is not None
-            rid = self._locations.get(oid)
-            if rid is None:
-                self._locations[oid] = self._heap.insert(payload)
-            else:
-                self._locations[oid] = self._heap.update(rid, payload)
+                rid = self._locations.get(oid)
+                if rid is None:
+                    self._locations[oid] = self._heap.insert(payload)
+                else:
+                    self._locations[oid] = self._heap.update(rid, payload)
+            # Bumped last: a snapshot beginning now starts at ``commit_ts``
+            # and must see this commit's results, not its pre-images.
+            self._commit_ts = commit_ts
 
     def _apply_rollback(self, txn: Transaction) -> None:
         for oid, obj in list(txn._touched.items()):
@@ -611,21 +854,37 @@ class Database:
         for name in list(vars(obj)):
             if not name.startswith("_p_") and name not in transient:
                 object.__delattr__(obj, name)
+        # Decoding may recursively fetch references (which takes 2PL
+        # locks), so it stays outside the state lock.
         self.serializer.decode_object(record, obj)
         assert obj._p_oid is not None
-        self.indexes.reindex(
-            type(obj)._p_class_name,  # type: ignore[attr-defined]
-            obj._p_oid,
-            _plain_attrs(obj),
-        )
+        if self.locking:
+            with self._state_lock:
+                self.indexes.reindex(
+                    type(obj)._p_class_name,  # type: ignore[attr-defined]
+                    obj._p_oid,
+                    _plain_attrs(obj),
+                )
+        else:
+            self.indexes.reindex(
+                type(obj)._p_class_name,  # type: ignore[attr-defined]
+                obj._p_oid,
+                _plain_attrs(obj),
+            )
 
     def _detach_created(self, obj: Persistent) -> None:
         oid = obj._p_oid
         assert oid is not None
         class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
-        self.extents.remove(class_name, oid)
-        self.indexes.on_remove(class_name, oid)
-        self._cache.pop(oid, None)
+        if self.locking:
+            with self._state_lock:
+                self.extents.remove(class_name, oid)
+                self.indexes.on_remove(class_name, oid)
+                self._cache.pop(oid, None)
+        else:
+            self.extents.remove(class_name, oid)
+            self.indexes.on_remove(class_name, oid)
+            self._cache.pop(oid, None)
         object.__setattr__(obj, "_p_db", None)
         object.__setattr__(obj, "_p_oid", None)
 
@@ -633,9 +892,15 @@ class Database:
         oid = obj._p_oid
         assert oid is not None
         class_name = type(obj)._p_class_name  # type: ignore[attr-defined]
-        self._cache[oid] = obj
-        self.extents.add(class_name, oid)
-        self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+        if self.locking:
+            with self._state_lock:
+                self._cache[oid] = obj
+                self.extents.add(class_name, oid)
+                self.indexes.on_add(class_name, oid, _plain_attrs(obj))
+        else:
+            self._cache[oid] = obj
+            self.extents.add(class_name, oid)
+            self.indexes.on_add(class_name, oid, _plain_attrs(obj))
 
     # ------------------------------------------------------------------
     # Roots
@@ -801,29 +1066,48 @@ class Database:
         if self._in_memory:
             return
         assert self._heap is not None and self._wal is not None
-        self._heap.flush()
-        meta = {
-            "allocator": self.allocator.snapshot(),
-            "root_oid": self._root_map._p_oid.value
-            if self._root_map is not None and self._root_map._p_oid
-            else None,
-            "indexes": [
-                {
-                    "class_name": d.class_name,
-                    "attribute": d.attribute,
-                    "unique": d.unique,
-                    "kind": d.kind,
-                }
-                for d in self.indexes.definitions()
-            ],
-        }
-        tmp = self._meta_path() + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(meta, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self._meta_path())
-        self._wal.truncate()
+        # Stall new commits and wait out in-flight ones: a commit that has
+        # logged to the WAL but not yet applied to the heap must not have
+        # its log records truncated out from under it.
+        with self._ckpt_gate:
+            while self._checkpointing:
+                self._ckpt_gate.wait()
+            self._checkpointing = True
+            while self._commits_in_flight:
+                self._ckpt_gate.wait()
+        try:
+            self._checkpoint_locked()
+        finally:
+            with self._ckpt_gate:
+                self._checkpointing = False
+                self._ckpt_gate.notify_all()
+
+    def _checkpoint_locked(self) -> None:
+        assert self._heap is not None and self._wal is not None
+        with self._state_lock:
+            self._heap.flush()
+            meta = {
+                "allocator": self.allocator.snapshot(),
+                "root_oid": self._root_map._p_oid.value
+                if self._root_map is not None and self._root_map._p_oid
+                else None,
+                "indexes": [
+                    {
+                        "class_name": d.class_name,
+                        "attribute": d.attribute,
+                        "unique": d.unique,
+                        "kind": d.kind,
+                    }
+                    for d in self.indexes.definitions()
+                ],
+            }
+            tmp = self._meta_path() + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(meta, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._meta_path())
+            self._wal.truncate()
 
     def close(self) -> None:
         """Abort any active transaction, checkpoint, and release files."""
@@ -873,6 +1157,122 @@ class Database:
     def temporary(cls, **kwargs: Any) -> "Database":
         """A database in a fresh temp directory (caller cleans up)."""
         return cls(tempfile.mkdtemp(prefix="repro-oodb-"), **kwargs)
+
+
+class _SnapshotResolver:
+    """Serializer resolver that routes ``$ref`` decoding through a snapshot.
+
+    Snapshot copies are detached, so a reference inside one must resolve
+    to another *snapshot* copy — never to a live cached object that a
+    concurrent writer may be mutating.
+    """
+
+    __slots__ = ("_snapshot",)
+
+    def __init__(self, snapshot: "Snapshot") -> None:
+        self._snapshot = snapshot
+
+    def resolve_reference(self, oid: Oid) -> Persistent:
+        return self._snapshot.fetch(oid)
+
+    def reference_for(self, obj: Any) -> Oid | None:
+        # Snapshots never encode, but the resolver protocol requires it.
+        if isinstance(obj, Persistent):
+            return obj._p_oid
+        return None
+
+    def class_for_name(self, name: str) -> type:
+        return self._snapshot._db.class_for_name(name)
+
+
+class Snapshot:
+    """A frozen, read-only view of the database at one commit watermark.
+
+    Created by :meth:`Database.snapshot` / :meth:`Database.begin_snapshot`.
+    Reads are **lock-free**: each OID resolves through the version store
+    first (``commit_ts > ts`` → that commit's pre-image wins), falling
+    through to the current stored record, with a resolve/read/resolve
+    double-check so a heap read racing a commit's apply step can never
+    surface torn state.
+
+    Fetched objects are detached copies: ``_p_db is None``, attribute
+    writes touch only the copy, ``_p_after_load`` transient re-wiring is
+    skipped, and references decode to further snapshot copies.  The copy
+    cache keeps identity *within* this snapshot (cycles resolve).
+
+    Known read anomalies, accepted by design: extent membership used for
+    query candidate collection is read at query time (read-committed),
+    so an object created after the snapshot began appears in the
+    candidate set but resolves to "did not exist" and is skipped.
+    """
+
+    __slots__ = ("_db", "ts", "_cache", "_serializer", "_closed")
+
+    def __init__(self, db: Database, ts: int) -> None:
+        self._db = db
+        #: The commit-timestamp watermark this snapshot reads at.
+        self.ts = ts
+        self._cache: dict[Oid, Persistent] = {}
+        self._serializer = Serializer(_SnapshotResolver(self))
+        self._closed = False
+
+    def record(self, oid: Oid) -> dict[str, Any] | None:
+        """The committed record of ``oid`` at this snapshot (or ``None``).
+
+        The server front end serializes straight from this, skipping
+        object materialization.
+        """
+        db = self._db
+        hit, pre = db.versions.resolve(oid, self.ts)
+        if hit:
+            return pre
+        try:
+            stored = db._stored_record(oid)
+        except OODBError:
+            # The lock-free heap read raced a commit moving the record;
+            # publish-before-apply guarantees the pre-image is visible now.
+            hit, pre = db.versions.resolve(oid, self.ts)
+            if hit:
+                return pre
+            raise
+        hit, pre = db.versions.resolve(oid, self.ts)
+        if hit:
+            # A commit overwrote the object mid-read; its pre-image is
+            # the state as of this snapshot.
+            return pre
+        return stored
+
+    def fetch(self, oid: Oid) -> Persistent:
+        """A detached copy of ``oid`` as of this snapshot."""
+        obj = self.fetch_or_none(oid)
+        if obj is None:
+            raise ObjectNotFound(oid)
+        return obj
+
+    def fetch_or_none(self, oid: Oid) -> Persistent | None:
+        """Like :meth:`fetch` but ``None`` when absent at this snapshot."""
+        if oid == NULL_OID:
+            return None
+        cached = self._cache.get(oid)
+        if cached is not None:
+            return cached
+        record = self.record(oid)
+        if record is None:
+            return None
+        cls = self._db.registry.get(record["class"])
+        obj: Persistent = cls.__new__(cls)
+        object.__setattr__(obj, "_p_oid", oid)
+        object.__setattr__(obj, "_p_db", None)
+        # Register before decoding so reference cycles resolve to this
+        # same copy.  ``_p_after_load`` is deliberately skipped: transient
+        # re-wiring expects a live database-bound object.
+        self._cache[oid] = obj
+        try:
+            self._serializer.decode_object(record, obj)
+        except BaseException:
+            self._cache.pop(oid, None)
+            raise
+        return obj
 
 
 def _plain_attrs(obj: Persistent) -> dict[str, Any]:

@@ -37,6 +37,13 @@ __all__ = [
 class OODBError(Exception):
     """Base class for all object-store errors."""
 
+    #: True for errors that abort a transaction through no fault of its
+    #: own (deadlock victim, lock timeout) — rerunning the same work in a
+    #: fresh transaction is expected to succeed.
+    #: :meth:`~repro.oodb.database.Database.run_transaction` retries on
+    #: exactly these.
+    retryable = False
+
 
 class StorageError(OODBError):
     """A failure in the on-disk storage layer."""
@@ -106,13 +113,19 @@ class TransactionNotActive(TransactionError):
 class LockError(OODBError):
     """Base class for lock-manager failures."""
 
+    retryable = True
+
 
 class LockTimeout(LockError):
     """A lock could not be acquired within the configured timeout."""
 
 
 class DeadlockDetected(LockError):
-    """The wait-for graph contains a cycle involving the requesting txn."""
+    """The wait-for graph contains a cycle involving the requesting txn.
+
+    A retryable abort: the requesting transaction was chosen as the
+    victim and holds no new locks; roll it back and rerun the work.
+    """
 
 
 class IndexError_(OODBError):

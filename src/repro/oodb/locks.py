@@ -10,6 +10,14 @@ Single-threaded callers never block, so the common path is cheap; the
 machinery exists so that the substrate honestly supports the paper's claim
 that rules and events are "subject to the same transaction semantics" as
 other objects even under concurrency.
+
+Edge hygiene: a waiter registers its outgoing wait-for edges only while it
+is actually blocked, and *always* unregisters them before ``acquire``
+raises — whether it lost a deadlock check, timed out, or the wait itself
+failed.  A phantom edge left behind by an aborted waiter would make later
+cycle checks see deadlocks that are not there; :meth:`waiting_edges`
+exposes the live graph so tests (and the doctor) can assert it drains to
+empty.
 """
 
 from __future__ import annotations
@@ -61,45 +69,61 @@ class LockManager:
         self._timeout = timeout
         self._mutex = threading.Lock()
         self._condition = threading.Condition(self._mutex)
-        self._locks: dict[Oid, _LockState] = defaultdict(_LockState)
+        self._locks: dict[Oid, _LockState] = {}
         self._held: dict[int, set[Oid]] = defaultdict(set)
-        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        self._waits_for: dict[int, set[int]] = {}
 
     # ------------------------------------------------------------------
     # Acquisition / release
     # ------------------------------------------------------------------
-    def acquire(self, txn_id: int, oid: Oid, mode: LockMode) -> None:
+    def acquire(
+        self, txn_id: int, oid: Oid, mode: LockMode, timeout: float | None = None
+    ) -> None:
         """Grant ``mode`` on ``oid`` to ``txn_id``, blocking if needed.
 
         Lock upgrades (shared → exclusive by the same transaction) are
-        supported and follow the same conflict rules.
+        supported and follow the same conflict rules.  ``timeout``
+        overrides the manager-wide timeout for this request.
+
+        Exits only in two states: the lock is held and ``txn_id`` has no
+        outgoing wait-for edges, or an exception propagates and ``txn_id``
+        has no outgoing wait-for edges.  The cleanup wraps the *whole*
+        wait loop, so no exit path — deadlock abort, timeout, or an
+        unexpected error mid-wait — can strand a phantom edge for later
+        cycle checks to trip over.
         """
-        deadline = threading.TIMEOUT_MAX if self._timeout is None else None
+        wait_budget = self._timeout if timeout is None else timeout
         with self._condition:
-            state = self._locks[oid]
+            state = self._locks.get(oid)
+            if state is None:
+                state = self._locks[oid] = _LockState()
             current = state.holders.get(txn_id)
             if current is LockMode.EXCLUSIVE or current is mode:
                 return
-            while not state.compatible(txn_id, mode):
-                blockers = state.conflicting_holders(txn_id, mode)
-                self._waits_for[txn_id] = blockers
-                try:
+            try:
+                while not state.compatible(txn_id, mode):
+                    blockers = state.conflicting_holders(txn_id, mode)
+                    self._waits_for[txn_id] = blockers
                     if self._would_deadlock(txn_id):
                         raise DeadlockDetected(
                             f"txn {txn_id} would deadlock waiting for "
                             f"{sorted(blockers)} on {oid}"
                         )
-                    if not self._condition.wait(timeout=self._timeout):
+                    if not self._condition.wait(timeout=wait_budget):
                         raise LockTimeout(
-                            f"txn {txn_id} timed out after {self._timeout}s "
+                            f"txn {txn_id} timed out after {wait_budget}s "
                             f"waiting for {mode.value} lock on {oid}"
                         )
-                finally:
-                    self._waits_for.pop(txn_id, None)
-                state = self._locks[oid]
+                    state = self._locks.get(oid)
+                    if state is None:
+                        state = self._locks[oid] = _LockState()
+            finally:
+                # Always drop this waiter's edges — on grant *and* on every
+                # raising path — so the graph only ever holds edges of
+                # transactions that are still blocked.
+                self._waits_for.pop(txn_id, None)
             state.holders[txn_id] = mode
             self._held[txn_id].add(oid)
-        del deadline
 
     def release_all(self, txn_id: int) -> None:
         """Release every lock held by ``txn_id`` (commit/abort time)."""
@@ -125,6 +149,22 @@ class LockManager:
     def held_by(self, txn_id: int) -> set[Oid]:
         with self._mutex:
             return set(self._held.get(txn_id, set()))
+
+    def waiting_edges(self) -> dict[int, set[int]]:
+        """A copy of the live wait-for graph (waiter → blockers).
+
+        Non-empty entries exist only while their waiter is actually
+        blocked inside :meth:`acquire`; after every grant, timeout, or
+        deadlock abort the waiter's entry is gone.  Tests use this to
+        assert no phantom edges survive an aborted wait.
+        """
+        with self._mutex:
+            return {t: set(b) for t, b in self._waits_for.items()}
+
+    def lock_table_size(self) -> int:
+        """Number of OIDs with at least one holder (leak detection)."""
+        with self._mutex:
+            return len(self._locks)
 
     # ------------------------------------------------------------------
     # Deadlock detection

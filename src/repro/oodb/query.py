@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import math
 import operator
+from contextlib import nullcontext
 from dataclasses import dataclass, fields
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
@@ -406,6 +407,15 @@ class Query:
 
     def _prepare(self) -> QueryPlan:
         db = self._db
+        if db.locking:
+            # Extent sets and index trees are shared with concurrent
+            # writers; plan estimates read them under the state lock.
+            with db._state_lock:
+                return self._prepare_unlocked()
+        return self._prepare_unlocked()
+
+    def _prepare_unlocked(self) -> QueryPlan:
+        db = self._db
         extent_size = db.extents.count(
             self._class_name, self._include_subclasses
         )
@@ -531,8 +541,8 @@ class Query:
 
     def _execute(self, plan: QueryPlan) -> Iterator["Persistent"]:
         self._note_execution(plan)
-        passes = self._residual_passes(plan)
-        candidates = self._candidate_oids(plan, self._wanted())
+        passes = self._effective_passes(plan)
+        candidates = self._collect_candidates(plan)
         if plan.sort_needed:
             assert plan.order is not None
             attribute, descending = plan.order
@@ -612,9 +622,9 @@ class Query:
         pins = metrics.counter("fetch_many_page_pins")
         pins0 = pins.value
 
-        passes = self._residual_passes(plan)
+        passes = self._effective_passes(plan)
         candidates = self._timed_oids(
-            self._candidate_oids(plan, self._wanted()), stats
+            iter(self._collect_candidates(plan)), stats
         )
         out: list["Persistent"] = []
         if plan.sort_needed:
@@ -681,6 +691,16 @@ class Query:
     ) -> Iterator["Persistent"]:
         """:meth:`_fetch_stream` with the fetch stage timed and counted."""
         db = self._db
+        snap = self._ambient_snapshot()
+        if snap is not None:
+            for oid in oids:
+                t0 = perf_counter()
+                obj = snap.fetch_or_none(oid)
+                stats.fetch_us += (perf_counter() - t0) * 1e6
+                if obj is not None:
+                    stats.fetched += 1
+                    yield obj
+            return
         batch: list[Oid] = []
         for oid in oids:
             batch.append(oid)
@@ -717,9 +737,58 @@ class Query:
 
         return passes
 
+    def _ambient_snapshot(self) -> "Any | None":
+        db = self._db
+        if db._snapshots_active:
+            return db._ambient_snapshot()
+        return None
+
+    def _shared_state(self) -> "Any":
+        """The database state lock when writers run concurrently, else a
+        no-op context — index-only terminals read trees under it."""
+        db = self._db
+        if db.locking:
+            return db._state_lock
+        return nullcontext()
+
+    def _effective_passes(self, plan: QueryPlan) -> Callable[[Any], bool]:
+        """The residual filter, plus index-filter re-checks under snapshots.
+
+        Index lookups match *current* committed values, but a snapshot
+        copy carries the values as of the snapshot watermark — so inside
+        ``with db.snapshot():`` every index-applied comparison is
+        re-applied against the fetched copy.
+        """
+        residual = self._residual_passes(plan)
+        if not plan.index_filters or self._ambient_snapshot() is None:
+            return residual
+        checks = [
+            (choice.attribute, _OPS[choice.op], choice.value)
+            for choice in plan.index_filters
+        ]
+
+        def passes(obj: Any) -> bool:
+            for attribute, compare, value in checks:
+                attr_value = getattr(obj, attribute, _MISSING)
+                if attr_value is _MISSING or not compare(attr_value, value):
+                    return False
+            return residual(obj)
+
+        return passes
+
     # ------------------------------------------------------------------
     # Candidate generation (index-aware)
     # ------------------------------------------------------------------
+    def _collect_candidates(self, plan: QueryPlan) -> Iterable[Oid]:
+        """Candidate OIDs; eagerly materialized under the state lock when
+        concurrent writers may mutate the extents and index trees the lazy
+        generators walk."""
+        db = self._db
+        if db.locking:
+            with db._state_lock:
+                return list(self._candidate_oids(plan, self._wanted()))
+        return self._candidate_oids(plan, self._wanted())
+
     def _candidate_oids(
         self, plan: QueryPlan, wanted: set[Oid]
     ) -> Iterator[Oid]:
@@ -816,6 +885,16 @@ class Query:
     def _fetch_stream(self, oids: Iterable[Oid]) -> Iterator["Persistent"]:
         """Materialize OIDs in clustered batches, preserving order."""
         db = self._db
+        snap = self._ambient_snapshot()
+        if snap is not None:
+            # Candidate membership is read-committed: an object created
+            # after the snapshot began shows up here but did not exist at
+            # the snapshot watermark — fetch_or_none skips it.
+            for oid in oids:
+                obj = snap.fetch_or_none(oid)
+                if obj is not None:
+                    yield obj
+            return
         batch: list[Oid] = []
         for oid in oids:
             batch.append(oid)
@@ -856,27 +935,33 @@ class Query:
         materializing a single object.
         """
         plan = self._prepare()
-        if plan.index_only:
+        # Inside a snapshot the index carries *current* values, so the
+        # shortcut would count the wrong world — fall through to the
+        # snapshot-consistent execution path (still lock-free).
+        if plan.index_only and self._ambient_snapshot() is None:
             self._note_execution(plan)
             metrics.counter("index_only_answers").inc()
-            if not plan.index_filters:
-                matched = plan.extent_size
-            elif len(plan.index_filters) == 1:
-                choice = plan.index_filters[0]
-                state = self._require_state(choice.attribute)
-                if self._index_covers_extent(state):
-                    # Exact count straight off the B-tree — no OID set,
-                    # no membership re-check.
-                    if choice.op == "==":
-                        matched = state.tree.count_key(choice.value)
+            with self._shared_state():
+                if not plan.index_filters:
+                    matched = plan.extent_size
+                elif len(plan.index_filters) == 1:
+                    choice = plan.index_filters[0]
+                    state = self._require_state(choice.attribute)
+                    if self._index_covers_extent(state):
+                        # Exact count straight off the B-tree — no OID set,
+                        # no membership re-check.
+                        if choice.op == "==":
+                            matched = state.tree.count_key(choice.value)
+                        else:
+                            matched = state.tree.count_range(*_bounds(choice))
                     else:
-                        matched = state.tree.count_range(*_bounds(choice))
+                        matched = len(
+                            self._index_candidate_set(plan, self._wanted())
+                        )
                 else:
                     matched = len(
                         self._index_candidate_set(plan, self._wanted())
                     )
-            else:
-                matched = len(self._index_candidate_set(plan, self._wanted()))
             return matched if plan.limit is None else min(matched, plan.limit)
         return sum(1 for _ in self._execute(plan))
 
@@ -885,25 +970,26 @@ class Query:
         plan = self._prepare()
         if plan.limit == 0:
             return False
-        if plan.index_only:
+        if plan.index_only and self._ambient_snapshot() is None:
             self._note_execution(plan)
             metrics.counter("index_only_answers").inc()
-            if not plan.index_filters:
-                return plan.extent_size > 0
-            if len(plan.index_filters) == 1:
-                choice = plan.index_filters[0]
-                state = self._require_state(choice.attribute)
-                if self._index_covers_extent(state):
-                    if choice.op == "==":
-                        return state.tree.count_key(choice.value) > 0
-                    for _oid in self._index_oids(choice):
-                        return True
-                    return False
-                wanted = self._wanted()
-                return any(
-                    oid in wanted for oid in self._index_oids(choice)
-                )
-            return bool(self._index_candidate_set(plan, self._wanted()))
+            with self._shared_state():
+                if not plan.index_filters:
+                    return plan.extent_size > 0
+                if len(plan.index_filters) == 1:
+                    choice = plan.index_filters[0]
+                    state = self._require_state(choice.attribute)
+                    if self._index_covers_extent(state):
+                        if choice.op == "==":
+                            return state.tree.count_key(choice.value) > 0
+                        for _oid in self._index_oids(choice):
+                            return True
+                        return False
+                    wanted = self._wanted()
+                    return any(
+                        oid in wanted for oid in self._index_oids(choice)
+                    )
+                return bool(self._index_candidate_set(plan, self._wanted()))
         for _obj in self._execute(plan):
             return True
         return False

@@ -17,12 +17,19 @@ On disk every record starts with a one-byte tag::
 
 The object store above this layer maps OIDs to record ids; the heap knows
 nothing about objects, only bytes.
+
+Concurrency: a re-entrant lock makes each record operation (insert,
+read, update, delete, one ``read_many`` batch, one ``scan`` page)
+atomic against the others — the free-space map, the overflow chains,
+and the page mutations all change together under it.  Lock order is
+heap lock → buffer-pool lock; the pool never calls back into the heap.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
@@ -80,6 +87,8 @@ class HeapFile:
         self._path = os.fspath(path)
         self._pool = pool
         self._page_count = 0
+        # Re-entrant: delete() reads the record it is about to drop.
+        self._lock = threading.RLock()
         self._free_map: dict[int, int] = {}
         # Last page an insert landed in.  Bulk loads fill one page at a
         # time, so checking it first turns the free-map scan into O(1) on
@@ -128,24 +137,26 @@ class HeapFile:
 
         Oversized payloads spill into an overflow chain transparently.
         """
-        if len(payload) <= _MAX_PLAIN:
-            return self._insert_raw(bytes([_TAG_PLAIN]) + payload)
-        return self._insert_overflow(payload)
+        with self._lock:
+            if len(payload) <= _MAX_PLAIN:
+                return self._insert_raw(bytes([_TAG_PLAIN]) + payload)
+            return self._insert_overflow(payload)
 
     def read(self, rid: RecordId) -> bytes:
         """Return the payload stored at ``rid`` (reassembling overflow)."""
-        raw = self._page_for(rid).read(rid.slot)
-        tag = raw[0]
-        if tag == _TAG_PLAIN:
-            return raw[1:]
-        if tag == _TAG_HEAD:
-            return b"".join(
-                self._page_for(part).read(part.slot)[1:]
-                for part in self._parse_head(raw)
+        with self._lock:
+            raw = self._page_for(rid).read(rid.slot)
+            tag = raw[0]
+            if tag == _TAG_PLAIN:
+                return raw[1:]
+            if tag == _TAG_HEAD:
+                return b"".join(
+                    self._page_for(part).read(part.slot)[1:]
+                    for part in self._parse_head(raw)
+                )
+            raise StorageError(
+                f"record id {rid} addresses an overflow part, not a record"
             )
-        raise StorageError(
-            f"record id {rid} addresses an overflow part, not a record"
-        )
 
     def update(self, rid: RecordId, payload: bytes) -> RecordId:
         """Replace the record at ``rid``.
@@ -154,29 +165,31 @@ class HeapFile:
         the old slot is deleted and a fresh :class:`RecordId` is returned.
         Callers must store the returned id.
         """
-        old_raw = self._page_for(rid).read(rid.slot)
-        if old_raw[0] == _TAG_HEAD:
-            self._free_parts(self._parse_head(old_raw))
-        elif old_raw[0] == _TAG_PART:
-            raise StorageError(f"record id {rid} addresses an overflow part")
+        with self._lock:
+            old_raw = self._page_for(rid).read(rid.slot)
+            if old_raw[0] == _TAG_HEAD:
+                self._free_parts(self._parse_head(old_raw))
+            elif old_raw[0] == _TAG_PART:
+                raise StorageError(f"record id {rid} addresses an overflow part")
 
-        if len(payload) <= _MAX_PLAIN:
-            new_raw = bytes([_TAG_PLAIN]) + payload
-        else:
-            parts = self._store_parts(payload)
-            new_raw = self._encode_head(parts)
-        return self._replace_raw(rid, new_raw)
+            if len(payload) <= _MAX_PLAIN:
+                new_raw = bytes([_TAG_PLAIN]) + payload
+            else:
+                parts = self._store_parts(payload)
+                new_raw = self._encode_head(parts)
+            return self._replace_raw(rid, new_raw)
 
     def delete(self, rid: RecordId) -> bytes:
         """Delete the record at ``rid``, returning its former payload."""
-        payload = self.read(rid)
-        raw = self._page_for(rid).read(rid.slot)
-        if raw[0] == _TAG_HEAD:
-            self._free_parts(self._parse_head(raw))
-        page = self._page_for(rid)
-        page.delete(rid.slot)
-        self._free_map[rid.page] = page.free_space
-        return payload
+        with self._lock:
+            payload = self.read(rid)
+            raw = self._page_for(rid).read(rid.slot)
+            if raw[0] == _TAG_HEAD:
+                self._free_parts(self._parse_head(raw))
+            page = self._page_for(rid)
+            page.delete(rid.slot)
+            self._free_map[rid.page] = page.free_space
+            return payload
 
     def read_many(self, rids: list[RecordId]) -> dict[RecordId, bytes]:
         """Read several records, pinning each page only once.
@@ -187,6 +200,10 @@ class HeapFile:
         page exactly once instead of once per record.  Returns a dict keyed
         by the requested record ids.
         """
+        with self._lock:
+            return self._read_many_locked(rids)
+
+    def _read_many_locked(self, rids: list[RecordId]) -> dict[RecordId, bytes]:
         by_page: dict[int, list[RecordId]] = {}
         for rid in rids:
             if not 0 <= rid.page < self._page_count:
@@ -232,15 +249,27 @@ class HeapFile:
         readahead, so a cold scan issues one I/O per run of pages rather
         than one per page.
         """
-        for page_id in range(self._page_count):
-            page = self._pool.get(self._path, page_id, readahead=_SCAN_READAHEAD)
-            for slot, raw in page.records():
-                tag = raw[0]
-                if tag == _TAG_PLAIN:
-                    yield RecordId(page_id, slot), raw[1:]
-                elif tag == _TAG_HEAD:
-                    rid = RecordId(page_id, slot)
-                    yield rid, self.read(rid)
+        page_id = 0
+        while True:
+            with self._lock:
+                if page_id >= self._page_count:
+                    return
+                page = self._pool.get(
+                    self._path, page_id, readahead=_SCAN_READAHEAD
+                )
+                rows = [
+                    (RecordId(page_id, slot), raw)
+                    for slot, raw in page.records()
+                    if raw[0] != _TAG_PART
+                ]
+                # Reassemble overflow heads while the lock protects the
+                # chain; plain payloads are yielded outside it.
+                resolved = [
+                    (rid, raw[1:] if raw[0] == _TAG_PLAIN else self.read(rid))
+                    for rid, raw in rows
+                ]
+            yield from resolved
+            page_id += 1
 
     def record_count(self) -> int:
         """Number of live logical records (full scan; tests and stats)."""

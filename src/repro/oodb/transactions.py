@@ -260,6 +260,9 @@ class TransactionManager:
     def __init__(self, db: "Database") -> None:
         self._db = db
         self._local = threading.local()
+        # Guards the plain-int statistics below; commits and rollbacks on
+        # worker threads bump them concurrently.
+        self._stats_lock = threading.Lock()
         #: statistics for benchmarks
         self.committed = 0
         self.aborted = 0
@@ -377,12 +380,14 @@ class TransactionManager:
             raise
         txn.status = TransactionStatus.COMMITTED
         self._finish(txn)
-        self.committed += 1
-        self.last_commit_size = txn.change_count()
-        self.objects_committed += self.last_commit_size
+        changes = txn.change_count()
+        with self._stats_lock:
+            self.committed += 1
+            self.last_commit_size = changes
+            self.objects_committed += changes
         if _flight.enabled:
             _flight.record(
-                "txn", "commit", txn.id, f"changes={self.last_commit_size}"
+                "txn", "commit", txn.id, f"changes={changes}"
             )
         if _slowlog.enabled:
             self._note_duration(txn, "committed")
@@ -428,7 +433,8 @@ class TransactionManager:
             txn._restoring = False
         txn.status = TransactionStatus.ABORTED
         self._finish(txn)
-        self.aborted += 1
+        with self._stats_lock:
+            self.aborted += 1
         if _slowlog.enabled:
             self._note_duration(txn, "aborted")
         self._notify_observers("abort", txn)

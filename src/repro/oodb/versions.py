@@ -1,0 +1,151 @@
+"""In-memory version store for MVCC snapshot reads.
+
+Snapshot isolation here is deliberately small: a **commit-timestamp
+watermark** on the database plus this store of **pre-images** for objects
+overwritten (or deleted, or created) since the oldest live snapshot
+began.  A snapshot reader remembers the watermark ``ts`` it started at;
+resolving an OID asks: *which committed state was current at ``ts``?*
+
+The chain for an OID holds ``(commit_ts, pre_image)`` entries in commit
+order, where ``pre_image`` is the record that the commit at ``commit_ts``
+**replaced** (``None`` when that commit *created* the object).  So the
+state at ``ts`` is the pre-image of the earliest commit after ``ts``:
+
+* the **first entry with** ``commit_ts > ts`` is a hit — its pre-image
+  (possibly ``None`` → the object did not exist at ``ts``);
+* no such entry → the current stored record is unchanged since ``ts``
+  and the reader falls through to the heap.
+
+The commit protocol in :meth:`Database._apply_commit` makes this safe
+without readers taking any lock on writers' data:
+
+1. the writer publishes pre-images for *every* OID it is about to touch,
+2. then applies its heap/extent/index mutations,
+3. then bumps the watermark — all under the database state lock.
+
+A lock-free reader double-checks: resolve → miss → read heap → resolve
+again.  If the heap read raced a commit's apply step, the second resolve
+is guaranteed to hit (publish preceded the apply), and the pre-image wins.
+
+The store is empty and **inactive** whenever no snapshot is registered —
+the commit path then pays one attribute check.  Entries older than the
+oldest live snapshot are pruned on unregister; everything is dropped when
+the last snapshot closes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .oid import Oid
+
+__all__ = ["VersionStore"]
+
+#: A version-chain entry: the commit that overwrote the object, and the
+#: record it replaced (``None`` = the commit created the object).
+_Entry = "tuple[int, dict[str, Any] | None]"
+
+
+class VersionStore:
+    """Pre-image chains for objects overwritten since a snapshot began."""
+
+    __slots__ = ("_lock", "_versions", "_readers", "active")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: dict[Oid, list[tuple[int, dict[str, Any] | None]]] = {}
+        #: Live snapshot timestamps → how many snapshots read at that ts.
+        self._readers: dict[int, int] = {}
+        #: Fast commit-path guard: True while any snapshot is registered.
+        #: Plain attribute read (no lock) — a writer that misses a
+        #: just-registered snapshot is impossible because registration and
+        #: publish both happen under the database state lock.
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # Snapshot lifecycle
+    # ------------------------------------------------------------------
+    def register(self, ts: int) -> None:
+        """A snapshot begins reading at watermark ``ts``."""
+        with self._lock:
+            self._readers[ts] = self._readers.get(ts, 0) + 1
+            self.active = True
+
+    def unregister(self, ts: int) -> None:
+        """A snapshot at ``ts`` closed; prune entries nobody can need."""
+        with self._lock:
+            count = self._readers.get(ts, 0)
+            if count <= 1:
+                self._readers.pop(ts, None)
+            else:
+                self._readers[ts] = count - 1
+            if not self._readers:
+                self._versions.clear()
+                self.active = False
+            else:
+                self._prune_locked()
+
+    def _prune_locked(self) -> None:
+        # An entry with commit_ts <= the oldest live snapshot ts can never
+        # satisfy ``commit_ts > ts`` for any live reader — drop it.
+        min_ts = min(self._readers)
+        dead: list[Oid] = []
+        for oid, chain in self._versions.items():
+            keep = [entry for entry in chain if entry[0] > min_ts]
+            if keep:
+                if len(keep) != len(chain):
+                    self._versions[oid] = keep
+            else:
+                dead.append(oid)
+        for oid in dead:
+            del self._versions[oid]
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def publish(
+        self, commit_ts: int, pre_images: dict[Oid, dict[str, Any] | None]
+    ) -> None:
+        """Record the states that the commit at ``commit_ts`` replaces.
+
+        Called under the database state lock *before* the commit touches
+        the heap, so a concurrent reader either resolves to the pre-image
+        or reads a heap the commit has not reached yet — never torn state.
+        """
+        with self._lock:
+            if not self._readers:
+                return
+            for oid, pre in pre_images.items():
+                self._versions.setdefault(oid, []).append((commit_ts, pre))
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def resolve(
+        self, oid: Oid, ts: int
+    ) -> tuple[bool, dict[str, Any] | None]:
+        """The committed state of ``oid`` as of watermark ``ts``.
+
+        Returns ``(True, record_or_None)`` when a commit after ``ts``
+        versioned the object (``None`` = it did not exist at ``ts``), or
+        ``(False, None)`` when the current stored record is the answer.
+        """
+        with self._lock:
+            chain = self._versions.get(oid)
+            if chain:
+                for commit_ts, pre in chain:
+                    if commit_ts > ts:
+                        return True, pre
+            return False, None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "versioned_oids": len(self._versions),
+                "entries": sum(len(c) for c in self._versions.values()),
+                "readers": sum(self._readers.values()),
+            }

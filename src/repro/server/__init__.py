@@ -1,0 +1,15 @@
+"""The rule-server front end: Sentinel as a network service.
+
+:class:`~repro.server.server.RuleServer` puts an HTTP/JSON surface in
+front of a :class:`~repro.core.system.Sentinel` — thread-per-connection
+reads on MVCC snapshots, writes as retried 2PL transactions, rules
+firing server-side.  :class:`~repro.server.client.RuleClient` is the
+matching stdlib client; ``python -m repro.tools.serve`` is the CLI.
+"""
+
+from __future__ import annotations
+
+from .client import RuleClient, ServerError
+from .server import RuleServer
+
+__all__ = ["RuleServer", "RuleClient", "ServerError"]

@@ -1,0 +1,153 @@
+"""A stdlib client for the rule server (:mod:`repro.server.server`).
+
+Thin and synchronous: one :class:`RuleClient` per server URL, one HTTP
+request per call, ``urllib`` underneath.  Error envelopes come back as
+:class:`ServerError` carrying the server's ``error`` kind and HTTP
+status, so callers can branch on ``conflict`` (write lost its deadlock
+retries — rerun it) versus ``not_found`` versus ``bad_request``::
+
+    client = RuleClient(server.url)
+    oid = client.create("Employee", name="fred", salary=50_000.0)
+    client.update(oid, salary=55_000.0)          # rules fire server-side
+    rows = client.query("Employee", where=[["salary", ">", 50_000]])
+
+Every payload-returning call gives the decoded JSON body (the ``ok``
+discriminator stripped of ceremony — helpers return the interesting
+field directly where there is one).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+__all__ = ["RuleClient", "ServerError"]
+
+
+class ServerError(Exception):
+    """The server answered with ``ok: false``."""
+
+    def __init__(self, status: int, error: str, detail: str) -> None:
+        super().__init__(f"{error} ({status}): {detail}")
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+    @property
+    def conflict(self) -> bool:
+        """True when a write exhausted its deadlock-retry budget."""
+        return self.status == 409
+
+
+class RuleClient:
+    """HTTP/JSON client for one :class:`~repro.server.server.RuleServer`."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = Request(
+            self.url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                raise ServerError(exc.code, "server_error", raw.strip())
+            raise ServerError(
+                exc.code,
+                str(payload.get("error", "server_error")),
+                str(payload.get("detail", raw.strip())),
+            )
+        if not isinstance(payload, dict):
+            raise ServerError(200, "server_error", f"bad payload: {payload!r}")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Reads (server-side MVCC snapshots)
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self._request("GET", "/ping")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def get(self, oid: int) -> dict[str, Any]:
+        """The committed record of ``oid``: ``{"oid", "class", "attrs"}``."""
+        payload = self._request("GET", f"/object?oid={int(oid)}")
+        record = payload["object"]
+        assert isinstance(record, dict)
+        return record
+
+    def query(
+        self,
+        class_name: str,
+        where: list[list[Any]] | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        body: dict[str, Any] = {"class": class_name}
+        if where is not None:
+            body["where"] = where
+        if limit is not None:
+            body["limit"] = limit
+        payload = self._request("POST", "/query", body)
+        objects = payload["objects"]
+        assert isinstance(objects, list)
+        return objects
+
+    def count(
+        self, class_name: str, where: list[list[Any]] | None = None
+    ) -> int:
+        body: dict[str, Any] = {"class": class_name}
+        if where is not None:
+            body["where"] = where
+        payload = self._request("POST", "/count", body)
+        return int(payload["count"])
+
+    # ------------------------------------------------------------------
+    # Writes (server-side transactions; rules fire over there)
+    # ------------------------------------------------------------------
+    def create(self, class_name: str, **args: Any) -> int:
+        payload = self._request(
+            "POST", "/create", {"class": class_name, "args": args}
+        )
+        return int(payload["oid"])
+
+    def update(self, oid: int, **changes: Any) -> None:
+        self._request("POST", "/update", {"oid": int(oid), "set": changes})
+
+    def invoke(
+        self, oid: int, method: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        payload = self._request(
+            "POST",
+            "/invoke",
+            {
+                "oid": int(oid),
+                "method": method,
+                "args": list(args),
+                "kwargs": kwargs,
+            },
+        )
+        return payload.get("result")
+
+    def delete(self, oid: int) -> None:
+        self._request("POST", "/delete", {"oid": int(oid)})

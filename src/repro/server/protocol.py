@@ -1,0 +1,126 @@
+"""The rule-server wire protocol: JSON over HTTP, stdlib only.
+
+Every response body is a JSON object with an ``ok`` discriminator::
+
+    {"ok": true,  ...payload...}
+    {"ok": false, "error": "<kind>", "detail": "<human message>"}
+
+``error`` kinds map onto HTTP status codes:
+
+==================  ====  ==============================================
+``bad_request``     400   malformed body, unknown class, bad operator
+``not_found``       404   no object with that OID (at the read snapshot)
+``conflict``        409   write aborted after exhausting deadlock retries
+``server_error``    500   anything else (the repr is the detail)
+==================  ====  ==============================================
+
+Requests with bodies are JSON objects too; :func:`read_json_body` and the
+``parse_*`` helpers validate them into typed values, raising
+:class:`ProtocolError` (which the handler renders) instead of letting a
+``KeyError`` surface as a 500.  Where-clause triples reuse the query
+layer's operator vocabulary (:data:`repro.oodb.query._OPS`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "ProtocolError",
+    "ok_payload",
+    "error_payload",
+    "read_json_body",
+    "parse_where",
+    "parse_oid",
+    "json_safe",
+    "WHERE_OPS",
+]
+
+#: Operators a ``where`` triple may use (the query layer's vocabulary).
+WHERE_OPS = frozenset(
+    ("==", "!=", "<", "<=", ">", ">=", "in", "contains")
+)
+
+
+class ProtocolError(Exception):
+    """A request the server understood enough to refuse politely."""
+
+    def __init__(self, status: int, error: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.error = error
+        self.detail = detail
+
+
+def ok_payload(**fields: Any) -> dict[str, Any]:
+    payload: dict[str, Any] = {"ok": True}
+    payload.update(fields)
+    return payload
+
+
+def error_payload(error: str, detail: str) -> dict[str, Any]:
+    return {"ok": False, "error": error, "detail": detail}
+
+
+def read_json_body(raw: bytes) -> dict[str, Any]:
+    """Decode a request body into a JSON object (400 on anything else)."""
+    if not raw:
+        return {}
+    try:
+        value = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(400, "bad_request", f"body is not JSON: {exc}")
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            400, "bad_request", "body must be a JSON object"
+        )
+    return value
+
+
+def parse_where(raw: Any) -> list[tuple[str, str, Any]]:
+    """Validate a ``where`` list of ``[attribute, op, value]`` triples."""
+    if raw is None:
+        return []
+    if not isinstance(raw, list):
+        raise ProtocolError(400, "bad_request", "'where' must be a list")
+    clauses: list[tuple[str, str, Any]] = []
+    for item in raw:
+        if not (isinstance(item, (list, tuple)) and len(item) == 3):
+            raise ProtocolError(
+                400,
+                "bad_request",
+                "each 'where' clause must be [attribute, op, value]",
+            )
+        attribute, op, value = item
+        if not isinstance(attribute, str) or not isinstance(op, str):
+            raise ProtocolError(
+                400, "bad_request", "'where' attribute and op must be strings"
+            )
+        if op not in WHERE_OPS:
+            raise ProtocolError(
+                400,
+                "bad_request",
+                f"unknown operator {op!r}; one of {sorted(WHERE_OPS)}",
+            )
+        clauses.append((attribute, op, value))
+    return clauses
+
+
+def parse_oid(body: dict[str, Any], key: str = "oid") -> int:
+    """Extract a positive integer OID from a request body."""
+    raw = body.get(key)
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+        raise ProtocolError(
+            400, "bad_request", f"{key!r} must be a positive integer"
+        )
+    return raw
+
+
+def json_safe(value: Any) -> Any:
+    """Best-effort JSON value: non-encodable results become ``repr``."""
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return repr(value)
+    return value

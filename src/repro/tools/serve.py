@@ -1,0 +1,110 @@
+"""Run a Sentinel rule server over a database directory.
+
+Usage::
+
+    python -m repro.tools.serve /var/lib/appdb --port 8642 \\
+        --import myapp.model --workers 4
+
+Opens the store with locking enabled (clients are concurrent by
+definition), wires a :class:`~repro.core.system.Sentinel` around it,
+optionally imports application modules first — that is how the server
+process learns the Persistent classes and the ECA rules that should fire
+on client writes — and serves until interrupted.
+
+``--workers N`` enables the decoupled-rule worker pool (0 disables it);
+``--metrics-port`` additionally starts the observability exporter
+(``/metrics``, ``/healthz``, ``/vars``) on its own port so the same
+process exposes both the data plane and the ops plane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.serve",
+        description="Serve a Sentinel active database over HTTP/JSON.",
+    )
+    parser.add_argument("path", help="database directory")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--import",
+        dest="imports",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import MODULE before serving (classes + rules); repeatable",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="decoupled-rule worker threads (0 disables the pool)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max outstanding decoupled jobs before inline fallback",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also start the observability exporter on this port",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="bind, print the URL, and exit (smoke-test mode)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    for name in args.imports:
+        importlib.import_module(name)
+
+    # Imports above may define class-level rules; create the system after
+    # them so it adopts those rules onto its scheduler.
+    from ..oodb.database import Database
+    from ..core.system import Sentinel
+    from ..server import RuleServer
+
+    db = Database(args.path, locking=True)
+    sentinel = Sentinel(db=db)
+    if args.workers > 0:
+        sentinel.enable_worker_pool(
+            max_workers=args.workers, queue_limit=args.queue_limit
+        )
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = sentinel.serve_metrics(host=args.host, port=args.metrics_port)
+    server = RuleServer(sentinel, host=args.host, port=args.port).start()
+    print(f"rule server listening on {server.url}", flush=True)
+    if exporter is not None:
+        print(f"metrics on {exporter.url}", flush=True)
+    if args.once:
+        server.stop()
+        sentinel.close()
+        return 0
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        sentinel.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

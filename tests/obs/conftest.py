@@ -38,7 +38,7 @@ def _reset_all() -> None:
     )
     engine_signals._sinks.clear()
     engine_signals.active = False
-    engine_signals._suppress = 0
+    engine_signals.reset_suppression()
     engine_signals.depth_threshold = 16
     engine_signals.fsync_slow_us = 10_000.0
 

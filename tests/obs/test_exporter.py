@@ -131,8 +131,8 @@ class TestHealthChecks:
         report = run_checks(build_checks(registry=MetricsRegistry()))
         assert report["status"] == "ok"
         assert set(report["checks"]) == {
-            "wal_writable", "error_rate", "scheduler_depth", "recovery_clean",
-            "windowed_error_rate",
+            "wal_writable", "error_rate", "scheduler_depth", "worker_pool",
+            "recovery_clean", "windowed_error_rate",
         }
 
     def test_error_rate_degrades(self):

@@ -150,3 +150,75 @@ class TestPipelineStatsRehoming:
         pipeline_stats.consumer_cache_hits += 9
         metrics.reset()
         assert pipeline_stats.consumer_cache_hits == 0
+
+
+class TestConcurrentBumps:
+    """The single-writer contract is retired: bumps from N threads must
+
+    not lose counts.  (Satellite of the concurrent-engine PR — these
+    exact interleavings are what the old contract declared undefined.)"""
+
+    def test_counter_concurrent_incs_lose_nothing(self):
+        import threading
+
+        counter = Counter("hammered")
+        n_threads, per_thread = 8, 5000
+        start = threading.Barrier(n_threads)
+
+        def bump():
+            start.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_histogram_concurrent_records_lose_nothing(self):
+        import threading
+
+        hist = Histogram("hammered_h", window=256)
+        n_threads, per_thread = 6, 2000
+        start = threading.Barrier(n_threads)
+
+        def bump(base):
+            start.wait()
+            for i in range(per_thread):
+                hist.record(float(base + i))
+
+        threads = [
+            threading.Thread(target=bump, args=(t * per_thread,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        summary = hist.summary()
+        assert summary["count"] == n_threads * per_thread
+        assert summary["min"] == 0.0
+        assert summary["max"] == float(n_threads * per_thread - 1)
+
+    def test_registry_get_or_create_race_yields_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        start = threading.Barrier(8)
+
+        def grab():
+            start.wait()
+            seen.append(registry.counter("contended"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+        for counter in set(seen):
+            counter.inc()
+        assert registry.counter("contended").value == 1

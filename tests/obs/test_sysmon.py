@@ -1,6 +1,8 @@
 """Self-monitoring: engine health signals as first-class ECA events."""
 
 import json
+import time
+import urllib.error
 import urllib.request
 
 import pytest
@@ -153,7 +155,7 @@ class TestReentrancyGuards:
         # own firing was suppressed — no recursion, one delivery.
         assert meta_fired == [1]
         assert monitor.fired == 1
-        assert engine_signals._suppress == 0
+        assert engine_signals.suppression_depth == 0
 
     def test_receive_is_not_reentrant(self, sentinel):
         monitor = sentinel.system_monitor()
@@ -275,3 +277,75 @@ class TestStandaloneAttach:
     def test_monitor_counts_serialize(self):
         monitor = SystemMonitor()
         assert json.dumps(monitor._counts())  # plain ints, JSON-safe
+
+
+class TestWorkerPoolSaturation:
+    """Satellite e2e: pool breach -> sysmon signal -> ECA rule + /healthz."""
+
+    def test_breach_fires_eca_rule_and_degrades_healthz(self, tmp_path):
+        import threading
+
+        from repro.oodb import Database
+
+        db = Database(str(tmp_path / "db"), locking=True)
+        system = Sentinel(error_policy="isolate", adopt_class_rules=False, db=db)
+        with system:
+            pool = system.enable_worker_pool(max_workers=1, queue_limit=1)
+            monitor = system.system_monitor()
+            breaches = []
+            system.monitor(
+                [monitor],
+                on=(
+                    "end SystemMonitor::worker_pool_saturated"
+                    "(backlog, queue_limit, rule)"
+                ),
+                action=lambda ctx: breaches.append(ctx.occurrence.parameters()),
+                name="pool-guard",
+            )
+
+            gate = threading.Event()
+            blocker = system.create_rule(
+                "blocker", "end _Stock::audit()",
+                action=lambda ctx: gate.wait(10.0),
+                coupling="decoupled",
+            )
+            stock = _Stock()
+            stock.subscribe(blocker)
+
+            try:
+                with db.transaction():
+                    stock.audit()   # occupies the single pool slot
+                deadline = time.time() + 5.0
+                while pool.backlog() < 1 and time.time() < deadline:
+                    time.sleep(0.01)
+                assert pool.backlog() == 1
+
+                # /healthz flags the saturated pool while the slot is held.
+                server = system.serve_metrics()
+                try:
+                    urllib.request.urlopen(server.url + "/healthz")
+                    raise AssertionError("expected 503 while saturated")
+                except urllib.error.HTTPError as err:
+                    body = json.load(err)
+                    assert err.code == 503
+                assert body["status"] == "degraded"
+                assert not body["checks"]["worker_pool"]["ok"]
+                assert "backlog 1/1" in body["checks"]["worker_pool"]["detail"]
+
+                # A second decoupled firing cannot get a slot: the engine
+                # emits worker_pool_saturated and the ECA rule sees it.
+                with db.transaction():
+                    stock.audit()
+                assert monitor.pool_saturations == 1
+                assert len(breaches) == 1
+                assert breaches[0]["rule"] == "blocker"
+                assert breaches[0]["queue_limit"] == 1
+            finally:
+                gate.set()
+            assert system.drain_decoupled(timeout=10.0) is True
+
+            # Healthy again once the backlog drains.
+            response = urllib.request.urlopen(server.url + "/healthz")
+            report = json.load(response)
+            assert report["checks"]["worker_pool"]["ok"]
+        system.close()

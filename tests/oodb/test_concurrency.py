@@ -1,0 +1,311 @@
+"""Real-thread concurrency: 2PL writers, MVCC readers, deadlock recovery.
+
+Everything here runs actual ``threading.Thread`` workers against one
+``Database(locking=True)`` — the single-threaded lock-manager tests live
+in ``test_locks.py``.  Covered:
+
+* wait-for-graph hygiene when waiters abort (deadlock victim, timeout)
+  across three real threads — a phantom edge left behind would make
+  later cycle checks hallucinate deadlocks;
+* deadlock-retry convergence: writers updating the same object pair in
+  opposite orders must all commit within the retry budget and lose no
+  increments;
+* MVCC snapshot isolation: a snapshot pinned before a write keeps
+  serving the old attribute values, lock-free, while writers commit;
+* a short mixed-workload stress under a ``faulthandler`` watchdog
+  (``REPRO_STRESS_SECONDS`` stretches it for the CI concurrency job).
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+import threading
+import time
+
+import pytest
+
+from repro.oodb import Database, Persistent
+from repro.oodb.errors import DeadlockDetected, LockTimeout
+from repro.oodb.locks import LockManager, LockMode
+from repro.oodb.oid import Oid
+from repro.oodb.schema import ClassRegistry
+
+
+@pytest.fixture
+def registry():
+    return ClassRegistry()
+
+
+@pytest.fixture
+def locked_db(tmp_path, registry):
+    db = Database(str(tmp_path / "db"), registry=registry, locking=True)
+    yield db
+    db.close()
+
+
+def _join_all(threads, timeout=30.0):
+    for t in threads:
+        t.join(timeout)
+    alive = [t.name for t in threads if t.is_alive()]
+    assert not alive, f"threads still running: {alive}"
+
+
+class TestWaitForGraphHygiene:
+    """Satellite: aborted waiters must not strand wait-for edges."""
+
+    def test_three_thread_deadlock_cycle_cleans_edges(self):
+        """A 3-cycle (t1→t2→t3→t1) aborts one victim; the graph drains."""
+        locks = LockManager(timeout=10.0)
+        oids = [Oid(1), Oid(2), Oid(3)]
+        locks.acquire(1, oids[0], LockMode.EXCLUSIVE)
+        locks.acquire(2, oids[1], LockMode.EXCLUSIVE)
+        locks.acquire(3, oids[2], LockMode.EXCLUSIVE)
+
+        holding = threading.Barrier(3)
+        outcomes: dict[int, str] = {}
+
+        def chase(txn_id: int, wanted: Oid) -> None:
+            holding.wait()
+            # Stagger so the wait-for edges build up one by one and the
+            # *last* requester is the one that closes the cycle.
+            time.sleep(0.05 * txn_id)
+            try:
+                locks.acquire(txn_id, wanted, LockMode.EXCLUSIVE)
+                outcomes[txn_id] = "granted"
+            except DeadlockDetected:
+                outcomes[txn_id] = "deadlock"
+            # Victim aborts, winners commit: both release their locks,
+            # which is what lets the remaining waiters unwind.
+            locks.release_all(txn_id)
+
+        threads = [
+            threading.Thread(target=chase, args=(1, oids[1]), name="t1"),
+            threading.Thread(target=chase, args=(2, oids[2]), name="t2"),
+            threading.Thread(target=chase, args=(3, oids[0]), name="t3"),
+        ]
+        for t in threads:
+            t.start()
+        # The victim releasing its locks unblocks the remaining waiters.
+        _join_all(threads)
+
+        assert sorted(outcomes.values()) == ["deadlock", "granted", "granted"]
+        assert locks.waiting_edges() == {}
+        assert locks.lock_table_size() == 0
+
+    def test_timed_out_waiter_leaves_no_phantom_edge(self):
+        """After a LockTimeout the ex-waiter's edge must be gone: a later
+
+        request by the old blocker toward the timed-out transaction would
+        otherwise see a cycle that does not exist."""
+        locks = LockManager(timeout=10.0)
+        a, b = Oid(10), Oid(11)
+        locks.acquire(1, a, LockMode.EXCLUSIVE)
+        locks.acquire(2, b, LockMode.EXCLUSIVE)
+
+        with pytest.raises(LockTimeout):
+            locks.acquire(2, a, LockMode.EXCLUSIVE, timeout=0.05)
+        assert locks.waiting_edges() == {}
+
+        # txn 1 now waits on txn 2's lock from a real thread.  With the
+        # phantom 2→1 edge this would be (mis)diagnosed as a deadlock.
+        result: list[str] = []
+
+        def blocked_then_granted() -> None:
+            try:
+                locks.acquire(1, b, LockMode.EXCLUSIVE, timeout=5.0)
+                result.append("granted")
+            except (DeadlockDetected, LockTimeout) as exc:
+                result.append(type(exc).__name__)
+
+        t = threading.Thread(target=blocked_then_granted)
+        t.start()
+        time.sleep(0.1)
+        locks.release_all(2)
+        _join_all([t])
+        assert result == ["granted"]
+        assert locks.waiting_edges() == {}
+
+
+class TestDeadlockRetryConvergence:
+    """Satellite: opposite-order writers converge within the retry budget."""
+
+    def test_opposite_order_writers_lose_no_updates(self, locked_db, registry):
+        class Pair(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.value = 0
+
+        db = locked_db
+        with db.transaction():
+            first = db.add(Pair())
+            second = db.add(Pair())
+
+        per_thread = 30
+        start = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def worker(order: tuple[Oid, Oid]) -> None:
+            try:
+                start.wait()
+                for _ in range(per_thread):
+                    def fn():
+                        for oid in order:
+                            db.fetch(oid).value += 1
+                    db.run_transaction(fn, attempts=25)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=((first, second),)),
+            threading.Thread(target=worker, args=((second, first),)),
+        ]
+        for t in threads:
+            t.start()
+        _join_all(threads)
+
+        assert errors == []
+        with db.snapshot() as snap:
+            assert snap.record(first)["attrs"]["value"] == 2 * per_thread
+            assert snap.record(second)["attrs"]["value"] == 2 * per_thread
+        assert db.locks.waiting_edges() == {}
+        assert db.locks.lock_table_size() == 0
+
+
+class TestSnapshotIsolation:
+    def test_pinned_snapshot_serves_pre_images_lock_free(
+        self, locked_db, registry
+    ):
+        class Doc(Persistent, registry=registry):
+            def __init__(self, rev: int = 0) -> None:
+                super().__init__()
+                self.rev = rev
+
+        db = locked_db
+        with db.transaction():
+            oids = [db.add(Doc(i)) for i in range(8)]
+
+        acquisitions = 0
+        inner = db.locks.acquire
+
+        def counting(*args, **kwargs):
+            nonlocal acquisitions
+            acquisitions += 1
+            return inner(*args, **kwargs)
+
+        snap = db.begin_snapshot()
+        try:
+            before = [snap.record(o)["attrs"]["rev"] for o in oids]
+            done = threading.Event()
+
+            def writer() -> None:
+                for round_no in range(1, 4):
+                    for oid in oids:
+                        def fn():
+                            db.fetch(oid).rev = 100 * round_no
+                        db.run_transaction(fn)
+                done.set()
+
+            t = threading.Thread(target=writer)
+            t.start()
+            db.locks.acquire = counting  # type: ignore[method-assign]
+            try:
+                while not done.is_set():
+                    for oid in oids:
+                        record = snap.record(oid)
+                        assert record["attrs"]["rev"] < 100
+            finally:
+                db.locks.acquire = inner  # type: ignore[method-assign]
+            _join_all([t])
+            after = [snap.record(o)["attrs"]["rev"] for o in oids]
+            assert after == before
+        finally:
+            db.end_snapshot(snap)
+
+        # Only the writer thread ever touched the lock manager.
+        # (The wrapper was installed after the writer started, so give
+        # the count meaning by re-reading under a fresh wrapper.)
+        acquisitions = 0
+        db.locks.acquire = counting  # type: ignore[method-assign]
+        try:
+            with db.snapshot() as fresh:
+                for oid in oids:
+                    assert fresh.record(oid)["attrs"]["rev"] == 300
+        finally:
+            db.locks.acquire = inner  # type: ignore[method-assign]
+        assert acquisitions == 0
+
+
+class TestMixedWorkloadStress:
+    def test_stress_mixed_clients(self, locked_db, registry):
+        """4 writer clients + 1 snapshot reader, watchdogged.
+
+        Quick by default; the CI concurrency job sets
+        ``REPRO_STRESS_SECONDS=10`` for the long soak.
+        """
+        class Cell(Persistent, registry=registry):
+            def __init__(self, n: int = 0) -> None:
+                super().__init__()
+                self.n = n
+                self.total = 0
+
+        db = locked_db
+        with db.transaction():
+            oids = [db.add(Cell(i)) for i in range(16)]
+
+        seconds = float(os.environ.get("REPRO_STRESS_SECONDS", "0.5"))
+        faulthandler.dump_traceback_later(max(60.0, seconds * 6))
+        try:
+            stop = threading.Event()
+            counts = [0] * 4
+            errors: list[BaseException] = []
+
+            def writer(tid: int) -> None:
+                part = oids[tid * 4:(tid + 1) * 4]
+                i = 0
+                try:
+                    while not stop.is_set():
+                        def fn():
+                            cell = db.fetch(part[i % 4])
+                            cell.total += 1
+                        db.run_transaction(fn, attempts=25)
+                        counts[tid] += 1
+                        i += 1
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+            def reader() -> None:
+                try:
+                    while not stop.is_set():
+                        with db.snapshot() as snap:
+                            seen = [
+                                snap.record(oid)["attrs"]["total"]
+                                for oid in oids
+                            ]
+                        assert all(v >= 0 for v in seen)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+            threads = [
+                threading.Thread(target=writer, args=(t,), name=f"w{t}")
+                for t in range(4)
+            ]
+            threads.append(threading.Thread(target=reader, name="r"))
+            for t in threads:
+                t.start()
+            time.sleep(seconds)
+            stop.set()
+            _join_all(threads)
+
+            assert errors == []
+            with db.snapshot() as snap:
+                persisted = sum(
+                    snap.record(oid)["attrs"]["total"] for oid in oids
+                )
+            assert persisted == sum(counts)
+            assert db.locks.waiting_edges() == {}
+            assert db.locks.lock_table_size() == 0
+        finally:
+            faulthandler.cancel_dump_traceback_later()

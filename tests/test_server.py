@@ -1,0 +1,177 @@
+"""The rule-server front end: HTTP round trips, errors, server-side rules.
+
+A real ``RuleServer`` on an ephemeral port, a real ``RuleClient`` over
+HTTP — no mocked sockets.  Covers the JSON protocol surface (create /
+get / update / query / count / invoke / delete / ping / stats), the
+error mapping (404 / 400 / 409), class-level ECA rules firing on the
+serving thread for client-caused events, and concurrent clients writing
+through one server.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import Sentinel, class_rule, event_method
+from repro.core.reactive import Reactive
+from repro.oodb import Database
+from repro.oodb.schema import ClassRegistry
+from repro.server import RuleClient, RuleServer, ServerError
+
+registry = ClassRegistry()
+RESTOCKS: list = []
+
+
+class Item(Reactive, registry=registry):
+    __rules__ = [
+        class_rule(
+            "restock-log",
+            on="end restock(int amount)",
+            action=lambda ctx: RESTOCKS.append(ctx.param("amount")),
+        ),
+    ]
+
+    def __init__(self, name: str = "", qty: int = 0) -> None:
+        super().__init__()
+        self.name = name
+        self.qty = qty
+
+    @event_method
+    def restock(self, amount: int = 1) -> int:
+        self.qty += amount
+        return self.qty
+
+    def _secret(self) -> str:  # pragma: no cover - must not be callable
+        return "hidden"
+
+
+@pytest.fixture
+def served(tmp_path):
+    RESTOCKS.clear()
+    db = Database(str(tmp_path / "db"), registry=registry, locking=True)
+    system = Sentinel(db=db, adopt_class_rules=False)
+    with system:
+        with RuleServer(system) as server:
+            yield system, RuleClient(server.url)
+    system.close()
+
+
+class TestRoundTrip:
+    def test_ping_reports_classes(self, served):
+        _system, client = served
+        pong = client.ping()
+        assert pong["ok"] is True
+        assert "Item" in pong["classes"]
+
+    def test_create_get_update_delete(self, served):
+        _system, client = served
+        oid = client.create("Item", name="widget", qty=3)
+        assert isinstance(oid, int)
+
+        record = client.get(oid)
+        assert record["class"] == "Item"
+        assert record["attrs"]["name"] == "widget"
+        assert record["attrs"]["qty"] == 3
+
+        client.update(oid, qty=10)
+        assert client.get(oid)["attrs"]["qty"] == 10
+
+        client.delete(oid)
+        with pytest.raises(ServerError) as err:
+            client.get(oid)
+        assert err.value.status == 404
+
+    def test_query_and_count(self, served):
+        _system, client = served
+        for i in range(6):
+            client.create("Item", name=f"item-{i}", qty=i)
+        assert client.count("Item") == 6
+        assert client.count("Item", where=[["qty", ">=", 3]]) == 3
+        rows = client.query("Item", where=[["qty", "<", 2]])
+        assert sorted(r["attrs"]["qty"] for r in rows) == [0, 1]
+        limited = client.query("Item", limit=2)
+        assert len(limited) == 2
+
+    def test_invoke_returns_value_and_fires_rule(self, served):
+        _system, client = served
+        oid = client.create("Item", name="widget", qty=1)
+        result = client.invoke(oid, "restock", 5)
+        assert result == 6
+        assert client.get(oid)["attrs"]["qty"] == 6
+        # The class-level ECA rule ran server-side for a client event.
+        assert RESTOCKS == [5]
+
+    def test_stats_surface(self, served):
+        _system, client = served
+        client.create("Item", name="x")
+        stats = client.stats()
+        assert stats["requests"] >= 1
+        assert "triggered" in stats["scheduler"]
+        assert stats["worker_pool"] is None
+
+
+class TestErrorMapping:
+    def test_unknown_class_is_400(self, served):
+        _system, client = served
+        with pytest.raises(ServerError) as err:
+            client.create("Ghost")
+        assert err.value.status == 400
+
+    def test_unknown_oid_is_404(self, served):
+        _system, client = served
+        with pytest.raises(ServerError) as err:
+            client.get(999_999)
+        assert err.value.status == 404
+
+    def test_private_attr_and_method_are_400(self, served):
+        _system, client = served
+        oid = client.create("Item", name="widget")
+        with pytest.raises(ServerError) as err:
+            client.update(oid, _p_oid=1)
+        assert err.value.status == 400
+        with pytest.raises(ServerError) as err:
+            client.invoke(oid, "_secret")
+        assert err.value.status == 400
+
+    def test_bad_where_op_is_400(self, served):
+        _system, client = served
+        with pytest.raises(ServerError) as err:
+            client.query("Item", where=[["qty", "~=", 1]])
+        assert err.value.status == 400
+
+    def test_bad_constructor_args_are_400(self, served):
+        _system, client = served
+        with pytest.raises(ServerError) as err:
+            client.create("Item", bogus_kwarg=1)
+        assert err.value.status == 400
+
+
+class TestConcurrentClients:
+    def test_parallel_writers_through_one_server(self, served):
+        _system, client = served
+        oids = [client.create("Item", name=f"c{i}", qty=0) for i in range(4)]
+        per_client = 12
+        errors: list[BaseException] = []
+
+        def hammer(idx: int) -> None:
+            own = RuleClient(client.url)
+            try:
+                for _ in range(per_client):
+                    own.invoke(oids[idx], "restock", 1)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        for oid in oids:
+            assert client.get(oid)["attrs"]["qty"] == per_client
+        assert len(RESTOCKS) == 4 * per_client
