@@ -27,9 +27,20 @@ from __future__ import annotations
 from typing import Any
 
 from .checks import run_checks
-from .effects import CallableEffects, MethodCall, extract_effects
+from .concurrency import run_concurrency_checks, static_order_edges
+from .effects import (
+    AttributeWrite,
+    CallableEffects,
+    MethodCall,
+    extract_effects,
+)
 from .graph import Edge, RaiseSite, RuleNode, TriggeringGraph, build_graph
-from .report import FINDING_CODES, AnalysisReport, Finding, sort_findings
+from .report import (
+    FINDING_CODES,
+    AnalysisReport,
+    Finding,
+    sort_findings,
+)
 
 __all__ = [
     "analyze",
@@ -43,21 +54,33 @@ __all__ = [
     "Edge",
     "build_graph",
     "run_checks",
+    "run_concurrency_checks",
+    "static_order_edges",
+    "AttributeWrite",
     "CallableEffects",
     "MethodCall",
     "extract_effects",
 ]
 
 
-def analyze(system: Any, registry: Any = None) -> AnalysisReport:
+def analyze(
+    system: Any, registry: Any = None, concurrency: bool = False
+) -> AnalysisReport:
     """Statically analyze a system's rule base.
 
     ``system`` is a :class:`~repro.core.system.Sentinel`, any object with
     an iterable ``rules`` attribute, or a plain iterable of rules.
-    ``registry`` defaults to the process-wide class registry.  Returns an
-    :class:`AnalysisReport` with the triggering graph and ordered
-    findings; no rule fires and nothing is mutated.
+    ``registry`` defaults to the process-wide class registry.  With
+    ``concurrency=True`` the SA1xx concurrency-hazard family (lost
+    update, lock-order inversion, write-skew, blocking calls under 2PL
+    locks, non-thread-safe APIs from worker threads) runs as well.
+    Returns an :class:`AnalysisReport` with the triggering graph and
+    ordered findings; no rule fires and nothing is mutated.
     """
     graph = build_graph(system, registry)
     findings = run_checks(graph, registry)
+    if concurrency:
+        findings = sort_findings(
+            findings + run_concurrency_checks(graph, registry)
+        )
     return AnalysisReport(findings=findings, graph=graph)

@@ -1,0 +1,471 @@
+"""Concurrency hazard analyses (SA1xx) over the triggering graph.
+
+PR 9 made the engine multi-threaded: strict-2PL writers, MVCC snapshot
+reads, and decoupled rules on a worker pool.  The SA0xx analyses reason
+about a single-threaded world; this module layers the *execution model*
+on top of the same effects/graph machinery:
+
+* **immediate/deferred** rules run inline, inside the triggering
+  transaction — they execute while that transaction's 2PL locks are
+  held, and their writes are serialized by those locks;
+* **decoupled** rules run post-commit in their *own* transaction on a
+  :class:`~repro.core.workers.RuleWorkerPool` thread — two decoupled
+  rules triggered by the same commit genuinely race, and priority does
+  not order them (the pool is a FIFO over independent workers).
+
+The checks:
+
+* **SA100 lost update** — two enabled decoupled rules share a trigger
+  and write the same source attribute.  This is SA002's non-confluence
+  upgraded to a true race: under the pool both actions run in concurrent
+  transactions, and a read-modify-write on each side means one update
+  can be computed from a stale read and silently overwrite the other.
+* **SA101 lock-order inversion** — per rule, the *ordered* sequence of
+  object families its condition+action touch (ordered attribute writes
+  plus typed method calls, by statement line); two rules that order two
+  families oppositely are a deadlock-retry hotspot under 2PL.  The same
+  edge relation is exported via :func:`static_order_edges` so the
+  runtime lockdep sanitizer's observed graph can be cross-validated
+  against it (``tools.analyze --lockdep-graph``).
+* **SA102 write-skew** — rule A's condition reads attribute X and its
+  action writes Y while rule B guards on Y and writes X, with disjoint
+  write sets.  Under MVCC snapshot reads both guards can pass on the
+  same snapshot and both writes commit — the classic write-skew anomaly
+  2PL-with-snapshot-reads does not exclude.
+* **SA103 blocking call under locks** — an immediate/deferred rule calls
+  ``time.sleep``, an HTTP/socket/subprocess API, or ``RuleClient``
+  while the triggering transaction holds its 2PL locks, stretching every
+  lock's hold time (and, for a ``RuleClient`` call back into the same
+  server, risking self-deadlock — that one is an error).
+* **SA104 non-thread-safe API** — a decoupled action (worker thread)
+  calls an engine API documented single-threaded (``Sentinel`` rule-base
+  mutation, ``Rule.update``).
+
+Everything here is pure inspection, like the rest of the package: no
+rule fires, nothing is mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.coupling import Coupling
+from .checks import _common_trigger, _family_lower
+from .effects import SOURCE_RECEIVER, UNKNOWN_RECEIVER, CallableEffects
+from .graph import RuleNode, TriggeringGraph, _registry_name, _source_classes
+from .report import Finding, sort_findings
+
+__all__ = [
+    "run_concurrency_checks",
+    "static_order_edges",
+    "BLOCKING_APIS",
+    "NON_THREAD_SAFE_APIS",
+]
+
+#: Dotted-prefix → reason for SA103.  A recorded external call matches
+#: when its ``receiver.method`` name starts with the prefix.
+BLOCKING_APIS: dict[str, str] = {
+    "time.sleep": "sleeps while holding locks",
+    "socket.": "raw network I/O",
+    "urllib.": "HTTP round-trip",
+    "http.": "HTTP round-trip",
+    "requests.": "HTTP round-trip",
+    "subprocess.": "spawns a process",
+    "smtplib.": "SMTP round-trip",
+    "ftplib.": "FTP round-trip",
+    "RuleClient.": "re-entrant HTTP call back into the rule server",
+}
+
+#: Class → methods that mutate shared engine state without locking and
+#: are documented single-threaded (SA104 when called from a decoupled,
+#: i.e. worker-thread, action).
+NON_THREAD_SAFE_APIS: dict[str, frozenset[str]] = {
+    "Sentinel": frozenset(
+        {
+            "create_rule",
+            "create_event",
+            "rule_from_spec",
+            "load_rules",
+            "adopt_class_rules",
+            "monitor",
+            "enable_worker_pool",
+            "disable_worker_pool",
+            "enable_telemetry",
+            "enable_audit",
+            "enable_slow_log",
+            "serve_metrics",
+            "system_monitor",
+            "close",
+        }
+    ),
+    "Rule": frozenset({"update"}),
+}
+
+
+def run_concurrency_checks(
+    graph: TriggeringGraph, registry: Any = None
+) -> list[Finding]:
+    """Run the SA1xx analyses; findings come back most-severe first."""
+    if registry is None:
+        from ..oodb.schema import global_registry
+
+        registry = global_registry
+    findings: list[Finding] = []
+    findings.extend(_check_lost_update(graph, registry))
+    findings.extend(_check_lock_order(graph, registry))
+    findings.extend(_check_write_skew(graph, registry))
+    findings.extend(_check_blocking_calls(graph))
+    findings.extend(_check_thread_safety(graph))
+    return sort_findings(findings)
+
+
+# ----------------------------------------------------------------------
+# Execution model
+# ----------------------------------------------------------------------
+
+def _runs_inline(node: RuleNode) -> bool:
+    """True when the rule executes inside the triggering transaction."""
+    return node.rule.coupling in (Coupling.IMMEDIATE, Coupling.DEFERRED)
+
+
+def _runs_decoupled(node: RuleNode) -> bool:
+    """True when the rule executes post-commit on a worker thread."""
+    return node.rule.coupling is Coupling.DECOUPLED
+
+
+def _enabled_pairs(
+    graph: TriggeringGraph,
+) -> list[tuple[RuleNode, RuleNode]]:
+    nodes = sorted(
+        (n for n in graph.nodes.values() if n.rule.enabled),
+        key=lambda n: n.name,
+    )
+    return [
+        (first, second)
+        for i, first in enumerate(nodes)
+        for second in nodes[i + 1:]
+    ]
+
+
+# ----------------------------------------------------------------------
+# SA100: lost update
+# ----------------------------------------------------------------------
+
+def _check_lost_update(
+    graph: TriggeringGraph, registry: Any
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for first, second in _enabled_pairs(graph):
+        if not (_runs_decoupled(first) and _runs_decoupled(second)):
+            continue
+        trigger = _common_trigger(first, second, registry)
+        if trigger is None:
+            continue
+        overlap = first.all_writes() & second.all_writes()
+        if not overlap:
+            continue
+        stale_rmw = sorted(
+            attr
+            for attr in overlap
+            if attr in first.all_reads() and attr in second.all_reads()
+        )
+        detail = (
+            f" (both read-modify-write {', '.join(stale_rmw)}: each side "
+            "can compute from a stale read)"
+            if stale_rmw
+            else ""
+        )
+        priority_note = (
+            "equal priority does not serialize them"
+            if first.rule.priority == second.rule.priority
+            else "priority does not order decoupled executions"
+        )
+        findings.append(
+            Finding(
+                code="SA100",
+                severity="warning",
+                message=(
+                    f"potential lost update: decoupled rules "
+                    f"{first.name!r} and {second.name!r} both trigger on "
+                    f"{trigger} and write "
+                    f"{', '.join(sorted(overlap))} from concurrent "
+                    f"worker transactions; {priority_note}{detail}"
+                ),
+                rule=first.name,
+                file=first.action_effects.file,
+                line=first.action_effects.line,
+                witness=(first.name, second.name),
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SA101: lock-order inversion
+# ----------------------------------------------------------------------
+
+def _family_key(registry: Any, class_name: str) -> str:
+    """Canonical registry name for a class (the lock-class key)."""
+    resolved = _registry_name(registry, class_name)
+    return resolved if resolved is not None else class_name
+
+
+def _ordered_families(
+    node: RuleNode, registry: Any
+) -> list[tuple[str, int, str]]:
+    """Families the rule touches, first-occurrence order.
+
+    Each entry is ``(family, line, label)``; the sequence is condition
+    touches first (conditions run before actions), then action touches,
+    each sorted by statement line.  ``"source"`` receivers expand to the
+    rule's source classes.
+    """
+    source_keys = sorted(
+        _family_key(registry, name)
+        for name in _source_classes(node.signatures, registry)
+    )
+
+    def touches(effects: CallableEffects) -> list[tuple[int, str, str]]:
+        raw: list[tuple[int, str, str]] = []
+        for write in effects.attr_writes:
+            keys = (
+                source_keys
+                if write.receiver == SOURCE_RECEIVER
+                else [_family_key(registry, write.receiver)]
+            )
+            for key in keys:
+                raw.append(
+                    (write.line or 0, key, f"{write.receiver}.{write.attr}")
+                )
+        for call in effects.calls:
+            if call.receiver in (UNKNOWN_RECEIVER, "Rule"):
+                continue
+            keys = (
+                source_keys
+                if call.receiver == SOURCE_RECEIVER
+                else [_family_key(registry, call.receiver)]
+            )
+            for key in keys:
+                raw.append(
+                    (call.line or 0, key, f"{call.receiver}.{call.method}()")
+                )
+        raw.sort(key=lambda t: t[0])
+        return raw
+
+    ordered: list[tuple[str, int, str]] = []
+    seen: set[str] = set()
+    for line, key, label in (
+        touches(node.condition_effects) + touches(node.action_effects)
+    ):
+        lowered = key.lower()
+        if lowered in seen:
+            continue
+        seen.add(lowered)
+        ordered.append((key, line, label))
+    return ordered
+
+
+def static_order_edges(
+    graph: TriggeringGraph, registry: Any = None
+) -> set[tuple[str, str]]:
+    """The static lock-order relation: ``(X, Y)`` when some rule touches
+    family X before family Y.
+
+    Keys are canonical registry class names, matching the runtime
+    lockdep recorder's ``_p_class_name`` keys, so the observed runtime
+    graph can be compared edge-for-edge (case-insensitively) against
+    this set.
+    """
+    if registry is None:
+        from ..oodb.schema import global_registry
+
+        registry = global_registry
+    edges: set[tuple[str, str]] = set()
+    for node in graph.nodes.values():
+        if not node.rule.enabled:
+            continue
+        order = [entry[0] for entry in _ordered_families(node, registry)]
+        for i, earlier in enumerate(order):
+            for later in order[i + 1:]:
+                edges.add((earlier, later))
+    return edges
+
+
+def _check_lock_order(
+    graph: TriggeringGraph, registry: Any
+) -> list[Finding]:
+    findings: list[Finding] = []
+    orders = {
+        node.name: _ordered_families(node, registry)
+        for node in graph.nodes.values()
+        if node.rule.enabled
+    }
+    for first, second in _enabled_pairs(graph):
+        a_order = orders[first.name]
+        b_order = orders[second.name]
+        if len(a_order) < 2 or len(b_order) < 2:
+            continue
+        b_pos = {
+            fam.lower(): index for index, (fam, _, _) in enumerate(b_order)
+        }
+        witness: tuple[tuple[str, int, str], tuple[str, int, str]] | None
+        witness = None
+        for i, x in enumerate(a_order):
+            for y in a_order[i + 1:]:
+                xi = b_pos.get(x[0].lower())
+                yi = b_pos.get(y[0].lower())
+                if xi is not None and yi is not None and yi < xi:
+                    witness = (x, y)
+                    break
+            if witness:
+                break
+        if witness is None:
+            continue
+        x, y = witness
+        findings.append(
+            Finding(
+                code="SA101",
+                severity="warning",
+                message=(
+                    f"lock-order inversion: {first.name!r} touches "
+                    f"{x[0]} (line {x[1]}, {x[2]}) before {y[0]} "
+                    f"(line {y[1]}, {y[2]}) while {second.name!r} "
+                    f"touches them in the opposite order; opposite 2PL "
+                    "acquisition orders are a deadlock-retry hotspot"
+                ),
+                rule=first.name,
+                file=first.action_effects.file,
+                line=first.action_effects.line,
+                witness=(first.name, second.name, x[0], y[0]),
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SA102: write-skew
+# ----------------------------------------------------------------------
+
+def _check_write_skew(
+    graph: TriggeringGraph, registry: Any
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for first, second in _enabled_pairs(graph):
+        if first.all_writes() & second.all_writes():
+            continue  # overlapping writes are SA002/SA100 territory
+        a_guard = first.condition_effects.reads
+        b_guard = second.condition_effects.reads
+        a_writes = first.all_writes()
+        b_writes = second.all_writes()
+        xs = sorted(a_guard & b_writes)
+        ys = sorted(b_guard & a_writes)
+        pair = next(
+            ((x, y) for x in xs for y in ys if x != y),
+            None,
+        )
+        if pair is None:
+            continue
+        x, y = pair
+        findings.append(
+            Finding(
+                code="SA102",
+                severity="warning",
+                message=(
+                    f"potential write-skew: {first.name!r} guards on "
+                    f"{x!r} and writes {y!r} while {second.name!r} "
+                    f"guards on {y!r} and writes {x!r}; under snapshot "
+                    "reads both guards can pass on the same snapshot "
+                    "and both writes commit"
+                ),
+                rule=first.name,
+                file=first.condition_effects.file,
+                line=first.condition_effects.line,
+                witness=(first.name, second.name, x, y),
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SA103: blocking call while holding 2PL locks
+# ----------------------------------------------------------------------
+
+def _blocking_reason(receiver: str, method: str) -> str | None:
+    dotted = f"{receiver}.{method}"
+    for prefix, reason in BLOCKING_APIS.items():
+        if dotted.startswith(prefix):
+            return reason
+    return None
+
+
+def _check_blocking_calls(graph: TriggeringGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in sorted(graph.nodes.values(), key=lambda n: n.name):
+        if not node.rule.enabled or not _runs_inline(node):
+            continue
+        coupling = node.rule.coupling.value
+        for role, effects in (
+            ("condition", node.condition_effects),
+            ("action", node.action_effects),
+        ):
+            for call in effects.ext_calls:
+                reason = _blocking_reason(call.receiver, call.method)
+                if reason is None:
+                    continue
+                reentrant = call.receiver.startswith("RuleClient")
+                findings.append(
+                    Finding(
+                        code="SA103",
+                        severity="error" if reentrant else "warning",
+                        message=(
+                            f"blocking call "
+                            f"{call.receiver}.{call.method}() in the "
+                            f"{role} of {coupling} rule {node.name!r}: "
+                            f"{reason} while the triggering transaction "
+                            "holds its 2PL locks"
+                        ),
+                        rule=node.name,
+                        file=effects.file,
+                        line=call.line,
+                        witness=(node.name, f"{call.receiver}.{call.method}"),
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SA104: non-thread-safe API from a decoupled action
+# ----------------------------------------------------------------------
+
+def _check_thread_safety(graph: TriggeringGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in sorted(graph.nodes.values(), key=lambda n: n.name):
+        if not node.rule.enabled or not _runs_decoupled(node):
+            continue
+        for role, effects in (
+            ("condition", node.condition_effects),
+            ("action", node.action_effects),
+        ):
+            for call in effects.ext_calls + effects.calls:
+                unsafe = NON_THREAD_SAFE_APIS.get(call.receiver)
+                if unsafe is None or call.method not in unsafe:
+                    continue
+                findings.append(
+                    Finding(
+                        code="SA104",
+                        severity="warning",
+                        message=(
+                            f"non-thread-safe API: decoupled rule "
+                            f"{node.name!r} calls "
+                            f"{call.receiver}.{call.method}() from its "
+                            f"{role} on a worker thread; "
+                            f"{call.receiver} mutation APIs are "
+                            "documented single-threaded"
+                        ),
+                        rule=node.name,
+                        file=effects.file,
+                        line=call.line,
+                        witness=(node.name, f"{call.receiver}.{call.method}"),
+                    )
+                )
+    return findings

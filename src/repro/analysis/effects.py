@@ -10,8 +10,11 @@ Extraction is by ``ast`` inspection of the callable's source:
 
 * plain functions and lambdas — the defining module is re-parsed and the
   matching ``FunctionDef``/``Lambda`` node located by its compiled first
-  line number (several lambdas on one line are *unioned*, which is
-  conservative but sound);
+  line number.  Several lambdas on one line are told apart by column:
+  the code object's instruction positions (``co_positions``, 3.11+) must
+  all fall inside the candidate node's column span.  When no unique
+  candidate survives (or the interpreter has no column data) the
+  same-line candidates are *unioned*, which is conservative but sound;
 * DSL conditions/actions (:class:`~repro.core.dsl.CompiledCondition` /
   :class:`~repro.core.dsl.CompiledAction`) — their stored source text is
   parsed directly, with the DSL environment names (``ctx``, ``self``,
@@ -41,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
+    "AttributeWrite",
     "CallableEffects",
     "MethodCall",
     "extract_effects",
@@ -75,6 +79,22 @@ class MethodCall:
     line: int | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class AttributeWrite:
+    """One attribute store/delete, in statement order.
+
+    ``receiver`` is ``"source"`` or a concrete reactive class name —
+    untyped receivers are not recorded (the unordered ``writes`` set
+    already covers the triggering source conservatively).  The ordered
+    list feeds the lock-order analysis (SA101), which needs to know
+    *which object family is touched first*.
+    """
+
+    receiver: str
+    attr: str
+    line: int | None = None
+
+
 @dataclass(slots=True)
 class CallableEffects:
     """What one condition/action callable may read, write, call and raise."""
@@ -82,6 +102,14 @@ class CallableEffects:
     reads: set[str] = field(default_factory=set)
     writes: set[str] = field(default_factory=set)
     calls: list[MethodCall] = field(default_factory=list)
+    #: Attribute stores in statement order (lock-order analysis input).
+    attr_writes: list[AttributeWrite] = field(default_factory=list)
+    #: Calls whose receiver resolved to something *outside* the reactive
+    #: world — a module (``time.sleep`` → receiver ``"time"``) or a
+    #: non-reactive class instance (``client.post`` on a ``RuleClient``
+    #: → receiver ``"RuleClient"``).  Consumed by the blocking-call and
+    #: thread-safety analyses (SA103/SA104).
+    ext_calls: list[MethodCall] = field(default_factory=list)
     #: Event names passed to ``raise_event``; ``"*"`` when dynamic.
     explicit_raises: set[str] = field(default_factory=set)
     #: Parameter names consulted via ``ctx.param("x")`` / ``ctx.params["x"]``.
@@ -101,6 +129,8 @@ class CallableEffects:
         self.reads |= other.reads
         self.writes |= other.writes
         self.calls.extend(other.calls)
+        self.attr_writes.extend(other.attr_writes)
+        self.ext_calls.extend(other.ext_calls)
         self.explicit_raises |= other.explicit_raises
         self.param_reads |= other.param_reads
         self.aborts = self.aborts or other.aborts
@@ -181,8 +211,10 @@ def _locate_nodes(fn: Any) -> tuple[list[ast.AST], str | None]:
 
     ``inspect.getsource`` fails on lambdas inside multi-line call
     expressions; parsing the whole module and matching on the compiled
-    first line number does not.  Several candidates on one line (two
-    lambdas in one call) are all returned — the caller unions them.
+    first line number does not.  Several lambda candidates on one line
+    (two lambdas in one call) are narrowed down by the code object's
+    instruction column positions; only when no unique candidate survives
+    are all of them returned for the caller to union.
     """
     code = fn.__code__
     try:
@@ -207,7 +239,54 @@ def _locate_nodes(fn: Any) -> tuple[list[ast.AST], str | None]:
             start_lines.update(d.lineno for d in node.decorator_list)
             if code.co_firstlineno in start_lines:
                 wanted.append(node)
+    if code.co_name == "<lambda>" and len(wanted) > 1:
+        narrowed = _disambiguate_lambdas(code, wanted)
+        if narrowed:
+            wanted = narrowed
     return wanted, code.co_filename
+
+
+def _disambiguate_lambdas(
+    code: Any, candidates: list[ast.AST]
+) -> list[ast.AST]:
+    """Pick the one same-line lambda whose column span covers the code.
+
+    ``co_positions`` (3.11+) yields a column range per instruction; every
+    meaningful position of the compiled lambda must fall inside the AST
+    node that produced it.  Zero-column positions are ignored — the
+    ``RESUME`` prelude reports column 0 even for a lambda that starts
+    mid-line.  Returns the unique surviving candidate, or ``[]`` when
+    the interpreter has no column data / the spans stay ambiguous (the
+    caller then keeps the conservative union).
+    """
+    positions = getattr(code, "co_positions", None)
+    if positions is None:  # pragma: no cover - Python < 3.11
+        return []
+    spots: set[tuple[int, int]] = set()
+    for lineno, _end_lineno, col, _end_col in positions():
+        if lineno is not None and col is not None and col > 0:
+            spots.add((lineno, col))
+    if not spots:
+        return []
+
+    def contains(node: Any, spot: tuple[int, int]) -> bool:
+        line, col = spot
+        end_lineno = getattr(node, "end_lineno", None) or node.lineno
+        end_col = getattr(node, "end_col_offset", None)
+        if line < node.lineno or line > end_lineno:
+            return False
+        if line == node.lineno and col < node.col_offset:
+            return False
+        if line == end_lineno and end_col is not None and col > end_col:
+            return False
+        return True
+
+    matches = [
+        node
+        for node in candidates
+        if all(contains(node, spot) for spot in spots)
+    ]
+    return matches if len(matches) == 1 else []
 
 
 def _ctx_param_names(node: ast.AST) -> set[str]:
@@ -361,13 +440,32 @@ class _EffectsVisitor(ast.NodeVisitor):
     # -- reads and writes -----------------------------------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if self._is_source(node.value):
-            if isinstance(node.ctx, ast.Store):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
                 self.effects.writes.add(node.attr)
-            elif isinstance(node.ctx, ast.Del):
-                self.effects.writes.add(node.attr)
+                self._record_attr_write(SOURCE_RECEIVER, node)
             else:
                 self.effects.reads.add(node.attr)
+        elif isinstance(node.ctx, (ast.Store, ast.Del)):
+            self._record_typed_attr_write(node)
         self.visit(node.value)
+
+    def _record_attr_write(self, receiver: str, node: ast.Attribute) -> None:
+        self.effects.attr_writes.append(
+            AttributeWrite(receiver=receiver, attr=node.attr, line=node.lineno)
+        )
+
+    def _record_typed_attr_write(self, node: ast.Attribute) -> None:
+        """Record ``obj.attr = ...`` when ``obj`` resolves to a reactive.
+
+        Only concrete class names are kept — untyped receivers would make
+        the ordered sequence meaninglessly noisy.
+        """
+        if not isinstance(node.value, ast.Name):
+            return
+        receiver = self._receiver_of(node.value)
+        if receiver in (None, SOURCE_RECEIVER, UNKNOWN_RECEIVER, "Rule"):
+            return
+        self._record_attr_write(receiver, node)
 
     def visit_Name(self, node: ast.Name) -> None:
         if isinstance(node.ctx, ast.Load):
@@ -393,6 +491,8 @@ class _EffectsVisitor(ast.NodeVisitor):
         if isinstance(target, ast.Attribute) and self._is_source(target.value):
             self.effects.reads.add(target.attr)
             self.effects.writes.add(target.attr)
+        # generic_visit reaches the target Attribute (Store ctx), which
+        # records the ordered attribute write exactly once.
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:
@@ -458,9 +558,50 @@ class _EffectsVisitor(ast.NodeVisitor):
             self.effects.calls.append(
                 MethodCall(method=method, receiver=receiver, line=node.lineno)
             )
+        if receiver in (None, UNKNOWN_RECEIVER):
+            self._record_external_call(method, receiver_expr, node.lineno)
         # The receiver expression itself may read attributes
         # (obj.child.m() reads `child`).
         self.visit(receiver_expr)
+
+    def _record_external_call(
+        self, method: str, receiver_expr: ast.AST, line: int
+    ) -> None:
+        """Record a call whose receiver lives outside the reactive world.
+
+        Walks a dotted receiver chain (``urllib.request.urlopen``) down to
+        its base name, resolves it through the callable's scope, and
+        records a module-dotted receiver (``"urllib.request"``) or the
+        concrete type name of a non-reactive instance (``"RuleClient"``).
+        Unresolvable receivers are skipped — the SA103/SA104 tables only
+        match known names anyway.
+        """
+        parts: list[str] = []
+        base: ast.AST = receiver_expr
+        while isinstance(base, ast.Attribute):
+            parts.append(base.attr)
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        if base.id in self.effects.bound_names:
+            return
+        found, obj = self._resolve(base.id)
+        if not found or obj is None:
+            return
+        if inspect.ismodule(obj):
+            dotted = ".".join([obj.__name__, *reversed(parts)])
+            self.effects.ext_calls.append(
+                MethodCall(method=method, receiver=dotted, line=line)
+            )
+            return
+        if parts:
+            return  # attribute chain on a plain object: untypable
+        cls = obj if isinstance(obj, type) else type(obj)
+        if hasattr(cls, "_event_generators"):
+            return  # reactive receivers are handled by ``calls``
+        self.effects.ext_calls.append(
+            MethodCall(method=method, receiver=cls.__name__, line=line)
+        )
 
     def _record_param_call(self, node: ast.Call) -> None:
         if node.args and isinstance(node.args[0], ast.Constant):
@@ -497,6 +638,18 @@ class _EffectsVisitor(ast.NodeVisitor):
                     f"call to unresolved name {name!r} at line {node.lineno}"
                 )
             return
+        if obj is not None and not isinstance(obj, type) and callable(obj):
+            # `from time import sleep; sleep(...)` — record the call
+            # under its defining module so the blocking-call tables see
+            # it regardless of import style.
+            module = getattr(obj, "__module__", None)
+            own = getattr(self.fn, "__module__", None)
+            if module and module != "builtins" and module != own:
+                self.effects.ext_calls.append(
+                    MethodCall(
+                        method=name, receiver=module, line=node.lineno
+                    )
+                )
         if obj is None or isinstance(obj, type):
             # Constructors and None-guards produce no events we model;
             # reactive constructors raise nothing (no generator wraps

@@ -25,7 +25,22 @@ SA021    warning   unknown event parameter: a condition/action
                    references a parameter no triggering event binds
 SA030    note      opaque callable: effects could not be extracted,
                    conservative fallback applied
+SA100    warning   lost update: two decoupled rules with a common
+                   trigger write the same attribute from concurrent
+                   worker transactions
+SA101    warning   lock-order inversion: two rules touch overlapping
+                   object families in opposite statement order
+SA102    warning   write-skew: converse guarded writes under snapshot
+                   reads
+SA103    warning/  blocking call (sleep/HTTP/RuleClient) while the
+         error     triggering transaction holds 2PL locks (error for
+                   re-entrant RuleClient calls)
+SA104    warning   non-thread-safe engine API called from a decoupled
+                   (worker-thread) action
 =======  ========  ====================================================
+
+The SA1xx family only runs when concurrency analysis is requested
+(``analyze(system, concurrency=True)`` / ``tools.analyze --concurrency``).
 
 SARIF output follows the 2.1.0 schema, minimal profile: one run, one
 driver, ``results`` with ``ruleId``/``level``/``message``/``locations``.
@@ -92,6 +107,34 @@ FINDING_CODES: dict[str, tuple[str, str]] = {
         "opaque-callable",
         "Effects of a condition/action could not be extracted; the "
         "conservative may-trigger-anything fallback applies.",
+    ),
+    "SA100": (
+        "lost-update",
+        "Two decoupled rules with a common trigger write the same "
+        "attribute from concurrent worker transactions; one update can "
+        "silently overwrite the other.",
+    ),
+    "SA101": (
+        "lock-order-inversion",
+        "Two rules touch overlapping object families in opposite "
+        "orders; under 2PL the opposite acquisition orders are a "
+        "deadlock-retry hotspot.",
+    ),
+    "SA102": (
+        "write-skew",
+        "One rule's condition reads what the other writes and vice "
+        "versa, with disjoint write sets; under snapshot reads both "
+        "guards can pass simultaneously.",
+    ),
+    "SA103": (
+        "blocking-call-under-locks",
+        "An immediate/deferred rule performs a blocking call while the "
+        "triggering transaction still holds its 2PL locks.",
+    ),
+    "SA104": (
+        "non-thread-safe-api",
+        "A decoupled rule (worker thread) calls an engine API that is "
+        "documented single-threaded.",
     ),
 }
 

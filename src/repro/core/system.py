@@ -163,6 +163,25 @@ class Sentinel:
         """Wait for all queued decoupled rule jobs; False on timeout."""
         return self.scheduler.drain_decoupled(timeout=timeout)
 
+    def enable_lockdep(self):
+        """Attach the runtime lock-order sanitizer to the database.
+
+        Every first-time lock grant then records ordering edges at
+        lock-class granularity; observing two classes acquired in both
+        orders reports a ``lock_order_inversion`` (metrics counter,
+        flight-recorder entry, engine signal — see
+        :mod:`repro.oodb.lockdep`).  Returns the recorder; its
+        ``export()`` feeds ``tools.analyze --lockdep-graph``.
+        """
+        if self.db is None:
+            raise RuntimeError("lockdep needs a database")
+        return self.db.enable_lockdep()
+
+    def disable_lockdep(self) -> None:
+        """Detach the lock-order sanitizer (no-op without a database)."""
+        if self.db is not None:
+            self.db.disable_lockdep()
+
     def enable_audit(self, path: str, max_bytes: int = 1 << 20, keep: int = 3):
         """Open the durable rule-firing audit trail at ``path``.
 

@@ -48,7 +48,7 @@ from .metrics import metrics
 __all__ = ["FlightRecorder", "flight_recorder", "ENTRY_KINDS", "DUMP_REASONS"]
 
 #: The entry kinds the engine records.
-ENTRY_KINDS = ("txn", "query", "firing", "error")
+ENTRY_KINDS = ("txn", "query", "firing", "error", "lock")
 
 #: The reasons an automatic dump is taken (plus ``manual`` on demand).
 DUMP_REASONS = ("txn_aborted", "rule_error", "rule_cascade", "manual")

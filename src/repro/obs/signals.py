@@ -59,6 +59,7 @@ SIGNAL_KINDS = (
     "txn_long",                   # a transaction stayed open too long
     "slo_breach",                 # a telemetry SLO's burn-rate windows all fired
     "worker_pool_saturated",      # decoupled-rule pool rejected a submission
+    "lock_order_inversion",       # lockdep saw two classes locked in both orders
 )
 
 Sink = Callable[[str, dict[str, Any]], None]

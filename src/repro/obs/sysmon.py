@@ -38,6 +38,9 @@ entry):
                                all fired (slo, value, target, burn, windows)
 ``worker_pool_saturated``      the decoupled-rule pool rejected a job
                                (backlog, queue_limit, rule)
+``lock_order_inversion``       the lock-order sanitizer saw two lock
+                               classes acquired in both orders
+                               (first, second, txn_id)
 =============================  =====================================
 
 The three ``*_slow``/``*_long`` signals are raised by the slow-op log
@@ -96,6 +99,7 @@ class SystemMonitor(Reactive):
         self.long_txns = 0
         self.slo_breaches = 0
         self.pool_saturations = 0
+        self.lock_inversions = 0
         self.dropped_reentrant = 0
         object.__setattr__(self, "_emitting", False)
 
@@ -154,6 +158,7 @@ class SystemMonitor(Reactive):
             "txn_long": self.long_txns,
             "slo_breach": self.slo_breaches,
             "worker_pool_saturated": self.pool_saturations,
+            "lock_order_inversion": self.lock_inversions,
             "dropped_reentrant": self.dropped_reentrant,
         }
 
@@ -228,3 +233,9 @@ class SystemMonitor(Reactive):
         self, backlog: int, queue_limit: int, rule: str = ""
     ) -> None:
         self.pool_saturations += 1
+
+    @event_method
+    def lock_order_inversion(
+        self, first: str, second: str, txn_id: int = 0
+    ) -> None:
+        self.lock_inversions += 1

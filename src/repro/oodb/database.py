@@ -1153,6 +1153,33 @@ class Database:
             object.__setattr__(obj, "_p_db", None)
         self._cache.clear()
 
+    # ------------------------------------------------------------------
+    # Lock-order sanitizer
+    # ------------------------------------------------------------------
+    def _lock_class_of(self, oid: Oid) -> str:
+        """Lock-class keyer: an OID's persistent class name.
+
+        Falls back to ``oid:<n>`` for objects not in the identity map
+        (evicted, or never loaded on this node) — the recorder must not
+        trigger a storage read from inside the lock manager's mutex.
+        """
+        obj = self._cache.get(oid)
+        if obj is not None:
+            return str(type(obj)._p_class_name)  # type: ignore[attr-defined]
+        return f"oid:{oid}"
+
+    def enable_lockdep(self) -> Any:
+        """Attach the runtime lock-order sanitizer (idempotent).
+
+        Returns the :class:`~repro.oodb.lockdep.LockOrderRecorder`; its
+        ``export()`` output feeds ``tools.analyze --lockdep-graph``.
+        """
+        return self.locks.enable_lockdep(self._lock_class_of)
+
+    def disable_lockdep(self) -> None:
+        """Detach the sanitizer; the lock path reverts to bare cost."""
+        self.locks.disable_lockdep()
+
     @classmethod
     def temporary(cls, **kwargs: Any) -> "Database":
         """A database in a fresh temp directory (caller cleans up)."""

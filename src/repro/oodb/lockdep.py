@@ -1,0 +1,188 @@
+"""Runtime lock-order sanitizer: a lockdep-style acquisition recorder.
+
+The static analyzer's SA101 check predicts lock-order inversions from
+rule *text*; this module observes them from rule *execution*.  When
+enabled (:meth:`LockManager.enable_lockdep` /
+:meth:`~repro.oodb.database.Database.enable_lockdep` /
+``Sentinel.enable_lockdep``), every first-time lock grant records
+ordering edges at **lock-class** granularity: holding a lock of class A
+while acquiring one of class B adds the edge A → B.  The moment both
+A → B and B → A have been observed — two code paths acquiring the same
+two classes in opposite orders, the classic ingredient of an ABBA
+deadlock — the recorder reports a **lock-order inversion**:
+
+* a ``lockdep.inversions`` metrics counter increments,
+* a ``"lock"`` entry lands in the flight recorder,
+* a ``lock_order_inversion`` engine signal fires, which the system
+  monitor (when attached) turns into a first-class event ordinary ECA
+  rules can react to.
+
+Each unordered class pair warns **once** — like the kernel's lockdep,
+the first witness is the actionable one and repeats are noise.
+
+Design constraints, and how they are met:
+
+* **Called under the lock-manager mutex.**  :meth:`note_acquire` runs
+  inside :meth:`LockManager.acquire`'s critical section, so it must be
+  cheap and must never call out to user-visible code.  It only touches
+  the recorder's own structures and *returns* the new inversions; the
+  lock manager calls :meth:`report` — the part that emits signals and
+  can therefore re-enter the engine — strictly **after** releasing its
+  mutex.
+* **Class granularity.**  Recording per-OID edges would make the graph
+  unbounded and the "inversion" notion meaningless (two transactions
+  touching two accounts in opposite orders is normal; two code paths
+  ordering *Account* vs *Payroll* both ways is the hazard).  The keyer
+  maps an OID to its persistent class name; unresolvable OIDs key as
+  ``oid:<n>`` so the recorder never raises from the hot path.
+* **Disabled means free.**  ``LockManager.acquire`` reads one attribute
+  (``self._lockdep``); when ``None`` nothing else happens.  The ≤5%
+  disabled-overhead gate lives in ``benchmarks/test_bench_lockdep.py``.
+
+:meth:`export` serialises the observed graph for
+``python -m repro.tools.analyze --lockdep-graph`` which checks every
+observed inversion pair against the static SA101 order relation —
+runtime evidence validating (or indicting) the static model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from ..obs.flight import flight_recorder as _flight
+from ..obs.metrics import metrics as _metrics
+from ..obs.signals import engine_signals as _signals
+
+__all__ = ["LockOrderRecorder"]
+
+#: oid → lock-class key.  Installed by ``Database.enable_lockdep``.
+Keyer = Callable[[Any], str]
+
+
+class LockOrderRecorder:
+    """Accumulates the runtime lock-acquisition-order graph.
+
+    Thread-safe: :meth:`note_acquire` is called from every engine thread
+    (under the lock manager's mutex); readers (:meth:`edges`,
+    :meth:`inversions`, :meth:`export`, the doctor) take the recorder's
+    own lock.  The recorder's lock is only ever acquired *after* the
+    lock manager's mutex, never before — a fixed order, so the sanitizer
+    cannot itself deadlock the machinery it watches.
+    """
+
+    __slots__ = ("_keyer", "_lock", "_edges", "_warned", "_inversions")
+
+    def __init__(self, keyer: Keyer | None = None) -> None:
+        self._keyer = keyer
+        self._lock = threading.Lock()
+        #: (held-class, acquired-class) → observation count.
+        self._edges: dict[tuple[str, str], int] = {}
+        #: Unordered class pairs already reported (warn once).
+        self._warned: set[frozenset[str]] = set()
+        #: Reported inversions, in discovery order.
+        self._inversions: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Hot path (called by LockManager.acquire, under its mutex)
+    # ------------------------------------------------------------------
+    def key_of(self, oid: Any) -> str:
+        """Map an OID to its lock class; never raises."""
+        if self._keyer is not None:
+            try:
+                return self._keyer(oid)
+            except Exception:  # pragma: no cover - defensive
+                pass
+        return f"oid:{oid}"
+
+    def note_acquire(
+        self, txn_id: int, oid: Any, held: Iterable[Any]
+    ) -> list[dict[str, Any]]:
+        """Record ordering edges for one first-time grant.
+
+        ``held`` is the set of OIDs ``txn_id`` already holds.  Returns
+        the inversions this grant *newly* exposed (usually empty); the
+        caller reports them once it is outside its own critical section.
+        """
+        new_key = self.key_of(oid)
+        found: list[dict[str, Any]] = []
+        with self._lock:
+            for held_oid in held:
+                held_key = self.key_of(held_oid)
+                if held_key == new_key:
+                    continue
+                edge = (held_key, new_key)
+                self._edges[edge] = self._edges.get(edge, 0) + 1
+                if (new_key, held_key) not in self._edges:
+                    continue
+                pair = frozenset(edge)
+                if pair in self._warned:
+                    continue
+                self._warned.add(pair)
+                inversion = {
+                    "first": held_key,
+                    "second": new_key,
+                    "txn": txn_id,
+                }
+                self._inversions.append(inversion)
+                found.append(inversion)
+        return found
+
+    def report(self, found: list[dict[str, Any]]) -> None:
+        """Emit the side effects for newly found inversions.
+
+        Called by the lock manager **after** it released its mutex:
+        signal sinks can run arbitrary rule code (the system monitor
+        raises a first-class event), and doing that while holding the
+        lock-table mutex would hand the sanitizer its own deadlock.
+        """
+        for inversion in found:
+            first = str(inversion["first"])
+            second = str(inversion["second"])
+            _metrics.counter("lockdep.inversions").inc()
+            if _flight.enabled:
+                _flight.record(
+                    "lock",
+                    "order_inversion",
+                    int(inversion.get("txn", 0)),
+                    f"{first} <-> {second}",
+                )
+            if _signals.active:
+                _signals.emit(
+                    "lock_order_inversion",
+                    first=first,
+                    second=second,
+                    txn_id=int(inversion.get("txn", 0)),
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection (any thread)
+    # ------------------------------------------------------------------
+    def edges(self) -> dict[tuple[str, str], int]:
+        """A copy of the observed order graph (edge → count)."""
+        with self._lock:
+            return dict(self._edges)
+
+    def inversions(self) -> list[dict[str, Any]]:
+        """The reported inversions, in discovery order (copies)."""
+        with self._lock:
+            return [dict(i) for i in self._inversions]
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready snapshot for ``tools.analyze --lockdep-graph``."""
+        with self._lock:
+            return {
+                "edges": [
+                    {"src": src, "dst": dst, "count": count}
+                    for (src, dst), count in sorted(self._edges.items())
+                ],
+                "inversions": [dict(i) for i in self._inversions],
+            }
+
+    def stats(self) -> dict[str, int]:
+        """Summary counts for the doctor bundle."""
+        with self._lock:
+            return {
+                "order_edges": len(self._edges),
+                "inversions": len(self._inversions),
+            }

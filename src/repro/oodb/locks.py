@@ -18,6 +18,10 @@ failed.  A phantom edge left behind by an aborted waiter would make later
 cycle checks see deadlocks that are not there; :meth:`waiting_edges`
 exposes the live graph so tests (and the doctor) can assert it drains to
 empty.
+
+An optional lock-order sanitizer (:mod:`repro.oodb.lockdep`) can be
+attached via :meth:`LockManager.enable_lockdep`; when absent the only
+cost on :meth:`LockManager.acquire` is one attribute read.
 """
 
 from __future__ import annotations
@@ -27,8 +31,13 @@ import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING, Any, Callable
+
 from .errors import DeadlockDetected, LockTimeout
 from .oid import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lockdep import LockOrderRecorder
 
 __all__ = ["LockMode", "LockManager"]
 
@@ -72,6 +81,9 @@ class LockManager:
         self._locks: dict[Oid, _LockState] = {}
         self._held: dict[int, set[Oid]] = defaultdict(set)
         self._waits_for: dict[int, set[int]] = {}
+        # Optional lock-order sanitizer; None keeps acquire() at one
+        # extra attribute read (the ≤5% disabled-overhead contract).
+        self._lockdep: "LockOrderRecorder | None" = None
 
     # ------------------------------------------------------------------
     # Acquisition / release
@@ -93,6 +105,8 @@ class LockManager:
         cycle checks to trip over.
         """
         wait_budget = self._timeout if timeout is None else timeout
+        recorder = self._lockdep
+        inversions: list[dict[str, Any]] = []
         with self._condition:
             state = self._locks.get(oid)
             if state is None:
@@ -122,8 +136,17 @@ class LockManager:
                 # raising path — so the graph only ever holds edges of
                 # transactions that are still blocked.
                 self._waits_for.pop(txn_id, None)
+            if recorder is not None and oid not in self._held[txn_id]:
+                # First-time grant (not an upgrade): record ordering
+                # edges now, but emit — which can re-enter the engine —
+                # only after the mutex is gone.
+                inversions = recorder.note_acquire(
+                    txn_id, oid, self._held[txn_id]
+                )
             state.holders[txn_id] = mode
             self._held[txn_id].add(oid)
+        if inversions and recorder is not None:
+            recorder.report(inversions)
 
     def release_all(self, txn_id: int) -> None:
         """Release every lock held by ``txn_id`` (commit/abort time)."""
@@ -165,6 +188,44 @@ class LockManager:
         """Number of OIDs with at least one holder (leak detection)."""
         with self._mutex:
             return len(self._locks)
+
+    def stats(self) -> dict[str, int]:
+        """Lock-table summary counts (doctor bundle, tests)."""
+        with self._mutex:
+            return {
+                "locked_oids": len(self._locks),
+                "holding_txns": sum(1 for s in self._held.values() if s),
+                "held_locks": sum(len(s) for s in self._held.values()),
+                "waiting_txns": len(self._waits_for),
+            }
+
+    # ------------------------------------------------------------------
+    # Lock-order sanitizer (repro.oodb.lockdep)
+    # ------------------------------------------------------------------
+    @property
+    def lockdep(self) -> "LockOrderRecorder | None":
+        """The attached lock-order recorder, if any."""
+        return self._lockdep
+
+    def enable_lockdep(
+        self, keyer: Callable[[Oid], str] | None = None
+    ) -> "LockOrderRecorder":
+        """Attach (or return the existing) lock-order recorder.
+
+        ``keyer`` maps an OID to its lock class; without one, every OID
+        is its own class and inversion detection degenerates to exact
+        object pairs — callers normally go through
+        ``Database.enable_lockdep`` which supplies a class-name keyer.
+        """
+        if self._lockdep is None:
+            from .lockdep import LockOrderRecorder
+
+            self._lockdep = LockOrderRecorder(keyer)
+        return self._lockdep
+
+    def disable_lockdep(self) -> None:
+        """Detach the recorder; acquisition goes back to the bare path."""
+        self._lockdep = None
 
     # ------------------------------------------------------------------
     # Deadlock detection

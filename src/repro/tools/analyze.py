@@ -7,6 +7,23 @@ Usage::
     python -m repro.tools.analyze app.py --sarif out.sarif
     python -m repro.tools.analyze app.py --graph out.dot
     python -m repro.tools.analyze some.module --json
+    python -m repro.tools.analyze app.py --concurrency   # + SA1xx family
+    python -m repro.tools.analyze app.py --baseline known.json
+    python -m repro.tools.analyze app.py --baseline known.json --write-baseline
+    python -m repro.tools.analyze app.py --concurrency --lockdep-graph obs.json
+
+**Ratchet mode** (``--baseline FILE``): findings whose fingerprint
+(code, rule, message) appears in FILE are *suppressed* — not printed,
+not counted against ``--fail-on`` — so a new analysis family can land
+warning-level on an existing rule base and CI still fails only on *new*
+findings.  ``--write-baseline`` records the current findings into FILE
+(creating it) and exits 0.
+
+**Cross-validation** (``--lockdep-graph FILE``): FILE is the runtime
+lock-order recorder's exported graph
+(:meth:`repro.oodb.lockdep.LockOrderRecorder.export`).  Every observed
+inversion pair is checked against the static SA101 order relation; the
+verdict is printed per pair.  Implies ``--concurrency``.
 
 ``app.py`` (or the dotted module) must expose a ``build_system()``
 function returning either a :class:`~repro.core.system.Sentinel` or any
@@ -14,6 +31,10 @@ object with a ``sentinel`` attribute — the convention every
 ``examples/*.py`` follows.  The target module is imported (so its
 classes and rules come to life) but **nothing is executed beyond that**:
 the analyzer inspects the rule base without firing a single rule.
+Modules that register their classes in a private
+:class:`~repro.oodb.schema.ClassRegistry` expose it as a module-level
+``registry``; otherwise the system's database registry (then the
+process-wide one) resolves class families.
 
 Exit status: 0 — findings below the ``--fail-on`` threshold (default
 ``error``); 1 — at least one finding at/above the threshold; 2 — the
@@ -25,13 +46,25 @@ from __future__ import annotations
 import argparse
 import importlib
 import importlib.util
+import json
 import sys
 from pathlib import Path
 from typing import Any
 
-from ..analysis import AnalysisReport, analyze
+from ..analysis import (
+    AnalysisReport,
+    Finding,
+    analyze,
+    static_order_edges,
+)
 
-__all__ = ["load_system", "system_from_module", "main"]
+__all__ = [
+    "load_system",
+    "system_from_module",
+    "registry_for",
+    "finding_fingerprint",
+    "main",
+]
 
 
 class TargetError(Exception):
@@ -69,6 +102,19 @@ def system_from_module(module: Any, target: str) -> Any:
     return system
 
 
+def registry_for(module: Any, system: Any) -> Any:
+    """The class registry to resolve families with for ``module``.
+
+    A module-level ``registry`` wins (modules that isolate their classes
+    in a private :class:`ClassRegistry` export it under that name), then
+    the system database's registry; ``None`` means the process-wide one.
+    """
+    registry = getattr(module, "registry", None)
+    if registry is not None:
+        return registry
+    return getattr(getattr(system, "db", None), "registry", None)
+
+
 def _import_target(target: str) -> Any:
     path = Path(target)
     if path.suffix == ".py" or path.exists():
@@ -94,6 +140,75 @@ def _import_target(target: str) -> Any:
 
 def _write(path: str, content: str) -> None:
     Path(path).write_text(content, encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Ratchet mode (--baseline)
+# ----------------------------------------------------------------------
+
+def finding_fingerprint(finding: Finding) -> str:
+    """A machine-stable identity for one finding.
+
+    Deliberately excludes file paths and line numbers so a baseline
+    recorded on one checkout keeps matching on another.
+    """
+    return f"{finding.code}|{finding.rule or ''}|{finding.message}"
+
+
+def _load_baseline(path: str) -> set[str]:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return set()
+    fingerprints = data.get("fingerprints", [])
+    return {str(fp) for fp in fingerprints}
+
+
+def _write_baseline(path: str, report: AnalysisReport) -> None:
+    data = {
+        "fingerprints": sorted(
+            {finding_fingerprint(f) for f in report.findings}
+        ),
+    }
+    _write(path, json.dumps(data, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Lockdep cross-validation (--lockdep-graph)
+# ----------------------------------------------------------------------
+
+def _cross_validate_lockdep(
+    report: AnalysisReport, path: str, registry: Any = None
+) -> list[str]:
+    """Compare the recorder's observed graph against static SA101 edges.
+
+    Returns printable verdict lines: one per observed inversion pair,
+    saying whether the static order relation predicted both directions.
+    """
+    observed = json.loads(Path(path).read_text(encoding="utf-8"))
+    if report.graph is None:  # pragma: no cover - defensive
+        return ["lockdep cross-validation: no triggering graph available"]
+    static = {
+        (a.lower(), b.lower())
+        for a, b in static_order_edges(report.graph, registry)
+    }
+    inversions = observed.get("inversions", [])
+    lines = [
+        f"lockdep cross-validation: {len(inversions)} observed inversion "
+        f"pair(s), {len(static)} static order edge(s)"
+    ]
+    for inversion in inversions:
+        first = str(inversion.get("first", "")).lower()
+        second = str(inversion.get("second", "")).lower()
+        covered = (first, second) in static and (second, first) in static
+        verdict = (
+            "covered by static SA101 order edges"
+            if covered
+            else "NOT predicted statically (rule base incomplete or "
+            "transaction code outside the rules)"
+        )
+        lines.append(f"  {first} <-> {second}: {verdict}")
+    return lines
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -128,24 +243,81 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write the triggering graph as Graphviz DOT to PATH",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the SA1xx concurrency-hazard checks",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="ratchet mode: suppress findings already recorded in PATH",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--lockdep-graph",
+        metavar="PATH",
+        help="cross-validate a runtime lock-order recorder export "
+        "against the static order edges (implies --concurrency)",
+    )
     args = parser.parse_args(argv)
 
+    if args.write_baseline and not args.baseline:
+        parser.error("--write-baseline requires --baseline PATH")
+
     try:
-        system = load_system(args.target)
+        module = _import_target(args.target)
+        system = system_from_module(module, args.target)
     except TargetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    registry = registry_for(module, system)
 
-    report: AnalysisReport = analyze(system)
+    concurrency = args.concurrency or bool(args.lockdep_graph)
+    report: AnalysisReport = analyze(
+        system, registry=registry, concurrency=concurrency
+    )
+
+    if args.write_baseline:
+        _write_baseline(args.baseline, report)
+        print(
+            f"baseline written: {len(report.findings)} finding(s) -> "
+            f"{args.baseline}"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        known = _load_baseline(args.baseline)
+        kept = [
+            f for f in report.findings if finding_fingerprint(f) not in known
+        ]
+        suppressed = len(report.findings) - len(kept)
+        report = AnalysisReport(findings=kept, graph=report.graph)
 
     if args.json:
         sys.stdout.write(report.to_json_text())
     else:
         sys.stdout.write(report.to_text())
+    if suppressed and not args.json:
+        print(f"{suppressed} baselined finding(s) suppressed")
     if args.sarif:
         _write(args.sarif, report.to_sarif_text())
     if args.graph:
         _write(args.graph, report.to_dot())
+    if args.lockdep_graph:
+        try:
+            for line in _cross_validate_lockdep(
+                report, args.lockdep_graph, registry
+            ):
+                print(line)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: reading {args.lockdep_graph!r}: {exc}", file=sys.stderr)
+            return 2
 
     return 1 if report.should_fail(args.fail_on) else 0
 

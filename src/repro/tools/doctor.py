@@ -23,6 +23,9 @@ surfaces expose separately:
   crash dumps;
 * **slow_ops** — the newest entries of the slow-op log, thresholds
   included;
+* **locks** — lock-table counts (held/waiting) plus, when the
+  lock-order sanitizer is attached, the order-graph edge count and
+  recent inversion warnings;
 * **telemetry** — when continuous telemetry is on, the last few minutes
   of every recorded series from the on-disk store plus current SLO
   statuses (``--telemetry-window`` sets the span);
@@ -73,6 +76,7 @@ BUNDLE_SCHEMA: dict[str, type] = {
     "metrics": dict,
     "flight": dict,
     "slow_ops": dict,
+    "locks": dict,
     "telemetry": dict,
     "storage": list,
     "analysis": dict,
@@ -104,6 +108,7 @@ def collect(
             "dumps": flight_recorder.snapshot_dumps(),
         },
         "slow_ops": _slow_ops(slow_tail),
+        "locks": _locks(sentinel),
         "telemetry": _telemetry(telemetry_window_s),
         "storage": (
             storage_stats_lines(sentinel.db)
@@ -140,6 +145,28 @@ def _telemetry(window_s: float) -> dict[str, Any]:
         "samples": samples,
         "slos": [status.as_dict() for status in collector.slo_statuses()],
     }
+
+
+def _locks(sentinel: Any) -> dict[str, Any]:
+    db = getattr(sentinel, "db", None)
+    if db is None:
+        return {"enabled": False}
+    data: dict[str, Any] = {"enabled": bool(db.locking)}
+    data.update(db.locks.stats())
+    data["waiting_edges"] = {
+        str(waiter): sorted(blockers)
+        for waiter, blockers in db.locks.waiting_edges().items()
+    }
+    recorder = db.locks.lockdep
+    if recorder is None:
+        data["lockdep"] = {"enabled": False}
+    else:
+        data["lockdep"] = {
+            "enabled": True,
+            **recorder.stats(),
+            "recent_inversions": recorder.inversions()[-10:],
+        }
+    return data
 
 
 def _slow_ops(slow_tail: int) -> dict[str, Any]:
@@ -191,6 +218,24 @@ def validate_bundle(bundle: dict[str, Any]) -> None:
             if missing:
                 problems.append(f"slow_ops entry missing {sorted(missing)}")
                 break
+    locks = bundle.get("locks")
+    if isinstance(locks, dict):
+        if "enabled" not in locks:
+            problems.append("locks missing 'enabled'")
+        elif locks.get("enabled") or "locked_oids" in locks:
+            for key in ("locked_oids", "held_locks", "waiting_txns"):
+                if not isinstance(locks.get(key), int):
+                    problems.append(f"locks.{key} should be int")
+            lockdep = locks.get("lockdep")
+            if not isinstance(lockdep, dict) or "enabled" not in lockdep:
+                problems.append("locks.lockdep should be a dict with 'enabled'")
+            elif lockdep.get("enabled"):
+                if not isinstance(lockdep.get("order_edges"), int):
+                    problems.append("locks.lockdep.order_edges should be int")
+                if not isinstance(lockdep.get("recent_inversions"), list):
+                    problems.append(
+                        "locks.lockdep.recent_inversions should be a list"
+                    )
     analysis = bundle.get("analysis")
     if isinstance(analysis, dict):
         if "findings" not in analysis or "counts" not in analysis:
@@ -272,6 +317,35 @@ def render_markdown(bundle: dict[str, Any]) -> str:
                 f"  - {entry['kind']:<6} {entry['duration_us']:.0f}µs "
                 f"(threshold {entry['threshold_us']:.0f}µs) {what}"
             )
+
+    locks = bundle["locks"]
+    lines += ["", "## Locks", ""]
+    if "locked_oids" not in locks:
+        lines.append("- no database attached")
+    else:
+        mode = "locking on" if locks.get("enabled") else "locking off"
+        lines.append(
+            f"- {mode}: {locks.get('locked_oids', 0)} locked OIDs, "
+            f"{locks.get('held_locks', 0)} held locks across "
+            f"{locks.get('holding_txns', 0)} txns, "
+            f"{locks.get('waiting_txns', 0)} waiting"
+        )
+        lockdep = locks.get("lockdep", {})
+        if not lockdep.get("enabled"):
+            lines.append(
+                "- lock-order sanitizer not attached "
+                "(Sentinel.enable_lockdep to record acquisition order)"
+            )
+        else:
+            lines.append(
+                f"- lockdep: {lockdep.get('order_edges', 0)} order edges, "
+                f"{lockdep.get('inversions', 0)} inversion(s) reported"
+            )
+            for inversion in lockdep.get("recent_inversions", [])[-5:]:
+                lines.append(
+                    f"  - {inversion.get('first')} <-> "
+                    f"{inversion.get('second')} (txn {inversion.get('txn')})"
+                )
 
     telemetry = bundle["telemetry"]
     lines += ["", "## Telemetry", ""]

@@ -1,0 +1,129 @@
+"""The corrected twin of :mod:`tests.analysis.fixtures.racy_payroll`.
+
+Same shape — eight rules over an ``Account``/``Payroll`` pair — with
+each seeded hazard repaired the way the analyzer's message suggests:
+
+* the two bonus writers now write **disjoint** attributes and neither
+  read-modifies-writes (no SA100/SA002);
+* ``Forward``/``Backward`` touch the two families in the **same**
+  order (no SA101);
+* both guard rules guard on the **same** attribute one of them writes,
+  promoting the write-skew to an ordinary write conflict 2PL serializes
+  (no SA102);
+* the sleep moved to a **decoupled** rule — a worker thread may block,
+  the triggering transaction's locks are long released (no SA103);
+* the decoupled rule now only writes object state instead of mutating
+  the rule base (no SA104).
+"""
+
+import time
+
+from repro.core import Coupling, Reactive, Sentinel, event_method
+from repro.oodb.schema import ClassRegistry
+
+# A private registry: this module's Account/Payroll must not shadow
+# same-named classes other tests persist through the global registry.
+registry = ClassRegistry()
+
+
+class Account(Reactive, registry=registry):
+    def __init__(self) -> None:
+        super().__init__()
+        self.balance = 0.0
+        self.bonus = 0.0
+        self.vacation = 0
+        self.oncall = 1
+
+    @event_method
+    def deposit(self, amount: float) -> None:
+        self.balance += amount
+
+    @event_method
+    def review(self) -> None:
+        pass
+
+    def audit(self) -> None:
+        pass
+
+
+class Payroll(Reactive, registry=registry):
+    def __init__(self) -> None:
+        super().__init__()
+        self.total = 0.0
+
+    @event_method
+    def close(self) -> None:
+        pass
+
+    def run(self) -> None:
+        pass
+
+
+account = Account()
+payroll = Payroll()
+sentinel = Sentinel(adopt_class_rules=False)
+
+
+def _bonus_one(ctx) -> None:
+    ctx.source.bonus = ctx.param("amount") * 0.1
+
+
+def _bonus_two(ctx) -> None:
+    ctx.source.vacation = 1
+
+
+def _forward(ctx) -> None:
+    account.audit()
+    payroll.run()
+
+
+def _also_forward(ctx) -> None:
+    account.audit()
+    payroll.run()
+
+
+def _guard_x_cond(ctx) -> bool:
+    return ctx.source.oncall > 1
+
+
+def _guard_x_act(ctx) -> None:
+    ctx.source.vacation = 1
+
+
+def _guard_y_cond(ctx) -> bool:
+    return ctx.source.oncall > 0
+
+
+def _guard_y_act(ctx) -> None:
+    ctx.source.oncall = 0
+
+
+def _slow_notify(ctx) -> None:
+    time.sleep(0.01)
+
+
+def _tally(ctx) -> None:
+    ctx.source.total = ctx.source.total + 1.0
+
+
+def build_system() -> Sentinel:
+    if len(sentinel.rules):
+        return sentinel
+    deposit = "end Account::deposit(float amount)"
+    review = "end Account::review()"
+    close = "end Payroll::close()"
+    for name, event, condition, action, coupling in (
+        ("BonusOne", deposit, None, _bonus_one, Coupling.DECOUPLED),
+        ("BonusTwo", deposit, None, _bonus_two, Coupling.DECOUPLED),
+        ("Forward", review, None, _forward, Coupling.IMMEDIATE),
+        ("Backward", close, None, _also_forward, Coupling.IMMEDIATE),
+        ("GuardX", review, _guard_x_cond, _guard_x_act, Coupling.IMMEDIATE),
+        ("GuardY", close, _guard_y_cond, _guard_y_act, Coupling.IMMEDIATE),
+        ("Notifier", deposit, None, _slow_notify, Coupling.DECOUPLED),
+        ("Tally", close, None, _tally, Coupling.DECOUPLED),
+    ):
+        rule = sentinel.create_rule(
+            name, event, condition=condition, action=action, coupling=coupling
+        )
+        rule.subscribe_to(account if "Account" in str(event) else payroll)
+    return sentinel

@@ -1,0 +1,135 @@
+"""A deliberately racy payroll rule base: every SA1xx code fires once.
+
+The corrected twin is :mod:`tests.analysis.fixtures.clean_payroll`;
+``tests/analysis/test_concurrency.py`` asserts this module produces
+exactly SA100–SA104 (golden text + SARIF) and the twin produces none.
+
+The seeded hazards:
+
+* ``BonusOne``/``BonusTwo`` — decoupled, common trigger, both
+  read-modify-write ``bonus`` (SA100 lost update);
+* ``Forward``/``Backward`` — touch the ``Account`` and ``Payroll``
+  families in opposite statement order (SA101 lock-order inversion);
+* ``GuardX``/``GuardY`` — converse guarded writes on
+  ``oncall``/``vacation`` (SA102 write-skew);
+* ``Sleepy`` — ``time.sleep`` in an immediate action, stretching every
+  2PL lock hold (SA103);
+* ``Meddler`` — a decoupled action mutating the rule base via
+  ``Sentinel.create_rule`` from a worker thread (SA104).
+"""
+
+import time
+
+from repro.core import Coupling, Reactive, Sentinel, event_method
+from repro.oodb.schema import ClassRegistry
+
+# A private registry: this module's Account/Payroll must not shadow
+# same-named classes other tests persist through the global registry.
+registry = ClassRegistry()
+
+
+class Account(Reactive, registry=registry):
+    def __init__(self) -> None:
+        super().__init__()
+        self.balance = 0.0
+        self.bonus = 0.0
+        self.vacation = 0
+        self.oncall = 1
+
+    @event_method
+    def deposit(self, amount: float) -> None:
+        self.balance += amount
+
+    @event_method
+    def review(self) -> None:
+        pass
+
+    def audit(self) -> None:
+        pass
+
+
+class Payroll(Reactive, registry=registry):
+    def __init__(self) -> None:
+        super().__init__()
+        self.total = 0.0
+
+    @event_method
+    def close(self) -> None:
+        pass
+
+    def run(self) -> None:
+        pass
+
+
+account = Account()
+payroll = Payroll()
+sentinel = Sentinel(adopt_class_rules=False)
+
+
+def _bonus_one(ctx) -> None:
+    ctx.source.bonus = ctx.source.bonus + ctx.param("amount") * 0.1
+
+
+def _bonus_two(ctx) -> None:
+    ctx.source.bonus = ctx.source.bonus + 5.0
+
+
+def _forward(ctx) -> None:
+    account.audit()
+    payroll.run()
+
+
+def _backward(ctx) -> None:
+    payroll.run()
+    account.audit()
+
+
+def _guard_x_cond(ctx) -> bool:
+    return ctx.source.oncall > 1
+
+
+def _guard_x_act(ctx) -> None:
+    ctx.source.vacation = 1
+
+
+def _guard_y_cond(ctx) -> bool:
+    return ctx.source.vacation == 0
+
+
+def _guard_y_act(ctx) -> None:
+    ctx.source.oncall = 0
+
+
+def _sleepy(ctx) -> None:
+    time.sleep(0.01)
+
+
+def _meddle(ctx) -> None:
+    sentinel.create_rule(
+        "Escalate",
+        "end Account::deposit(float amount)",
+        action=_sleepy,
+    )
+
+
+def build_system() -> Sentinel:
+    if len(sentinel.rules):
+        return sentinel
+    deposit = "end Account::deposit(float amount)"
+    review = "end Account::review()"
+    close = "end Payroll::close()"
+    for name, event, condition, action, coupling in (
+        ("BonusOne", deposit, None, _bonus_one, Coupling.DECOUPLED),
+        ("BonusTwo", deposit, None, _bonus_two, Coupling.DECOUPLED),
+        ("Forward", review, None, _forward, Coupling.IMMEDIATE),
+        ("Backward", close, None, _backward, Coupling.IMMEDIATE),
+        ("GuardX", review, _guard_x_cond, _guard_x_act, Coupling.IMMEDIATE),
+        ("GuardY", close, _guard_y_cond, _guard_y_act, Coupling.IMMEDIATE),
+        ("Sleepy", deposit, None, _sleepy, Coupling.IMMEDIATE),
+        ("Meddler", close, None, _meddle, Coupling.DECOUPLED),
+    ):
+        rule = sentinel.create_rule(
+            name, event, condition=condition, action=action, coupling=coupling
+        )
+        rule.subscribe_to(account if "Account" in str(event) else payroll)
+    return sentinel

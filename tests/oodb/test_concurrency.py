@@ -253,6 +253,11 @@ class TestMixedWorkloadStress:
         with db.transaction():
             oids = [db.add(Cell(i)) for i in range(16)]
 
+        if os.environ.get("REPRO_LOCKDEP"):
+            # CI soak variant: run the whole stress under the lock-order
+            # sanitizer to prove it survives contention and retries.
+            db.enable_lockdep()
+
         seconds = float(os.environ.get("REPRO_STRESS_SECONDS", "0.5"))
         faulthandler.dump_traceback_later(max(60.0, seconds * 6))
         try:

@@ -1,0 +1,325 @@
+"""The runtime lock-order sanitizer (repro.oodb.lockdep).
+
+Covers the recorder itself (edges, warn-once, export), the
+:class:`~repro.oodb.locks.LockManager` wiring (disabled path untouched,
+upgrade grants skipped), the real two-thread seeded inversion over a
+``Database(locking=True)`` — including the ``lock_order_inversion``
+sysmon signal, the flight-recorder ``lock`` entry and the metrics
+counter — and the static/runtime cross-validation: every runtime
+inversion the sanitizer observes for the racy fixture's class pair is
+predicted by the static SA101 order relation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import analyze, static_order_edges
+from repro.obs.flight import flight_recorder
+from repro.obs.metrics import metrics
+from repro.obs.signals import engine_signals
+from repro.obs.sysmon import SystemMonitor
+from repro.oodb import Database, Persistent
+from repro.oodb.lockdep import LockOrderRecorder
+from repro.oodb.locks import LockManager, LockMode
+from repro.oodb.oid import Oid
+from repro.oodb.schema import ClassRegistry
+
+
+@pytest.fixture
+def registry():
+    return ClassRegistry()
+
+
+@pytest.fixture
+def locked_db(tmp_path, registry):
+    db = Database(str(tmp_path / "db"), registry=registry, locking=True)
+    yield db
+    db.close()
+
+
+def _keyer(oid: Oid) -> str:
+    return "even" if int(str(oid).lstrip("@")) % 2 == 0 else "odd"
+
+
+class TestRecorder:
+    def test_edges_accumulate_at_class_granularity(self):
+        recorder = LockOrderRecorder(_keyer)
+        assert recorder.note_acquire(1, Oid(2), {Oid(1)}) == []
+        assert recorder.edges() == {("odd", "even"): 1}
+        # Same class while holding same class: no self-edge.
+        assert recorder.note_acquire(1, Oid(4), {Oid(2)}) == []
+        assert recorder.edges() == {("odd", "even"): 1}
+
+    def test_reverse_edge_is_an_inversion_reported_once(self):
+        recorder = LockOrderRecorder(_keyer)
+        recorder.note_acquire(1, Oid(2), {Oid(1)})
+        found = recorder.note_acquire(2, Oid(3), {Oid(4)})
+        assert found == [{"first": "even", "second": "odd", "txn": 2}]
+        # The same pair again, either direction: warn-once.
+        assert recorder.note_acquire(3, Oid(5), {Oid(6)}) == []
+        assert recorder.note_acquire(4, Oid(6), {Oid(5)}) == []
+        assert len(recorder.inversions()) == 1
+
+    def test_export_shape(self):
+        recorder = LockOrderRecorder(_keyer)
+        recorder.note_acquire(1, Oid(2), {Oid(1)})
+        recorder.note_acquire(2, Oid(3), {Oid(4)})
+        exported = recorder.export()
+        assert exported["edges"] == [
+            {"src": "even", "dst": "odd", "count": 1},
+            {"src": "odd", "dst": "even", "count": 1},
+        ]
+        assert exported["inversions"] == [
+            {"first": "even", "second": "odd", "txn": 2}
+        ]
+        assert recorder.stats() == {"order_edges": 2, "inversions": 1}
+
+    def test_without_keyer_every_oid_is_its_own_class(self):
+        recorder = LockOrderRecorder()
+        recorder.note_acquire(1, Oid(2), {Oid(1)})
+        assert recorder.edges() == {("oid:@1", "oid:@2"): 1}
+
+
+class TestLockManagerWiring:
+    def test_disabled_manager_records_nothing(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(1), LockMode.EXCLUSIVE)
+        locks.acquire(1, Oid(2), LockMode.EXCLUSIVE)
+        assert locks.lockdep is None
+
+    def test_enable_is_idempotent_and_disable_detaches(self):
+        locks = LockManager()
+        recorder = locks.enable_lockdep(_keyer)
+        assert locks.enable_lockdep(_keyer) is recorder
+        assert locks.lockdep is recorder
+        locks.disable_lockdep()
+        assert locks.lockdep is None
+
+    def test_opposite_orders_within_manager(self):
+        locks = LockManager()
+        recorder = locks.enable_lockdep(_keyer)
+        locks.acquire(1, Oid(1), LockMode.EXCLUSIVE)   # odd
+        locks.acquire(1, Oid(2), LockMode.EXCLUSIVE)   # odd -> even
+        locks.release_all(1)
+        locks.acquire(2, Oid(4), LockMode.EXCLUSIVE)   # even
+        locks.acquire(2, Oid(3), LockMode.EXCLUSIVE)   # even -> odd
+        locks.release_all(2)
+        assert len(recorder.inversions()) == 1
+
+    def test_upgrade_is_not_a_new_acquisition(self):
+        locks = LockManager()
+        recorder = locks.enable_lockdep(_keyer)
+        locks.acquire(1, Oid(1), LockMode.EXCLUSIVE)
+        locks.acquire(1, Oid(2), LockMode.SHARED)
+        before = recorder.edges()
+        locks.acquire(1, Oid(2), LockMode.EXCLUSIVE)   # upgrade, no edge
+        assert recorder.edges() == before
+
+    def test_stats_counts_held_and_waiting(self):
+        locks = LockManager()
+        locks.acquire(1, Oid(1), LockMode.EXCLUSIVE)
+        locks.acquire(1, Oid(2), LockMode.SHARED)
+        stats = locks.stats()
+        assert stats["locked_oids"] == 2
+        assert stats["held_locks"] == 2
+        assert stats["holding_txns"] == 1
+        assert stats["waiting_txns"] == 0
+        locks.release_all(1)
+        assert locks.stats()["held_locks"] == 0
+
+
+class TestTwoThreadInversion:
+    def test_seeded_inversion_signals_flight_and_metrics(
+        self, locked_db, registry
+    ):
+        """Two real threads lock the same class pair in opposite orders."""
+
+        class Alpha(Persistent, registry=registry):
+            def __init__(self, n: int = 0) -> None:
+                super().__init__()
+                self.n = n
+
+        class Beta(Persistent, registry=registry):
+            def __init__(self, n: int = 0) -> None:
+                super().__init__()
+                self.n = n
+
+        db = locked_db
+        with db.transaction():
+            oid_a = db.add(Alpha())
+            oid_b = db.add(Beta())
+
+        recorder = db.enable_lockdep()
+        monitor = SystemMonitor().attach()
+        counter_before = metrics.counter("lockdep.inversions").value
+        first_done = threading.Event()
+        errors: list[BaseException] = []
+
+        def alpha_then_beta() -> None:
+            try:
+                with db.transaction():
+                    db.fetch(oid_a).n += 1
+                    db.fetch(oid_b).n += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                first_done.set()
+
+        def beta_then_alpha() -> None:
+            try:
+                first_done.wait(10.0)
+                with db.transaction():
+                    db.fetch(oid_b).n += 1
+                    db.fetch(oid_a).n += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=alpha_then_beta, name="ab"),
+                threading.Thread(target=beta_then_alpha, name="ba"),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(15.0)
+            assert not any(t.is_alive() for t in threads)
+            assert errors == []
+
+            inversions = recorder.inversions()
+            assert len(inversions) == 1
+            pair = {inversions[0]["first"], inversions[0]["second"]}
+            assert pair == {"Alpha", "Beta"}
+
+            # Sysmon turned the signal into a monitor event.
+            assert monitor.lock_inversions == 1
+            # The metrics counter moved.
+            assert (
+                metrics.counter("lockdep.inversions").value
+                == counter_before + 1
+            )
+            # The flight recorder holds the evidence.
+            lock_entries = [
+                e
+                for e in flight_recorder.snapshot()
+                if e["kind"] == "lock" and "Alpha" in e["detail"]
+            ]
+            assert lock_entries, "no flight entry for the inversion"
+        finally:
+            monitor.detach()
+            db.disable_lockdep()
+
+    def test_same_order_threads_report_nothing(self, locked_db, registry):
+        class Gamma(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.n = 0
+
+        class Delta(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.n = 0
+
+        db = locked_db
+        with db.transaction():
+            oid_g = db.add(Gamma())
+            oid_d = db.add(Delta())
+
+        recorder = db.enable_lockdep()
+        try:
+            def worker() -> None:
+                with db.transaction():
+                    db.fetch(oid_g).n += 1
+                    db.fetch(oid_d).n += 1
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(15.0)
+            assert recorder.inversions() == []
+            assert ("Gamma", "Delta") in recorder.edges()
+        finally:
+            db.disable_lockdep()
+
+
+class TestStaticRuntimeCrossValidation:
+    def test_static_sa101_edges_cover_observed_inversion(
+        self, locked_db, registry
+    ):
+        """The racy fixture's SA101 order relation predicts the runtime
+        inversion the sanitizer observes for the same class pair."""
+        from tests.analysis.fixtures import racy_payroll
+
+        class Account(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.n = 0
+
+        class Payroll(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.n = 0
+
+        db = locked_db
+        with db.transaction():
+            oid_a = db.add(Account())
+            oid_p = db.add(Payroll())
+
+        recorder = db.enable_lockdep()
+        try:
+            with db.transaction():
+                db.fetch(oid_a).n += 1
+                db.fetch(oid_p).n += 1
+            with db.transaction():
+                db.fetch(oid_p).n += 1
+                db.fetch(oid_a).n += 1
+        finally:
+            db.disable_lockdep()
+
+        observed = recorder.inversions()
+        assert len(observed) == 1
+
+        report = analyze(
+            racy_payroll.build_system(),
+            registry=racy_payroll.registry,
+            concurrency=True,
+        )
+        static = {
+            (a.lower(), b.lower())
+            for a, b in static_order_edges(
+                report.graph, racy_payroll.registry
+            )
+        }
+        first = observed[0]["first"].lower()
+        second = observed[0]["second"].lower()
+        assert (first, second) in static
+        assert (second, first) in static
+
+
+class TestSentinelSurface:
+    def test_enable_without_db_raises(self):
+        from repro.core import Sentinel
+
+        sentinel = Sentinel(adopt_class_rules=False)
+        with pytest.raises(RuntimeError):
+            sentinel.enable_lockdep()
+        sentinel.disable_lockdep()  # no-op without a database
+
+    def test_enable_through_sentinel(self, tmp_path):
+        from repro.core import Sentinel
+
+        sentinel = Sentinel(path=str(tmp_path / "db"))
+        try:
+            recorder = sentinel.enable_lockdep()
+            assert sentinel.db is not None
+            assert sentinel.db.locks.lockdep is recorder
+            sentinel.disable_lockdep()
+            assert sentinel.db.locks.lockdep is None
+        finally:
+            sentinel.close()

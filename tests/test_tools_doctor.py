@@ -156,6 +156,78 @@ class TestCollect:
             telemetry.close()
 
 
+class TestLocks:
+    def test_section_without_database(self):
+        sentinel = Sentinel(adopt_class_rules=False)
+        bundle = collect(sentinel)
+        assert bundle["locks"] == {"enabled": False}
+        assert "- no database attached" in render_markdown(bundle)
+
+    def test_counts_and_lockdep_disabled_note(self, system):
+        bundle = collect(system)
+        locks = bundle["locks"]
+        assert locks["enabled"] is False  # db exists, locking off
+        assert locks["held_locks"] == 0
+        assert locks["waiting_edges"] == {}
+        assert locks["lockdep"] == {"enabled": False}
+        assert "lock-order sanitizer not attached" in render_markdown(bundle)
+
+    def test_lockdep_section_with_recent_inversions(self, tmp_path):
+        from repro.oodb import Database, Persistent
+        from repro.oodb.schema import ClassRegistry
+
+        registry = ClassRegistry()
+
+        class Cog(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.n = 0
+
+        class Axle(Persistent, registry=registry):
+            def __init__(self) -> None:
+                super().__init__()
+                self.n = 0
+
+        db = Database(
+            str(tmp_path / "lockdb"), registry=registry, locking=True
+        )
+        sentinel = Sentinel(db=db, adopt_class_rules=False)
+        try:
+            with sentinel, sentinel.transaction():
+                oid_c = db.add(Cog())
+                oid_a = db.add(Axle())
+            sentinel.enable_lockdep()
+            with db.transaction():
+                db.fetch(oid_c).n += 1
+                db.fetch(oid_a).n += 1
+            with db.transaction():
+                db.fetch(oid_a).n += 1
+                db.fetch(oid_c).n += 1
+            bundle = collect(sentinel)
+            validate_bundle(bundle)
+            lockdep = bundle["locks"]["lockdep"]
+            assert lockdep["enabled"] is True
+            assert lockdep["order_edges"] == 2
+            assert lockdep["inversions"] == 1
+            assert len(lockdep["recent_inversions"]) == 1
+            text = render_markdown(bundle)
+            assert "## Locks" in text
+            assert "1 inversion(s) reported" in text
+            assert "<->" in text
+        finally:
+            sentinel.close()
+
+    def test_validate_flags_bad_locks_section(self, system):
+        bundle = collect(system)
+        bundle["locks"]["lockdep"] = "nope"
+        with pytest.raises(ValueError, match="locks.lockdep"):
+            validate_bundle(bundle)
+        bundle = collect(system)
+        bundle["locks"].pop("enabled")
+        with pytest.raises(ValueError, match="locks missing 'enabled'"):
+            validate_bundle(bundle)
+
+
 class TestValidate:
     def test_missing_key_reported(self, system):
         bundle = collect(system)
